@@ -1,0 +1,81 @@
+// Ablation of the design choices DESIGN.md calls out:
+//   (a) piece-wise segment count (1 = affine .. 4) vs ping-pong accuracy —
+//       why the paper settles on 3 segments / 8 parameters (§4.1);
+//   (b) contention modeling on/off vs all-to-all accuracy (§4.2);
+//   (c) the TCP window bound's effect on a long (3-switch) route.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace smpi;
+  bench::banner("Ablation", "model ingredients vs accuracy");
+
+  auto griffon = platform::build_griffon();
+  calib::PingPongOptions options;
+  options.sizes = calib::PingPongOptions::default_sizes(16u << 20, 2);
+  const auto measured = [&] {
+    calib::PingPongOptions opts = options;
+    opts.node_a = 0;
+    opts.node_b = 1;
+    return calib::run_pingpong(griffon, calib::ground_truth_config(), opts);
+  }();
+
+  // (a) segment count sweep.
+  std::printf("(a) piece-wise segment count vs ping-pong accuracy (griffon pair):\n");
+  util::Table seg_table({"segments", "params", "avg error", "worst error"});
+  for (int segments = 1; segments <= 4; ++segments) {
+    const auto model = calib::fit_piecewise(measured, segments);
+    const auto err = calib::evaluate_model(model, measured);
+    seg_table.add_row({std::to_string(segments), std::to_string(model.parameter_count()),
+                       bench::pct_cell(err.mean_fraction()), bench::pct_cell(err.max_fraction())});
+  }
+  seg_table.print();
+  std::printf("    (3 segments buy most of the accuracy — the paper's choice.)\n\n");
+
+  const auto calibration = bench::calibrate_on_griffon();
+
+  // (b) contention on/off for the all-to-all, on the two-rack gdx scenario
+  // where flows really do share the inter-switch GbE links (cf. Figure 11).
+  std::printf("(b) contention modeling, pairwise all-to-all 16 x 1MiB (two gdx racks):\n");
+  auto gdx_b = platform::build_gdx();
+  const auto placement = bench::two_rack_placement(platform::gdx_params());
+  const auto real_run = bench::run_collective(gdx_b, calib::ground_truth_config(), 16,
+                                              bench::alltoall_body(1u << 20), placement);
+  const auto with_run = bench::run_collective(gdx_b,
+                                              calib::calibrated_smpi_config(
+                                                  calibration.piecewise_factors()),
+                                              16, bench::alltoall_body(1u << 20), placement);
+  const auto without_run = bench::run_collective(gdx_b,
+                                                 calib::no_contention_smpi_config(
+                                                     calibration.piecewise_factors()),
+                                                 16, bench::alltoall_body(1u << 20), placement);
+  util::Table cont_table({"model", "completion(s)", "error vs ground truth"});
+  cont_table.add_row({"ground truth", bench::seconds_cell(real_run.completion_seconds), "-"});
+  cont_table.add_row({"with contention", bench::seconds_cell(with_run.completion_seconds),
+                      bench::pct_cell(util::log_error_as_fraction(util::log_error(
+                          with_run.completion_seconds, real_run.completion_seconds)))});
+  cont_table.add_row({"no contention", bench::seconds_cell(without_run.completion_seconds),
+                      bench::pct_cell(util::log_error_as_fraction(util::log_error(
+                          without_run.completion_seconds, real_run.completion_seconds)))});
+  cont_table.print();
+  std::printf("\n");
+
+  // (c) TCP window bound on a long route.
+  std::printf("(c) TCP congestion-window bound, 4MiB transfer across 3 gdx switches:\n");
+  auto gdx = platform::build_gdx();
+  const auto params = platform::gdx_params();
+  const int far_node = platform::first_node_of_cabinet(params, 2);
+  util::Table win_table({"window", "predicted transfer(s)"});
+  for (const double window : {0.0, 8.0 * 1024, 32.0 * 1024, 4.0 * 1024 * 1024}) {
+    core::SmpiConfig config = calib::calibrated_smpi_config(calibration.piecewise_factors());
+    config.network.tcp_window_bytes = window;
+    sim::Engine engine;
+    surf::FlowNetworkModel net(gdx, config.network);
+    const double duration = net.uncontended_duration(0, far_node, 4.0 * (1 << 20));
+    win_table.add_row({window == 0 ? "off" : util::format_bytes(static_cast<std::uint64_t>(window)),
+                       bench::seconds_cell(duration)});
+  }
+  win_table.print();
+  std::printf("    (a window below the route's bandwidth-delay product throttles the\n"
+              "    transfer; the default 4MiB never binds on LAN-scale paths.)\n");
+  return 0;
+}

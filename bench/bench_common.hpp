@@ -1,0 +1,152 @@
+// Shared machinery for the figure-reproduction benches.
+//
+// Every bench binary reproduces one results figure of the paper: it builds
+// the platform, runs the experiment under the SMPI flow model and (where the
+// paper compares against real runs) under the packet-level ground truth with
+// an OpenMPI/MPICH2 personality, and prints the same rows/series the paper
+// plots, plus the logarithmic-error aggregates quoted in §7.1.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "calib/calibration.hpp"
+#include "platform/builders.hpp"
+#include "smpi/coll.h"
+#include "smpi/mpi.h"
+#include "smpi/smpi.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace bench {
+
+inline void banner(const char* figure, const char* what) {
+  std::printf("================================================================\n");
+  std::printf("%s — %s\n", figure, what);
+  std::printf("================================================================\n");
+}
+
+// Calibrate the piece-wise/affine models on griffon exactly as §6 describes:
+// SKaMPI-style ping-pong between two nodes of the calibration cluster under
+// the packet-level OpenMPI ground truth.
+inline smpi::calib::CalibrationResult calibrate_on_griffon() {
+  auto griffon = smpi::platform::build_griffon();
+  smpi::calib::PingPongOptions options;
+  options.sizes = smpi::calib::PingPongOptions::default_sizes(16u << 20, 2);
+  return smpi::calib::calibrate(griffon, 0, 1, smpi::calib::ground_truth_config(), options);
+}
+
+// ---------------------------------------------------------------------------
+// Collective experiment runners (Figures 7-12, 17)
+// ---------------------------------------------------------------------------
+
+struct CollectiveRun {
+  std::vector<double> per_rank_seconds;  // completion time at each rank
+  double completion_seconds = 0;         // max over ranks
+  double wall_clock_seconds = 0;         // host time spent simulating
+};
+
+inline std::vector<double>& rank_times_slot() {
+  static std::vector<double> slot;
+  return slot;
+}
+
+// Spread `nprocs` ranks over the platform the way a batch scheduler would
+// (round-robin over all nodes), so collective traffic crosses cabinets.
+inline std::vector<int> spread_placement(const smpi::platform::Platform& platform, int nprocs) {
+  std::vector<int> placement;
+  const int hosts = platform.host_count();
+  const int stride = hosts / nprocs > 0 ? hosts / nprocs : 1;
+  for (int r = 0; r < nprocs; ++r) placement.push_back((r * stride) % hosts);
+  return placement;
+}
+
+// Eight nodes in gdx switch group 0 plus eight in group 2: every step of a
+// pairwise exchange pushes several flows through one GbE inter-switch link
+// pair — the Figure 11/12 contention scenario.
+inline std::vector<int> two_rack_placement(
+    const smpi::platform::HierarchicalClusterParams& params) {
+  std::vector<int> placement;
+  for (int k = 0; k < 8; ++k) placement.push_back(k);
+  const int far = smpi::platform::first_node_of_cabinet(params, 4);
+  for (int k = 0; k < 8; ++k) placement.push_back(far + k);
+  return placement;
+}
+
+// Runs `body` (an MPI program region) on `nprocs` ranks and collects each
+// rank's completion time of the region. `placement` empty = spread over the
+// platform.
+inline CollectiveRun run_collective(const smpi::platform::Platform& platform,
+                                    smpi::core::SmpiConfig config, int nprocs,
+                                    const std::function<void()>& body,
+                                    const std::vector<int>& placement = {}) {
+  config.placement = placement.empty() ? spread_placement(platform, nprocs) : placement;
+  rank_times_slot().assign(static_cast<std::size_t>(nprocs), 0.0);
+  const auto wall_start = std::chrono::steady_clock::now();
+  smpi::core::SmpiWorld world(platform, config);
+  world.run(nprocs, [&body](int, char**) {
+    MPI_Init(nullptr, nullptr);
+    int rank = -1;
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    MPI_Barrier(MPI_COMM_WORLD);
+    const double start = MPI_Wtime();
+    body();
+    rank_times_slot()[static_cast<std::size_t>(rank)] = MPI_Wtime() - start;
+    MPI_Finalize();
+  });
+  CollectiveRun result;
+  result.per_rank_seconds = rank_times_slot();
+  for (double t : result.per_rank_seconds) {
+    result.completion_seconds = std::max(result.completion_seconds, t);
+  }
+  result.wall_clock_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+  return result;
+}
+
+// The paper's manual binomial-tree scatter (§7.1.2): root 0 scatters
+// `chunk_bytes` to each of `nprocs` ranks.
+inline std::function<void()> scatter_body(std::size_t chunk_bytes, int nprocs) {
+  return [chunk_bytes, nprocs] {
+    int rank = -1;
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    static std::vector<char> send;
+    std::vector<char> recv(chunk_bytes);
+    if (rank == 0) send.assign(chunk_bytes * static_cast<std::size_t>(nprocs), 'x');
+    smpi::coll::scatter_binomial(rank == 0 ? send.data() : nullptr,
+                                 static_cast<int>(chunk_bytes), MPI_CHAR, recv.data(),
+                                 static_cast<int>(chunk_bytes), MPI_CHAR, 0, MPI_COMM_WORLD);
+  };
+}
+
+// The paper's manual pairwise all-to-all (§7.1.3, Figure 10).
+inline std::function<void()> alltoall_body(std::size_t block_bytes) {
+  return [block_bytes] {
+    int size = -1;
+    MPI_Comm_size(MPI_COMM_WORLD, &size);
+    std::vector<char> send(block_bytes * static_cast<std::size_t>(size), 'y');
+    std::vector<char> recv(block_bytes * static_cast<std::size_t>(size));
+    smpi::coll::alltoall_pairwise(send.data(), static_cast<int>(block_bytes), MPI_CHAR,
+                                  recv.data(), static_cast<int>(block_bytes), MPI_CHAR,
+                                  MPI_COMM_WORLD);
+  };
+}
+
+inline std::string seconds_cell(double seconds) { return smpi::util::Table::num(seconds, 4); }
+
+inline std::string pct_cell(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f%%", fraction * 100);
+  return buf;
+}
+
+inline void print_error_summary(const char* label, const smpi::util::ErrorSummary& summary) {
+  std::printf("%-28s avg error %6.2f%%   worst %6.2f%%   (n=%zu)\n", label,
+              summary.mean_fraction() * 100, summary.max_fraction() * 100, summary.count);
+}
+
+}  // namespace bench

@@ -1,0 +1,46 @@
+// Figure 3: ping-pong between two machines of the calibration cluster
+// (griffon) — "SKaMPI" measurements (packet-level ground truth) vs the SMPI
+// simulation under the default-affine, best-fit-affine and piece-wise linear
+// models. The paper's headline numbers for this figure: piece-wise 8.63%
+// average error (worst 27%), best-fit affine 18.5% (62.6%), default affine
+// 32.1% (127%).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace smpi;
+  bench::banner("Figure 3", "ping-pong on the calibration cluster (griffon)");
+
+  auto griffon = platform::build_griffon();
+  const auto calib = bench::calibrate_on_griffon();
+
+  calib::PingPongOptions options;
+  options.sizes = calib::PingPongOptions::default_sizes(16u << 20, 2);
+  const auto sim_default =
+      calib::simulate_pingpong(griffon, 0, 1, calib.default_affine_factors(), options);
+  const auto sim_best =
+      calib::simulate_pingpong(griffon, 0, 1, calib.best_affine_factors(), options);
+  const auto sim_piecewise =
+      calib::simulate_pingpong(griffon, 0, 1, calib.piecewise_factors(), options);
+
+  util::Table table({"size", "SKaMPI(us)", "default-affine", "best-fit-affine", "piece-wise"});
+  util::ErrorAccumulator err_default, err_best, err_piecewise;
+  for (std::size_t i = 0; i < calib.measurements.size(); ++i) {
+    const auto& real = calib.measurements[i];
+    err_default.add(sim_default[i].one_way_seconds, real.one_way_seconds);
+    err_best.add(sim_best[i].one_way_seconds, real.one_way_seconds);
+    err_piecewise.add(sim_piecewise[i].one_way_seconds, real.one_way_seconds);
+    table.add_row({util::format_bytes(real.bytes),
+                   util::Table::num(real.one_way_seconds * 1e6, 1),
+                   util::Table::num(sim_default[i].one_way_seconds * 1e6, 1),
+                   util::Table::num(sim_best[i].one_way_seconds * 1e6, 1),
+                   util::Table::num(sim_piecewise[i].one_way_seconds * 1e6, 1)});
+  }
+  table.print();
+  std::printf("\n");
+  bench::print_error_summary("piece-wise linear", err_piecewise.summary());
+  bench::print_error_summary("best-fit affine", err_best.summary());
+  bench::print_error_summary("default affine", err_default.summary());
+  std::printf("\npaper: piece-wise 8.63%% avg (27%% worst), best-fit 18.5%% (62.6%%), "
+              "default 32.1%% (127%%).\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 7: per-process completion times of a binomial-tree scatter with
+// 4 MiB messages over 16 processes — SMPI with contention, SMPI without
+// contention (the naive model of most simulators in §2), and the OpenMPI /
+// MPICH2 ground-truth personalities on the packet-level testbed.
+//
+// Expected shape: the no-contention model underestimates everywhere; the
+// contention-aware piece-wise model tracks both MPI implementations (paper:
+// ~5.3% average difference, worst ~18-20%).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace smpi;
+  bench::banner("Figure 7", "binomial scatter, 16 processes, 4 MiB messages, per-process times");
+
+  auto griffon = platform::build_griffon();
+  const auto calibration = bench::calibrate_on_griffon();
+  constexpr int kProcs = 16;
+  constexpr std::size_t kChunk = 4u << 20;
+
+  const auto smpi_run = bench::run_collective(griffon,
+                                              calib::calibrated_smpi_config(
+                                                  calibration.piecewise_factors()),
+                                              kProcs, bench::scatter_body(kChunk, kProcs));
+  const auto nocont_run = bench::run_collective(griffon,
+                                                calib::no_contention_smpi_config(
+                                                    calibration.piecewise_factors()),
+                                                kProcs, bench::scatter_body(kChunk, kProcs));
+  const auto openmpi_run = bench::run_collective(griffon, calib::ground_truth_config(), kProcs,
+                                                 bench::scatter_body(kChunk, kProcs));
+  const auto mpich_run = bench::run_collective(griffon, calib::ground_truth_config_mpich2(),
+                                               kProcs, bench::scatter_body(kChunk, kProcs));
+
+  util::Table table({"rank", "SMPI+contention", "SMPI no-contention", "OpenMPI", "MPICH2"});
+  util::ErrorAccumulator err_smpi, err_nocont, err_impls;
+  for (int r = 0; r < kProcs; ++r) {
+    const auto i = static_cast<std::size_t>(r);
+    if (r != 0) {  // rank 0 only copies its own block: ~0s on both sides
+      err_smpi.add(smpi_run.per_rank_seconds[i], mpich_run.per_rank_seconds[i]);
+      err_nocont.add(nocont_run.per_rank_seconds[i], mpich_run.per_rank_seconds[i]);
+      err_impls.add(openmpi_run.per_rank_seconds[i], mpich_run.per_rank_seconds[i]);
+    }
+    table.add_row({std::to_string(r), bench::seconds_cell(smpi_run.per_rank_seconds[i]),
+                   bench::seconds_cell(nocont_run.per_rank_seconds[i]),
+                   bench::seconds_cell(openmpi_run.per_rank_seconds[i]),
+                   bench::seconds_cell(mpich_run.per_rank_seconds[i])});
+  }
+  table.print();
+  std::printf("\n");
+  bench::print_error_summary("SMPI+contention vs MPICH2", err_smpi.summary());
+  bench::print_error_summary("no-contention vs MPICH2", err_nocont.summary());
+  bench::print_error_summary("OpenMPI vs MPICH2", err_impls.summary());
+  std::printf("\npaper: SMPI-vs-MPICH2 difference ~ OpenMPI-vs-MPICH2 difference (~5.3%%);\n"
+              "the no-contention model underestimates every rank.\n");
+  return 0;
+}

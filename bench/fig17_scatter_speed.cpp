@@ -1,0 +1,47 @@
+// Figure 17: simulation time vs simulated time — binomial scatter over 16
+// processes with messages growing from 4 to 64 MiB. The paper's claim: the
+// on-line flow simulation runs 3.6-5.3x faster than the real execution, with
+// the gain growing with message size.
+//
+// Substitution note: our "real execution time" is the packet-level
+// ground-truth's simulated clock, and the cost of producing it (its host
+// wall-clock) stands in for the cost of a real run; the flow model's
+// wall-clock is the simulation cost the paper plots. The structural claim —
+// flow simulation beats per-packet execution by a growing factor — is
+// exactly preserved.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace smpi;
+  bench::banner("Figure 17", "simulation time vs simulated/real time, scatter 4..64 MiB");
+
+  auto griffon = platform::build_griffon();
+  const auto calibration = bench::calibrate_on_griffon();
+  constexpr int kProcs = 16;
+
+  util::Table table({"chunk", "SMPI wall(s)", "SMPI simulated(s)", "real(s)", "pnet wall(s)",
+                     "speedup vs real"});
+  for (const std::size_t mib : {4, 8, 16, 32, 64}) {
+    const std::size_t chunk = mib << 20;
+    const auto smpi_run = bench::run_collective(griffon,
+                                                calib::calibrated_smpi_config(
+                                                    calibration.piecewise_factors()),
+                                                kProcs, bench::scatter_body(chunk, kProcs));
+    const auto real_run = bench::run_collective(griffon, calib::ground_truth_config(), kProcs,
+                                                bench::scatter_body(chunk, kProcs));
+    char speedup[32];
+    std::snprintf(speedup, sizeof speedup, "%.1fx",
+                  real_run.completion_seconds / smpi_run.wall_clock_seconds);
+    table.add_row({util::format_bytes(chunk),
+                   bench::seconds_cell(smpi_run.wall_clock_seconds),
+                   bench::seconds_cell(smpi_run.completion_seconds),
+                   bench::seconds_cell(real_run.completion_seconds),
+                   bench::seconds_cell(real_run.wall_clock_seconds), speedup});
+  }
+  table.print();
+  std::printf("\npaper: simulation 3.58x faster than real execution at 4 MiB, up to 5.25x\n"
+              "at 64 MiB; accuracy ~4%%. Note the pnet (per-packet) column growing with\n"
+              "size while the flow model's cost stays flat — the very reason SMPI avoids\n"
+              "packet-level simulation (§4).\n");
+  return 0;
+}

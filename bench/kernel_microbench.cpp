@@ -1,0 +1,110 @@
+// Micro-costs of the simulation kernel (google-benchmark): the pieces whose
+// speed makes single-node on-line simulation viable — context switches, the
+// max-min solver, the event loop, piece-wise lookup, platform construction.
+// These back the §5.1 design argument (sequential kernel + analytical models
+// => fast and scalable).
+#include <benchmark/benchmark.h>
+
+#include "platform/builders.hpp"
+#include "platform/platform_xml.hpp"
+#include "sim/context.hpp"
+#include "sim/engine.hpp"
+#include "surf/maxmin.hpp"
+#include "surf/piecewise.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+void BM_ContextSwitch(benchmark::State& state, const char* backend) {
+  auto factory = smpi::sim::ContextFactory::make(backend, 64 * 1024);
+  smpi::sim::Context* self = nullptr;
+  bool stop = false;
+  auto ctx = factory->create([&] {
+    while (!stop) self->suspend();
+  });
+  self = ctx.get();
+  for (auto _ : state) {
+    ctx->resume();  // one round-trip = 2 context switches
+  }
+  stop = true;
+  ctx->resume();
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK_CAPTURE(BM_ContextSwitch, ucontext, "ucontext");
+BENCHMARK_CAPTURE(BM_ContextSwitch, thread, "thread");
+
+void BM_MaxMinSolve(benchmark::State& state) {
+  const auto flows = static_cast<int>(state.range(0));
+  smpi::util::Xoshiro256StarStar rng(42);
+  smpi::surf::MaxMinSystem sys;
+  const int links = 64;
+  std::vector<int> constraints;
+  for (int c = 0; c < links; ++c) constraints.push_back(sys.new_constraint(1e8));
+  std::vector<int> vars;
+  for (int f = 0; f < flows; ++f) {
+    const int v = sys.new_variable(1.0, 1.25e8);
+    // 3-hop routes over random links.
+    for (int k = 0; k < 3; ++k) {
+      sys.attach(v, constraints[rng.next_in_range(0, links - 1)]);
+    }
+    vars.push_back(v);
+  }
+  int toggle = 0;
+  for (auto _ : state) {
+    // Perturb one bound to dirty the system, then re-solve — the pattern a
+    // flow arrival/departure produces.
+    sys.set_bound(vars[static_cast<std::size_t>(toggle % flows)], 1e8 + toggle % 7);
+    ++toggle;
+    sys.solve();
+    benchmark::DoNotOptimize(sys.value(vars[0]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MaxMinSolve)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_EngineTimerChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    smpi::sim::Engine engine;
+    engine.spawn("a", 0, [&engine] {
+      for (int i = 0; i < 1000; ++i) engine.sleep_for(0.001);
+    });
+    engine.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EngineTimerChurn);
+
+void BM_PiecewiseLookup(benchmark::State& state) {
+  smpi::surf::PiecewiseFactors factors(
+      {{1500.0, 10.0, 1.2}, {65536.0, 4.0, 0.9}, {std::numeric_limits<double>::infinity(), 2.0, 0.92}});
+  double size = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(factors.bw_factor(size));
+    size = size > 1e7 ? 1 : size * 1.7;
+  }
+}
+BENCHMARK(BM_PiecewiseLookup);
+
+void BM_BuildGriffon(benchmark::State& state) {
+  for (auto _ : state) {
+    auto platform = smpi::platform::build_griffon();
+    benchmark::DoNotOptimize(platform.host_count());
+  }
+}
+BENCHMARK(BM_BuildGriffon);
+
+void BM_XmlParsePlatform(benchmark::State& state) {
+  const std::string doc = R"(<platform version="4">
+    <cluster id="c" prefix="node-" radical="0-63" speed="10Gf" cores="8"
+             bw="1Gbps" lat="50us"/>
+  </platform>)";
+  for (auto _ : state) {
+    auto platform = smpi::platform::load_platform_from_string(doc);
+    benchmark::DoNotOptimize(platform.host_count());
+  }
+}
+BENCHMARK(BM_XmlParsePlatform);
+
+}  // namespace
+
+BENCHMARK_MAIN();

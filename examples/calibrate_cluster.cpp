@@ -1,0 +1,55 @@
+// The §6 calibration workflow: benchmark a ping-pong on the (simulated)
+// testbed, fit the piece-wise linear model, and print the 8 parameters plus
+// the accuracy of each candidate model — everything a user needs to
+// instantiate SMPI for their own cluster.
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "calib/calibration.hpp"
+#include "platform/builders.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace smpi;
+  auto griffon = platform::build_griffon();
+
+  std::printf("calibrating on griffon nodes 0 and 1 (packet-level ground truth,\n");
+  std::printf("OpenMPI personality) ...\n\n");
+  calib::PingPongOptions options;
+  options.sizes = calib::PingPongOptions::default_sizes(16u << 20, 2);
+  const auto result = calib::calibrate(griffon, 0, 1, calib::ground_truth_config(), options);
+
+  std::printf("piece-wise linear model (%d parameters):\n",
+              result.piecewise.parameter_count());
+  util::Table segments({"segment", "up to", "alpha (latency)", "beta (bandwidth)"});
+  for (std::size_t s = 0; s < result.piecewise.segments.size(); ++s) {
+    const auto& seg = result.piecewise.segments[s];
+    segments.add_row({std::to_string(s + 1),
+                      std::isinf(seg.max_bytes)
+                          ? "inf"
+                          : util::format_bytes(static_cast<std::uint64_t>(seg.max_bytes)),
+                      util::format_duration(seg.latency_s), util::format_rate(seg.bandwidth_bps)});
+  }
+  segments.print();
+
+  std::printf("\naccuracy against the measurements (logarithmic error, §7.1):\n");
+  util::Table errors({"model", "avg error", "worst error"});
+  const auto err_pw = calib::evaluate_model(result.piecewise, result.measurements);
+  const auto err_best = calib::evaluate_model(result.best_affine, result.measurements);
+  const auto err_def = calib::evaluate_model(result.default_affine, result.measurements);
+  auto pct = [](double fraction) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.2f%%", fraction * 100);
+    return std::string(buf);
+  };
+  errors.add_row({"piece-wise linear", pct(err_pw.mean_fraction()), pct(err_pw.max_fraction())});
+  errors.add_row({"best-fit affine", pct(err_best.mean_fraction()), pct(err_best.max_fraction())});
+  errors.add_row({"default affine", pct(err_def.mean_fraction()), pct(err_def.max_fraction())});
+  errors.print();
+
+  std::printf("\nthe fitted factors are portable: reuse them on any platform via\n"
+              "calib::calibrated_smpi_config(result.piecewise_factors()).\n");
+  return 0;
+}

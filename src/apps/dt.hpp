@@ -1,0 +1,84 @@
+// NAS Parallel Benchmarks "DT" (Data Traffic) kernel (§7.1.4), rebuilt
+// against smpi/mpi.h.
+//
+// DT streams feature arrays through a task graph, one MPI process per graph
+// node:
+//  * BH (Black Hole, Figure 13)  — layers of 4-to-1 comparators converging
+//    into one sink: 16->4->1 for class A (21 processes), 32->8->2->1 for B
+//    (43), 64->16->4->1 for C (85);
+//  * WH (White Hole, Figure 14)  — the mirror image, one source fanning out
+//    1->4->16 (21 processes for class A);
+//  * SH (Shuffle)                — constant-width layers with a perfect
+//    shuffle between them: 16x5 = 80 processes for A, 32x6 = 192 for B,
+//    64x7 = 448 for C.
+//
+// Sources generate their feature array from the NAS 46-bit LCG; interior
+// nodes average the arrays of their predecessors; sinks reduce to a
+// checksum. A serial reference (dt_reference_checksum) verifies the MPI
+// runs. `scale` shrinks the class's feature length so the packet-level
+// ground-truth runs stay fast; it is applied identically on both sides of
+// every comparison.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "smpi/smpi.hpp"
+
+namespace smpi::apps {
+
+enum class DtGraph { kBlackHole, kWhiteHole, kShuffle };
+enum class DtClass { kS, kW, kA, kB, kC };
+
+const char* dt_graph_name(DtGraph graph);
+char dt_class_name(DtClass cls);
+
+// Number of MPI processes (graph nodes) — the paper's 21/43/85 and
+// 80/192/448 figures.
+int dt_process_count(DtGraph graph, DtClass cls);
+// Feature array length (doubles) before scaling.
+std::size_t dt_feature_elements(DtClass cls);
+
+struct DtGraphSpec {
+  std::vector<std::vector<int>> predecessors;  // per node
+  std::vector<std::vector<int>> successors;
+  std::vector<int> layer;  // 0 = sources
+  int node_count() const { return static_cast<int>(predecessors.size()); }
+  int source_count() const;
+  int sink_count() const;
+};
+
+DtGraphSpec build_dt_graph(DtGraph graph, DtClass cls);
+
+// Data volumes of the dataflow: what a node of `layer` holds, and what one
+// edge leaving that layer carries (BH amplifies 4x per layer toward the
+// sink, WH duplicates, SH splits — see dt.cpp).
+std::size_t dt_node_elements(DtGraph graph, DtClass cls, int layer, std::size_t base_elements);
+std::size_t dt_edge_elements(DtGraph graph, DtClass cls, int from_layer,
+                             std::size_t base_elements);
+
+struct DtParams {
+  DtGraph graph = DtGraph::kWhiteHole;
+  DtClass cls = DtClass::kS;
+  double scale = 1.0;        // multiplies the feature length
+  bool fold_memory = false;  // SMPI_SHARED_MALLOC for the feature arrays
+  std::uint64_t seed_offset = 0;
+  // Cost of the per-node stream processing, charged as user-supplied flops
+  // (the paper's n=0 sampling mode, §3.1): sources pay len x cost to
+  // generate, interior nodes (#inputs x len) x cost to filter/combine, sinks
+  // len x cost to verify. This is where BH outweighs WH: its comparators
+  // process four input streams each (Figure 15's gap).
+  double flops_per_element = 30;
+
+  std::size_t feature_length() const;
+};
+
+// The MPI program; run it with dt_process_count() processes. The sum of all
+// sink checksums is available from dt_last_checksum() after the run.
+core::MpiMain make_dt_app(const DtParams& params);
+double dt_last_checksum();
+
+// Serial execution of the same dataflow (no MPI), for verification.
+double dt_reference_checksum(const DtParams& params);
+
+}  // namespace smpi::apps

@@ -1,0 +1,47 @@
+// NAS Parallel Benchmarks "EP" (Embarrassingly Parallel) kernel (§7.3,
+// Figure 18), rebuilt against smpi/mpi.h.
+//
+// Each process draws its block of the global NAS-LCG stream, generates
+// pairs (x, y) uniform in (-1, 1), applies the Marsaglia polar method to
+// obtain Gaussian deviates, and tallies them into ten concentric square
+// annuli; a final MPI_Allreduce combines the sums and counts.
+//
+// The outer loop is chunked into `batches` equal CPU bursts wrapped in
+// SMPI_SAMPLE_LOCAL, so a sampling ratio r executes only the first
+// ceil(r * batches) bursts for real and replays the measured mean for the
+// rest — the exact experiment of Figure 18.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "smpi/smpi.hpp"
+
+namespace smpi::apps {
+
+struct EpParams {
+  // Total pairs = 2^log2_pairs (the NAS "M"; class B is 30 — scale down for
+  // packet-level ground-truth runs, identically on both sides).
+  int log2_pairs = 20;
+  int batches = 32;            // CPU bursts per process
+  double sampling_ratio = 1;   // fraction of bursts executed for real
+};
+
+struct EpResult {
+  double sum_x = 0;
+  double sum_y = 0;
+  std::array<long long, 10> annuli{};
+  long long gaussian_pairs() const;
+};
+
+int ep_sample_budget(const EpParams& params);
+
+// The MPI program; run with any process count that divides 2^log2_pairs.
+// The reduced result is available from ep_last_result() afterwards.
+core::MpiMain make_ep_app(const EpParams& params);
+EpResult ep_last_result();
+
+// Serial reference for verification (always executes everything).
+EpResult ep_reference(const EpParams& params);
+
+}  // namespace smpi::apps

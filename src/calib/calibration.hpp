@@ -1,0 +1,57 @@
+// End-to-end calibration pipeline (§6): measure a SKaMPI-style ping-pong on
+// the ground-truth testbed (packet-level backend + a real-implementation
+// personality), fit the three candidate models of Figure 3, and package the
+// piece-wise fit as portable correction factors usable on any platform.
+#pragma once
+
+#include "calib/fit.hpp"
+#include "calib/pingpong.hpp"
+
+namespace smpi::calib {
+
+struct CalibrationResult {
+  std::vector<PingPongPoint> measurements;  // the "SKaMPI" curve
+  AffineModel default_affine;
+  AffineModel best_affine;
+  PiecewiseLinearModel piecewise;
+  // Physical parameters of the calibration route (factor denominators).
+  double base_latency_s = 0;
+  double base_bandwidth_bps = 0;
+
+  surf::PiecewiseFactors piecewise_factors() const {
+    return to_factors(piecewise, base_latency_s, base_bandwidth_bps);
+  }
+  surf::PiecewiseFactors default_affine_factors() const {
+    return to_factors(default_affine, base_latency_s, base_bandwidth_bps);
+  }
+  surf::PiecewiseFactors best_affine_factors() const {
+    return to_factors(best_affine, base_latency_s, base_bandwidth_bps);
+  }
+};
+
+// Ground-truth configuration used throughout the evaluation: packet-level
+// network + OpenMPI personality (the paper's reference implementation).
+core::SmpiConfig ground_truth_config();
+// Same, with the MPICH2 personality.
+core::SmpiConfig ground_truth_config_mpich2();
+
+// An SMPI configuration using the given calibrated factors on the flow
+// model. bandwidth_efficiency is 1.0: single-flow rates follow the
+// calibration exactly; sharing splits the nominal capacity.
+core::SmpiConfig calibrated_smpi_config(const surf::PiecewiseFactors& factors);
+// The naive no-contention variant (Figures 7/11 white bars).
+core::SmpiConfig no_contention_smpi_config(const surf::PiecewiseFactors& factors);
+
+// Measure between (node_a, node_b) of `platform` under `ground_truth` and
+// fit all three models.
+CalibrationResult calibrate(const platform::Platform& platform, int node_a, int node_b,
+                            const core::SmpiConfig& ground_truth,
+                            const PingPongOptions& options = {});
+
+// Re-run the same ping-pong under an SMPI flow model built from `factors` —
+// the "simulate the benchmark" side of Figures 3-5.
+std::vector<PingPongPoint> simulate_pingpong(const platform::Platform& platform, int node_a,
+                                             int node_b, const surf::PiecewiseFactors& factors,
+                                             const PingPongOptions& options = {});
+
+}  // namespace smpi::calib

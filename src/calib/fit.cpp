@@ -1,0 +1,195 @@
+#include "calib/fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace smpi::calib {
+
+double PiecewiseLinearModel::predict(double bytes) const {
+  SMPI_REQUIRE(!segments.empty(), "empty piece-wise model");
+  for (const auto& seg : segments) {
+    if (bytes < seg.max_bytes) return seg.latency_s + bytes / seg.bandwidth_bps;
+  }
+  const auto& last = segments.back();
+  return last.latency_s + bytes / last.bandwidth_bps;
+}
+
+namespace {
+
+double mean_log_error(const std::vector<PingPongPoint>& points, double latency,
+                      double bandwidth) {
+  util::ErrorAccumulator acc;
+  for (const auto& p : points) {
+    const double predicted = latency + static_cast<double>(p.bytes) / bandwidth;
+    if (predicted <= 0) return std::numeric_limits<double>::infinity();
+    acc.add(predicted, p.one_way_seconds);
+  }
+  return acc.summary().mean_log_error;
+}
+
+// Regression of time on bytes over point indices [first, last); converts the
+// (intercept, slope) into (latency, bandwidth) with sanity clamping —
+// near-flat segments (latency-dominated small messages) produce slopes ~0 or
+// even negative, which would be a nonsensical bandwidth.
+PiecewiseLinearModel::Segment segment_from_regression(const std::vector<PingPongPoint>& points,
+                                                      std::size_t first, std::size_t last) {
+  std::vector<double> x, y;
+  x.reserve(last - first);
+  y.reserve(last - first);
+  for (std::size_t i = first; i < last; ++i) {
+    x.push_back(static_cast<double>(points[i].bytes));
+    y.push_back(points[i].one_way_seconds);
+  }
+  const auto fit = util::linear_regression(x, y);
+  PiecewiseLinearModel::Segment seg;
+  const double min_latency = 1e-9;
+  const double max_bandwidth = 1e15;  // effectively "latency only"
+  seg.latency_s = std::max(fit.intercept, min_latency);
+  seg.bandwidth_bps = fit.slope > 1.0 / max_bandwidth ? 1.0 / fit.slope : max_bandwidth;
+  return seg;
+}
+
+double segment_quality(const std::vector<PingPongPoint>& points, std::size_t first,
+                       std::size_t last) {
+  std::vector<double> x, y;
+  for (std::size_t i = first; i < last; ++i) {
+    x.push_back(static_cast<double>(points[i].bytes));
+    y.push_back(points[i].one_way_seconds);
+  }
+  const double r = util::correlation(x, y);
+  // A flat segment (zero variance in y explained) still fits perfectly when
+  // times are constant; correlation() returns 1 for degenerate y. Use |r|:
+  // the product-of-correlations criterion of §4.1.
+  return std::fabs(r);
+}
+
+}  // namespace
+
+AffineModel fit_default_affine(const std::vector<PingPongPoint>& points,
+                               double nominal_bandwidth_bps, double efficiency) {
+  SMPI_REQUIRE(!points.empty(), "no measurements");
+  // Latency: the time of the smallest measured message (a 1-byte send).
+  const auto smallest =
+      std::min_element(points.begin(), points.end(),
+                       [](const auto& a, const auto& b) { return a.bytes < b.bytes; });
+  AffineModel model;
+  model.latency_s = smallest->one_way_seconds;
+  model.bandwidth_bps = nominal_bandwidth_bps * efficiency;
+  return model;
+}
+
+AffineModel fit_best_affine(const std::vector<PingPongPoint>& points) {
+  SMPI_REQUIRE(points.size() >= 2, "need at least two measurements");
+  // Seed from OLS (guarantees a sane starting basin).
+  const auto seed = segment_from_regression(points, 0, points.size());
+  double latency = seed.latency_s;
+  double bandwidth = seed.bandwidth_bps;
+  double best = mean_log_error(points, latency, bandwidth);
+
+  // Coordinate descent in log space with shrinking multiplicative steps.
+  double step = 2.0;
+  while (step > 1.0005) {
+    bool improved = false;
+    for (const double factor : {step, 1.0 / step}) {
+      if (const double err = mean_log_error(points, latency * factor, bandwidth); err < best) {
+        best = err;
+        latency *= factor;
+        improved = true;
+      }
+      if (const double err = mean_log_error(points, latency, bandwidth * factor); err < best) {
+        best = err;
+        bandwidth *= factor;
+        improved = true;
+      }
+    }
+    if (!improved) step = std::sqrt(step);
+  }
+  return {latency, bandwidth};
+}
+
+PiecewiseLinearModel fit_piecewise(const std::vector<PingPongPoint>& points, int segments,
+                                   int min_points_per_segment) {
+  SMPI_REQUIRE(segments >= 1 && segments <= 4, "1 to 4 segments supported");
+  SMPI_REQUIRE(min_points_per_segment >= 2, "segments need at least 2 points");
+  std::vector<PingPongPoint> sorted = points;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.bytes < b.bytes; });
+  const std::size_t n = sorted.size();
+  const auto need = static_cast<std::size_t>(segments * min_points_per_segment);
+  SMPI_REQUIRE(n >= need, "not enough measurements for the requested segment count");
+
+  const auto k = static_cast<std::size_t>(segments);
+  const auto min_pts = static_cast<std::size_t>(min_points_per_segment);
+
+  // Exhaustive search over segment boundaries (indices into `sorted`),
+  // maximizing the product of per-segment |correlation| (§4.1). K <= 4 and
+  // n ~ 50 keeps this instantaneous.
+  std::vector<std::size_t> cuts(k - 1), best_cuts;
+  double best_quality = -1;
+  auto recurse = [&](auto&& self, std::size_t segment_index, std::size_t start,
+                     double quality_so_far) -> void {
+    if (segment_index == k - 1) {
+      if (n - start < min_pts) return;
+      const double quality = quality_so_far * segment_quality(sorted, start, n);
+      if (quality > best_quality) {
+        best_quality = quality;
+        best_cuts = cuts;
+      }
+      return;
+    }
+    for (std::size_t cut = start + min_pts; cut + (k - 1 - segment_index) * min_pts <= n;
+         ++cut) {
+      cuts[segment_index] = cut;
+      self(self, segment_index + 1, cut,
+           quality_so_far * segment_quality(sorted, start, cut));
+    }
+  };
+  recurse(recurse, 0, 0, 1.0);
+  SMPI_ENSURE(best_quality >= 0, "piece-wise boundary search found no valid split");
+
+  PiecewiseLinearModel model;
+  std::size_t start = 0;
+  for (std::size_t s = 0; s < k; ++s) {
+    const std::size_t end = (s + 1 < k) ? best_cuts[s] : n;
+    auto seg = segment_from_regression(sorted, start, end);
+    // Boundary: geometric mean between the last point of this segment and
+    // the first of the next (in bytes).
+    if (s + 1 < k) {
+      const double lo = static_cast<double>(sorted[end - 1].bytes);
+      const double hi = static_cast<double>(sorted[end].bytes);
+      seg.max_bytes = std::sqrt(lo * hi);
+    } else {
+      seg.max_bytes = std::numeric_limits<double>::infinity();
+    }
+    model.segments.push_back(seg);
+    start = end;
+  }
+  return model;
+}
+
+surf::PiecewiseFactors to_factors(const PiecewiseLinearModel& model, double base_latency_s,
+                                  double base_bandwidth_bps) {
+  SMPI_REQUIRE(base_latency_s > 0 && base_bandwidth_bps > 0, "bad base route parameters");
+  std::vector<surf::PiecewiseSegment> segments;
+  for (const auto& seg : model.segments) {
+    surf::PiecewiseSegment factor;
+    factor.max_bytes = seg.max_bytes;
+    factor.lat_factor = std::max(seg.latency_s / base_latency_s, 1e-6);
+    factor.bw_factor = std::max(seg.bandwidth_bps / base_bandwidth_bps, 1e-6);
+    segments.push_back(factor);
+  }
+  return surf::PiecewiseFactors(std::move(segments));
+}
+
+surf::PiecewiseFactors to_factors(const AffineModel& model, double base_latency_s,
+                                  double base_bandwidth_bps) {
+  PiecewiseLinearModel single;
+  single.segments.push_back({std::numeric_limits<double>::infinity(), model.latency_s,
+                             model.bandwidth_bps});
+  return to_factors(single, base_latency_s, base_bandwidth_bps);
+}
+
+}  // namespace smpi::calib

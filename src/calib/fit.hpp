@@ -1,0 +1,71 @@
+// Model instantiation from ping-pong measurements (§4.1, §6).
+//
+// Three candidate point-to-point models, matching Figure 3's three curves:
+//  * default affine  — alpha = time of a 1-byte message, beta = 92% of the
+//    nominal peak bandwidth (how most simulators of §2 are instantiated);
+//  * best-fit affine — (alpha, beta) minimizing the mean logarithmic error;
+//  * piece-wise linear — K segments, boundaries chosen to maximize the
+//    product of per-segment correlation coefficients, each segment fitted by
+//    linear regression. K = 3 gives the paper's 8-parameter model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "calib/pingpong.hpp"
+#include "surf/piecewise.hpp"
+#include "util/stats.hpp"
+
+namespace smpi::calib {
+
+struct AffineModel {
+  double latency_s = 0;
+  double bandwidth_bps = 0;
+  double predict(double bytes) const { return latency_s + bytes / bandwidth_bps; }
+};
+
+struct PiecewiseLinearModel {
+  struct Segment {
+    double max_bytes = 0;  // upper boundary (exclusive); last is +inf
+    double latency_s = 0;  // alpha_k
+    double bandwidth_bps = 0;  // beta_k
+  };
+  std::vector<Segment> segments;
+  double predict(double bytes) const;
+  // 2 boundaries + 3 x (alpha, beta) = 8 parameters for K = 3 (§4.1).
+  int parameter_count() const { return static_cast<int>(segments.size()) * 2 +
+                                       static_cast<int>(segments.size()) - 1; }
+};
+
+AffineModel fit_default_affine(const std::vector<PingPongPoint>& points,
+                               double nominal_bandwidth_bps,
+                               double efficiency = 0.92);
+
+// Minimizes mean log error by coordinate descent on (log alpha, log beta),
+// seeded from an ordinary least-squares fit.
+AffineModel fit_best_affine(const std::vector<PingPongPoint>& points);
+
+// Segmented regression; boundaries are searched exhaustively over the
+// measured sizes (each segment keeps >= min_points_per_segment points).
+PiecewiseLinearModel fit_piecewise(const std::vector<PingPongPoint>& points, int segments = 3,
+                                   int min_points_per_segment = 3);
+
+// Mean/max logarithmic error of `model` against the measurements.
+template <typename Model>
+util::ErrorSummary evaluate_model(const Model& model, const std::vector<PingPongPoint>& points) {
+  util::ErrorAccumulator acc;
+  for (const auto& p : points) {
+    acc.add(model.predict(static_cast<double>(p.bytes)), p.one_way_seconds);
+  }
+  return acc.summary();
+}
+
+// Convert a fitted curve into correction factors relative to a physical
+// route (base latency L0 seconds, bottleneck bandwidth B0 bytes/s), making
+// the calibration portable across clusters (§6, Figures 4-5).
+surf::PiecewiseFactors to_factors(const PiecewiseLinearModel& model, double base_latency_s,
+                                  double base_bandwidth_bps);
+surf::PiecewiseFactors to_factors(const AffineModel& model, double base_latency_s,
+                                  double base_bandwidth_bps);
+
+}  // namespace smpi::calib

@@ -1,0 +1,91 @@
+#include "calib/pingpong.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "smpi/mpi.h"
+#include "util/check.hpp"
+
+namespace smpi::calib {
+
+std::vector<std::uint64_t> PingPongOptions::default_sizes(std::uint64_t max_bytes,
+                                                          int per_octave) {
+  SMPI_REQUIRE(per_octave >= 1, "need at least one size per octave");
+  std::vector<std::uint64_t> sizes{1};
+  const double step = std::pow(2.0, 1.0 / per_octave);
+  double current = 1;
+  while (true) {
+    current *= step;
+    const auto rounded = static_cast<std::uint64_t>(std::llround(current));
+    if (rounded > max_bytes) break;
+    if (rounded != sizes.back()) sizes.push_back(rounded);
+  }
+  if (sizes.back() != max_bytes) sizes.push_back(max_bytes);
+  return sizes;
+}
+
+namespace {
+
+// Results are smuggled out of the simulated ranks through this slot; the
+// simulation is strictly sequential, so a plain global is safe.
+std::vector<PingPongPoint>* g_results = nullptr;
+const PingPongOptions* g_options = nullptr;
+
+void pingpong_main(int /*argc*/, char** /*argv*/) {
+  MPI_Init(nullptr, nullptr);
+  int rank = -1;
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  const auto& options = *g_options;
+  const auto sizes = options.sizes.empty() ? PingPongOptions::default_sizes() : options.sizes;
+
+  std::vector<char> buffer(static_cast<std::size_t>(
+      *std::max_element(sizes.begin(), sizes.end())));
+  for (const std::uint64_t size : sizes) {
+    const int count = static_cast<int>(size);
+    double best = -1;
+    // No barrier inside the timed loop: a dissemination barrier releases the
+    // ranks at skewed dates (the early-arriving rank exits later), which
+    // would taint the first repetition. The ping-pong itself keeps the two
+    // ranks in lockstep, as in SKaMPI.
+    for (int rep = 0; rep < options.warmup + options.repetitions; ++rep) {
+      const double start = MPI_Wtime();
+      if (rank == 0) {
+        MPI_Send(buffer.data(), count, MPI_CHAR, 1, 0, MPI_COMM_WORLD);
+        MPI_Recv(buffer.data(), count, MPI_CHAR, 1, 1, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+      } else {
+        MPI_Recv(buffer.data(), count, MPI_CHAR, 0, 0, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+        MPI_Send(buffer.data(), count, MPI_CHAR, 0, 1, MPI_COMM_WORLD);
+      }
+      const double round_trip = MPI_Wtime() - start;
+      if (rank == 0 && rep >= options.warmup) {
+        const double one_way = round_trip / 2.0;
+        best = best < 0 ? one_way : std::min(best, one_way);
+      }
+    }
+    if (rank == 0) g_results->push_back({size, best});
+  }
+  MPI_Finalize();
+}
+
+}  // namespace
+
+std::vector<PingPongPoint> run_pingpong(const platform::Platform& platform,
+                                        const core::SmpiConfig& config,
+                                        const PingPongOptions& options) {
+  SMPI_REQUIRE(options.node_a != options.node_b, "ping-pong needs two distinct nodes");
+  core::SmpiConfig run_config = config;
+  run_config.placement = {options.node_a, options.node_b};
+
+  std::vector<PingPongPoint> results;
+  g_results = &results;
+  g_options = &options;
+  {
+    core::SmpiWorld world(platform, run_config);
+    world.run(2, pingpong_main, {}, "pingpong");
+  }
+  g_results = nullptr;
+  g_options = nullptr;
+  return results;
+}
+
+}  // namespace smpi::calib

@@ -1,0 +1,39 @@
+// SKaMPI-style ping-pong measurement (§6): run the classic two-rank
+// round-trip benchmark over the full MPI stack for a sweep of message sizes
+// and report one-way times. Pointing it at the packet-level backend with a
+// ground-truth personality produces the "real-world measurements" the
+// piece-wise model is calibrated against; pointing it at the flow backend
+// evaluates a candidate model on the very same program.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "platform/platform.hpp"
+#include "smpi/smpi.hpp"
+
+namespace smpi::calib {
+
+struct PingPongPoint {
+  std::uint64_t bytes = 0;
+  double one_way_seconds = 0;
+};
+
+struct PingPongOptions {
+  int node_a = 0;
+  int node_b = 1;
+  int repetitions = 3;   // per size; the minimum is kept (SKaMPI-style)
+  int warmup = 1;        // unmeasured round-trips per size
+  std::vector<std::uint64_t> sizes;  // empty: default sweep
+
+  // 1 B .. max, `per_octave` log-spaced points per factor of two.
+  static std::vector<std::uint64_t> default_sizes(std::uint64_t max_bytes = 16u << 20,
+                                                  int per_octave = 2);
+};
+
+// Runs the benchmark in its own simulation world.
+std::vector<PingPongPoint> run_pingpong(const platform::Platform& platform,
+                                        const core::SmpiConfig& config,
+                                        const PingPongOptions& options = {});
+
+}  // namespace smpi::calib

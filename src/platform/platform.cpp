@@ -1,0 +1,99 @@
+#include "platform/platform.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace smpi::platform {
+
+int Platform::add_host(HostSpec spec) {
+  SMPI_REQUIRE(!spec.name.empty(), "host needs a name");
+  SMPI_REQUIRE(host_index_.find(spec.name) == host_index_.end(),
+               "duplicate host '" + spec.name + "'");
+  SMPI_REQUIRE(spec.speed_flops > 0, "host speed must be positive");
+  SMPI_REQUIRE(spec.cores >= 1, "host needs at least one core");
+  const int id = static_cast<int>(hosts_.size());
+  host_index_.emplace(spec.name, id);
+  hosts_.push_back(std::move(spec));
+  return id;
+}
+
+int Platform::add_link(LinkSpec spec) {
+  SMPI_REQUIRE(!spec.name.empty(), "link needs a name");
+  SMPI_REQUIRE(link_index_.find(spec.name) == link_index_.end(),
+               "duplicate link '" + spec.name + "'");
+  SMPI_REQUIRE(spec.bandwidth_bps > 0, "link bandwidth must be positive");
+  SMPI_REQUIRE(spec.latency_s >= 0, "link latency must be >= 0");
+  const int id = static_cast<int>(links_.size());
+  link_index_.emplace(spec.name, id);
+  links_.push_back(std::move(spec));
+  return id;
+}
+
+void Platform::add_route(int src_host, int dst_host, std::vector<int> links, bool symmetric) {
+  SMPI_REQUIRE(src_host >= 0 && src_host < host_count(), "route src out of range");
+  SMPI_REQUIRE(dst_host >= 0 && dst_host < host_count(), "route dst out of range");
+  SMPI_REQUIRE(src_host != dst_host, "route to self is implicit");
+  for (int link : links) {
+    SMPI_REQUIRE(link >= 0 && link < link_count(), "route references unknown link");
+  }
+  routes_[key(src_host, dst_host)] = links;
+  if (symmetric) {
+    std::reverse(links.begin(), links.end());
+    routes_[key(dst_host, src_host)] = std::move(links);
+  }
+}
+
+const HostSpec& Platform::host(int id) const {
+  SMPI_REQUIRE(id >= 0 && id < host_count(), "host id out of range");
+  return hosts_[static_cast<std::size_t>(id)];
+}
+
+const LinkSpec& Platform::link(int id) const {
+  SMPI_REQUIRE(id >= 0 && id < link_count(), "link id out of range");
+  return links_[static_cast<std::size_t>(id)];
+}
+
+int Platform::find_host(const std::string& name) const {
+  auto it = host_index_.find(name);
+  return it == host_index_.end() ? -1 : it->second;
+}
+
+int Platform::find_link(const std::string& name) const {
+  auto it = link_index_.find(name);
+  return it == link_index_.end() ? -1 : it->second;
+}
+
+bool Platform::has_route(int src_host, int dst_host) const {
+  if (src_host == dst_host) return true;
+  return routes_.find(key(src_host, dst_host)) != routes_.end();
+}
+
+const std::vector<int>& Platform::route(int src_host, int dst_host) const {
+  if (src_host == dst_host) return empty_route_;
+  auto it = routes_.find(key(src_host, dst_host));
+  SMPI_REQUIRE(it != routes_.end(), "no route from '" + host(src_host).name + "' to '" +
+                                        host(dst_host).name + "'");
+  return it->second;
+}
+
+double Platform::route_latency(int src_host, int dst_host) const {
+  double total = 0;
+  for (int id : route(src_host, dst_host)) total += link(id).latency_s;
+  return total;
+}
+
+double Platform::route_min_bandwidth(int src_host, int dst_host) const {
+  const auto& links = route(src_host, dst_host);
+  SMPI_REQUIRE(!links.empty(), "route with no links has no bandwidth");
+  double min_bw = link(links.front()).bandwidth_bps;
+  for (int id : links) min_bw = std::min(min_bw, link(id).bandwidth_bps);
+  return min_bw;
+}
+
+int Platform::route_hop_count(int src_host, int dst_host) const {
+  const auto n = static_cast<int>(route(src_host, dst_host).size());
+  return std::max(0, n - 1);
+}
+
+}  // namespace smpi::platform

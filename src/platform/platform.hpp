@@ -1,0 +1,74 @@
+// Target-platform description (§6 of the paper): hosts with a flop/s rating,
+// links with bandwidth/latency/sharing policy, and static multi-hop routes
+// between host pairs. Instances are built programmatically (builders.hpp)
+// or parsed from a SimGrid-DTD-like XML file (xml.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace smpi::platform {
+
+enum class LinkSharing {
+  kShared,   // capacity is shared by the flows crossing the link
+  kFatpipe,  // each flow gets the full capacity (e.g. an idealized backbone)
+};
+
+struct HostSpec {
+  std::string name;
+  double speed_flops = 1e9;
+  int cores = 1;
+};
+
+struct LinkSpec {
+  std::string name;
+  double bandwidth_bps = 0;  // bytes per second
+  double latency_s = 0;
+  LinkSharing sharing = LinkSharing::kShared;
+};
+
+class Platform {
+ public:
+  int add_host(HostSpec spec);
+  int add_link(LinkSpec spec);
+  // Register the links crossed from src to dst (in order). With symmetric =
+  // true the reverse route is registered too (same links, reversed order).
+  void add_route(int src_host, int dst_host, std::vector<int> links, bool symmetric = true);
+
+  int host_count() const { return static_cast<int>(hosts_.size()); }
+  int link_count() const { return static_cast<int>(links_.size()); }
+  const HostSpec& host(int id) const;
+  const LinkSpec& link(int id) const;
+  // -1 when absent.
+  int find_host(const std::string& name) const;
+  int find_link(const std::string& name) const;
+
+  bool has_route(int src_host, int dst_host) const;
+  // Throws if no route is registered (routes to self are the empty list and
+  // need not be registered).
+  const std::vector<int>& route(int src_host, int dst_host) const;
+
+  // Aggregates used by the network models.
+  double route_latency(int src_host, int dst_host) const;
+  double route_min_bandwidth(int src_host, int dst_host) const;
+  // Number of switching elements a route crosses (#links - 1, floor 0):
+  // useful to sanity-check topologies like the 3-switch gdx routes.
+  int route_hop_count(int src_host, int dst_host) const;
+
+ private:
+  static std::uint64_t key(int src, int dst) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+           static_cast<std::uint32_t>(dst);
+  }
+
+  std::vector<HostSpec> hosts_;
+  std::vector<LinkSpec> links_;
+  std::unordered_map<std::string, int> host_index_;
+  std::unordered_map<std::string, int> link_index_;
+  std::unordered_map<std::uint64_t, std::vector<int>> routes_;
+  std::vector<int> empty_route_;
+};
+
+}  // namespace smpi::platform

@@ -1,0 +1,214 @@
+#include "platform/xml.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace smpi::platform {
+
+const std::string* XmlElement::find_attribute(const std::string& attr_name) const {
+  for (const auto& attr : attributes) {
+    if (attr.name == attr_name) return &attr.value;
+  }
+  return nullptr;
+}
+
+const std::string& XmlElement::attribute(const std::string& attr_name) const {
+  const std::string* value = find_attribute(attr_name);
+  if (value == nullptr) {
+    throw XmlError("element <" + name + "> is missing attribute '" + attr_name + "'", line);
+  }
+  return *value;
+}
+
+std::string XmlElement::attribute_or(const std::string& attr_name,
+                                     const std::string& fallback) const {
+  const std::string* value = find_attribute(attr_name);
+  return value == nullptr ? fallback : *value;
+}
+
+std::vector<const XmlElement*> XmlElement::children_named(const std::string& child_name) const {
+  std::vector<const XmlElement*> out;
+  for (const auto& child : children) {
+    if (child->name == child_name) out.push_back(child.get());
+  }
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  std::unique_ptr<XmlElement> parse_document() {
+    skip_misc();
+    auto root = parse_element();
+    skip_misc();
+    if (!at_end()) fail("trailing content after root element");
+    return root;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const { throw XmlError(message, line_); }
+
+  bool at_end() const { return pos_ >= text_.size(); }
+
+  char peek() const { return at_end() ? '\0' : text_[pos_]; }
+
+  char get() {
+    if (at_end()) fail("unexpected end of document");
+    const char c = text_[pos_++];
+    if (c == '\n') ++line_;
+    return c;
+  }
+
+  bool consume(const std::string& literal) {
+    if (text_.compare(pos_, literal.size(), literal) != 0) return false;
+    for (std::size_t i = 0; i < literal.size(); ++i) get();
+    return true;
+  }
+
+  void expect(const std::string& literal) {
+    if (!consume(literal)) fail("expected '" + literal + "'");
+  }
+
+  void skip_whitespace() {
+    while (!at_end() && std::isspace(static_cast<unsigned char>(peek()))) get();
+  }
+
+  // Whitespace, comments, processing instructions, doctype.
+  void skip_misc() {
+    while (true) {
+      skip_whitespace();
+      if (consume("<!--")) {
+        while (!consume("-->")) get();
+      } else if (consume("<?")) {
+        while (!consume("?>")) get();
+      } else if (consume("<!DOCTYPE")) {
+        int depth = 1;
+        while (depth > 0) {
+          const char c = get();
+          if (c == '<') ++depth;
+          if (c == '>') --depth;
+        }
+      } else {
+        return;
+      }
+    }
+  }
+
+  static bool is_name_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' || c == '.' ||
+           c == ':';
+  }
+
+  std::string parse_name() {
+    std::string name;
+    while (!at_end() && is_name_char(peek())) name.push_back(get());
+    if (name.empty()) fail("expected a name");
+    return name;
+  }
+
+  std::string decode_entities(const std::string& raw) {
+    std::string out;
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      if (raw[i] != '&') {
+        out.push_back(raw[i]);
+        continue;
+      }
+      const auto semi = raw.find(';', i);
+      if (semi == std::string::npos) fail("unterminated entity");
+      const std::string entity = raw.substr(i + 1, semi - i - 1);
+      if (entity == "lt") {
+        out.push_back('<');
+      } else if (entity == "gt") {
+        out.push_back('>');
+      } else if (entity == "amp") {
+        out.push_back('&');
+      } else if (entity == "quot") {
+        out.push_back('"');
+      } else if (entity == "apos") {
+        out.push_back('\'');
+      } else {
+        fail("unknown entity '&" + entity + ";'");
+      }
+      i = semi;
+    }
+    return out;
+  }
+
+  XmlAttribute parse_attribute() {
+    XmlAttribute attr;
+    attr.name = parse_name();
+    skip_whitespace();
+    expect("=");
+    skip_whitespace();
+    const char quote = get();
+    if (quote != '"' && quote != '\'') fail("attribute value must be quoted");
+    std::string raw;
+    while (peek() != quote) raw.push_back(get());
+    get();  // closing quote
+    attr.value = decode_entities(raw);
+    return attr;
+  }
+
+  std::unique_ptr<XmlElement> parse_element() {
+    expect("<");
+    auto element = std::make_unique<XmlElement>();
+    element->line = line_;
+    element->name = parse_name();
+    while (true) {
+      skip_whitespace();
+      if (consume("/>")) return element;
+      if (consume(">")) break;
+      element->attributes.push_back(parse_attribute());
+    }
+    // Content until matching close tag.
+    while (true) {
+      if (text_.compare(pos_, 2, "</") == 0) {
+        expect("</");
+        const std::string closing = parse_name();
+        if (closing != element->name) {
+          fail("mismatched closing tag </" + closing + "> for <" + element->name + ">");
+        }
+        skip_whitespace();
+        expect(">");
+        return element;
+      }
+      if (text_.compare(pos_, 4, "<!--") == 0) {
+        expect("<!--");
+        while (!consume("-->")) get();
+        continue;
+      }
+      if (peek() == '<') {
+        element->children.push_back(parse_element());
+        continue;
+      }
+      std::string raw;
+      while (!at_end() && peek() != '<') raw.push_back(get());
+      element->text += decode_entities(raw);
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+}  // namespace
+
+std::unique_ptr<XmlElement> parse_xml(const std::string& document) {
+  return Parser(document).parse_document();
+}
+
+std::unique_ptr<XmlElement> parse_xml_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw XmlError("cannot open file '" + path + "'", 0);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  return parse_xml(text);
+}
+
+}  // namespace smpi::platform

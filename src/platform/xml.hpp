@@ -1,0 +1,50 @@
+// A small, dependency-free XML subset parser, sufficient for SimGrid-style
+// platform files: elements, attributes, self-closing tags, comments, XML
+// declarations, character entities. No namespaces, CDATA or DTD validation.
+//
+// Grammar errors throw XmlError with a line number.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace smpi::platform {
+
+class XmlError : public std::runtime_error {
+ public:
+  XmlError(const std::string& message, int line)
+      : std::runtime_error("XML error at line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+struct XmlAttribute {
+  std::string name;
+  std::string value;
+};
+
+struct XmlElement {
+  std::string name;
+  std::vector<XmlAttribute> attributes;
+  std::vector<std::unique_ptr<XmlElement>> children;
+  std::string text;  // concatenated character data
+  int line = 0;
+
+  // nullptr when the attribute is absent.
+  const std::string* find_attribute(const std::string& attr_name) const;
+  // Throws XmlError when absent.
+  const std::string& attribute(const std::string& attr_name) const;
+  std::string attribute_or(const std::string& attr_name, const std::string& fallback) const;
+  std::vector<const XmlElement*> children_named(const std::string& child_name) const;
+};
+
+// Parses a complete document; returns its root element.
+std::unique_ptr<XmlElement> parse_xml(const std::string& document);
+std::unique_ptr<XmlElement> parse_xml_file(const std::string& path);
+
+}  // namespace smpi::platform

@@ -1,0 +1,55 @@
+// Activities are the things simulated processes wait on: a computation, a
+// network flow, a sleep, or a synthetic condition completed by higher layers
+// (the MPI matching engine backs every MPI_Request with one).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace smpi::sim {
+
+class Actor;
+class Engine;
+
+class Activity {
+ public:
+  enum class State { kRunning, kDone, kFailed, kCanceled };
+
+  explicit Activity(std::string label = "");
+  virtual ~Activity() = default;
+
+  State state() const { return state_; }
+  bool completed() const { return state_ != State::kRunning; }
+  const std::string& label() const { return label_; }
+
+  // Block the calling actor until the activity completes. Returns the final
+  // state. Must be called from actor context.
+  State wait();
+  // Non-blocking check.
+  bool test() const { return completed(); }
+
+  // Completion hook; fires exactly once, immediately if already completed.
+  void on_completion(std::function<void(Activity&)> callback);
+
+  // Mark complete and wake all waiting actors (at the engine's current time).
+  void finish(State state);
+  // Cancel; resources held by model actions are released by the owner model.
+  virtual void cancel() { finish(State::kCanceled); }
+
+  // Virtual time at which the activity completed (meaningful once completed).
+  double finish_time() const { return finish_time_; }
+
+ private:
+  friend class Engine;
+  std::string label_;
+  State state_ = State::kRunning;
+  double finish_time_ = -1;
+  std::vector<Actor*> waiters_;
+  std::vector<std::function<void(Activity&)>> callbacks_;
+};
+
+using ActivityPtr = std::shared_ptr<Activity>;
+
+}  // namespace smpi::sim

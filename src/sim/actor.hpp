@@ -1,0 +1,42 @@
+// A simulated process: user code running on a cooperative context, pinned to
+// a node of the simulated platform.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "sim/context.hpp"
+
+namespace smpi::sim {
+
+class Engine;
+class Activity;
+
+class Actor {
+ public:
+  enum class State { kReady, kRunning, kBlocked, kDead };
+
+  int pid() const { return pid_; }
+  int node() const { return node_; }
+  const std::string& name() const { return name_; }
+  State state() const { return state_; }
+  bool alive() const { return state_ != State::kDead; }
+
+  // Opaque slot for higher layers (the MPI layer hangs its per-process data
+  // here). Not owned.
+  void* user_data = nullptr;
+
+ private:
+  friend class Engine;
+  Actor(Engine* engine, int pid, int node, std::string name);
+
+  Engine* engine_;
+  int pid_;
+  int node_;
+  std::string name_;
+  State state_ = State::kReady;
+  std::unique_ptr<Context> context_;
+};
+
+}  // namespace smpi::sim

@@ -1,0 +1,174 @@
+#include "sim/context.hpp"
+
+#include <ucontext.h>
+
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace smpi::sim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ucontext backend
+// ---------------------------------------------------------------------------
+
+class UcontextContext final : public Context {
+ public:
+  UcontextContext(std::function<void()> body, std::size_t stack_bytes)
+      : body_(std::move(body)), stack_(stack_bytes) {
+    getcontext(&ctx_);
+    ctx_.uc_stack.ss_sp = stack_.data();
+    ctx_.uc_stack.ss_size = stack_.size();
+    ctx_.uc_link = nullptr;
+    // makecontext only passes ints portably; smuggle `this` as two halves.
+    const auto self = reinterpret_cast<std::uintptr_t>(this);
+    makecontext(&ctx_, reinterpret_cast<void (*)()>(&UcontextContext::trampoline), 2,
+                static_cast<unsigned>(self >> 32), static_cast<unsigned>(self & 0xffffffffu));
+  }
+
+  ~UcontextContext() override {
+    if (!done_ && started_) {
+      // Let the context unwind its stack (runs destructors of locals).
+      request_kill();
+      resume();
+    }
+  }
+
+  void resume() override {
+    SMPI_ENSURE(!done_, "resuming a finished context");
+    started_ = true;
+    swapcontext(&kernel_ctx_, &ctx_);
+  }
+
+  void suspend() override {
+    swapcontext(&ctx_, &kernel_ctx_);
+    if (kill_requested_) throw ForcedExit{};
+  }
+
+ private:
+  static void trampoline(unsigned hi, unsigned lo) {
+    auto* self = reinterpret_cast<UcontextContext*>(
+        (static_cast<std::uintptr_t>(hi) << 32) | static_cast<std::uintptr_t>(lo));
+    if (!self->kill_requested_) {
+      try {
+        self->body_();
+      } catch (const ForcedExit&) {
+        // normal teardown path
+      }
+    }
+    self->done_ = true;
+    swapcontext(&self->ctx_, &self->kernel_ctx_);
+    SMPI_UNREACHABLE("resumed a terminated context");
+  }
+
+  std::function<void()> body_;
+  std::vector<unsigned char> stack_;
+  ucontext_t ctx_{};
+  ucontext_t kernel_ctx_{};
+  bool started_ = false;
+};
+
+class UcontextFactory final : public ContextFactory {
+ public:
+  explicit UcontextFactory(std::size_t stack_bytes) : stack_bytes_(stack_bytes) {}
+  std::unique_ptr<Context> create(std::function<void()> body) override {
+    return std::make_unique<UcontextContext>(std::move(body), stack_bytes_);
+  }
+  std::string name() const override { return "ucontext"; }
+
+ private:
+  std::size_t stack_bytes_;
+};
+
+// ---------------------------------------------------------------------------
+// thread backend: one OS thread per context, but strictly one runs at a time
+// (ping-pong handoff through a mutex + condition variable).
+// ---------------------------------------------------------------------------
+
+class ThreadContext final : public Context {
+ public:
+  explicit ThreadContext(std::function<void()> body) : body_(std::move(body)) {}
+
+  ~ThreadContext() override {
+    if (thread_.joinable()) {
+      if (!done_) {
+        request_kill();
+        resume();  // wakes the thread; it unwinds via ForcedExit
+      }
+      thread_.join();
+    }
+  }
+
+  void resume() override {
+    SMPI_ENSURE(!done_, "resuming a finished context");
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!thread_.joinable()) thread_ = std::thread([this] { run(); });
+    turn_ = Turn::kActor;
+    cv_.notify_all();
+    cv_.wait(lock, [this] { return turn_ == Turn::kKernel; });
+  }
+
+  void suspend() override {
+    std::unique_lock<std::mutex> lock(mutex_);
+    turn_ = Turn::kKernel;
+    cv_.notify_all();
+    cv_.wait(lock, [this] { return turn_ == Turn::kActor; });
+    if (kill_requested_) throw ForcedExit{};
+  }
+
+ private:
+  enum class Turn { kKernel, kActor };
+
+  void run() {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return turn_ == Turn::kActor; });
+    }
+    if (!kill_requested_) {
+      try {
+        body_();
+      } catch (const ForcedExit&) {
+      }
+    }
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_ = true;
+    turn_ = Turn::kKernel;
+    cv_.notify_all();
+  }
+
+  std::function<void()> body_;
+  std::thread thread_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  Turn turn_ = Turn::kKernel;
+};
+
+class ThreadFactory final : public ContextFactory {
+ public:
+  std::unique_ptr<Context> create(std::function<void()> body) override {
+    return std::make_unique<ThreadContext>(std::move(body));
+  }
+  std::string name() const override { return "thread"; }
+};
+
+}  // namespace
+
+std::unique_ptr<ContextFactory> ContextFactory::make(const std::string& backend,
+                                                     std::size_t stack_bytes) {
+  std::string choice = backend;
+  if (choice.empty()) {
+    const char* env = std::getenv("SMPI_CONTEXT_BACKEND");
+    choice = (env != nullptr) ? env : "ucontext";
+  }
+  if (choice == "ucontext") return std::make_unique<UcontextFactory>(stack_bytes);
+  if (choice == "thread") return std::make_unique<ThreadFactory>();
+  SMPI_REQUIRE(false, "unknown context backend '" + choice + "'");
+  return nullptr;
+}
+
+}  // namespace smpi::sim

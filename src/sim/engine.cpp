@@ -1,0 +1,219 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace smpi::sim {
+
+SMPI_LOG_CATEGORY(log_sim, "sim");
+
+namespace {
+Engine* g_current_engine = nullptr;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Activity
+// ---------------------------------------------------------------------------
+
+Activity::Activity(std::string label) : label_(std::move(label)) {}
+
+Activity::State Activity::wait() {
+  if (!completed()) {
+    Engine* engine = Engine::current();
+    SMPI_REQUIRE(engine != nullptr && engine->current_actor() != nullptr,
+                 "Activity::wait outside actor context");
+    engine->wait_on(*this);
+  }
+  return state_;
+}
+
+void Activity::on_completion(std::function<void(Activity&)> callback) {
+  if (completed()) {
+    callback(*this);
+  } else {
+    callbacks_.push_back(std::move(callback));
+  }
+}
+
+void Activity::finish(State state) {
+  SMPI_REQUIRE(state != State::kRunning, "finish() with kRunning");
+  if (completed()) return;  // idempotent (cancel after completion, etc.)
+  state_ = state;
+  Engine* engine = Engine::current();
+  finish_time_ = engine != nullptr ? engine->now() : 0;
+  if (engine != nullptr) {
+    for (Actor* actor : waiters_) engine->wake(actor);
+  }
+  waiters_.clear();
+  // Callbacks may start new activities or finish other ones.
+  auto callbacks = std::move(callbacks_);
+  callbacks_.clear();
+  for (auto& cb : callbacks) cb(*this);
+}
+
+// ---------------------------------------------------------------------------
+// Actor
+// ---------------------------------------------------------------------------
+
+Actor::Actor(Engine* engine, int pid, int node, std::string name)
+    : engine_(engine), pid_(pid), node_(node), name_(std::move(name)) {}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+Engine::Engine(EngineConfig config)
+    : config_(std::move(config)),
+      context_factory_(ContextFactory::make(config_.context_backend, config_.stack_bytes)) {
+  SMPI_REQUIRE(g_current_engine == nullptr, "only one Engine may exist at a time");
+  g_current_engine = this;
+}
+
+Engine::~Engine() {
+  // Destroy actors before anything else so their contexts can unwind while
+  // the engine still exists.
+  actors_.clear();
+  g_current_engine = nullptr;
+}
+
+Engine* Engine::current() { return g_current_engine; }
+
+Actor* Engine::spawn(std::string name, int node, std::function<void()> body) {
+  auto actor = std::unique_ptr<Actor>(new Actor(this, static_cast<int>(actors_.size()), node,
+                                                std::move(name)));
+  Actor* raw = actor.get();
+  actor->context_ = context_factory_->create([this, raw, body = std::move(body)] {
+    body();
+    raw->state_ = Actor::State::kDead;
+  });
+  runnable_.push_back(raw);
+  actors_.push_back(std::move(actor));
+  return raw;
+}
+
+void Engine::add_model(std::shared_ptr<Model> model) { models_.push_back(std::move(model)); }
+
+std::size_t Engine::live_actor_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(actors_.begin(), actors_.end(), [](const auto& a) { return a->alive(); }));
+}
+
+void Engine::run_actor(Actor* actor) {
+  if (!actor->alive()) return;
+  current_ = actor;
+  actor->state_ = Actor::State::kRunning;
+  actor->context_->resume();
+  current_ = nullptr;
+  if (actor->context_->done()) actor->state_ = Actor::State::kDead;
+}
+
+void Engine::run() {
+  SMPI_REQUIRE(!running_, "Engine::run is not reentrant");
+  running_ = true;
+  while (true) {
+    // Phase 1: run every runnable actor until it blocks or dies. Actors made
+    // runnable during this phase (e.g. woken by a completion triggered from
+    // another actor) run within the same phase, at the same date.
+    while (!runnable_.empty()) {
+      Actor* actor = runnable_.front();
+      runnable_.pop_front();
+      run_actor(actor);
+    }
+    if (live_actor_count() == 0) break;
+    // Phase 2: let time flow to the next event.
+    if (!advance_time()) {
+      std::ostringstream os;
+      os << "deadlock at t=" << now_ << ": " << live_actor_count()
+         << " actor(s) blocked forever:";
+      for (const auto& actor : actors_) {
+        if (actor->alive()) os << ' ' << actor->name();
+      }
+      running_ = false;
+      throw DeadlockError(os.str());
+    }
+  }
+  running_ = false;
+}
+
+bool Engine::advance_time() {
+  double next = kNever;
+  if (!timers_.empty()) next = timers_.top().date;
+  for (const auto& model : models_) next = std::min(next, model->next_event_time(now_));
+  if (!std::isfinite(next)) return false;
+  SMPI_ENSURE(next >= now_, "time went backwards");
+  now_ = next;
+  for (const auto& model : models_) model->advance_to(now_);
+  while (!timers_.empty() && timers_.top().date <= now_) {
+    auto callback = timers_.top().callback;
+    timers_.pop();
+    callback();
+  }
+  return true;
+}
+
+void Engine::suspend_current() {
+  Actor* actor = current_;
+  SMPI_REQUIRE(actor != nullptr, "no current actor to suspend");
+  actor->state_ = Actor::State::kBlocked;
+  actor->context_->suspend();
+  // Back from the kernel: we are running again.
+  actor->state_ = Actor::State::kRunning;
+}
+
+void Engine::wait_on(Activity& activity) {
+  if (activity.completed()) return;
+  activity.waiters_.push_back(current_);
+  suspend_current();
+}
+
+void Engine::sleep_for(double duration) {
+  SMPI_REQUIRE(duration >= 0, "negative sleep");
+  auto token = std::make_shared<Activity>("sleep");
+  add_timer(now_ + duration, [token] { token->finish(Activity::State::kDone); });
+  wait_on(*token);
+}
+
+void Engine::yield() {
+  Actor* actor = current_;
+  SMPI_REQUIRE(actor != nullptr, "yield outside actor context");
+  // Stay kReady (not kBlocked) so a stray wake() cannot enqueue us twice.
+  actor->state_ = Actor::State::kReady;
+  runnable_.push_back(actor);
+  actor->context_->suspend();
+  actor->state_ = Actor::State::kRunning;
+}
+
+void Engine::add_timer(double date, std::function<void()> callback) {
+  SMPI_REQUIRE(date >= now_, "timer in the past");
+  timers_.push(Timer{date, timer_seq_++, std::move(callback)});
+}
+
+void Engine::wake(Actor* actor) {
+  // Only a blocked actor can be woken; an actor that is already queued
+  // (kReady) or running must not be enqueued a second time.
+  if (!actor->alive() || actor->state_ != Actor::State::kBlocked) return;
+  actor->state_ = Actor::State::kReady;
+  runnable_.push_back(actor);
+}
+
+void Engine::trace(const std::string& label) {
+  if (!config_.trace_events) return;
+  auto mix = [this](const void* data, std::size_t size) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      trace_hash_state_ ^= bytes[i];
+      trace_hash_state_ *= 1099511628211ULL;  // FNV prime
+    }
+  };
+  mix(&now_, sizeof now_);
+  mix(label.data(), label.size());
+  SMPI_LOG_DEBUG(log_sim, "trace t=" << now_ << " " << label);
+}
+
+std::uint64_t Engine::trace_hash() const { return trace_hash_state_; }
+
+}  // namespace smpi::sim

@@ -1,0 +1,110 @@
+// The sequential simulation kernel (the paper's SIMIX/SURF driver, §5.1).
+//
+// One Engine per simulation. It owns the virtual clock, the actors, a timer
+// queue, and a list of resource models. The main loop alternates between
+//   (1) running every runnable actor (in pid order — fully deterministic)
+//       until each blocks on an activity, and
+//   (2) advancing virtual time to the next model/timer event and completing
+//       whatever finishes there.
+// Exactly one actor executes at any instant, which is what makes running
+// hundreds of MPI processes inside one OS process safe.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/activity.hpp"
+#include "sim/actor.hpp"
+#include "sim/context.hpp"
+#include "sim/model.hpp"
+
+namespace smpi::sim {
+
+struct EngineConfig {
+  std::string context_backend;      // "", "ucontext", "thread"
+  std::size_t stack_bytes = 512 * 1024;
+  bool trace_events = false;        // record (time, label) pairs for determinism tests
+};
+
+class DeadlockError : public std::runtime_error {
+ public:
+  explicit DeadlockError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineConfig config = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // --- setup -------------------------------------------------------------
+  Actor* spawn(std::string name, int node, std::function<void()> body);
+  // Models are polled for events in registration order.
+  void add_model(std::shared_ptr<Model> model);
+
+  // --- main loop ---------------------------------------------------------
+  // Runs until every actor is dead. Throws DeadlockError if actors remain
+  // but nothing can ever happen again.
+  void run();
+
+  // --- services available from actor context ------------------------------
+  double now() const { return now_; }
+  Actor* current_actor() const { return current_; }
+
+  // Block the current actor until `activity` completes.
+  void wait_on(Activity& activity);
+  // Block the current actor for `duration` simulated seconds.
+  void sleep_for(double duration);
+  // Give other runnable actors a chance to run at the current date.
+  void yield();
+
+  // --- services for models / higher layers --------------------------------
+  void add_timer(double date, std::function<void()> callback);
+  void wake(Actor* actor);
+
+  // The engine currently executing (set for the duration of run()).
+  static Engine* current();
+
+  std::size_t live_actor_count() const;
+  const std::vector<std::unique_ptr<Actor>>& actors() const { return actors_; }
+
+  // Determinism probe: FNV-1a hash over the recorded (time, label) trace.
+  void trace(const std::string& label);
+  std::uint64_t trace_hash() const;
+
+ private:
+  void run_actor(Actor* actor);
+  // Advance the clock to the next event; returns false when nothing is left.
+  bool advance_time();
+  void suspend_current();
+
+  struct Timer {
+    double date;
+    std::uint64_t seq;  // tie-breaker: firing order == creation order
+    std::function<void()> callback;
+    bool operator>(const Timer& other) const {
+      return date != other.date ? date > other.date : seq > other.seq;
+    }
+  };
+
+  EngineConfig config_;
+  std::unique_ptr<ContextFactory> context_factory_;
+  double now_ = 0;
+  std::vector<std::unique_ptr<Actor>> actors_;
+  std::deque<Actor*> runnable_;
+  Actor* current_ = nullptr;
+  std::vector<std::shared_ptr<Model>> models_;
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<>> timers_;
+  std::uint64_t timer_seq_ = 0;
+  bool running_ = false;
+  std::uint64_t trace_hash_state_ = 1469598103934665603ULL;  // FNV offset basis
+};
+
+}  // namespace smpi::sim

@@ -1,0 +1,59 @@
+// Resource-model plug-in interfaces.
+//
+// The engine is model-agnostic: it asks every registered model for the date
+// of its next internal event and tells it to advance. The flow-level network
+// model (surf), the CPU model, and the packet-level ground-truth network
+// (pnet) all implement Model.
+//
+// NetworkBackend/ComputeBackend are the service interfaces the MPI layer
+// uses; having both the analytical and the packet-level simulators behind
+// NetworkBackend is what lets the *same* application run against either —
+// the paper's methodology of comparing SMPI to a real testbed.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "sim/activity.hpp"
+
+namespace smpi::sim {
+
+class Engine;
+
+constexpr double kNever = std::numeric_limits<double>::infinity();
+
+class Model {
+ public:
+  virtual ~Model() = default;
+  // Date of the next internal state change, or kNever.
+  virtual double next_event_time(double now) = 0;
+  // Advance internal state to `now`, finishing activities that complete.
+  virtual void advance_to(double now) = 0;
+};
+
+struct FlowHints {
+  // Rate cap already decided by higher layers (bytes/s); <=0 means none.
+  double rate_bound = 0;
+};
+
+class NetworkBackend {
+ public:
+  virtual ~NetworkBackend() = default;
+  // Start moving `bytes` from node src to node dst; the returned activity
+  // completes when the last byte arrives.
+  virtual ActivityPtr start_flow(int src_node, int dst_node, double bytes,
+                                 const FlowHints& hints) = 0;
+  virtual const char* backend_name() const = 0;
+};
+
+class ComputeBackend {
+ public:
+  virtual ~ComputeBackend() = default;
+  // Burn `flops` on `node`; completes when done under the CPU-sharing model.
+  virtual ActivityPtr execute(int node, double flops) = 0;
+  // Nominal speed of a node in flop/s (used to convert measured host seconds
+  // into target flops, §3.1).
+  virtual double node_speed(int node) const = 0;
+};
+
+}  // namespace smpi::sim

@@ -1,0 +1,365 @@
+// Internal object model behind the MPI handles. Everything here lives in the
+// single simulator process; MPI processes are sim::Actors and share this
+// address space — which is precisely what enables the RAM-folding techniques
+// of §3.2.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <list>
+#include <memory>
+#include <string>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/activity.hpp"
+#include "smpi/mpi.h"
+#include "smpi/smpi.hpp"
+
+namespace smpi::core {
+
+// ---------------------------------------------------------------------------
+// Datatype
+// ---------------------------------------------------------------------------
+
+enum class BasicType {
+  kChar,
+  kSignedChar,
+  kUnsignedChar,
+  kByte,
+  kShort,
+  kUnsignedShort,
+  kInt,
+  kUnsigned,
+  kLong,
+  kUnsignedLong,
+  kLongLong,
+  kUnsignedLongLong,
+  kFloat,
+  kDouble,
+  kLongDouble,
+  kDerived,
+};
+
+class Datatype {
+ public:
+  // Basic type.
+  Datatype(BasicType basic, std::size_t size, std::string name);
+  // Contiguous derived type.
+  static Datatype* contiguous(int count, Datatype* oldtype);
+  // Vector derived type: count blocks of blocklength elements, block starts
+  // stride elements apart.
+  static Datatype* vector(int count, int blocklength, int stride, Datatype* oldtype);
+
+  std::size_t size() const { return size_; }       // payload bytes
+  std::size_t extent() const { return extent_; }   // memory span in bytes
+  BasicType basic() const { return basic_; }
+  // The element type reduction operators apply to.
+  BasicType element_type() const { return element_type_; }
+  std::size_t element_size() const { return element_size_; }
+  std::size_t element_count() const { return size_ / element_size_; }
+  bool is_basic() const { return basic_ != BasicType::kDerived; }
+  bool committed() const { return committed_; }
+  void commit() { committed_ = true; }
+  const std::string& name() const { return name_; }
+
+  // (Un)marshal `count` items between user layout and a contiguous buffer.
+  void pack(const void* user_buffer, int count, void* packed) const;
+  void unpack(const void* packed, int count, void* user_buffer) const;
+  // Partial unpack (truncated receives): consume at most `nbytes`.
+  void unpack_bytes(const void* packed, std::size_t nbytes, void* user_buffer) const;
+  bool needs_packing() const { return size_ != extent_; }
+
+ private:
+  Datatype() = default;
+  BasicType basic_ = BasicType::kDerived;
+  BasicType element_type_ = BasicType::kByte;
+  std::size_t element_size_ = 1;
+  std::size_t size_ = 0;
+  std::size_t extent_ = 0;
+  std::string name_;
+  bool committed_ = true;
+  // Flattened layout: (offset, length) byte runs within one extent.
+  std::vector<std::pair<std::size_t, std::size_t>> blocks_;
+};
+
+// ---------------------------------------------------------------------------
+// Reduction operators
+// ---------------------------------------------------------------------------
+
+class Op {
+ public:
+  using BuiltinKind = int;  // index into the builtin table
+  explicit Op(BuiltinKind builtin, std::string name);
+  Op(MPI_User_function* user_fn, bool commutative);
+
+  bool commutative() const { return commutative_; }
+  const std::string& name() const { return name_; }
+  // Bitwise builtins are invalid on floating-point element types.
+  bool valid_for(const Datatype& datatype) const;
+  // in (+) inout -> inout, elementwise over count elements of datatype.
+  void apply(const void* in, void* inout, int count, Datatype* datatype) const;
+
+ private:
+  BuiltinKind builtin_ = -1;
+  MPI_User_function* user_fn_ = nullptr;
+  bool commutative_ = true;
+  std::string name_;
+};
+
+// ---------------------------------------------------------------------------
+// Groups and communicators
+// ---------------------------------------------------------------------------
+
+class Group {
+ public:
+  explicit Group(std::vector<int> world_ranks) : world_ranks_(std::move(world_ranks)) {}
+  int size() const { return static_cast<int>(world_ranks_.size()); }
+  int world_rank(int group_rank) const { return world_ranks_[static_cast<std::size_t>(group_rank)]; }
+  // MPI_UNDEFINED when absent.
+  int rank_of_world(int world_rank) const;
+  const std::vector<int>& world_ranks() const { return world_ranks_; }
+
+ private:
+  std::vector<int> world_ranks_;
+};
+
+class Comm {
+ public:
+  Comm(int id, Group group) : id_(id), group_(std::move(group)) {}
+  int id() const { return id_; }
+  const Group& group() const { return group_; }
+  int size() const { return group_.size(); }
+  int world_rank(int comm_rank) const { return group_.world_rank(comm_rank); }
+  int rank_of_world(int world_rank) const { return group_.rank_of_world(world_rank); }
+
+  // Collective-creation support: deterministic slot shared by all members.
+  // Each member arriving at the k-th communicator-creating collective on this
+  // comm agrees on k; the first to arrive builds the object.
+  std::unordered_map<std::uint64_t, std::pair<Comm*, int>> creation_slots;  // epoch -> (comm, fetch count)
+  // Comm_split slots: epoch -> (color -> comm, fetch count).
+  std::unordered_map<std::uint64_t, std::pair<std::map<int, Comm*>, int>> split_slots;
+  std::unordered_map<int, std::uint64_t> creation_epoch;  // per member world rank
+
+ private:
+  int id_;
+  Group group_;
+};
+
+// ---------------------------------------------------------------------------
+// Requests and matching
+// ---------------------------------------------------------------------------
+
+class Process;
+
+// A message in flight from sender to receiver (one per send request).
+// Envelopes are enqueued at the receiver in send order, which preserves the
+// MPI non-overtaking guarantee even when rendezvous control messages are
+// emulated (their latency delays the data transfer, not the matching).
+struct Envelope {
+  int src_comm_rank = 0;  // rank in the communicator
+  int src_world_rank = 0;
+  int dst_world_rank = 0;
+  int tag = 0;
+  int comm_id = 0;
+  std::size_t bytes = 0;
+  bool eager = true;
+  // Eager: owned copy of the (packed) payload. Rendezvous: null, payload
+  // read from the sender's buffer when the transfer completes.
+  std::unique_ptr<unsigned char[]> eager_data;
+  Request* send_request = nullptr;  // rendezvous back-pointer
+  sim::ActivityPtr data_flow;       // eager: started at send time
+  sim::ActivityPtr rts_flow;        // rendezvous protocol emulation
+  bool matched = false;
+};
+
+class Request {
+ public:
+  enum class Kind { kSend, kRecv };
+
+  Kind kind = Kind::kSend;
+  bool persistent = false;
+  bool active = false;       // between Start and completion
+  bool released = false;     // user freed the handle
+  bool ever_started = false;
+
+  // Parameters (retained for persistent restart).
+  const void* send_buf = nullptr;
+  void* recv_buf = nullptr;
+  int count = 0;
+  Datatype* datatype = nullptr;
+  int peer = MPI_PROC_NULL;  // dest (send) or source (recv); comm rank or wildcards
+  int tag = 0;
+  Comm* comm = nullptr;
+  Process* owner = nullptr;
+  // Collective-internal traffic matches in a shadow scope of the
+  // communicator so it can never cross-match application point-to-points.
+  bool coll_scope = false;
+
+  // Completion state.
+  sim::ActivityPtr token;  // fresh per activation; finished == request complete
+  int status_source = MPI_ANY_SOURCE;
+  int status_tag = MPI_ANY_TAG;
+  int status_error = MPI_SUCCESS;
+  std::size_t status_bytes = 0;
+
+  // For rendezvous sends: the envelope we posted (until matched).
+  Envelope* pending_envelope = nullptr;
+
+  bool completed() const { return token == nullptr || token->completed(); }
+};
+
+struct MatchQueues {
+  std::list<std::shared_ptr<Envelope>> unexpected;  // posted sends, not yet matched
+  std::list<Request*> posted_recvs;                 // receives waiting for a sender
+};
+
+// ---------------------------------------------------------------------------
+// Sampling (§3.1) and memory tracking (§3.2)
+// ---------------------------------------------------------------------------
+
+struct SampleSite {
+  int target_iterations = 0;
+  int executed = 0;   // measurement slots claimed (bursts that will run)
+  int completed = 0;  // measurements finished
+  double sum_host_seconds = 0;
+  double sum_sq_host_seconds = 0;
+  // Adaptive mode (SMPI_SAMPLE_*_AUTO): stop sampling once the coefficient
+  // of variation falls below `precision` (0 = fixed-count mode).
+  double precision = 0;
+  double mean_host_seconds() const {
+    return completed == 0 ? 0 : sum_host_seconds / completed;
+  }
+  double coefficient_of_variation() const;
+  bool converged() const;
+};
+
+// Per-rank activation of a sample block. Kept on the process (not the site):
+// with SMPI_SAMPLE_GLOBAL several ranks can be inside the same site at once,
+// e.g. while one of them is blocked injecting its folded delay.
+struct SampleActivation {
+  bool global = false;
+  bool executing = false;
+  double enter_host_time = 0;
+};
+
+class MemoryTracker {
+ public:
+  explicit MemoryTracker(int nranks, std::uint64_t budget_bytes);
+
+  void allocate(int rank, std::uint64_t bytes, bool folded_already_counted);
+  void release(int rank, std::uint64_t bytes, bool folded_already_counted);
+
+  // Folded = bytes physically allocated by the simulation (shared blocks
+  // once); unfolded = what every rank having a private copy would cost.
+  std::uint64_t folded_current() const { return folded_current_; }
+  std::uint64_t folded_peak() const { return folded_peak_; }
+  std::uint64_t unfolded_current() const { return unfolded_current_; }
+  std::uint64_t unfolded_peak() const { return unfolded_peak_; }
+  std::uint64_t rank_peak(int rank) const;
+  std::uint64_t max_rank_peak() const;
+  bool over_budget() const { return unfolded_peak_ > budget_; }
+
+ private:
+  std::vector<std::uint64_t> rank_current_;
+  std::vector<std::uint64_t> rank_peak_;
+  std::uint64_t folded_current_ = 0;
+  std::uint64_t folded_peak_ = 0;
+  std::uint64_t unfolded_current_ = 0;
+  std::uint64_t unfolded_peak_ = 0;
+  std::uint64_t budget_ = 0;
+};
+
+struct SharedBlock {
+  void* ptr = nullptr;
+  std::size_t size = 0;
+  int refcount = 0;
+  std::string site;
+};
+
+// ---------------------------------------------------------------------------
+// Per-rank process state
+// ---------------------------------------------------------------------------
+
+class Process {
+ public:
+  Process(SmpiWorld* world, int world_rank, int node);
+  ~Process();
+
+  SmpiWorld* world;
+  int world_rank;
+  int node;
+  sim::Actor* actor = nullptr;
+
+  bool initialized = false;
+  bool finalized = false;
+
+  // Receiver-side matching state, keyed by communicator id.
+  std::unordered_map<int, MatchQueues> matching;
+  // Completed & replaced whenever a new envelope arrives (MPI_Probe wakes on it).
+  sim::ActivityPtr arrival_signal;
+  void signal_arrival();
+
+  // Local sampling sites ("file:line"); global sites live on the world.
+  std::unordered_map<std::string, SampleSite> local_samples;
+  // Sites this rank is currently inside (nesting detector + timer state).
+  std::unordered_map<std::string, SampleActivation> active_samples;
+
+  // Allocations owned by this rank (smpi_malloc bookkeeping).
+  std::unordered_map<void*, std::size_t> allocations;
+
+  // Objects created by this rank through the C API, freed with the process.
+  std::vector<std::unique_ptr<Datatype>> datatypes;
+  std::vector<std::unique_ptr<Op>> ops;
+  std::vector<std::unique_ptr<Group>> groups;
+
+  // Derived communicators are shared; the creating rank owns them.
+  std::vector<std::unique_ptr<Comm>> owned_comms;
+
+  std::vector<std::unique_ptr<Request>> owned_requests;
+  Request* new_request();
+  void gc_requests();  // reclaim completed+released requests
+};
+
+// ---------------------------------------------------------------------------
+// Internal entry points shared between the API translation units
+// ---------------------------------------------------------------------------
+
+// Current process; never null inside a rank (checked).
+Process& current_process_checked();
+
+// Core transfer engine (p2p.cpp).
+void post_send(Request& request);
+void post_recv(Request& request);
+// Wait for a single request's token from the calling rank.
+int wait_request(Request*& request, MPI_Status* status);
+void fill_status(const Request& request, MPI_Status* status);
+
+// Collective building blocks shared with coll.cpp. `coll` selects the shadow
+// matching scope used by collective algorithms.
+int internal_send(const void* buf, int count, Datatype* type, int dest, int tag, Comm* comm,
+                  bool coll = false);
+int internal_recv(void* buf, int count, Datatype* type, int src, int tag, Comm* comm,
+                  MPI_Status* status, bool coll = false);
+int internal_isend(const void* buf, int count, Datatype* type, int dest, int tag, Comm* comm,
+                   Request** out, bool coll = false);
+int internal_irecv(void* buf, int count, Datatype* type, int src, int tag, Comm* comm,
+                   Request** out, bool coll = false);
+int internal_wait(Request* request);
+
+// Sampling/memory helpers (sample.cpp / shared.cpp); called between
+// simulations so one world's folded state never leaks into the next.
+void reset_shared_allocations();
+void reset_global_samples();
+
+// Argument validation helpers.
+bool valid_comm(MPI_Comm comm);
+bool valid_count(int count);
+bool valid_type(MPI_Datatype type);
+bool valid_rank_or_wildcards(int rank, Comm* comm, bool allow_wildcards);
+bool valid_tag(int tag, bool allow_any);
+
+}  // namespace smpi::core

@@ -1,0 +1,313 @@
+// SMPI's MPI interface — the subset of the MPI standard the paper lists in
+// §5.1, plus the SMPI-specific macros of §5.2. Applications are ordinary MPI
+// C/C++ programs: include this header, link against smpi_core, and hand your
+// main function to smpi::Run() (see smpi/smpi.hpp) to execute it in
+// simulation, every MPI process running as a thread of the simulator.
+//
+// Semantics notes:
+//  * All calls return MPI_SUCCESS or an MPI_ERR_* code (MPI_ERRORS_RETURN
+//    behaviour). Misuse never corrupts the simulator: argument errors are
+//    reported, internal invariants throw.
+//  * MPI_Send is buffered below the personality's eager threshold and
+//    synchronous above it, like MPICH2/OpenMPI over TCP.
+#pragma once
+
+#include <cstddef>
+
+// ---------------------------------------------------------------------------
+// Handles
+// ---------------------------------------------------------------------------
+
+namespace smpi::core {
+class Datatype;
+class Op;
+class Group;
+class Comm;
+class Request;
+}  // namespace smpi::core
+
+typedef smpi::core::Datatype* MPI_Datatype;
+typedef smpi::core::Op* MPI_Op;
+typedef smpi::core::Group* MPI_Group;
+typedef smpi::core::Comm* MPI_Comm;
+typedef smpi::core::Request* MPI_Request;
+
+typedef struct MPI_Status {
+  int MPI_SOURCE;
+  int MPI_TAG;
+  int MPI_ERROR;
+  long long count_bytes;  // internal: received payload size
+} MPI_Status;
+
+// User-defined reduction: (invec, inoutvec, len, datatype).
+typedef void(MPI_User_function)(void* invec, void* inoutvec, int* len, MPI_Datatype* datatype);
+
+// ---------------------------------------------------------------------------
+// Constants
+// ---------------------------------------------------------------------------
+
+enum {
+  MPI_SUCCESS = 0,
+  MPI_ERR_BUFFER,
+  MPI_ERR_COUNT,
+  MPI_ERR_TYPE,
+  MPI_ERR_TAG,
+  MPI_ERR_COMM,
+  MPI_ERR_RANK,
+  MPI_ERR_REQUEST,
+  MPI_ERR_ROOT,
+  MPI_ERR_GROUP,
+  MPI_ERR_OP,
+  MPI_ERR_TOPOLOGY,
+  MPI_ERR_DIMS,
+  MPI_ERR_ARG,
+  MPI_ERR_UNKNOWN,
+  MPI_ERR_TRUNCATE,
+  MPI_ERR_OTHER,
+  MPI_ERR_INTERN,
+  MPI_ERR_PENDING,
+  MPI_ERR_IN_STATUS,
+  MPI_ERR_LASTCODE,
+};
+
+constexpr int MPI_ANY_SOURCE = -555;
+constexpr int MPI_ANY_TAG = -666;
+constexpr int MPI_PROC_NULL = -777;
+constexpr int MPI_ROOT = -888;
+constexpr int MPI_UNDEFINED = -32766;
+constexpr int MPI_TAG_UB = 32767;
+
+#define MPI_COMM_NULL ((MPI_Comm)0)
+#define MPI_GROUP_NULL ((MPI_Group)0)
+#define MPI_REQUEST_NULL ((MPI_Request)0)
+#define MPI_DATATYPE_NULL ((MPI_Datatype)0)
+#define MPI_OP_NULL ((MPI_Op)0)
+#define MPI_STATUS_IGNORE ((MPI_Status*)0)
+#define MPI_STATUSES_IGNORE ((MPI_Status*)0)
+#define MPI_IN_PLACE ((void*)-222)
+
+// Result of MPI_Comm_compare / MPI_Group_compare.
+enum { MPI_IDENT = 0, MPI_CONGRUENT, MPI_SIMILAR, MPI_UNEQUAL };
+
+// Per-simulation handles (each simulation owns its own world/group objects).
+MPI_Comm smpi_comm_world();
+MPI_Group smpi_group_empty();
+#define MPI_COMM_WORLD (smpi_comm_world())
+#define MPI_GROUP_EMPTY (smpi_group_empty())
+
+// Predefined datatypes.
+extern MPI_Datatype MPI_CHAR;
+extern MPI_Datatype MPI_SIGNED_CHAR;
+extern MPI_Datatype MPI_UNSIGNED_CHAR;
+extern MPI_Datatype MPI_BYTE;
+extern MPI_Datatype MPI_SHORT;
+extern MPI_Datatype MPI_UNSIGNED_SHORT;
+extern MPI_Datatype MPI_INT;
+extern MPI_Datatype MPI_UNSIGNED;
+extern MPI_Datatype MPI_LONG;
+extern MPI_Datatype MPI_UNSIGNED_LONG;
+extern MPI_Datatype MPI_LONG_LONG;
+extern MPI_Datatype MPI_UNSIGNED_LONG_LONG;
+extern MPI_Datatype MPI_FLOAT;
+extern MPI_Datatype MPI_DOUBLE;
+extern MPI_Datatype MPI_LONG_DOUBLE;
+
+// Predefined reduction operators.
+extern MPI_Op MPI_MAX;
+extern MPI_Op MPI_MIN;
+extern MPI_Op MPI_SUM;
+extern MPI_Op MPI_PROD;
+extern MPI_Op MPI_LAND;
+extern MPI_Op MPI_BAND;
+extern MPI_Op MPI_LOR;
+extern MPI_Op MPI_BOR;
+extern MPI_Op MPI_LXOR;
+extern MPI_Op MPI_BXOR;
+
+// ---------------------------------------------------------------------------
+// Environment
+// ---------------------------------------------------------------------------
+
+int MPI_Init(int* argc, char*** argv);
+int MPI_Finalize();
+int MPI_Initialized(int* flag);
+int MPI_Finalized(int* flag);
+int MPI_Abort(MPI_Comm comm, int errorcode);
+double MPI_Wtime();
+double MPI_Wtick();
+int MPI_Get_processor_name(char* name, int* resultlen);
+
+// ---------------------------------------------------------------------------
+// Datatypes and operators
+// ---------------------------------------------------------------------------
+
+int MPI_Type_size(MPI_Datatype datatype, int* size);
+int MPI_Type_get_extent(MPI_Datatype datatype, long* lb, long* extent);
+int MPI_Type_contiguous(int count, MPI_Datatype oldtype, MPI_Datatype* newtype);
+int MPI_Type_vector(int count, int blocklength, int stride, MPI_Datatype oldtype,
+                    MPI_Datatype* newtype);
+int MPI_Type_commit(MPI_Datatype* datatype);
+int MPI_Type_free(MPI_Datatype* datatype);
+
+int MPI_Op_create(MPI_User_function* function, int commute, MPI_Op* op);
+int MPI_Op_free(MPI_Op* op);
+
+// ---------------------------------------------------------------------------
+// Groups and communicators
+// ---------------------------------------------------------------------------
+
+int MPI_Group_size(MPI_Group group, int* size);
+int MPI_Group_rank(MPI_Group group, int* rank);
+int MPI_Group_incl(MPI_Group group, int n, const int ranks[], MPI_Group* newgroup);
+int MPI_Group_excl(MPI_Group group, int n, const int ranks[], MPI_Group* newgroup);
+int MPI_Group_union(MPI_Group group1, MPI_Group group2, MPI_Group* newgroup);
+int MPI_Group_intersection(MPI_Group group1, MPI_Group group2, MPI_Group* newgroup);
+int MPI_Group_difference(MPI_Group group1, MPI_Group group2, MPI_Group* newgroup);
+int MPI_Group_translate_ranks(MPI_Group group1, int n, const int ranks1[], MPI_Group group2,
+                              int ranks2[]);
+int MPI_Group_compare(MPI_Group group1, MPI_Group group2, int* result);
+int MPI_Group_free(MPI_Group* group);
+
+int MPI_Comm_rank(MPI_Comm comm, int* rank);
+int MPI_Comm_size(MPI_Comm comm, int* size);
+int MPI_Comm_group(MPI_Comm comm, MPI_Group* group);
+int MPI_Comm_dup(MPI_Comm comm, MPI_Comm* newcomm);
+int MPI_Comm_create(MPI_Comm comm, MPI_Group group, MPI_Comm* newcomm);
+// Partition `comm` by color; ranks ordered by (key, old rank). color may be
+// MPI_UNDEFINED (the caller gets MPI_COMM_NULL). The paper's SMPI lists
+// Comm_split as the one unimplemented communicator operation (§5.1); it is
+// provided here as the natural extension.
+int MPI_Comm_split(MPI_Comm comm, int color, int key, MPI_Comm* newcomm);
+int MPI_Comm_compare(MPI_Comm comm1, MPI_Comm comm2, int* result);
+int MPI_Comm_free(MPI_Comm* comm);
+
+// ---------------------------------------------------------------------------
+// Point-to-point
+// ---------------------------------------------------------------------------
+
+int MPI_Send(const void* buf, int count, MPI_Datatype datatype, int dest, int tag, MPI_Comm comm);
+int MPI_Recv(void* buf, int count, MPI_Datatype datatype, int source, int tag, MPI_Comm comm,
+             MPI_Status* status);
+int MPI_Isend(const void* buf, int count, MPI_Datatype datatype, int dest, int tag, MPI_Comm comm,
+              MPI_Request* request);
+int MPI_Irecv(void* buf, int count, MPI_Datatype datatype, int source, int tag, MPI_Comm comm,
+              MPI_Request* request);
+int MPI_Sendrecv(const void* sendbuf, int sendcount, MPI_Datatype sendtype, int dest, int sendtag,
+                 void* recvbuf, int recvcount, MPI_Datatype recvtype, int source, int recvtag,
+                 MPI_Comm comm, MPI_Status* status);
+
+int MPI_Send_init(const void* buf, int count, MPI_Datatype datatype, int dest, int tag,
+                  MPI_Comm comm, MPI_Request* request);
+int MPI_Recv_init(void* buf, int count, MPI_Datatype datatype, int source, int tag, MPI_Comm comm,
+                  MPI_Request* request);
+int MPI_Start(MPI_Request* request);
+int MPI_Startall(int count, MPI_Request requests[]);
+int MPI_Request_free(MPI_Request* request);
+
+int MPI_Wait(MPI_Request* request, MPI_Status* status);
+int MPI_Waitany(int count, MPI_Request requests[], int* index, MPI_Status* status);
+int MPI_Waitall(int count, MPI_Request requests[], MPI_Status statuses[]);
+int MPI_Waitsome(int incount, MPI_Request requests[], int* outcount, int indices[],
+                 MPI_Status statuses[]);
+int MPI_Test(MPI_Request* request, int* flag, MPI_Status* status);
+int MPI_Testany(int count, MPI_Request requests[], int* index, int* flag, MPI_Status* status);
+int MPI_Testall(int count, MPI_Request requests[], int* flag, MPI_Status statuses[]);
+
+int MPI_Probe(int source, int tag, MPI_Comm comm, MPI_Status* status);
+int MPI_Iprobe(int source, int tag, MPI_Comm comm, int* flag, MPI_Status* status);
+int MPI_Get_count(const MPI_Status* status, MPI_Datatype datatype, int* count);
+
+// ---------------------------------------------------------------------------
+// Collectives (implemented as sets of point-to-point messages, §4.2)
+// ---------------------------------------------------------------------------
+
+int MPI_Barrier(MPI_Comm comm);
+int MPI_Bcast(void* buffer, int count, MPI_Datatype datatype, int root, MPI_Comm comm);
+int MPI_Gather(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
+               int recvcount, MPI_Datatype recvtype, int root, MPI_Comm comm);
+int MPI_Gatherv(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
+                const int recvcounts[], const int displs[], MPI_Datatype recvtype, int root,
+                MPI_Comm comm);
+int MPI_Allgather(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
+                  int recvcount, MPI_Datatype recvtype, MPI_Comm comm);
+int MPI_Allgatherv(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
+                   const int recvcounts[], const int displs[], MPI_Datatype recvtype,
+                   MPI_Comm comm);
+int MPI_Scatter(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
+                int recvcount, MPI_Datatype recvtype, int root, MPI_Comm comm);
+int MPI_Scatterv(const void* sendbuf, const int sendcounts[], const int displs[],
+                 MPI_Datatype sendtype, void* recvbuf, int recvcount, MPI_Datatype recvtype,
+                 int root, MPI_Comm comm);
+int MPI_Reduce(const void* sendbuf, void* recvbuf, int count, MPI_Datatype datatype, MPI_Op op,
+               int root, MPI_Comm comm);
+int MPI_Allreduce(const void* sendbuf, void* recvbuf, int count, MPI_Datatype datatype, MPI_Op op,
+                  MPI_Comm comm);
+int MPI_Scan(const void* sendbuf, void* recvbuf, int count, MPI_Datatype datatype, MPI_Op op,
+             MPI_Comm comm);
+int MPI_Reduce_scatter(const void* sendbuf, void* recvbuf, const int recvcounts[],
+                       MPI_Datatype datatype, MPI_Op op, MPI_Comm comm);
+int MPI_Alltoall(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
+                 int recvcount, MPI_Datatype recvtype, MPI_Comm comm);
+int MPI_Alltoallv(const void* sendbuf, const int sendcounts[], const int sdispls[],
+                  MPI_Datatype sendtype, void* recvbuf, const int recvcounts[],
+                  const int rdispls[], MPI_Datatype recvtype, MPI_Comm comm);
+
+// ---------------------------------------------------------------------------
+// SMPI extensions (§3, §5.2)
+// ---------------------------------------------------------------------------
+
+// Tracked allocation: counts toward the owning rank's simulated footprint.
+void* smpi_malloc(std::size_t size);
+void smpi_free(void* ptr);
+
+// RAM folding (technique #1 of §3.2): every rank calling from the same source
+// location shares one allocation.
+void* smpi_shared_malloc(std::size_t size, const char* file, int line);
+void smpi_shared_free(void* ptr);
+#define SMPI_SHARED_MALLOC(size) smpi_shared_malloc((size), __FILE__, __LINE__)
+#define SMPI_FREE(ptr) smpi_shared_free(ptr)
+
+// Inject simulated computation (delay = flops / target node speed).
+void smpi_execute_flops(double flops);
+// Inject a host-measured duration, scaled to the target node (§3.1).
+void smpi_execute_host_seconds(double host_seconds);
+// Sleep in simulated time.
+void smpi_sleep(double seconds);
+
+// CPU-burst sampling (§3.1, Figure 2). Usage:
+//   SMPI_SAMPLE_LOCAL(10) { compute(); }   // measure 10x per process
+//   SMPI_SAMPLE_GLOBAL(10) { compute(); }  // measure 10x over all processes
+//   SMPI_SAMPLE_DELAY(1e6) { compute(); }  // never run; inject 1e6 flops
+// After the measurement budget is exhausted the block is skipped and replaced
+// by the mean measured delay.
+int smpi_sample_enter(const char* file, int line, int global, int iterations, double flops);
+int smpi_sample_continue(const char* file, int line, int global);
+void smpi_sample_exit(const char* file, int line, int global);
+
+#define SMPI_SAMPLE_LOCAL(iterations)                                   \
+  for (smpi_sample_enter(__FILE__, __LINE__, 0, (iterations), -1);      \
+       smpi_sample_continue(__FILE__, __LINE__, 0);                     \
+       smpi_sample_exit(__FILE__, __LINE__, 0))
+#define SMPI_SAMPLE_GLOBAL(iterations)                                  \
+  for (smpi_sample_enter(__FILE__, __LINE__, 1, (iterations), -1);      \
+       smpi_sample_continue(__FILE__, __LINE__, 1);                     \
+       smpi_sample_exit(__FILE__, __LINE__, 1))
+#define SMPI_SAMPLE_DELAY(flops)                                        \
+  for (smpi_sample_enter(__FILE__, __LINE__, 0, 0, (flops));            \
+       smpi_sample_continue(__FILE__, __LINE__, 0);                     \
+       smpi_sample_exit(__FILE__, __LINE__, 0))
+
+// Adaptive sampling (the automation §8 lists as future work): keep executing
+// the burst until the measured mean is stable — the coefficient of variation
+// drops below `precision` — or `max_iterations` is reached; folded
+// afterwards. At least two bursts always execute.
+int smpi_sample_enter_auto(const char* file, int line, int global, int max_iterations,
+                           double precision);
+#define SMPI_SAMPLE_LOCAL_AUTO(max_iterations, precision)                          \
+  for (smpi_sample_enter_auto(__FILE__, __LINE__, 0, (max_iterations), (precision)); \
+       smpi_sample_continue(__FILE__, __LINE__, 0);                                \
+       smpi_sample_exit(__FILE__, __LINE__, 0))
+#define SMPI_SAMPLE_GLOBAL_AUTO(max_iterations, precision)                         \
+  for (smpi_sample_enter_auto(__FILE__, __LINE__, 1, (max_iterations), (precision)); \
+       smpi_sample_continue(__FILE__, __LINE__, 1);                                \
+       smpi_sample_exit(__FILE__, __LINE__, 1))

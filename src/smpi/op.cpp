@@ -1,0 +1,198 @@
+#include "smpi/internals.hpp"
+#include "util/check.hpp"
+
+namespace smpi::core {
+namespace {
+
+enum Builtin {
+  kMax = 0,
+  kMin,
+  kSum,
+  kProd,
+  kLand,
+  kBand,
+  kLor,
+  kBor,
+  kLxor,
+  kBxor,
+};
+
+template <typename T>
+void apply_arith(Builtin op, const T* in, T* inout, int count) {
+  switch (op) {
+    case kMax:
+      for (int i = 0; i < count; ++i) inout[i] = in[i] > inout[i] ? in[i] : inout[i];
+      break;
+    case kMin:
+      for (int i = 0; i < count; ++i) inout[i] = in[i] < inout[i] ? in[i] : inout[i];
+      break;
+    case kSum:
+      for (int i = 0; i < count; ++i) inout[i] = static_cast<T>(in[i] + inout[i]);
+      break;
+    case kProd:
+      for (int i = 0; i < count; ++i) inout[i] = static_cast<T>(in[i] * inout[i]);
+      break;
+    case kLand:
+      for (int i = 0; i < count; ++i) inout[i] = static_cast<T>((in[i] != T{}) && (inout[i] != T{}));
+      break;
+    case kLor:
+      for (int i = 0; i < count; ++i) inout[i] = static_cast<T>((in[i] != T{}) || (inout[i] != T{}));
+      break;
+    case kLxor:
+      for (int i = 0; i < count; ++i)
+        inout[i] = static_cast<T>((in[i] != T{}) != (inout[i] != T{}));
+      break;
+    default:
+      SMPI_UNREACHABLE("bitwise op dispatched to arithmetic applier");
+  }
+}
+
+template <typename T>
+void apply_bitwise(Builtin op, const T* in, T* inout, int count) {
+  switch (op) {
+    case kBand:
+      for (int i = 0; i < count; ++i) inout[i] = static_cast<T>(in[i] & inout[i]);
+      break;
+    case kBor:
+      for (int i = 0; i < count; ++i) inout[i] = static_cast<T>(in[i] | inout[i]);
+      break;
+    case kBxor:
+      for (int i = 0; i < count; ++i) inout[i] = static_cast<T>(in[i] ^ inout[i]);
+      break;
+    default:
+      SMPI_UNREACHABLE("non-bitwise op dispatched to bitwise applier");
+  }
+}
+
+bool is_bitwise(Builtin op) { return op == kBand || op == kBor || op == kBxor; }
+
+template <typename T>
+void apply_typed(Builtin op, const void* in, void* inout, int count) {
+  if (is_bitwise(op)) {
+    if constexpr (std::is_integral_v<T>) {
+      apply_bitwise<T>(op, static_cast<const T*>(in), static_cast<T*>(inout), count);
+    } else {
+      SMPI_REQUIRE(false, "bitwise reduction on floating-point datatype");
+    }
+  } else {
+    apply_arith<T>(op, static_cast<const T*>(in), static_cast<T*>(inout), count);
+  }
+}
+
+}  // namespace
+
+Op::Op(BuiltinKind builtin, std::string name) : builtin_(builtin), name_(std::move(name)) {}
+
+Op::Op(MPI_User_function* user_fn, bool commutative)
+    : user_fn_(user_fn), commutative_(commutative), name_("user") {}
+
+bool Op::valid_for(const Datatype& datatype) const {
+  if (user_fn_ != nullptr) return true;
+  if (!is_bitwise(static_cast<Builtin>(builtin_))) return true;
+  switch (datatype.element_type()) {
+    case BasicType::kFloat:
+    case BasicType::kDouble:
+    case BasicType::kLongDouble:
+      return false;
+    default:
+      return true;
+  }
+}
+
+void Op::apply(const void* in, void* inout, int count, Datatype* datatype) const {
+  if (user_fn_ != nullptr) {
+    int len = count * static_cast<int>(datatype->element_count());
+    MPI_Datatype handle = datatype;
+    user_fn_(const_cast<void*>(in), inout, &len, &handle);
+    return;
+  }
+  const auto op = static_cast<Builtin>(builtin_);
+  const int n = count * static_cast<int>(datatype->element_count());
+  switch (datatype->element_type()) {
+    case BasicType::kChar:
+      apply_typed<char>(op, in, inout, n);
+      break;
+    case BasicType::kSignedChar:
+      apply_typed<signed char>(op, in, inout, n);
+      break;
+    case BasicType::kUnsignedChar:
+    case BasicType::kByte:
+      apply_typed<unsigned char>(op, in, inout, n);
+      break;
+    case BasicType::kShort:
+      apply_typed<short>(op, in, inout, n);
+      break;
+    case BasicType::kUnsignedShort:
+      apply_typed<unsigned short>(op, in, inout, n);
+      break;
+    case BasicType::kInt:
+      apply_typed<int>(op, in, inout, n);
+      break;
+    case BasicType::kUnsigned:
+      apply_typed<unsigned>(op, in, inout, n);
+      break;
+    case BasicType::kLong:
+      apply_typed<long>(op, in, inout, n);
+      break;
+    case BasicType::kUnsignedLong:
+      apply_typed<unsigned long>(op, in, inout, n);
+      break;
+    case BasicType::kLongLong:
+      apply_typed<long long>(op, in, inout, n);
+      break;
+    case BasicType::kUnsignedLongLong:
+      apply_typed<unsigned long long>(op, in, inout, n);
+      break;
+    case BasicType::kFloat:
+      apply_typed<float>(op, in, inout, n);
+      break;
+    case BasicType::kDouble:
+      apply_typed<double>(op, in, inout, n);
+      break;
+    case BasicType::kLongDouble:
+      apply_typed<long double>(op, in, inout, n);
+      break;
+    case BasicType::kDerived:
+      SMPI_UNREACHABLE("derived type without element type in reduction");
+  }
+}
+
+namespace {
+Op g_max(kMax, "MPI_MAX");
+Op g_min(kMin, "MPI_MIN");
+Op g_sum(kSum, "MPI_SUM");
+Op g_prod(kProd, "MPI_PROD");
+Op g_land(kLand, "MPI_LAND");
+Op g_band(kBand, "MPI_BAND");
+Op g_lor(kLor, "MPI_LOR");
+Op g_bor(kBor, "MPI_BOR");
+Op g_lxor(kLxor, "MPI_LXOR");
+Op g_bxor(kBxor, "MPI_BXOR");
+}  // namespace
+
+}  // namespace smpi::core
+
+MPI_Op MPI_MAX = &smpi::core::g_max;
+MPI_Op MPI_MIN = &smpi::core::g_min;
+MPI_Op MPI_SUM = &smpi::core::g_sum;
+MPI_Op MPI_PROD = &smpi::core::g_prod;
+MPI_Op MPI_LAND = &smpi::core::g_land;
+MPI_Op MPI_BAND = &smpi::core::g_band;
+MPI_Op MPI_LOR = &smpi::core::g_lor;
+MPI_Op MPI_BOR = &smpi::core::g_bor;
+MPI_Op MPI_LXOR = &smpi::core::g_lxor;
+MPI_Op MPI_BXOR = &smpi::core::g_bxor;
+
+int MPI_Op_create(MPI_User_function* function, int commute, MPI_Op* op) {
+  if (function == nullptr || op == nullptr) return MPI_ERR_OP;
+  auto& proc = smpi::core::current_process_checked();
+  proc.ops.push_back(std::make_unique<smpi::core::Op>(function, commute != 0));
+  *op = proc.ops.back().get();
+  return MPI_SUCCESS;
+}
+
+int MPI_Op_free(MPI_Op* op) {
+  if (op == nullptr || *op == MPI_OP_NULL) return MPI_ERR_OP;
+  *op = MPI_OP_NULL;
+  return MPI_SUCCESS;
+}

@@ -1,0 +1,739 @@
+// Point-to-point engine: posting, matching, transfer timing, completion.
+//
+// Timing model per message (size s, personality P):
+//   sender pays P.overhead_send, plus a copy cost for eager buffering;
+//   s < P.eager_threshold  — "eager": the data flow starts at send time and
+//       the send completes immediately (buffered mode); the receive completes
+//       when the flow arrives (plus P.overhead_recv);
+//   s >= threshold         — "rendezvous": the data flow starts when both
+//       sides are posted (synchronous mode). With
+//       P.emulate_protocol_messages the RTS/CTS round-trip is sent as real
+//       zero-byte flows first (ground-truth personalities); SMPI mode leaves
+//       it folded into the calibrated piece-wise model (§4.1).
+//
+// Envelopes are enqueued in send order, so MPI's non-overtaking rule holds.
+#include <algorithm>
+#include <cstring>
+
+#include "smpi/internals.hpp"
+#include "util/check.hpp"
+
+namespace smpi::core {
+
+namespace {
+
+SmpiConfig const& config() { return SmpiWorld::instance()->config(); }
+
+// Collective-internal messages match in a shadow scope of the communicator.
+int scope_key(const Comm* comm, bool coll_scope) {
+  return coll_scope ? -(comm->id() + 1) : comm->id();
+}
+
+bool matches(const Envelope& env, const Request& recv) {
+  if (recv.peer != MPI_ANY_SOURCE && recv.peer != env.src_comm_rank) return false;
+  if (recv.tag != MPI_ANY_TAG && recv.tag != env.tag) return false;
+  return true;
+}
+
+// Copy the message payload into the receive buffer, honoring datatypes and
+// truncation. `packed` is the packed representation when available (eager);
+// rendezvous reads straight from the sender's buffer.
+void copy_payload_to_receiver(const Envelope& env, Request& recv) {
+  const std::size_t capacity = static_cast<std::size_t>(recv.count) * recv.datatype->size();
+  const std::size_t bytes = std::min(env.bytes, capacity);
+  recv.status_bytes = bytes;
+  if (env.bytes > capacity) recv.status_error = MPI_ERR_TRUNCATE;
+  if (bytes == 0) return;
+
+  if (env.eager_data != nullptr) {
+    recv.datatype->unpack_bytes(env.eager_data.get(), bytes, recv.recv_buf);
+    return;
+  }
+  // Rendezvous: read from the sender's live buffer.
+  const Request* send = env.send_request;
+  SMPI_ENSURE(send != nullptr, "rendezvous envelope lost its sender");
+  if (!send->datatype->needs_packing()) {
+    recv.datatype->unpack_bytes(send->send_buf, bytes, recv.recv_buf);
+  } else {
+    std::vector<unsigned char> packed(env.bytes);
+    send->datatype->pack(send->send_buf, send->count, packed.data());
+    recv.datatype->unpack_bytes(packed.data(), bytes, recv.recv_buf);
+  }
+}
+
+void complete_receive_after(Request& recv, double extra_delay) {
+  auto* engine = &SmpiWorld::instance()->engine();
+  sim::ActivityPtr token = recv.token;
+  if (extra_delay <= 0) {
+    token->finish(sim::Activity::State::kDone);
+    return;
+  }
+  engine->add_timer(engine->now() + extra_delay,
+                    [token] { token->finish(sim::Activity::State::kDone); });
+}
+
+// Start the rendezvous data transfer once the (possibly emulated) control
+// messages are through, then complete both sides.
+void start_rendezvous_transfer(std::shared_ptr<Envelope> env, Request& recv) {
+  auto* world = SmpiWorld::instance();
+  const double o_recv = world->config().personality.overhead_recv_s;
+  Request* send = env->send_request;
+  SMPI_ENSURE(send != nullptr, "rendezvous transfer without sender");
+  auto data_flow = world->network().start_flow(world->process(env->src_world_rank)->node,
+                                               world->process(env->dst_world_rank)->node,
+                                               static_cast<double>(env->bytes), {});
+  env->data_flow = data_flow;
+  Request* recv_ptr = &recv;
+  data_flow->on_completion([env, recv_ptr, send, o_recv](sim::Activity&) {
+    copy_payload_to_receiver(*env, *recv_ptr);
+    send->token->finish(sim::Activity::State::kDone);
+    complete_receive_after(*recv_ptr, o_recv);
+  });
+}
+
+void match(std::shared_ptr<Envelope> env, Request& recv) {
+  env->matched = true;
+  recv.status_source = env->src_comm_rank;
+  recv.status_tag = env->tag;
+
+  auto* world = SmpiWorld::instance();
+  const double o_recv = world->config().personality.overhead_recv_s;
+
+  if (env->eager) {
+    Request* recv_ptr = &recv;
+    env->data_flow->on_completion([env, recv_ptr, o_recv](sim::Activity&) {
+      copy_payload_to_receiver(*env, *recv_ptr);
+      complete_receive_after(*recv_ptr, o_recv);
+    });
+    return;
+  }
+  // Rendezvous: CTS back to the sender (emulated mode), then the data.
+  if (world->config().personality.emulate_protocol_messages) {
+    Request* recv_ptr = &recv;
+    auto after_rts = [env, recv_ptr, world](sim::Activity&) {
+      auto cts = world->network().start_flow(world->process(env->dst_world_rank)->node,
+                                             world->process(env->src_world_rank)->node, 0, {});
+      cts->on_completion(
+          [env, recv_ptr](sim::Activity&) { start_rendezvous_transfer(env, *recv_ptr); });
+    };
+    SMPI_ENSURE(env->rts_flow != nullptr, "emulated rendezvous without RTS");
+    env->rts_flow->on_completion(after_rts);
+    return;
+  }
+  start_rendezvous_transfer(env, recv);
+}
+
+void try_match_new_envelope(Process& receiver, std::shared_ptr<Envelope> env) {
+  MatchQueues& queues = receiver.matching[env->comm_id];
+  for (auto it = queues.posted_recvs.begin(); it != queues.posted_recvs.end(); ++it) {
+    if (matches(*env, **it)) {
+      Request* recv = *it;
+      queues.posted_recvs.erase(it);
+      match(std::move(env), *recv);
+      return;
+    }
+  }
+  queues.unexpected.push_back(std::move(env));
+  receiver.signal_arrival();
+}
+
+}  // namespace
+
+void Process::signal_arrival() {
+  if (arrival_signal == nullptr) return;  // nobody probing
+  auto old = arrival_signal;
+  arrival_signal = nullptr;
+  old->finish(sim::Activity::State::kDone);
+}
+
+void post_send(Request& request) {
+  auto* world = SmpiWorld::instance();
+  auto& engine = world->engine();
+  request.token = std::make_shared<sim::Activity>("send");
+  request.status_error = MPI_SUCCESS;
+  request.active = true;
+  request.ever_started = true;
+
+  if (request.peer == MPI_PROC_NULL) {
+    request.token->finish(sim::Activity::State::kDone);
+    return;
+  }
+
+  const Personality& personality = config().personality;
+  const std::size_t bytes = static_cast<std::size_t>(request.count) * request.datatype->size();
+  const bool eager = bytes < personality.eager_threshold;
+
+  // Sender-side software overheads are paid in the sender's own timeline.
+  double overhead = personality.overhead_send_s;
+  if (eager) overhead += static_cast<double>(bytes) * personality.copy_cost_s_per_byte;
+  if (overhead > 0) engine.sleep_for(overhead);
+
+  const int src_world = request.owner->world_rank;
+  const int dst_world = request.comm->world_rank(request.peer);
+  Process* receiver = world->process(dst_world);
+
+  auto env = std::make_shared<Envelope>();
+  env->src_comm_rank = request.comm->rank_of_world(src_world);
+  env->src_world_rank = src_world;
+  env->dst_world_rank = dst_world;
+  env->tag = request.tag;
+  env->comm_id = scope_key(request.comm, request.coll_scope);
+  env->bytes = bytes;
+  env->eager = eager;
+
+  if (eager) {
+    // Buffered: snapshot the payload and ship it; the send completes now.
+    env->eager_data = std::make_unique<unsigned char[]>(std::max<std::size_t>(bytes, 1));
+    request.datatype->pack(request.send_buf, request.count, env->eager_data.get());
+    env->data_flow = world->network().start_flow(request.owner->node, receiver->node,
+                                                 static_cast<double>(bytes), {});
+    request.token->finish(sim::Activity::State::kDone);
+  } else {
+    env->send_request = &request;
+    if (personality.emulate_protocol_messages) {
+      env->rts_flow = world->network().start_flow(request.owner->node, receiver->node, 0, {});
+    }
+  }
+  try_match_new_envelope(*receiver, std::move(env));
+}
+
+void post_recv(Request& request) {
+  request.token = std::make_shared<sim::Activity>("recv");
+  request.status_error = MPI_SUCCESS;
+  request.status_bytes = 0;
+  request.active = true;
+  request.ever_started = true;
+
+  if (request.peer == MPI_PROC_NULL) {
+    request.status_source = MPI_PROC_NULL;
+    request.status_tag = MPI_ANY_TAG;
+    request.token->finish(sim::Activity::State::kDone);
+    return;
+  }
+
+  Process& receiver = *request.owner;
+  MatchQueues& queues = receiver.matching[scope_key(request.comm, request.coll_scope)];
+  for (auto it = queues.unexpected.begin(); it != queues.unexpected.end(); ++it) {
+    if (matches(**it, request)) {
+      auto env = *it;
+      queues.unexpected.erase(it);
+      match(std::move(env), request);
+      return;
+    }
+  }
+  queues.posted_recvs.push_back(&request);
+}
+
+void fill_status(const Request& request, MPI_Status* status) {
+  if (status == MPI_STATUS_IGNORE) return;
+  status->MPI_SOURCE = request.status_source;
+  status->MPI_TAG = request.status_tag;
+  status->MPI_ERROR = request.status_error;
+  status->count_bytes = static_cast<long long>(request.status_bytes);
+}
+
+namespace {
+
+// Post-completion bookkeeping shared by the wait/test family. Fills status,
+// deactivates (persistent) or releases (ordinary) the request, and nulls the
+// user handle for ordinary requests.
+int finalize_completed(Request*& request, MPI_Status* status) {
+  fill_status(*request, status);
+  const int rc = request->status_error;
+  request->active = false;
+  if (!request->persistent) {
+    request->released = true;
+    Process* owner = request->owner;
+    request = MPI_REQUEST_NULL;
+    owner->gc_requests();
+  }
+  return rc;
+}
+
+bool is_pending(const MPI_Request& request) {
+  return request != MPI_REQUEST_NULL && request->ever_started && request->active;
+}
+
+}  // namespace
+
+int wait_request(Request*& request, MPI_Status* status) {
+  if (request == MPI_REQUEST_NULL || !request->ever_started || !request->active) {
+    // MPI: waiting on an inactive/null request returns an "empty" status.
+    if (status != MPI_STATUS_IGNORE) {
+      status->MPI_SOURCE = MPI_ANY_SOURCE;
+      status->MPI_TAG = MPI_ANY_TAG;
+      status->MPI_ERROR = MPI_SUCCESS;
+      status->count_bytes = 0;
+    }
+    return MPI_SUCCESS;
+  }
+  request->token->wait();
+  return finalize_completed(request, status);
+}
+
+// ---------------------------------------------------------------------------
+// Internal helpers for collectives
+// ---------------------------------------------------------------------------
+
+int internal_isend(const void* buf, int count, Datatype* type, int dest, int tag, Comm* comm,
+                   Request** out, bool coll) {
+  Process& proc = current_process_checked();
+  Request* req = proc.new_request();
+  req->kind = Request::Kind::kSend;
+  req->coll_scope = coll;
+  req->send_buf = buf;
+  req->count = count;
+  req->datatype = type;
+  req->peer = dest;
+  req->tag = tag;
+  req->comm = comm;
+  post_send(*req);
+  *out = req;
+  return MPI_SUCCESS;
+}
+
+int internal_irecv(void* buf, int count, Datatype* type, int src, int tag, Comm* comm,
+                   Request** out, bool coll) {
+  Process& proc = current_process_checked();
+  Request* req = proc.new_request();
+  req->kind = Request::Kind::kRecv;
+  req->coll_scope = coll;
+  req->recv_buf = buf;
+  req->count = count;
+  req->datatype = type;
+  req->peer = src;
+  req->tag = tag;
+  req->comm = comm;
+  post_recv(*req);
+  *out = req;
+  return MPI_SUCCESS;
+}
+
+int internal_wait(Request* request) {
+  MPI_Request handle = request;
+  return wait_request(handle, MPI_STATUS_IGNORE);
+}
+
+int internal_send(const void* buf, int count, Datatype* type, int dest, int tag, Comm* comm,
+                  bool coll) {
+  Request* req = nullptr;
+  const int rc = internal_isend(buf, count, type, dest, tag, comm, &req, coll);
+  if (rc != MPI_SUCCESS) return rc;
+  return internal_wait(req);
+}
+
+int internal_recv(void* buf, int count, Datatype* type, int src, int tag, Comm* comm,
+                  MPI_Status* status, bool coll) {
+  Request* req = nullptr;
+  const int rc = internal_irecv(buf, count, type, src, tag, comm, &req, coll);
+  if (rc != MPI_SUCCESS) return rc;
+  MPI_Request handle = req;
+  return wait_request(handle, status);
+}
+
+// ---------------------------------------------------------------------------
+// Argument validation
+// ---------------------------------------------------------------------------
+
+bool valid_comm(MPI_Comm comm) { return comm != MPI_COMM_NULL; }
+bool valid_count(int count) { return count >= 0; }
+bool valid_type(MPI_Datatype type) { return type != MPI_DATATYPE_NULL; }
+
+bool valid_rank_or_wildcards(int rank, Comm* comm, bool allow_wildcards) {
+  if (rank == MPI_PROC_NULL) return true;
+  if (allow_wildcards && rank == MPI_ANY_SOURCE) return true;
+  return rank >= 0 && rank < comm->size();
+}
+
+bool valid_tag(int tag, bool allow_any) {
+  if (allow_any && tag == MPI_ANY_TAG) return true;
+  return tag >= 0 && tag <= MPI_TAG_UB;
+}
+
+}  // namespace smpi::core
+
+// ---------------------------------------------------------------------------
+// C API
+// ---------------------------------------------------------------------------
+
+using namespace smpi::core;
+namespace sim = smpi::sim;
+
+namespace {
+
+// Simulated cost of one unsuccessful Test/Iprobe poll; keeps tight polling
+// loops from freezing virtual time (SimGrid exposes the same knob).
+constexpr double kTestPollInterval = 1e-7;
+
+int check_p2p_args(const void* buf, int count, MPI_Datatype type, int peer, int tag, MPI_Comm comm,
+                   bool is_recv) {
+  if (!valid_comm(comm)) return MPI_ERR_COMM;
+  if (!valid_count(count)) return MPI_ERR_COUNT;
+  if (!valid_type(type)) return MPI_ERR_TYPE;
+  if (buf == nullptr && count > 0 && peer != MPI_PROC_NULL) return MPI_ERR_BUFFER;
+  if (!valid_rank_or_wildcards(peer, comm, is_recv)) return MPI_ERR_RANK;
+  if (!valid_tag(tag, is_recv)) return MPI_ERR_TAG;
+  return MPI_SUCCESS;
+}
+
+}  // namespace
+
+int MPI_Send(const void* buf, int count, MPI_Datatype datatype, int dest, int tag,
+             MPI_Comm comm) {
+  const int rc = check_p2p_args(buf, count, datatype, dest, tag, comm, false);
+  if (rc != MPI_SUCCESS) return rc;
+  return internal_send(buf, count, datatype, dest, tag, comm);
+}
+
+int MPI_Recv(void* buf, int count, MPI_Datatype datatype, int source, int tag, MPI_Comm comm,
+             MPI_Status* status) {
+  const int rc = check_p2p_args(buf, count, datatype, source, tag, comm, true);
+  if (rc != MPI_SUCCESS) return rc;
+  return internal_recv(buf, count, datatype, source, tag, comm, status);
+}
+
+int MPI_Isend(const void* buf, int count, MPI_Datatype datatype, int dest, int tag, MPI_Comm comm,
+              MPI_Request* request) {
+  if (request == nullptr) return MPI_ERR_REQUEST;
+  const int rc = check_p2p_args(buf, count, datatype, dest, tag, comm, false);
+  if (rc != MPI_SUCCESS) return rc;
+  Request* req = nullptr;
+  internal_isend(buf, count, datatype, dest, tag, comm, &req);
+  *request = req;
+  return MPI_SUCCESS;
+}
+
+int MPI_Irecv(void* buf, int count, MPI_Datatype datatype, int source, int tag, MPI_Comm comm,
+              MPI_Request* request) {
+  if (request == nullptr) return MPI_ERR_REQUEST;
+  const int rc = check_p2p_args(buf, count, datatype, source, tag, comm, true);
+  if (rc != MPI_SUCCESS) return rc;
+  Request* req = nullptr;
+  internal_irecv(buf, count, datatype, source, tag, comm, &req);
+  *request = req;
+  return MPI_SUCCESS;
+}
+
+int MPI_Sendrecv(const void* sendbuf, int sendcount, MPI_Datatype sendtype, int dest, int sendtag,
+                 void* recvbuf, int recvcount, MPI_Datatype recvtype, int source, int recvtag,
+                 MPI_Comm comm, MPI_Status* status) {
+  int rc = check_p2p_args(sendbuf, sendcount, sendtype, dest, sendtag, comm, false);
+  if (rc != MPI_SUCCESS) return rc;
+  rc = check_p2p_args(recvbuf, recvcount, recvtype, source, recvtag, comm, true);
+  if (rc != MPI_SUCCESS) return rc;
+  Request* rreq = nullptr;
+  Request* sreq = nullptr;
+  internal_irecv(recvbuf, recvcount, recvtype, source, recvtag, comm, &rreq);
+  internal_isend(sendbuf, sendcount, sendtype, dest, sendtag, comm, &sreq);
+  MPI_Request rhandle = rreq;
+  const int rrc = wait_request(rhandle, status);
+  MPI_Request shandle = sreq;
+  const int src = wait_request(shandle, MPI_STATUS_IGNORE);
+  return rrc != MPI_SUCCESS ? rrc : src;
+}
+
+// ---------------------------------------------------------------------------
+// Persistent requests
+// ---------------------------------------------------------------------------
+
+int MPI_Send_init(const void* buf, int count, MPI_Datatype datatype, int dest, int tag,
+                  MPI_Comm comm, MPI_Request* request) {
+  if (request == nullptr) return MPI_ERR_REQUEST;
+  const int rc = check_p2p_args(buf, count, datatype, dest, tag, comm, false);
+  if (rc != MPI_SUCCESS) return rc;
+  Process& proc = current_process_checked();
+  Request* req = proc.new_request();
+  req->kind = Request::Kind::kSend;
+  req->persistent = true;
+  req->send_buf = buf;
+  req->count = count;
+  req->datatype = datatype;
+  req->peer = dest;
+  req->tag = tag;
+  req->comm = comm;
+  *request = req;
+  return MPI_SUCCESS;
+}
+
+int MPI_Recv_init(void* buf, int count, MPI_Datatype datatype, int source, int tag, MPI_Comm comm,
+                  MPI_Request* request) {
+  if (request == nullptr) return MPI_ERR_REQUEST;
+  const int rc = check_p2p_args(buf, count, datatype, source, tag, comm, true);
+  if (rc != MPI_SUCCESS) return rc;
+  Process& proc = current_process_checked();
+  Request* req = proc.new_request();
+  req->kind = Request::Kind::kRecv;
+  req->persistent = true;
+  req->recv_buf = buf;
+  req->count = count;
+  req->datatype = datatype;
+  req->peer = source;
+  req->tag = tag;
+  req->comm = comm;
+  *request = req;
+  return MPI_SUCCESS;
+}
+
+int MPI_Start(MPI_Request* request) {
+  if (request == nullptr || *request == MPI_REQUEST_NULL) return MPI_ERR_REQUEST;
+  Request* req = *request;
+  if (!req->persistent || req->active) return MPI_ERR_REQUEST;
+  if (req->kind == Request::Kind::kSend) {
+    post_send(*req);
+  } else {
+    post_recv(*req);
+  }
+  return MPI_SUCCESS;
+}
+
+int MPI_Startall(int count, MPI_Request requests[]) {
+  if (count < 0) return MPI_ERR_COUNT;
+  if (count > 0 && requests == nullptr) return MPI_ERR_REQUEST;
+  for (int i = 0; i < count; ++i) {
+    const int rc = MPI_Start(&requests[i]);
+    if (rc != MPI_SUCCESS) return rc;
+  }
+  return MPI_SUCCESS;
+}
+
+int MPI_Request_free(MPI_Request* request) {
+  if (request == nullptr || *request == MPI_REQUEST_NULL) return MPI_ERR_REQUEST;
+  Request* req = *request;
+  req->released = true;
+  *request = MPI_REQUEST_NULL;
+  if (!req->active) req->owner->gc_requests();
+  return MPI_SUCCESS;
+}
+
+// ---------------------------------------------------------------------------
+// Wait / Test families
+// ---------------------------------------------------------------------------
+
+int MPI_Wait(MPI_Request* request, MPI_Status* status) {
+  if (request == nullptr) return MPI_ERR_REQUEST;
+  return wait_request(*request, status);
+}
+
+int MPI_Waitany(int count, MPI_Request requests[], int* index, MPI_Status* status) {
+  if (count < 0) return MPI_ERR_COUNT;
+  if (index == nullptr) return MPI_ERR_ARG;
+  *index = MPI_UNDEFINED;
+  if (count == 0 || requests == nullptr) return MPI_SUCCESS;
+
+  bool any_pending = false;
+  for (int i = 0; i < count; ++i) {
+    if (!is_pending(requests[i])) continue;
+    any_pending = true;
+    if (requests[i]->completed()) {
+      *index = i;
+      return wait_request(requests[i], status);
+    }
+  }
+  if (!any_pending) return MPI_SUCCESS;  // all null/inactive: empty status
+
+  // Block on a fresh merged token finished by whichever request completes
+  // first. Late finishes on the same token are harmless (finish is
+  // idempotent).
+  auto merged = std::make_shared<sim::Activity>("waitany");
+  for (int i = 0; i < count; ++i) {
+    if (is_pending(requests[i])) {
+      requests[i]->token->on_completion(
+          [merged](sim::Activity&) { merged->finish(sim::Activity::State::kDone); });
+    }
+  }
+  merged->wait();
+  for (int i = 0; i < count; ++i) {
+    if (is_pending(requests[i]) && requests[i]->completed()) {
+      *index = i;
+      return wait_request(requests[i], status);
+    }
+  }
+  SMPI_UNREACHABLE("waitany woke with no completed request");
+}
+
+int MPI_Waitall(int count, MPI_Request requests[], MPI_Status statuses[]) {
+  if (count < 0) return MPI_ERR_COUNT;
+  if (count > 0 && requests == nullptr) return MPI_ERR_REQUEST;
+  int rc = MPI_SUCCESS;
+  for (int i = 0; i < count; ++i) {
+    MPI_Status* status = statuses == MPI_STATUSES_IGNORE ? MPI_STATUS_IGNORE : &statuses[i];
+    const int one = wait_request(requests[i], status);
+    if (one != MPI_SUCCESS) rc = MPI_ERR_IN_STATUS;
+  }
+  return rc;
+}
+
+int MPI_Waitsome(int incount, MPI_Request requests[], int* outcount, int indices[],
+                 MPI_Status statuses[]) {
+  if (incount < 0) return MPI_ERR_COUNT;
+  if (outcount == nullptr || (incount > 0 && (requests == nullptr || indices == nullptr))) {
+    return MPI_ERR_ARG;
+  }
+  *outcount = 0;
+  bool any_pending = false;
+  for (int i = 0; i < incount; ++i) {
+    if (is_pending(requests[i])) any_pending = true;
+  }
+  if (!any_pending) {
+    *outcount = MPI_UNDEFINED;
+    return MPI_SUCCESS;
+  }
+  // Wait until at least one completes.
+  int first = MPI_UNDEFINED;
+  const int rc = MPI_Waitany(incount, requests, &first, MPI_STATUS_IGNORE);
+  if (rc != MPI_SUCCESS) return rc;
+  if (first == MPI_UNDEFINED) {
+    *outcount = MPI_UNDEFINED;
+    return MPI_SUCCESS;
+  }
+  indices[(*outcount)++] = first;
+  // Collect everything else that is already done.
+  for (int i = 0; i < incount; ++i) {
+    if (i == first) continue;
+    if (is_pending(requests[i]) && requests[i]->completed()) {
+      MPI_Status* status =
+          statuses == MPI_STATUSES_IGNORE ? MPI_STATUS_IGNORE : &statuses[*outcount];
+      wait_request(requests[i], status);
+      indices[(*outcount)++] = i;
+    }
+  }
+  return MPI_SUCCESS;
+}
+
+int MPI_Test(MPI_Request* request, int* flag, MPI_Status* status) {
+  if (request == nullptr || flag == nullptr) return MPI_ERR_ARG;
+  if (*request == MPI_REQUEST_NULL || !(*request)->ever_started || !(*request)->active) {
+    *flag = 1;
+    return wait_request(*request, status);  // empty status path
+  }
+  if ((*request)->completed()) {
+    *flag = 1;
+    return wait_request(*request, status);
+  }
+  *flag = 0;
+  // Let simulated time advance between polls; a pure yield would starve the
+  // clock when the poller is the only runnable process.
+  SmpiWorld::instance()->engine().sleep_for(kTestPollInterval);
+  return MPI_SUCCESS;
+}
+
+int MPI_Testany(int count, MPI_Request requests[], int* index, int* flag, MPI_Status* status) {
+  if (count < 0) return MPI_ERR_COUNT;
+  if (index == nullptr || flag == nullptr) return MPI_ERR_ARG;
+  *index = MPI_UNDEFINED;
+  *flag = 0;
+  bool any_pending = false;
+  for (int i = 0; i < count; ++i) {
+    if (!is_pending(requests[i])) continue;
+    any_pending = true;
+    if (requests[i]->completed()) {
+      *index = i;
+      *flag = 1;
+      return wait_request(requests[i], status);
+    }
+  }
+  if (!any_pending) {
+    *flag = 1;  // all inactive: returns flag=true with empty status
+    if (status != MPI_STATUS_IGNORE) {
+      status->MPI_SOURCE = MPI_ANY_SOURCE;
+      status->MPI_TAG = MPI_ANY_TAG;
+      status->MPI_ERROR = MPI_SUCCESS;
+      status->count_bytes = 0;
+    }
+    return MPI_SUCCESS;
+  }
+  SmpiWorld::instance()->engine().sleep_for(kTestPollInterval);
+  return MPI_SUCCESS;
+}
+
+int MPI_Testall(int count, MPI_Request requests[], int* flag, MPI_Status statuses[]) {
+  if (count < 0) return MPI_ERR_COUNT;
+  if (flag == nullptr) return MPI_ERR_ARG;
+  for (int i = 0; i < count; ++i) {
+    if (is_pending(requests[i]) && !requests[i]->completed()) {
+      *flag = 0;
+      SmpiWorld::instance()->engine().sleep_for(kTestPollInterval);
+      return MPI_SUCCESS;
+    }
+  }
+  *flag = 1;
+  return MPI_Waitall(count, requests, statuses);
+}
+
+// ---------------------------------------------------------------------------
+// Probe
+// ---------------------------------------------------------------------------
+
+namespace {
+
+smpi::core::Envelope* find_probe_match(Process& proc, int source, int tag, MPI_Comm comm) {
+  auto it = proc.matching.find(comm->id());
+  if (it == proc.matching.end()) return nullptr;
+  for (auto& env : it->second.unexpected) {
+    const bool src_ok = source == MPI_ANY_SOURCE || env->src_comm_rank == source;
+    const bool tag_ok = tag == MPI_ANY_TAG || env->tag == tag;
+    if (src_ok && tag_ok) return env.get();
+  }
+  return nullptr;
+}
+
+void fill_probe_status(const Envelope& env, MPI_Status* status) {
+  if (status == MPI_STATUS_IGNORE) return;
+  status->MPI_SOURCE = env.src_comm_rank;
+  status->MPI_TAG = env.tag;
+  status->MPI_ERROR = MPI_SUCCESS;
+  status->count_bytes = static_cast<long long>(env.bytes);
+}
+
+}  // namespace
+
+int MPI_Iprobe(int source, int tag, MPI_Comm comm, int* flag, MPI_Status* status) {
+  if (!valid_comm(comm)) return MPI_ERR_COMM;
+  if (flag == nullptr) return MPI_ERR_ARG;
+  if (!valid_rank_or_wildcards(source, comm, true)) return MPI_ERR_RANK;
+  if (!valid_tag(tag, true)) return MPI_ERR_TAG;
+  Process& proc = current_process_checked();
+  Envelope* env = find_probe_match(proc, source, tag, comm);
+  if (env != nullptr) {
+    *flag = 1;
+    fill_probe_status(*env, status);
+  } else {
+    *flag = 0;
+    SmpiWorld::instance()->engine().sleep_for(kTestPollInterval);
+  }
+  return MPI_SUCCESS;
+}
+
+int MPI_Probe(int source, int tag, MPI_Comm comm, MPI_Status* status) {
+  if (!valid_comm(comm)) return MPI_ERR_COMM;
+  if (!valid_rank_or_wildcards(source, comm, true)) return MPI_ERR_RANK;
+  if (!valid_tag(tag, true)) return MPI_ERR_TAG;
+  Process& proc = current_process_checked();
+  while (true) {
+    Envelope* env = find_probe_match(proc, source, tag, comm);
+    if (env != nullptr) {
+      fill_probe_status(*env, status);
+      return MPI_SUCCESS;
+    }
+    if (proc.arrival_signal == nullptr) {
+      proc.arrival_signal = std::make_shared<sim::Activity>("probe");
+    }
+    proc.arrival_signal->wait();
+  }
+}
+
+int MPI_Get_count(const MPI_Status* status, MPI_Datatype datatype, int* count) {
+  if (status == nullptr || count == nullptr) return MPI_ERR_ARG;
+  if (!valid_type(datatype)) return MPI_ERR_TYPE;
+  if (datatype->size() == 0) {
+    *count = status->count_bytes == 0 ? 0 : MPI_UNDEFINED;
+    return MPI_SUCCESS;
+  }
+  const auto bytes = static_cast<std::size_t>(status->count_bytes);
+  if (bytes % datatype->size() != 0) {
+    *count = MPI_UNDEFINED;
+  } else {
+    *count = static_cast<int>(bytes / datatype->size());
+  }
+  return MPI_SUCCESS;
+}

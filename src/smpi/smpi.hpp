@@ -1,0 +1,146 @@
+// The simulation-side API of SMPI: configure a target platform + model,
+// then run an MPI program (a plain function using smpi/mpi.h) over N
+// simulated processes inside this single OS process.
+//
+//   auto platform = smpi::platform::build_griffon();
+//   smpi::core::SmpiConfig config;                 // flow model, SMPI defaults
+//   smpi::core::SmpiWorld world(platform, config);
+//   world.run(16, my_mpi_main);
+//   double t = world.simulated_time();
+//
+// Ground-truth mode (the paper's "OpenMPI"/"MPICH2" real runs) is the same
+// call with config.backend = kPacket and a personality.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "platform/platform.hpp"
+#include "pnet/packetnet.hpp"
+#include "sim/engine.hpp"
+#include "surf/cpu.hpp"
+#include "surf/network.hpp"
+
+namespace smpi::core {
+
+class Process;
+class Comm;
+class Group;
+class MemoryTracker;
+
+// Models how a concrete MPI implementation moves one message: protocol
+// switch point, per-message software overheads, and whether the rendezvous
+// control messages are sent for real (ground-truth mode) or folded into the
+// calibrated piece-wise model (SMPI mode).
+struct Personality {
+  std::string name = "smpi";
+  std::uint64_t eager_threshold = 64 * 1024;
+  double overhead_send_s = 0;       // sender-side per-message CPU cost
+  double overhead_recv_s = 0;       // receiver-side per-message CPU cost
+  double copy_cost_s_per_byte = 0;  // eager buffering memcpy cost
+  bool emulate_protocol_messages = false;  // explicit RTS/CTS round-trip
+
+  static Personality smpi();     // everything folded into the network model
+  static Personality openmpi();  // ground-truth personality A
+  static Personality mpich2();   // ground-truth personality B
+};
+
+struct SmpiConfig {
+  enum class Backend { kFlow, kPacket };
+  Backend backend = Backend::kFlow;
+  surf::NetworkConfig network;   // used when backend == kFlow
+  pnet::PacketNetConfig packet;  // used when backend == kPacket
+  Personality personality = Personality::smpi();
+  sim::EngineConfig engine;
+
+  // Host node performance (flop/s) used to convert measured CPU-burst
+  // durations into target flops (§3.1/§6), and an additional user scale
+  // factor for "what if the target nodes were k x faster" studies.
+  double host_speed_flops = 1e9;
+  double cpu_scale = 1.0;
+
+  // Simulated-host RAM budget; the memory tracker flags configurations whose
+  // unfolded footprint would not fit (the "OM" labels of Figure 16).
+  std::uint64_t host_ram_budget_bytes = 16ull << 30;
+
+  // Rank placement: rank r runs on node placement[r] when `placement` is
+  // non-empty, otherwise on node (r * placement_stride) % host_count.
+  std::vector<int> placement;
+  int placement_stride = 1;
+};
+
+struct MemoryReport {
+  std::uint64_t folded_peak_bytes = 0;    // what the simulation really allocates
+  std::uint64_t unfolded_peak_bytes = 0;  // what m processes would have used
+  std::uint64_t max_rank_peak_bytes = 0;  // largest single-rank footprint
+  bool over_budget = false;               // unfolded footprint exceeds the host budget
+};
+
+using MpiMain = std::function<void(int argc, char** argv)>;
+
+class SmpiWorld {
+ public:
+  SmpiWorld(const platform::Platform& platform, SmpiConfig config);
+  ~SmpiWorld();
+
+  SmpiWorld(const SmpiWorld&) = delete;
+  SmpiWorld& operator=(const SmpiWorld&) = delete;
+
+  // Runs `app` as `nprocs` MPI processes; returns when all have finished.
+  // argv[0] is `app_name`, followed by `args`.
+  void run(int nprocs, MpiMain app, std::vector<std::string> args = {},
+           std::string app_name = "smpi_app");
+
+  double simulated_time() const { return finish_time_; }
+  MemoryReport memory_report() const;
+  bool aborted() const { return aborted_; }
+  int abort_code() const { return abort_code_; }
+
+  sim::Engine& engine() { return *engine_; }
+  const platform::Platform& platform() const { return platform_; }
+  const SmpiConfig& config() const { return config_; }
+  sim::NetworkBackend& network() { return *network_; }
+  sim::ComputeBackend& cpu() { return *cpu_; }
+
+  // --- internal services (used by the MPI call implementations) -----------
+  static SmpiWorld* instance();
+  Process* current_process();           // nullptr outside MPI ranks
+  Process* process(int world_rank);
+  int world_size() const { return static_cast<int>(processes_.size()); }
+  Comm* world_comm() { return world_comm_; }
+  Group* empty_group() { return empty_group_; }
+  MemoryTracker& memory() { return *memory_; }
+  void record_abort(int code);
+  int next_comm_id() { return next_comm_id_++; }
+
+ private:
+  const platform::Platform& platform_;
+  SmpiConfig config_;
+  std::unique_ptr<sim::Engine> engine_;
+  std::shared_ptr<surf::CpuModel> cpu_model_;
+  sim::NetworkBackend* network_ = nullptr;
+  sim::ComputeBackend* cpu_ = nullptr;
+  std::vector<std::unique_ptr<Process>> processes_;
+  Comm* world_comm_ = nullptr;
+  Group* empty_group_ = nullptr;
+  std::unique_ptr<MemoryTracker> memory_;
+  std::vector<std::unique_ptr<Comm>> static_comms_;
+  std::vector<std::unique_ptr<Group>> static_groups_;
+  std::exception_ptr first_exception_;
+  std::vector<std::string> argv_storage_;
+  std::vector<char*> argv_pointers_;
+  double finish_time_ = 0;
+  bool aborted_ = false;
+  int abort_code_ = 0;
+  int next_comm_id_ = 1;
+};
+
+// Convenience wrapper: build world, run, return simulated time.
+double run_simulation(const platform::Platform& platform, const SmpiConfig& config, int nprocs,
+                      MpiMain app, std::vector<std::string> args = {});
+
+}  // namespace smpi::core

@@ -1,0 +1,83 @@
+#include "surf/cpu.hpp"
+
+#include <algorithm>
+
+#include "sim/engine.hpp"
+#include "util/check.hpp"
+
+namespace smpi::surf {
+namespace {
+constexpr double kRemainingEps = 1e-3;  // flops
+}  // namespace
+
+CpuModel::CpuModel(const platform::Platform& platform) : platform_(platform) {
+  host_constraint_.reserve(static_cast<std::size_t>(platform_.host_count()));
+  for (int id = 0; id < platform_.host_count(); ++id) {
+    const auto& host = platform_.host(id);
+    host_constraint_.push_back(system_.new_constraint(host.speed_flops * host.cores));
+  }
+}
+
+double CpuModel::node_speed(int node) const {
+  return platform_.host(node).speed_flops;
+}
+
+sim::ActivityPtr CpuModel::execute(int node, double flops) {
+  SMPI_REQUIRE(node >= 0 && node < platform_.host_count(), "execute on unknown node");
+  SMPI_REQUIRE(flops >= 0, "negative computation");
+  auto activity = std::make_shared<sim::Activity>("exec");
+  if (flops <= 0) {
+    activity->finish(sim::Activity::State::kDone);
+    return activity;
+  }
+  auto exec = std::make_shared<Execution>();
+  exec->activity = activity;
+  exec->remaining = flops;
+  exec->var = system_.new_variable(1.0, platform_.host(node).speed_flops);
+  system_.attach(exec->var, host_constraint_[static_cast<std::size_t>(node)]);
+  executions_.push_back(std::move(exec));
+  return activity;
+}
+
+void CpuModel::refresh_rates() {
+  if (!system_.dirty()) return;
+  system_.solve();
+  for (auto& exec : executions_) exec->rate = system_.value(exec->var);
+}
+
+double CpuModel::next_event_time(double now) {
+  refresh_rates();
+  double next = sim::kNever;
+  for (const auto& exec : executions_) {
+    SMPI_ENSURE(exec->rate > 0, "active execution with zero rate");
+    next = std::min(next, now + std::max(0.0, exec->remaining) / exec->rate);
+  }
+  return next;
+}
+
+void CpuModel::advance_to(double now) {
+  refresh_rates();
+  const double dt = now - last_update_;
+  last_update_ = now;
+  if (executions_.empty()) return;
+  if (dt > 0) {
+    for (auto& exec : executions_) exec->remaining -= exec->rate * dt;
+  }
+  auto finished = [](const std::shared_ptr<Execution>& exec) {
+    return exec->remaining <= kRemainingEps;
+  };
+  std::vector<std::shared_ptr<Execution>> done;
+  for (auto& exec : executions_) {
+    if (finished(exec)) {
+      system_.release_variable(exec->var);
+      done.push_back(exec);
+    }
+  }
+  if (done.empty()) return;
+  executions_.erase(std::remove_if(executions_.begin(), executions_.end(), finished),
+                    executions_.end());
+  refresh_rates();
+  for (auto& exec : done) exec->activity->finish(sim::Activity::State::kDone);
+}
+
+}  // namespace smpi::surf

@@ -1,0 +1,49 @@
+// CPU model: hosts expose cores x speed flop/s; computations are fluid
+// actions sharing the host capacity through the same max-min solver as the
+// network (a single process never exceeds one core's speed).
+//
+// The MPI layer turns measured CPU-burst durations into flops through
+// node_speed(), implementing the host-to-target scaling of §3.1.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "platform/platform.hpp"
+#include "sim/model.hpp"
+#include "surf/maxmin.hpp"
+
+namespace smpi::surf {
+
+class CpuModel final : public sim::Model, public sim::ComputeBackend {
+ public:
+  explicit CpuModel(const platform::Platform& platform);
+
+  // sim::ComputeBackend
+  sim::ActivityPtr execute(int node, double flops) override;
+  double node_speed(int node) const override;
+
+  // sim::Model
+  double next_event_time(double now) override;
+  void advance_to(double now) override;
+
+  std::size_t active_execution_count() const { return executions_.size(); }
+
+ private:
+  struct Execution {
+    sim::ActivityPtr activity;
+    double remaining = 0;
+    double rate = 0;
+    int var = -1;
+  };
+
+  void refresh_rates();
+
+  const platform::Platform& platform_;
+  MaxMinSystem system_;
+  std::vector<int> host_constraint_;
+  std::vector<std::shared_ptr<Execution>> executions_;
+  double last_update_ = 0;
+};
+
+}  // namespace smpi::surf

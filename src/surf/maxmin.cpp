@@ -1,0 +1,193 @@
+#include "surf/maxmin.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace smpi::surf {
+
+int MaxMinSystem::new_constraint(double capacity) {
+  SMPI_REQUIRE(capacity > 0, "constraint capacity must be positive");
+  constraints_.push_back(Constraint{capacity, {}});
+  dirty_ = true;
+  return static_cast<int>(constraints_.size()) - 1;
+}
+
+int MaxMinSystem::new_variable(double weight, double bound) {
+  SMPI_REQUIRE(weight > 0, "variable weight must be positive");
+  SMPI_REQUIRE(bound > 0, "variable bound must be positive");
+  int id;
+  if (!free_variable_ids_.empty()) {
+    id = free_variable_ids_.back();
+    free_variable_ids_.pop_back();
+    variables_[static_cast<std::size_t>(id)] = Variable{};
+  } else {
+    id = static_cast<int>(variables_.size());
+    variables_.emplace_back();
+  }
+  auto& var = variables_[static_cast<std::size_t>(id)];
+  var.weight = weight;
+  var.bound = bound;
+  var.active = true;
+  ++active_variables_;
+  dirty_ = true;
+  return id;
+}
+
+void MaxMinSystem::attach(int variable, int constraint) {
+  SMPI_REQUIRE(variable >= 0 && variable < static_cast<int>(variables_.size()), "bad variable");
+  SMPI_REQUIRE(constraint >= 0 && constraint < static_cast<int>(constraints_.size()),
+               "bad constraint");
+  auto& var = variables_[static_cast<std::size_t>(variable)];
+  SMPI_REQUIRE(var.active, "attach on retired variable");
+  var.constraints.push_back(constraint);
+  constraints_[static_cast<std::size_t>(constraint)].variables.push_back(variable);
+  dirty_ = true;
+}
+
+void MaxMinSystem::set_bound(int variable, double bound) {
+  SMPI_REQUIRE(bound > 0, "bound must be positive");
+  auto& var = variables_[static_cast<std::size_t>(variable)];
+  SMPI_REQUIRE(var.active, "set_bound on retired variable");
+  var.bound = bound;
+  dirty_ = true;
+}
+
+void MaxMinSystem::set_capacity(int constraint, double capacity) {
+  SMPI_REQUIRE(capacity > 0, "capacity must be positive");
+  constraints_[static_cast<std::size_t>(constraint)].capacity = capacity;
+  dirty_ = true;
+}
+
+void MaxMinSystem::release_variable(int variable) {
+  auto& var = variables_[static_cast<std::size_t>(variable)];
+  SMPI_REQUIRE(var.active, "double release of variable");
+  var.active = false;
+  var.value = 0;
+  // Lazily drop it from constraint membership lists.
+  for (int c : var.constraints) {
+    auto& members = constraints_[static_cast<std::size_t>(c)].variables;
+    members.erase(std::remove(members.begin(), members.end(), variable), members.end());
+  }
+  var.constraints.clear();
+  free_variable_ids_.push_back(variable);
+  SMPI_ENSURE(active_variables_ > 0, "active variable count underflow");
+  --active_variables_;
+  dirty_ = true;
+}
+
+double MaxMinSystem::value(int variable) const {
+  const auto& var = variables_[static_cast<std::size_t>(variable)];
+  SMPI_REQUIRE(var.active, "value of retired variable");
+  return var.value;
+}
+
+double MaxMinSystem::constraint_usage(int constraint) const {
+  const auto& cons = constraints_[static_cast<std::size_t>(constraint)];
+  double usage = 0;
+  for (int v : cons.variables) {
+    const auto& var = variables_[static_cast<std::size_t>(v)];
+    if (var.active) usage += var.value;
+  }
+  return usage;
+}
+
+void MaxMinSystem::solve() {
+  if (!dirty_) return;
+  dirty_ = false;
+
+  // Progressive filling: all unfixed variables grow their value as
+  // mu * weight for a common scale mu. The next event is either a variable
+  // hitting its bound or a constraint saturating; process events in order
+  // until every variable is fixed.
+  constexpr double kEpsRel = 1e-12;
+
+  std::vector<double> remaining(constraints_.size());
+  std::vector<double> weight_sum(constraints_.size(), 0.0);
+  for (std::size_t c = 0; c < constraints_.size(); ++c) {
+    remaining[c] = constraints_[c].capacity;
+  }
+
+  std::size_t unfixed = 0;
+  for (auto& var : variables_) {
+    if (!var.active) continue;
+    var.fixed = false;
+    var.value = 0;
+    if (var.constraints.empty()) {
+      // Unconstrained variable: takes its bound (no-contention mode).
+      SMPI_REQUIRE(std::isfinite(var.bound),
+                   "variable without constraints needs a finite bound");
+      var.value = var.bound;
+      var.fixed = true;
+      continue;
+    }
+    ++unfixed;
+    for (int c : var.constraints) weight_sum[static_cast<std::size_t>(c)] += var.weight;
+  }
+
+  auto fix_variable = [&](Variable& var, double value) {
+    var.value = value;
+    var.fixed = true;
+    for (int c : var.constraints) {
+      const auto ci = static_cast<std::size_t>(c);
+      remaining[ci] -= value;
+      if (remaining[ci] < 0) remaining[ci] = 0;
+      weight_sum[ci] -= var.weight;
+      if (weight_sum[ci] < kEpsRel) weight_sum[ci] = 0;
+    }
+    --unfixed;
+  };
+
+  while (unfixed > 0) {
+    // Scale at which the first constraint saturates.
+    double mu_constraint = MaxMinSystem::kUnbounded;
+    for (std::size_t c = 0; c < constraints_.size(); ++c) {
+      if (weight_sum[c] > 0) {
+        mu_constraint = std::min(mu_constraint, remaining[c] / weight_sum[c]);
+      }
+    }
+    // Scale at which the first variable hits its bound.
+    double mu_bound = MaxMinSystem::kUnbounded;
+    for (const auto& var : variables_) {
+      if (!var.active || var.fixed) continue;
+      mu_bound = std::min(mu_bound, var.bound / var.weight);
+    }
+    SMPI_ENSURE(std::isfinite(mu_constraint) || std::isfinite(mu_bound),
+                "unbounded variable attached to no saturable constraint");
+
+    if (mu_bound <= mu_constraint) {
+      // Fix every variable whose bound event is (numerically) now.
+      const double cutoff = mu_bound * (1 + kEpsRel);
+      bool fixed_any = false;
+      for (auto& var : variables_) {
+        if (!var.active || var.fixed) continue;
+        if (var.bound / var.weight <= cutoff) {
+          fix_variable(var, var.bound);
+          fixed_any = true;
+        }
+      }
+      SMPI_ENSURE(fixed_any, "bound event fixed no variable");
+    } else {
+      // Saturate the tightest constraint(s): every unfixed variable crossing
+      // one gets mu * weight.
+      const double cutoff = mu_constraint * (1 + kEpsRel);
+      bool fixed_any = false;
+      for (std::size_t c = 0; c < constraints_.size(); ++c) {
+        if (weight_sum[c] <= 0) continue;
+        if (remaining[c] / weight_sum[c] > cutoff) continue;
+        // Iterate over a copy: fix_variable mutates weight_sum/remaining.
+        const auto members = constraints_[c].variables;
+        for (int v : members) {
+          auto& var = variables_[static_cast<std::size_t>(v)];
+          if (!var.active || var.fixed) continue;
+          fix_variable(var, mu_constraint * var.weight);
+          fixed_any = true;
+        }
+      }
+      SMPI_ENSURE(fixed_any, "saturation event fixed no variable");
+    }
+  }
+}
+
+}  // namespace smpi::surf

@@ -1,0 +1,67 @@
+// Weighted max-min fairness solver — the analytical heart of the contention
+// model (§4.2). At every instant the bandwidth allocated to each active flow
+// is computed given the network topology and all currently active flows:
+// flows are variables, links are capacity constraints, and the solver
+// performs classic progressive filling ("water filling") with per-variable
+// rate bounds.
+//
+// The same solver shares CPU cores among computations.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace smpi::surf {
+
+class MaxMinSystem {
+ public:
+  static constexpr double kUnbounded = std::numeric_limits<double>::infinity();
+
+  // Returns a constraint id. Capacity must be > 0.
+  int new_constraint(double capacity);
+  // Returns a variable id. weight scales the variable's fair share; bound is
+  // an absolute cap on its value.
+  int new_variable(double weight = 1.0, double bound = kUnbounded);
+  // Makes `variable` consume `constraint` (coefficient 1: every byte of a
+  // flow crosses every link of its route once).
+  void attach(int variable, int constraint);
+
+  void set_bound(int variable, double bound);
+  void set_capacity(int constraint, double capacity);
+  // Detaches and retires the variable; its id may be recycled.
+  void release_variable(int variable);
+
+  // Recomputes all allocations if anything changed since the last solve.
+  void solve();
+  bool dirty() const { return dirty_; }
+  double value(int variable) const;
+
+  std::size_t active_variable_count() const { return active_variables_; }
+  std::size_t constraint_count() const { return constraints_.size(); }
+
+  // Diagnostics for property tests: total allocation crossing a constraint.
+  double constraint_usage(int constraint) const;
+
+ private:
+  struct Variable {
+    double weight = 1;
+    double bound = kUnbounded;
+    double value = 0;
+    bool active = false;
+    bool fixed = false;
+    std::vector<int> constraints;
+  };
+  struct Constraint {
+    double capacity = 0;
+    std::vector<int> variables;  // may contain retired ids; filtered on use
+  };
+
+  std::vector<Variable> variables_;
+  std::vector<Constraint> constraints_;
+  std::vector<int> free_variable_ids_;
+  std::size_t active_variables_ = 0;
+  bool dirty_ = true;
+};
+
+}  // namespace smpi::surf

@@ -1,0 +1,172 @@
+#include "surf/network.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/engine.hpp"
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace smpi::surf {
+
+SMPI_LOG_CATEGORY(log_surf, "surf");
+
+namespace {
+// Completion tolerance: flows are "done" when less than a millionth of a
+// byte remains (absorbs floating-point dust from rate integration).
+constexpr double kRemainingEps = 1e-6;
+}  // namespace
+
+FlowNetworkModel::FlowNetworkModel(const platform::Platform& platform, NetworkConfig config)
+    : platform_(platform), config_(std::move(config)) {
+  link_constraint_.resize(static_cast<std::size_t>(platform_.link_count()), -1);
+  for (int id = 0; id < platform_.link_count(); ++id) {
+    const auto& link = platform_.link(id);
+    if (link.sharing == platform::LinkSharing::kShared) {
+      link_constraint_[static_cast<std::size_t>(id)] =
+          system_.new_constraint(link.bandwidth_bps * config_.bandwidth_efficiency);
+    }
+  }
+}
+
+FlowNetworkModel::~FlowNetworkModel() = default;
+
+void FlowNetworkModel::path_parameters(int src_node, int dst_node, double bytes,
+                                       double* latency_out, double* bound_out) const {
+  const double physical_latency = platform_.route_latency(src_node, dst_node);
+  const double bottleneck = platform_.route_min_bandwidth(src_node, dst_node);
+  double bound = bottleneck * config_.factors.bw_factor(bytes);
+  if (config_.tcp_window_bytes > 0 && physical_latency > 0) {
+    bound = std::min(bound, config_.tcp_window_bytes / (2.0 * physical_latency));
+  }
+  *latency_out = physical_latency * config_.factors.lat_factor(bytes);
+  *bound_out = bound;
+}
+
+double FlowNetworkModel::uncontended_duration(int src_node, int dst_node, double bytes) const {
+  if (src_node == dst_node) return 0;
+  double latency = 0, bound = 0;
+  path_parameters(src_node, dst_node, bytes, &latency, &bound);
+  double rate = bound;
+  if (config_.contention) {
+    // Alone on the route, the solver still caps the flow at each shared
+    // link's effective capacity.
+    for (int link : platform_.route(src_node, dst_node)) {
+      if (platform_.link(link).sharing == platform::LinkSharing::kShared) {
+        rate = std::min(rate, platform_.link(link).bandwidth_bps * config_.bandwidth_efficiency);
+      }
+    }
+  }
+  return latency + (bytes > 0 ? bytes / rate : 0.0);
+}
+
+sim::ActivityPtr FlowNetworkModel::start_flow(int src_node, int dst_node, double bytes,
+                                              const sim::FlowHints& hints) {
+  SMPI_REQUIRE(bytes >= 0, "negative flow size");
+  auto* engine = sim::Engine::current();
+  SMPI_REQUIRE(engine != nullptr, "start_flow outside a simulation");
+  ++total_flows_;
+
+  auto activity = std::make_shared<sim::Activity>("flow");
+  if (src_node == dst_node) {
+    // Loopback: modeled as instantaneous (memcpy cost is charged by the MPI
+    // layer's personality overheads, not the network).
+    activity->finish(sim::Activity::State::kDone);
+    return activity;
+  }
+
+  double latency = 0, bound = 0;
+  path_parameters(src_node, dst_node, bytes, &latency, &bound);
+  if (hints.rate_bound > 0) bound = std::min(bound, hints.rate_bound);
+  SMPI_ENSURE(bound > 0, "flow rate bound must be positive");
+
+  auto flow = std::make_shared<Flow>();
+  flow->activity = activity;
+  flow->remaining = bytes;
+  flow->bound = bound;
+
+  if (bytes <= 0) {
+    // Pure-latency message: completes at the end of the latency phase.
+    engine->add_timer(engine->now() + latency,
+                      [activity] { activity->finish(sim::Activity::State::kDone); });
+    return activity;
+  }
+
+  const std::vector<int> links = platform_.route(src_node, dst_node);
+  engine->add_timer(engine->now() + latency,
+                    [this, flow, links] { promote(flow, links); });
+  SMPI_LOG_DEBUG(log_surf, "flow " << src_node << "->" << dst_node << " size=" << bytes
+                                   << " lat=" << latency << " bound=" << bound);
+  return activity;
+}
+
+void FlowNetworkModel::promote(std::shared_ptr<Flow> flow, const std::vector<int>& links) {
+  if (flow->activity->completed()) return;  // canceled during latency phase
+  if (config_.contention) {
+    flow->var = system_.new_variable(1.0, flow->bound);
+    for (int link : links) {
+      const int constraint = link_constraint_[static_cast<std::size_t>(link)];
+      if (constraint >= 0) system_.attach(flow->var, constraint);
+    }
+  } else {
+    flow->rate = flow->bound;
+  }
+  flows_.push_back(std::move(flow));
+}
+
+void FlowNetworkModel::refresh_rates() {
+  if (!system_.dirty()) return;
+  system_.solve();
+  for (auto& flow : flows_) {
+    if (flow->var >= 0) flow->rate = system_.value(flow->var);
+  }
+}
+
+double FlowNetworkModel::next_event_time(double now) {
+  refresh_rates();
+  double next = sim::kNever;
+  for (const auto& flow : flows_) {
+    SMPI_ENSURE(flow->rate > 0, "active flow with zero rate");
+    next = std::min(next, now + std::max(0.0, flow->remaining) / flow->rate);
+  }
+  return next;
+}
+
+void FlowNetworkModel::advance_to(double now) {
+  refresh_rates();
+  const double dt = now - last_update_;
+  last_update_ = now;
+  if (flows_.empty()) return;
+  if (dt > 0) {
+    for (auto& flow : flows_) flow->remaining -= flow->rate * dt;
+  }
+  auto finished = [](const std::shared_ptr<Flow>& flow) {
+    return flow->remaining <= kRemainingEps;
+  };
+  bool any_finished = false;
+  for (auto& flow : flows_) {
+    if (finished(flow)) {
+      if (flow->var >= 0) system_.release_variable(flow->var);
+      any_finished = true;
+    }
+  }
+  if (!any_finished) return;
+  // Complete activities only after releasing all solver variables so the
+  // callbacks observe a consistent system.
+  std::vector<std::shared_ptr<Flow>> done;
+  for (auto& flow : flows_) {
+    if (finished(flow)) done.push_back(flow);
+  }
+  flows_.erase(std::remove_if(flows_.begin(), flows_.end(), finished), flows_.end());
+  refresh_rates();
+  for (auto& flow : done) flow->activity->finish(sim::Activity::State::kDone);
+}
+
+double FlowNetworkModel::link_usage(int link_id) {
+  refresh_rates();
+  const int constraint = link_constraint_[static_cast<std::size_t>(link_id)];
+  if (constraint < 0) return 0;
+  return system_.constraint_usage(constraint);
+}
+
+}  // namespace smpi::surf

@@ -1,0 +1,83 @@
+// Flow-level network model (SURF analogue, §4).
+//
+// A transfer is a *flow*: after a latency phase (sum of route link latencies
+// scaled by the piece-wise model's lat_factor) it enters the bandwidth-
+// sharing system, where the max-min solver splits each link's capacity among
+// the flows crossing it. The flow's rate is additionally capped by
+//   - the piece-wise model: bw_factor(size) x bottleneck bandwidth,
+//   - a TCP congestion-window bound: window / RTT,
+//   - any caller-provided bound (FlowHints).
+//
+// Setting `contention = false` reproduces the naive simulators of §2/§7
+// (every flow gets its full rate regardless of sharing) — the white bars of
+// Figures 7 and 11.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "platform/platform.hpp"
+#include "sim/model.hpp"
+#include "surf/maxmin.hpp"
+#include "surf/piecewise.hpp"
+
+namespace smpi::surf {
+
+struct NetworkConfig {
+  PiecewiseFactors factors;           // default: affine with factors 1
+  double bandwidth_efficiency = 0.92; // achievable fraction of nominal capacity under sharing
+  double tcp_window_bytes = 4.0 * 1024 * 1024;  // 0 disables the window bound
+  bool contention = true;
+};
+
+class FlowNetworkModel final : public sim::Model, public sim::NetworkBackend {
+ public:
+  FlowNetworkModel(const platform::Platform& platform, NetworkConfig config);
+  ~FlowNetworkModel() override;
+
+  // sim::NetworkBackend
+  sim::ActivityPtr start_flow(int src_node, int dst_node, double bytes,
+                              const sim::FlowHints& hints) override;
+  const char* backend_name() const override { return "surf-flow"; }
+
+  // sim::Model
+  double next_event_time(double now) override;
+  void advance_to(double now) override;
+
+  // The duration a single uncontended transfer of `bytes` would take — the
+  // closed-form alpha_k + s/beta_k the piece-wise model predicts. Used by
+  // tests and by calibration sanity checks.
+  double uncontended_duration(int src_node, int dst_node, double bytes) const;
+
+  const NetworkConfig& config() const { return config_; }
+  std::size_t active_flow_count() const { return flows_.size(); }
+  std::uint64_t total_flows_started() const { return total_flows_; }
+
+  // Property-test hook: total allocated rate through a link's constraint.
+  double link_usage(int link_id);
+
+ private:
+  struct Flow {
+    sim::ActivityPtr activity;
+    double remaining = 0;
+    double rate = 0;
+    int var = -1;  // -1 when not in the solver (no-contention mode)
+    double bound = 0;
+  };
+
+  // Compute (latency, rate bound) for a transfer.
+  void path_parameters(int src_node, int dst_node, double bytes, double* latency_out,
+                       double* bound_out) const;
+  void promote(std::shared_ptr<Flow> flow, const std::vector<int>& links);
+  void refresh_rates();
+
+  const platform::Platform& platform_;
+  NetworkConfig config_;
+  MaxMinSystem system_;
+  std::vector<int> link_constraint_;  // per link id; -1 for fatpipe links
+  std::vector<std::shared_ptr<Flow>> flows_;
+  double last_update_ = 0;
+  std::uint64_t total_flows_ = 0;
+};
+
+}  // namespace smpi::surf

@@ -1,0 +1,45 @@
+#include "surf/piecewise.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace smpi::surf {
+
+PiecewiseFactors::PiecewiseFactors() : segments_{PiecewiseSegment{}} {}
+
+PiecewiseFactors::PiecewiseFactors(std::vector<PiecewiseSegment> segments)
+    : segments_(std::move(segments)) {
+  SMPI_REQUIRE(!segments_.empty(), "need at least one segment");
+  for (std::size_t i = 0; i + 1 < segments_.size(); ++i) {
+    SMPI_REQUIRE(segments_[i].max_bytes < segments_[i + 1].max_bytes,
+                 "segments must have strictly increasing boundaries");
+  }
+  SMPI_REQUIRE(std::isinf(segments_.back().max_bytes), "last segment must be unbounded");
+  for (const auto& seg : segments_) {
+    SMPI_REQUIRE(seg.lat_factor > 0 && seg.bw_factor > 0, "factors must be positive");
+  }
+}
+
+const PiecewiseSegment& PiecewiseFactors::segment_for(double bytes) const {
+  for (const auto& seg : segments_) {
+    if (bytes < seg.max_bytes) return seg;
+  }
+  return segments_.back();
+}
+
+std::string PiecewiseFactors::describe() const {
+  std::ostringstream os;
+  double prev = 0;
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    const auto& seg = segments_[i];
+    if (i != 0) os << "; ";
+    os << '[' << prev << ", " << seg.max_bytes << "): lat*" << seg.lat_factor << " bw*"
+       << seg.bw_factor;
+    prev = seg.max_bytes;
+  }
+  return os.str();
+}
+
+}  // namespace smpi::surf

@@ -1,0 +1,46 @@
+// The paper's piece-wise linear point-to-point model (§4.1).
+//
+// Instead of the classic affine T(s) = alpha + s/beta, SMPI models the
+// transfer time of an s-byte message as alpha_k + s/beta_k where k is the
+// segment containing s. We carry the segments as *correction factors*
+// relative to the physical route (lat_factor multiplies the summed link
+// latencies, bw_factor multiplies the bottleneck link bandwidth), which is
+// what decouples the calibration from any particular cluster and lets a fit
+// made on griffon be reused on gdx (§6, Figures 4-5).
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace smpi::surf {
+
+struct PiecewiseSegment {
+  // Upper bound (exclusive) of the segment in bytes; the last segment must
+  // extend to infinity.
+  double max_bytes = std::numeric_limits<double>::infinity();
+  double lat_factor = 1.0;
+  double bw_factor = 1.0;
+};
+
+class PiecewiseFactors {
+ public:
+  // Affine behaviour: one segment, factors 1.
+  PiecewiseFactors();
+  // Segments must be sorted by max_bytes, strictly increasing, and end with
+  // an infinite segment.
+  explicit PiecewiseFactors(std::vector<PiecewiseSegment> segments);
+
+  double lat_factor(double bytes) const { return segment_for(bytes).lat_factor; }
+  double bw_factor(double bytes) const { return segment_for(bytes).bw_factor; }
+  const std::vector<PiecewiseSegment>& segments() const { return segments_; }
+  std::size_t segment_count() const { return segments_.size(); }
+
+  std::string describe() const;
+
+ private:
+  const PiecewiseSegment& segment_for(double bytes) const;
+  std::vector<PiecewiseSegment> segments_;
+};
+
+}  // namespace smpi::surf

@@ -1,0 +1,14 @@
+#include "util/check.hpp"
+
+#include <sstream>
+
+namespace smpi::util {
+
+void contract_failure(const char* kind, const char* expr, const char* file, int line,
+                      const std::string& message) {
+  std::ostringstream os;
+  os << kind << " violated at " << file << ':' << line << ": (" << expr << ") — " << message;
+  throw ContractError(os.str());
+}
+
+}  // namespace smpi::util

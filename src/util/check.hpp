@@ -1,0 +1,39 @@
+// Contract-checking macros used across the library.
+//
+// SMPI_REQUIRE   — precondition on public API arguments; always on.
+// SMPI_ENSURE    — internal invariant; always on (simulation correctness
+//                  depends on these, the cost is negligible next to the model
+//                  solvers).
+// SMPI_UNREACHABLE — marks logically impossible paths.
+//
+// Failures throw smpi::util::ContractError so tests can assert on them and a
+// simulation driver can report the offending call site.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace smpi::util {
+
+class ContractError : public std::logic_error {
+ public:
+  explicit ContractError(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] void contract_failure(const char* kind, const char* expr, const char* file, int line,
+                                   const std::string& message);
+
+}  // namespace smpi::util
+
+#define SMPI_REQUIRE(expr, msg)                                                      \
+  do {                                                                               \
+    if (!(expr)) ::smpi::util::contract_failure("precondition", #expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#define SMPI_ENSURE(expr, msg)                                                       \
+  do {                                                                               \
+    if (!(expr)) ::smpi::util::contract_failure("invariant", #expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#define SMPI_UNREACHABLE(msg) \
+  ::smpi::util::contract_failure("unreachable", "unreachable", __FILE__, __LINE__, (msg))

@@ -1,0 +1,61 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace smpi::util {
+namespace {
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::string::size_type start = 0;
+  while (start <= text.size()) {
+    auto end = text.find(sep, start);
+    if (end == std::string::npos) {
+      out.push_back(text.substr(start));
+      break;
+    }
+    out.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+LogLevel parse_log_level(const std::string& text) {
+  if (text == "debug") return LogLevel::kDebug;
+  if (text == "verbose") return LogLevel::kVerbose;
+  if (text == "info") return LogLevel::kInfo;
+  if (text == "warn" || text == "warning") return LogLevel::kWarn;
+  if (text == "error") return LogLevel::kError;
+  if (text == "off" || text == "none") return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+
+LogLevel threshold_for_category(const std::string& category_name) {
+  const char* spec = std::getenv("SMPI_LOG");
+  LogLevel result = LogLevel::kWarn;
+  if (spec == nullptr) return result;
+  for (const auto& item : split(spec, ',')) {
+    auto colon = item.find(':');
+    if (colon == std::string::npos) {
+      result = parse_log_level(item);
+    } else if (item.substr(0, colon) == category_name) {
+      return parse_log_level(item.substr(colon + 1));
+    }
+  }
+  return result;
+}
+
+LogCategory::LogCategory(std::string name)
+    : name_(std::move(name)), threshold_(threshold_for_category(name_)) {}
+
+void LogCategory::emit(LogLevel level, const std::string& message) const {
+  static const char* kLevelNames[] = {"DEBUG", "VERB ", "INFO ", "WARN ", "ERROR", "OFF  "};
+  std::fprintf(stderr, "[%s/%s] %s\n", name_.c_str(), kLevelNames[static_cast<int>(level)],
+               message.c_str());
+}
+
+}  // namespace smpi::util

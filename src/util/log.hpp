@@ -1,0 +1,54 @@
+// Minimal category-based logger.
+//
+// Each module declares a category once (SMPI_LOG_CATEGORY in one .cpp) and
+// logs through SMPI_LOG_DEBUG/INFO/WARN. Thresholds are configured globally
+// or per category from the SMPI_LOG environment variable, e.g.
+//   SMPI_LOG=info            — everything at info
+//   SMPI_LOG=warn,surf:debug — surf at debug, rest at warn
+// Logging below the threshold costs one integer comparison.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace smpi::util {
+
+enum class LogLevel { kDebug = 0, kVerbose = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+class LogCategory {
+ public:
+  explicit LogCategory(std::string name);
+
+  bool enabled(LogLevel level) const { return level >= threshold_; }
+  const std::string& name() const { return name_; }
+  void set_threshold(LogLevel level) { threshold_ = level; }
+
+  void emit(LogLevel level, const std::string& message) const;
+
+ private:
+  std::string name_;
+  LogLevel threshold_;
+};
+
+// Parses a SMPI_LOG-style spec; exposed for tests.
+LogLevel parse_log_level(const std::string& text);
+LogLevel threshold_for_category(const std::string& category_name);
+
+}  // namespace smpi::util
+
+#define SMPI_LOG_CATEGORY(var, name) ::smpi::util::LogCategory var(name)
+#define SMPI_LOG_EXTERNAL_CATEGORY(var) extern ::smpi::util::LogCategory var
+
+#define SMPI_LOG_AT(cat, level, stream_expr)            \
+  do {                                                  \
+    if ((cat).enabled(level)) {                         \
+      std::ostringstream smpi_log_os_;                  \
+      smpi_log_os_ << stream_expr;                      \
+      (cat).emit(level, smpi_log_os_.str());            \
+    }                                                   \
+  } while (0)
+
+#define SMPI_LOG_DEBUG(cat, s) SMPI_LOG_AT(cat, ::smpi::util::LogLevel::kDebug, s)
+#define SMPI_LOG_INFO(cat, s) SMPI_LOG_AT(cat, ::smpi::util::LogLevel::kInfo, s)
+#define SMPI_LOG_WARN(cat, s) SMPI_LOG_AT(cat, ::smpi::util::LogLevel::kWarn, s)
+#define SMPI_LOG_ERROR(cat, s) SMPI_LOG_AT(cat, ::smpi::util::LogLevel::kError, s)

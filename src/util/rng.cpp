@@ -1,0 +1,85 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace smpi::util {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+// Multiply two doubles that encode 46-bit integers, modulo 2^46, using the
+// NAS split-precision trick (exact in IEEE double arithmetic).
+double mul_mod_46(double a, double x) {
+  constexpr double r23 = 0x1p-23, t23 = 0x1p23;
+  constexpr double r46 = 0x1p-46, t46 = 0x1p46;
+  const double a1 = std::trunc(r23 * a);
+  const double a2 = a - t23 * a1;
+  const double x1 = std::trunc(r23 * x);
+  const double x2 = x - t23 * x1;
+  const double t1 = a1 * x2 + a2 * x1;
+  const double t2 = std::trunc(r23 * t1);
+  const double z = t1 - t23 * t2;
+  const double t3 = t23 * z + a2 * x2;
+  const double t4 = std::trunc(r46 * t3);
+  return t3 - t46 * t4;
+}
+
+}  // namespace
+
+Xoshiro256StarStar::Xoshiro256StarStar(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : state_) s = splitmix64(sm);
+}
+
+std::uint64_t Xoshiro256StarStar::next_u64() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Xoshiro256StarStar::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1p-53;
+}
+
+std::uint64_t Xoshiro256StarStar::next_in_range(std::uint64_t lo, std::uint64_t hi) {
+  SMPI_REQUIRE(lo <= hi, "empty range");
+  const std::uint64_t span = hi - lo + 1;
+  if (span == 0) return next_u64();  // full 64-bit range
+  return lo + next_u64() % span;
+}
+
+double NasLcg::randlc() {
+  x_ = mul_mod_46(kA, x_);
+  return x_ * 0x1p-46;
+}
+
+void NasLcg::skip(std::uint64_t n) { x_ = nas_lcg_power(kA, n, x_); }
+
+double nas_lcg_power(double a, std::uint64_t n, double seed) {
+  double t = a;
+  double result = seed;
+  while (n != 0) {
+    if (n & 1) result = mul_mod_46(t, result);
+    t = mul_mod_46(t, t);
+    n >>= 1;
+  }
+  return result;
+}
+
+}  // namespace smpi::util

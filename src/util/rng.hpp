@@ -1,0 +1,51 @@
+// Deterministic random number generation.
+//
+// Two generators:
+//  * Xoshiro256StarStar — general-purpose generator used by workload
+//    generators and property tests (seeded, reproducible across platforms).
+//  * NasLcg — the 48-bit linear congruential generator specified by the NAS
+//    Parallel Benchmarks (a = 5^13, modulus 2^46), needed so our EP and DT
+//    kernels produce the NAS reference streams.
+#pragma once
+
+#include <cstdint>
+
+namespace smpi::util {
+
+class Xoshiro256StarStar {
+ public:
+  explicit Xoshiro256StarStar(std::uint64_t seed);
+
+  std::uint64_t next_u64();
+  // Uniform in [0, 1).
+  double next_double();
+  // Uniform integer in [lo, hi] (inclusive); requires lo <= hi.
+  std::uint64_t next_in_range(std::uint64_t lo, std::uint64_t hi);
+
+ private:
+  std::uint64_t state_[4];
+};
+
+// NAS Parallel Benchmarks pseudo-random stream: x_{k+1} = a*x_k mod 2^46.
+// randlc() returns x_{k+1} * 2^-46 in (0,1) and advances the state.
+class NasLcg {
+ public:
+  static constexpr double kDefaultSeed = 314159265.0;
+  static constexpr double kA = 1220703125.0;  // 5^13
+
+  explicit NasLcg(double seed = kDefaultSeed) : x_(seed) {}
+
+  double randlc();
+  // Jump the stream forward: state := a^n * state mod 2^46, used by EP to give
+  // every rank an independent block of the global stream.
+  void skip(std::uint64_t n);
+  double state() const { return x_; }
+
+ private:
+  double x_;
+};
+
+// t = a^n * seed mod 2^46 without advancing through all n steps (NAS ipow46).
+double nas_lcg_power(double a, std::uint64_t n, double seed);
+
+}  // namespace smpi::util

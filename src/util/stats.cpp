@@ -1,0 +1,107 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace smpi::util {
+
+double log_error(double experimental, double reference) {
+  SMPI_REQUIRE(experimental > 0 && reference > 0, "log error needs positive values");
+  return std::fabs(std::log(experimental) - std::log(reference));
+}
+
+double log_error_as_fraction(double logerr) { return std::exp(logerr) - 1.0; }
+
+double ErrorSummary::mean_fraction() const { return log_error_as_fraction(mean_log_error); }
+double ErrorSummary::max_fraction() const { return log_error_as_fraction(max_log_error); }
+
+void ErrorAccumulator::add(double experimental, double reference) {
+  const double e = log_error(experimental, reference);
+  sum_ += e;
+  max_ = std::max(max_, e);
+  ++count_;
+}
+
+ErrorSummary ErrorAccumulator::summary() const {
+  ErrorSummary s;
+  s.count = count_;
+  s.max_log_error = max_;
+  s.mean_log_error = count_ == 0 ? 0 : sum_ / static_cast<double>(count_);
+  return s;
+}
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const { return mean_; }
+
+double RunningStats::variance() const {
+  return n_ == 0 ? 0 : m2_ / static_cast<double>(n_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+LinearFit linear_regression(const std::vector<double>& x, const std::vector<double>& y,
+                            std::size_t first, std::size_t last) {
+  SMPI_REQUIRE(x.size() == y.size(), "x/y size mismatch");
+  SMPI_REQUIRE(first < last && last <= x.size(), "bad regression range");
+  const auto n = static_cast<double>(last - first);
+  double sx = 0, sy = 0;
+  for (std::size_t i = first; i < last; ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / n, my = sy / n;
+  double sxx = 0, syy = 0, sxy = 0;
+  for (std::size_t i = first; i < last; ++i) {
+    const double dx = x[i] - mx, dy = y[i] - my;
+    sxx += dx * dx;
+    syy += dy * dy;
+    sxy += dx * dy;
+  }
+  LinearFit fit;
+  fit.count = last - first;
+  if (sxx == 0) {
+    fit.slope = 0;
+    fit.intercept = my;
+    fit.correlation = 0;
+    return fit;
+  }
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.correlation = (syy == 0) ? 1.0 : sxy / std::sqrt(sxx * syy);
+  return fit;
+}
+
+LinearFit linear_regression(const std::vector<double>& x, const std::vector<double>& y) {
+  return linear_regression(x, y, 0, x.size());
+}
+
+double correlation(const std::vector<double>& x, const std::vector<double>& y) {
+  return linear_regression(x, y).correlation;
+}
+
+double percentile(std::vector<double> values, double p) {
+  SMPI_REQUIRE(!values.empty(), "percentile of empty set");
+  SMPI_REQUIRE(p >= 0 && p <= 100, "percentile out of range");
+  std::sort(values.begin(), values.end());
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1 - frac) + values[hi] * frac;
+}
+
+}  // namespace smpi::util

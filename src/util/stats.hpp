@@ -1,0 +1,77 @@
+// Statistics helpers used by the calibration fitter and the evaluation
+// harnesses, including the paper's accuracy metric (§7.1):
+//
+//   LogErr = |ln X − ln R|            (symmetric, unlike relative error)
+//   Err    = e^{LogErr} − 1           (back out of log space, a percentage)
+//
+// Aggregates of LogErr (mean, max) are what the paper quotes ("8.63% average
+// error, worst case 27%").
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace smpi::util {
+
+// |ln(x) - ln(r)|; requires x > 0 and r > 0.
+double log_error(double experimental, double reference);
+
+// e^logerr - 1, expressed as a fraction (0.0863 for "8.63%").
+double log_error_as_fraction(double logerr);
+
+struct ErrorSummary {
+  double mean_log_error = 0;
+  double max_log_error = 0;
+  // Back out of log space.
+  double mean_fraction() const;
+  double max_fraction() const;
+  std::size_t count = 0;
+};
+
+// Accumulates LogErr over (experimental, reference) pairs.
+class ErrorAccumulator {
+ public:
+  void add(double experimental, double reference);
+  ErrorSummary summary() const;
+
+ private:
+  double sum_ = 0;
+  double max_ = 0;
+  std::size_t count_ = 0;
+};
+
+struct RunningStats {
+  void add(double x);
+  double mean() const;
+  double variance() const;  // population variance
+  double stddev() const;
+  std::size_t count() const { return n_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+struct LinearFit {
+  double intercept = 0;  // alpha
+  double slope = 0;      // 1/beta when fitting time vs bytes
+  double correlation = 0;
+  std::size_t count = 0;
+};
+
+// Ordinary least squares of y on x over [first, last) indices of the vectors.
+LinearFit linear_regression(const std::vector<double>& x, const std::vector<double>& y,
+                            std::size_t first, std::size_t last);
+LinearFit linear_regression(const std::vector<double>& x, const std::vector<double>& y);
+
+// Pearson correlation coefficient over the full vectors.
+double correlation(const std::vector<double>& x, const std::vector<double>& y);
+
+double percentile(std::vector<double> values, double p);  // p in [0,100]
+
+}  // namespace smpi::util

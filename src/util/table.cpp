@@ -1,0 +1,59 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace smpi::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  SMPI_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  SMPI_REQUIRE(cells.size() == headers_.size(), "row width != header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      os << row[c];
+      for (std::size_t pad = row[c].size(); pad < widths[c]; ++pad) os << ' ';
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  std::string rule;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    if (c != 0) rule += "  ";
+    rule += std::string(widths[c], '-');
+  }
+  os << rule << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+void Table::print(std::FILE* out) const { std::fputs(to_string().c_str(), out); }
+
+std::string Table::num(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+std::string Table::sci(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*e", precision, value);
+  return buf;
+}
+
+}  // namespace smpi::util

@@ -1,0 +1,30 @@
+// Aligned ASCII table printer for the figure-reproduction benches: one row
+// per x-value, one column per curve, so a bench's stdout is directly
+// comparable to the paper's plotted series.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace smpi::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // All cells are strings; callers format numbers with the precision that
+  // makes sense for their figure.
+  void add_row(std::vector<std::string> cells);
+  void print(std::FILE* out = stdout) const;
+  std::string to_string() const;
+
+  static std::string num(double value, int precision = 4);
+  static std::string sci(double value, int precision = 3);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace smpi::util

@@ -1,0 +1,141 @@
+#include "platform/platform.hpp"
+
+#include <gtest/gtest.h>
+
+#include "platform/builders.hpp"
+#include "util/check.hpp"
+
+namespace sp = smpi::platform;
+using smpi::util::ContractError;
+
+TEST(Platform, AddAndLookupHostsAndLinks) {
+  sp::Platform p;
+  const int h0 = p.add_host({"a", 1e9, 4});
+  const int h1 = p.add_host({"b", 2e9, 8});
+  const int l0 = p.add_link({"l", 1e8, 1e-4, sp::LinkSharing::kShared});
+  EXPECT_EQ(p.host_count(), 2);
+  EXPECT_EQ(p.link_count(), 1);
+  EXPECT_EQ(p.find_host("a"), h0);
+  EXPECT_EQ(p.find_host("b"), h1);
+  EXPECT_EQ(p.find_host("zzz"), -1);
+  EXPECT_EQ(p.find_link("l"), l0);
+  EXPECT_DOUBLE_EQ(p.host(h1).speed_flops, 2e9);
+}
+
+TEST(Platform, RejectsDuplicatesAndBadSpecs) {
+  sp::Platform p;
+  p.add_host({"a", 1e9, 1});
+  EXPECT_THROW(p.add_host({"a", 1e9, 1}), ContractError);
+  EXPECT_THROW(p.add_host({"", 1e9, 1}), ContractError);
+  EXPECT_THROW(p.add_host({"c", -5, 1}), ContractError);
+  EXPECT_THROW(p.add_host({"d", 1e9, 0}), ContractError);
+  p.add_link({"l", 1e8, 0, sp::LinkSharing::kShared});
+  EXPECT_THROW(p.add_link({"l", 1e8, 0, sp::LinkSharing::kShared}), ContractError);
+  EXPECT_THROW(p.add_link({"m", 0, 0, sp::LinkSharing::kShared}), ContractError);
+}
+
+TEST(Platform, SymmetricRoutesReverseLinkOrder) {
+  sp::Platform p;
+  p.add_host({"a", 1e9, 1});
+  p.add_host({"b", 1e9, 1});
+  const int l0 = p.add_link({"l0", 1e8, 1e-4, sp::LinkSharing::kShared});
+  const int l1 = p.add_link({"l1", 1e8, 1e-4, sp::LinkSharing::kShared});
+  p.add_route(0, 1, {l0, l1});
+  EXPECT_EQ(p.route(0, 1), (std::vector<int>{l0, l1}));
+  EXPECT_EQ(p.route(1, 0), (std::vector<int>{l1, l0}));
+}
+
+TEST(Platform, MissingRouteThrows) {
+  sp::Platform p;
+  p.add_host({"a", 1e9, 1});
+  p.add_host({"b", 1e9, 1});
+  EXPECT_FALSE(p.has_route(0, 1));
+  EXPECT_THROW(p.route(0, 1), ContractError);
+}
+
+TEST(Platform, RouteToSelfIsEmpty) {
+  sp::Platform p;
+  p.add_host({"a", 1e9, 1});
+  EXPECT_TRUE(p.has_route(0, 0));
+  EXPECT_TRUE(p.route(0, 0).empty());
+}
+
+TEST(Platform, RouteAggregates) {
+  sp::Platform p;
+  p.add_host({"a", 1e9, 1});
+  p.add_host({"b", 1e9, 1});
+  const int fast = p.add_link({"fast", 2e8, 1e-4, sp::LinkSharing::kShared});
+  const int slow = p.add_link({"slow", 5e7, 3e-4, sp::LinkSharing::kShared});
+  p.add_route(0, 1, {fast, slow});
+  EXPECT_DOUBLE_EQ(p.route_latency(0, 1), 4e-4);
+  EXPECT_DOUBLE_EQ(p.route_min_bandwidth(0, 1), 5e7);
+  EXPECT_EQ(p.route_hop_count(0, 1), 1);
+}
+
+TEST(FlatCluster, AllPairsRouted) {
+  sp::FlatClusterParams params;
+  params.nodes = 5;
+  auto p = sp::build_flat_cluster(params);
+  EXPECT_EQ(p.host_count(), 5);
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j < 5; ++j) {
+      if (i == j) continue;
+      ASSERT_TRUE(p.has_route(i, j));
+      EXPECT_EQ(p.route(i, j).size(), 2u);  // up_i, down_j: one switch
+      EXPECT_EQ(p.route_hop_count(i, j), 1);
+    }
+  }
+}
+
+TEST(FlatCluster, UplinkIsSharedAcrossDestinations) {
+  auto p = sp::build_flat_cluster({});
+  // Routes 0->1 and 0->2 must share the first link (node 0's uplink) — this
+  // is where endpoint contention comes from.
+  EXPECT_EQ(p.route(0, 1)[0], p.route(0, 2)[0]);
+  EXPECT_NE(p.route(0, 1)[1], p.route(0, 2)[1]);
+}
+
+TEST(Griffon, MatchesPaperDescription) {
+  auto p = sp::build_griffon();
+  EXPECT_EQ(p.host_count(), 92);  // 33 + 27 + 32
+  // Same cabinet: 1 switch.
+  EXPECT_EQ(p.route_hop_count(0, 1), 1);
+  // Different cabinets: node -> cab switch -> 2nd level -> cab switch -> node.
+  const auto params = sp::griffon_params();
+  const int cab1_first = sp::first_node_of_cabinet(params, 1);
+  EXPECT_EQ(cab1_first, 33);
+  EXPECT_EQ(p.route_hop_count(0, cab1_first), 3);
+  // The second-level hop runs at 10 GbE.
+  const auto& route = p.route(0, cab1_first);
+  ASSERT_EQ(route.size(), 4u);
+  EXPECT_DOUBLE_EQ(p.link(route[1]).bandwidth_bps, 1.25e9);
+  EXPECT_DOUBLE_EQ(p.link(route[0]).bandwidth_bps, 125e6);
+}
+
+TEST(Gdx, MatchesPaperDescription) {
+  auto p = sp::build_gdx();
+  EXPECT_EQ(p.host_count(), 312);
+  const auto params = sp::gdx_params();
+  // Two cabinets share a switch: nodes of cabinet 0 and 1 cross 1 switch.
+  const int cab1_first = sp::first_node_of_cabinet(params, 1);
+  EXPECT_EQ(p.route_hop_count(0, cab1_first), 1);
+  // Distant cabinets (different switch groups) cross 3 switches.
+  const int cab2_first = sp::first_node_of_cabinet(params, 2);
+  EXPECT_EQ(p.route_hop_count(0, cab2_first), 3);
+  // gdx's second level is plain GbE (the paper's "Ethernet 1 Gigabit links").
+  const auto& route = p.route(0, cab2_first);
+  ASSERT_EQ(route.size(), 4u);
+  EXPECT_DOUBLE_EQ(p.link(route[1]).bandwidth_bps, 125e6);
+}
+
+TEST(HierarchicalCluster, RejectsEmpty) {
+  sp::HierarchicalClusterParams params;
+  EXPECT_THROW(sp::build_hierarchical_cluster(params), ContractError);
+}
+
+TEST(HierarchicalCluster, FirstNodeOfCabinetValidatesRange) {
+  const auto params = sp::griffon_params();
+  EXPECT_EQ(sp::first_node_of_cabinet(params, 0), 0);
+  EXPECT_EQ(sp::first_node_of_cabinet(params, 2), 60);
+  EXPECT_THROW(sp::first_node_of_cabinet(params, 3), ContractError);
+}

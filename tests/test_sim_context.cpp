@@ -1,0 +1,136 @@
+#include "sim/context.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "util/check.hpp"
+
+namespace ss = smpi::sim;
+
+class ContextBackendTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ContextBackendTest, RunsBodyOnResume) {
+  auto factory = ss::ContextFactory::make(GetParam(), 64 * 1024);
+  bool ran = false;
+  auto ctx = factory->create([&] { ran = true; });
+  EXPECT_FALSE(ran);
+  ctx->resume();
+  EXPECT_TRUE(ran);
+  EXPECT_TRUE(ctx->done());
+}
+
+TEST_P(ContextBackendTest, SuspendResumeRoundTrips) {
+  auto factory = ss::ContextFactory::make(GetParam(), 64 * 1024);
+  std::vector<int> order;
+  ss::Context* self = nullptr;
+  auto ctx = factory->create([&] {
+    order.push_back(1);
+    self->suspend();
+    order.push_back(3);
+    self->suspend();
+    order.push_back(5);
+  });
+  self = ctx.get();
+  ctx->resume();
+  order.push_back(2);
+  ctx->resume();
+  order.push_back(4);
+  ctx->resume();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5}));
+  EXPECT_TRUE(ctx->done());
+}
+
+TEST_P(ContextBackendTest, LocalStateSurvivesSuspension) {
+  auto factory = ss::ContextFactory::make(GetParam(), 64 * 1024);
+  ss::Context* self = nullptr;
+  long long sum = 0;
+  auto ctx = factory->create([&] {
+    long long local = 0;
+    for (int i = 0; i < 10; ++i) {
+      local += i;
+      self->suspend();
+    }
+    sum = local;
+  });
+  self = ctx.get();
+  while (!ctx->done()) ctx->resume();
+  EXPECT_EQ(sum, 45);
+}
+
+TEST_P(ContextBackendTest, DestroyingSuspendedContextUnwindsStack) {
+  auto factory = ss::ContextFactory::make(GetParam(), 64 * 1024);
+  // The destructor of `guard` must run when the unfinished context is
+  // destroyed — this is what releases application resources at teardown.
+  bool destroyed = false;
+  struct Guard {
+    bool* flag;
+    ~Guard() { *flag = true; }
+  };
+  ss::Context* self = nullptr;
+  {
+    auto ctx = factory->create([&] {
+      Guard guard{&destroyed};
+      self->suspend();
+      // never reached
+      FAIL() << "context resumed after kill";
+    });
+    self = ctx.get();
+    ctx->resume();
+    EXPECT_FALSE(destroyed);
+  }
+  EXPECT_TRUE(destroyed);
+}
+
+TEST_P(ContextBackendTest, DestroyingNeverStartedContextIsSafe) {
+  auto factory = ss::ContextFactory::make(GetParam(), 64 * 1024);
+  bool ran = false;
+  { auto ctx = factory->create([&] { ran = true; }); }
+  EXPECT_FALSE(ran);
+}
+
+TEST_P(ContextBackendTest, ManyContextsInterleave) {
+  auto factory = ss::ContextFactory::make(GetParam(), 64 * 1024);
+  constexpr int kContexts = 50;
+  std::vector<std::unique_ptr<ss::Context>> contexts(kContexts);
+  std::vector<ss::Context*> raw(kContexts);
+  int counter = 0;
+  for (int i = 0; i < kContexts; ++i) {
+    contexts[i] = factory->create([&raw, &counter, i] {
+      for (int round = 0; round < 3; ++round) {
+        ++counter;
+        raw[i]->suspend();
+      }
+    });
+    raw[i] = contexts[i].get();
+  }
+  for (int round = 0; round < 4; ++round) {
+    for (auto& ctx : contexts) {
+      if (!ctx->done()) ctx->resume();
+    }
+  }
+  for (auto& ctx : contexts) EXPECT_TRUE(ctx->done());
+  EXPECT_EQ(counter, kContexts * 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, ContextBackendTest,
+                         ::testing::Values("ucontext", "thread"));
+
+TEST(ContextFactory, RejectsUnknownBackend) {
+  EXPECT_THROW(ss::ContextFactory::make("fibers-of-doom", 1024), smpi::util::ContractError);
+}
+
+TEST(EngineWithThreadBackend, FullRunWorks) {
+  ss::EngineConfig config;
+  config.context_backend = "thread";
+  ss::Engine engine(config);
+  double t = -1;
+  engine.spawn("a", 0, [&] {
+    engine.sleep_for(1.0);
+    t = engine.now();
+  });
+  engine.run();
+  EXPECT_DOUBLE_EQ(t, 1.0);
+}

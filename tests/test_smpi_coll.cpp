@@ -1,0 +1,448 @@
+// Collective correctness, parameterized over process counts (including
+// non-powers-of-two and 1) and over roots. Every test validates the data;
+// timing behaviour is covered by the figure benches and the timing tests.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "smpi/coll.h"
+#include "smpi_test_util.hpp"
+
+using namespace smpi_test;
+
+class CollSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollSweep, BarrierSynchronizesEveryone) {
+  const int P = GetParam();
+  run_mpi(P, [] {
+    const int rank = my_rank();
+    // Stagger arrivals; after the barrier everyone must be past the latest.
+    smpi_sleep(0.01 * rank);
+    MPI_Barrier(MPI_COMM_WORLD);
+    EXPECT_GE(MPI_Wtime(), 0.01 * (world_size() - 1));
+  });
+}
+
+TEST_P(CollSweep, BcastFromEveryRoot) {
+  const int P = GetParam();
+  run_mpi(P, [] {
+    const int rank = my_rank();
+    const int size = world_size();
+    for (int root = 0; root < size; ++root) {
+      std::vector<int> data(37, rank == root ? root * 1000 : -1);
+      ASSERT_EQ(MPI_Bcast(data.data(), 37, MPI_INT, root, MPI_COMM_WORLD), MPI_SUCCESS);
+      for (int v : data) ASSERT_EQ(v, root * 1000);
+    }
+  });
+}
+
+TEST_P(CollSweep, ScatterDistributesBlocks) {
+  const int P = GetParam();
+  run_mpi(P, [] {
+    const int rank = my_rank();
+    const int size = world_size();
+    for (int root = 0; root < size; ++root) {
+      std::vector<double> sendbuf;
+      if (rank == root) {
+        sendbuf.resize(static_cast<std::size_t>(size) * 5);
+        for (int r = 0; r < size; ++r) {
+          for (int k = 0; k < 5; ++k) sendbuf[static_cast<std::size_t>(r * 5 + k)] = r + 0.5 * k;
+        }
+      }
+      std::vector<double> recvbuf(5, -1);
+      ASSERT_EQ(MPI_Scatter(sendbuf.data(), 5, MPI_DOUBLE, recvbuf.data(), 5, MPI_DOUBLE, root,
+                            MPI_COMM_WORLD),
+                MPI_SUCCESS);
+      for (int k = 0; k < 5; ++k) ASSERT_DOUBLE_EQ(recvbuf[static_cast<std::size_t>(k)], rank + 0.5 * k);
+    }
+  });
+}
+
+TEST_P(CollSweep, GatherCollectsBlocksInRankOrder) {
+  const int P = GetParam();
+  run_mpi(P, [] {
+    const int rank = my_rank();
+    const int size = world_size();
+    for (int root = 0; root < size; ++root) {
+      std::vector<int> mine(3, rank * 7);
+      std::vector<int> all;
+      if (rank == root) all.assign(static_cast<std::size_t>(size) * 3, -1);
+      ASSERT_EQ(MPI_Gather(mine.data(), 3, MPI_INT, all.data(), 3, MPI_INT, root,
+                           MPI_COMM_WORLD),
+                MPI_SUCCESS);
+      if (rank == root) {
+        for (int r = 0; r < size; ++r) {
+          for (int k = 0; k < 3; ++k) ASSERT_EQ(all[static_cast<std::size_t>(r * 3 + k)], r * 7);
+        }
+      }
+    }
+  });
+}
+
+TEST_P(CollSweep, AllgatherEveryoneHasEverything) {
+  const int P = GetParam();
+  run_mpi(P, [] {
+    const int rank = my_rank();
+    const int size = world_size();
+    std::vector<long long> mine(2, rank + 100);
+    std::vector<long long> all(static_cast<std::size_t>(size) * 2, -1);
+    ASSERT_EQ(MPI_Allgather(mine.data(), 2, MPI_LONG_LONG, all.data(), 2, MPI_LONG_LONG,
+                            MPI_COMM_WORLD),
+              MPI_SUCCESS);
+    for (int r = 0; r < size; ++r) {
+      ASSERT_EQ(all[static_cast<std::size_t>(2 * r)], r + 100);
+      ASSERT_EQ(all[static_cast<std::size_t>(2 * r + 1)], r + 100);
+    }
+  });
+}
+
+TEST_P(CollSweep, ReduceSumAtEveryRoot) {
+  const int P = GetParam();
+  run_mpi(P, [] {
+    const int rank = my_rank();
+    const int size = world_size();
+    for (int root = 0; root < size; ++root) {
+      std::vector<int> contribution(11);
+      for (int k = 0; k < 11; ++k) contribution[static_cast<std::size_t>(k)] = rank + k;
+      std::vector<int> result(11, -1);
+      ASSERT_EQ(MPI_Reduce(contribution.data(), result.data(), 11, MPI_INT, MPI_SUM, root,
+                           MPI_COMM_WORLD),
+                MPI_SUCCESS);
+      if (rank == root) {
+        const int rank_sum = size * (size - 1) / 2;
+        for (int k = 0; k < 11; ++k) ASSERT_EQ(result[static_cast<std::size_t>(k)], rank_sum + size * k);
+      }
+    }
+  });
+}
+
+TEST_P(CollSweep, AllreduceMatchesReducePlusBcast) {
+  const int P = GetParam();
+  run_mpi(P, [] {
+    const int rank = my_rank();
+    const int size = world_size();
+    double mine = rank + 1.0;
+    double max_val = -1, sum_val = -1, min_val = -1;
+    ASSERT_EQ(MPI_Allreduce(&mine, &max_val, 1, MPI_DOUBLE, MPI_MAX, MPI_COMM_WORLD),
+              MPI_SUCCESS);
+    ASSERT_EQ(MPI_Allreduce(&mine, &sum_val, 1, MPI_DOUBLE, MPI_SUM, MPI_COMM_WORLD),
+              MPI_SUCCESS);
+    ASSERT_EQ(MPI_Allreduce(&mine, &min_val, 1, MPI_DOUBLE, MPI_MIN, MPI_COMM_WORLD),
+              MPI_SUCCESS);
+    EXPECT_DOUBLE_EQ(max_val, size);
+    EXPECT_DOUBLE_EQ(min_val, 1.0);
+    EXPECT_DOUBLE_EQ(sum_val, size * (size + 1) / 2.0);
+  });
+}
+
+TEST_P(CollSweep, ScanComputesPrefix) {
+  const int P = GetParam();
+  run_mpi(P, [] {
+    const int rank = my_rank();
+    int mine = rank + 1;
+    int prefix = -1;
+    ASSERT_EQ(MPI_Scan(&mine, &prefix, 1, MPI_INT, MPI_SUM, MPI_COMM_WORLD), MPI_SUCCESS);
+    EXPECT_EQ(prefix, (rank + 1) * (rank + 2) / 2);
+  });
+}
+
+TEST_P(CollSweep, ReduceScatterSplitsReduction) {
+  const int P = GetParam();
+  run_mpi(P, [] {
+    const int rank = my_rank();
+    const int size = world_size();
+    std::vector<int> counts(static_cast<std::size_t>(size), 2);
+    std::vector<int> input(static_cast<std::size_t>(size) * 2);
+    for (int i = 0; i < size * 2; ++i) input[static_cast<std::size_t>(i)] = rank + i;
+    std::vector<int> out(2, -1);
+    ASSERT_EQ(MPI_Reduce_scatter(input.data(), out.data(), counts.data(), MPI_INT, MPI_SUM,
+                                 MPI_COMM_WORLD),
+              MPI_SUCCESS);
+    // Element j of block r: sum over ranks q of (q + 2r + j).
+    const int rank_sum = size * (size - 1) / 2;
+    EXPECT_EQ(out[0], rank_sum + size * (2 * rank));
+    EXPECT_EQ(out[1], rank_sum + size * (2 * rank + 1));
+  });
+}
+
+TEST_P(CollSweep, AlltoallTransposesBlocks) {
+  const int P = GetParam();
+  run_mpi(P, [] {
+    const int rank = my_rank();
+    const int size = world_size();
+    std::vector<int> send(static_cast<std::size_t>(size) * 2);
+    for (int r = 0; r < size; ++r) {
+      send[static_cast<std::size_t>(2 * r)] = rank * 100 + r;
+      send[static_cast<std::size_t>(2 * r + 1)] = rank * 100 + r + 50;
+    }
+    std::vector<int> recv(static_cast<std::size_t>(size) * 2, -1);
+    ASSERT_EQ(MPI_Alltoall(send.data(), 2, MPI_INT, recv.data(), 2, MPI_INT, MPI_COMM_WORLD),
+              MPI_SUCCESS);
+    for (int r = 0; r < size; ++r) {
+      ASSERT_EQ(recv[static_cast<std::size_t>(2 * r)], r * 100 + rank);
+      ASSERT_EQ(recv[static_cast<std::size_t>(2 * r + 1)], r * 100 + rank + 50);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(ProcessCounts, CollSweep, ::testing::Values(1, 2, 3, 4, 5, 7, 8, 16, 17));
+
+// ---------------------------------------------------------------------------
+// Variant-specific and v-collective tests.
+// ---------------------------------------------------------------------------
+
+TEST(SmpiColl, PairwiseAlltoallMatchesBasic) {
+  for (const int P : {4, 6, 8}) {
+    run_mpi(P, [] {
+      const int rank = my_rank();
+      const int size = world_size();
+      std::vector<int> send(static_cast<std::size_t>(size));
+      for (int r = 0; r < size; ++r) send[static_cast<std::size_t>(r)] = rank * 10 + r;
+      std::vector<int> via_pairwise(static_cast<std::size_t>(size), -1);
+      std::vector<int> via_basic(static_cast<std::size_t>(size), -2);
+      ASSERT_EQ(smpi::coll::alltoall_pairwise(send.data(), 1, MPI_INT, via_pairwise.data(), 1,
+                                              MPI_INT, MPI_COMM_WORLD),
+                MPI_SUCCESS);
+      ASSERT_EQ(smpi::coll::alltoall_basic(send.data(), 1, MPI_INT, via_basic.data(), 1, MPI_INT,
+                                           MPI_COMM_WORLD),
+                MPI_SUCCESS);
+      EXPECT_EQ(via_pairwise, via_basic);
+      for (int r = 0; r < size; ++r) ASSERT_EQ(via_pairwise[static_cast<std::size_t>(r)], r * 10 + rank);
+    });
+  }
+}
+
+TEST(SmpiColl, ScatterBinomialMatchesLinear) {
+  run_mpi(6, [] {
+    const int rank = my_rank();
+    const int size = world_size();
+    std::vector<int> sendbuf;
+    if (rank == 2) {
+      sendbuf.resize(static_cast<std::size_t>(size) * 4);
+      std::iota(sendbuf.begin(), sendbuf.end(), 0);
+    }
+    std::vector<int> a(4, -1), b(4, -1);
+    ASSERT_EQ(smpi::coll::scatter_binomial(sendbuf.data(), 4, MPI_INT, a.data(), 4, MPI_INT, 2,
+                                           MPI_COMM_WORLD),
+              MPI_SUCCESS);
+    ASSERT_EQ(smpi::coll::scatter_linear(sendbuf.data(), 4, MPI_INT, b.data(), 4, MPI_INT, 2,
+                                         MPI_COMM_WORLD),
+              MPI_SUCCESS);
+    EXPECT_EQ(a, b);
+    for (int k = 0; k < 4; ++k) ASSERT_EQ(a[static_cast<std::size_t>(k)], rank * 4 + k);
+  });
+}
+
+TEST(SmpiColl, GatherBinomialMatchesLinear) {
+  run_mpi(6, [] {
+    const int rank = my_rank();
+    const int size = world_size();
+    std::vector<int> mine(3, rank + 1);
+    std::vector<int> a, b;
+    if (rank == 1) {
+      a.assign(static_cast<std::size_t>(size) * 3, -1);
+      b.assign(static_cast<std::size_t>(size) * 3, -2);
+    }
+    ASSERT_EQ(smpi::coll::gather_binomial(mine.data(), 3, MPI_INT, a.data(), 3, MPI_INT, 1,
+                                          MPI_COMM_WORLD),
+              MPI_SUCCESS);
+    ASSERT_EQ(smpi::coll::gather_linear(mine.data(), 3, MPI_INT, b.data(), 3, MPI_INT, 1,
+                                        MPI_COMM_WORLD),
+              MPI_SUCCESS);
+    if (rank == 1) {
+      EXPECT_EQ(a, b);
+    }
+  });
+}
+
+TEST(SmpiColl, AllgatherRingMatchesRecursiveDoubling) {
+  run_mpi(8, [] {
+    const int rank = my_rank();
+    const int size = world_size();
+    std::vector<int> mine(2, rank);
+    std::vector<int> a(static_cast<std::size_t>(size) * 2, -1);
+    std::vector<int> b(static_cast<std::size_t>(size) * 2, -2);
+    ASSERT_EQ(smpi::coll::allgather_ring(mine.data(), 2, MPI_INT, a.data(), 2, MPI_INT,
+                                         MPI_COMM_WORLD),
+              MPI_SUCCESS);
+    ASSERT_EQ(smpi::coll::allgather_recursive_doubling(mine.data(), 2, MPI_INT, b.data(), 2,
+                                                       MPI_INT, MPI_COMM_WORLD),
+              MPI_SUCCESS);
+    EXPECT_EQ(a, b);
+  });
+}
+
+TEST(SmpiColl, GathervScattervWithUnevenBlocks) {
+  run_mpi(4, [] {
+    const int rank = my_rank();
+    const int size = world_size();
+    // Rank r contributes r+1 ints.
+    std::vector<int> counts, displs;
+    int total = 0;
+    for (int r = 0; r < size; ++r) {
+      counts.push_back(r + 1);
+      displs.push_back(total);
+      total += r + 1;
+    }
+    std::vector<int> mine(static_cast<std::size_t>(rank) + 1, rank);
+    std::vector<int> all;
+    if (rank == 0) all.assign(static_cast<std::size_t>(total), -1);
+    ASSERT_EQ(MPI_Gatherv(mine.data(), rank + 1, MPI_INT, all.data(), counts.data(),
+                          displs.data(), MPI_INT, 0, MPI_COMM_WORLD),
+              MPI_SUCCESS);
+    if (rank == 0) {
+      for (int r = 0; r < size; ++r) {
+        for (int k = 0; k < counts[static_cast<std::size_t>(r)]; ++k) {
+          ASSERT_EQ(all[static_cast<std::size_t>(displs[static_cast<std::size_t>(r)] + k)], r);
+        }
+      }
+    }
+    // Scatter the gathered data back.
+    std::vector<int> back(static_cast<std::size_t>(rank) + 1, -1);
+    ASSERT_EQ(MPI_Scatterv(all.data(), counts.data(), displs.data(), MPI_INT, back.data(),
+                           rank + 1, MPI_INT, 0, MPI_COMM_WORLD),
+              MPI_SUCCESS);
+    for (int v : back) ASSERT_EQ(v, rank);
+  });
+}
+
+TEST(SmpiColl, AllgathervUnevenBlocks) {
+  run_mpi(5, [] {
+    const int rank = my_rank();
+    const int size = world_size();
+    std::vector<int> counts, displs;
+    int total = 0;
+    for (int r = 0; r < size; ++r) {
+      counts.push_back(2 * r + 1);
+      displs.push_back(total);
+      total += 2 * r + 1;
+    }
+    std::vector<int> mine(static_cast<std::size_t>(counts[static_cast<std::size_t>(rank)]),
+                          rank * 3);
+    std::vector<int> all(static_cast<std::size_t>(total), -1);
+    ASSERT_EQ(MPI_Allgatherv(mine.data(), counts[static_cast<std::size_t>(rank)], MPI_INT,
+                             all.data(), counts.data(), displs.data(), MPI_INT, MPI_COMM_WORLD),
+              MPI_SUCCESS);
+    for (int r = 0; r < size; ++r) {
+      for (int k = 0; k < counts[static_cast<std::size_t>(r)]; ++k) {
+        ASSERT_EQ(all[static_cast<std::size_t>(displs[static_cast<std::size_t>(r)] + k)], r * 3);
+      }
+    }
+  });
+}
+
+TEST(SmpiColl, AlltoallvUnevenBlocks) {
+  run_mpi(4, [] {
+    const int rank = my_rank();
+    const int size = world_size();
+    // Rank r sends (q+1) ints of value r*10+q to each rank q.
+    std::vector<int> scounts, sdispls, rcounts, rdispls;
+    int stotal = 0, rtotal = 0;
+    for (int q = 0; q < size; ++q) {
+      scounts.push_back(q + 1);
+      sdispls.push_back(stotal);
+      stotal += q + 1;
+      rcounts.push_back(rank + 1);
+      rdispls.push_back(rtotal);
+      rtotal += rank + 1;
+    }
+    std::vector<int> send(static_cast<std::size_t>(stotal));
+    for (int q = 0; q < size; ++q) {
+      for (int k = 0; k < q + 1; ++k) {
+        send[static_cast<std::size_t>(sdispls[static_cast<std::size_t>(q)] + k)] = rank * 10 + q;
+      }
+    }
+    std::vector<int> recv(static_cast<std::size_t>(rtotal), -1);
+    ASSERT_EQ(MPI_Alltoallv(send.data(), scounts.data(), sdispls.data(), MPI_INT, recv.data(),
+                            rcounts.data(), rdispls.data(), MPI_INT, MPI_COMM_WORLD),
+              MPI_SUCCESS);
+    for (int q = 0; q < size; ++q) {
+      for (int k = 0; k < rank + 1; ++k) {
+        ASSERT_EQ(recv[static_cast<std::size_t>(rdispls[static_cast<std::size_t>(q)] + k)],
+                  q * 10 + rank);
+      }
+    }
+  });
+}
+
+TEST(SmpiColl, UserDefinedOpAndInPlace) {
+  run_mpi(4, [] {
+    const int rank = my_rank();
+    MPI_Op myop;
+    // "Take the lower-rank operand": associative but NOT commutative, so the
+    // result discriminates correct (lowest rank wins) from swapped ordering
+    // (highest rank wins).
+    ASSERT_EQ(MPI_Op_create(
+                  [](void* in, void* inout, int* len, MPI_Datatype*) {
+                    auto* a = static_cast<int*>(in);
+                    auto* b = static_cast<int*>(inout);
+                    for (int i = 0; i < *len; ++i) b[i] = a[i];
+                  },
+                  0, &myop),
+              MPI_SUCCESS);
+    int value = rank + 1;  // contributions 1,2,3,4
+    int result = -999;
+    ASSERT_EQ(MPI_Reduce(&value, &result, 1, MPI_INT, myop, 0, MPI_COMM_WORLD), MPI_SUCCESS);
+    if (rank == 0) {
+      EXPECT_EQ(result, 1);  // rank 0's contribution
+    }
+    MPI_Op_free(&myop);
+
+    // MPI_IN_PLACE Allreduce.
+    int inplace = rank + 1;
+    ASSERT_EQ(MPI_Allreduce(MPI_IN_PLACE, &inplace, 1, MPI_INT, MPI_SUM, MPI_COMM_WORLD),
+              MPI_SUCCESS);
+    EXPECT_EQ(inplace, 10);
+  });
+}
+
+TEST(SmpiColl, BitwiseOpsOnIntegers) {
+  run_mpi(3, [] {
+    const int rank = my_rank();
+    unsigned value = 1u << rank;
+    unsigned ored = 0;
+    ASSERT_EQ(MPI_Allreduce(&value, &ored, 1, MPI_UNSIGNED, MPI_BOR, MPI_COMM_WORLD),
+              MPI_SUCCESS);
+    EXPECT_EQ(ored, 0b111u);
+    double dvalue = 1.0;
+    double dout = 0;
+    EXPECT_EQ(MPI_Allreduce(&dvalue, &dout, 1, MPI_DOUBLE, MPI_BAND, MPI_COMM_WORLD),
+              MPI_ERR_OP);
+  });
+}
+
+TEST(SmpiColl, CollectiveArgValidation) {
+  run_mpi(2, [] {
+    int v = 0;
+    EXPECT_EQ(MPI_Bcast(&v, 1, MPI_INT, 5, MPI_COMM_WORLD), MPI_ERR_ROOT);
+    EXPECT_EQ(MPI_Bcast(&v, -1, MPI_INT, 0, MPI_COMM_WORLD), MPI_ERR_COUNT);
+    EXPECT_EQ(MPI_Barrier(MPI_COMM_NULL), MPI_ERR_COMM);
+    EXPECT_EQ(MPI_Reduce(&v, &v, 1, MPI_INT, MPI_OP_NULL, 0, MPI_COMM_WORLD), MPI_ERR_OP);
+  });
+}
+
+TEST(SmpiColl, ContentionMakesAlltoallSlowerThanNoContention) {
+  // The qualitative claim behind Figures 7/11: a model without contention
+  // underestimates collective completion times. Contention arises on shared
+  // links — here the inter-cabinet uplink crossed by several concurrent
+  // pairwise exchanges at every step.
+  auto measure = [](bool contention) {
+    auto config = fast_config();
+    config.network.contention = contention;
+    auto platform = two_cabinet_cluster(4);
+    return run_mpi_on(
+        platform, 8,
+        [] {
+          const int size = world_size();
+          std::vector<char> send(static_cast<std::size_t>(size) * 512 * 1024, 'x');
+          std::vector<char> recv(static_cast<std::size_t>(size) * 512 * 1024);
+          smpi::coll::alltoall_pairwise(send.data(), 512 * 1024, MPI_CHAR, recv.data(),
+                                        512 * 1024, MPI_CHAR, MPI_COMM_WORLD);
+        },
+        config);
+  };
+  const double with_contention = measure(true);
+  const double without = measure(false);
+  EXPECT_GT(with_contention, without * 1.2);
+}

@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "smpi_test_util.hpp"
+
+using namespace smpi_test;
+
+TEST(SmpiComm, WorldRankAndSize) {
+  run_mpi(5, [] {
+    int rank = -1, size = -1;
+    ASSERT_EQ(MPI_Comm_rank(MPI_COMM_WORLD, &rank), MPI_SUCCESS);
+    ASSERT_EQ(MPI_Comm_size(MPI_COMM_WORLD, &size), MPI_SUCCESS);
+    EXPECT_EQ(size, 5);
+    EXPECT_GE(rank, 0);
+    EXPECT_LT(rank, 5);
+  });
+}
+
+TEST(SmpiComm, DupIsCongruentButDistinct) {
+  run_mpi(4, [] {
+    MPI_Comm dup = MPI_COMM_NULL;
+    ASSERT_EQ(MPI_Comm_dup(MPI_COMM_WORLD, &dup), MPI_SUCCESS);
+    ASSERT_NE(dup, MPI_COMM_NULL);
+    int result = -1;
+    MPI_Comm_compare(MPI_COMM_WORLD, dup, &result);
+    EXPECT_EQ(result, MPI_CONGRUENT);
+    MPI_Comm_compare(dup, dup, &result);
+    EXPECT_EQ(result, MPI_IDENT);
+    // All ranks got the *same* communicator object.
+    int rank = my_rank();
+    int other_id[1] = {0};
+    if (rank == 0) {
+      int probe = 1;
+      MPI_Send(&probe, 1, MPI_INT, 1, 0, dup);
+    } else if (rank == 1) {
+      MPI_Recv(other_id, 1, MPI_INT, 0, 0, dup, MPI_STATUS_IGNORE);
+      EXPECT_EQ(other_id[0], 1);
+    }
+    MPI_Comm_free(&dup);
+    EXPECT_EQ(dup, MPI_COMM_NULL);
+  });
+}
+
+TEST(SmpiComm, MessagesDoNotCrossCommunicators) {
+  run_mpi(2, [] {
+    MPI_Comm dup = MPI_COMM_NULL;
+    MPI_Comm_dup(MPI_COMM_WORLD, &dup);
+    if (my_rank() == 0) {
+      const int a = 1, b = 2;
+      MPI_Send(&a, 1, MPI_INT, 1, 7, MPI_COMM_WORLD);
+      MPI_Send(&b, 1, MPI_INT, 1, 7, dup);
+    } else {
+      int got = -1;
+      // Receive on dup first: must get the dup message even though the world
+      // message was sent earlier with the same tag.
+      MPI_Recv(&got, 1, MPI_INT, 0, 7, dup, MPI_STATUS_IGNORE);
+      EXPECT_EQ(got, 2);
+      MPI_Recv(&got, 1, MPI_INT, 0, 7, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+      EXPECT_EQ(got, 1);
+    }
+  });
+}
+
+TEST(SmpiComm, CommCreateSubsetRanks) {
+  run_mpi(6, [] {
+    const int rank = my_rank();
+    MPI_Group world_group = MPI_GROUP_NULL;
+    MPI_Comm_group(MPI_COMM_WORLD, &world_group);
+    // Even ranks only.
+    const int evens[] = {0, 2, 4};
+    MPI_Group even_group = MPI_GROUP_NULL;
+    ASSERT_EQ(MPI_Group_incl(world_group, 3, evens, &even_group), MPI_SUCCESS);
+    MPI_Comm even_comm = MPI_COMM_NULL;
+    ASSERT_EQ(MPI_Comm_create(MPI_COMM_WORLD, even_group, &even_comm), MPI_SUCCESS);
+    if (rank % 2 == 0) {
+      ASSERT_NE(even_comm, MPI_COMM_NULL);
+      int sub_rank = -1, sub_size = -1;
+      MPI_Comm_rank(even_comm, &sub_rank);
+      MPI_Comm_size(even_comm, &sub_size);
+      EXPECT_EQ(sub_size, 3);
+      EXPECT_EQ(sub_rank, rank / 2);
+      // Collectives work on the subset.
+      int value = rank;
+      int sum = -1;
+      MPI_Allreduce(&value, &sum, 1, MPI_INT, MPI_SUM, even_comm);
+      EXPECT_EQ(sum, 0 + 2 + 4);
+    } else {
+      EXPECT_EQ(even_comm, MPI_COMM_NULL);
+    }
+  });
+}
+
+TEST(SmpiComm, GroupSetOperations) {
+  run_mpi(6, [] {
+    MPI_Group world = MPI_GROUP_NULL;
+    MPI_Comm_group(MPI_COMM_WORLD, &world);
+    const int lows[] = {0, 1, 2, 3};
+    const int highs[] = {2, 3, 4, 5};
+    MPI_Group low = MPI_GROUP_NULL, high = MPI_GROUP_NULL;
+    MPI_Group_incl(world, 4, lows, &low);
+    MPI_Group_incl(world, 4, highs, &high);
+
+    MPI_Group u = MPI_GROUP_NULL, i = MPI_GROUP_NULL, d = MPI_GROUP_NULL;
+    MPI_Group_union(low, high, &u);
+    MPI_Group_intersection(low, high, &i);
+    MPI_Group_difference(low, high, &d);
+    int n = -1;
+    MPI_Group_size(u, &n);
+    EXPECT_EQ(n, 6);
+    MPI_Group_size(i, &n);
+    EXPECT_EQ(n, 2);
+    MPI_Group_size(d, &n);
+    EXPECT_EQ(n, 2);
+
+    // Translate ranks between groups.
+    int in_low[] = {0, 2, 3};
+    int in_world[3] = {-5, -5, -5};
+    MPI_Group_translate_ranks(low, 3, in_low, world, in_world);
+    EXPECT_EQ(in_world[0], 0);
+    EXPECT_EQ(in_world[1], 2);
+    EXPECT_EQ(in_world[2], 3);
+    int in_high[3];
+    MPI_Group_translate_ranks(low, 3, in_low, high, in_high);
+    EXPECT_EQ(in_high[0], MPI_UNDEFINED);
+    EXPECT_EQ(in_high[1], 0);
+    EXPECT_EQ(in_high[2], 1);
+
+    int cmp = -1;
+    MPI_Group_compare(low, low, &cmp);
+    EXPECT_EQ(cmp, MPI_IDENT);
+    const int reversed[] = {3, 2, 1, 0};
+    MPI_Group rev = MPI_GROUP_NULL;
+    MPI_Group_incl(world, 4, reversed, &rev);
+    MPI_Group_compare(low, rev, &cmp);
+    EXPECT_EQ(cmp, MPI_SIMILAR);
+    MPI_Group_compare(low, high, &cmp);
+    EXPECT_EQ(cmp, MPI_UNEQUAL);
+  });
+}
+
+TEST(SmpiComm, GroupExclAndEmpty) {
+  run_mpi(4, [] {
+    MPI_Group world = MPI_GROUP_NULL;
+    MPI_Comm_group(MPI_COMM_WORLD, &world);
+    const int excluded[] = {1, 3};
+    MPI_Group rest = MPI_GROUP_NULL;
+    MPI_Group_excl(world, 2, excluded, &rest);
+    int n = -1;
+    MPI_Group_size(rest, &n);
+    EXPECT_EQ(n, 2);
+    int my = -1;
+    MPI_Group_rank(rest, &my);
+    if (my_rank() == 0) {
+      EXPECT_EQ(my, 0);
+    }
+    if (my_rank() == 1) {
+      EXPECT_EQ(my, MPI_UNDEFINED);
+    }
+    MPI_Group_size(MPI_GROUP_EMPTY, &n);
+    EXPECT_EQ(n, 0);
+  });
+}
+
+TEST(SmpiComm, CannotFreeWorld) {
+  run_mpi(2, [] {
+    MPI_Comm world = MPI_COMM_WORLD;
+    EXPECT_EQ(MPI_Comm_free(&world), MPI_ERR_COMM);
+  });
+}
+
+TEST(SmpiComm, CollectivesOnDupAndSubComms) {
+  run_mpi(8, [] {
+    const int rank = my_rank();
+    MPI_Comm dup = MPI_COMM_NULL;
+    MPI_Comm_dup(MPI_COMM_WORLD, &dup);
+    int v = rank;
+    int sum = -1;
+    MPI_Allreduce(&v, &sum, 1, MPI_INT, MPI_SUM, dup);
+    EXPECT_EQ(sum, 28);
+    // Nested: create a sub-communicator from the dup.
+    MPI_Group g = MPI_GROUP_NULL;
+    MPI_Comm_group(dup, &g);
+    const int firsts[] = {0, 1, 2};
+    MPI_Group g3 = MPI_GROUP_NULL;
+    MPI_Group_incl(g, 3, firsts, &g3);
+    MPI_Comm c3 = MPI_COMM_NULL;
+    MPI_Comm_create(dup, g3, &c3);
+    if (rank < 3) {
+      int b = rank == 1 ? 99 : -1;
+      MPI_Bcast(&b, 1, MPI_INT, 1, c3);
+      EXPECT_EQ(b, 99);
+    }
+  });
+}
+
+TEST(SmpiWtime, AdvancesWithSimulatedWork) {
+  run_mpi(2, [] {
+    const double t0 = MPI_Wtime();
+    smpi_sleep(0.25);
+    const double t1 = MPI_Wtime();
+    EXPECT_NEAR(t1 - t0, 0.25, 1e-12);
+    EXPECT_GT(MPI_Wtick(), 0);
+  });
+}

@@ -1,0 +1,271 @@
+// Extensions beyond the paper's §5.1 subset: MPI_Comm_split (explicitly
+// listed as missing in the paper) and the long-message broadcast variant
+// (§5.3's planned "multiple variants per collective").
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "smpi/coll.h"
+#include "smpi_test_util.hpp"
+#include "util/check.hpp"
+
+using namespace smpi_test;
+
+TEST(CommSplit, PartitionsByColorOrderedByKey) {
+  run_mpi(6, [] {
+    const int rank = my_rank();
+    // Colors 0/1 by parity; keys reverse the rank order inside each color.
+    MPI_Comm sub = MPI_COMM_NULL;
+    ASSERT_EQ(MPI_Comm_split(MPI_COMM_WORLD, rank % 2, -rank, &sub), MPI_SUCCESS);
+    ASSERT_NE(sub, MPI_COMM_NULL);
+    int sub_rank = -1, sub_size = -1;
+    MPI_Comm_rank(sub, &sub_rank);
+    MPI_Comm_size(sub, &sub_size);
+    EXPECT_EQ(sub_size, 3);
+    // Keys are -rank: the highest old rank comes first.
+    // Evens {0,2,4} with keys {0,-2,-4} -> order 4,2,0.
+    const int expected_rank = (rank % 2 == 0) ? (4 - rank) / 2 : (5 - rank) / 2;
+    EXPECT_EQ(sub_rank, expected_rank);
+    // The sub-communicator must be fully functional.
+    int sum = -1;
+    int v = rank;
+    MPI_Allreduce(&v, &sum, 1, MPI_INT, MPI_SUM, sub);
+    EXPECT_EQ(sum, rank % 2 == 0 ? 0 + 2 + 4 : 1 + 3 + 5);
+  });
+}
+
+TEST(CommSplit, UndefinedColorGetsNull) {
+  run_mpi(4, [] {
+    const int rank = my_rank();
+    MPI_Comm sub = reinterpret_cast<MPI_Comm>(0x1);  // poison
+    const int color = rank == 0 ? MPI_UNDEFINED : 7;
+    ASSERT_EQ(MPI_Comm_split(MPI_COMM_WORLD, color, 0, &sub), MPI_SUCCESS);
+    if (rank == 0) {
+      EXPECT_EQ(sub, MPI_COMM_NULL);
+    } else {
+      ASSERT_NE(sub, MPI_COMM_NULL);
+      int sub_size = -1;
+      MPI_Comm_size(sub, &sub_size);
+      EXPECT_EQ(sub_size, 3);
+    }
+  });
+}
+
+TEST(CommSplit, SingleColorIsCongruentToParent) {
+  run_mpi(4, [] {
+    MPI_Comm sub = MPI_COMM_NULL;
+    ASSERT_EQ(MPI_Comm_split(MPI_COMM_WORLD, 0, my_rank(), &sub), MPI_SUCCESS);
+    int result = -1;
+    MPI_Comm_compare(MPI_COMM_WORLD, sub, &result);
+    EXPECT_EQ(result, MPI_CONGRUENT);
+  });
+}
+
+TEST(CommSplit, RejectsNegativeColor) {
+  run_mpi(2, [] {
+    MPI_Comm sub = MPI_COMM_NULL;
+    EXPECT_EQ(MPI_Comm_split(MPI_COMM_WORLD, -3, 0, &sub), MPI_ERR_ARG);
+  });
+}
+
+TEST(CommSplit, RepeatedSplitsNest) {
+  run_mpi(8, [] {
+    const int rank = my_rank();
+    MPI_Comm half = MPI_COMM_NULL;
+    MPI_Comm_split(MPI_COMM_WORLD, rank / 4, rank, &half);
+    int half_rank = -1;
+    MPI_Comm_rank(half, &half_rank);
+    MPI_Comm quarter = MPI_COMM_NULL;
+    MPI_Comm_split(half, half_rank / 2, half_rank, &quarter);
+    int quarter_size = -1;
+    MPI_Comm_size(quarter, &quarter_size);
+    EXPECT_EQ(quarter_size, 2);
+    int v = 1, total = 0;
+    MPI_Allreduce(&v, &total, 1, MPI_INT, MPI_SUM, quarter);
+    EXPECT_EQ(total, 2);
+  });
+}
+
+TEST(BcastVariants, LongMessageVariantMatchesBinomial) {
+  run_mpi(8, [] {
+    const int rank = my_rank();
+    std::vector<int> via_ring(200000, rank == 2 ? 1234 : -1);
+    std::vector<int> via_binomial(200000, rank == 2 ? 1234 : -1);
+    ASSERT_EQ(smpi::coll::bcast_scatter_ring_allgather(via_ring.data(), 200000, MPI_INT, 2,
+                                                       MPI_COMM_WORLD),
+              MPI_SUCCESS);
+    ASSERT_EQ(smpi::coll::bcast_binomial(via_binomial.data(), 200000, MPI_INT, 2,
+                                         MPI_COMM_WORLD),
+              MPI_SUCCESS);
+    EXPECT_EQ(via_ring, via_binomial);
+    EXPECT_EQ(via_ring[0], 1234);
+    EXPECT_EQ(via_ring[199999], 1234);
+  });
+}
+
+TEST(BcastVariants, LongMessageVariantHandlesUnevenBlocks) {
+  run_mpi(7, [] {  // 7 does not divide the payload evenly
+    std::vector<char> data(100001, my_rank() == 0 ? 'z' : '?');
+    ASSERT_EQ(smpi::coll::bcast_scatter_ring_allgather(data.data(), 100001, MPI_CHAR, 0,
+                                                       MPI_COMM_WORLD),
+              MPI_SUCCESS);
+    EXPECT_EQ(data[0], 'z');
+    EXPECT_EQ(data[100000], 'z');
+  });
+}
+
+TEST(BcastVariants, DispatchStillCorrectAroundThreshold) {
+  run_mpi(8, [] {
+    for (const int count : {1, 1000, 131071, 131072, 131073, 500000}) {
+      std::vector<int> data(static_cast<std::size_t>(count), my_rank() == 0 ? count : -1);
+      ASSERT_EQ(MPI_Bcast(data.data(), count, MPI_INT, 0, MPI_COMM_WORLD), MPI_SUCCESS);
+      ASSERT_EQ(data.front(), count);
+      ASSERT_EQ(data.back(), count);
+    }
+  });
+}
+
+TEST(BcastVariants, RingVariantIsFasterForHugeMessagesOnManyRanks) {
+  // The reason the variant exists: a binomial tree moves the whole payload
+  // log2(P) times over the root-side links; scatter+ring moves ~2x total.
+  auto time_variant = [](bool ring) {
+    return run_mpi(16, [ring] {
+      std::vector<char> data(4u << 20, my_rank() == 0 ? 'x' : '?');
+      if (ring) {
+        smpi::coll::bcast_scatter_ring_allgather(data.data(), static_cast<int>(data.size()),
+                                                 MPI_CHAR, 0, MPI_COMM_WORLD);
+      } else {
+        smpi::coll::bcast_binomial(data.data(), static_cast<int>(data.size()), MPI_CHAR, 0,
+                                   MPI_COMM_WORLD);
+      }
+    });
+  };
+  const double t_ring = time_variant(true);
+  const double t_binomial = time_variant(false);
+  EXPECT_LT(t_ring, t_binomial);
+}
+
+TEST(AlltoallVariants, BruckMatchesPairwise) {
+  for (const int P : {8, 9, 16}) {
+    run_mpi(P, [] {
+      const int rank = my_rank();
+      const int size = world_size();
+      std::vector<int> send(static_cast<std::size_t>(size) * 2);
+      for (int r = 0; r < size; ++r) {
+        send[static_cast<std::size_t>(2 * r)] = rank * 1000 + r;
+        send[static_cast<std::size_t>(2 * r + 1)] = rank * 1000 + r + 500;
+      }
+      std::vector<int> via_bruck(static_cast<std::size_t>(size) * 2, -1);
+      std::vector<int> via_pairwise(static_cast<std::size_t>(size) * 2, -2);
+      ASSERT_EQ(smpi::coll::alltoall_bruck(send.data(), 2, MPI_INT, via_bruck.data(), 2, MPI_INT,
+                                           MPI_COMM_WORLD),
+                MPI_SUCCESS);
+      ASSERT_EQ(smpi::coll::alltoall_pairwise(send.data(), 2, MPI_INT, via_pairwise.data(), 2,
+                                              MPI_INT, MPI_COMM_WORLD),
+                MPI_SUCCESS);
+      ASSERT_EQ(via_bruck, via_pairwise);
+    });
+  }
+}
+
+TEST(AlltoallVariants, BruckWinsOnLatencyBoundMessages) {
+  // Bruck does ceil(log2 P) rounds instead of P-1: for tiny blocks on many
+  // ranks it should beat the pairwise exchange in simulated time.
+  auto time_variant = [](bool bruck) {
+    return run_mpi(16, [bruck] {
+      const int size = world_size();
+      std::vector<int> send(static_cast<std::size_t>(size), my_rank());
+      std::vector<int> recv(static_cast<std::size_t>(size), -1);
+      if (bruck) {
+        smpi::coll::alltoall_bruck(send.data(), 1, MPI_INT, recv.data(), 1, MPI_INT,
+                                   MPI_COMM_WORLD);
+      } else {
+        smpi::coll::alltoall_pairwise(send.data(), 1, MPI_INT, recv.data(), 1, MPI_INT,
+                                      MPI_COMM_WORLD);
+      }
+    });
+  };
+  EXPECT_LT(time_variant(true), time_variant(false));
+}
+
+TEST(AllreduceVariants, RabenseifnerMatchesRecursiveDoubling) {
+  run_mpi(8, [] {
+    const int rank = my_rank();
+    std::vector<double> input(1000);
+    for (std::size_t i = 0; i < input.size(); ++i) {
+      input[i] = rank + static_cast<double>(i) * 0.25;
+    }
+    std::vector<double> via_rab(1000, -1), via_rdb(1000, -2);
+    ASSERT_EQ(smpi::coll::allreduce_rabenseifner(input.data(), via_rab.data(), 1000, MPI_DOUBLE,
+                                                 MPI_SUM, MPI_COMM_WORLD),
+              MPI_SUCCESS);
+    ASSERT_EQ(smpi::coll::allreduce_recursive_doubling(input.data(), via_rdb.data(), 1000,
+                                                       MPI_DOUBLE, MPI_SUM, MPI_COMM_WORLD),
+              MPI_SUCCESS);
+    for (std::size_t i = 0; i < 1000; ++i) ASSERT_DOUBLE_EQ(via_rab[i], via_rdb[i]) << i;
+  });
+}
+
+TEST(AllreduceVariants, RabenseifnerHandlesUnevenBlocks) {
+  run_mpi(4, [] {
+    std::vector<long long> in(1003, my_rank() + 1);  // 1003 % 4 != 0
+    std::vector<long long> out(1003, -1);
+    ASSERT_EQ(smpi::coll::allreduce_rabenseifner(in.data(), out.data(), 1003, MPI_LONG_LONG,
+                                                 MPI_SUM, MPI_COMM_WORLD),
+              MPI_SUCCESS);
+    for (long long v : out) ASSERT_EQ(v, 1 + 2 + 3 + 4);
+  });
+}
+
+TEST(AllreduceVariants, DispatchCorrectAcrossSizes) {
+  run_mpi(8, [] {
+    for (const int count : {1, 100, 8191, 8192, 100000}) {
+      std::vector<double> in(static_cast<std::size_t>(count), 1.0);
+      std::vector<double> out(static_cast<std::size_t>(count), -1);
+      ASSERT_EQ(MPI_Allreduce(in.data(), out.data(), count, MPI_DOUBLE, MPI_SUM,
+                              MPI_COMM_WORLD),
+                MPI_SUCCESS);
+      ASSERT_DOUBLE_EQ(out.front(), 8.0);
+      ASSERT_DOUBLE_EQ(out.back(), 8.0);
+    }
+  });
+}
+
+TEST(AdaptiveSampling, StopsOnceStableAndFoldsAfterwards) {
+  int executions = 0;
+  run_mpi(1, [&executions] {
+    for (int iter = 0; iter < 40; ++iter) {
+      // A steady burst: the coefficient of variation should fall under the
+      // (generous) 50% threshold after a handful of measurements.
+      SMPI_SAMPLE_LOCAL_AUTO(40, 0.5) {
+        ++executions;
+        volatile double x = 1;
+        for (int i = 0; i < 300000; ++i) x = x * 1.0000001;
+      }
+    }
+  });
+  EXPECT_GE(executions, 2);   // always measures at least twice
+  EXPECT_LT(executions, 40);  // converged before the cap
+}
+
+TEST(AdaptiveSampling, RespectsTheHardCap) {
+  int executions = 0;
+  run_mpi(1, [&executions] {
+    for (int iter = 0; iter < 10; ++iter) {
+      // Impossibly tight precision: the cap must stop the sampling.
+      SMPI_SAMPLE_LOCAL_AUTO(4, 1e-12) {
+        ++executions;
+        volatile double x = 1;
+        for (int i = 0; i < 10000; ++i) x = x * 1.0000001;
+      }
+    }
+  });
+  EXPECT_EQ(executions, 4);
+}
+
+TEST(AdaptiveSampling, RejectsBadParameters) {
+  run_mpi(1, [] {
+    EXPECT_THROW(smpi_sample_enter_auto("f", 1, 0, 1, 0.1), smpi::util::ContractError);
+    EXPECT_THROW(smpi_sample_enter_auto("f", 2, 0, 10, 0.0), smpi::util::ContractError);
+  });
+}

@@ -1,0 +1,236 @@
+#include "surf/maxmin.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace sf = smpi::surf;
+
+TEST(MaxMin, SingleFlowGetsFullCapacity) {
+  sf::MaxMinSystem sys;
+  const int link = sys.new_constraint(100.0);
+  const int flow = sys.new_variable();
+  sys.attach(flow, link);
+  sys.solve();
+  EXPECT_DOUBLE_EQ(sys.value(flow), 100.0);
+}
+
+TEST(MaxMin, TwoFlowsShareEqually) {
+  sf::MaxMinSystem sys;
+  const int link = sys.new_constraint(100.0);
+  const int f1 = sys.new_variable();
+  const int f2 = sys.new_variable();
+  sys.attach(f1, link);
+  sys.attach(f2, link);
+  sys.solve();
+  EXPECT_DOUBLE_EQ(sys.value(f1), 50.0);
+  EXPECT_DOUBLE_EQ(sys.value(f2), 50.0);
+}
+
+TEST(MaxMin, BoundedFlowLeavesCapacityToOthers) {
+  sf::MaxMinSystem sys;
+  const int link = sys.new_constraint(100.0);
+  const int slow = sys.new_variable(1.0, 10.0);
+  const int fast = sys.new_variable();
+  sys.attach(slow, link);
+  sys.attach(fast, link);
+  sys.solve();
+  EXPECT_DOUBLE_EQ(sys.value(slow), 10.0);
+  EXPECT_DOUBLE_EQ(sys.value(fast), 90.0);
+}
+
+TEST(MaxMin, WeightsSkewTheShares) {
+  sf::MaxMinSystem sys;
+  const int link = sys.new_constraint(90.0);
+  const int heavy = sys.new_variable(2.0);
+  const int light = sys.new_variable(1.0);
+  sys.attach(heavy, link);
+  sys.attach(light, link);
+  sys.solve();
+  EXPECT_DOUBLE_EQ(sys.value(heavy), 60.0);
+  EXPECT_DOUBLE_EQ(sys.value(light), 30.0);
+}
+
+TEST(MaxMin, ClassicLinearNetwork) {
+  // The textbook example: flow 0 crosses both links, flows 1 and 2 cross one
+  // link each. Max-min: f0 = 50, f1 = 50, f2 = 50 with capacities 100.
+  sf::MaxMinSystem sys;
+  const int l1 = sys.new_constraint(100.0);
+  const int l2 = sys.new_constraint(100.0);
+  const int f0 = sys.new_variable();
+  const int f1 = sys.new_variable();
+  const int f2 = sys.new_variable();
+  sys.attach(f0, l1);
+  sys.attach(f0, l2);
+  sys.attach(f1, l1);
+  sys.attach(f2, l2);
+  sys.solve();
+  EXPECT_DOUBLE_EQ(sys.value(f0), 50.0);
+  EXPECT_DOUBLE_EQ(sys.value(f1), 50.0);
+  EXPECT_DOUBLE_EQ(sys.value(f2), 50.0);
+}
+
+TEST(MaxMin, AsymmetricBottleneck) {
+  // Long flow crosses a thin link (30) and a fat link (100); a short flow
+  // shares the fat link. The long flow is bottlenecked at 30 by the thin
+  // link, leaving 70 to the short one.
+  sf::MaxMinSystem sys;
+  const int thin = sys.new_constraint(30.0);
+  const int fat = sys.new_constraint(100.0);
+  const int long_flow = sys.new_variable();
+  const int short_flow = sys.new_variable();
+  sys.attach(long_flow, thin);
+  sys.attach(long_flow, fat);
+  sys.attach(short_flow, fat);
+  sys.solve();
+  EXPECT_DOUBLE_EQ(sys.value(long_flow), 30.0);
+  EXPECT_DOUBLE_EQ(sys.value(short_flow), 70.0);
+}
+
+TEST(MaxMin, UnconstrainedVariableTakesItsBound) {
+  sf::MaxMinSystem sys;
+  const int v = sys.new_variable(1.0, 42.0);
+  sys.solve();
+  EXPECT_DOUBLE_EQ(sys.value(v), 42.0);
+}
+
+TEST(MaxMin, UnconstrainedUnboundedVariableIsRejected) {
+  sf::MaxMinSystem sys;
+  sys.new_variable();
+  EXPECT_THROW(sys.solve(), smpi::util::ContractError);
+}
+
+TEST(MaxMin, ReleaseRedistributesCapacity) {
+  sf::MaxMinSystem sys;
+  const int link = sys.new_constraint(100.0);
+  const int f1 = sys.new_variable();
+  const int f2 = sys.new_variable();
+  sys.attach(f1, link);
+  sys.attach(f2, link);
+  sys.solve();
+  EXPECT_DOUBLE_EQ(sys.value(f1), 50.0);
+  sys.release_variable(f2);
+  sys.solve();
+  EXPECT_DOUBLE_EQ(sys.value(f1), 100.0);
+  EXPECT_THROW(sys.value(f2), smpi::util::ContractError);
+}
+
+TEST(MaxMin, VariableIdsAreRecycled) {
+  sf::MaxMinSystem sys;
+  const int link = sys.new_constraint(10.0);
+  const int a = sys.new_variable();
+  sys.attach(a, link);
+  sys.release_variable(a);
+  const int b = sys.new_variable();
+  EXPECT_EQ(a, b);  // recycled id
+  sys.attach(b, link);
+  sys.solve();
+  EXPECT_DOUBLE_EQ(sys.value(b), 10.0);
+}
+
+TEST(MaxMin, SolveIsLazy) {
+  sf::MaxMinSystem sys;
+  const int link = sys.new_constraint(10.0);
+  const int v = sys.new_variable();
+  sys.attach(v, link);
+  EXPECT_TRUE(sys.dirty());
+  sys.solve();
+  EXPECT_FALSE(sys.dirty());
+  sys.set_capacity(link, 20.0);
+  EXPECT_TRUE(sys.dirty());
+  sys.solve();
+  EXPECT_DOUBLE_EQ(sys.value(v), 20.0);
+}
+
+// ---------------------------------------------------------------------------
+// Property tests over randomized systems.
+// ---------------------------------------------------------------------------
+
+class MaxMinPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MaxMinPropertyTest, AllocationsAreFeasibleAndMaxMinOptimal) {
+  smpi::util::Xoshiro256StarStar rng(GetParam());
+  sf::MaxMinSystem sys;
+
+  const int num_constraints = 2 + static_cast<int>(rng.next_in_range(0, 8));
+  const int num_variables = 1 + static_cast<int>(rng.next_in_range(0, 30));
+  std::vector<int> constraints, variables;
+  std::vector<double> capacities;
+  for (int c = 0; c < num_constraints; ++c) {
+    const double cap = 10.0 + 190.0 * rng.next_double();
+    capacities.push_back(cap);
+    constraints.push_back(sys.new_constraint(cap));
+  }
+  std::vector<std::vector<int>> memberships(static_cast<std::size_t>(num_variables));
+  std::vector<double> bounds(static_cast<std::size_t>(num_variables));
+  for (int v = 0; v < num_variables; ++v) {
+    const bool bounded = rng.next_double() < 0.5;
+    const double bound = bounded ? 1.0 + 50.0 * rng.next_double() : sf::MaxMinSystem::kUnbounded;
+    bounds[static_cast<std::size_t>(v)] = bound;
+    const int var = sys.new_variable(1.0, bound);
+    variables.push_back(var);
+    // Attach to 1..3 distinct random constraints (or leave unconstrained if
+    // bounded).
+    const int attach_count =
+        bounded && rng.next_double() < 0.2 ? 0 : 1 + static_cast<int>(rng.next_in_range(0, 2));
+    for (int k = 0; k < attach_count; ++k) {
+      const int c = static_cast<int>(rng.next_in_range(0, num_constraints - 1));
+      bool already = false;
+      for (int existing : memberships[static_cast<std::size_t>(v)]) {
+        if (existing == c) already = true;
+      }
+      if (already) continue;
+      memberships[static_cast<std::size_t>(v)].push_back(c);
+      sys.attach(var, constraints[static_cast<std::size_t>(c)]);
+    }
+  }
+  sys.solve();
+
+  constexpr double kTol = 1e-7;
+  // Feasibility: no constraint is over capacity; no variable above bound.
+  for (int c = 0; c < num_constraints; ++c) {
+    EXPECT_LE(sys.constraint_usage(constraints[static_cast<std::size_t>(c)]),
+              capacities[static_cast<std::size_t>(c)] * (1 + kTol));
+  }
+  for (int v = 0; v < num_variables; ++v) {
+    EXPECT_LE(sys.value(variables[static_cast<std::size_t>(v)]),
+              bounds[static_cast<std::size_t>(v)] * (1 + kTol));
+    EXPECT_GT(sys.value(variables[static_cast<std::size_t>(v)]), 0.0);
+  }
+  // Max-min optimality certificate: every variable is either at its bound or
+  // crosses at least one saturated constraint on which it has a maximal
+  // allocation among that constraint's members.
+  for (int v = 0; v < num_variables; ++v) {
+    const double val = sys.value(variables[static_cast<std::size_t>(v)]);
+    if (val >= bounds[static_cast<std::size_t>(v)] * (1 - kTol)) continue;  // at bound
+    bool certified = false;
+    for (int c : memberships[static_cast<std::size_t>(v)]) {
+      const double usage = sys.constraint_usage(constraints[static_cast<std::size_t>(c)]);
+      const double cap = capacities[static_cast<std::size_t>(c)];
+      if (usage < cap * (1 - 1e-6)) continue;  // not saturated
+      // v must not be dominated on this saturated constraint.
+      double max_member = 0;
+      for (int other = 0; other < num_variables; ++other) {
+        bool member = false;
+        for (int oc : memberships[static_cast<std::size_t>(other)]) {
+          if (oc == c) member = true;
+        }
+        if (member) {
+          max_member = std::max(max_member, sys.value(variables[static_cast<std::size_t>(other)]));
+        }
+      }
+      if (val >= max_member * (1 - 1e-6)) {
+        certified = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(certified) << "variable " << v << " is neither bounded nor on a saturated "
+                           << "constraint where it is maximal (value " << val << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSystems, MaxMinPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 33));

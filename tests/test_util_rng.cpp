@@ -1,0 +1,92 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace su = smpi::util;
+
+TEST(Xoshiro, DeterministicForSameSeed) {
+  su::Xoshiro256StarStar a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Xoshiro, DifferentSeedsDiverge) {
+  su::Xoshiro256StarStar a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Xoshiro, DoublesInUnitInterval) {
+  su::Xoshiro256StarStar rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Xoshiro, RangeIsInclusive) {
+  su::Xoshiro256StarStar rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.next_in_range(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    saw_lo |= (v == 5);
+    saw_hi |= (v == 8);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(NasLcg, ValuesInOpenUnitInterval) {
+  su::NasLcg lcg;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = lcg.randlc();
+    EXPECT_GT(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(NasLcg, SkipMatchesStepping) {
+  // skip(n) must land exactly where n sequential randlc() calls land — EP
+  // relies on this to give each rank its own block of the global stream.
+  su::NasLcg stepped;
+  for (int i = 0; i < 1000; ++i) stepped.randlc();
+
+  su::NasLcg jumped;
+  jumped.skip(1000);
+  EXPECT_DOUBLE_EQ(stepped.state(), jumped.state());
+}
+
+TEST(NasLcg, SkipComposes) {
+  su::NasLcg a;
+  a.skip(123);
+  a.skip(877);
+  su::NasLcg b;
+  b.skip(1000);
+  EXPECT_DOUBLE_EQ(a.state(), b.state());
+}
+
+TEST(NasLcg, PowerFunctionMatchesState) {
+  su::NasLcg lcg;
+  lcg.skip(4096);
+  EXPECT_DOUBLE_EQ(lcg.state(),
+                   su::nas_lcg_power(su::NasLcg::kA, 4096, su::NasLcg::kDefaultSeed));
+}
+
+TEST(NasLcg, MatchesExactIntegerArithmetic) {
+  // The split-precision double trick must agree bit-for-bit with exact
+  // 128-bit integer arithmetic: x_{k+1} = a * x_k mod 2^46.
+  constexpr unsigned __int128 kMod = (static_cast<unsigned __int128>(1) << 46);
+  unsigned __int128 x = 314159265;
+  su::NasLcg lcg;
+  for (int i = 0; i < 100; ++i) {
+    x = (x * 1220703125u) % kMod;
+    const double got = lcg.randlc();
+    const double want = static_cast<double>(static_cast<std::uint64_t>(x)) * 0x1p-46;
+    ASSERT_DOUBLE_EQ(got, want) << "diverged at step " << i;
+  }
+}

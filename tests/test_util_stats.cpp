@@ -1,0 +1,97 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace su = smpi::util;
+
+TEST(LogError, IsSymmetric) {
+  // The metric was introduced precisely because relative error is not
+  // symmetric: X=2R and X=R/2 must give the same error (§7.1).
+  EXPECT_DOUBLE_EQ(su::log_error(2.0, 1.0), su::log_error(0.5, 1.0));
+  EXPECT_DOUBLE_EQ(su::log_error(3.0, 7.0), su::log_error(7.0, 3.0));
+}
+
+TEST(LogError, ZeroWhenEqual) { EXPECT_DOUBLE_EQ(su::log_error(5.0, 5.0), 0.0); }
+
+TEST(LogError, BackOutOfLogSpace) {
+  // X twice R: LogErr = ln 2, Err = e^{ln 2} - 1 = 100%.
+  EXPECT_NEAR(su::log_error_as_fraction(su::log_error(2.0, 1.0)), 1.0, 1e-12);
+}
+
+TEST(LogError, RejectsNonPositive) {
+  EXPECT_THROW(su::log_error(0.0, 1.0), su::ContractError);
+  EXPECT_THROW(su::log_error(1.0, -2.0), su::ContractError);
+}
+
+TEST(ErrorAccumulator, AggregatesMeanAndMax) {
+  su::ErrorAccumulator acc;
+  acc.add(1.0, 1.0);   // 0
+  acc.add(2.0, 1.0);   // ln 2
+  acc.add(1.0, 4.0);   // ln 4
+  const auto s = acc.summary();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_NEAR(s.max_log_error, std::log(4.0), 1e-12);
+  EXPECT_NEAR(s.mean_log_error, (std::log(2.0) + std::log(4.0)) / 3.0, 1e-12);
+  EXPECT_NEAR(s.max_fraction(), 3.0, 1e-12);  // 4x off = 300%
+}
+
+TEST(RunningStats, MeanVarianceMinMax) {
+  su::RunningStats st;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) st.add(x);
+  EXPECT_EQ(st.count(), 8u);
+  EXPECT_DOUBLE_EQ(st.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(st.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(st.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(st.min(), 2.0);
+  EXPECT_DOUBLE_EQ(st.max(), 9.0);
+}
+
+TEST(LinearRegression, RecoversExactLine) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 100; ++i) {
+    x.push_back(i);
+    y.push_back(3.5 + 0.25 * i);
+  }
+  const auto fit = su::linear_regression(x, y);
+  EXPECT_NEAR(fit.intercept, 3.5, 1e-9);
+  EXPECT_NEAR(fit.slope, 0.25, 1e-12);
+  EXPECT_NEAR(fit.correlation, 1.0, 1e-12);
+}
+
+TEST(LinearRegression, SubrangeOnly) {
+  std::vector<double> x{0, 1, 2, 3, 4, 5};
+  std::vector<double> y{100, 200, 2, 3, 4, 5};  // garbage before index 2
+  const auto fit = su::linear_regression(x, y, 2, 6);
+  EXPECT_NEAR(fit.slope, 1.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 0.0, 1e-9);
+}
+
+TEST(LinearRegression, NegativeCorrelationForDecreasingData) {
+  std::vector<double> x{0, 1, 2, 3};
+  std::vector<double> y{9, 6, 5, 1};
+  EXPECT_LT(su::correlation(x, y), -0.9);
+}
+
+TEST(LinearRegression, DegenerateXGivesZeroSlope) {
+  std::vector<double> x{2, 2, 2};
+  std::vector<double> y{1, 5, 9};
+  const auto fit = su::linear_regression(x, y);
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.intercept, 5.0);
+}
+
+TEST(Percentile, InterpolatesBetweenRanks) {
+  std::vector<double> v{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(su::percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(su::percentile(v, 100), 4.0);
+  EXPECT_DOUBLE_EQ(su::percentile(v, 50), 2.5);
+}
+
+TEST(Percentile, RejectsBadInput) {
+  EXPECT_THROW(su::percentile({}, 50), su::ContractError);
+  EXPECT_THROW(su::percentile({1.0}, 101), su::ContractError);
+}

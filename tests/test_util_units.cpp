@@ -1,0 +1,58 @@
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace su = smpi::util;
+
+TEST(ParseBytes, BinaryAndDecimalSuffixes) {
+  EXPECT_EQ(su::parse_bytes("0"), 0u);
+  EXPECT_EQ(su::parse_bytes("512"), 512u);
+  EXPECT_EQ(su::parse_bytes("512B"), 512u);
+  EXPECT_EQ(su::parse_bytes("1KiB"), 1024u);
+  EXPECT_EQ(su::parse_bytes("64KiB"), 65536u);
+  EXPECT_EQ(su::parse_bytes("4MiB"), 4u * 1024 * 1024);
+  EXPECT_EQ(su::parse_bytes("2GiB"), 2ull * 1024 * 1024 * 1024);
+  EXPECT_EQ(su::parse_bytes("1KB"), 1000u);
+  EXPECT_EQ(su::parse_bytes("1MB"), 1000000u);
+  EXPECT_EQ(su::parse_bytes("1.5KiB"), 1536u);
+}
+
+TEST(ParseBytes, RejectsGarbage) {
+  EXPECT_THROW(su::parse_bytes(""), su::ContractError);
+  EXPECT_THROW(su::parse_bytes("abc"), su::ContractError);
+  EXPECT_THROW(su::parse_bytes("12XiB"), su::ContractError);
+}
+
+TEST(ParseBandwidth, BitsAndBytes) {
+  EXPECT_DOUBLE_EQ(su::parse_bandwidth("1Gbps"), 125e6);
+  EXPECT_DOUBLE_EQ(su::parse_bandwidth("10Gbps"), 1.25e9);
+  EXPECT_DOUBLE_EQ(su::parse_bandwidth("100Mbps"), 12.5e6);
+  EXPECT_DOUBLE_EQ(su::parse_bandwidth("125MByteps"), 125e6);
+  EXPECT_DOUBLE_EQ(su::parse_bandwidth("1MiBps"), 1024.0 * 1024);
+}
+
+TEST(ParseDuration, CommonSuffixes) {
+  EXPECT_DOUBLE_EQ(su::parse_duration("1s"), 1.0);
+  EXPECT_DOUBLE_EQ(su::parse_duration("50us"), 50e-6);
+  EXPECT_DOUBLE_EQ(su::parse_duration("1.5ms"), 1.5e-3);
+  EXPECT_DOUBLE_EQ(su::parse_duration("2min"), 120.0);
+  EXPECT_DOUBLE_EQ(su::parse_duration("3"), 3.0);
+}
+
+TEST(ParseFlops, Suffixes) {
+  EXPECT_DOUBLE_EQ(su::parse_flops("1Gf"), 1e9);
+  EXPECT_DOUBLE_EQ(su::parse_flops("2.5Gf"), 2.5e9);
+  EXPECT_DOUBLE_EQ(su::parse_flops("100Mf"), 1e8);
+  EXPECT_DOUBLE_EQ(su::parse_flops("7"), 7.0);
+}
+
+TEST(Format, RoundTripReadability) {
+  EXPECT_EQ(su::format_bytes(512), "512B");
+  EXPECT_EQ(su::format_bytes(65536), "64.0KiB");
+  EXPECT_EQ(su::format_bytes(4u * 1024 * 1024), "4.0MiB");
+  EXPECT_EQ(su::format_duration(0.5), "500.000ms");
+  EXPECT_EQ(su::format_duration(2.5e-6), "2.500us");
+  EXPECT_EQ(su::format_rate(125e6), "119.2MiB/s");
+}

@@ -1,0 +1,260 @@
+// smpirun — command-line driver, mirroring the launcher real SMPI ships:
+// pick a platform (XML file or generated cluster), a number of processes and
+// a built-in application, run the simulation, print the simulated time.
+//
+//   smpirun --np 16 --cluster 16 --app pingpong
+//   smpirun --np 21 --platform my_cluster.xml --app dt --class A --graph WH
+//   smpirun --np 8 --cluster 8 --app ep --log2-pairs 20 --sampling 0.25
+//   smpirun --np 16 --cluster 16 --app alltoall --bytes 1MiB --backend packet
+//
+// Exit code: 0 on success, 1 on usage errors, 2 when the application aborts.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/dt.hpp"
+#include "apps/ep.hpp"
+#include "platform/builders.hpp"
+#include "platform/platform_xml.hpp"
+#include "smpi/coll.h"
+#include "smpi/mpi.h"
+#include "smpi/smpi.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+struct Options {
+  int np = 2;
+  std::string platform_file;
+  int cluster_nodes = 0;      // --cluster N: generated flat GbE cluster
+  std::string named_platform;  // --machine griffon|gdx
+  std::string app = "pingpong";
+  std::string backend = "flow";  // flow | packet
+  // app-specific
+  std::string dt_class = "S";
+  std::string dt_graph = "WH";
+  bool dt_fold = false;
+  int ep_log2_pairs = 20;
+  double ep_sampling = 1.0;
+  std::uint64_t bytes = 1 << 20;
+  bool verbose = false;
+};
+
+[[noreturn]] void usage(const char* error) {
+  if (error != nullptr) std::fprintf(stderr, "smpirun: %s\n\n", error);
+  std::fprintf(stderr,
+               "usage: smpirun [options]\n"
+               "  --np N                number of MPI processes (default 2)\n"
+               "  --platform FILE       platform XML file\n"
+               "  --cluster N           generate a flat N-node GbE cluster\n"
+               "  --machine NAME        built-in platform: griffon | gdx\n"
+               "  --backend MODE        flow (default) | packet (ground truth)\n"
+               "  --app NAME            pingpong | ring | alltoall | bcast | dt | ep\n"
+               "  --bytes SIZE          message size for pingpong/ring/alltoall/bcast\n"
+               "  --class C             DT class: S W A B C\n"
+               "  --graph G             DT graph: WH BH SH\n"
+               "  --fold                DT: use SMPI_SHARED_MALLOC folding\n"
+               "  --log2-pairs M        EP: total pairs = 2^M\n"
+               "  --sampling R          EP: SMPI_SAMPLE ratio in (0,1]\n"
+               "  --verbose             print per-app details\n");
+  std::exit(1);
+}
+
+Options parse_options(int argc, char** argv) {
+  Options options;
+  auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage("missing value for option");
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    try {
+      if (arg == "--np") {
+        options.np = std::stoi(need_value(i));
+      } else if (arg == "--platform") {
+        options.platform_file = need_value(i);
+      } else if (arg == "--cluster") {
+        options.cluster_nodes = std::stoi(need_value(i));
+      } else if (arg == "--machine") {
+        options.named_platform = need_value(i);
+      } else if (arg == "--backend") {
+        options.backend = need_value(i);
+      } else if (arg == "--app") {
+        options.app = need_value(i);
+      } else if (arg == "--bytes") {
+        options.bytes = smpi::util::parse_bytes(need_value(i));
+      } else if (arg == "--class") {
+        options.dt_class = need_value(i);
+      } else if (arg == "--graph") {
+        options.dt_graph = need_value(i);
+      } else if (arg == "--fold") {
+        options.dt_fold = true;
+      } else if (arg == "--log2-pairs") {
+        options.ep_log2_pairs = std::stoi(need_value(i));
+      } else if (arg == "--sampling") {
+        options.ep_sampling = std::stod(need_value(i));
+      } else if (arg == "--verbose") {
+        options.verbose = true;
+      } else if (arg == "--help" || arg == "-h") {
+        usage(nullptr);
+      } else {
+        usage(("unknown option '" + arg + "'").c_str());
+      }
+    } catch (const std::exception& e) {
+      usage(e.what());
+    }
+  }
+  if (options.np < 1) usage("--np must be >= 1");
+  return options;
+}
+
+smpi::platform::Platform make_platform(const Options& options) {
+  if (!options.platform_file.empty()) {
+    return smpi::platform::load_platform_from_file(options.platform_file);
+  }
+  if (options.named_platform == "griffon") return smpi::platform::build_griffon();
+  if (options.named_platform == "gdx") return smpi::platform::build_gdx();
+  if (!options.named_platform.empty()) usage("unknown --machine (use griffon or gdx)");
+  smpi::platform::FlatClusterParams params;
+  params.nodes = options.cluster_nodes > 0 ? options.cluster_nodes : options.np;
+  return smpi::platform::build_flat_cluster(params);
+}
+
+smpi::apps::DtClass parse_dt_class(const std::string& text) {
+  const std::string classes = "SWABC";
+  const auto pos = classes.find(text.empty() ? 'S' : text[0]);
+  if (text.size() != 1 || pos == std::string::npos) usage("--class must be one of S W A B C");
+  return static_cast<smpi::apps::DtClass>(pos);
+}
+
+smpi::apps::DtGraph parse_dt_graph(const std::string& text) {
+  if (text == "WH") return smpi::apps::DtGraph::kWhiteHole;
+  if (text == "BH") return smpi::apps::DtGraph::kBlackHole;
+  if (text == "SH") return smpi::apps::DtGraph::kShuffle;
+  usage("--graph must be WH, BH or SH");
+}
+
+smpi::core::MpiMain make_app(const Options& options) {
+  const auto bytes = static_cast<int>(options.bytes);
+  if (options.app == "pingpong") {
+    return [bytes](int, char**) {
+      MPI_Init(nullptr, nullptr);
+      int rank = 0;
+      MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+      std::vector<char> buf(static_cast<std::size_t>(bytes));
+      for (int rep = 0; rep < 10; ++rep) {
+        if (rank == 0) {
+          MPI_Send(buf.data(), bytes, MPI_CHAR, 1, 0, MPI_COMM_WORLD);
+          MPI_Recv(buf.data(), bytes, MPI_CHAR, 1, 1, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+        } else if (rank == 1) {
+          MPI_Recv(buf.data(), bytes, MPI_CHAR, 0, 0, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+          MPI_Send(buf.data(), bytes, MPI_CHAR, 0, 1, MPI_COMM_WORLD);
+        }
+      }
+      MPI_Finalize();
+    };
+  }
+  if (options.app == "ring") {
+    return [bytes](int, char**) {
+      MPI_Init(nullptr, nullptr);
+      int rank = 0, size = 0;
+      MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+      MPI_Comm_size(MPI_COMM_WORLD, &size);
+      std::vector<char> buf(static_cast<std::size_t>(bytes));
+      MPI_Sendrecv(buf.data(), bytes, MPI_CHAR, (rank + 1) % size, 0, buf.data(), bytes,
+                   MPI_CHAR, (rank - 1 + size) % size, 0, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+      MPI_Finalize();
+    };
+  }
+  if (options.app == "alltoall") {
+    return [bytes](int, char**) {
+      MPI_Init(nullptr, nullptr);
+      int size = 0;
+      MPI_Comm_size(MPI_COMM_WORLD, &size);
+      std::vector<char> send(static_cast<std::size_t>(bytes) * static_cast<std::size_t>(size));
+      std::vector<char> recv(send.size());
+      MPI_Alltoall(send.data(), bytes, MPI_CHAR, recv.data(), bytes, MPI_CHAR, MPI_COMM_WORLD);
+      MPI_Finalize();
+    };
+  }
+  if (options.app == "bcast") {
+    return [bytes](int, char**) {
+      MPI_Init(nullptr, nullptr);
+      std::vector<char> buf(static_cast<std::size_t>(bytes));
+      MPI_Bcast(buf.data(), bytes, MPI_CHAR, 0, MPI_COMM_WORLD);
+      MPI_Finalize();
+    };
+  }
+  if (options.app == "dt") {
+    smpi::apps::DtParams params;
+    params.cls = parse_dt_class(options.dt_class);
+    params.graph = parse_dt_graph(options.dt_graph);
+    params.fold_memory = options.dt_fold;
+    return smpi::apps::make_dt_app(params);
+  }
+  if (options.app == "ep") {
+    smpi::apps::EpParams params;
+    params.log2_pairs = options.ep_log2_pairs;
+    params.sampling_ratio = options.ep_sampling;
+    return smpi::apps::make_ep_app(params);
+  }
+  usage("unknown --app");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options = parse_options(argc, argv);
+  try {
+    auto platform = make_platform(options);
+
+    int np = options.np;
+    if (options.app == "dt") {
+      // DT fixes its own process count from the graph shape.
+      np = smpi::apps::dt_process_count(parse_dt_graph(options.dt_graph),
+                                        parse_dt_class(options.dt_class));
+      if (options.verbose && np != options.np) {
+        std::fprintf(stderr, "smpirun: DT %s class %s needs %d processes (overriding --np)\n",
+                     options.dt_graph.c_str(), options.dt_class.c_str(), np);
+      }
+    }
+
+    smpi::core::SmpiConfig config;
+    if (options.backend == "packet") {
+      config.backend = smpi::core::SmpiConfig::Backend::kPacket;
+      config.personality = smpi::core::Personality::openmpi();
+    } else if (options.backend != "flow") {
+      usage("--backend must be flow or packet");
+    }
+
+    smpi::core::SmpiWorld world(platform, config);
+    world.run(np, make_app(options));
+
+    if (world.aborted()) {
+      std::fprintf(stderr, "smpirun: application aborted with code %d\n", world.abort_code());
+      return 2;
+    }
+    std::printf("smpirun: %d processes on %d hosts (%s backend)\n", np, platform.host_count(),
+                options.backend.c_str());
+    std::printf("simulated execution time: %.6f s\n", world.simulated_time());
+    if (options.verbose) {
+      const auto memory = world.memory_report();
+      std::printf("tracked memory: folded peak %s, unfolded peak %s\n",
+                  smpi::util::format_bytes(memory.folded_peak_bytes).c_str(),
+                  smpi::util::format_bytes(memory.unfolded_peak_bytes).c_str());
+      if (options.app == "dt") {
+        std::printf("dt checksum: %.6e\n", smpi::apps::dt_last_checksum());
+      }
+      if (options.app == "ep") {
+        std::printf("ep gaussian pairs: %lld\n",
+                    static_cast<long long>(smpi::apps::ep_last_result().gaussian_pairs()));
+      }
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "smpirun: error: %s\n", e.what());
+    return 2;
+  }
+}
