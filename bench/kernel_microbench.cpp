@@ -3,8 +3,14 @@
 // max-min solver, the event loop, piece-wise lookup, platform construction.
 // These back the §5.1 design argument (sequential kernel + analytical models
 // => fast and scalable).
+//
+// Besides the google-benchmark tables, main() emits BENCH_solver.json with
+// the incremental-vs-full solver churn trajectory (see bench_json.hpp).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
+#include "bench_json.hpp"
 #include "platform/builders.hpp"
 #include "platform/platform_xml.hpp"
 #include "sim/context.hpp"
@@ -62,6 +68,55 @@ void BM_MaxMinSolve(benchmark::State& state) {
 }
 BENCHMARK(BM_MaxMinSolve)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
 
+// The engine hot path under MPI traffic: one flow finishes, another starts,
+// the solver re-solves. Links are modeled as per-node up/down pairs (a flat
+// cluster), so disjoint node pairs form disjoint solver components — the
+// workload where the incremental path's component-local re-solve pays off.
+struct ChurnWorkload {
+  explicit ChurnWorkload(int flows, bool incremental) : rng(42), nodes(flows) {
+    sys.set_incremental(incremental);
+    for (int n = 0; n < 2 * nodes; ++n) links.push_back(sys.new_constraint(1e8));
+    for (int f = 0; f < flows; ++f) active.push_back(make_flow());
+    sys.solve();
+  }
+
+  int make_flow() {
+    const int src = static_cast<int>(rng.next_in_range(0, static_cast<std::uint64_t>(nodes) - 1));
+    int dst = src;
+    while (dst == src) {
+      dst = static_cast<int>(rng.next_in_range(0, static_cast<std::uint64_t>(nodes) - 1));
+    }
+    const int v = sys.new_variable(1.0, 1.25e8);
+    sys.attach(v, links[static_cast<std::size_t>(2 * src)]);      // src uplink
+    sys.attach(v, links[static_cast<std::size_t>(2 * dst + 1)]);  // dst downlink
+    return v;
+  }
+
+  void churn() {
+    const auto idx = static_cast<std::size_t>(rng.next_in_range(0, active.size() - 1));
+    sys.release_variable(active[idx]);
+    active[idx] = make_flow();
+    sys.solve();
+  }
+
+  smpi::util::Xoshiro256StarStar rng;
+  int nodes;
+  smpi::surf::MaxMinSystem sys;
+  std::vector<int> links;
+  std::vector<int> active;
+};
+
+void BM_MaxMinChurn(benchmark::State& state, bool incremental) {
+  ChurnWorkload workload(static_cast<int>(state.range(0)), incremental);
+  for (auto _ : state) {
+    workload.churn();
+    benchmark::DoNotOptimize(workload.sys.value(workload.active[0]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_CAPTURE(BM_MaxMinChurn, incremental, true)->Arg(16)->Arg(128)->Arg(1024);
+BENCHMARK_CAPTURE(BM_MaxMinChurn, full, false)->Arg(16)->Arg(128)->Arg(1024);
+
 void BM_EngineTimerChurn(benchmark::State& state) {
   for (auto _ : state) {
     smpi::sim::Engine engine;
@@ -105,6 +160,35 @@ void BM_XmlParsePlatform(benchmark::State& state) {
 }
 BENCHMARK(BM_XmlParsePlatform);
 
+// Perf-trajectory artifact: ns per churn op (flow departure + arrival +
+// re-solve) for both solver paths, across concurrent flow counts.
+void write_solver_trajectory() {
+  bench::JsonWriter writer("BENCH_solver.json");
+  for (const int flows : {16, 64, 128, 256, 512, 1024}) {
+    for (const bool incremental : {true, false}) {
+      ChurnWorkload workload(flows, incremental);
+      const int warmup = 32;
+      for (int i = 0; i < warmup; ++i) workload.churn();
+      const int iterations = 256;
+      const auto start = std::chrono::steady_clock::now();
+      for (int i = 0; i < iterations; ++i) workload.churn();
+      const auto elapsed = std::chrono::steady_clock::now() - start;
+      const double ns_per_op =
+          std::chrono::duration<double, std::nano>(elapsed).count() / iterations;
+      writer.add(incremental ? "solver_churn_incremental" : "solver_churn_full", flows,
+                 ns_per_op);
+    }
+  }
+  writer.save();
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  write_solver_trajectory();
+  return 0;
+}

@@ -5,11 +5,13 @@
 #include <chrono>
 
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 
 int main() {
   using namespace smpi;
   bench::banner("Scalability", "single-node simulation up to 1024 ranks (§7.2)");
 
+  bench::JsonWriter writer("BENCH_ranks.json");
   util::Table table({"ranks", "collective", "simulated(s)", "wall-clock(s)", "sim/simulated"});
   for (const int ranks : {64, 128, 256, 448, 1024}) {
     platform::FlatClusterParams params;
@@ -46,9 +48,11 @@ int main() {
       table.add_row({std::to_string(ranks), test_case.name,
                      bench::seconds_cell(run.completion_seconds),
                      bench::seconds_cell(run.wall_clock_seconds), ratio});
+      writer.add(test_case.name, ranks, run.wall_clock_seconds * 1e9);
     }
   }
   table.print();
+  writer.save();
   std::printf("\nevery row ran inside this single process; 448 ranks is the paper's\n"
               "largest configuration (DT-SH class C), 1024 goes beyond it.\n");
   return 0;

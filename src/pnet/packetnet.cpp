@@ -51,6 +51,7 @@ sim::ActivityPtr PacketNetworkModel::start_flow(int src_node, int dst_node, doub
   const int id = flow.id;
   flows_.emplace(id, std::move(flow));
   try_inject(flows_.at(id), engine->now());
+  sync_calendar();
   return activity;
 }
 
@@ -80,17 +81,30 @@ void PacketNetworkModel::schedule(double date, Packet packet) {
   events_.push(Event{date, event_seq_++, packet});
 }
 
-double PacketNetworkModel::next_event_time(double /*now*/) {
-  return events_.empty() ? sim::kNever : events_.top().date;
+void PacketNetworkModel::sync_calendar() {
+  const double top = events_.empty() ? sim::kNever : events_.top().date;
+  if (top == calendar_date_ && calendar_entry_ != sim::EventCalendar::kNoEvent) return;
+  calendar().cancel(calendar_entry_);
+  calendar_entry_ = sim::EventCalendar::kNoEvent;
+  calendar_date_ = -1;
+  if (std::isfinite(top)) {
+    calendar_entry_ = calendar().schedule(top, this, 0);
+    calendar_date_ = top;
+  }
 }
 
-void PacketNetworkModel::advance_to(double now) {
+void PacketNetworkModel::on_calendar_event(double now, std::uint64_t /*tag*/) {
+  calendar_entry_ = sim::EventCalendar::kNoEvent;
+  calendar_date_ = -1;
+  // Drain every internal frame event due by `now`; processing usually
+  // schedules follow-up events (next hop, acks, window refills).
   while (!events_.empty() && events_.top().date <= now) {
     const Event event = events_.top();
     events_.pop();
     ++total_events_;
     process(event);
   }
+  sync_calendar();
 }
 
 void PacketNetworkModel::process(const Event& event) {

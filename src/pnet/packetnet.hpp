@@ -56,9 +56,8 @@ class PacketNetworkModel final : public sim::Model, public sim::NetworkBackend {
                               const sim::FlowHints& hints) override;
   const char* backend_name() const override { return "pnet-packet"; }
 
-  // sim::Model
-  double next_event_time(double now) override;
-  void advance_to(double now) override;
+  // sim::Model — fires when the earliest internal frame event comes due.
+  void on_calendar_event(double now, std::uint64_t tag) override;
 
   std::uint64_t total_frames_sent() const { return total_frames_; }
   std::uint64_t total_events_processed() const { return total_events_; }
@@ -95,6 +94,9 @@ class PacketNetworkModel final : public sim::Model, public sim::NetworkBackend {
   };
 
   void schedule(double date, Packet packet);
+  // Keeps exactly one engine-calendar entry mirroring the earliest internal
+  // event, so the engine never polls this model.
+  void sync_calendar();
   void process(const Event& event);
   void deliver_data(Flow& flow, const Packet& packet, double date);
   void deliver_ack(Flow& flow, const Packet& packet, double date);
@@ -106,6 +108,8 @@ class PacketNetworkModel final : public sim::Model, public sim::NetworkBackend {
   PacketNetConfig config_;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
   std::uint64_t event_seq_ = 0;
+  sim::EventCalendar::Handle calendar_entry_ = sim::EventCalendar::kNoEvent;
+  double calendar_date_ = -1;
   std::unordered_map<int, Flow> flows_;
   int next_flow_id_ = 0;
   std::vector<double> link_busy_until_;

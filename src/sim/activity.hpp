@@ -3,6 +3,7 @@
 // (the MPI matching engine backs every MPI_Request with one).
 #pragma once
 
+#include <algorithm>
 #include <functional>
 #include <memory>
 #include <string>
@@ -51,5 +52,48 @@ class Activity {
 };
 
 using ActivityPtr = std::shared_ptr<Activity>;
+
+// Lazy remaining-work accounting for fluid activities (flows, executions).
+//
+// Instead of integrating every activity's progress on every engine step, the
+// remaining amount is only materialized when this activity's own rate
+// changes: remaining_at(t) = remaining - rate * (t - last_update). A solver
+// re-solve therefore touches exactly the activities whose allocation
+// changed; all others keep a valid (rate, last_update) pair untouched.
+class FluidWork {
+ public:
+  void start(double total, double now) {
+    remaining_ = total;
+    rate_ = 0;
+    last_update_ = now;
+  }
+
+  double remaining_at(double now) const {
+    return std::max(0.0, remaining_ - rate_ * (now - last_update_));
+  }
+
+  // Folds the progress made at the old rate, then switches to `rate`.
+  void set_rate(double rate, double now) {
+    remaining_ = remaining_at(now);
+    rate_ = rate;
+    last_update_ = now;
+  }
+
+  // Date at which the work hits zero under the current rate; kNever-like
+  // infinity when the rate is zero and work remains.
+  double completion_date(double now) const {
+    const double remaining = remaining_at(now);
+    if (remaining <= 0) return now;
+    return now + remaining / rate_;  // +inf when rate_ == 0
+  }
+
+  double rate() const { return rate_; }
+  double last_update() const { return last_update_; }
+
+ private:
+  double remaining_ = 0;
+  double rate_ = 0;
+  double last_update_ = 0;
+};
 
 }  // namespace smpi::sim

@@ -1,0 +1,54 @@
+#include "sim/calendar.hpp"
+
+#include "sim/model.hpp"
+#include "util/check.hpp"
+
+namespace smpi::sim {
+
+EventCalendar& Model::calendar() const {
+  SMPI_REQUIRE(calendar_ != nullptr, "model not registered with an engine (add_model)");
+  return *calendar_;
+}
+
+EventCalendar::Handle EventCalendar::schedule(double date, Model* owner, std::uint64_t tag) {
+  SMPI_REQUIRE(owner != nullptr, "calendar entry without an owner");
+  SMPI_REQUIRE(date >= 0 && date < kNever, "calendar entry needs a finite date");
+  const Handle handle = next_handle_++;
+  heap_.push(Entry{date, handle, owner, tag});
+  pending_.insert(handle);
+  return handle;
+}
+
+void EventCalendar::cancel(Handle handle) {
+  // Tombstone only handles still in the heap: cancelling an entry that
+  // already fired (or was never scheduled) must stay a true no-op.
+  if (handle == kNoEvent || pending_.find(handle) == pending_.end()) return;
+  cancelled_.insert(handle);
+}
+
+void EventCalendar::prune() {
+  while (!heap_.empty()) {
+    auto it = cancelled_.find(heap_.top().handle);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    pending_.erase(heap_.top().handle);
+    heap_.pop();
+  }
+}
+
+double EventCalendar::next_date() {
+  prune();
+  return heap_.empty() ? kNever : heap_.top().date;
+}
+
+bool EventCalendar::pop_due(double now, Fired* out) {
+  prune();
+  if (heap_.empty() || heap_.top().date > now) return false;
+  out->owner = heap_.top().owner;
+  out->tag = heap_.top().tag;
+  pending_.erase(heap_.top().handle);
+  heap_.pop();
+  return true;
+}
+
+}  // namespace smpi::sim

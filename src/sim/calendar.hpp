@@ -1,0 +1,65 @@
+// Shared event calendar — the engine's "action heap".
+//
+// Instead of the engine polling every registered model for its next event on
+// every step (O(models x activities) per step), models push (date, tag)
+// entries into this binary heap whenever an allocation changes, and the
+// engine pops only the earliest due entry. Entries are cancelled lazily: a
+// cancelled handle stays in the heap and is skipped when it surfaces, which
+// keeps cancel() O(1) amortized.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace smpi::sim {
+
+class Model;
+
+class EventCalendar {
+ public:
+  using Handle = std::uint64_t;
+  static constexpr Handle kNoEvent = 0;
+
+  struct Fired {
+    Model* owner = nullptr;
+    std::uint64_t tag = 0;
+  };
+
+  // Registers an event at `date`. `tag` is an opaque payload the owner uses
+  // to find the affected activity (flow id, execution id, ...).
+  Handle schedule(double date, Model* owner, std::uint64_t tag);
+  // Invalidates a previously scheduled entry. Safe on kNoEvent and on
+  // handles that already fired (no-op).
+  void cancel(Handle handle);
+
+  // Date of the earliest live entry, or sim::kNever when none.
+  double next_date();
+  // Pops the earliest live entry with date <= now into *out. Returns false
+  // when no entry is due.
+  bool pop_due(double now, Fired* out);
+
+  std::size_t live_entry_count() const { return pending_.size() - cancelled_.size(); }
+
+ private:
+  struct Entry {
+    double date;
+    Handle handle;  // creation order; also the deterministic tie-breaker
+    Model* owner;
+    std::uint64_t tag;
+    bool operator>(const Entry& other) const {
+      return date != other.date ? date > other.date : handle > other.handle;
+    }
+  };
+
+  // Drop cancelled entries sitting on top of the heap.
+  void prune();
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_set<Handle> pending_;    // handles still in the heap
+  std::unordered_set<Handle> cancelled_;  // tombstones; always a subset of pending_
+  Handle next_handle_ = 1;
+};
+
+}  // namespace smpi::sim

@@ -15,6 +15,11 @@ namespace {
 Engine* g_current_engine = nullptr;
 }  // namespace
 
+void Model::request_settle() {
+  SMPI_REQUIRE(engine_ != nullptr, "model not registered with an engine (add_model)");
+  engine_->request_settle(this);
+}
+
 // ---------------------------------------------------------------------------
 // Activity
 // ---------------------------------------------------------------------------
@@ -95,7 +100,27 @@ Actor* Engine::spawn(std::string name, int node, std::function<void()> body) {
   return raw;
 }
 
-void Engine::add_model(std::shared_ptr<Model> model) { models_.push_back(std::move(model)); }
+void Engine::add_model(std::shared_ptr<Model> model) {
+  model->engine_ = this;
+  model->calendar_ = &calendar_;
+  models_.push_back(std::move(model));
+}
+
+void Engine::request_settle(Model* model) {
+  if (model->settle_pending_) return;
+  model->settle_pending_ = true;
+  settle_queue_.push_back(model);
+}
+
+void Engine::drain_settles() {
+  // Index loop: a settle hook may legitimately queue further settles.
+  for (std::size_t i = 0; i < settle_queue_.size(); ++i) {
+    Model* model = settle_queue_[i];
+    model->settle_pending_ = false;
+    model->on_settle(now_);
+  }
+  settle_queue_.clear();
+}
 
 std::size_t Engine::live_actor_count() const {
   return static_cast<std::size_t>(
@@ -140,13 +165,21 @@ void Engine::run() {
 }
 
 bool Engine::advance_time() {
-  double next = kNever;
-  if (!timers_.empty()) next = timers_.top().date;
-  for (const auto& model : models_) next = std::min(next, model->next_event_time(now_));
+  // Let models fold the batch of mutations made since the last step (flow
+  // arrivals/departures at the current date) into fresh calendar entries
+  // before we look at what comes next.
+  drain_settles();
+  double next = calendar_.next_date();
+  if (!timers_.empty()) next = std::min(next, timers_.top().date);
   if (!std::isfinite(next)) return false;
   SMPI_ENSURE(next >= now_, "time went backwards");
   now_ = next;
-  for (const auto& model : models_) model->advance_to(now_);
+  // Dispatch everything due at the new date, in (date, creation order).
+  // Handling an entry may push new due entries (e.g. a completion re-solve
+  // that drops another activity's remaining work to zero) — the loops pick
+  // those up within the same step.
+  EventCalendar::Fired fired;
+  while (calendar_.pop_due(now_, &fired)) fired.owner->on_calendar_event(now_, fired.tag);
   while (!timers_.empty() && timers_.top().date <= now_) {
     auto callback = timers_.top().callback;
     timers_.pop();

@@ -1,13 +1,15 @@
 // The sequential simulation kernel (the paper's SIMIX/SURF driver, §5.1).
 //
 // One Engine per simulation. It owns the virtual clock, the actors, a timer
-// queue, and a list of resource models. The main loop alternates between
+// queue, and the shared event calendar models push into. The main loop
+// alternates between
 //   (1) running every runnable actor (in pid order — fully deterministic)
 //       until each blocks on an activity, and
-//   (2) advancing virtual time to the next model/timer event and completing
-//       whatever finishes there.
-// Exactly one actor executes at any instant, which is what makes running
-// hundreds of MPI processes inside one OS process safe.
+//   (2) advancing virtual time to the earliest calendar/timer entry and
+//       dispatching whatever fires there.
+// Models are never polled: a model only runs when one of its own calendar
+// entries comes due. Exactly one actor executes at any instant, which is
+// what makes running hundreds of MPI processes inside one OS process safe.
 #pragma once
 
 #include <deque>
@@ -20,6 +22,7 @@
 
 #include "sim/activity.hpp"
 #include "sim/actor.hpp"
+#include "sim/calendar.hpp"
 #include "sim/context.hpp"
 #include "sim/model.hpp"
 
@@ -46,7 +49,7 @@ class Engine {
 
   // --- setup -------------------------------------------------------------
   Actor* spawn(std::string name, int node, std::function<void()> body);
-  // Models are polled for events in registration order.
+  // Binds the model to this engine's event calendar and keeps it alive.
   void add_model(std::shared_ptr<Model> model);
 
   // --- main loop ---------------------------------------------------------
@@ -68,6 +71,10 @@ class Engine {
   // --- services for models / higher layers --------------------------------
   void add_timer(double date, std::function<void()> callback);
   void wake(Actor* actor);
+  EventCalendar& calendar() { return calendar_; }
+  // Queue `model` for a single on_settle() call before time next advances
+  // (idempotent until the settle runs). Use Model::request_settle().
+  void request_settle(Model* model);
 
   // The engine currently executing (set for the duration of run()).
   static Engine* current();
@@ -83,6 +90,8 @@ class Engine {
   void run_actor(Actor* actor);
   // Advance the clock to the next event; returns false when nothing is left.
   bool advance_time();
+  // Run the pending on_settle() hooks (at the current date).
+  void drain_settles();
   void suspend_current();
 
   struct Timer {
@@ -101,6 +110,8 @@ class Engine {
   std::deque<Actor*> runnable_;
   Actor* current_ = nullptr;
   std::vector<std::shared_ptr<Model>> models_;
+  EventCalendar calendar_;
+  std::vector<Model*> settle_queue_;
   std::priority_queue<Timer, std::vector<Timer>, std::greater<>> timers_;
   std::uint64_t timer_seq_ = 0;
   bool running_ = false;

@@ -1,9 +1,12 @@
 // Resource-model plug-in interfaces.
 //
-// The engine is model-agnostic: it asks every registered model for the date
-// of its next internal event and tells it to advance. The flow-level network
-// model (surf), the CPU model, and the packet-level ground-truth network
-// (pnet) all implement Model.
+// The engine is event-driven: models push the dates of their next internal
+// state changes into the engine's shared EventCalendar, and the engine calls
+// on_calendar_event() when such a date is reached. Models reschedule entries
+// whenever an allocation change moves a completion date — only the
+// activities whose rates changed are touched. The flow-level network model
+// (surf), the CPU model, and the packet-level ground-truth network (pnet)
+// all implement Model.
 //
 // NetworkBackend/ComputeBackend are the service interfaces the MPI layer
 // uses; having both the analytical and the packet-level simulators behind
@@ -15,6 +18,7 @@
 #include <limits>
 
 #include "sim/activity.hpp"
+#include "sim/calendar.hpp"
 
 namespace smpi::sim {
 
@@ -25,10 +29,26 @@ constexpr double kNever = std::numeric_limits<double>::infinity();
 class Model {
  public:
   virtual ~Model() = default;
-  // Date of the next internal state change, or kNever.
-  virtual double next_event_time(double now) = 0;
-  // Advance internal state to `now`, finishing activities that complete.
-  virtual void advance_to(double now) = 0;
+  // A calendar entry scheduled by this model fired: virtual time reached the
+  // entry's date. `tag` is the payload passed to EventCalendar::schedule().
+  virtual void on_calendar_event(double now, std::uint64_t tag) = 0;
+  // Deferred-update hook: runs once before the engine next advances time,
+  // if the model called request_settle() since the last settle.
+  virtual void on_settle(double /*now*/) {}
+
+ protected:
+  // The engine's shared calendar; bound by Engine::add_model().
+  EventCalendar& calendar() const;
+  // Coalesces allocation updates: however many activities arrive or finish
+  // at one virtual instant, the engine calls on_settle() exactly once before
+  // computing the next event date — one re-solve per batch, not per change.
+  void request_settle();
+
+ private:
+  friend class Engine;
+  Engine* engine_ = nullptr;
+  EventCalendar* calendar_ = nullptr;
+  bool settle_pending_ = false;
 };
 
 struct FlowHints {

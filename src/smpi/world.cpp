@@ -127,7 +127,9 @@ SmpiWorld::SmpiWorld(const platform::Platform& platform, SmpiConfig config)
   SMPI_REQUIRE(platform_.host_count() > 0, "platform has no hosts");
   g_world = this;
   engine_ = std::make_unique<sim::Engine>(config_.engine);
-  cpu_model_ = std::make_shared<surf::CpuModel>(platform_);
+  // One knob drives both analytical solvers (network and CPU share the
+  // max-min implementation and its full-reference flag).
+  cpu_model_ = std::make_shared<surf::CpuModel>(platform_, config_.network.incremental_solver);
   cpu_ = cpu_model_.get();
   engine_->add_model(cpu_model_);
   if (config_.backend == SmpiConfig::Backend::kFlow) {

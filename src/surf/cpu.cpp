@@ -7,10 +7,13 @@
 
 namespace smpi::surf {
 namespace {
-constexpr double kRemainingEps = 1e-3;  // flops
+// Completion dust tolerance in flops; see the network model's kRemainingEps.
+constexpr double kRemainingEps = 1e-3;
 }  // namespace
 
-CpuModel::CpuModel(const platform::Platform& platform) : platform_(platform) {
+CpuModel::CpuModel(const platform::Platform& platform, bool incremental_solver)
+    : platform_(platform) {
+  system_.set_incremental(incremental_solver);
   host_constraint_.reserve(static_cast<std::size_t>(platform_.host_count()));
   for (int id = 0; id < platform_.host_count(); ++id) {
     const auto& host = platform_.host(id);
@@ -25,59 +28,66 @@ double CpuModel::node_speed(int node) const {
 sim::ActivityPtr CpuModel::execute(int node, double flops) {
   SMPI_REQUIRE(node >= 0 && node < platform_.host_count(), "execute on unknown node");
   SMPI_REQUIRE(flops >= 0, "negative computation");
+  auto* engine = sim::Engine::current();
+  SMPI_REQUIRE(engine != nullptr, "execute outside a simulation");
   auto activity = std::make_shared<sim::Activity>("exec");
   if (flops <= 0) {
     activity->finish(sim::Activity::State::kDone);
     return activity;
   }
+  const double now = engine->now();
   auto exec = std::make_shared<Execution>();
+  exec->id = next_execution_id_++;
   exec->activity = activity;
-  exec->remaining = flops;
+  exec->work.start(flops, now);
   exec->var = system_.new_variable(1.0, platform_.host(node).speed_flops);
-  system_.attach(exec->var, host_constraint_[static_cast<std::size_t>(node)]);
-  executions_.push_back(std::move(exec));
+  Execution* raw = exec.get();
+  executions_.emplace(exec->id, std::move(exec));
+  var_to_execution_[raw->var] = raw;
+  system_.attach(raw->var, host_constraint_[static_cast<std::size_t>(node)]);
+  // Deferred: batched with any other executions starting at this date.
+  request_settle();
   return activity;
 }
 
-void CpuModel::refresh_rates() {
+void CpuModel::on_settle(double now) { resettle(now); }
+
+void CpuModel::resettle(double now) {
   if (!system_.dirty()) return;
   system_.solve();
-  for (auto& exec : executions_) exec->rate = system_.value(exec->var);
+  for (int var : system_.last_solved_variables()) {
+    auto it = var_to_execution_.find(var);
+    if (it == var_to_execution_.end()) continue;
+    Execution& exec = *it->second;
+    const double rate = system_.value(var);
+    if (rate == exec.work.rate()) continue;
+    exec.work.set_rate(rate, now);
+    reschedule(exec, now);
+  }
 }
 
-double CpuModel::next_event_time(double now) {
-  refresh_rates();
-  double next = sim::kNever;
-  for (const auto& exec : executions_) {
-    SMPI_ENSURE(exec->rate > 0, "active execution with zero rate");
-    next = std::min(next, now + std::max(0.0, exec->remaining) / exec->rate);
-  }
-  return next;
+void CpuModel::reschedule(Execution& exec, double now) {
+  SMPI_ENSURE(exec.work.rate() > 0, "active execution with zero rate");
+  calendar().cancel(exec.event);
+  exec.event = calendar().schedule(std::max(now, exec.work.completion_date(now)), this, exec.id);
 }
 
-void CpuModel::advance_to(double now) {
-  refresh_rates();
-  const double dt = now - last_update_;
-  last_update_ = now;
-  if (executions_.empty()) return;
-  if (dt > 0) {
-    for (auto& exec : executions_) exec->remaining -= exec->rate * dt;
-  }
-  auto finished = [](const std::shared_ptr<Execution>& exec) {
-    return exec->remaining <= kRemainingEps;
-  };
-  std::vector<std::shared_ptr<Execution>> done;
-  for (auto& exec : executions_) {
-    if (finished(exec)) {
-      system_.release_variable(exec->var);
-      done.push_back(exec);
-    }
-  }
-  if (done.empty()) return;
-  executions_.erase(std::remove_if(executions_.begin(), executions_.end(), finished),
-                    executions_.end());
-  refresh_rates();
-  for (auto& exec : done) exec->activity->finish(sim::Activity::State::kDone);
+void CpuModel::on_calendar_event(double now, std::uint64_t tag) {
+  auto it = executions_.find(tag);
+  if (it == executions_.end()) return;  // already retired
+  Execution& exec = *it->second;
+  exec.event = sim::EventCalendar::kNoEvent;
+  SMPI_ENSURE(exec.work.remaining_at(now) <= kRemainingEps,
+              "completion event fired with flops left");
+  sim::ActivityPtr activity = exec.activity;
+  const std::uint64_t id = exec.id;  // `exec` dies with the erase below
+  system_.release_variable(exec.var);
+  var_to_execution_.erase(exec.var);
+  executions_.erase(id);
+  // Deferred: simultaneous completions redistribute the freed capacity in
+  // one re-solve when the engine settles.
+  request_settle();
+  activity->finish(sim::Activity::State::kDone);
 }
 
 }  // namespace smpi::surf

@@ -2,11 +2,17 @@
 // actions sharing the host capacity through the same max-min solver as the
 // network (a single process never exceeds one core's speed).
 //
+// Like the network model, the CPU model is heap-driven: each execution owns
+// one completion entry in the engine's event calendar, remaining flops are
+// tracked lazily per execution, and a re-solve reschedules only the
+// executions whose rate changed.
+//
 // The MPI layer turns measured CPU-burst durations into flops through
 // node_speed(), implementing the host-to-target scaling of §3.1.
 #pragma once
 
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "platform/platform.hpp"
@@ -17,33 +23,37 @@ namespace smpi::surf {
 
 class CpuModel final : public sim::Model, public sim::ComputeBackend {
  public:
-  explicit CpuModel(const platform::Platform& platform);
+  explicit CpuModel(const platform::Platform& platform, bool incremental_solver = true);
 
   // sim::ComputeBackend
   sim::ActivityPtr execute(int node, double flops) override;
   double node_speed(int node) const override;
 
   // sim::Model
-  double next_event_time(double now) override;
-  void advance_to(double now) override;
+  void on_calendar_event(double now, std::uint64_t tag) override;
+  void on_settle(double now) override;
 
   std::size_t active_execution_count() const { return executions_.size(); }
+  const MaxMinSystem& solver() const { return system_; }
 
  private:
   struct Execution {
+    std::uint64_t id = 0;
     sim::ActivityPtr activity;
-    double remaining = 0;
-    double rate = 0;
+    sim::FluidWork work;
     int var = -1;
+    sim::EventCalendar::Handle event = sim::EventCalendar::kNoEvent;
   };
 
-  void refresh_rates();
+  void resettle(double now);
+  void reschedule(Execution& exec, double now);
 
   const platform::Platform& platform_;
   MaxMinSystem system_;
   std::vector<int> host_constraint_;
-  std::vector<std::shared_ptr<Execution>> executions_;
-  double last_update_ = 0;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Execution>> executions_;
+  std::unordered_map<int, Execution*> var_to_execution_;
+  std::uint64_t next_execution_id_ = 1;
 };
 
 }  // namespace smpi::surf

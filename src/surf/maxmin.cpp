@@ -9,8 +9,8 @@ namespace smpi::surf {
 
 int MaxMinSystem::new_constraint(double capacity) {
   SMPI_REQUIRE(capacity > 0, "constraint capacity must be positive");
-  constraints_.push_back(Constraint{capacity, {}});
-  dirty_ = true;
+  constraints_.push_back(Constraint{capacity, {}, false, false, 0, 0});
+  mark_dirty(static_cast<int>(constraints_.size()) - 1);
   return static_cast<int>(constraints_.size()) - 1;
 }
 
@@ -31,8 +31,24 @@ int MaxMinSystem::new_variable(double weight, double bound) {
   var.bound = bound;
   var.active = true;
   ++active_variables_;
-  dirty_ = true;
+  // Until attached somewhere the variable is its own component; if it is
+  // still unconstrained at the next solve it takes its bound.
+  mark_unconstrained_dirty(id);
   return id;
+}
+
+void MaxMinSystem::mark_dirty(int constraint) {
+  auto& cons = constraints_[static_cast<std::size_t>(constraint)];
+  if (!cons.dirty) {
+    cons.dirty = true;
+    dirty_constraints_.push_back(constraint);
+  }
+  dirty_ = true;
+}
+
+void MaxMinSystem::mark_unconstrained_dirty(int variable) {
+  dirty_unconstrained_.push_back(variable);
+  dirty_ = true;
 }
 
 void MaxMinSystem::attach(int variable, int constraint) {
@@ -43,7 +59,9 @@ void MaxMinSystem::attach(int variable, int constraint) {
   SMPI_REQUIRE(var.active, "attach on retired variable");
   var.constraints.push_back(constraint);
   constraints_[static_cast<std::size_t>(constraint)].variables.push_back(variable);
-  dirty_ = true;
+  // The component reachable from `constraint` now includes the variable and,
+  // transitively, its other constraints — marking just this one suffices.
+  mark_dirty(constraint);
 }
 
 void MaxMinSystem::set_bound(int variable, double bound) {
@@ -51,13 +69,17 @@ void MaxMinSystem::set_bound(int variable, double bound) {
   auto& var = variables_[static_cast<std::size_t>(variable)];
   SMPI_REQUIRE(var.active, "set_bound on retired variable");
   var.bound = bound;
-  dirty_ = true;
+  if (var.constraints.empty()) {
+    mark_unconstrained_dirty(variable);
+  } else {
+    for (int c : var.constraints) mark_dirty(c);
+  }
 }
 
 void MaxMinSystem::set_capacity(int constraint, double capacity) {
   SMPI_REQUIRE(capacity > 0, "capacity must be positive");
   constraints_[static_cast<std::size_t>(constraint)].capacity = capacity;
-  dirty_ = true;
+  mark_dirty(constraint);
 }
 
 void MaxMinSystem::release_variable(int variable) {
@@ -65,7 +87,11 @@ void MaxMinSystem::release_variable(int variable) {
   SMPI_REQUIRE(var.active, "double release of variable");
   var.active = false;
   var.value = 0;
-  // Lazily drop it from constraint membership lists.
+  // The freed share must be redistributed: every constraint the variable
+  // crossed needs a re-solve.
+  for (int c : var.constraints) mark_dirty(c);
+  // Eagerly drop it from constraint membership lists so constraint_usage()
+  // never sees it again.
   for (int c : var.constraints) {
     auto& members = constraints_[static_cast<std::size_t>(c)].variables;
     members.erase(std::remove(members.begin(), members.end(), variable), members.end());
@@ -93,48 +119,116 @@ double MaxMinSystem::constraint_usage(int constraint) const {
   return usage;
 }
 
+void MaxMinSystem::collect_components() {
+  comp_cons_.clear();
+  comp_vars_.clear();
+  // BFS across the constraint/variable bipartite graph, seeded at the dirty
+  // constraints. Everything reached must be re-solved; everything else keeps
+  // its allocation.
+  std::vector<int>& stack = dirty_constraints_;  // consumed as the BFS frontier
+  for (int c : stack) constraints_[static_cast<std::size_t>(c)].in_component = true;
+  while (!stack.empty()) {
+    const int c = stack.back();
+    stack.pop_back();
+    comp_cons_.push_back(c);
+    for (int v : constraints_[static_cast<std::size_t>(c)].variables) {
+      auto& var = variables_[static_cast<std::size_t>(v)];
+      if (!var.active || var.in_component) continue;
+      var.in_component = true;
+      comp_vars_.push_back(v);
+      for (int c2 : var.constraints) {
+        auto& other = constraints_[static_cast<std::size_t>(c2)];
+        if (!other.in_component) {
+          other.in_component = true;
+          stack.push_back(c2);
+        }
+      }
+    }
+  }
+}
+
 void MaxMinSystem::solve() {
   if (!dirty_) return;
   dirty_ = false;
+  ++solve_count_;
+  last_solved_.clear();
 
+  // Variables that are (still) unconstrained take their bound directly.
+  for (int v : dirty_unconstrained_) {
+    auto& var = variables_[static_cast<std::size_t>(v)];
+    if (!var.active || !var.constraints.empty()) continue;  // released / attached since
+    SMPI_REQUIRE(std::isfinite(var.bound),
+                 "variable without constraints needs a finite bound");
+    var.value = var.bound;
+    var.fixed = true;
+    last_solved_.push_back(v);
+  }
+  dirty_unconstrained_.clear();
+
+  if (incremental_) {
+    collect_components();
+  } else {
+    // Reference path: re-solve the whole system from scratch.
+    for (int c : dirty_constraints_) {
+      constraints_[static_cast<std::size_t>(c)].dirty = false;
+    }
+    dirty_constraints_.clear();
+    comp_cons_.clear();
+    comp_vars_.clear();
+    for (int c = 0; c < static_cast<int>(constraints_.size()); ++c) comp_cons_.push_back(c);
+    for (int v = 0; v < static_cast<int>(variables_.size()); ++v) {
+      const auto& var = variables_[static_cast<std::size_t>(v)];
+      if (var.active && !var.constraints.empty()) comp_vars_.push_back(v);
+    }
+  }
+
+  solve_subset(comp_cons_, comp_vars_);
+
+  for (int c : comp_cons_) {
+    auto& cons = constraints_[static_cast<std::size_t>(c)];
+    cons.in_component = false;
+    cons.dirty = false;
+  }
+  for (int v : comp_vars_) {
+    variables_[static_cast<std::size_t>(v)].in_component = false;
+    last_solved_.push_back(v);
+  }
+}
+
+void MaxMinSystem::solve_subset(const std::vector<int>& cons_ids,
+                                const std::vector<int>& var_ids) {
   // Progressive filling: all unfixed variables grow their value as
   // mu * weight for a common scale mu. The next event is either a variable
   // hitting its bound or a constraint saturating; process events in order
   // until every variable is fixed.
   constexpr double kEpsRel = 1e-12;
 
-  std::vector<double> remaining(constraints_.size());
-  std::vector<double> weight_sum(constraints_.size(), 0.0);
-  for (std::size_t c = 0; c < constraints_.size(); ++c) {
-    remaining[c] = constraints_[c].capacity;
+  for (int c : cons_ids) {
+    auto& cons = constraints_[static_cast<std::size_t>(c)];
+    cons.remaining = cons.capacity;
+    cons.weight_sum = 0;
   }
-
   std::size_t unfixed = 0;
-  for (auto& var : variables_) {
-    if (!var.active) continue;
+  for (int v : var_ids) {
+    auto& var = variables_[static_cast<std::size_t>(v)];
     var.fixed = false;
     var.value = 0;
-    if (var.constraints.empty()) {
-      // Unconstrained variable: takes its bound (no-contention mode).
-      SMPI_REQUIRE(std::isfinite(var.bound),
-                   "variable without constraints needs a finite bound");
-      var.value = var.bound;
-      var.fixed = true;
-      continue;
-    }
     ++unfixed;
-    for (int c : var.constraints) weight_sum[static_cast<std::size_t>(c)] += var.weight;
+    for (int c : var.constraints) {
+      constraints_[static_cast<std::size_t>(c)].weight_sum += var.weight;
+    }
   }
+  variables_visited_ += var_ids.size();
 
   auto fix_variable = [&](Variable& var, double value) {
     var.value = value;
     var.fixed = true;
     for (int c : var.constraints) {
-      const auto ci = static_cast<std::size_t>(c);
-      remaining[ci] -= value;
-      if (remaining[ci] < 0) remaining[ci] = 0;
-      weight_sum[ci] -= var.weight;
-      if (weight_sum[ci] < kEpsRel) weight_sum[ci] = 0;
+      auto& cons = constraints_[static_cast<std::size_t>(c)];
+      cons.remaining -= value;
+      if (cons.remaining < 0) cons.remaining = 0;
+      cons.weight_sum -= var.weight;
+      if (cons.weight_sum < kEpsRel) cons.weight_sum = 0;
     }
     --unfixed;
   };
@@ -142,15 +236,17 @@ void MaxMinSystem::solve() {
   while (unfixed > 0) {
     // Scale at which the first constraint saturates.
     double mu_constraint = MaxMinSystem::kUnbounded;
-    for (std::size_t c = 0; c < constraints_.size(); ++c) {
-      if (weight_sum[c] > 0) {
-        mu_constraint = std::min(mu_constraint, remaining[c] / weight_sum[c]);
+    for (int c : cons_ids) {
+      const auto& cons = constraints_[static_cast<std::size_t>(c)];
+      if (cons.weight_sum > 0) {
+        mu_constraint = std::min(mu_constraint, cons.remaining / cons.weight_sum);
       }
     }
     // Scale at which the first variable hits its bound.
     double mu_bound = MaxMinSystem::kUnbounded;
-    for (const auto& var : variables_) {
-      if (!var.active || var.fixed) continue;
+    for (int v : var_ids) {
+      const auto& var = variables_[static_cast<std::size_t>(v)];
+      if (var.fixed) continue;
       mu_bound = std::min(mu_bound, var.bound / var.weight);
     }
     SMPI_ENSURE(std::isfinite(mu_constraint) || std::isfinite(mu_bound),
@@ -160,8 +256,9 @@ void MaxMinSystem::solve() {
       // Fix every variable whose bound event is (numerically) now.
       const double cutoff = mu_bound * (1 + kEpsRel);
       bool fixed_any = false;
-      for (auto& var : variables_) {
-        if (!var.active || var.fixed) continue;
+      for (int v : var_ids) {
+        auto& var = variables_[static_cast<std::size_t>(v)];
+        if (var.fixed) continue;
         if (var.bound / var.weight <= cutoff) {
           fix_variable(var, var.bound);
           fixed_any = true;
@@ -173,11 +270,12 @@ void MaxMinSystem::solve() {
       // one gets mu * weight.
       const double cutoff = mu_constraint * (1 + kEpsRel);
       bool fixed_any = false;
-      for (std::size_t c = 0; c < constraints_.size(); ++c) {
-        if (weight_sum[c] <= 0) continue;
-        if (remaining[c] / weight_sum[c] > cutoff) continue;
+      for (int c : cons_ids) {
+        const auto& cons = constraints_[static_cast<std::size_t>(c)];
+        if (cons.weight_sum <= 0) continue;
+        if (cons.remaining / cons.weight_sum > cutoff) continue;
         // Iterate over a copy: fix_variable mutates weight_sum/remaining.
-        const auto members = constraints_[c].variables;
+        const auto members = cons.variables;
         for (int v : members) {
           auto& var = variables_[static_cast<std::size_t>(v)];
           if (!var.active || var.fixed) continue;

@@ -6,9 +6,18 @@
 // rate bounds.
 //
 // The same solver shares CPU cores among computations.
+//
+// The solver is *incremental*: every mutation (attach, release, set_bound,
+// set_capacity) marks only the constraints it touches, and solve() re-runs
+// progressive filling over the connected component(s) of those dirty
+// constraints — allocations in untouched components are provably unchanged
+// (max-min allocations decompose per connected component of the
+// constraint/variable bipartite graph). set_incremental(false) switches to
+// the full reference solve for equivalence testing.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <vector>
 
@@ -29,19 +38,35 @@ class MaxMinSystem {
 
   void set_bound(int variable, double bound);
   void set_capacity(int constraint, double capacity);
-  // Detaches and retires the variable; its id may be recycled.
+  // Detaches and retires the variable; its id may be recycled. The variable
+  // stops contributing to constraint_usage() immediately.
   void release_variable(int variable);
 
-  // Recomputes all allocations if anything changed since the last solve.
+  // Recomputes the allocations affected by mutations since the last solve
+  // (all of them when incremental mode is off).
   void solve();
   bool dirty() const { return dirty_; }
   double value(int variable) const;
+
+  // Incremental (default) vs full-reference solve path.
+  void set_incremental(bool on) { incremental_ = on; }
+  bool incremental() const { return incremental_; }
+
+  // Update notification: ids of the variables whose allocation was recomputed
+  // by the last solve(). Consumers reschedule completion events only for
+  // these instead of re-deriving every activity's date.
+  const std::vector<int>& last_solved_variables() const { return last_solved_; }
 
   std::size_t active_variable_count() const { return active_variables_; }
   std::size_t constraint_count() const { return constraints_.size(); }
 
   // Diagnostics for property tests: total allocation crossing a constraint.
+  // Released variables never contribute, even before the next solve().
   double constraint_usage(int constraint) const;
+
+  // Perf counters (cumulative): how much work the solver actually did.
+  std::uint64_t solve_count() const { return solve_count_; }
+  std::uint64_t variables_visited() const { return variables_visited_; }
 
  private:
   struct Variable {
@@ -50,18 +75,40 @@ class MaxMinSystem {
     double value = 0;
     bool active = false;
     bool fixed = false;
+    bool in_component = false;
     std::vector<int> constraints;
   };
   struct Constraint {
     double capacity = 0;
-    std::vector<int> variables;  // may contain retired ids; filtered on use
+    std::vector<int> variables;  // released ids are eagerly removed
+    bool dirty = false;
+    bool in_component = false;
+    // Scratch state for the progressive-filling loop.
+    double remaining = 0;
+    double weight_sum = 0;
   };
+
+  void mark_dirty(int constraint);
+  void mark_unconstrained_dirty(int variable);
+  // Expand the dirty constraints into their connected components (constraints
+  // linked through shared active variables), filling comp_cons_/comp_vars_.
+  void collect_components();
+  // Progressive filling restricted to the given constraint/variable ids.
+  void solve_subset(const std::vector<int>& cons_ids, const std::vector<int>& var_ids);
 
   std::vector<Variable> variables_;
   std::vector<Constraint> constraints_;
   std::vector<int> free_variable_ids_;
+  std::vector<int> dirty_constraints_;      // ids with .dirty set
+  std::vector<int> dirty_unconstrained_;    // variables with no constraints yet
+  std::vector<int> comp_cons_;              // scratch for collect_components()
+  std::vector<int> comp_vars_;
+  std::vector<int> last_solved_;
   std::size_t active_variables_ = 0;
-  bool dirty_ = true;
+  bool dirty_ = false;
+  bool incremental_ = true;
+  std::uint64_t solve_count_ = 0;
+  std::uint64_t variables_visited_ = 0;
 };
 
 }  // namespace smpi::surf

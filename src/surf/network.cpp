@@ -12,13 +12,16 @@ namespace smpi::surf {
 SMPI_LOG_CATEGORY(log_surf, "surf");
 
 namespace {
-// Completion tolerance: flows are "done" when less than a millionth of a
-// byte remains (absorbs floating-point dust from rate integration).
-constexpr double kRemainingEps = 1e-6;
+// Completion tolerance: a fired completion event may observe up to this much
+// residual work — floating-point dust from folding progress at rate changes,
+// far below one byte even for terabyte flows. Anything larger means the
+// completion date was mis-scheduled.
+constexpr double kRemainingEps = 1.0;
 }  // namespace
 
 FlowNetworkModel::FlowNetworkModel(const platform::Platform& platform, NetworkConfig config)
     : platform_(platform), config_(std::move(config)) {
+  system_.set_incremental(config_.incremental_solver);
   link_constraint_.resize(static_cast<std::size_t>(platform_.link_count()), -1);
   for (int id = 0; id < platform_.link_count(); ++id) {
     const auto& link = platform_.link(id);
@@ -80,11 +83,6 @@ sim::ActivityPtr FlowNetworkModel::start_flow(int src_node, int dst_node, double
   if (hints.rate_bound > 0) bound = std::min(bound, hints.rate_bound);
   SMPI_ENSURE(bound > 0, "flow rate bound must be positive");
 
-  auto flow = std::make_shared<Flow>();
-  flow->activity = activity;
-  flow->remaining = bytes;
-  flow->bound = bound;
-
   if (bytes <= 0) {
     // Pure-latency message: completes at the end of the latency phase.
     engine->add_timer(engine->now() + latency,
@@ -92,78 +90,94 @@ sim::ActivityPtr FlowNetworkModel::start_flow(int src_node, int dst_node, double
     return activity;
   }
 
+  auto flow = std::make_shared<Flow>();
+  flow->id = next_flow_id_++;
+  flow->activity = activity;
+  flow->bound = bound;
+
   const std::vector<int> links = platform_.route(src_node, dst_node);
   engine->add_timer(engine->now() + latency,
-                    [this, flow, links] { promote(flow, links); });
+                    [this, flow, links, bytes] { promote(flow, links, bytes); });
   SMPI_LOG_DEBUG(log_surf, "flow " << src_node << "->" << dst_node << " size=" << bytes
                                    << " lat=" << latency << " bound=" << bound);
   return activity;
 }
 
-void FlowNetworkModel::promote(std::shared_ptr<Flow> flow, const std::vector<int>& links) {
+void FlowNetworkModel::promote(std::shared_ptr<Flow> flow, const std::vector<int>& links,
+                               double bytes) {
   if (flow->activity->completed()) return;  // canceled during latency phase
+  const double now = sim::Engine::current()->now();
+  flow->work.start(bytes, now);
+  Flow* raw = flow.get();
+  flows_.emplace(flow->id, std::move(flow));
   if (config_.contention) {
-    flow->var = system_.new_variable(1.0, flow->bound);
+    raw->var = system_.new_variable(1.0, raw->bound);
+    var_to_flow_[raw->var] = raw;
     for (int link : links) {
       const int constraint = link_constraint_[static_cast<std::size_t>(link)];
-      if (constraint >= 0) system_.attach(flow->var, constraint);
+      if (constraint >= 0) system_.attach(raw->var, constraint);
     }
+    // Deferred: when a collective promotes many flows at one date, the
+    // engine settles (one re-solve) once for the whole batch.
+    request_settle();
   } else {
-    flow->rate = flow->bound;
+    raw->work.set_rate(raw->bound, now);
+    reschedule(*raw, now);
   }
-  flows_.push_back(std::move(flow));
 }
 
-void FlowNetworkModel::refresh_rates() {
+void FlowNetworkModel::on_settle(double now) { resettle(now); }
+
+void FlowNetworkModel::resettle(double now) {
   if (!system_.dirty()) return;
   system_.solve();
-  for (auto& flow : flows_) {
-    if (flow->var >= 0) flow->rate = system_.value(flow->var);
+  for (int var : system_.last_solved_variables()) {
+    auto it = var_to_flow_.find(var);
+    if (it == var_to_flow_.end()) continue;  // not one of ours (shouldn't happen)
+    Flow& flow = *it->second;
+    const double rate = system_.value(var);
+    if (rate == flow.work.rate()) continue;  // allocation unchanged: keep the entry
+    flow.work.set_rate(rate, now);
+    reschedule(flow, now);
   }
 }
 
-double FlowNetworkModel::next_event_time(double now) {
-  refresh_rates();
-  double next = sim::kNever;
-  for (const auto& flow : flows_) {
-    SMPI_ENSURE(flow->rate > 0, "active flow with zero rate");
-    next = std::min(next, now + std::max(0.0, flow->remaining) / flow->rate);
-  }
-  return next;
+void FlowNetworkModel::reschedule(Flow& flow, double now) {
+  SMPI_ENSURE(flow.work.rate() > 0, "active flow with zero rate");
+  calendar().cancel(flow.event);
+  flow.event = calendar().schedule(std::max(now, flow.work.completion_date(now)), this, flow.id);
 }
 
-void FlowNetworkModel::advance_to(double now) {
-  refresh_rates();
-  const double dt = now - last_update_;
-  last_update_ = now;
-  if (flows_.empty()) return;
-  if (dt > 0) {
-    for (auto& flow : flows_) flow->remaining -= flow->rate * dt;
+void FlowNetworkModel::on_calendar_event(double now, std::uint64_t tag) {
+  auto it = flows_.find(tag);
+  if (it == flows_.end()) return;  // flow already retired
+  Flow& flow = *it->second;
+  flow.event = sim::EventCalendar::kNoEvent;
+  SMPI_ENSURE(flow.work.remaining_at(now) <= kRemainingEps,
+              "completion event fired with work left");
+  complete(flow);
+}
+
+void FlowNetworkModel::complete(Flow& flow) {
+  sim::ActivityPtr activity = flow.activity;
+  const std::uint64_t id = flow.id;  // `flow` dies with the erase below
+  if (flow.var >= 0) {
+    system_.release_variable(flow.var);
+    var_to_flow_.erase(flow.var);
   }
-  auto finished = [](const std::shared_ptr<Flow>& flow) {
-    return flow->remaining <= kRemainingEps;
-  };
-  bool any_finished = false;
-  for (auto& flow : flows_) {
-    if (finished(flow)) {
-      if (flow->var >= 0) system_.release_variable(flow->var);
-      any_finished = true;
-    }
-  }
-  if (!any_finished) return;
-  // Complete activities only after releasing all solver variables so the
-  // callbacks observe a consistent system.
-  std::vector<std::shared_ptr<Flow>> done;
-  for (auto& flow : flows_) {
-    if (finished(flow)) done.push_back(flow);
-  }
-  flows_.erase(std::remove_if(flows_.begin(), flows_.end(), finished), flows_.end());
-  refresh_rates();
-  for (auto& flow : done) flow->activity->finish(sim::Activity::State::kDone);
+  flows_.erase(id);
+  // Deferred: simultaneous completions redistribute the freed shares in one
+  // re-solve when the engine settles. Completion callbacks never read rates
+  // synchronously (link_usage re-solves on demand), so they still observe a
+  // consistent system.
+  request_settle();
+  activity->finish(sim::Activity::State::kDone);
 }
 
 double FlowNetworkModel::link_usage(int link_id) {
-  refresh_rates();
+  auto* engine = sim::Engine::current();
+  SMPI_REQUIRE(engine != nullptr, "link_usage outside a simulation");
+  resettle(engine->now());
   const int constraint = link_constraint_[static_cast<std::size_t>(link_id)];
   if (constraint < 0) return 0;
   return system_.constraint_usage(constraint);

@@ -8,12 +8,19 @@
 //   - a TCP congestion-window bound: window / RTT,
 //   - any caller-provided bound (FlowHints).
 //
+// The model is heap-driven: each active flow owns one completion entry in
+// the engine's event calendar, and a solver re-solve reschedules entries
+// only for the flows whose allocation actually changed (the solver's
+// update-notification list). Remaining bytes are tracked lazily per flow as
+// a (rate, last_update) pair — see sim::FluidWork.
+//
 // Setting `contention = false` reproduces the naive simulators of §2/§7
 // (every flow gets its full rate regardless of sharing) — the white bars of
 // Figures 7 and 11.
 #pragma once
 
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "platform/platform.hpp"
@@ -28,6 +35,7 @@ struct NetworkConfig {
   double bandwidth_efficiency = 0.92; // achievable fraction of nominal capacity under sharing
   double tcp_window_bytes = 4.0 * 1024 * 1024;  // 0 disables the window bound
   bool contention = true;
+  bool incremental_solver = true;     // full reference solve when false
 };
 
 class FlowNetworkModel final : public sim::Model, public sim::NetworkBackend {
@@ -41,8 +49,8 @@ class FlowNetworkModel final : public sim::Model, public sim::NetworkBackend {
   const char* backend_name() const override { return "surf-flow"; }
 
   // sim::Model
-  double next_event_time(double now) override;
-  void advance_to(double now) override;
+  void on_calendar_event(double now, std::uint64_t tag) override;
+  void on_settle(double now) override;
 
   // The duration a single uncontended transfer of `bytes` would take — the
   // closed-form alpha_k + s/beta_k the piece-wise model predicts. Used by
@@ -56,27 +64,36 @@ class FlowNetworkModel final : public sim::Model, public sim::NetworkBackend {
   // Property-test hook: total allocated rate through a link's constraint.
   double link_usage(int link_id);
 
+  // Perf counter: solver work actually performed (see MaxMinSystem).
+  const MaxMinSystem& solver() const { return system_; }
+
  private:
   struct Flow {
+    std::uint64_t id = 0;
     sim::ActivityPtr activity;
-    double remaining = 0;
-    double rate = 0;
+    sim::FluidWork work;
     int var = -1;  // -1 when not in the solver (no-contention mode)
     double bound = 0;
+    sim::EventCalendar::Handle event = sim::EventCalendar::kNoEvent;
   };
 
   // Compute (latency, rate bound) for a transfer.
   void path_parameters(int src_node, int dst_node, double bytes, double* latency_out,
                        double* bound_out) const;
-  void promote(std::shared_ptr<Flow> flow, const std::vector<int>& links);
-  void refresh_rates();
+  void promote(std::shared_ptr<Flow> flow, const std::vector<int>& links, double bytes);
+  // Re-solve if dirty and reschedule completion events for the flows whose
+  // rate changed.
+  void resettle(double now);
+  void reschedule(Flow& flow, double now);
+  void complete(Flow& flow);
 
   const platform::Platform& platform_;
   NetworkConfig config_;
   MaxMinSystem system_;
   std::vector<int> link_constraint_;  // per link id; -1 for fatpipe links
-  std::vector<std::shared_ptr<Flow>> flows_;
-  double last_update_ = 0;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Flow>> flows_;  // by flow id
+  std::unordered_map<int, Flow*> var_to_flow_;
+  std::uint64_t next_flow_id_ = 1;
   std::uint64_t total_flows_ = 0;
 };
 

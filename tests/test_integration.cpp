@@ -66,6 +66,35 @@ TEST(Integration, PacketBackendIsDeterministicToo) {
   EXPECT_DOUBLE_EQ(run_once(), run_once());
 }
 
+TEST(Integration, IncrementalAndFullSolverAgreeEndToEnd) {
+  // The same MPI program, once under the incremental solver (default) and
+  // once under the full-reference path (the flag drives both the network
+  // and the CPU solver): the simulated completion times must match to
+  // solver tolerance — the whole-stack version of the
+  // MaxMinEquivalenceTest property.
+  auto run_once = [](bool incremental) {
+    sc::SmpiConfig config;
+    config.network.incremental_solver = incremental;
+    return run_mpi(
+        12,
+        [] {
+          const int rank = my_rank();
+          std::vector<char> buf(1 << 16);
+          MPI_Bcast(buf.data(), 1 << 16, MPI_CHAR, 0, MPI_COMM_WORLD);
+          // Pairwise traffic so many flows contend at once.
+          const int peer = rank ^ 1;
+          if (peer < world_size()) {
+            MPI_Sendrecv(buf.data(), 1 << 15, MPI_CHAR, peer, 0, buf.data(), 1 << 15, MPI_CHAR,
+                         peer, 0, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+          }
+          double x = rank, sum = 0;
+          MPI_Allreduce(&x, &sum, 1, MPI_DOUBLE, MPI_SUM, MPI_COMM_WORLD);
+        },
+        config);
+  };
+  EXPECT_NEAR(run_once(true), run_once(false), 1e-9);
+}
+
 TEST(Integration, ThreadBackendRunsFullMpiApplication) {
   sc::SmpiConfig config = fast_config();
   config.engine.context_backend = "thread";

@@ -1,0 +1,156 @@
+#include "sim/calendar.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/model.hpp"
+
+namespace ss = smpi::sim;
+
+namespace {
+
+// Minimal model recording the tags of fired entries.
+struct RecorderModel final : public ss::Model {
+  std::vector<std::uint64_t> fired;
+  void on_calendar_event(double /*now*/, std::uint64_t tag) override { fired.push_back(tag); }
+};
+
+}  // namespace
+
+TEST(EventCalendar, PopsInDateOrder) {
+  ss::EventCalendar cal;
+  RecorderModel model;
+  cal.schedule(3.0, &model, 30);
+  cal.schedule(1.0, &model, 10);
+  cal.schedule(2.0, &model, 20);
+  ss::EventCalendar::Fired fired;
+  std::vector<std::uint64_t> order;
+  while (cal.pop_due(10.0, &fired)) order.push_back(fired.tag);
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{10, 20, 30}));
+}
+
+TEST(EventCalendar, TiesBreakByCreationOrder) {
+  ss::EventCalendar cal;
+  RecorderModel model;
+  cal.schedule(1.0, &model, 1);
+  cal.schedule(1.0, &model, 2);
+  cal.schedule(1.0, &model, 3);
+  ss::EventCalendar::Fired fired;
+  std::vector<std::uint64_t> order;
+  while (cal.pop_due(1.0, &fired)) order.push_back(fired.tag);
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{1, 2, 3}));
+}
+
+TEST(EventCalendar, PopDueHonorsTheDeadline) {
+  ss::EventCalendar cal;
+  RecorderModel model;
+  cal.schedule(1.0, &model, 1);
+  cal.schedule(2.5, &model, 2);
+  ss::EventCalendar::Fired fired;
+  ASSERT_TRUE(cal.pop_due(2.0, &fired));
+  EXPECT_EQ(fired.tag, 1u);
+  EXPECT_FALSE(cal.pop_due(2.0, &fired));
+  EXPECT_DOUBLE_EQ(cal.next_date(), 2.5);
+}
+
+TEST(EventCalendar, CancelledEntriesAreSkipped) {
+  ss::EventCalendar cal;
+  RecorderModel model;
+  const auto h1 = cal.schedule(1.0, &model, 1);
+  cal.schedule(2.0, &model, 2);
+  cal.cancel(h1);
+  EXPECT_DOUBLE_EQ(cal.next_date(), 2.0);
+  ss::EventCalendar::Fired fired;
+  ASSERT_TRUE(cal.pop_due(5.0, &fired));
+  EXPECT_EQ(fired.tag, 2u);
+  EXPECT_FALSE(cal.pop_due(5.0, &fired));
+}
+
+TEST(EventCalendar, CancelOfNoEventIsANoOp) {
+  ss::EventCalendar cal;
+  cal.cancel(ss::EventCalendar::kNoEvent);
+  EXPECT_EQ(cal.next_date(), ss::kNever);
+}
+
+TEST(EventCalendar, CancelOfFiredHandleIsANoOp) {
+  // Regression: a tombstone for an already-fired entry must not linger in
+  // the cancelled set (leak) or skew live_entry_count.
+  ss::EventCalendar cal;
+  RecorderModel model;
+  const auto h = cal.schedule(1.0, &model, 1);
+  ss::EventCalendar::Fired fired;
+  ASSERT_TRUE(cal.pop_due(1.0, &fired));
+  cal.cancel(h);  // fired already: must be ignored
+  EXPECT_EQ(cal.live_entry_count(), 0u);
+  cal.schedule(2.0, &model, 2);
+  EXPECT_EQ(cal.live_entry_count(), 1u);
+  ASSERT_TRUE(cal.pop_due(2.0, &fired));
+  EXPECT_EQ(fired.tag, 2u);
+}
+
+TEST(EventCalendar, LiveEntryCountExcludesCancelled) {
+  ss::EventCalendar cal;
+  RecorderModel model;
+  const auto h1 = cal.schedule(1.0, &model, 1);
+  cal.schedule(2.0, &model, 2);
+  EXPECT_EQ(cal.live_entry_count(), 2u);
+  cal.cancel(h1);
+  EXPECT_EQ(cal.live_entry_count(), 1u);
+}
+
+TEST(EventCalendar, RescheduleMovesTheDate) {
+  // The cancel + schedule pattern the models use when a rate changes.
+  ss::EventCalendar cal;
+  RecorderModel model;
+  auto handle = cal.schedule(4.0, &model, 7);
+  cal.cancel(handle);
+  handle = cal.schedule(2.0, &model, 7);
+  EXPECT_DOUBLE_EQ(cal.next_date(), 2.0);
+  ss::EventCalendar::Fired fired;
+  ASSERT_TRUE(cal.pop_due(2.0, &fired));
+  EXPECT_EQ(fired.tag, 7u);
+  EXPECT_FALSE(cal.pop_due(10.0, &fired));
+}
+
+TEST(EngineCalendar, ModelEventsDriveVirtualTime) {
+  // A model that schedules its own follow-up events through the engine's
+  // calendar: the engine advances to each date without polling.
+  struct PingModel final : public ss::Model {
+    int remaining = 3;
+    std::vector<double> fire_dates;
+    void arm(double date) { calendar().schedule(date, this, 0); }
+    void on_calendar_event(double now, std::uint64_t) override {
+      fire_dates.push_back(now);
+      if (--remaining > 0) arm(now + 1.5);
+    }
+  };
+  ss::Engine engine;
+  auto model = std::make_shared<PingModel>();
+  engine.add_model(model);
+  engine.spawn("waiter", 0, [&] {
+    model->arm(engine.now() + 1.5);
+    engine.sleep_for(10.0);
+  });
+  engine.run();
+  EXPECT_EQ(model->fire_dates, (std::vector<double>{1.5, 3.0, 4.5}));
+  EXPECT_DOUBLE_EQ(engine.now(), 10.0);
+}
+
+TEST(FluidWork, LazyRemainingAccounting) {
+  ss::FluidWork work;
+  work.start(100.0, 0.0);
+  EXPECT_DOUBLE_EQ(work.remaining_at(5.0), 100.0);  // rate 0: nothing moves
+  work.set_rate(10.0, 0.0);
+  EXPECT_DOUBLE_EQ(work.remaining_at(4.0), 60.0);
+  EXPECT_DOUBLE_EQ(work.completion_date(4.0), 10.0);
+  // Rate change folds the progress made so far.
+  work.set_rate(20.0, 4.0);
+  EXPECT_DOUBLE_EQ(work.remaining_at(4.0), 60.0);
+  EXPECT_DOUBLE_EQ(work.completion_date(4.0), 7.0);
+  EXPECT_DOUBLE_EQ(work.remaining_at(7.0), 0.0);
+  EXPECT_DOUBLE_EQ(work.completion_date(7.0), 7.0);
+  // Clamped at zero past completion.
+  EXPECT_DOUBLE_EQ(work.remaining_at(9.0), 0.0);
+}

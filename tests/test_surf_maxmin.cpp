@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "util/check.hpp"
@@ -145,6 +146,76 @@ TEST(MaxMin, SolveIsLazy) {
   EXPECT_DOUBLE_EQ(sys.value(v), 20.0);
 }
 
+TEST(MaxMin, ReleaseKeepsUsageAndDirtyConsistent) {
+  // Regression: a released variable must stop contributing to
+  // constraint_usage() immediately, and the release must leave the system
+  // dirty so its constraints are re-solved (under the incremental path a
+  // missed dirty mark would freeze the survivors at their old shares).
+  sf::MaxMinSystem sys;
+  const int link = sys.new_constraint(100.0);
+  const int f1 = sys.new_variable();
+  const int f2 = sys.new_variable();
+  sys.attach(f1, link);
+  sys.attach(f2, link);
+  sys.solve();
+  EXPECT_DOUBLE_EQ(sys.constraint_usage(link), 100.0);
+  sys.release_variable(f2);
+  EXPECT_TRUE(sys.dirty());
+  EXPECT_DOUBLE_EQ(sys.constraint_usage(link), 50.0);  // f2 gone, f1 not yet re-solved
+  sys.solve();
+  EXPECT_DOUBLE_EQ(sys.constraint_usage(link), 100.0);  // f1 re-expanded
+  EXPECT_DOUBLE_EQ(sys.value(f1), 100.0);
+  EXPECT_FALSE(sys.dirty());
+}
+
+TEST(MaxMin, IncrementalSolveTouchesOnlyAffectedComponents) {
+  // Two disjoint links with two flows each; perturbing one component must
+  // not re-solve the other.
+  sf::MaxMinSystem sys;
+  const int link_a = sys.new_constraint(100.0);
+  const int link_b = sys.new_constraint(60.0);
+  const int a1 = sys.new_variable();
+  const int a2 = sys.new_variable();
+  const int b1 = sys.new_variable();
+  const int b2 = sys.new_variable();
+  sys.attach(a1, link_a);
+  sys.attach(a2, link_a);
+  sys.attach(b1, link_b);
+  sys.attach(b2, link_b);
+  sys.solve();
+  const auto visited_initial = sys.variables_visited();
+
+  sys.set_capacity(link_b, 80.0);
+  sys.solve();
+  // Only b1/b2 re-solved.
+  EXPECT_EQ(sys.variables_visited() - visited_initial, 2u);
+  EXPECT_EQ(sys.last_solved_variables().size(), 2u);
+  EXPECT_DOUBLE_EQ(sys.value(a1), 50.0);
+  EXPECT_DOUBLE_EQ(sys.value(b1), 40.0);
+  EXPECT_DOUBLE_EQ(sys.value(b2), 40.0);
+}
+
+TEST(MaxMin, AttachBridgingTwoComponentsResolvesBoth) {
+  sf::MaxMinSystem sys;
+  const int link_a = sys.new_constraint(100.0);
+  const int link_b = sys.new_constraint(10.0);
+  const int a1 = sys.new_variable();
+  sys.attach(a1, link_a);
+  const int b1 = sys.new_variable();
+  sys.attach(b1, link_b);
+  sys.solve();
+  EXPECT_DOUBLE_EQ(sys.value(a1), 100.0);
+  // A new flow crossing both links merges the components: everyone re-solves.
+  const int bridge = sys.new_variable();
+  sys.attach(bridge, link_a);
+  sys.attach(bridge, link_b);
+  sys.solve();
+  EXPECT_EQ(sys.last_solved_variables().size(), 3u);
+  EXPECT_DOUBLE_EQ(sys.value(bridge), 5.0);   // squeezed on link_b
+  EXPECT_DOUBLE_EQ(sys.value(b1), 5.0);
+  EXPECT_DOUBLE_EQ(sys.value(a1), 95.0);      // gets the rest of link_a
+}
+
 // ---------------------------------------------------------------------------
 // Property tests over randomized systems.
 // ---------------------------------------------------------------------------
@@ -234,3 +305,92 @@ TEST_P(MaxMinPropertyTest, AllocationsAreFeasibleAndMaxMinOptimal) {
 
 INSTANTIATE_TEST_SUITE_P(RandomSystems, MaxMinPropertyTest,
                          ::testing::Range<std::uint64_t>(1, 33));
+
+// ---------------------------------------------------------------------------
+// Equivalence of the incremental and the full-reference solver: a mirrored
+// pair of systems receives an identical randomized interleaving of
+// new/attach/release/set_capacity/set_bound ops, and after every step the
+// incremental allocations must match the from-scratch reference within 1e-9.
+// ---------------------------------------------------------------------------
+
+class MaxMinEquivalenceTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MaxMinEquivalenceTest, IncrementalMatchesFullReferenceOnEveryStep) {
+  smpi::util::Xoshiro256StarStar rng(GetParam() * 7919 + 13);
+  sf::MaxMinSystem inc;
+  sf::MaxMinSystem ref;
+  ASSERT_TRUE(inc.incremental());
+  ref.set_incremental(false);
+
+  constexpr int kConstraints = 12;
+  constexpr int kSteps = 250;
+  std::vector<int> cons_inc, cons_ref;
+  for (int c = 0; c < kConstraints; ++c) {
+    const double capacity = 1.0 + rng.next_double() * 99.0;
+    cons_inc.push_back(inc.new_constraint(capacity));
+    cons_ref.push_back(ref.new_constraint(capacity));
+  }
+
+  struct LiveVar {
+    int in_inc;
+    int in_ref;
+  };
+  std::vector<LiveVar> live;
+
+  for (int step = 0; step < kSteps; ++step) {
+    const double dice = rng.next_double();
+    if (dice < 0.45 || live.empty()) {
+      // New variable attached to 1-3 distinct constraints.
+      const double weight = 0.5 + rng.next_double() * 2.0;
+      const double bound = rng.next_double() < 0.5
+                               ? 1.0 + rng.next_double() * 49.0
+                               : sf::MaxMinSystem::kUnbounded;
+      const int attach_count = 1 + static_cast<int>(rng.next_in_range(0, 2));
+      std::vector<int> chosen;
+      while (static_cast<int>(chosen.size()) < attach_count) {
+        const int c = static_cast<int>(rng.next_in_range(0, kConstraints - 1));
+        if (std::find(chosen.begin(), chosen.end(), c) == chosen.end()) chosen.push_back(c);
+      }
+      LiveVar var{inc.new_variable(weight, bound), ref.new_variable(weight, bound)};
+      for (int c : chosen) {
+        inc.attach(var.in_inc, cons_inc[static_cast<std::size_t>(c)]);
+        ref.attach(var.in_ref, cons_ref[static_cast<std::size_t>(c)]);
+      }
+      live.push_back(var);
+    } else if (dice < 0.70) {
+      const auto idx = static_cast<std::size_t>(rng.next_in_range(0, live.size() - 1));
+      inc.release_variable(live[idx].in_inc);
+      ref.release_variable(live[idx].in_ref);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+    } else if (dice < 0.85) {
+      const auto c = static_cast<std::size_t>(rng.next_in_range(0, kConstraints - 1));
+      const double capacity = 1.0 + rng.next_double() * 99.0;
+      inc.set_capacity(cons_inc[c], capacity);
+      ref.set_capacity(cons_ref[c], capacity);
+    } else {
+      const auto idx = static_cast<std::size_t>(rng.next_in_range(0, live.size() - 1));
+      const double bound = 1.0 + rng.next_double() * 49.0;
+      inc.set_bound(live[idx].in_inc, bound);
+      ref.set_bound(live[idx].in_ref, bound);
+    }
+
+    inc.solve();
+    ref.solve();
+    ASSERT_EQ(inc.active_variable_count(), ref.active_variable_count());
+    for (const auto& var : live) {
+      ASSERT_NEAR(inc.value(var.in_inc), ref.value(var.in_ref), 1e-9)
+          << "step " << step << " diverged";
+    }
+    for (int c = 0; c < kConstraints; ++c) {
+      ASSERT_NEAR(inc.constraint_usage(cons_inc[static_cast<std::size_t>(c)]),
+                  ref.constraint_usage(cons_ref[static_cast<std::size_t>(c)]), 1e-9)
+          << "step " << step << " usage diverged on constraint " << c;
+    }
+  }
+  // The incremental path must have done strictly less filling work than the
+  // reference (which revisits every variable on every solve).
+  EXPECT_LT(inc.variables_visited(), ref.variables_visited());
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInterleavings, MaxMinEquivalenceTest,
+                         ::testing::Range<std::uint64_t>(1, 9));
