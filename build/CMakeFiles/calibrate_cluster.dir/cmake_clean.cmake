@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibrate_cluster.dir/examples/calibrate_cluster.cpp.o"
+  "CMakeFiles/calibrate_cluster.dir/examples/calibrate_cluster.cpp.o.d"
+  "calibrate_cluster"
+  "calibrate_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibrate_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

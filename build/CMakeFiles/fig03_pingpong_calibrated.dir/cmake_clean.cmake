@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_pingpong_calibrated.dir/bench/fig03_pingpong_calibrated.cpp.o"
+  "CMakeFiles/fig03_pingpong_calibrated.dir/bench/fig03_pingpong_calibrated.cpp.o.d"
+  "fig03_pingpong_calibrated"
+  "fig03_pingpong_calibrated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_pingpong_calibrated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

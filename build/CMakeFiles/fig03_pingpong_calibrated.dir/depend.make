@@ -1,0 +1,2 @@
+# Empty dependencies file for fig03_pingpong_calibrated.
+# This may be replaced when dependencies are built.

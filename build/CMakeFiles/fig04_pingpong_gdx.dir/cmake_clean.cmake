@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_pingpong_gdx.dir/bench/fig04_pingpong_gdx.cpp.o"
+  "CMakeFiles/fig04_pingpong_gdx.dir/bench/fig04_pingpong_gdx.cpp.o.d"
+  "fig04_pingpong_gdx"
+  "fig04_pingpong_gdx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_pingpong_gdx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

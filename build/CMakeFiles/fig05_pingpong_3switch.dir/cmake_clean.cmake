@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_pingpong_3switch.dir/bench/fig05_pingpong_3switch.cpp.o"
+  "CMakeFiles/fig05_pingpong_3switch.dir/bench/fig05_pingpong_3switch.cpp.o.d"
+  "fig05_pingpong_3switch"
+  "fig05_pingpong_3switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_pingpong_3switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

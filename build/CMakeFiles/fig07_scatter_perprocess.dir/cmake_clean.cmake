@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_scatter_perprocess.dir/bench/fig07_scatter_perprocess.cpp.o"
+  "CMakeFiles/fig07_scatter_perprocess.dir/bench/fig07_scatter_perprocess.cpp.o.d"
+  "fig07_scatter_perprocess"
+  "fig07_scatter_perprocess.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_scatter_perprocess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

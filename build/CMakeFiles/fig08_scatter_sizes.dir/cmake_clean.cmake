@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_scatter_sizes.dir/bench/fig08_scatter_sizes.cpp.o"
+  "CMakeFiles/fig08_scatter_sizes.dir/bench/fig08_scatter_sizes.cpp.o.d"
+  "fig08_scatter_sizes"
+  "fig08_scatter_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_scatter_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

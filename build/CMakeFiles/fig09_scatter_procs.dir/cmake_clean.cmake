@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_scatter_procs.dir/bench/fig09_scatter_procs.cpp.o"
+  "CMakeFiles/fig09_scatter_procs.dir/bench/fig09_scatter_procs.cpp.o.d"
+  "fig09_scatter_procs"
+  "fig09_scatter_procs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_scatter_procs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

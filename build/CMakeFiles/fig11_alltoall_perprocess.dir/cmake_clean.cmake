@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_alltoall_perprocess.dir/bench/fig11_alltoall_perprocess.cpp.o"
+  "CMakeFiles/fig11_alltoall_perprocess.dir/bench/fig11_alltoall_perprocess.cpp.o.d"
+  "fig11_alltoall_perprocess"
+  "fig11_alltoall_perprocess.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_alltoall_perprocess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

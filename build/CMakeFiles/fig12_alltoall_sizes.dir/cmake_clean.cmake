@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_alltoall_sizes.dir/bench/fig12_alltoall_sizes.cpp.o"
+  "CMakeFiles/fig12_alltoall_sizes.dir/bench/fig12_alltoall_sizes.cpp.o.d"
+  "fig12_alltoall_sizes"
+  "fig12_alltoall_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_alltoall_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_nasdt_time.dir/bench/fig15_nasdt_time.cpp.o"
+  "CMakeFiles/fig15_nasdt_time.dir/bench/fig15_nasdt_time.cpp.o.d"
+  "fig15_nasdt_time"
+  "fig15_nasdt_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_nasdt_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_nasdt_memory.dir/bench/fig16_nasdt_memory.cpp.o"
+  "CMakeFiles/fig16_nasdt_memory.dir/bench/fig16_nasdt_memory.cpp.o.d"
+  "fig16_nasdt_memory"
+  "fig16_nasdt_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_nasdt_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_scatter_speed.dir/bench/fig17_scatter_speed.cpp.o"
+  "CMakeFiles/fig17_scatter_speed.dir/bench/fig17_scatter_speed.cpp.o.d"
+  "fig17_scatter_speed"
+  "fig17_scatter_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_scatter_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_ep_sampling.dir/bench/fig18_ep_sampling.cpp.o"
+  "CMakeFiles/fig18_ep_sampling.dir/bench/fig18_ep_sampling.cpp.o.d"
+  "fig18_ep_sampling"
+  "fig18_ep_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_ep_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nas_dt_demo.dir/examples/nas_dt_demo.cpp.o"
+  "CMakeFiles/nas_dt_demo.dir/examples/nas_dt_demo.cpp.o.d"
+  "nas_dt_demo"
+  "nas_dt_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nas_dt_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalability_ranks.dir/bench/scalability_ranks.cpp.o"
+  "CMakeFiles/scalability_ranks.dir/bench/scalability_ranks.cpp.o.d"
+  "scalability_ranks"
+  "scalability_ranks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalability_ranks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

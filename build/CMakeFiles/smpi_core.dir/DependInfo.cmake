@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/dt.cpp" "CMakeFiles/smpi_core.dir/src/apps/dt.cpp.o" "gcc" "CMakeFiles/smpi_core.dir/src/apps/dt.cpp.o.d"
+  "/root/repo/src/apps/ep.cpp" "CMakeFiles/smpi_core.dir/src/apps/ep.cpp.o" "gcc" "CMakeFiles/smpi_core.dir/src/apps/ep.cpp.o.d"
+  "/root/repo/src/calib/calibration.cpp" "CMakeFiles/smpi_core.dir/src/calib/calibration.cpp.o" "gcc" "CMakeFiles/smpi_core.dir/src/calib/calibration.cpp.o.d"
+  "/root/repo/src/calib/fit.cpp" "CMakeFiles/smpi_core.dir/src/calib/fit.cpp.o" "gcc" "CMakeFiles/smpi_core.dir/src/calib/fit.cpp.o.d"
+  "/root/repo/src/calib/pingpong.cpp" "CMakeFiles/smpi_core.dir/src/calib/pingpong.cpp.o" "gcc" "CMakeFiles/smpi_core.dir/src/calib/pingpong.cpp.o.d"
+  "/root/repo/src/platform/builders.cpp" "CMakeFiles/smpi_core.dir/src/platform/builders.cpp.o" "gcc" "CMakeFiles/smpi_core.dir/src/platform/builders.cpp.o.d"
+  "/root/repo/src/platform/platform.cpp" "CMakeFiles/smpi_core.dir/src/platform/platform.cpp.o" "gcc" "CMakeFiles/smpi_core.dir/src/platform/platform.cpp.o.d"
+  "/root/repo/src/platform/platform_xml.cpp" "CMakeFiles/smpi_core.dir/src/platform/platform_xml.cpp.o" "gcc" "CMakeFiles/smpi_core.dir/src/platform/platform_xml.cpp.o.d"
+  "/root/repo/src/platform/xml.cpp" "CMakeFiles/smpi_core.dir/src/platform/xml.cpp.o" "gcc" "CMakeFiles/smpi_core.dir/src/platform/xml.cpp.o.d"
+  "/root/repo/src/pnet/packetnet.cpp" "CMakeFiles/smpi_core.dir/src/pnet/packetnet.cpp.o" "gcc" "CMakeFiles/smpi_core.dir/src/pnet/packetnet.cpp.o.d"
+  "/root/repo/src/sim/calendar.cpp" "CMakeFiles/smpi_core.dir/src/sim/calendar.cpp.o" "gcc" "CMakeFiles/smpi_core.dir/src/sim/calendar.cpp.o.d"
+  "/root/repo/src/sim/context.cpp" "CMakeFiles/smpi_core.dir/src/sim/context.cpp.o" "gcc" "CMakeFiles/smpi_core.dir/src/sim/context.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "CMakeFiles/smpi_core.dir/src/sim/engine.cpp.o" "gcc" "CMakeFiles/smpi_core.dir/src/sim/engine.cpp.o.d"
+  "/root/repo/src/smpi/coll.cpp" "CMakeFiles/smpi_core.dir/src/smpi/coll.cpp.o" "gcc" "CMakeFiles/smpi_core.dir/src/smpi/coll.cpp.o.d"
+  "/root/repo/src/smpi/comm.cpp" "CMakeFiles/smpi_core.dir/src/smpi/comm.cpp.o" "gcc" "CMakeFiles/smpi_core.dir/src/smpi/comm.cpp.o.d"
+  "/root/repo/src/smpi/datatype.cpp" "CMakeFiles/smpi_core.dir/src/smpi/datatype.cpp.o" "gcc" "CMakeFiles/smpi_core.dir/src/smpi/datatype.cpp.o.d"
+  "/root/repo/src/smpi/op.cpp" "CMakeFiles/smpi_core.dir/src/smpi/op.cpp.o" "gcc" "CMakeFiles/smpi_core.dir/src/smpi/op.cpp.o.d"
+  "/root/repo/src/smpi/p2p.cpp" "CMakeFiles/smpi_core.dir/src/smpi/p2p.cpp.o" "gcc" "CMakeFiles/smpi_core.dir/src/smpi/p2p.cpp.o.d"
+  "/root/repo/src/smpi/sample.cpp" "CMakeFiles/smpi_core.dir/src/smpi/sample.cpp.o" "gcc" "CMakeFiles/smpi_core.dir/src/smpi/sample.cpp.o.d"
+  "/root/repo/src/smpi/shared.cpp" "CMakeFiles/smpi_core.dir/src/smpi/shared.cpp.o" "gcc" "CMakeFiles/smpi_core.dir/src/smpi/shared.cpp.o.d"
+  "/root/repo/src/smpi/world.cpp" "CMakeFiles/smpi_core.dir/src/smpi/world.cpp.o" "gcc" "CMakeFiles/smpi_core.dir/src/smpi/world.cpp.o.d"
+  "/root/repo/src/surf/cpu.cpp" "CMakeFiles/smpi_core.dir/src/surf/cpu.cpp.o" "gcc" "CMakeFiles/smpi_core.dir/src/surf/cpu.cpp.o.d"
+  "/root/repo/src/surf/maxmin.cpp" "CMakeFiles/smpi_core.dir/src/surf/maxmin.cpp.o" "gcc" "CMakeFiles/smpi_core.dir/src/surf/maxmin.cpp.o.d"
+  "/root/repo/src/surf/network.cpp" "CMakeFiles/smpi_core.dir/src/surf/network.cpp.o" "gcc" "CMakeFiles/smpi_core.dir/src/surf/network.cpp.o.d"
+  "/root/repo/src/surf/piecewise.cpp" "CMakeFiles/smpi_core.dir/src/surf/piecewise.cpp.o" "gcc" "CMakeFiles/smpi_core.dir/src/surf/piecewise.cpp.o.d"
+  "/root/repo/src/util/check.cpp" "CMakeFiles/smpi_core.dir/src/util/check.cpp.o" "gcc" "CMakeFiles/smpi_core.dir/src/util/check.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "CMakeFiles/smpi_core.dir/src/util/log.cpp.o" "gcc" "CMakeFiles/smpi_core.dir/src/util/log.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "CMakeFiles/smpi_core.dir/src/util/rng.cpp.o" "gcc" "CMakeFiles/smpi_core.dir/src/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "CMakeFiles/smpi_core.dir/src/util/stats.cpp.o" "gcc" "CMakeFiles/smpi_core.dir/src/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "CMakeFiles/smpi_core.dir/src/util/table.cpp.o" "gcc" "CMakeFiles/smpi_core.dir/src/util/table.cpp.o.d"
+  "/root/repo/src/util/units.cpp" "CMakeFiles/smpi_core.dir/src/util/units.cpp.o" "gcc" "CMakeFiles/smpi_core.dir/src/util/units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smpirun.dir/tools/smpirun.cpp.o"
+  "CMakeFiles/smpirun.dir/tools/smpirun.cpp.o.d"
+  "smpirun"
+  "smpirun.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smpirun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for smpirun.
+# This may be replaced when dependencies are built.

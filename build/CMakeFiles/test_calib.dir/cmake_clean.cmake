@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_calib.dir/tests/test_calib.cpp.o"
+  "CMakeFiles/test_calib.dir/tests/test_calib.cpp.o.d"
+  "test_calib"
+  "test_calib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_calib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

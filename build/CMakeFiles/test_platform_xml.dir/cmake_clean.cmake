@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_platform_xml.dir/tests/test_platform_xml.cpp.o"
+  "CMakeFiles/test_platform_xml.dir/tests/test_platform_xml.cpp.o.d"
+  "test_platform_xml"
+  "test_platform_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_platform_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

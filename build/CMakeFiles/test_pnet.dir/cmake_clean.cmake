@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pnet.dir/tests/test_pnet.cpp.o"
+  "CMakeFiles/test_pnet.dir/tests/test_pnet.cpp.o.d"
+  "test_pnet"
+  "test_pnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_calendar.dir/tests/test_sim_calendar.cpp.o"
+  "CMakeFiles/test_sim_calendar.dir/tests/test_sim_calendar.cpp.o.d"
+  "test_sim_calendar"
+  "test_sim_calendar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_calendar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

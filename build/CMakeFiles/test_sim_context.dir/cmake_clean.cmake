@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_context.dir/tests/test_sim_context.cpp.o"
+  "CMakeFiles/test_sim_context.dir/tests/test_sim_context.cpp.o.d"
+  "test_sim_context"
+  "test_sim_context.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_context.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_smpi_coll.dir/tests/test_smpi_coll.cpp.o"
+  "CMakeFiles/test_smpi_coll.dir/tests/test_smpi_coll.cpp.o.d"
+  "test_smpi_coll"
+  "test_smpi_coll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_smpi_coll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

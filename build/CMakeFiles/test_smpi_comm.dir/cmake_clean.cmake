@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_smpi_comm.dir/tests/test_smpi_comm.cpp.o"
+  "CMakeFiles/test_smpi_comm.dir/tests/test_smpi_comm.cpp.o.d"
+  "test_smpi_comm"
+  "test_smpi_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_smpi_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

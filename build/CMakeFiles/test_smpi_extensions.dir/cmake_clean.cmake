@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_smpi_extensions.dir/tests/test_smpi_extensions.cpp.o"
+  "CMakeFiles/test_smpi_extensions.dir/tests/test_smpi_extensions.cpp.o.d"
+  "test_smpi_extensions"
+  "test_smpi_extensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_smpi_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_smpi_world.dir/tests/test_smpi_world.cpp.o"
+  "CMakeFiles/test_smpi_world.dir/tests/test_smpi_world.cpp.o.d"
+  "test_smpi_world"
+  "test_smpi_world.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_smpi_world.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_surf_cpu.dir/tests/test_surf_cpu.cpp.o"
+  "CMakeFiles/test_surf_cpu.dir/tests/test_surf_cpu.cpp.o.d"
+  "test_surf_cpu"
+  "test_surf_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_surf_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

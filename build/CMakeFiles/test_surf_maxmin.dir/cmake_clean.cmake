@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_surf_maxmin.dir/tests/test_surf_maxmin.cpp.o"
+  "CMakeFiles/test_surf_maxmin.dir/tests/test_surf_maxmin.cpp.o.d"
+  "test_surf_maxmin"
+  "test_surf_maxmin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_surf_maxmin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

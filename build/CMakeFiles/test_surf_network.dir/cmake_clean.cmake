@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_surf_network.dir/tests/test_surf_network.cpp.o"
+  "CMakeFiles/test_surf_network.dir/tests/test_surf_network.cpp.o.d"
+  "test_surf_network"
+  "test_surf_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_surf_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_units.dir/tests/test_util_units.cpp.o"
+  "CMakeFiles/test_util_units.dir/tests/test_util_units.cpp.o.d"
+  "test_util_units"
+  "test_util_units.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

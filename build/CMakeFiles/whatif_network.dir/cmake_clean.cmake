@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whatif_network.dir/examples/whatif_network.cpp.o"
+  "CMakeFiles/whatif_network.dir/examples/whatif_network.cpp.o.d"
+  "whatif_network"
+  "whatif_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whatif_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
