@@ -36,6 +36,7 @@ void BM_ContextSwitch(benchmark::State& state, const char* backend) {
   ctx->resume();
   state.SetItemsProcessed(state.iterations() * 2);
 }
+BENCHMARK_CAPTURE(BM_ContextSwitch, raw, "raw");
 BENCHMARK_CAPTURE(BM_ContextSwitch, ucontext, "ucontext");
 BENCHMARK_CAPTURE(BM_ContextSwitch, thread, "thread");
 
@@ -69,12 +70,17 @@ void BM_MaxMinSolve(benchmark::State& state) {
 BENCHMARK(BM_MaxMinSolve)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
 
 // The engine hot path under MPI traffic: one flow finishes, another starts,
-// the solver re-solves. Links are modeled as per-node up/down pairs (a flat
-// cluster), so disjoint node pairs form disjoint solver components — the
-// workload where the incremental path's component-local re-solve pays off.
+// the solver re-solves. Links are modeled as per-node up/down pairs plus a
+// generously-provisioned shared backbone every flow crosses — the
+// cluster-with-a-switch-fabric shape real platforms have. The backbone
+// welds the whole system into ONE connected component, so the
+// component-incremental path re-solves everything on every churn while the
+// lazy modified-set path stops at the unsaturated backbone and re-solves
+// only the flows whose allocation can actually move.
 struct ChurnWorkload {
-  explicit ChurnWorkload(int flows, bool incremental) : rng(42), nodes(flows) {
-    sys.set_incremental(incremental);
+  explicit ChurnWorkload(int flows, smpi::surf::SolveMode mode) : rng(42), nodes(flows) {
+    sys.set_mode(mode);
+    backbone = sys.new_constraint(static_cast<double>(flows) * 2e8);
     for (int n = 0; n < 2 * nodes; ++n) links.push_back(sys.new_constraint(1e8));
     for (int f = 0; f < flows; ++f) active.push_back(make_flow());
     sys.solve();
@@ -89,6 +95,7 @@ struct ChurnWorkload {
     const int v = sys.new_variable(1.0, 1.25e8);
     sys.attach(v, links[static_cast<std::size_t>(2 * src)]);      // src uplink
     sys.attach(v, links[static_cast<std::size_t>(2 * dst + 1)]);  // dst downlink
+    sys.attach(v, backbone);                                      // shared fabric
     return v;
   }
 
@@ -102,20 +109,25 @@ struct ChurnWorkload {
   smpi::util::Xoshiro256StarStar rng;
   int nodes;
   smpi::surf::MaxMinSystem sys;
+  int backbone = -1;
   std::vector<int> links;
   std::vector<int> active;
 };
 
-void BM_MaxMinChurn(benchmark::State& state, bool incremental) {
-  ChurnWorkload workload(static_cast<int>(state.range(0)), incremental);
+void BM_MaxMinChurn(benchmark::State& state, smpi::surf::SolveMode mode) {
+  ChurnWorkload workload(static_cast<int>(state.range(0)), mode);
   for (auto _ : state) {
     workload.churn();
     benchmark::DoNotOptimize(workload.sys.value(workload.active[0]));
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK_CAPTURE(BM_MaxMinChurn, incremental, true)->Arg(16)->Arg(128)->Arg(1024);
-BENCHMARK_CAPTURE(BM_MaxMinChurn, full, false)->Arg(16)->Arg(128)->Arg(1024);
+BENCHMARK_CAPTURE(BM_MaxMinChurn, lazy, smpi::surf::SolveMode::kLazy)
+    ->Arg(16)->Arg(128)->Arg(1024);
+BENCHMARK_CAPTURE(BM_MaxMinChurn, incremental, smpi::surf::SolveMode::kComponent)
+    ->Arg(16)->Arg(128)->Arg(1024);
+BENCHMARK_CAPTURE(BM_MaxMinChurn, full, smpi::surf::SolveMode::kFull)
+    ->Arg(16)->Arg(128)->Arg(1024);
 
 void BM_EngineTimerChurn(benchmark::State& state) {
   for (auto _ : state) {
@@ -161,12 +173,21 @@ void BM_XmlParsePlatform(benchmark::State& state) {
 BENCHMARK(BM_XmlParsePlatform);
 
 // Perf-trajectory artifact: ns per churn op (flow departure + arrival +
-// re-solve) for both solver paths, across concurrent flow counts.
+// re-solve) for all three solver paths, across concurrent flow counts.
 void write_solver_trajectory() {
+  struct Series {
+    const char* name;
+    smpi::surf::SolveMode mode;
+  };
+  const Series series[] = {
+      {"solver_churn_lazy", smpi::surf::SolveMode::kLazy},
+      {"solver_churn_incremental", smpi::surf::SolveMode::kComponent},
+      {"solver_churn_full", smpi::surf::SolveMode::kFull},
+  };
   bench::JsonWriter writer("BENCH_solver.json");
   for (const int flows : {16, 64, 128, 256, 512, 1024}) {
-    for (const bool incremental : {true, false}) {
-      ChurnWorkload workload(flows, incremental);
+    for (const auto& s : series) {
+      ChurnWorkload workload(flows, s.mode);
       const int warmup = 32;
       for (int i = 0; i < warmup; ++i) workload.churn();
       const int iterations = 256;
@@ -175,8 +196,7 @@ void write_solver_trajectory() {
       const auto elapsed = std::chrono::steady_clock::now() - start;
       const double ns_per_op =
           std::chrono::duration<double, std::nano>(elapsed).count() / iterations;
-      writer.add(incremental ? "solver_churn_incremental" : "solver_churn_full", flows,
-                 ns_per_op);
+      writer.add(s.name, flows, ns_per_op);
     }
   }
   writer.save();

@@ -10,44 +10,100 @@ EventCalendar& Model::calendar() const {
   return *calendar_;
 }
 
-EventCalendar::Handle EventCalendar::schedule(double date, Model* owner, std::uint64_t tag) {
-  SMPI_REQUIRE(owner != nullptr, "calendar entry without an owner");
-  SMPI_REQUIRE(date >= 0 && date < kNever, "calendar entry needs a finite date");
-  const Handle handle = next_handle_++;
-  heap_.push(Entry{date, handle, owner, tag});
-  pending_.insert(handle);
-  return handle;
+void EventCalendar::place(std::size_t i, const Entry& entry) {
+  heap_[i] = entry;
+  slot_[entry.handle] = i;
 }
 
-void EventCalendar::cancel(Handle handle) {
-  // Tombstone only handles still in the heap: cancelling an entry that
-  // already fired (or was never scheduled) must stay a true no-op.
-  if (handle == kNoEvent || pending_.find(handle) == pending_.end()) return;
-  cancelled_.insert(handle);
+void EventCalendar::sift_up(std::size_t i) {
+  const Entry entry = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!before(entry, heap_[parent])) break;
+    place(i, heap_[parent]);
+    i = parent;
+  }
+  place(i, entry);
 }
 
-void EventCalendar::prune() {
-  while (!heap_.empty()) {
-    auto it = cancelled_.find(heap_.top().handle);
-    if (it == cancelled_.end()) return;
-    cancelled_.erase(it);
-    pending_.erase(heap_.top().handle);
-    heap_.pop();
+void EventCalendar::sift_down(std::size_t i) {
+  const Entry entry = heap_[i];
+  const std::size_t n = heap_.size();
+  while (true) {
+    std::size_t child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && before(heap_[child + 1], heap_[child])) ++child;
+    if (!before(heap_[child], entry)) break;
+    place(i, heap_[child]);
+    i = child;
+  }
+  place(i, entry);
+}
+
+void EventCalendar::remove_at(std::size_t i) {
+  slot_.erase(heap_[i].handle);
+  const std::size_t last = heap_.size() - 1;
+  if (i != last) {
+    const Entry moved = heap_[last];
+    heap_.pop_back();
+    place(i, moved);
+    // The moved entry may need to travel either way.
+    sift_up(i);
+    sift_down(slot_[moved.handle]);
+  } else {
+    heap_.pop_back();
   }
 }
 
-double EventCalendar::next_date() {
-  prune();
-  return heap_.empty() ? kNever : heap_.top().date;
+EventCalendar::Handle EventCalendar::schedule(double date, Model* owner, std::uint64_t tag) {
+  SMPI_REQUIRE(owner != nullptr, "calendar entry without an owner");
+  SMPI_REQUIRE(date >= 0 && date < kNever, "calendar entry needs a finite date");
+  const Handle handle = (*sequence_)++;
+  heap_.push_back(Entry{date, handle, owner, tag});
+  sift_up(heap_.size() - 1);  // its final place() records the slot
+  return handle;
+}
+
+bool EventCalendar::update(Handle handle, double date) {
+  SMPI_REQUIRE(date >= 0 && date < kNever, "calendar entry needs a finite date");
+  auto it = slot_.find(handle);
+  if (it == slot_.end()) return false;
+  const std::size_t i = it->second;
+  const double old_date = heap_[i].date;
+  if (date == old_date) return true;
+  heap_[i].date = date;
+  if (date < old_date) {
+    sift_up(i);
+  } else {
+    sift_down(i);
+  }
+  return true;
+}
+
+void EventCalendar::cancel(Handle handle) {
+  // Cancelling an entry that already fired (or was never scheduled) must
+  // stay a true no-op.
+  auto it = slot_.find(handle);
+  if (handle == kNoEvent || it == slot_.end()) return;
+  remove_at(it->second);
+}
+
+double EventCalendar::next_date() const {
+  return heap_.empty() ? kNever : heap_.front().date;
+}
+
+bool EventCalendar::peek(double* date, Handle* order) const {
+  if (heap_.empty()) return false;
+  *date = heap_.front().date;
+  *order = heap_.front().handle;
+  return true;
 }
 
 bool EventCalendar::pop_due(double now, Fired* out) {
-  prune();
-  if (heap_.empty() || heap_.top().date > now) return false;
-  out->owner = heap_.top().owner;
-  out->tag = heap_.top().tag;
-  pending_.erase(heap_.top().handle);
-  heap_.pop();
+  if (heap_.empty() || heap_.front().date > now) return false;
+  out->owner = heap_.front().owner;
+  out->tag = heap_.front().tag;
+  remove_at(0);
   return true;
 }
 

@@ -2,15 +2,25 @@
 //
 // Instead of the engine polling every registered model for its next event on
 // every step (O(models x activities) per step), models push (date, tag)
-// entries into this binary heap whenever an allocation changes, and the
-// engine pops only the earliest due entry. Entries are cancelled lazily: a
-// cancelled handle stays in the heap and is skipped when it surfaces, which
-// keeps cancel() O(1) amortized.
+// entries into this heap whenever an allocation changes, and the engine pops
+// only the earliest due entry.
+//
+// The heap is an *indexed* binary heap: a side table maps each live handle
+// to its heap slot, so a rate change moves an action's completion entry in
+// place (update(), one O(log n) sift) instead of tombstoning the old entry
+// and pushing a fresh one. Under heavy reschedule churn — a 1024-flow
+// collective re-solving on every completion — the tombstone scheme let
+// dead entries pile up and every pop paid for skipping them; the indexed
+// heap keeps exactly one entry per action, forever.
+//
+// Entries order by (date, handle); handles are creation-ordered, so ties
+// fire deterministically. The engine shares its sequence counter with the
+// calendar (see Engine) so calendar entries and plain timers interleave in
+// strict global (date, creation) order.
 #pragma once
 
 #include <cstdint>
-#include <queue>
-#include <unordered_set>
+#include <unordered_map>
 #include <vector>
 
 namespace smpi::sim {
@@ -27,20 +37,36 @@ class EventCalendar {
     std::uint64_t tag = 0;
   };
 
+  EventCalendar() = default;
+  // Draw handles from an external counter (the engine's, shared with its
+  // timer queue) so creation order is comparable across both heaps.
+  explicit EventCalendar(std::uint64_t* sequence) : sequence_(sequence) {}
+  // sequence_ may point at own_sequence_: copying/moving would alias the
+  // source's counter (and dangle once it dies).
+  EventCalendar(const EventCalendar&) = delete;
+  EventCalendar& operator=(const EventCalendar&) = delete;
+
   // Registers an event at `date`. `tag` is an opaque payload the owner uses
   // to find the affected activity (flow id, execution id, ...).
   Handle schedule(double date, Model* owner, std::uint64_t tag);
-  // Invalidates a previously scheduled entry. Safe on kNoEvent and on
-  // handles that already fired (no-op).
+  // Moves a live entry to a new date in place (the action-heap decrease/
+  // increase-key). Returns false when the handle is not live (already fired
+  // or cancelled) — the caller schedules a fresh entry instead.
+  bool update(Handle handle, double date);
+  // Removes a previously scheduled entry from the heap. Safe on kNoEvent and
+  // on handles that already fired (no-op).
   void cancel(Handle handle);
 
   // Date of the earliest live entry, or sim::kNever when none.
-  double next_date();
-  // Pops the earliest live entry with date <= now into *out. Returns false
-  // when no entry is due.
+  double next_date() const;
+  // Earliest entry's (date, creation order) without popping. Returns false
+  // when the calendar is empty.
+  bool peek(double* date, Handle* order) const;
+  // Pops the earliest entry with date <= now into *out. Returns false when
+  // no entry is due.
   bool pop_due(double now, Fired* out);
 
-  std::size_t live_entry_count() const { return pending_.size() - cancelled_.size(); }
+  std::size_t live_entry_count() const { return heap_.size(); }
 
  private:
   struct Entry {
@@ -48,18 +74,22 @@ class EventCalendar {
     Handle handle;  // creation order; also the deterministic tie-breaker
     Model* owner;
     std::uint64_t tag;
-    bool operator>(const Entry& other) const {
-      return date != other.date ? date > other.date : handle > other.handle;
-    }
   };
 
-  // Drop cancelled entries sitting on top of the heap.
-  void prune();
+  static bool before(const Entry& a, const Entry& b) {
+    return a.date != b.date ? a.date < b.date : a.handle < b.handle;
+  }
+  // Writes `entry` into slot i and records its position.
+  void place(std::size_t i, const Entry& entry);
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  // Removes the entry at slot i, restoring the heap property.
+  void remove_at(std::size_t i);
 
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-  std::unordered_set<Handle> pending_;    // handles still in the heap
-  std::unordered_set<Handle> cancelled_;  // tombstones; always a subset of pending_
-  Handle next_handle_ = 1;
+  std::vector<Entry> heap_;
+  std::unordered_map<Handle, std::size_t> slot_;  // live handle -> heap index
+  std::uint64_t own_sequence_ = 1;                // 0 is kNoEvent
+  std::uint64_t* sequence_ = &own_sequence_;
 };
 
 }  // namespace smpi::sim

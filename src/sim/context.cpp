@@ -3,12 +3,67 @@
 #include <ucontext.h>
 
 #include <condition_variable>
+#include <cstdint>
 #include <cstdlib>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "util/check.hpp"
+
+// ---------------------------------------------------------------------------
+// raw backend (x86-64 Linux): hand-rolled stack switch.
+//
+// glibc's swapcontext makes a sigprocmask *syscall* on every switch to
+// save/restore the signal mask the simulation never touches. At two context
+// switches per simulated block/wake, a 1024-rank collective spends half its
+// wall-clock inside that syscall. The raw switch saves exactly the
+// callee-saved registers the SysV ABI requires and swaps %rsp — ~20 ns
+// instead of ~450 ns, no kernel involvement (SimGrid ships the same idea as
+// its "raw" context factory).
+// ---------------------------------------------------------------------------
+#if defined(__x86_64__) && defined(__linux__)
+#define SMPI_HAVE_RAW_CONTEXT 1
+
+extern "C" {
+// Pushes the callee-saved frame on the current stack, stores %rsp to
+// *save_sp, installs restore_sp and pops the frame there.
+void smpi_raw_swap(void** save_sp, void* restore_sp);
+// First-activation shim: the primed frame "returns" here with the context
+// pointer in %r12; moves it into %rdi and calls the C++ trampoline.
+void smpi_raw_boot();
+void smpi_raw_trampoline(void* context);
+}
+
+asm(".text\n"
+    ".globl smpi_raw_swap\n"
+    ".hidden smpi_raw_swap\n"
+    ".type smpi_raw_swap,@function\n"
+    "smpi_raw_swap:\n"
+    "  pushq %rbp\n"
+    "  pushq %rbx\n"
+    "  pushq %r12\n"
+    "  pushq %r13\n"
+    "  pushq %r14\n"
+    "  pushq %r15\n"
+    "  movq %rsp, (%rdi)\n"
+    "  movq %rsi, %rsp\n"
+    "  popq %r15\n"
+    "  popq %r14\n"
+    "  popq %r13\n"
+    "  popq %r12\n"
+    "  popq %rbx\n"
+    "  popq %rbp\n"
+    "  retq\n"
+    ".size smpi_raw_swap,.-smpi_raw_swap\n"
+    ".globl smpi_raw_boot\n"
+    ".hidden smpi_raw_boot\n"
+    ".type smpi_raw_boot,@function\n"
+    "smpi_raw_boot:\n"
+    "  movq %r12, %rdi\n"
+    "  callq smpi_raw_trampoline\n"
+    ".size smpi_raw_boot,.-smpi_raw_boot\n");
+#endif  // __x86_64__ && __linux__
 
 namespace smpi::sim {
 namespace {
@@ -85,6 +140,86 @@ class UcontextFactory final : public ContextFactory {
   std::size_t stack_bytes_;
 };
 
+#if SMPI_HAVE_RAW_CONTEXT
+
+class RawContext final : public Context {
+ public:
+  RawContext(std::function<void()> body, std::size_t stack_bytes)
+      : body_(std::move(body)), stack_(stack_bytes < kMinStack ? kMinStack : stack_bytes) {
+    // Prime the stack so the first swap-in pops the callee-saved frame and
+    // "returns" into smpi_raw_boot with %r12 = this. Stack top is 16-byte
+    // aligned, so inside smpi_raw_boot %rsp % 16 == 0 and the ABI alignment
+    // at the trampoline call is correct.
+    auto top = reinterpret_cast<std::uintptr_t>(stack_.data() + stack_.size());
+    top &= ~static_cast<std::uintptr_t>(0xf);
+    auto* slots = reinterpret_cast<void**>(top);
+    slots[-1] = reinterpret_cast<void*>(&smpi_raw_boot);  // ret target
+    slots[-2] = nullptr;                                  // rbp
+    slots[-3] = nullptr;                                  // rbx
+    slots[-4] = this;                                     // r12
+    slots[-5] = nullptr;                                  // r13
+    slots[-6] = nullptr;                                  // r14
+    slots[-7] = nullptr;                                  // r15
+    sp_ = static_cast<void*>(&slots[-7]);
+  }
+
+  ~RawContext() override {
+    if (!done_ && started_) {
+      // Let the context unwind its stack (runs destructors of locals).
+      request_kill();
+      resume();
+    }
+  }
+
+  void resume() override {
+    SMPI_ENSURE(!done_, "resuming a finished context");
+    started_ = true;
+    smpi_raw_swap(&kernel_sp_, sp_);
+  }
+
+  void suspend() override {
+    smpi_raw_swap(&sp_, kernel_sp_);
+    if (kill_requested_) throw ForcedExit{};
+  }
+
+  // First activation (via smpi_raw_boot); runs on the fiber stack.
+  void boot_entry() {
+    if (!kill_requested_) {
+      try {
+        body_();
+      } catch (const ForcedExit&) {
+        // normal teardown path
+      }
+    }
+    done_ = true;
+    smpi_raw_swap(&sp_, kernel_sp_);
+    SMPI_UNREACHABLE("resumed a terminated context");
+  }
+
+ private:
+  static constexpr std::size_t kMinStack = 16 * 1024;
+
+  std::function<void()> body_;
+  std::vector<unsigned char> stack_;
+  void* sp_ = nullptr;         // fiber stack pointer while suspended
+  void* kernel_sp_ = nullptr;  // kernel stack pointer while the fiber runs
+  bool started_ = false;
+};
+
+class RawFactory final : public ContextFactory {
+ public:
+  explicit RawFactory(std::size_t stack_bytes) : stack_bytes_(stack_bytes) {}
+  std::unique_ptr<Context> create(std::function<void()> body) override {
+    return std::make_unique<RawContext>(std::move(body), stack_bytes_);
+  }
+  std::string name() const override { return "raw"; }
+
+ private:
+  std::size_t stack_bytes_;
+};
+
+#endif  // SMPI_HAVE_RAW_CONTEXT
+
 // ---------------------------------------------------------------------------
 // thread backend: one OS thread per context, but strictly one runs at a time
 // (ping-pong handoff through a mutex + condition variable).
@@ -158,13 +293,31 @@ class ThreadFactory final : public ContextFactory {
 
 }  // namespace
 
+#if SMPI_HAVE_RAW_CONTEXT
+// Reached once per context via smpi_raw_boot; C linkage so the asm shim can
+// name it.
+extern "C" void smpi_raw_trampoline(void* context) {
+  static_cast<RawContext*>(context)->boot_entry();
+}
+#endif
+
 std::unique_ptr<ContextFactory> ContextFactory::make(const std::string& backend,
                                                      std::size_t stack_bytes) {
   std::string choice = backend;
   if (choice.empty()) {
     const char* env = std::getenv("SMPI_CONTEXT_BACKEND");
+#if SMPI_HAVE_RAW_CONTEXT
+    choice = (env != nullptr) ? env : "raw";
+#else
     choice = (env != nullptr) ? env : "ucontext";
+#endif
   }
+#if SMPI_HAVE_RAW_CONTEXT
+  if (choice == "raw") return std::make_unique<RawFactory>(stack_bytes);
+#else
+  // Portable fallback when the hand-rolled switch is unavailable.
+  if (choice == "raw") return std::make_unique<UcontextFactory>(stack_bytes);
+#endif
   if (choice == "ucontext") return std::make_unique<UcontextFactory>(stack_bytes);
   if (choice == "thread") return std::make_unique<ThreadFactory>();
   SMPI_REQUIRE(false, "unknown context backend '" + choice + "'");

@@ -97,6 +97,7 @@ Actor* Engine::spawn(std::string name, int node, std::function<void()> body) {
   });
   runnable_.push_back(raw);
   actors_.push_back(std::move(actor));
+  ++live_actors_;
   return raw;
 }
 
@@ -122,18 +123,19 @@ void Engine::drain_settles() {
   settle_queue_.clear();
 }
 
-std::size_t Engine::live_actor_count() const {
-  return static_cast<std::size_t>(
-      std::count_if(actors_.begin(), actors_.end(), [](const auto& a) { return a->alive(); }));
-}
-
 void Engine::run_actor(Actor* actor) {
   if (!actor->alive()) return;
   current_ = actor;
   actor->state_ = Actor::State::kRunning;
   actor->context_->resume();
   current_ = nullptr;
-  if (actor->context_->done()) actor->state_ = Actor::State::kDead;
+  // Actors only die inside their own resume (the body returning), so this is
+  // the single place the live count can drop.
+  if (actor->state_ == Actor::State::kDead || actor->context_->done()) {
+    actor->state_ = Actor::State::kDead;
+    SMPI_ENSURE(live_actors_ > 0, "live actor count underflow");
+    --live_actors_;
+  }
 }
 
 void Engine::run() {
@@ -174,16 +176,30 @@ bool Engine::advance_time() {
   if (!std::isfinite(next)) return false;
   SMPI_ENSURE(next >= now_, "time went backwards");
   now_ = next;
-  // Dispatch everything due at the new date, in (date, creation order).
-  // Handling an entry may push new due entries (e.g. a completion re-solve
-  // that drops another activity's remaining work to zero) — the loops pick
-  // those up within the same step.
-  EventCalendar::Fired fired;
-  while (calendar_.pop_due(now_, &fired)) fired.owner->on_calendar_event(now_, fired.tag);
-  while (!timers_.empty() && timers_.top().date <= now_) {
-    auto callback = timers_.top().callback;
-    timers_.pop();
-    callback();
+  // Dispatch everything due at the new date as one merged stream in strict
+  // global (date, creation) order — calendar handles and timer seqs come
+  // from the same counter, so the comparison is exact. Handling an entry
+  // may push new due entries (e.g. a completion re-solve that drops another
+  // activity's remaining work to zero); re-peeking each round picks those
+  // up within the same step.
+  while (true) {
+    double cal_date = 0;
+    EventCalendar::Handle cal_order = 0;
+    const bool cal_due = calendar_.peek(&cal_date, &cal_order) && cal_date <= now_;
+    const bool timer_due = !timers_.empty() && timers_.top().date <= now_;
+    if (cal_due &&
+        (!timer_due || cal_date < timers_.top().date ||
+         (cal_date == timers_.top().date && cal_order < timers_.top().seq))) {
+      EventCalendar::Fired fired;
+      calendar_.pop_due(now_, &fired);
+      fired.owner->on_calendar_event(now_, fired.tag);
+    } else if (timer_due) {
+      auto callback = timers_.top().callback;
+      timers_.pop();
+      callback();
+    } else {
+      break;
+    }
   }
   return true;
 }
@@ -222,7 +238,8 @@ void Engine::yield() {
 
 void Engine::add_timer(double date, std::function<void()> callback) {
   SMPI_REQUIRE(date >= now_, "timer in the past");
-  timers_.push(Timer{date, timer_seq_++, std::move(callback)});
+  timers_.push(Timer{date, event_seq_++, std::move(callback)});
+  ++timers_created_;
 }
 
 void Engine::wake(Actor* actor) {

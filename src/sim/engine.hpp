@@ -6,7 +6,10 @@
 //   (1) running every runnable actor (in pid order — fully deterministic)
 //       until each blocks on an activity, and
 //   (2) advancing virtual time to the earliest calendar/timer entry and
-//       dispatching whatever fires there.
+//       dispatching whatever fires there; calendar entries and timers due
+//       at the same date drain as one merged stream in strict global
+//       (date, creation) order — both heaps draw creation numbers from one
+//       shared sequence.
 // Models are never polled: a model only runs when one of its own calendar
 // entries comes due. Exactly one actor executes at any instant, which is
 // what makes running hundreds of MPI processes inside one OS process safe.
@@ -79,12 +82,19 @@ class Engine {
   // The engine currently executing (set for the duration of run()).
   static Engine* current();
 
-  std::size_t live_actor_count() const;
+  // O(1): maintained incrementally — the main loop consults it after every
+  // scheduling round, so a scan over all actors would be quadratic at 1024
+  // ranks.
+  std::size_t live_actor_count() const { return live_actors_; }
   const std::vector<std::unique_ptr<Actor>>& actors() const { return actors_; }
 
   // Determinism probe: FNV-1a hash over the recorded (time, label) trace.
   void trace(const std::string& label);
   std::uint64_t trace_hash() const;
+
+  // Diagnostics: total timers ever created (the poll-subscription path in
+  // the MPI layer asserts it stays sub-linear in simulated polls).
+  std::uint64_t timers_created() const { return timers_created_; }
 
  private:
   void run_actor(Actor* actor);
@@ -108,12 +118,17 @@ class Engine {
   double now_ = 0;
   std::vector<std::unique_ptr<Actor>> actors_;
   std::deque<Actor*> runnable_;
+  std::size_t live_actors_ = 0;
   Actor* current_ = nullptr;
   std::vector<std::shared_ptr<Model>> models_;
-  EventCalendar calendar_;
+  // One sequence for calendar handles AND timer seqs: the merged phase-2
+  // drain compares (date, creation) across both heaps. Declared before
+  // calendar_, which captures a pointer to it.
+  std::uint64_t event_seq_ = 1;
+  EventCalendar calendar_{&event_seq_};
   std::vector<Model*> settle_queue_;
   std::priority_queue<Timer, std::vector<Timer>, std::greater<>> timers_;
-  std::uint64_t timer_seq_ = 0;
+  std::uint64_t timers_created_ = 0;
   bool running_ = false;
   std::uint64_t trace_hash_state_ = 1469598103934665603ULL;  // FNV offset basis
 };

@@ -114,8 +114,20 @@ int bcast_scatter_ring_allgather(void* buffer, int count, MPI_Datatype datatype,
   const std::size_t total = static_cast<std::size_t>(count) * datatype->size();
 
   // Work on the packed representation; per-rank byte blocks are near-equal.
-  std::vector<unsigned char> packed(std::max<std::size_t>(total, 1));
-  if (rank == root) datatype->pack(buffer, count, packed.data());
+  // For contiguous datatypes the user buffer *is* the packed representation:
+  // skip the per-rank scratch entirely — at 1024 ranks x 1 MiB the scratch
+  // buffers alone were a gigabyte of allocation, zeroing, and copying per
+  // bcast (the §3.2 memory-footprint concern, inside our own collective).
+  const bool contiguous = !datatype->needs_packing();
+  std::unique_ptr<unsigned char[]> scratch;
+  unsigned char* data;
+  if (contiguous) {
+    data = static_cast<unsigned char*>(buffer);
+  } else {
+    scratch = std::make_unique<unsigned char[]>(std::max<std::size_t>(total, 1));
+    data = scratch.get();
+    if (rank == root) datatype->pack(buffer, count, data);
+  }
   std::vector<std::size_t> displs(static_cast<std::size_t>(size) + 1, 0);
   for (int r = 0; r < size; ++r) {
     const std::size_t block = total / static_cast<std::size_t>(size) +
@@ -134,13 +146,13 @@ int bcast_scatter_ring_allgather(void* buffer, int count, MPI_Datatype datatype,
     for (int r = 0; r < size; ++r) {
       if (r == root || block_of(r) == 0) continue;
       Request* req = nullptr;
-      internal_isend(packed.data() + displs[static_cast<std::size_t>(r)],
+      internal_isend(data + displs[static_cast<std::size_t>(r)],
                      static_cast<int>(block_of(r)), MPI_BYTE, r, kTagBcast, comm, &req, true);
       sends.push_back(req);
     }
     for (Request* req : sends) internal_wait(req);
   } else if (block_of(rank) > 0) {
-    const int rc = internal_recv(packed.data() + displs[static_cast<std::size_t>(rank)],
+    const int rc = internal_recv(data + displs[static_cast<std::size_t>(rank)],
                                  static_cast<int>(block_of(rank)), MPI_BYTE, root, kTagBcast,
                                  comm, MPI_STATUS_IGNORE, true);
     if (rc != MPI_SUCCESS) return rc;
@@ -154,16 +166,16 @@ int bcast_scatter_ring_allgather(void* buffer, int count, MPI_Datatype datatype,
     const int recv_block = (rank - step - 1 + size) % size;
     Request* sreq = nullptr;
     Request* rreq = nullptr;
-    internal_isend(packed.data() + displs[static_cast<std::size_t>(send_block)],
+    internal_isend(data + displs[static_cast<std::size_t>(send_block)],
                    static_cast<int>(block_of(send_block)), MPI_BYTE, right, kTagBcast, comm,
                    &sreq, true);
-    internal_irecv(packed.data() + displs[static_cast<std::size_t>(recv_block)],
+    internal_irecv(data + displs[static_cast<std::size_t>(recv_block)],
                    static_cast<int>(block_of(recv_block)), MPI_BYTE, left, kTagBcast, comm,
                    &rreq, true);
     internal_wait(sreq);
     internal_wait(rreq);
   }
-  if (rank != root) datatype->unpack(packed.data(), count, buffer);
+  if (!contiguous && rank != root) datatype->unpack(data, count, buffer);
   return MPI_SUCCESS;
 }
 

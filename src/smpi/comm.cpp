@@ -12,11 +12,28 @@
 
 namespace smpi::core {
 
-int Group::rank_of_world(int world_rank) const {
+Group::Group(std::vector<int> world_ranks) : world_ranks_(std::move(world_ranks)) {
+  identity_ = true;
   for (std::size_t i = 0; i < world_ranks_.size(); ++i) {
-    if (world_ranks_[i] == world_rank) return static_cast<int>(i);
+    if (world_ranks_[i] != static_cast<int>(i)) {
+      identity_ = false;
+      break;
+    }
   }
-  return MPI_UNDEFINED;
+  if (!identity_) {
+    reverse_.reserve(world_ranks_.size());
+    for (std::size_t i = 0; i < world_ranks_.size(); ++i) {
+      reverse_.emplace(world_ranks_[i], static_cast<int>(i));
+    }
+  }
+}
+
+int Group::rank_of_world(int world_rank) const {
+  if (identity_) {
+    return world_rank >= 0 && world_rank < size() ? world_rank : MPI_UNDEFINED;
+  }
+  auto it = reverse_.find(world_rank);
+  return it == reverse_.end() ? MPI_UNDEFINED : it->second;
 }
 
 namespace {

@@ -13,6 +13,7 @@
 #include <string>
 #include <map>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "sim/activity.hpp"
@@ -116,15 +117,19 @@ class Op {
 
 class Group {
  public:
-  explicit Group(std::vector<int> world_ranks) : world_ranks_(std::move(world_ranks)) {}
+  explicit Group(std::vector<int> world_ranks);
   int size() const { return static_cast<int>(world_ranks_.size()); }
   int world_rank(int group_rank) const { return world_ranks_[static_cast<std::size_t>(group_rank)]; }
-  // MPI_UNDEFINED when absent.
+  // MPI_UNDEFINED when absent. O(1): the reverse lookup runs once per
+  // message (post_send), which made a linear scan quadratic in ranks over a
+  // large collective.
   int rank_of_world(int world_rank) const;
   const std::vector<int>& world_ranks() const { return world_ranks_; }
 
  private:
   std::vector<int> world_ranks_;
+  bool identity_ = false;                 // world_ranks_[i] == i (MPI_COMM_WORLD)
+  std::unordered_map<int, int> reverse_;  // built once when not the identity
 };
 
 class Comm {
@@ -303,6 +308,19 @@ class Process {
   sim::ActivityPtr arrival_signal;
   void signal_arrival();
 
+  // Unsuccessful-poll accounting (MPI_Test/Testany/Testall/Iprobe): a tight
+  // polling loop is detected by back-to-back polls and escalated from
+  // one-timer-per-poll sleeps to a completion subscription (see p2p.cpp).
+  double last_poll_end = -1;
+  int poll_streak = 0;
+  // Escalated-poll state: the activity the current block waits on, the
+  // deadline of the single armed fallback timer (-1 when none), and the
+  // wake sources that already carry a forwarder — one subscription per
+  // token for the whole polling loop, not one per round.
+  sim::ActivityPtr poll_wait;
+  double poll_timer_deadline = -1;
+  std::unordered_set<const sim::Activity*> poll_subscribed;
+
   // Local sampling sites ("file:line"); global sites live on the world.
   std::unordered_map<std::string, SampleSite> local_samples;
   // Sites this rank is currently inside (nesting detector + timer state).
@@ -321,7 +339,14 @@ class Process {
 
   std::vector<std::unique_ptr<Request>> owned_requests;
   Request* new_request();
-  void gc_requests();  // reclaim completed+released requests
+  // Reclaims completed+released requests. Batched: the linear sweep runs
+  // once per kGcBatch releases, not per release — a root waiting out 1024
+  // scatter sends otherwise rescans its request table per completion.
+  void gc_requests();
+
+ private:
+  static constexpr int kGcBatch = 64;
+  int gc_pending_ = 0;
 };
 
 // ---------------------------------------------------------------------------

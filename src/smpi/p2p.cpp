@@ -13,6 +13,7 @@
 //
 // Envelopes are enqueued in send order, so MPI's non-overtaking rule holds.
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 
 #include "smpi/internals.hpp"
@@ -364,6 +365,86 @@ namespace {
 // Simulated cost of one unsuccessful Test/Iprobe poll; keeps tight polling
 // loops from freezing virtual time (SimGrid exposes the same knob).
 constexpr double kTestPollInterval = 1e-7;
+// Back-to-back unsuccessful polls before escalating from per-poll sleep
+// timers to a completion subscription.
+constexpr int kPollEscalationThreshold = 4;
+// Cap on the subscription path's fallback wakeup, bounding how stale a poll
+// loop's *non-MPI* exit condition (e.g. a shared-memory flag written by
+// another rank) can get.
+constexpr double kPollBackoffCap = 1e-3;
+
+// Charge the simulated cost of an unsuccessful poll and return. Occasional
+// polls pay a plain sleep (one timer each) — cheap, and exact for apps that
+// interleave real work between polls. A *tight* polling loop (polls
+// back-to-back with nothing in between) used to burn one timer per 1e-7 s of
+// virtual time; after kPollEscalationThreshold consecutive polls we instead
+// block on the states the poll is actually watching (`wake_sources`), plus
+// an exponentially backed-off fallback timer, then round the wake-up to the
+// next poll boundary — so virtual time still advances in whole polls and the
+// caller observes the same quantization as real polling.
+//
+// Resource bounds: each wake source carries at most ONE forwarder for the
+// lifetime of the polling loop (deduped through proc.poll_subscribed; the
+// forwarder wakes whatever block is current via proc.poll_wait), and at most
+// one fallback timer per process is armed at a time. Completion-driven waits
+// therefore cost O(polls-until-escalation) timers; only a loop whose exit
+// condition is invisible to MPI (a shared-memory flag set by another rank)
+// degrades to the fallback heartbeat, 1 kHz at the backoff cap — 10^4 fewer
+// timers than per-poll sleeps, with staleness bounded by kPollBackoffCap.
+// `collect_wake_sources` is only invoked once the loop escalates, so the
+// common interleaved-poll case never pays for building the source list.
+template <typename SourceCollector>
+void charge_unsuccessful_poll(SourceCollector&& collect_wake_sources) {
+  auto& engine = SmpiWorld::instance()->engine();
+  Process& proc = current_process_checked();
+  const double start = engine.now();
+  if (start - proc.last_poll_end <= kTestPollInterval * 0.5) {
+    ++proc.poll_streak;
+  } else {
+    proc.poll_streak = 1;
+  }
+  const std::vector<sim::ActivityPtr> wake_sources =
+      proc.poll_streak < kPollEscalationThreshold ? std::vector<sim::ActivityPtr>{}
+                                                  : collect_wake_sources();
+  if (wake_sources.empty()) {
+    engine.sleep_for(kTestPollInterval);
+  } else {
+    auto merged = std::make_shared<sim::Activity>("poll");
+    for (const auto& source : wake_sources) {
+      // One forwarder per token, ever: it wakes the *current* block. (If a
+      // never-completing token dies and a new one is allocated at the same
+      // address, the skipped forwarder is covered by the fallback timer.)
+      const sim::Activity* raw = source.get();
+      if (proc.poll_subscribed.insert(raw).second) {
+        source->on_completion([&proc, raw](sim::Activity&) {
+          proc.poll_subscribed.erase(raw);
+          if (proc.poll_wait != nullptr) proc.poll_wait->finish(sim::Activity::State::kDone);
+        });
+      }
+    }
+    if (proc.poll_timer_deadline <= start) {
+      const int doublings = std::min(proc.poll_streak - kPollEscalationThreshold, 40);
+      const double backoff =
+          std::min(kTestPollInterval * std::ldexp(1.0, doublings), kPollBackoffCap);
+      proc.poll_timer_deadline = start + backoff;
+      engine.add_timer(proc.poll_timer_deadline, [&proc] {
+        proc.poll_timer_deadline = -1;
+        if (proc.poll_wait != nullptr) proc.poll_wait->finish(sim::Activity::State::kDone);
+      });
+    }
+    proc.poll_wait = merged;
+    merged->wait();
+    proc.poll_wait = nullptr;
+    // Quantize: the polling loop would only have observed the change at the
+    // next multiple of the poll interval (and an unsuccessful poll costs at
+    // least one interval).
+    const double elapsed = engine.now() - start;
+    const double polls = std::max(1.0, std::ceil(elapsed / kTestPollInterval - 1e-9));
+    const double target = start + polls * kTestPollInterval;
+    if (target > engine.now()) engine.sleep_for(target - engine.now());
+  }
+  proc.last_poll_end = engine.now();
+}
 
 int check_p2p_args(const void* buf, int count, MPI_Datatype type, int peer, int tag, MPI_Comm comm,
                    bool is_recv) {
@@ -613,7 +694,8 @@ int MPI_Test(MPI_Request* request, int* flag, MPI_Status* status) {
   *flag = 0;
   // Let simulated time advance between polls; a pure yield would starve the
   // clock when the poller is the only runnable process.
-  SmpiWorld::instance()->engine().sleep_for(kTestPollInterval);
+  MPI_Request req = *request;
+  charge_unsuccessful_poll([req] { return std::vector<sim::ActivityPtr>{req->token}; });
   return MPI_SUCCESS;
 }
 
@@ -642,19 +724,39 @@ int MPI_Testany(int count, MPI_Request requests[], int* index, int* flag, MPI_St
     }
     return MPI_SUCCESS;
   }
-  SmpiWorld::instance()->engine().sleep_for(kTestPollInterval);
+  charge_unsuccessful_poll([requests, count] {
+    std::vector<sim::ActivityPtr> pending;
+    for (int i = 0; i < count; ++i) {
+      if (is_pending(requests[i])) pending.push_back(requests[i]->token);
+    }
+    return pending;
+  });
   return MPI_SUCCESS;
 }
 
 int MPI_Testall(int count, MPI_Request requests[], int* flag, MPI_Status statuses[]) {
   if (count < 0) return MPI_ERR_COUNT;
   if (flag == nullptr) return MPI_ERR_ARG;
+  bool any_incomplete = false;
   for (int i = 0; i < count; ++i) {
     if (is_pending(requests[i]) && !requests[i]->completed()) {
-      *flag = 0;
-      SmpiWorld::instance()->engine().sleep_for(kTestPollInterval);
-      return MPI_SUCCESS;
+      any_incomplete = true;
+      break;
     }
+  }
+  if (any_incomplete) {
+    *flag = 0;
+    // Any completion is progress worth re-polling for.
+    charge_unsuccessful_poll([requests, count] {
+      std::vector<sim::ActivityPtr> incomplete;
+      for (int i = 0; i < count; ++i) {
+        if (is_pending(requests[i]) && !requests[i]->completed()) {
+          incomplete.push_back(requests[i]->token);
+        }
+      }
+      return incomplete;
+    });
+    return MPI_SUCCESS;
   }
   *flag = 1;
   return MPI_Waitall(count, requests, statuses);
@@ -699,7 +801,13 @@ int MPI_Iprobe(int source, int tag, MPI_Comm comm, int* flag, MPI_Status* status
     fill_probe_status(*env, status);
   } else {
     *flag = 0;
-    SmpiWorld::instance()->engine().sleep_for(kTestPollInterval);
+    // The next thing that can change the answer is an envelope arrival.
+    charge_unsuccessful_poll([&proc] {
+      if (proc.arrival_signal == nullptr) {
+        proc.arrival_signal = std::make_shared<sim::Activity>("probe");
+      }
+      return std::vector<sim::ActivityPtr>{proc.arrival_signal};
+    });
   }
   return MPI_SUCCESS;
 }

@@ -109,6 +109,10 @@ Request* Process::new_request() {
 }
 
 void Process::gc_requests() {
+  if (++gc_pending_ < kGcBatch && owned_requests.size() >= static_cast<std::size_t>(kGcBatch)) {
+    return;  // let garbage accumulate; the sweep amortizes over the batch
+  }
+  gc_pending_ = 0;
   owned_requests.erase(
       std::remove_if(owned_requests.begin(), owned_requests.end(),
                      [](const std::unique_ptr<Request>& r) {
@@ -129,7 +133,7 @@ SmpiWorld::SmpiWorld(const platform::Platform& platform, SmpiConfig config)
   engine_ = std::make_unique<sim::Engine>(config_.engine);
   // One knob drives both analytical solvers (network and CPU share the
   // max-min implementation and its full-reference flag).
-  cpu_model_ = std::make_shared<surf::CpuModel>(platform_, config_.network.incremental_solver);
+  cpu_model_ = std::make_shared<surf::CpuModel>(platform_, config_.network.solver_mode);
   cpu_ = cpu_model_.get();
   engine_->add_model(cpu_model_);
   if (config_.backend == SmpiConfig::Backend::kFlow) {

@@ -11,9 +11,9 @@ namespace {
 constexpr double kRemainingEps = 1e-3;
 }  // namespace
 
-CpuModel::CpuModel(const platform::Platform& platform, bool incremental_solver)
+CpuModel::CpuModel(const platform::Platform& platform, SolveMode solver_mode)
     : platform_(platform) {
-  system_.set_incremental(incremental_solver);
+  system_.set_mode(solver_mode);
   host_constraint_.reserve(static_cast<std::size_t>(platform_.host_count()));
   for (int id = 0; id < platform_.host_count(); ++id) {
     const auto& host = platform_.host(id);
@@ -43,7 +43,10 @@ sim::ActivityPtr CpuModel::execute(int node, double flops) {
   exec->var = system_.new_variable(1.0, platform_.host(node).speed_flops);
   Execution* raw = exec.get();
   executions_.emplace(exec->id, std::move(exec));
-  var_to_execution_[raw->var] = raw;
+  if (var_to_execution_.size() <= static_cast<std::size_t>(raw->var)) {
+    var_to_execution_.resize(static_cast<std::size_t>(raw->var) + 1, nullptr);
+  }
+  var_to_execution_[static_cast<std::size_t>(raw->var)] = raw;
   system_.attach(raw->var, host_constraint_[static_cast<std::size_t>(node)]);
   // Deferred: batched with any other executions starting at this date.
   request_settle();
@@ -56,9 +59,11 @@ void CpuModel::resettle(double now) {
   if (!system_.dirty()) return;
   system_.solve();
   for (int var : system_.last_solved_variables()) {
-    auto it = var_to_execution_.find(var);
-    if (it == var_to_execution_.end()) continue;
-    Execution& exec = *it->second;
+    Execution* entry = static_cast<std::size_t>(var) < var_to_execution_.size()
+                           ? var_to_execution_[static_cast<std::size_t>(var)]
+                           : nullptr;
+    if (entry == nullptr) continue;
+    Execution& exec = *entry;
     const double rate = system_.value(var);
     if (rate == exec.work.rate()) continue;
     exec.work.set_rate(rate, now);
@@ -68,8 +73,10 @@ void CpuModel::resettle(double now) {
 
 void CpuModel::reschedule(Execution& exec, double now) {
   SMPI_ENSURE(exec.work.rate() > 0, "active execution with zero rate");
-  calendar().cancel(exec.event);
-  exec.event = calendar().schedule(std::max(now, exec.work.completion_date(now)), this, exec.id);
+  const double date = std::max(now, exec.work.completion_date(now));
+  if (exec.event == sim::EventCalendar::kNoEvent || !calendar().update(exec.event, date)) {
+    exec.event = calendar().schedule(date, this, exec.id);
+  }
 }
 
 void CpuModel::on_calendar_event(double now, std::uint64_t tag) {
@@ -82,7 +89,7 @@ void CpuModel::on_calendar_event(double now, std::uint64_t tag) {
   sim::ActivityPtr activity = exec.activity;
   const std::uint64_t id = exec.id;  // `exec` dies with the erase below
   system_.release_variable(exec.var);
-  var_to_execution_.erase(exec.var);
+  var_to_execution_[static_cast<std::size_t>(exec.var)] = nullptr;
   executions_.erase(id);
   // Deferred: simultaneous completions redistribute the freed capacity in
   // one re-solve when the engine settles.

@@ -23,7 +23,8 @@ namespace smpi::surf {
 
 class CpuModel final : public sim::Model, public sim::ComputeBackend {
  public:
-  explicit CpuModel(const platform::Platform& platform, bool incremental_solver = true);
+  explicit CpuModel(const platform::Platform& platform,
+                    SolveMode solver_mode = SolveMode::kLazy);
 
   // sim::ComputeBackend
   sim::ActivityPtr execute(int node, double flops) override;
@@ -52,7 +53,8 @@ class CpuModel final : public sim::Model, public sim::ComputeBackend {
   MaxMinSystem system_;
   std::vector<int> host_constraint_;
   std::unordered_map<std::uint64_t, std::shared_ptr<Execution>> executions_;
-  std::unordered_map<int, Execution*> var_to_execution_;
+  // Indexed by solver variable id (recycled, stays dense); nullptr when free.
+  std::vector<Execution*> var_to_execution_;
   std::uint64_t next_execution_id_ = 1;
 };
 

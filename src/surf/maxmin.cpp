@@ -7,11 +7,33 @@
 
 namespace smpi::surf {
 
+namespace {
+// A constraint counts as saturated when its usage reaches this fraction of
+// capacity; only saturated constraints can move their members' allocations.
+constexpr double kSatEps = 1e-9;
+// Looser saturation margin for mutation-time *seeding* decisions, which
+// consult the O(1) running usage: its float drift must only ever err toward
+// seeding (extra work), never toward skipping a binding constraint.
+constexpr double kSeedSatEps = 1e-6;
+// A member's allocation counts as changed when it moved by more than this
+// (relative to the constraint's capacity scale). Changes below the threshold
+// are numerical dust from re-filling a subset in a different order; not
+// propagating them keeps the modified set small and stays far inside the
+// 1e-9 equivalence tolerance the property tests assert.
+constexpr double kChangeEps = 1e-12;
+// A member at (numerically) zero was starved by a frozen boundary and forces
+// promotion regardless of the change test — final allocations are always
+// strictly positive.
+constexpr double kStarveEps = 1e-12;
+}  // namespace
+
 int MaxMinSystem::new_constraint(double capacity) {
   SMPI_REQUIRE(capacity > 0, "constraint capacity must be positive");
-  constraints_.push_back(Constraint{capacity, {}, false, false, 0, 0});
-  mark_dirty(static_cast<int>(constraints_.size()) - 1);
-  return static_cast<int>(constraints_.size()) - 1;
+  constraints_.push_back(Constraint{capacity, {}, false, false, false, 0, 0, 0});
+  const int id = static_cast<int>(constraints_.size()) - 1;
+  // A fresh constraint has no members: nothing to re-solve in lazy mode.
+  if (mode_ != SolveMode::kLazy) mark_dirty(id);
+  return id;
 }
 
 int MaxMinSystem::new_variable(double weight, double bound) {
@@ -51,6 +73,26 @@ void MaxMinSystem::mark_unconstrained_dirty(int variable) {
   dirty_ = true;
 }
 
+void MaxMinSystem::seed_variable(int variable) {
+  auto& var = variables_[static_cast<std::size_t>(variable)];
+  if (!var.seeded) {
+    var.seeded = true;
+    seed_variables_.push_back(variable);
+  }
+  dirty_ = true;
+}
+
+void MaxMinSystem::seed_constraint_if_binding(int constraint, double reference_capacity) {
+  const auto& cons = constraints_[static_cast<std::size_t>(constraint)];
+  if (cons.dirty) return;
+  // Unsaturated constraints constrain nobody: their members' allocations are
+  // certified elsewhere and cannot move, so the mutation is inert here. The
+  // O(1) running usage makes this check constant-time on the mutation path.
+  if (cons.usage >= reference_capacity * (1 - kSeedSatEps)) {
+    mark_dirty(constraint);
+  }
+}
+
 void MaxMinSystem::attach(int variable, int constraint) {
   SMPI_REQUIRE(variable >= 0 && variable < static_cast<int>(variables_.size()), "bad variable");
   SMPI_REQUIRE(constraint >= 0 && constraint < static_cast<int>(constraints_.size()),
@@ -58,10 +100,18 @@ void MaxMinSystem::attach(int variable, int constraint) {
   auto& var = variables_[static_cast<std::size_t>(variable)];
   SMPI_REQUIRE(var.active, "attach on retired variable");
   var.constraints.push_back(constraint);
-  constraints_[static_cast<std::size_t>(constraint)].variables.push_back(variable);
-  // The component reachable from `constraint` now includes the variable and,
-  // transitively, its other constraints — marking just this one suffices.
-  mark_dirty(constraint);
+  auto& cons = constraints_[static_cast<std::size_t>(constraint)];
+  cons.variables.push_back(variable);
+  cons.usage += var.value;
+  if (mode_ == SolveMode::kLazy) {
+    // The new/updated variable must be re-solved; whether the constraint's
+    // other members move is decided by boundary promotion at solve time.
+    seed_variable(variable);
+  } else {
+    // The component reachable from `constraint` now includes the variable
+    // and, transitively, its other constraints — marking this one suffices.
+    mark_dirty(constraint);
+  }
 }
 
 void MaxMinSystem::set_bound(int variable, double bound) {
@@ -71,6 +121,8 @@ void MaxMinSystem::set_bound(int variable, double bound) {
   var.bound = bound;
   if (var.constraints.empty()) {
     mark_unconstrained_dirty(variable);
+  } else if (mode_ == SolveMode::kLazy) {
+    seed_variable(variable);
   } else {
     for (int c : var.constraints) mark_dirty(c);
   }
@@ -78,29 +130,45 @@ void MaxMinSystem::set_bound(int variable, double bound) {
 
 void MaxMinSystem::set_capacity(int constraint, double capacity) {
   SMPI_REQUIRE(capacity > 0, "capacity must be positive");
-  constraints_[static_cast<std::size_t>(constraint)].capacity = capacity;
-  mark_dirty(constraint);
+  auto& cons = constraints_[static_cast<std::size_t>(constraint)];
+  const double old_capacity = cons.capacity;
+  cons.capacity = capacity;
+  if (mode_ == SolveMode::kLazy) {
+    // Members can only move if the constraint was saturated before (they may
+    // grow) or its usage exceeds the new capacity (they must shrink).
+    seed_constraint_if_binding(constraint, std::min(old_capacity, capacity));
+  } else {
+    mark_dirty(constraint);
+  }
 }
 
 void MaxMinSystem::release_variable(int variable) {
   auto& var = variables_[static_cast<std::size_t>(variable)];
   SMPI_REQUIRE(var.active, "double release of variable");
-  var.active = false;
-  var.value = 0;
-  // The freed share must be redistributed: every constraint the variable
-  // crossed needs a re-solve.
-  for (int c : var.constraints) mark_dirty(c);
-  // Eagerly drop it from constraint membership lists so constraint_usage()
-  // never sees it again.
-  for (int c : var.constraints) {
-    auto& members = constraints_[static_cast<std::size_t>(c)].variables;
-    members.erase(std::remove(members.begin(), members.end(), variable), members.end());
+  // The freed share must be redistributed: every *saturated* constraint the
+  // variable crossed needs a re-solve (checked while the released value still
+  // counts toward usage). Unsaturated ones constrained nobody.
+  if (mode_ == SolveMode::kLazy) {
+    for (int c : var.constraints) {
+      seed_constraint_if_binding(c, constraints_[static_cast<std::size_t>(c)].capacity);
+    }
+  } else {
+    for (int c : var.constraints) mark_dirty(c);
   }
+  var.active = false;
+  // Eagerly drop it from constraint membership lists (so constraint_usage()
+  // never sees it again) and from the running usage sums.
+  for (int c : var.constraints) {
+    auto& cons = constraints_[static_cast<std::size_t>(c)];
+    cons.usage -= var.value;
+    cons.variables.erase(std::remove(cons.variables.begin(), cons.variables.end(), variable),
+                         cons.variables.end());
+  }
+  var.value = 0;
   var.constraints.clear();
   free_variable_ids_.push_back(variable);
   SMPI_ENSURE(active_variables_ > 0, "active variable count underflow");
   --active_variables_;
-  dirty_ = true;
 }
 
 double MaxMinSystem::value(int variable) const {
@@ -126,20 +194,20 @@ void MaxMinSystem::collect_components() {
   // constraints. Everything reached must be re-solved; everything else keeps
   // its allocation.
   std::vector<int>& stack = dirty_constraints_;  // consumed as the BFS frontier
-  for (int c : stack) constraints_[static_cast<std::size_t>(c)].in_component = true;
+  for (int c : stack) constraints_[static_cast<std::size_t>(c)].in_set = true;
   while (!stack.empty()) {
     const int c = stack.back();
     stack.pop_back();
     comp_cons_.push_back(c);
     for (int v : constraints_[static_cast<std::size_t>(c)].variables) {
       auto& var = variables_[static_cast<std::size_t>(v)];
-      if (!var.active || var.in_component) continue;
-      var.in_component = true;
+      if (!var.active || var.in_set) continue;
+      var.in_set = true;
       comp_vars_.push_back(v);
       for (int c2 : var.constraints) {
         auto& other = constraints_[static_cast<std::size_t>(c2)];
-        if (!other.in_component) {
-          other.in_component = true;
+        if (!other.in_set) {
+          other.in_set = true;
           stack.push_back(c2);
         }
       }
@@ -165,7 +233,22 @@ void MaxMinSystem::solve() {
   }
   dirty_unconstrained_.clear();
 
-  if (incremental_) {
+  if (mode_ == SolveMode::kLazy) {
+    solve_lazy();
+    return;
+  }
+
+  // Fold any lazy seeds left over from a mode switch into the dirty set.
+  for (int v : seed_variables_) {
+    auto& var = variables_[static_cast<std::size_t>(v)];
+    var.seeded = false;
+    if (!var.active) continue;
+    for (int c : var.constraints) mark_dirty(c);
+  }
+  seed_variables_.clear();
+  dirty_ = false;  // mark_dirty above re-set it
+
+  if (mode_ == SolveMode::kComponent) {
     collect_components();
   } else {
     // Reference path: re-solve the whole system from scratch.
@@ -186,11 +269,122 @@ void MaxMinSystem::solve() {
 
   for (int c : comp_cons_) {
     auto& cons = constraints_[static_cast<std::size_t>(c)];
-    cons.in_component = false;
+    cons.in_set = false;
     cons.dirty = false;
   }
   for (int v : comp_vars_) {
-    variables_[static_cast<std::size_t>(v)].in_component = false;
+    variables_[static_cast<std::size_t>(v)].in_set = false;
+    last_solved_.push_back(v);
+  }
+}
+
+// Modified-set propagation. The seed set (mutated constraints that were
+// binding, plus mutated variables) is solved against its *boundary*: a
+// constraint partially inside the set contributes capacity minus the frozen
+// usage of its out-of-set members. After each fill, a boundary is promoted
+// to a full member — pulling its remaining members into the set — iff
+//   (a) it is saturated before or after (only then does it constrain
+//       anyone; unsaturated constraints certify nobody's allocation), and
+//   (b) some in-set member's allocation actually changed (or was starved to
+//       zero by the frozen remainder — real allocations are positive).
+// When no boundary promotes, every out-of-set variable keeps a valid
+// bottleneck certificate, so the untouched allocations remain exactly the
+// global max-min solution.
+void MaxMinSystem::solve_lazy() {
+  comp_cons_.clear();
+  comp_vars_.clear();
+
+  auto add_var = [&](int v) {
+    auto& var = variables_[static_cast<std::size_t>(v)];
+    // Unconstrained variables are handled by the bound path in solve().
+    if (!var.active || var.in_set || var.constraints.empty()) return;
+    var.in_set = true;
+    var.old_value = var.value;
+    comp_vars_.push_back(v);
+  };
+  auto add_cons_full = [&](int c) {
+    auto& cons = constraints_[static_cast<std::size_t>(c)];
+    cons.dirty = false;
+    if (cons.in_set) return;
+    cons.in_set = true;
+    cons.boundary = false;
+    comp_cons_.push_back(c);
+    for (int v : cons.variables) add_var(v);
+  };
+
+  for (int c : dirty_constraints_) add_cons_full(c);
+  dirty_constraints_.clear();
+  for (int v : seed_variables_) {
+    variables_[static_cast<std::size_t>(v)].seeded = false;
+    add_var(v);
+  }
+  seed_variables_.clear();
+
+  while (!comp_vars_.empty()) {
+    // Discover the boundary: constraints touched by in-set variables but not
+    // (yet) full members. Their out-of-set usage is frozen.
+    boundary_cons_.clear();
+    for (int v : comp_vars_) {
+      for (int c : variables_[static_cast<std::size_t>(v)].constraints) {
+        auto& cons = constraints_[static_cast<std::size_t>(c)];
+        if (!cons.in_set && !cons.boundary) {
+          cons.boundary = true;
+          boundary_cons_.push_back(c);
+        }
+      }
+    }
+    all_cons_ = comp_cons_;
+    all_cons_.insert(all_cons_.end(), boundary_cons_.begin(), boundary_cons_.end());
+
+    solve_subset(all_cons_, comp_vars_);
+
+    bool promoted = false;
+    for (int c : boundary_cons_) {
+      auto& cons = constraints_[static_cast<std::size_t>(c)];
+      double external = 0, in_old = 0, in_new = 0;
+      double max_external_level = 0;
+      double min_capped_level = kUnbounded;
+      bool changed = false, starved = false;
+      for (int v : cons.variables) {
+        const auto& var = variables_[static_cast<std::size_t>(v)];
+        if (!var.active) continue;
+        if (var.in_set) {
+          in_old += var.old_value;
+          in_new += var.value;
+          if (std::fabs(var.value - var.old_value) >
+              kChangeEps * std::max(1.0, cons.capacity)) {
+            changed = true;
+          }
+          if (var.value <= kStarveEps * cons.capacity) starved = true;
+          if (var.fixed_by == c) {
+            min_capped_level = std::min(min_capped_level, var.value / var.weight);
+          }
+        } else {
+          external += var.value;
+          max_external_level = std::max(max_external_level, var.value / var.weight);
+        }
+      }
+      const double saturation = cons.capacity * (1 - kSatEps);
+      const bool saturated_before = external + in_old >= saturation;
+      const bool saturated_after = external + in_new >= saturation;
+      // This boundary's frozen remainder capped an in-set member below an
+      // out-of-set member's fill level: global max-min would equalize them
+      // (the frozen member must shrink), so fairness across the boundary is
+      // unresolved even though no in-set value moved.
+      const bool squeezed = max_external_level > min_capped_level * (1 + kSatEps);
+      if (squeezed || ((changed || starved) && (saturated_before || saturated_after))) {
+        cons.boundary = false;
+        add_cons_full(c);  // pulls its remaining members into the set
+        promoted = true;
+      }
+    }
+    for (int c : boundary_cons_) constraints_[static_cast<std::size_t>(c)].boundary = false;
+    if (!promoted) break;
+  }
+
+  for (int c : comp_cons_) constraints_[static_cast<std::size_t>(c)].in_set = false;
+  for (int v : comp_vars_) {
+    variables_[static_cast<std::size_t>(v)].in_set = false;
     last_solved_.push_back(v);
   }
 }
@@ -205,30 +399,46 @@ void MaxMinSystem::solve_subset(const std::vector<int>& cons_ids,
 
   for (int c : cons_ids) {
     auto& cons = constraints_[static_cast<std::size_t>(c)];
-    cons.remaining = cons.capacity;
+    if (cons.boundary) {
+      // Boundary constraint: its out-of-set members keep their allocation,
+      // so only the leftover capacity is up for filling.
+      double external = 0;
+      for (int v : cons.variables) {
+        const auto& var = variables_[static_cast<std::size_t>(v)];
+        if (var.active && !var.in_set) external += var.value;
+      }
+      cons.remaining = std::max(0.0, cons.capacity - external);
+    } else {
+      cons.remaining = cons.capacity;
+    }
     cons.weight_sum = 0;
   }
   std::size_t unfixed = 0;
   for (int v : var_ids) {
     auto& var = variables_[static_cast<std::size_t>(v)];
     var.fixed = false;
-    var.value = 0;
     ++unfixed;
     for (int c : var.constraints) {
-      constraints_[static_cast<std::size_t>(c)].weight_sum += var.weight;
+      auto& cons = constraints_[static_cast<std::size_t>(c)];
+      cons.weight_sum += var.weight;
+      cons.usage -= var.value;  // re-added when the fill fixes the variable
     }
+    var.value = 0;
   }
-  variables_visited_ += var_ids.size();
+  vars_touched_ += var_ids.size();
+  cons_touched_ += cons_ids.size();
 
-  auto fix_variable = [&](Variable& var, double value) {
+  auto fix_variable = [&](Variable& var, double value, int by) {
     var.value = value;
     var.fixed = true;
+    var.fixed_by = by;
     for (int c : var.constraints) {
       auto& cons = constraints_[static_cast<std::size_t>(c)];
       cons.remaining -= value;
       if (cons.remaining < 0) cons.remaining = 0;
       cons.weight_sum -= var.weight;
       if (cons.weight_sum < kEpsRel) cons.weight_sum = 0;
+      cons.usage += value;
     }
     --unfixed;
   };
@@ -260,7 +470,7 @@ void MaxMinSystem::solve_subset(const std::vector<int>& cons_ids,
         auto& var = variables_[static_cast<std::size_t>(v)];
         if (var.fixed) continue;
         if (var.bound / var.weight <= cutoff) {
-          fix_variable(var, var.bound);
+          fix_variable(var, var.bound, -1);
           fixed_any = true;
         }
       }
@@ -279,7 +489,7 @@ void MaxMinSystem::solve_subset(const std::vector<int>& cons_ids,
         for (int v : members) {
           auto& var = variables_[static_cast<std::size_t>(v)];
           if (!var.active || var.fixed) continue;
-          fix_variable(var, mu_constraint * var.weight);
+          fix_variable(var, mu_constraint * var.weight, c);
           fixed_any = true;
         }
       }

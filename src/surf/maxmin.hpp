@@ -7,13 +7,27 @@
 //
 // The same solver shares CPU cores among computations.
 //
-// The solver is *incremental*: every mutation (attach, release, set_bound,
-// set_capacity) marks only the constraints it touches, and solve() re-runs
-// progressive filling over the connected component(s) of those dirty
-// constraints — allocations in untouched components are provably unchanged
-// (max-min allocations decompose per connected component of the
-// constraint/variable bipartite graph). set_incremental(false) switches to
-// the full reference solve for equivalence testing.
+// Three solve strategies live behind SolveMode:
+//
+//   kFull       — reference path: re-solve the whole system from scratch.
+//   kComponent  — every mutation marks the constraints it touches, and
+//                 solve() re-runs progressive filling over the connected
+//                 component(s) of those dirty constraints. Allocations in
+//                 untouched components are provably unchanged (max-min
+//                 allocations decompose per connected component).
+//   kLazy       — (default) SimGrid-style partial invalidation *inside* a
+//                 component: a mutation seeds only the variables/constraints
+//                 it provably affects, and the re-solve grows a *modified
+//                 set* outward through shared constraints only while member
+//                 allocations actually change. A bcast tree where one link
+//                 changes re-solves only the affected subtree; an
+//                 unsaturated backbone never floods the whole component.
+//                 See docs/architecture.md for the promotion rule and its
+//                 correctness argument.
+//
+// set_mode(SolveMode::kFull) selects the reference solve for equivalence
+// testing; the three-way property test in test_surf_maxmin.cpp asserts all
+// modes agree within 1e-9 under randomized churn.
 #pragma once
 
 #include <cstddef>
@@ -22,6 +36,12 @@
 #include <vector>
 
 namespace smpi::surf {
+
+enum class SolveMode {
+  kFull,       // re-solve everything on every solve()
+  kComponent,  // re-solve the connected components of dirty constraints
+  kLazy,       // modified-set propagation inside components (default)
+};
 
 class MaxMinSystem {
  public:
@@ -43,14 +63,14 @@ class MaxMinSystem {
   void release_variable(int variable);
 
   // Recomputes the allocations affected by mutations since the last solve
-  // (all of them when incremental mode is off).
+  // (all of them when the mode is kFull).
   void solve();
   bool dirty() const { return dirty_; }
   double value(int variable) const;
 
-  // Incremental (default) vs full-reference solve path.
-  void set_incremental(bool on) { incremental_ = on; }
-  bool incremental() const { return incremental_; }
+  // Solve strategy selection.
+  void set_mode(SolveMode mode) { mode_ = mode; }
+  SolveMode mode() const { return mode_; }
 
   // Update notification: ids of the variables whose allocation was recomputed
   // by the last solve(). Consumers reschedule completion events only for
@@ -65,24 +85,38 @@ class MaxMinSystem {
   double constraint_usage(int constraint) const;
 
   // Perf counters (cumulative): how much work the solver actually did.
+  // vars_touched/cons_touched count every variable/constraint fed through a
+  // progressive-filling pass (lazy iterations re-count what they re-fill, so
+  // the counters reflect true work, not set sizes).
   std::uint64_t solve_count() const { return solve_count_; }
-  std::uint64_t variables_visited() const { return variables_visited_; }
+  std::uint64_t vars_touched() const { return vars_touched_; }
+  std::uint64_t cons_touched() const { return cons_touched_; }
 
  private:
   struct Variable {
     double weight = 1;
     double bound = kUnbounded;
     double value = 0;
+    double old_value = 0;  // snapshot on entering the lazy modified set
+    int fixed_by = -1;     // constraint that capped the last fill (-1: bound)
     bool active = false;
     bool fixed = false;
-    bool in_component = false;
+    bool in_set = false;   // member of the current re-solve set
+    bool seeded = false;   // queued in seed_variables_
     std::vector<int> constraints;
   };
   struct Constraint {
     double capacity = 0;
     std::vector<int> variables;  // released ids are eagerly removed
     bool dirty = false;
-    bool in_component = false;
+    bool in_set = false;    // full member of the current re-solve set
+    bool boundary = false;  // partial member: only some variables in set
+    // Running sum of member values, maintained on every value change so the
+    // lazy seeding saturation check is O(1) instead of O(members). May
+    // carry float drift; the seeding epsilon is loose enough that drift
+    // only ever causes extra (benign) seeding, and constraint_usage()
+    // recomputes exactly for diagnostics.
+    double usage = 0;
     // Scratch state for the progressive-filling loop.
     double remaining = 0;
     double weight_sum = 0;
@@ -90,25 +124,40 @@ class MaxMinSystem {
 
   void mark_dirty(int constraint);
   void mark_unconstrained_dirty(int variable);
+  // Lazy seeding: queue the variable for re-solve (its constraints join as
+  // boundaries at solve time).
+  void seed_variable(int variable);
+  // Lazy seeding: queue the constraint as a full member iff it is saturated
+  // (only then can its members' allocations move).
+  void seed_constraint_if_binding(int constraint, double reference_capacity);
   // Expand the dirty constraints into their connected components (constraints
   // linked through shared active variables), filling comp_cons_/comp_vars_.
   void collect_components();
+  // Modified-set propagation (kLazy): solve the seed set against frozen
+  // boundaries, promoting boundaries whose member allocations changed.
+  void solve_lazy();
   // Progressive filling restricted to the given constraint/variable ids.
+  // Constraints flagged .boundary contribute capacity minus the usage of
+  // their out-of-set members.
   void solve_subset(const std::vector<int>& cons_ids, const std::vector<int>& var_ids);
 
   std::vector<Variable> variables_;
   std::vector<Constraint> constraints_;
   std::vector<int> free_variable_ids_;
   std::vector<int> dirty_constraints_;      // ids with .dirty set
+  std::vector<int> seed_variables_;         // lazy mode: ids with .seeded set
   std::vector<int> dirty_unconstrained_;    // variables with no constraints yet
-  std::vector<int> comp_cons_;              // scratch for collect_components()
+  std::vector<int> comp_cons_;              // scratch: full members of the solve set
   std::vector<int> comp_vars_;
+  std::vector<int> boundary_cons_;          // scratch: current boundary frontier
+  std::vector<int> all_cons_;               // scratch: comp_cons_ + boundary_cons_
   std::vector<int> last_solved_;
   std::size_t active_variables_ = 0;
   bool dirty_ = false;
-  bool incremental_ = true;
+  SolveMode mode_ = SolveMode::kLazy;
   std::uint64_t solve_count_ = 0;
-  std::uint64_t variables_visited_ = 0;
+  std::uint64_t vars_touched_ = 0;
+  std::uint64_t cons_touched_ = 0;
 };
 
 }  // namespace smpi::surf

@@ -21,7 +21,7 @@ constexpr double kRemainingEps = 1.0;
 
 FlowNetworkModel::FlowNetworkModel(const platform::Platform& platform, NetworkConfig config)
     : platform_(platform), config_(std::move(config)) {
-  system_.set_incremental(config_.incremental_solver);
+  system_.set_mode(config_.solver_mode);
   link_constraint_.resize(static_cast<std::size_t>(platform_.link_count()), -1);
   for (int id = 0; id < platform_.link_count(); ++id) {
     const auto& link = platform_.link(id);
@@ -34,15 +34,28 @@ FlowNetworkModel::FlowNetworkModel(const platform::Platform& platform, NetworkCo
 
 FlowNetworkModel::~FlowNetworkModel() = default;
 
+const FlowNetworkModel::RouteInfo& FlowNetworkModel::route_info(int src_node,
+                                                                int dst_node) const {
+  const std::uint64_t key = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src_node))
+                             << 32) |
+                            static_cast<std::uint32_t>(dst_node);
+  auto it = route_cache_.find(key);
+  if (it != route_cache_.end()) return it->second;
+  RouteInfo info;
+  info.links = &platform_.route(src_node, dst_node);
+  info.latency = platform_.route_latency(src_node, dst_node);
+  info.bottleneck = platform_.route_min_bandwidth(src_node, dst_node);
+  return route_cache_.emplace(key, info).first->second;
+}
+
 void FlowNetworkModel::path_parameters(int src_node, int dst_node, double bytes,
                                        double* latency_out, double* bound_out) const {
-  const double physical_latency = platform_.route_latency(src_node, dst_node);
-  const double bottleneck = platform_.route_min_bandwidth(src_node, dst_node);
-  double bound = bottleneck * config_.factors.bw_factor(bytes);
-  if (config_.tcp_window_bytes > 0 && physical_latency > 0) {
-    bound = std::min(bound, config_.tcp_window_bytes / (2.0 * physical_latency));
+  const RouteInfo& info = route_info(src_node, dst_node);
+  double bound = info.bottleneck * config_.factors.bw_factor(bytes);
+  if (config_.tcp_window_bytes > 0 && info.latency > 0) {
+    bound = std::min(bound, config_.tcp_window_bytes / (2.0 * info.latency));
   }
-  *latency_out = physical_latency * config_.factors.lat_factor(bytes);
+  *latency_out = info.latency * config_.factors.lat_factor(bytes);
   *bound_out = bound;
 }
 
@@ -95,9 +108,12 @@ sim::ActivityPtr FlowNetworkModel::start_flow(int src_node, int dst_node, double
   flow->activity = activity;
   flow->bound = bound;
 
-  const std::vector<int> links = platform_.route(src_node, dst_node);
-  engine->add_timer(engine->now() + latency,
-                    [this, flow, links, bytes] { promote(flow, links, bytes); });
+  // The platform's route storage is immutable for the model's lifetime:
+  // capture a pointer instead of copying the link list into the closure.
+  const std::vector<int>* links = route_info(src_node, dst_node).links;
+  engine->add_timer(engine->now() + latency, [this, flow = std::move(flow), links, bytes] {
+    promote(flow, *links, bytes);
+  });
   SMPI_LOG_DEBUG(log_surf, "flow " << src_node << "->" << dst_node << " size=" << bytes
                                    << " lat=" << latency << " bound=" << bound);
   return activity;
@@ -112,7 +128,10 @@ void FlowNetworkModel::promote(std::shared_ptr<Flow> flow, const std::vector<int
   flows_.emplace(flow->id, std::move(flow));
   if (config_.contention) {
     raw->var = system_.new_variable(1.0, raw->bound);
-    var_to_flow_[raw->var] = raw;
+    if (var_to_flow_.size() <= static_cast<std::size_t>(raw->var)) {
+      var_to_flow_.resize(static_cast<std::size_t>(raw->var) + 1, nullptr);
+    }
+    var_to_flow_[static_cast<std::size_t>(raw->var)] = raw;
     for (int link : links) {
       const int constraint = link_constraint_[static_cast<std::size_t>(link)];
       if (constraint >= 0) system_.attach(raw->var, constraint);
@@ -132,9 +151,11 @@ void FlowNetworkModel::resettle(double now) {
   if (!system_.dirty()) return;
   system_.solve();
   for (int var : system_.last_solved_variables()) {
-    auto it = var_to_flow_.find(var);
-    if (it == var_to_flow_.end()) continue;  // not one of ours (shouldn't happen)
-    Flow& flow = *it->second;
+    Flow* entry = static_cast<std::size_t>(var) < var_to_flow_.size()
+                      ? var_to_flow_[static_cast<std::size_t>(var)]
+                      : nullptr;
+    if (entry == nullptr) continue;  // not one of ours (shouldn't happen)
+    Flow& flow = *entry;
     const double rate = system_.value(var);
     if (rate == flow.work.rate()) continue;  // allocation unchanged: keep the entry
     flow.work.set_rate(rate, now);
@@ -144,8 +165,12 @@ void FlowNetworkModel::resettle(double now) {
 
 void FlowNetworkModel::reschedule(Flow& flow, double now) {
   SMPI_ENSURE(flow.work.rate() > 0, "active flow with zero rate");
-  calendar().cancel(flow.event);
-  flow.event = calendar().schedule(std::max(now, flow.work.completion_date(now)), this, flow.id);
+  const double date = std::max(now, flow.work.completion_date(now));
+  // Move the existing heap entry in place; schedule afresh only when the
+  // flow has none (first rate) or it already fired.
+  if (flow.event == sim::EventCalendar::kNoEvent || !calendar().update(flow.event, date)) {
+    flow.event = calendar().schedule(date, this, flow.id);
+  }
 }
 
 void FlowNetworkModel::on_calendar_event(double now, std::uint64_t tag) {
@@ -163,7 +188,7 @@ void FlowNetworkModel::complete(Flow& flow) {
   const std::uint64_t id = flow.id;  // `flow` dies with the erase below
   if (flow.var >= 0) {
     system_.release_variable(flow.var);
-    var_to_flow_.erase(flow.var);
+    var_to_flow_[static_cast<std::size_t>(flow.var)] = nullptr;
   }
   flows_.erase(id);
   // Deferred: simultaneous completions redistribute the freed shares in one

@@ -35,7 +35,10 @@ struct NetworkConfig {
   double bandwidth_efficiency = 0.92; // achievable fraction of nominal capacity under sharing
   double tcp_window_bytes = 4.0 * 1024 * 1024;  // 0 disables the window bound
   bool contention = true;
-  bool incremental_solver = true;     // full reference solve when false
+  // Solve strategy for the bandwidth-sharing (and, via SmpiWorld, the CPU)
+  // system: lazy modified-set propagation (default), whole-component
+  // re-solve, or the full reference path for equivalence testing.
+  SolveMode solver_mode = SolveMode::kLazy;
 };
 
 class FlowNetworkModel final : public sim::Model, public sim::NetworkBackend {
@@ -77,6 +80,16 @@ class FlowNetworkModel final : public sim::Model, public sim::NetworkBackend {
     sim::EventCalendar::Handle event = sim::EventCalendar::kNoEvent;
   };
 
+  // Per-(src,dst) route digest, computed once: the platform's route map is
+  // immutable, and re-deriving latency/bottleneck per flow cost three hash
+  // lookups plus two link walks per message on the collective hot path.
+  struct RouteInfo {
+    const std::vector<int>* links = nullptr;
+    double latency = 0;     // sum of link latencies
+    double bottleneck = 0;  // min link bandwidth
+  };
+  const RouteInfo& route_info(int src_node, int dst_node) const;
+
   // Compute (latency, rate bound) for a transfer.
   void path_parameters(int src_node, int dst_node, double bytes, double* latency_out,
                        double* bound_out) const;
@@ -91,8 +104,11 @@ class FlowNetworkModel final : public sim::Model, public sim::NetworkBackend {
   NetworkConfig config_;
   MaxMinSystem system_;
   std::vector<int> link_constraint_;  // per link id; -1 for fatpipe links
+  mutable std::unordered_map<std::uint64_t, RouteInfo> route_cache_;
   std::unordered_map<std::uint64_t, std::shared_ptr<Flow>> flows_;  // by flow id
-  std::unordered_map<int, Flow*> var_to_flow_;
+  // Indexed by solver variable id — ids are recycled, so this stays as small
+  // as the peak concurrent flow count; nullptr for retired slots.
+  std::vector<Flow*> var_to_flow_;
   std::uint64_t next_flow_id_ = 1;
   std::uint64_t total_flows_ = 0;
 };

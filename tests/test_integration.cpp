@@ -66,15 +66,15 @@ TEST(Integration, PacketBackendIsDeterministicToo) {
   EXPECT_DOUBLE_EQ(run_once(), run_once());
 }
 
-TEST(Integration, IncrementalAndFullSolverAgreeEndToEnd) {
-  // The same MPI program, once under the incremental solver (default) and
-  // once under the full-reference path (the flag drives both the network
-  // and the CPU solver): the simulated completion times must match to
-  // solver tolerance — the whole-stack version of the
-  // MaxMinEquivalenceTest property.
-  auto run_once = [](bool incremental) {
+TEST(Integration, AllSolverModesAgreeEndToEnd) {
+  // The same MPI program under the lazy (default), component-incremental,
+  // and full-reference solvers (the knob drives both the network and the
+  // CPU system): the simulated completion times must match to solver
+  // tolerance — the whole-stack version of the MaxMinEquivalenceTest
+  // property.
+  auto run_once = [](smpi::surf::SolveMode mode) {
     sc::SmpiConfig config;
-    config.network.incremental_solver = incremental;
+    config.network.solver_mode = mode;
     return run_mpi(
         12,
         [] {
@@ -92,7 +92,9 @@ TEST(Integration, IncrementalAndFullSolverAgreeEndToEnd) {
         },
         config);
   };
-  EXPECT_NEAR(run_once(true), run_once(false), 1e-9);
+  const double full = run_once(smpi::surf::SolveMode::kFull);
+  EXPECT_NEAR(run_once(smpi::surf::SolveMode::kLazy), full, 1e-9);
+  EXPECT_NEAR(run_once(smpi::surf::SolveMode::kComponent), full, 1e-9);
 }
 
 TEST(Integration, ThreadBackendRunsFullMpiApplication) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "sim/engine.hpp"
@@ -101,7 +102,7 @@ TEST(EventCalendar, LiveEntryCountExcludesCancelled) {
 }
 
 TEST(EventCalendar, RescheduleMovesTheDate) {
-  // The cancel + schedule pattern the models use when a rate changes.
+  // The cancel + schedule pattern the models used before update() existed.
   ss::EventCalendar cal;
   RecorderModel model;
   auto handle = cal.schedule(4.0, &model, 7);
@@ -112,6 +113,109 @@ TEST(EventCalendar, RescheduleMovesTheDate) {
   ASSERT_TRUE(cal.pop_due(2.0, &fired));
   EXPECT_EQ(fired.tag, 7u);
   EXPECT_FALSE(cal.pop_due(10.0, &fired));
+}
+
+TEST(EventCalendar, UpdateMovesAnEntryInPlace) {
+  // The action-heap decrease/increase-key the models use when a rate changes.
+  ss::EventCalendar cal;
+  RecorderModel model;
+  const auto a = cal.schedule(4.0, &model, 1);
+  cal.schedule(3.0, &model, 2);
+  ASSERT_TRUE(cal.update(a, 1.0));  // decrease-key past the other entry
+  EXPECT_DOUBLE_EQ(cal.next_date(), 1.0);
+  EXPECT_EQ(cal.live_entry_count(), 2u);  // moved, not re-added
+  ASSERT_TRUE(cal.update(a, 5.0));  // increase-key back past it
+  EXPECT_DOUBLE_EQ(cal.next_date(), 3.0);
+  ss::EventCalendar::Fired fired;
+  std::vector<std::uint64_t> order;
+  while (cal.pop_due(10.0, &fired)) order.push_back(fired.tag);
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{2, 1}));
+}
+
+TEST(EventCalendar, UpdateKeepsCreationOrderOnTies) {
+  // An updated entry keeps its original handle, so a tie at the new date
+  // still fires in creation order.
+  ss::EventCalendar cal;
+  RecorderModel model;
+  const auto first = cal.schedule(9.0, &model, 1);
+  cal.schedule(2.0, &model, 2);
+  ASSERT_TRUE(cal.update(first, 2.0));
+  ss::EventCalendar::Fired fired;
+  std::vector<std::uint64_t> order;
+  while (cal.pop_due(2.0, &fired)) order.push_back(fired.tag);
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{1, 2}));
+}
+
+TEST(EventCalendar, UpdateOfDeadHandleReportsFailure) {
+  // Fired and cancelled entries are gone from the heap: update() must say so
+  // (the caller then schedules a fresh entry) and must not resurrect them.
+  ss::EventCalendar cal;
+  RecorderModel model;
+  const auto h = cal.schedule(1.0, &model, 1);
+  ss::EventCalendar::Fired fired;
+  ASSERT_TRUE(cal.pop_due(1.0, &fired));
+  EXPECT_FALSE(cal.update(h, 5.0));
+  EXPECT_EQ(cal.live_entry_count(), 0u);
+  const auto h2 = cal.schedule(2.0, &model, 2);
+  cal.cancel(h2);
+  EXPECT_FALSE(cal.update(h2, 5.0));
+  EXPECT_EQ(cal.live_entry_count(), 0u);
+  EXPECT_FALSE(cal.update(ss::EventCalendar::kNoEvent, 5.0));
+}
+
+TEST(EventCalendar, HeavyRescheduleChurnKeepsHeapTight) {
+  // The indexed heap holds exactly one entry per live action no matter how
+  // often keys move (the tombstone scheme accumulated dead entries here).
+  ss::EventCalendar cal;
+  RecorderModel model;
+  std::vector<ss::EventCalendar::Handle> handles;
+  for (int i = 0; i < 64; ++i) {
+    handles.push_back(cal.schedule(100.0 + i, &model, static_cast<std::uint64_t>(i)));
+  }
+  for (int round = 0; round < 100; ++round) {
+    for (int i = 0; i < 64; ++i) {
+      ASSERT_TRUE(cal.update(handles[static_cast<std::size_t>(i)],
+                             1.0 + ((round * 7 + i * 13) % 97)));
+    }
+    ASSERT_EQ(cal.live_entry_count(), 64u);
+  }
+  // Still a well-formed heap: pops drain in date order.
+  double last = 0;
+  ss::EventCalendar::Fired fired;
+  int popped = 0;
+  while (cal.pop_due(1000.0, &fired)) {
+    ++popped;
+    EXPECT_GE(cal.next_date(), last);
+    last = cal.next_date();
+  }
+  EXPECT_EQ(popped, 64);
+}
+
+TEST(EngineCalendar, SameInstantEntriesAndTimersDrainInCreationOrder) {
+  // Regression for the merged two-heap peek: calendar entries and plain
+  // timers due at one date must fire in strict global (date, creation)
+  // order, not "all calendar entries first, all timers second".
+  struct TaggingModel final : public ss::Model {
+    std::vector<std::string>* log = nullptr;
+    void arm(double date, std::uint64_t tag) { calendar().schedule(date, this, tag); }
+    void on_calendar_event(double, std::uint64_t tag) override {
+      log->push_back("cal" + std::to_string(tag));
+    }
+  };
+  ss::Engine engine;
+  auto model = std::make_shared<TaggingModel>();
+  std::vector<std::string> log;
+  model->log = &log;
+  engine.add_model(model);
+  engine.spawn("driver", 0, [&] {
+    engine.add_timer(1.0, [&] { log.push_back("timer1"); });
+    model->arm(1.0, 2);
+    engine.add_timer(1.0, [&] { log.push_back("timer3"); });
+    model->arm(1.0, 4);
+    engine.sleep_for(2.0);
+  });
+  engine.run();
+  EXPECT_EQ(log, (std::vector<std::string>{"timer1", "cal2", "timer3", "cal4"}));
 }
 
 TEST(EngineCalendar, ModelEventsDriveVirtualTime) {

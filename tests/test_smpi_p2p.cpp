@@ -222,6 +222,95 @@ TEST(SmpiP2P, TestPollsWithoutBlocking) {
   });
 }
 
+TEST(SmpiP2P, TightTestLoopSubscribesInsteadOfBurningTimers) {
+  // A tight MPI_Test polling loop across a long wait used to create one
+  // timer per 1e-7 s poll (500k for the 0.05 s wait below). The
+  // completion-subscription path blocks on the request's state with a
+  // backed-off fallback timer, so the timer count stays sub-linear while
+  // the observable result (completion, payload, quantized timing) matches.
+  run_mpi(2, [] {
+    if (my_rank() == 0) {
+      int got = -1;
+      MPI_Request req;
+      MPI_Irecv(&got, 1, MPI_INT, 1, 0, MPI_COMM_WORLD, &req);
+      int flag = 0;
+      long polls = 0;
+      while (flag == 0) {
+        MPI_Test(&req, &flag, MPI_STATUS_IGNORE);
+        ++polls;
+        ASSERT_LT(polls, 1000000) << "Test never completed";
+      }
+      auto& engine = smpi::core::SmpiWorld::instance()->engine();
+      EXPECT_EQ(got, 77);
+      EXPECT_GE(engine.now(), 0.05);          // the wait really happened
+      EXPECT_LT(polls, 2000);                 // not one return per 1e-7 s
+      EXPECT_LT(engine.timers_created(), 5000u);  // ... and not one timer either
+    } else {
+      smpi_sleep(0.05);
+      const int v = 77;
+      MPI_Send(&v, 1, MPI_INT, 0, 0, MPI_COMM_WORLD);
+    }
+  });
+}
+
+TEST(SmpiP2P, TightIprobeLoopSubscribesToArrivals) {
+  run_mpi(2, [] {
+    if (my_rank() == 0) {
+      int flag = 0;
+      long polls = 0;
+      MPI_Status status;
+      while (flag == 0) {
+        MPI_Iprobe(1, 5, MPI_COMM_WORLD, &flag, &status);
+        ++polls;
+        ASSERT_LT(polls, 1000000) << "Iprobe never saw the message";
+      }
+      EXPECT_EQ(status.MPI_SOURCE, 1);
+      EXPECT_EQ(status.MPI_TAG, 5);
+      int got = -1;
+      MPI_Recv(&got, 1, MPI_INT, 1, 5, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+      EXPECT_EQ(got, 41);
+      EXPECT_LT(polls, 2000);
+    } else {
+      smpi_sleep(0.02);
+      const int v = 41;
+      MPI_Send(&v, 1, MPI_INT, 0, 5, MPI_COMM_WORLD);
+    }
+  });
+}
+
+TEST(SmpiP2P, InterleavedTestsKeepPayingPerPollSleeps) {
+  // A Test with real work between polls is *not* a tight loop: it must not
+  // block until completion — time advances by the work plus one poll each
+  // round, exactly as before.
+  run_mpi(2, [] {
+    if (my_rank() == 0) {
+      auto& engine = smpi::core::SmpiWorld::instance()->engine();
+      int got = -1;
+      MPI_Request req;
+      MPI_Irecv(&got, 1, MPI_INT, 1, 0, MPI_COMM_WORLD, &req);
+      int flag = 0;
+      int rounds = 0;
+      while (flag == 0 && rounds < 4) {
+        const double before = engine.now();
+        MPI_Test(&req, &flag, MPI_STATUS_IGNORE);
+        if (flag == 0) {
+          // An unsuccessful interleaved poll costs ~one poll interval, not
+          // the full remaining wait.
+          EXPECT_LT(engine.now() - before, 1e-3);
+          smpi_sleep(0.001);  // "compute"
+        }
+        ++rounds;
+      }
+      MPI_Wait(&req, MPI_STATUS_IGNORE);
+      EXPECT_EQ(got, 99);
+    } else {
+      smpi_sleep(0.01);
+      const int v = 99;
+      MPI_Send(&v, 1, MPI_INT, 0, 0, MPI_COMM_WORLD);
+    }
+  });
+}
+
 TEST(SmpiP2P, SendrecvExchangesWithoutDeadlock) {
   run_mpi(4, [] {
     const int rank = my_rank();

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Trend gate for the kernel perf benches.
+
+Diffs freshly produced BENCH_*.json files against the committed baselines in
+bench/baseline/ and fails (exit 1) when any shared (op, n) series regressed
+by more than the threshold. Wall-clock noise on shared CI runners is real, so
+the default threshold is a generous 2x — this is a tripwire for superlinear
+blowups (the bcast-at-1024 kind), not a microbenchmark referee.
+
+Usage:
+    tools/bench_trend.py --fresh build --baseline bench/baseline [--threshold 2.0]
+
+Records look like {"op": "solver_churn_lazy", "n": 1024, "wall_ns": 11665.0}.
+Ops present only in the baseline (retired series) or only in the fresh run
+(new series) are reported but never fail the gate; refresh the baseline in
+the PR that changes the set.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_records(path):
+    with open(path) as fh:
+        data = json.load(fh)
+    out = {}
+    for record in data:
+        out[(record["op"], int(record["n"]))] = float(record["wall_ns"])
+    return out
+
+
+def format_ns(ns):
+    if ns >= 1e9:
+        return f"{ns / 1e9:.2f}s"
+    if ns >= 1e6:
+        return f"{ns / 1e6:.2f}ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.2f}us"
+    return f"{ns:.0f}ns"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fresh", default="build", help="directory with fresh BENCH_*.json")
+    parser.add_argument("--baseline", default="bench/baseline",
+                        help="directory with committed baseline BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=2.0,
+                        help="fail when fresh/baseline exceeds this ratio")
+    args = parser.parse_args()
+
+    baseline_files = sorted(
+        f for f in os.listdir(args.baseline)
+        if f.startswith("BENCH_") and f.endswith(".json"))
+    if not baseline_files:
+        print(f"bench_trend: no baselines under {args.baseline}", file=sys.stderr)
+        return 1
+
+    regressions = []
+    compared = 0
+    for name in baseline_files:
+        fresh_path = os.path.join(args.fresh, name)
+        if not os.path.exists(fresh_path):
+            print(f"bench_trend: {name}: no fresh file under {args.fresh}, skipping")
+            continue
+        baseline = load_records(os.path.join(args.baseline, name))
+        fresh = load_records(fresh_path)
+
+        print(f"\n{name} (fresh vs baseline, threshold {args.threshold:.1f}x):")
+        for key in sorted(baseline):
+            op, n = key
+            if key not in fresh:
+                print(f"  {op:32s} n={n:<6d} retired (baseline only)")
+                continue
+            compared += 1
+            ratio = fresh[key] / baseline[key] if baseline[key] > 0 else float("inf")
+            marker = " <-- REGRESSION" if ratio > args.threshold else ""
+            print(f"  {op:32s} n={n:<6d} {format_ns(fresh[key]):>10s} "
+                  f"vs {format_ns(baseline[key]):>10s}  ({ratio:5.2f}x){marker}")
+            if ratio > args.threshold:
+                regressions.append((name, op, n, ratio))
+        for key in sorted(set(fresh) - set(baseline)):
+            print(f"  {key[0]:32s} n={key[1]:<6d} new series (no baseline)")
+
+    # Machine-independent invariant: within one run (same machine, same
+    # load), the lazy solver must beat the component-incremental path at
+    # large flow counts — this is the claim the lazy path exists for, and
+    # unlike the absolute ratios it cannot be faked or broken by a slower
+    # CI runner generation.
+    solver_fresh_path = os.path.join(args.fresh, "BENCH_solver.json")
+    if os.path.exists(solver_fresh_path):
+        solver = load_records(solver_fresh_path)
+        for (op, n), ns in sorted(solver.items()):
+            if op != "solver_churn_lazy" or n < 256:
+                continue
+            incremental = solver.get(("solver_churn_incremental", n))
+            if incremental is not None and ns > incremental:
+                regressions.append(("BENCH_solver.json",
+                                    "solver_churn_lazy slower than incremental", n,
+                                    ns / incremental))
+
+    if compared == 0:
+        print("bench_trend: nothing compared — fresh bench files missing?", file=sys.stderr)
+        return 1
+    if regressions:
+        print(f"\nbench_trend: {len(regressions)} series regressed past "
+              f"{args.threshold:.1f}x:", file=sys.stderr)
+        for name, op, n, ratio in regressions:
+            print(f"  {name}: {op} n={n}: {ratio:.2f}x", file=sys.stderr)
+        return 1
+    print(f"\nbench_trend: OK ({compared} series within {args.threshold:.1f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
