@@ -9,6 +9,7 @@
 
 #include "smpi/coll.h"
 #include "smpi/internals.hpp"
+#include "trace/capture.hpp"
 #include "util/check.hpp"
 
 namespace smpi::coll {
@@ -741,11 +742,57 @@ int check_coll_comm(MPI_Comm comm, int root, bool has_root) {
 
 bool pow2(int x) { return x > 0 && (x & (x - 1)) == 0; }
 
+// --- TI capture helpers ----------------------------------------------------
+
+// TI traces replay collectives on MPI_COMM_WORLD; capturing one on a derived
+// communicator would silently change the traffic pattern, so it is rejected
+// outright (the documented capture limitation).
+bool coll_recording(smpi::trace::ApiScope& scope, MPI_Comm comm) {
+  if (!scope.recording()) return false;
+  SMPI_REQUIRE(comm == current_process_checked().world->world_comm(),
+               "TI capture supports collectives on MPI_COMM_WORLD only");
+  return true;
+}
+
+// Record a (count, element-size) block where count*elem is the payload byte
+// count; zero-sized datatypes degrade to zero bytes so the replayed byte
+// count matches.
+void set_block(long long count, MPI_Datatype type, long long* out_count, long long* out_elem) {
+  const long long elem = type == MPI_DATATYPE_NULL ? 0 : static_cast<long long>(type->size());
+  if (elem <= 0) {
+    *out_count = 0;
+    *out_elem = 1;
+  } else {
+    *out_count = count;
+    *out_elem = elem;
+  }
+}
+
+// Variant for gather/scatter-style records where the count is meaningful on
+// every rank even when that rank's datatype for the side is null/unused
+// (e.g. a scatter leaf's sendtype): keep the count, clamp elem to >= 1.
+void set_count_block(long long count, MPI_Datatype type, long long* out_count,
+                     long long* out_elem) {
+  const long long elem = type == MPI_DATATYPE_NULL ? 1 : static_cast<long long>(type->size());
+  *out_count = count;
+  *out_elem = elem <= 0 ? 1 : elem;
+}
+
+std::vector<long long> to_longs(const int* values, int n) {
+  return std::vector<long long>(values, values + n);
+}
+
 }  // namespace
 
 int MPI_Barrier(MPI_Comm comm) {
   const int rc = check_coll_comm(comm, 0, false);
   if (rc != MPI_SUCCESS) return rc;
+  smpi::trace::ApiScope scope("barrier");
+  if (coll_recording(scope, comm)) {
+    smpi::trace::TiRecord r;
+    r.op = smpi::trace::TiOp::kBarrier;
+    scope.emit(r);
+  }
   return barrier_dissemination(comm);
 }
 
@@ -754,6 +801,14 @@ int MPI_Bcast(void* buffer, int count, MPI_Datatype datatype, int root, MPI_Comm
   if (rc != MPI_SUCCESS) return rc;
   rc = check_buffer_args(buffer, count, datatype);
   if (rc != MPI_SUCCESS) return rc;
+  smpi::trace::ApiScope scope("bcast");
+  if (coll_recording(scope, comm)) {
+    smpi::trace::TiRecord r;
+    r.op = smpi::trace::TiOp::kBcast;
+    set_block(count, datatype, &r.count, &r.elem);
+    r.peer = root;
+    scope.emit(r);
+  }
   // Size-based dispatch as in MPICH2 (§5.3): binomial tree for short
   // messages, scatter + ring allgather for long ones (avoids pushing the
   // whole payload through every tree level).
@@ -777,6 +832,27 @@ int MPI_Scatter(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void*
     rc = check_buffer_args(recvbuf, recvcount, recvtype);
     if (rc != MPI_SUCCESS) return rc;
   }
+  smpi::trace::ApiScope scope("scatter");
+  if (coll_recording(scope, comm)) {
+    // Only this rank's *significant* arguments are read: the send side is
+    // defined at the root only (a conforming non-root may pass garbage
+    // there, including a dangling datatype handle).
+    smpi::trace::TiRecord r;
+    r.op = smpi::trace::TiOp::kScatter;
+    if (rank == root) {
+      set_count_block(sendcount, sendtype, &r.count, &r.elem);
+      if (recvbuf == MPI_IN_PLACE) {
+        set_count_block(sendcount, sendtype, &r.count2, &r.elem2);
+      } else {
+        set_count_block(recvcount, recvtype, &r.count2, &r.elem2);
+      }
+    } else {
+      set_count_block(recvcount, recvtype, &r.count, &r.elem);
+      set_count_block(recvcount, recvtype, &r.count2, &r.elem2);
+    }
+    r.peer = root;
+    scope.emit(r);
+  }
   return scatter_binomial(sendbuf, sendcount, sendtype, recvbuf, recvcount, recvtype, root, comm);
 }
 
@@ -787,6 +863,17 @@ int MPI_Scatterv(const void* sendbuf, const int sendcounts[], const int displs[]
   if (rc != MPI_SUCCESS) return rc;
   const int size = comm->size();
   const int rank = comm->rank_of_world(current_process_checked().world_rank);
+  smpi::trace::ApiScope scope("scatterv");
+  if (coll_recording(scope, comm) && (rank != root || (sendcounts != nullptr && valid_type(sendtype)))) {
+    smpi::trace::TiRecord r;
+    r.op = smpi::trace::TiOp::kScatterv;
+    set_count_block(recvcount, recvtype, &r.count2, &r.elem2);
+    r.elem = rank == root ? static_cast<long long>(sendtype->size()) : 1;
+    if (r.elem <= 0) r.elem = 1;
+    r.peer = root;
+    if (rank == root) r.counts = to_longs(sendcounts, size);
+    scope.emit(r);
+  }
   if (rank == root) {
     if (sendcounts == nullptr || displs == nullptr) return MPI_ERR_ARG;
     if (!valid_type(sendtype)) return MPI_ERR_TYPE;
@@ -827,6 +914,26 @@ int MPI_Gather(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* 
     rc = check_buffer_args(recvbuf, recvcount, recvtype);
     if (rc != MPI_SUCCESS) return rc;
   }
+  smpi::trace::ApiScope scope("gather");
+  if (coll_recording(scope, comm)) {
+    // The recv side is significant at the root only; a conforming non-root
+    // may pass garbage recvcount/recvtype.
+    smpi::trace::TiRecord r;
+    r.op = smpi::trace::TiOp::kGather;
+    if (sendbuf == MPI_IN_PLACE) {  // in-place root contributes its recv block
+      set_count_block(recvcount, recvtype, &r.count, &r.elem);
+    } else {
+      set_count_block(sendcount, sendtype, &r.count, &r.elem);
+    }
+    if (rank == root) {
+      set_count_block(recvcount, recvtype, &r.count2, &r.elem2);
+    } else {
+      r.count2 = r.count;
+      r.elem2 = r.elem;
+    }
+    r.peer = root;
+    scope.emit(r);
+  }
   return gather_binomial(sendbuf, sendcount, sendtype, recvbuf, recvcount, recvtype, root, comm);
 }
 
@@ -837,6 +944,20 @@ int MPI_Gatherv(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void*
   if (rc != MPI_SUCCESS) return rc;
   const int size = comm->size();
   const int rank = comm->rank_of_world(current_process_checked().world_rank);
+  smpi::trace::ApiScope scope("gatherv");
+  if (coll_recording(scope, comm) && (rank != root || recvcounts != nullptr)) {
+    smpi::trace::TiRecord r;
+    r.op = smpi::trace::TiOp::kGatherv;
+    set_count_block(sendbuf == MPI_IN_PLACE ? 0 : sendcount, sendtype, &r.count, &r.elem);
+    // recvtype is significant at the root only.
+    r.elem2 = rank == root && recvtype != MPI_DATATYPE_NULL
+                  ? static_cast<long long>(recvtype->size())
+                  : 1;
+    if (r.elem2 <= 0) r.elem2 = 1;
+    r.peer = root;
+    if (rank == root) r.counts = to_longs(recvcounts, size);
+    scope.emit(r);
+  }
   if (rank != root) {
     return internal_send(sendbuf, sendcount, sendtype, root, 101, comm, true);
   }
@@ -867,6 +988,18 @@ int MPI_Allgather(const void* sendbuf, int sendcount, MPI_Datatype sendtype, voi
   if (rc != MPI_SUCCESS) return rc;
   rc = check_buffer_args(recvbuf, recvcount, recvtype);
   if (rc != MPI_SUCCESS) return rc;
+  smpi::trace::ApiScope scope("allgather");
+  if (coll_recording(scope, comm)) {
+    smpi::trace::TiRecord r;
+    r.op = smpi::trace::TiOp::kAllgather;
+    if (sendbuf == MPI_IN_PLACE) {
+      set_count_block(recvcount, recvtype, &r.count, &r.elem);
+    } else {
+      set_count_block(sendcount, sendtype, &r.count, &r.elem);
+    }
+    set_count_block(recvcount, recvtype, &r.count2, &r.elem2);
+    scope.emit(r);
+  }
   if (pow2(comm->size())) {
     return allgather_recursive_doubling(sendbuf, sendcount, sendtype, recvbuf, recvcount,
                                         recvtype, comm);
@@ -882,6 +1015,20 @@ int MPI_Allgatherv(const void* sendbuf, int sendcount, MPI_Datatype sendtype, vo
   if (recvcounts == nullptr || displs == nullptr) return MPI_ERR_ARG;
   const int size = comm->size();
   const int rank = comm->rank_of_world(current_process_checked().world_rank);
+  smpi::trace::ApiScope scope("allgatherv");
+  if (coll_recording(scope, comm)) {
+    smpi::trace::TiRecord r;
+    r.op = smpi::trace::TiOp::kAllgatherv;
+    if (sendbuf == MPI_IN_PLACE) {
+      set_count_block(recvcounts[rank], recvtype, &r.count, &r.elem);
+    } else {
+      set_count_block(sendcount, sendtype, &r.count, &r.elem);
+    }
+    r.elem2 = recvtype == MPI_DATATYPE_NULL ? 1 : static_cast<long long>(recvtype->size());
+    if (r.elem2 <= 0) r.elem2 = 1;
+    r.counts = to_longs(recvcounts, size);
+    scope.emit(r);
+  }
   auto* out = static_cast<unsigned char*>(recvbuf);
   // Ring over variable-size blocks.
   if (sendbuf != MPI_IN_PLACE) {
@@ -915,6 +1062,15 @@ int MPI_Reduce(const void* sendbuf, void* recvbuf, int count, MPI_Datatype datat
   if (!valid_type(datatype)) return MPI_ERR_TYPE;
   if (!valid_count(count)) return MPI_ERR_COUNT;
   if (!op->valid_for(*datatype)) return MPI_ERR_OP;
+  smpi::trace::ApiScope scope("reduce");
+  if (coll_recording(scope, comm)) {
+    smpi::trace::TiRecord r;
+    r.op = smpi::trace::TiOp::kReduce;
+    set_block(count, datatype, &r.count, &r.elem);
+    r.peer = root;
+    r.commutative = op->commutative();
+    scope.emit(r);
+  }
   return reduce_binomial(sendbuf, recvbuf, count, datatype, op, root, comm);
 }
 
@@ -926,6 +1082,14 @@ int MPI_Allreduce(const void* sendbuf, void* recvbuf, int count, MPI_Datatype da
   if (!valid_type(datatype)) return MPI_ERR_TYPE;
   if (!valid_count(count)) return MPI_ERR_COUNT;
   if (!op->valid_for(*datatype)) return MPI_ERR_OP;
+  smpi::trace::ApiScope scope("allreduce");
+  if (coll_recording(scope, comm)) {
+    smpi::trace::TiRecord r;
+    r.op = smpi::trace::TiOp::kAllreduce;
+    set_block(count, datatype, &r.count, &r.elem);
+    r.commutative = op->commutative();
+    scope.emit(r);
+  }
   const std::size_t bytes = static_cast<std::size_t>(count) * datatype->size();
   if (pow2(comm->size())) {
     // Long commutative vectors: Rabenseifner halves the bytes each rank
@@ -948,6 +1112,14 @@ int MPI_Scan(const void* sendbuf, void* recvbuf, int count, MPI_Datatype datatyp
   if (!valid_type(datatype)) return MPI_ERR_TYPE;
   if (!valid_count(count)) return MPI_ERR_COUNT;
   if (!op->valid_for(*datatype)) return MPI_ERR_OP;
+  smpi::trace::ApiScope scope("scan");
+  if (coll_recording(scope, comm)) {
+    smpi::trace::TiRecord r;
+    r.op = smpi::trace::TiOp::kScan;
+    set_block(count, datatype, &r.count, &r.elem);
+    r.commutative = op->commutative();
+    scope.emit(r);
+  }
   const int size = comm->size();
   const int rank = comm->rank_of_world(current_process_checked().world_rank);
   const std::size_t bytes = static_cast<std::size_t>(count) * datatype->size();
@@ -984,6 +1156,16 @@ int MPI_Reduce_scatter(const void* sendbuf, void* recvbuf, const int recvcounts[
   for (int r = 0; r < size; ++r) {
     if (recvcounts[r] < 0) return MPI_ERR_COUNT;
   }
+  smpi::trace::ApiScope scope("reducescatter");
+  if (coll_recording(scope, comm)) {
+    smpi::trace::TiRecord rec;
+    rec.op = smpi::trace::TiOp::kReduceScatter;
+    rec.elem = static_cast<long long>(datatype->size());
+    if (rec.elem <= 0) rec.elem = 1;
+    rec.commutative = op->commutative();
+    rec.counts = to_longs(recvcounts, size);
+    scope.emit(rec);
+  }
   if (op->commutative()) {
     return reduce_scatter_pairwise(sendbuf, recvbuf, recvcounts, datatype, op, comm);
   }
@@ -1009,6 +1191,14 @@ int MPI_Alltoall(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void
   rc = check_buffer_args(recvbuf, recvcount, recvtype);
   if (rc != MPI_SUCCESS) return rc;
   if (sendbuf == MPI_IN_PLACE) return MPI_ERR_ARG;
+  smpi::trace::ApiScope scope("alltoall");
+  if (coll_recording(scope, comm)) {
+    smpi::trace::TiRecord r;
+    r.op = smpi::trace::TiOp::kAlltoall;
+    set_count_block(sendcount, sendtype, &r.count, &r.elem);
+    set_count_block(recvcount, recvtype, &r.count2, &r.elem2);
+    scope.emit(r);
+  }
   // Size-based dispatch as in MPICH2: Bruck for short messages on enough
   // ranks (latency-bound), the naive full-throttle algorithm for medium
   // ones, pairwise exchange for long ones.
@@ -1033,6 +1223,18 @@ int MPI_Alltoallv(const void* sendbuf, const int sendcounts[], const int sdispls
   }
   const int size = comm->size();
   const int rank = comm->rank_of_world(current_process_checked().world_rank);
+  smpi::trace::ApiScope scope("alltoallv");
+  if (coll_recording(scope, comm)) {
+    smpi::trace::TiRecord r;
+    r.op = smpi::trace::TiOp::kAlltoallv;
+    r.elem = sendtype == MPI_DATATYPE_NULL ? 1 : static_cast<long long>(sendtype->size());
+    if (r.elem <= 0) r.elem = 1;
+    r.elem2 = recvtype == MPI_DATATYPE_NULL ? 1 : static_cast<long long>(recvtype->size());
+    if (r.elem2 <= 0) r.elem2 = 1;
+    r.counts = to_longs(sendcounts, size);
+    r.counts2 = to_longs(recvcounts, size);
+    scope.emit(r);
+  }
   const auto* in = static_cast<const unsigned char*>(sendbuf);
   auto* out = static_cast<unsigned char*>(recvbuf);
   std::vector<Request*> requests;

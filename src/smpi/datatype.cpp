@@ -74,7 +74,18 @@ Datatype* Datatype::vector(int count, int blocklength, int stride, Datatype* old
   return t;
 }
 
+namespace {
+// Payload-free (replay) mode moves no data anywhere: pack/unpack become
+// no-ops at this single choke point, which also covers every collective's
+// own staging copies.
+bool payload_free_mode() {
+  const SmpiWorld* world = SmpiWorld::instance();
+  return world != nullptr && world->config().payload_free;
+}
+}  // namespace
+
 void Datatype::pack(const void* user_buffer, int count, void* packed) const {
+  if (payload_free_mode()) return;
   const auto* src = static_cast<const unsigned char*>(user_buffer);
   auto* dst = static_cast<unsigned char*>(packed);
   if (!needs_packing()) {
@@ -91,6 +102,7 @@ void Datatype::pack(const void* user_buffer, int count, void* packed) const {
 }
 
 void Datatype::unpack(const void* packed, int count, void* user_buffer) const {
+  if (payload_free_mode()) return;
   const auto* src = static_cast<const unsigned char*>(packed);
   auto* dst = static_cast<unsigned char*>(user_buffer);
   if (!needs_packing()) {
@@ -107,6 +119,7 @@ void Datatype::unpack(const void* packed, int count, void* user_buffer) const {
 }
 
 void Datatype::unpack_bytes(const void* packed, std::size_t nbytes, void* user_buffer) const {
+  if (payload_free_mode()) return;
   const auto* src = static_cast<const unsigned char*>(packed);
   auto* dst = static_cast<unsigned char*>(user_buffer);
   if (!needs_packing()) {

@@ -321,6 +321,11 @@ class Process {
   double poll_timer_deadline = -1;
   std::unordered_set<const sim::Activity*> poll_subscribed;
 
+  // Trace-capture nesting depth: >0 while inside an instrumented MPI entry
+  // point, so the collectives' internal sends never double-record (see
+  // trace/capture.hpp).
+  int trace_depth = 0;
+
   // Local sampling sites ("file:line"); global sites live on the world.
   std::unordered_map<std::string, SampleSite> local_samples;
   // Sites this rank is currently inside (nesting detector + timer state).

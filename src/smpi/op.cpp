@@ -100,6 +100,12 @@ bool Op::valid_for(const Datatype& datatype) const {
 }
 
 void Op::apply(const void* in, void* inout, int count, Datatype* datatype) const {
+  // Payload-free (replay) mode: reductions cost no simulated time and the
+  // data is synthetic, so skip the host-side arithmetic entirely.
+  {
+    const SmpiWorld* world = SmpiWorld::instance();
+    if (world != nullptr && world->config().payload_free) return;
+  }
   if (user_fn_ != nullptr) {
     int len = count * static_cast<int>(datatype->element_count());
     MPI_Datatype handle = datatype;

@@ -17,6 +17,7 @@
 #include <cstring>
 
 #include "smpi/internals.hpp"
+#include "trace/capture.hpp"
 #include "util/check.hpp"
 
 namespace smpi::core {
@@ -45,6 +46,9 @@ void copy_payload_to_receiver(const Envelope& env, Request& recv) {
   recv.status_bytes = bytes;
   if (env.bytes > capacity) recv.status_error = MPI_ERR_TRUNCATE;
   if (bytes == 0) return;
+  // Payload-free (replay) mode: sizes and statuses are tracked, data never
+  // moves — eager envelopes carry no snapshot to read from.
+  if (config().payload_free) return;
 
   if (env.eager_data != nullptr) {
     recv.datatype->unpack_bytes(env.eager_data.get(), bytes, recv.recv_buf);
@@ -184,8 +188,11 @@ void post_send(Request& request) {
 
   if (eager) {
     // Buffered: snapshot the payload and ship it; the send completes now.
-    env->eager_data = std::make_unique<unsigned char[]>(std::max<std::size_t>(bytes, 1));
-    request.datatype->pack(request.send_buf, request.count, env->eager_data.get());
+    // Payload-free mode ships only the size — no allocation, no copy.
+    if (!config().payload_free) {
+      env->eager_data = std::make_unique<unsigned char[]>(std::max<std::size_t>(bytes, 1));
+      request.datatype->pack(request.send_buf, request.count, env->eager_data.get());
+    }
     env->data_flow = world->network().start_flow(request.owner->node, receiver->node,
                                                  static_cast<double>(bytes), {});
     request.token->finish(sim::Activity::State::kDone);
@@ -446,6 +453,66 @@ void charge_unsuccessful_poll(SourceCollector&& collect_wake_sources) {
   proc.last_poll_end = engine.now();
 }
 
+// --- TI capture helpers ----------------------------------------------------
+// Peers are recorded as *world* ranks so a trace captured on any communicator
+// replays on MPI_COMM_WORLD (tags are preserved; see docs/architecture.md for
+// the cross-communicator tag-collision caveat).
+
+long long trace_peer(Comm* comm, int peer) {
+  if (peer == MPI_PROC_NULL) return smpi::trace::kPeerNull;
+  if (peer == MPI_ANY_SOURCE) return smpi::trace::kPeerAny;
+  return comm->world_rank(peer);
+}
+
+long long trace_tag(int tag) { return tag == MPI_ANY_TAG ? smpi::trace::kTagAny : tag; }
+
+// Counts are recorded as (element count, element size) — not a flat byte
+// count — so a >2 GiB message replays without overflowing the int count the
+// MPI entry points take.
+void p2p_block(int count, MPI_Datatype type, long long* out_count, long long* out_elem) {
+  const long long elem = static_cast<long long>(type->size());
+  if (elem <= 0) {
+    *out_count = 0;
+    *out_elem = 1;
+  } else {
+    *out_count = count;
+    *out_elem = elem;
+  }
+}
+
+void emit_p2p(smpi::trace::ApiScope& scope, smpi::trace::TiOp op, Comm* comm, int peer, int count,
+              MPI_Datatype type, int tag, long long req = -1) {
+  if (!scope.recording()) return;
+  smpi::trace::TiRecord r;
+  r.op = op;
+  r.peer = trace_peer(comm, peer);
+  p2p_block(count, type, &r.count, &r.elem);
+  r.tag = trace_tag(tag);
+  r.req = req;
+  scope.emit(r);
+}
+
+void emit_wait(smpi::trace::ApiScope& scope, long long req) {
+  if (req < 0) return;
+  smpi::trace::TiRecord r;
+  r.op = smpi::trace::TiOp::kWait;
+  r.req = req;
+  scope.emit(r);
+}
+
+// Unsuccessful Test/Iprobe polls are replayed as the simulated time they
+// consumed — the one record kind that is not strictly time-independent, but
+// the only way a poll loop's clock can be reproduced offline.
+void emit_poll_sleep(smpi::trace::ApiScope& scope) {
+  if (!scope.recording()) return;
+  const double elapsed = SmpiWorld::instance()->engine().now() - scope.start_time();
+  if (elapsed <= 0) return;
+  smpi::trace::TiRecord r;
+  r.op = smpi::trace::TiOp::kSleep;
+  r.value = elapsed;
+  scope.emit(r);
+}
+
 int check_p2p_args(const void* buf, int count, MPI_Datatype type, int peer, int tag, MPI_Comm comm,
                    bool is_recv) {
   if (!valid_comm(comm)) return MPI_ERR_COMM;
@@ -463,6 +530,8 @@ int MPI_Send(const void* buf, int count, MPI_Datatype datatype, int dest, int ta
              MPI_Comm comm) {
   const int rc = check_p2p_args(buf, count, datatype, dest, tag, comm, false);
   if (rc != MPI_SUCCESS) return rc;
+  smpi::trace::ApiScope scope("send");
+  emit_p2p(scope, smpi::trace::TiOp::kSend, comm, dest, count, datatype, tag);
   return internal_send(buf, count, datatype, dest, tag, comm);
 }
 
@@ -470,6 +539,8 @@ int MPI_Recv(void* buf, int count, MPI_Datatype datatype, int source, int tag, M
              MPI_Status* status) {
   const int rc = check_p2p_args(buf, count, datatype, source, tag, comm, true);
   if (rc != MPI_SUCCESS) return rc;
+  smpi::trace::ApiScope scope("recv");
+  emit_p2p(scope, smpi::trace::TiOp::kRecv, comm, source, count, datatype, tag);
   return internal_recv(buf, count, datatype, source, tag, comm, status);
 }
 
@@ -478,8 +549,11 @@ int MPI_Isend(const void* buf, int count, MPI_Datatype datatype, int dest, int t
   if (request == nullptr) return MPI_ERR_REQUEST;
   const int rc = check_p2p_args(buf, count, datatype, dest, tag, comm, false);
   if (rc != MPI_SUCCESS) return rc;
+  smpi::trace::ApiScope scope("isend");
   Request* req = nullptr;
   internal_isend(buf, count, datatype, dest, tag, comm, &req);
+  emit_p2p(scope, smpi::trace::TiOp::kIsend, comm, dest, count, datatype, tag,
+           scope.register_request(req));
   *request = req;
   return MPI_SUCCESS;
 }
@@ -489,8 +563,11 @@ int MPI_Irecv(void* buf, int count, MPI_Datatype datatype, int source, int tag, 
   if (request == nullptr) return MPI_ERR_REQUEST;
   const int rc = check_p2p_args(buf, count, datatype, source, tag, comm, true);
   if (rc != MPI_SUCCESS) return rc;
+  smpi::trace::ApiScope scope("irecv");
   Request* req = nullptr;
   internal_irecv(buf, count, datatype, source, tag, comm, &req);
+  emit_p2p(scope, smpi::trace::TiOp::kIrecv, comm, source, count, datatype, tag,
+           scope.register_request(req));
   *request = req;
   return MPI_SUCCESS;
 }
@@ -502,6 +579,18 @@ int MPI_Sendrecv(const void* sendbuf, int sendcount, MPI_Datatype sendtype, int 
   if (rc != MPI_SUCCESS) return rc;
   rc = check_p2p_args(recvbuf, recvcount, recvtype, source, recvtag, comm, true);
   if (rc != MPI_SUCCESS) return rc;
+  smpi::trace::ApiScope scope("sendrecv");
+  if (scope.recording()) {
+    smpi::trace::TiRecord r;
+    r.op = smpi::trace::TiOp::kSendrecv;
+    r.peer = trace_peer(comm, dest);
+    p2p_block(sendcount, sendtype, &r.count, &r.elem);
+    r.tag = trace_tag(sendtag);
+    r.peer2 = trace_peer(comm, source);
+    p2p_block(recvcount, recvtype, &r.count2, &r.elem2);
+    r.tag2 = trace_tag(recvtag);
+    scope.emit(r);
+  }
   Request* rreq = nullptr;
   Request* sreq = nullptr;
   internal_irecv(recvbuf, recvcount, recvtype, source, recvtag, comm, &rreq);
@@ -559,7 +648,13 @@ int MPI_Start(MPI_Request* request) {
   if (request == nullptr || *request == MPI_REQUEST_NULL) return MPI_ERR_REQUEST;
   Request* req = *request;
   if (!req->persistent || req->active) return MPI_ERR_REQUEST;
-  if (req->kind == Request::Kind::kSend) {
+  // A started persistent request is indistinguishable from a fresh
+  // nonblocking one for replay purposes; each activation records anew.
+  const bool is_send = req->kind == Request::Kind::kSend;
+  smpi::trace::ApiScope scope(is_send ? "isend" : "irecv");
+  emit_p2p(scope, is_send ? smpi::trace::TiOp::kIsend : smpi::trace::TiOp::kIrecv, req->comm,
+           req->peer, req->count, req->datatype, req->tag, scope.register_request(req));
+  if (is_send) {
     post_send(*req);
   } else {
     post_recv(*req);
@@ -580,6 +675,16 @@ int MPI_Startall(int count, MPI_Request requests[]) {
 int MPI_Request_free(MPI_Request* request) {
   if (request == nullptr || *request == MPI_REQUEST_NULL) return MPI_ERR_REQUEST;
   Request* req = *request;
+  smpi::trace::ApiScope scope("reqfree");
+  if (scope.recording()) {
+    const long long id = scope.lookup_request(req, true);
+    if (id >= 0) {
+      smpi::trace::TiRecord r;
+      r.op = smpi::trace::TiOp::kReqFree;
+      r.req = id;
+      scope.emit(r);
+    }
+  }
   req->released = true;
   *request = MPI_REQUEST_NULL;
   if (!req->active) req->owner->gc_requests();
@@ -592,10 +697,15 @@ int MPI_Request_free(MPI_Request* request) {
 
 int MPI_Wait(MPI_Request* request, MPI_Status* status) {
   if (request == nullptr) return MPI_ERR_REQUEST;
-  return wait_request(*request, status);
+  smpi::trace::ApiScope scope("wait");
+  const long long id = scope.recording() ? scope.lookup_request(*request, true) : -1;
+  const int rc = wait_request(*request, status);
+  emit_wait(scope, id);
+  return rc;
 }
 
-int MPI_Waitany(int count, MPI_Request requests[], int* index, MPI_Status* status) {
+namespace {
+int waitany_impl(int count, MPI_Request requests[], int* index, MPI_Status* status) {
   if (count < 0) return MPI_ERR_COUNT;
   if (index == nullptr) return MPI_ERR_ARG;
   *index = MPI_UNDEFINED;
@@ -631,10 +741,36 @@ int MPI_Waitany(int count, MPI_Request requests[], int* index, MPI_Status* statu
   }
   SMPI_UNREACHABLE("waitany woke with no completed request");
 }
+}  // namespace
+
+int MPI_Waitany(int count, MPI_Request requests[], int* index, MPI_Status* status) {
+  smpi::trace::ApiScope scope("waitany");
+  // The chosen request is only known post-hoc, and wait_request nulls its
+  // slot — snapshot the handles so the capture id can still be resolved.
+  std::vector<const Request*> snapshot;
+  if (scope.recording() && count > 0 && requests != nullptr) {
+    snapshot.assign(requests, requests + count);
+  }
+  const int rc = waitany_impl(count, requests, index, status);
+  if (!snapshot.empty() && rc == MPI_SUCCESS && index != nullptr && *index != MPI_UNDEFINED) {
+    emit_wait(scope, scope.lookup_request(snapshot[static_cast<std::size_t>(*index)], true));
+  }
+  return rc;
+}
 
 int MPI_Waitall(int count, MPI_Request requests[], MPI_Status statuses[]) {
   if (count < 0) return MPI_ERR_COUNT;
   if (count > 0 && requests == nullptr) return MPI_ERR_REQUEST;
+  smpi::trace::ApiScope scope("waitall");
+  if (scope.recording()) {
+    smpi::trace::TiRecord r;
+    r.op = smpi::trace::TiOp::kWaitall;
+    for (int i = 0; i < count; ++i) {
+      const long long id = scope.lookup_request(requests[i], true);
+      if (id >= 0) r.reqs.push_back(id);
+    }
+    scope.emit(r);
+  }
   int rc = MPI_SUCCESS;
   for (int i = 0; i < count; ++i) {
     MPI_Status* status = statuses == MPI_STATUSES_IGNORE ? MPI_STATUS_IGNORE : &statuses[i];
@@ -644,8 +780,9 @@ int MPI_Waitall(int count, MPI_Request requests[], MPI_Status statuses[]) {
   return rc;
 }
 
-int MPI_Waitsome(int incount, MPI_Request requests[], int* outcount, int indices[],
-                 MPI_Status statuses[]) {
+namespace {
+int waitsome_impl(int incount, MPI_Request requests[], int* outcount, int indices[],
+                  MPI_Status statuses[]) {
   if (incount < 0) return MPI_ERR_COUNT;
   if (outcount == nullptr || (incount > 0 && (requests == nullptr || indices == nullptr))) {
     return MPI_ERR_ARG;
@@ -680,28 +817,54 @@ int MPI_Waitsome(int incount, MPI_Request requests[], int* outcount, int indices
   }
   return MPI_SUCCESS;
 }
+}  // namespace
+
+int MPI_Waitsome(int incount, MPI_Request requests[], int* outcount, int indices[],
+                 MPI_Status statuses[]) {
+  smpi::trace::ApiScope scope("waitsome");
+  std::vector<const Request*> snapshot;
+  if (scope.recording() && incount > 0 && requests != nullptr) {
+    snapshot.assign(requests, requests + incount);
+  }
+  const int rc = waitsome_impl(incount, requests, outcount, indices, statuses);
+  if (!snapshot.empty() && rc == MPI_SUCCESS && *outcount != MPI_UNDEFINED) {
+    // One wait record per returned index: the first blocks until its date,
+    // the rest were already complete and replay as zero-time waits.
+    for (int k = 0; k < *outcount; ++k) {
+      emit_wait(scope,
+                scope.lookup_request(snapshot[static_cast<std::size_t>(indices[k])], true));
+    }
+  }
+  return rc;
+}
 
 int MPI_Test(MPI_Request* request, int* flag, MPI_Status* status) {
   if (request == nullptr || flag == nullptr) return MPI_ERR_ARG;
+  smpi::trace::ApiScope scope("test");
   if (*request == MPI_REQUEST_NULL || !(*request)->ever_started || !(*request)->active) {
     *flag = 1;
     return wait_request(*request, status);  // empty status path
   }
   if ((*request)->completed()) {
     *flag = 1;
-    return wait_request(*request, status);
+    const long long id = scope.recording() ? scope.lookup_request(*request, true) : -1;
+    const int rc = wait_request(*request, status);
+    emit_wait(scope, id);
+    return rc;
   }
   *flag = 0;
   // Let simulated time advance between polls; a pure yield would starve the
   // clock when the poller is the only runnable process.
   MPI_Request req = *request;
   charge_unsuccessful_poll([req] { return std::vector<sim::ActivityPtr>{req->token}; });
+  emit_poll_sleep(scope);
   return MPI_SUCCESS;
 }
 
 int MPI_Testany(int count, MPI_Request requests[], int* index, int* flag, MPI_Status* status) {
   if (count < 0) return MPI_ERR_COUNT;
   if (index == nullptr || flag == nullptr) return MPI_ERR_ARG;
+  smpi::trace::ApiScope scope("testany");
   *index = MPI_UNDEFINED;
   *flag = 0;
   bool any_pending = false;
@@ -711,7 +874,10 @@ int MPI_Testany(int count, MPI_Request requests[], int* index, int* flag, MPI_St
     if (requests[i]->completed()) {
       *index = i;
       *flag = 1;
-      return wait_request(requests[i], status);
+      const long long id = scope.recording() ? scope.lookup_request(requests[i], true) : -1;
+      const int rc = wait_request(requests[i], status);
+      emit_wait(scope, id);
+      return rc;
     }
   }
   if (!any_pending) {
@@ -731,12 +897,14 @@ int MPI_Testany(int count, MPI_Request requests[], int* index, int* flag, MPI_St
     }
     return pending;
   });
+  emit_poll_sleep(scope);
   return MPI_SUCCESS;
 }
 
 int MPI_Testall(int count, MPI_Request requests[], int* flag, MPI_Status statuses[]) {
   if (count < 0) return MPI_ERR_COUNT;
   if (flag == nullptr) return MPI_ERR_ARG;
+  smpi::trace::ApiScope scope("testall");
   bool any_incomplete = false;
   for (int i = 0; i < count; ++i) {
     if (is_pending(requests[i]) && !requests[i]->completed()) {
@@ -756,9 +924,19 @@ int MPI_Testall(int count, MPI_Request requests[], int* flag, MPI_Status statuse
       }
       return incomplete;
     });
+    emit_poll_sleep(scope);
     return MPI_SUCCESS;
   }
   *flag = 1;
+  if (scope.recording()) {
+    smpi::trace::TiRecord r;
+    r.op = smpi::trace::TiOp::kWaitall;
+    for (int i = 0; i < count; ++i) {
+      const long long id = scope.lookup_request(requests[i], true);
+      if (id >= 0) r.reqs.push_back(id);
+    }
+    scope.emit(r);
+  }
   return MPI_Waitall(count, requests, statuses);
 }
 
@@ -794,11 +972,13 @@ int MPI_Iprobe(int source, int tag, MPI_Comm comm, int* flag, MPI_Status* status
   if (flag == nullptr) return MPI_ERR_ARG;
   if (!valid_rank_or_wildcards(source, comm, true)) return MPI_ERR_RANK;
   if (!valid_tag(tag, true)) return MPI_ERR_TAG;
+  smpi::trace::ApiScope scope("iprobe");
   Process& proc = current_process_checked();
   Envelope* env = find_probe_match(proc, source, tag, comm);
   if (env != nullptr) {
     *flag = 1;
     fill_probe_status(*env, status);
+    // Successful probes consume neither time nor messages: nothing to replay.
   } else {
     *flag = 0;
     // The next thing that can change the answer is an envelope arrival.
@@ -808,6 +988,7 @@ int MPI_Iprobe(int source, int tag, MPI_Comm comm, int* flag, MPI_Status* status
       }
       return std::vector<sim::ActivityPtr>{proc.arrival_signal};
     });
+    emit_poll_sleep(scope);
   }
   return MPI_SUCCESS;
 }
@@ -816,6 +997,14 @@ int MPI_Probe(int source, int tag, MPI_Comm comm, MPI_Status* status) {
   if (!valid_comm(comm)) return MPI_ERR_COMM;
   if (!valid_rank_or_wildcards(source, comm, true)) return MPI_ERR_RANK;
   if (!valid_tag(tag, true)) return MPI_ERR_TAG;
+  smpi::trace::ApiScope scope("probe");
+  if (scope.recording()) {
+    smpi::trace::TiRecord r;
+    r.op = smpi::trace::TiOp::kProbe;
+    r.peer = trace_peer(comm, source);
+    r.tag = trace_tag(tag);
+    scope.emit(r);
+  }
   Process& proc = current_process_checked();
   while (true) {
     Envelope* env = find_probe_match(proc, source, tag, comm);

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "smpi/internals.hpp"
+#include "trace/capture.hpp"
 #include "util/check.hpp"
 
 namespace smpi::core {
@@ -73,6 +74,16 @@ using namespace smpi::core;
 void smpi_execute_flops(double flops) {
   SMPI_REQUIRE(flops >= 0, "negative flops");
   Process& proc = current_process_checked();
+  // The single funnel for simulated compute: executed SMPI_SAMPLE bursts,
+  // folded replays, and explicit injections all arrive here, so one capture
+  // point records every flop the rank burns between its MPI calls.
+  smpi::trace::ApiScope scope("computing");
+  if (scope.recording() && flops > 0) {
+    smpi::trace::TiRecord r;
+    r.op = smpi::trace::TiOp::kCompute;
+    r.value = flops;
+    scope.emit(r);
+  }
   proc.world->cpu().execute(proc.node, flops)->wait();
 }
 
@@ -86,7 +97,15 @@ void smpi_execute_host_seconds(double host_seconds) {
 
 void smpi_sleep(double seconds) {
   SMPI_REQUIRE(seconds >= 0, "negative sleep");
-  current_process_checked().world->engine().sleep_for(seconds);
+  Process& proc = current_process_checked();
+  smpi::trace::ApiScope scope("sleeping");
+  if (scope.recording() && seconds > 0) {
+    smpi::trace::TiRecord r;
+    r.op = smpi::trace::TiOp::kSleep;
+    r.value = seconds;
+    scope.emit(r);
+  }
+  proc.world->engine().sleep_for(seconds);
 }
 
 int smpi_sample_enter(const char* file, int line, int global, int iterations, double flops) {

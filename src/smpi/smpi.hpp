@@ -71,6 +71,14 @@ struct SmpiConfig {
   // non-empty, otherwise on node (r * placement_stride) % host_count.
   std::vector<int> placement;
   int placement_stride = 1;
+
+  // Payload-free mode (offline trace replay): message *sizes* drive all
+  // timing but payload bytes are never materialized — eager sends skip the
+  // snapshot copy, receives skip the unpack, datatype pack/unpack and
+  // reduction operators become no-ops. Buffers passed to MPI calls are only
+  // used for size/offset arithmetic, so one shared scratch arena can serve
+  // every rank.
+  bool payload_free = false;
 };
 
 struct MemoryReport {

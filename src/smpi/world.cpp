@@ -2,6 +2,7 @@
 #include <cstdio>
 
 #include "smpi/internals.hpp"
+#include "trace/capture.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
 
@@ -280,6 +281,12 @@ MPI_Group smpi_group_empty() { return current_process_checked().world->empty_gro
 int MPI_Init(int* /*argc*/, char*** /*argv*/) {
   auto& proc = current_process_checked();
   if (proc.initialized) return MPI_ERR_OTHER;
+  smpi::trace::ApiScope scope("init");
+  if (scope.recording()) {
+    smpi::trace::TiRecord r;
+    r.op = smpi::trace::TiOp::kInit;
+    scope.emit(r);
+  }
   proc.initialized = true;
   return MPI_SUCCESS;
 }
@@ -299,6 +306,14 @@ int MPI_Finalized(int* flag) {
 int MPI_Finalize() {
   auto& proc = current_process_checked();
   if (!proc.initialized || proc.finalized) return MPI_ERR_OTHER;
+  smpi::trace::ApiScope scope("finalize");
+  if (scope.recording()) {
+    // The internal barrier below is suppressed by this scope; the replayed
+    // MPI_Finalize re-issues it.
+    smpi::trace::TiRecord r;
+    r.op = smpi::trace::TiOp::kFinalize;
+    scope.emit(r);
+  }
   // Finalize synchronizes all processes (many implementations do; it also
   // keeps simulated-time accounting intuitive).
   const int rc = MPI_Barrier(proc.world->world_comm());

@@ -29,7 +29,8 @@ constexpr double kStarveEps = 1e-12;
 
 int MaxMinSystem::new_constraint(double capacity) {
   SMPI_REQUIRE(capacity > 0, "constraint capacity must be positive");
-  constraints_.push_back(Constraint{capacity, {}, false, false, false, 0, 0, 0});
+  constraints_.emplace_back();
+  constraints_.back().capacity = capacity;
   const int id = static_cast<int>(constraints_.size()) - 1;
   // A fresh constraint has no members: nothing to re-solve in lazy mode.
   if (mode_ != SolveMode::kLazy) mark_dirty(id);
@@ -290,41 +291,66 @@ void MaxMinSystem::solve() {
 // When no boundary promotes, every out-of-set variable keeps a valid
 // bottleneck certificate, so the untouched allocations remain exactly the
 // global max-min solution.
+//
+// Promotion rounds are *incremental*: after each fill the just-solved
+// members freeze (they now carry fresh certificates against the current
+// state) and the next round re-fills only the newly-promoted constraints and
+// their members. A frozen variable whose certificate a later round
+// invalidates is simply pulled back in through the same promotion rule — the
+// fixpoint condition (no boundary of the final active set promotes) is
+// unchanged, but a chain of k promotions now costs the sum of the local
+// re-fills instead of k times the grown set. A promotion budget guards the
+// adversarial ping-pong case: past it, the rounds revert to the monotone
+// grow-and-refill behaviour whose termination is bounded by the constraint
+// count.
 void MaxMinSystem::solve_lazy() {
   comp_cons_.clear();
   comp_vars_.clear();
+  active_cons_.clear();
+  active_vars_.clear();
 
-  auto add_var = [&](int v) {
+  auto activate_var = [&](int v) {
     auto& var = variables_[static_cast<std::size_t>(v)];
     // Unconstrained variables are handled by the bound path in solve().
     if (!var.active || var.in_set || var.constraints.empty()) return;
     var.in_set = true;
     var.old_value = var.value;
-    comp_vars_.push_back(v);
+    active_vars_.push_back(v);
+    if (!var.in_pass) {
+      var.in_pass = true;
+      comp_vars_.push_back(v);
+    }
   };
-  auto add_cons_full = [&](int c) {
+  auto activate_cons = [&](int c) {
     auto& cons = constraints_[static_cast<std::size_t>(c)];
     cons.dirty = false;
     if (cons.in_set) return;
     cons.in_set = true;
     cons.boundary = false;
-    comp_cons_.push_back(c);
-    for (int v : cons.variables) add_var(v);
+    active_cons_.push_back(c);
+    if (!cons.in_pass) {
+      cons.in_pass = true;
+      comp_cons_.push_back(c);
+    }
+    for (int v : cons.variables) activate_var(v);
   };
 
-  for (int c : dirty_constraints_) add_cons_full(c);
+  for (int c : dirty_constraints_) activate_cons(c);
   dirty_constraints_.clear();
   for (int v : seed_variables_) {
     variables_[static_cast<std::size_t>(v)].seeded = false;
-    add_var(v);
+    activate_var(v);
   }
   seed_variables_.clear();
 
-  while (!comp_vars_.empty()) {
-    // Discover the boundary: constraints touched by in-set variables but not
-    // (yet) full members. Their out-of-set usage is frozen.
+  bool monotone = false;  // set once any constraint is promoted twice
+
+  while (!active_vars_.empty()) {
+    // Discover the boundary: constraints touched by active variables but not
+    // active full members — including constraints already solved in an
+    // earlier round, whose members are now frozen at certified values.
     boundary_cons_.clear();
-    for (int v : comp_vars_) {
+    for (int v : active_vars_) {
       for (int c : variables_[static_cast<std::size_t>(v)].constraints) {
         auto& cons = constraints_[static_cast<std::size_t>(c)];
         if (!cons.in_set && !cons.boundary) {
@@ -333,12 +359,12 @@ void MaxMinSystem::solve_lazy() {
         }
       }
     }
-    all_cons_ = comp_cons_;
+    all_cons_ = active_cons_;
     all_cons_.insert(all_cons_.end(), boundary_cons_.begin(), boundary_cons_.end());
 
-    solve_subset(all_cons_, comp_vars_);
+    solve_subset(all_cons_, active_vars_);
 
-    bool promoted = false;
+    promoted_cons_.clear();
     for (int c : boundary_cons_) {
       auto& cons = constraints_[static_cast<std::size_t>(c)];
       double external = 0, in_old = 0, in_new = 0;
@@ -373,18 +399,45 @@ void MaxMinSystem::solve_lazy() {
       // unresolved even though no in-set value moved.
       const bool squeezed = max_external_level > min_capped_level * (1 + kSatEps);
       if (squeezed || ((changed || starved) && (saturated_before || saturated_after))) {
-        cons.boundary = false;
-        add_cons_full(c);  // pulls its remaining members into the set
-        promoted = true;
+        promoted_cons_.push_back(c);
       }
     }
     for (int c : boundary_cons_) constraints_[static_cast<std::size_t>(c)].boundary = false;
-    if (!promoted) break;
+    if (promoted_cons_.empty()) break;
+
+    // Re-promotion detector: a constraint promoted twice in one pass means
+    // the frozen/active frontier is oscillating (two neighbourhoods keep
+    // invalidating each other's fill, typically through a tied bottleneck
+    // attribution). Monotone growth resolves that by construction — each
+    // further round jointly fills everything touched so far — and by the
+    // pigeonhole bound terminates within #constraints promotions.
+    for (int c : promoted_cons_) {
+      auto& cons = constraints_[static_cast<std::size_t>(c)];
+      if (cons.promoted) monotone = true;
+      cons.promoted = true;
+    }
+    if (!monotone) {
+      // Incremental round: freeze the just-solved members; only the promoted
+      // constraints' neighbourhoods re-fill (re-snapshotting old_value for
+      // any member that re-enters).
+      for (int v : active_vars_) variables_[static_cast<std::size_t>(v)].in_set = false;
+      for (int c : active_cons_) constraints_[static_cast<std::size_t>(c)].in_set = false;
+      active_vars_.clear();
+      active_cons_.clear();
+    }
+    for (int c : promoted_cons_) activate_cons(c);
   }
 
-  for (int c : comp_cons_) constraints_[static_cast<std::size_t>(c)].in_set = false;
+  for (int c : comp_cons_) {
+    auto& cons = constraints_[static_cast<std::size_t>(c)];
+    cons.in_set = false;
+    cons.in_pass = false;
+    cons.promoted = false;
+  }
   for (int v : comp_vars_) {
-    variables_[static_cast<std::size_t>(v)].in_set = false;
+    auto& var = variables_[static_cast<std::size_t>(v)];
+    var.in_set = false;
+    var.in_pass = false;
     last_solved_.push_back(v);
   }
 }

@@ -101,7 +101,8 @@ class MaxMinSystem {
     int fixed_by = -1;     // constraint that capped the last fill (-1: bound)
     bool active = false;
     bool fixed = false;
-    bool in_set = false;   // member of the current re-solve set
+    bool in_set = false;   // member of the current round's re-fill set
+    bool in_pass = false;  // touched at least once during this solve()
     bool seeded = false;   // queued in seed_variables_
     std::vector<int> constraints;
   };
@@ -109,7 +110,9 @@ class MaxMinSystem {
     double capacity = 0;
     std::vector<int> variables;  // released ids are eagerly removed
     bool dirty = false;
-    bool in_set = false;    // full member of the current re-solve set
+    bool in_set = false;    // full member of the current round's re-fill set
+    bool in_pass = false;   // touched at least once during this solve()
+    bool promoted = false;  // promoted at least once during this solve()
     bool boundary = false;  // partial member: only some variables in set
     // Running sum of member values, maintained on every value change so the
     // lazy seeding saturation check is O(1) instead of O(members). May
@@ -147,10 +150,13 @@ class MaxMinSystem {
   std::vector<int> dirty_constraints_;      // ids with .dirty set
   std::vector<int> seed_variables_;         // lazy mode: ids with .seeded set
   std::vector<int> dirty_unconstrained_;    // variables with no constraints yet
-  std::vector<int> comp_cons_;              // scratch: full members of the solve set
-  std::vector<int> comp_vars_;
+  std::vector<int> comp_cons_;              // scratch: every constraint touched this solve
+  std::vector<int> comp_vars_;              // scratch: every variable touched this solve
+  std::vector<int> active_cons_;            // scratch: this round's re-fill set (lazy)
+  std::vector<int> active_vars_;
+  std::vector<int> promoted_cons_;          // scratch: boundaries promoted this round
   std::vector<int> boundary_cons_;          // scratch: current boundary frontier
-  std::vector<int> all_cons_;               // scratch: comp_cons_ + boundary_cons_
+  std::vector<int> all_cons_;               // scratch: active_cons_ + boundary_cons_
   std::vector<int> last_solved_;
   std::size_t active_variables_ = 0;
   bool dirty_ = false;

@@ -1,0 +1,97 @@
+#include "trace/paje.hpp"
+
+#include "util/check.hpp"
+
+namespace smpi::trace {
+
+namespace {
+
+// Minimal Paje event-definition header: container/state types plus the four
+// event kinds we emit. Numeric aliases follow the ids Paje tools expect.
+constexpr const char* kHeader =
+    "%EventDef PajeDefineContainerType 0\n"
+    "%       Alias string\n"
+    "%       Type string\n"
+    "%       Name string\n"
+    "%EndEventDef\n"
+    "%EventDef PajeDefineStateType 1\n"
+    "%       Alias string\n"
+    "%       Type string\n"
+    "%       Name string\n"
+    "%EndEventDef\n"
+    "%EventDef PajeCreateContainer 2\n"
+    "%       Time date\n"
+    "%       Alias string\n"
+    "%       Type string\n"
+    "%       Container string\n"
+    "%       Name string\n"
+    "%EndEventDef\n"
+    "%EventDef PajeDestroyContainer 3\n"
+    "%       Time date\n"
+    "%       Name string\n"
+    "%       Type string\n"
+    "%EndEventDef\n"
+    "%EventDef PajePushState 4\n"
+    "%       Time date\n"
+    "%       Container string\n"
+    "%       Type string\n"
+    "%       Value string\n"
+    "%EndEventDef\n"
+    "%EventDef PajePopState 5\n"
+    "%       Time date\n"
+    "%       Container string\n"
+    "%       Type string\n"
+    "%EndEventDef\n";
+
+}  // namespace
+
+PajeWriter::PajeWriter(std::string path) : path_(std::move(path)) {}
+
+// Abnormal-exit close: destroy the containers at the last emitted date so
+// the partial timeline stays monotonically ordered and viewable.
+PajeWriter::~PajeWriter() { finish(last_time_); }
+
+void PajeWriter::begin(int nranks, double now) {
+  SMPI_REQUIRE(!begun_, "paje writer already begun");
+  SMPI_REQUIRE(nranks > 0, "paje writer needs at least one rank");
+  file_ = std::fopen(path_.c_str(), "w");
+  SMPI_ENSURE(file_ != nullptr, "cannot open paje trace file: " + path_);
+  nranks_ = nranks;
+  begun_ = true;
+  std::fputs(kHeader, file_);
+  std::fprintf(file_, "0 CT_Sim 0 \"Simulation\"\n");
+  std::fprintf(file_, "0 CT_Proc CT_Sim \"MPI Process\"\n");
+  std::fprintf(file_, "1 ST_MPI CT_Proc \"MPI_STATE\"\n");
+  std::fprintf(file_, "2 %.9f sim CT_Sim 0 \"simulation\"\n", now);
+  for (int rank = 0; rank < nranks_; ++rank) {
+    std::fprintf(file_, "2 %.9f rank-%d CT_Proc sim \"rank-%d\"\n", now, rank, rank);
+  }
+}
+
+void PajeWriter::push_state(int rank, const char* state, double now) {
+  if (!begun_ || finished_) return;
+  std::fprintf(file_, "4 %.9f rank-%d ST_MPI \"%s\"\n", now, rank, state);
+  ++events_;
+  if (now > last_time_) last_time_ = now;
+}
+
+void PajeWriter::pop_state(int rank, double now) {
+  if (!begun_ || finished_) return;
+  std::fprintf(file_, "5 %.9f rank-%d ST_MPI\n", now, rank);
+  ++events_;
+  if (now > last_time_) last_time_ = now;
+}
+
+void PajeWriter::finish(double now) {
+  if (!begun_ || finished_) return;
+  if (now < last_time_) now = last_time_;
+  for (int rank = 0; rank < nranks_; ++rank) {
+    std::fprintf(file_, "3 %.9f rank-%d CT_Proc\n", now, rank);
+  }
+  std::fprintf(file_, "3 %.9f sim CT_Sim\n", now);
+  std::fclose(file_);
+  file_ = nullptr;
+  finished_ = true;
+}
+
+}  // namespace smpi::trace

@@ -1,0 +1,44 @@
+// Paje-format timeline export (the visualization side of the trace
+// subsystem). Unlike the TI capture this trace *is* time-stamped: every
+// application-level MPI call pushes/pops an "MPI_STATE" interval on its
+// rank's container at the engine dates the call starts and completes, so the
+// file can be opened in Paje viewers (ViTE and friends) to see per-rank
+// activity over simulated time. Works identically during online runs and
+// offline replays — the replay actor issues the same MPI calls.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace smpi::trace {
+
+class PajeWriter {
+ public:
+  explicit PajeWriter(std::string path);
+  ~PajeWriter();
+
+  PajeWriter(const PajeWriter&) = delete;
+  PajeWriter& operator=(const PajeWriter&) = delete;
+
+  // Writes the event-definition header and one container per rank.
+  void begin(int nranks, double now = 0);
+  void push_state(int rank, const char* state, double now);
+  void pop_state(int rank, double now);
+  // Destroys the containers and closes the file. Idempotent.
+  void finish(double now);
+
+  bool begun() const { return begun_; }
+  std::uint64_t events() const { return events_; }
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  int nranks_ = 0;
+  bool begun_ = false;
+  bool finished_ = false;
+  std::uint64_t events_ = 0;
+  double last_time_ = 0;  // Paje requires non-decreasing event dates
+};
+
+}  // namespace smpi::trace

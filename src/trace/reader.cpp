@@ -1,0 +1,54 @@
+#include "trace/reader.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace smpi::trace {
+
+TiTrace load_ti_trace(const std::string& dir) {
+  TiTrace trace;
+  {
+    std::ifstream manifest(dir + "/manifest.txt");
+    SMPI_REQUIRE(manifest.good(), "trace manifest not found: " + dir + "/manifest.txt");
+    std::string magic;
+    int version = 0;
+    manifest >> magic >> version;
+    SMPI_REQUIRE(magic == "smpi-ti" && version == 1, "unsupported trace format");
+    std::string key;
+    while (manifest >> key) {
+      if (key == "ranks") {
+        manifest >> trace.nranks;
+      } else if (key == "app") {
+        manifest >> trace.app;
+      } else {
+        std::string ignored;
+        std::getline(manifest, ignored);
+      }
+    }
+    SMPI_REQUIRE(trace.nranks > 0, "trace manifest has no ranks");
+  }
+
+  trace.ranks.resize(static_cast<std::size_t>(trace.nranks));
+  for (int rank = 0; rank < trace.nranks; ++rank) {
+    const std::string path = dir + "/rank_" + std::to_string(rank) + ".ti";
+    std::ifstream in(path);
+    SMPI_REQUIRE(in.good(), "trace file missing: " + path);
+    auto& records = trace.ranks[static_cast<std::size_t>(rank)];
+    std::string line;
+    long long line_no = 0;
+    while (std::getline(in, line)) {
+      ++line_no;
+      if (line.empty() || line[0] == '#') continue;
+      TiRecord record;
+      SMPI_REQUIRE(parse_record(line, &record),
+                   "malformed trace record at " + path + ":" + std::to_string(line_no) + ": " +
+                       line);
+      records.push_back(std::move(record));
+    }
+  }
+  return trace;
+}
+
+}  // namespace smpi::trace

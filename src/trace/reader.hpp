@@ -1,0 +1,27 @@
+// TI trace loader: manifest + per-rank record vectors, parsed upfront so the
+// replay actors run a plain in-memory cursor (no IO inside the simulation).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/record.hpp"
+
+namespace smpi::trace {
+
+struct TiTrace {
+  int nranks = 0;
+  std::string app;
+  std::vector<std::vector<TiRecord>> ranks;  // ranks[r] = rank r's records, in order
+
+  long long total_records() const {
+    long long total = 0;
+    for (const auto& r : ranks) total += static_cast<long long>(r.size());
+    return total;
+  }
+};
+
+// Throws util::ContractError on a missing/malformed trace.
+TiTrace load_ti_trace(const std::string& dir);
+
+}  // namespace smpi::trace

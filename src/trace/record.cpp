@@ -1,0 +1,287 @@
+#include "trace/record.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+namespace smpi::trace {
+
+namespace {
+
+struct OpName {
+  TiOp op;
+  const char* name;
+};
+
+constexpr OpName kOpNames[] = {
+    {TiOp::kInit, "init"},
+    {TiOp::kFinalize, "finalize"},
+    {TiOp::kCompute, "compute"},
+    {TiOp::kSleep, "sleep"},
+    {TiOp::kSend, "send"},
+    {TiOp::kIsend, "isend"},
+    {TiOp::kRecv, "recv"},
+    {TiOp::kIrecv, "irecv"},
+    {TiOp::kWait, "wait"},
+    {TiOp::kWaitall, "waitall"},
+    {TiOp::kReqFree, "reqfree"},
+    {TiOp::kProbe, "probe"},
+    {TiOp::kSendrecv, "sendrecv"},
+    {TiOp::kBarrier, "barrier"},
+    {TiOp::kBcast, "bcast"},
+    {TiOp::kReduce, "reduce"},
+    {TiOp::kAllreduce, "allreduce"},
+    {TiOp::kScan, "scan"},
+    {TiOp::kGather, "gather"},
+    {TiOp::kGatherv, "gatherv"},
+    {TiOp::kScatter, "scatter"},
+    {TiOp::kScatterv, "scatterv"},
+    {TiOp::kAllgather, "allgather"},
+    {TiOp::kAllgatherv, "allgatherv"},
+    {TiOp::kAlltoall, "alltoall"},
+    {TiOp::kAlltoallv, "alltoallv"},
+    {TiOp::kReduceScatter, "reducescatter"},
+};
+
+void append_double(std::string& out, double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), " %.17g", value);
+  out += buf;
+}
+
+void append_ll(std::string& out, long long value) {
+  out += ' ';
+  out += std::to_string(value);
+}
+
+void append_list(std::string& out, const std::vector<long long>& values) {
+  append_ll(out, static_cast<long long>(values.size()));
+  for (long long v : values) append_ll(out, v);
+}
+
+bool read_ll(std::istringstream& in, long long* out) { return static_cast<bool>(in >> *out); }
+
+bool read_list(std::istringstream& in, std::vector<long long>* out) {
+  long long k = 0;
+  if (!read_ll(in, &k) || k < 0) return false;
+  out->resize(static_cast<std::size_t>(k));
+  for (long long i = 0; i < k; ++i) {
+    if (!read_ll(in, &(*out)[static_cast<std::size_t>(i)])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* ti_op_name(TiOp op) {
+  for (const auto& entry : kOpNames) {
+    if (entry.op == op) return entry.name;
+  }
+  return "?";
+}
+
+bool ti_op_from_name(const std::string& name, TiOp* out) {
+  for (const auto& entry : kOpNames) {
+    if (name == entry.name) {
+      *out = entry.op;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string serialize_record(const TiRecord& r) {
+  std::string out = ti_op_name(r.op);
+  switch (r.op) {
+    case TiOp::kInit:
+    case TiOp::kFinalize:
+    case TiOp::kBarrier:
+      break;
+    case TiOp::kCompute:
+    case TiOp::kSleep:
+      append_double(out, r.value);
+      break;
+    case TiOp::kSend:
+    case TiOp::kRecv:
+      append_ll(out, r.peer);
+      append_ll(out, r.count);
+      append_ll(out, r.elem);
+      append_ll(out, r.tag);
+      break;
+    case TiOp::kIsend:
+    case TiOp::kIrecv:
+      append_ll(out, r.peer);
+      append_ll(out, r.count);
+      append_ll(out, r.elem);
+      append_ll(out, r.tag);
+      append_ll(out, r.req);
+      break;
+    case TiOp::kWait:
+    case TiOp::kReqFree:
+      append_ll(out, r.req);
+      break;
+    case TiOp::kWaitall:
+      append_list(out, r.reqs);
+      break;
+    case TiOp::kProbe:
+      append_ll(out, r.peer);
+      append_ll(out, r.tag);
+      break;
+    case TiOp::kSendrecv:
+      append_ll(out, r.peer);
+      append_ll(out, r.count);
+      append_ll(out, r.elem);
+      append_ll(out, r.tag);
+      append_ll(out, r.peer2);
+      append_ll(out, r.count2);
+      append_ll(out, r.elem2);
+      append_ll(out, r.tag2);
+      break;
+    case TiOp::kBcast:
+      append_ll(out, r.count);
+      append_ll(out, r.elem);
+      append_ll(out, r.peer);
+      break;
+    case TiOp::kReduce:
+      append_ll(out, r.count);
+      append_ll(out, r.elem);
+      append_ll(out, r.peer);
+      append_ll(out, r.commutative ? 1 : 0);
+      break;
+    case TiOp::kAllreduce:
+    case TiOp::kScan:
+      append_ll(out, r.count);
+      append_ll(out, r.elem);
+      append_ll(out, r.commutative ? 1 : 0);
+      break;
+    case TiOp::kGather:
+    case TiOp::kScatter:
+      append_ll(out, r.count);
+      append_ll(out, r.elem);
+      append_ll(out, r.count2);
+      append_ll(out, r.elem2);
+      append_ll(out, r.peer);
+      break;
+    case TiOp::kAllgather:
+    case TiOp::kAlltoall:
+      append_ll(out, r.count);
+      append_ll(out, r.elem);
+      append_ll(out, r.count2);
+      append_ll(out, r.elem2);
+      break;
+    case TiOp::kGatherv:
+      append_ll(out, r.count);
+      append_ll(out, r.elem);
+      append_ll(out, r.elem2);
+      append_ll(out, r.peer);
+      append_list(out, r.counts);
+      break;
+    case TiOp::kScatterv:
+      append_ll(out, r.count2);
+      append_ll(out, r.elem2);
+      append_ll(out, r.elem);
+      append_ll(out, r.peer);
+      append_list(out, r.counts);
+      break;
+    case TiOp::kAllgatherv:
+      append_ll(out, r.count);
+      append_ll(out, r.elem);
+      append_ll(out, r.elem2);
+      append_list(out, r.counts);
+      break;
+    case TiOp::kAlltoallv:
+      append_ll(out, r.elem);
+      append_ll(out, r.elem2);
+      append_list(out, r.counts);
+      append_list(out, r.counts2);
+      break;
+    case TiOp::kReduceScatter:
+      append_ll(out, r.elem);
+      append_ll(out, r.commutative ? 1 : 0);
+      append_list(out, r.counts);
+      break;
+  }
+  return out;
+}
+
+bool parse_record(const std::string& line, TiRecord* out) {
+  std::istringstream in(line);
+  std::string name;
+  if (!(in >> name)) return false;
+  *out = TiRecord{};
+  if (!ti_op_from_name(name, &out->op)) return false;
+  long long flag = 1;
+  switch (out->op) {
+    case TiOp::kInit:
+    case TiOp::kFinalize:
+    case TiOp::kBarrier:
+      return true;
+    case TiOp::kCompute:
+    case TiOp::kSleep:
+      return static_cast<bool>(in >> out->value);
+    case TiOp::kSend:
+    case TiOp::kRecv:
+      return read_ll(in, &out->peer) && read_ll(in, &out->count) && read_ll(in, &out->elem) &&
+             read_ll(in, &out->tag);
+    case TiOp::kIsend:
+    case TiOp::kIrecv:
+      return read_ll(in, &out->peer) && read_ll(in, &out->count) && read_ll(in, &out->elem) &&
+             read_ll(in, &out->tag) && read_ll(in, &out->req);
+    case TiOp::kWait:
+    case TiOp::kReqFree:
+      return read_ll(in, &out->req);
+    case TiOp::kWaitall:
+      return read_list(in, &out->reqs);
+    case TiOp::kProbe:
+      return read_ll(in, &out->peer) && read_ll(in, &out->tag);
+    case TiOp::kSendrecv:
+      return read_ll(in, &out->peer) && read_ll(in, &out->count) && read_ll(in, &out->elem) &&
+             read_ll(in, &out->tag) && read_ll(in, &out->peer2) && read_ll(in, &out->count2) &&
+             read_ll(in, &out->elem2) && read_ll(in, &out->tag2);
+    case TiOp::kBcast:
+      return read_ll(in, &out->count) && read_ll(in, &out->elem) && read_ll(in, &out->peer);
+    case TiOp::kReduce:
+      if (!(read_ll(in, &out->count) && read_ll(in, &out->elem) && read_ll(in, &out->peer) &&
+            read_ll(in, &flag))) {
+        return false;
+      }
+      out->commutative = flag != 0;
+      return true;
+    case TiOp::kAllreduce:
+    case TiOp::kScan:
+      if (!(read_ll(in, &out->count) && read_ll(in, &out->elem) && read_ll(in, &flag))) {
+        return false;
+      }
+      out->commutative = flag != 0;
+      return true;
+    case TiOp::kGather:
+    case TiOp::kScatter:
+      return read_ll(in, &out->count) && read_ll(in, &out->elem) && read_ll(in, &out->count2) &&
+             read_ll(in, &out->elem2) && read_ll(in, &out->peer);
+    case TiOp::kAllgather:
+    case TiOp::kAlltoall:
+      return read_ll(in, &out->count) && read_ll(in, &out->elem) && read_ll(in, &out->count2) &&
+             read_ll(in, &out->elem2);
+    case TiOp::kGatherv:
+      return read_ll(in, &out->count) && read_ll(in, &out->elem) && read_ll(in, &out->elem2) &&
+             read_ll(in, &out->peer) && read_list(in, &out->counts);
+    case TiOp::kScatterv:
+      return read_ll(in, &out->count2) && read_ll(in, &out->elem2) && read_ll(in, &out->elem) &&
+             read_ll(in, &out->peer) && read_list(in, &out->counts);
+    case TiOp::kAllgatherv:
+      return read_ll(in, &out->count) && read_ll(in, &out->elem) && read_ll(in, &out->elem2) &&
+             read_list(in, &out->counts);
+    case TiOp::kAlltoallv:
+      return read_ll(in, &out->elem) && read_ll(in, &out->elem2) && read_list(in, &out->counts) &&
+             read_list(in, &out->counts2);
+    case TiOp::kReduceScatter:
+      if (!(read_ll(in, &out->elem) && read_ll(in, &flag) && read_list(in, &out->counts))) {
+        return false;
+      }
+      out->commutative = flag != 0;
+      return true;
+  }
+  return false;
+}
+
+}  // namespace smpi::trace

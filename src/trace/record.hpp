@@ -1,0 +1,100 @@
+// Time-independent (TI) trace records — the on-disk unit of the capture /
+// offline-replay subsystem.
+//
+// A TI trace describes *what* an MPI rank did (compute this many flops, send
+// this many bytes to that peer, enter this collective) but never *when*: all
+// dates are recomputed by the simulator at replay time, which is what lets
+// one captured run be re-simulated across arbitrary platform variants
+// (the "sensibility analysis at scale" axis — capture once, re-simulate
+// cheaply on any platform.xml).
+//
+// Traces are per-rank text files (`rank_<r>.ti`, one record per line) plus a
+// `manifest.txt` naming the rank count; see docs/architecture.md for the
+// full schema. Doubles are printed with %.17g so recorded flop counts
+// round-trip bit-exactly — replay equivalence is asserted at 1e-9.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace smpi::trace {
+
+enum class TiOp {
+  kInit,
+  kFinalize,
+  kCompute,
+  kSleep,
+  kSend,
+  kIsend,
+  kRecv,
+  kIrecv,
+  kWait,
+  kWaitall,
+  kReqFree,
+  kProbe,
+  kSendrecv,
+  kBarrier,
+  kBcast,
+  kReduce,
+  kAllreduce,
+  kScan,
+  kGather,
+  kGatherv,
+  kScatter,
+  kScatterv,
+  kAllgather,
+  kAllgatherv,
+  kAlltoall,
+  kAlltoallv,
+  kReduceScatter,
+};
+
+// Peer / root / tag sentinels (world ranks are always >= 0).
+constexpr long long kPeerAny = -1;   // MPI_ANY_SOURCE
+constexpr long long kPeerNull = -2;  // MPI_PROC_NULL
+constexpr long long kTagAny = -1;    // MPI_ANY_TAG
+
+// One captured event. Field use by op:
+//   compute/sleep     value = flops / seconds
+//   send/recv (+i)    peer = world rank (or sentinel), count/elem = element
+//                     count and size (bytes = count*elem; never flattened,
+//                     so >2 GiB messages replay within int counts), tag,
+//                     req = capture-side request id (nonblocking only)
+//   wait/reqfree      req;  waitall: reqs
+//   probe             peer, tag
+//   sendrecv          peer/count/elem/tag = send side, *2 fields = recv
+//   collectives       count/elem = send-side element count and size,
+//                     count2/elem2 = recv side, peer = root,
+//                     counts/counts2 = per-rank counts of the v-variants
+//                     (empty on ranks that do not supply the array),
+//                     commutative = reduction-op commutativity (drives the
+//                     same algorithm dispatch the online run took)
+struct TiRecord {
+  TiOp op = TiOp::kInit;
+  double value = 0;
+  long long peer = 0;
+  long long peer2 = 0;
+  long long tag = 0;
+  long long tag2 = 0;
+  long long count = 0;
+  long long count2 = 0;
+  long long elem = 1;
+  long long elem2 = 1;
+  long long req = -1;
+  bool commutative = true;
+  std::vector<long long> reqs;
+  std::vector<long long> counts;
+  std::vector<long long> counts2;
+};
+
+// Op <-> token-name mapping (also the Paje state names).
+const char* ti_op_name(TiOp op);
+bool ti_op_from_name(const std::string& name, TiOp* out);
+
+// One-line text form (no trailing newline) and its inverse. parse returns
+// false on malformed input and leaves *out unspecified.
+std::string serialize_record(const TiRecord& record);
+bool parse_record(const std::string& line, TiRecord* out);
+
+}  // namespace smpi::trace

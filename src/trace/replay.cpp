@@ -1,0 +1,334 @@
+#include "trace/replay.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "smpi/internals.hpp"
+#include "smpi/mpi.h"
+#include "trace/capture.hpp"
+#include "trace/paje.hpp"
+#include "trace/reader.hpp"
+#include "util/check.hpp"
+
+namespace smpi::trace {
+
+namespace {
+
+long long sum_counts(const std::vector<long long>& counts) {
+  long long total = 0;
+  for (long long c : counts) total += c;
+  return total;
+}
+
+// Largest buffer any pointer passed for this record may span. Payload-free
+// mode never copies message data, but collective algorithms still stage
+// their *own* rank's block through the user buffers, so those must be real
+// memory of the logical size.
+long long record_arena_need(const TiRecord& r, int ranks) {
+  const long long n = ranks;
+  switch (r.op) {
+    case TiOp::kSend:
+    case TiOp::kIsend:
+    case TiOp::kRecv:
+    case TiOp::kIrecv:
+      return r.count * r.elem;
+    case TiOp::kSendrecv:
+      return std::max(r.count * r.elem, r.count2 * r.elem2);
+    case TiOp::kBcast:
+    case TiOp::kReduce:
+    case TiOp::kAllreduce:
+    case TiOp::kScan:
+      return r.count * r.elem;
+    case TiOp::kGather:
+      return std::max(r.count * r.elem, n * r.count2 * r.elem2);
+    case TiOp::kScatter:
+      return std::max(n * r.count * r.elem, r.count2 * r.elem2);
+    case TiOp::kAllgather:
+      return std::max(r.count * r.elem, n * r.count2 * r.elem2);
+    case TiOp::kAlltoall:
+      return n * std::max(r.count * r.elem, r.count2 * r.elem2);
+    case TiOp::kGatherv:
+      return std::max(r.count * r.elem, sum_counts(r.counts) * r.elem2);
+    case TiOp::kScatterv:
+      return std::max(sum_counts(r.counts) * r.elem, r.count2 * r.elem2);
+    case TiOp::kAllgatherv:
+      return std::max(r.count * r.elem, sum_counts(r.counts) * r.elem2);
+    case TiOp::kAlltoallv:
+      return std::max(sum_counts(r.counts) * r.elem, sum_counts(r.counts2) * r.elem2);
+    case TiOp::kReduceScatter:
+      return sum_counts(r.counts) * r.elem;
+    default:
+      return 0;
+  }
+}
+
+int as_int(long long value) {
+  SMPI_REQUIRE(value >= std::numeric_limits<int>::min() &&
+                   value <= std::numeric_limits<int>::max(),
+               "trace value does not fit in int");
+  return static_cast<int>(value);
+}
+
+int decode_rank(long long peer) {
+  if (peer == kPeerNull) return MPI_PROC_NULL;
+  if (peer == kPeerAny) return MPI_ANY_SOURCE;
+  return as_int(peer);
+}
+
+int decode_tag(long long tag) { return tag == kTagAny ? MPI_ANY_TAG : as_int(tag); }
+
+std::vector<int> to_ints(const std::vector<long long>& values) {
+  std::vector<int> out;
+  out.reserve(values.size());
+  for (long long v : values) out.push_back(as_int(v));
+  return out;
+}
+
+std::vector<int> prefix_displs(const std::vector<int>& counts) {
+  std::vector<int> displs(counts.size());
+  int offset = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    displs[i] = offset;
+    offset += counts[i];
+  }
+  return displs;
+}
+
+// Non-commutative reductions only need the *shape* of the online dispatch;
+// the reduction itself costs no simulated time, so the body is empty.
+void replay_reduce_stub(void* /*in*/, void* /*inout*/, int* /*len*/, MPI_Datatype* /*type*/) {}
+
+void replay_rank(const TiTrace& trace, std::vector<unsigned char>& arena) {
+  core::SmpiWorld* world = core::SmpiWorld::instance();
+  const int rank = world->current_process()->world_rank;
+  const auto& records = trace.ranks[static_cast<std::size_t>(rank)];
+  unsigned char* base = arena.data();
+
+  std::unordered_map<long long, MPI_Request> requests;
+  std::unordered_map<long long, MPI_Datatype> types;
+  MPI_Op noncommutative = MPI_OP_NULL;
+
+  auto type_of = [&types](long long elem) -> MPI_Datatype {
+    if (elem <= 1) return MPI_BYTE;
+    auto it = types.find(elem);
+    if (it != types.end()) return it->second;
+    MPI_Datatype type = MPI_DATATYPE_NULL;
+    SMPI_ENSURE(MPI_Type_contiguous(as_int(elem), MPI_BYTE, &type) == MPI_SUCCESS,
+                "replay datatype creation failed");
+    MPI_Type_commit(&type);
+    types.emplace(elem, type);
+    return type;
+  };
+  auto op_of = [&noncommutative](bool commutative) -> MPI_Op {
+    if (commutative) return MPI_BOR;
+    if (noncommutative == MPI_OP_NULL) {
+      SMPI_ENSURE(MPI_Op_create(&replay_reduce_stub, 0, &noncommutative) == MPI_SUCCESS,
+                  "replay op creation failed");
+    }
+    return noncommutative;
+  };
+  auto take_request = [&requests](long long id) -> MPI_Request {
+    auto it = requests.find(id);
+    SMPI_REQUIRE(it != requests.end(), "trace waits on unknown request id");
+    MPI_Request handle = it->second;
+    requests.erase(it);
+    return handle;
+  };
+  auto check = [](int rc) { SMPI_ENSURE(rc == MPI_SUCCESS, "replayed MPI call failed"); };
+
+  for (const TiRecord& r : records) {
+    switch (r.op) {
+      case TiOp::kInit:
+        check(MPI_Init(nullptr, nullptr));
+        break;
+      case TiOp::kFinalize:
+        check(MPI_Finalize());
+        break;
+      case TiOp::kCompute:
+        smpi_execute_flops(r.value);
+        break;
+      case TiOp::kSleep:
+        smpi_sleep(r.value);
+        break;
+      case TiOp::kSend:
+        check(MPI_Send(base, as_int(r.count), type_of(r.elem), decode_rank(r.peer),
+                       decode_tag(r.tag), MPI_COMM_WORLD));
+        break;
+      case TiOp::kRecv:
+        check(MPI_Recv(base, as_int(r.count), type_of(r.elem), decode_rank(r.peer),
+                       decode_tag(r.tag), MPI_COMM_WORLD, MPI_STATUS_IGNORE));
+        break;
+      case TiOp::kIsend: {
+        MPI_Request handle = MPI_REQUEST_NULL;
+        check(MPI_Isend(base, as_int(r.count), type_of(r.elem), decode_rank(r.peer),
+                        decode_tag(r.tag), MPI_COMM_WORLD, &handle));
+        requests[r.req] = handle;
+        break;
+      }
+      case TiOp::kIrecv: {
+        MPI_Request handle = MPI_REQUEST_NULL;
+        check(MPI_Irecv(base, as_int(r.count), type_of(r.elem), decode_rank(r.peer),
+                        decode_tag(r.tag), MPI_COMM_WORLD, &handle));
+        requests[r.req] = handle;
+        break;
+      }
+      case TiOp::kWait: {
+        MPI_Request handle = take_request(r.req);
+        check(MPI_Wait(&handle, MPI_STATUS_IGNORE));
+        break;
+      }
+      case TiOp::kWaitall:
+        for (long long id : r.reqs) {
+          MPI_Request handle = take_request(id);
+          check(MPI_Wait(&handle, MPI_STATUS_IGNORE));
+        }
+        break;
+      case TiOp::kReqFree: {
+        MPI_Request handle = take_request(r.req);
+        check(MPI_Request_free(&handle));
+        break;
+      }
+      case TiOp::kProbe:
+        check(MPI_Probe(decode_rank(r.peer), decode_tag(r.tag), MPI_COMM_WORLD,
+                        MPI_STATUS_IGNORE));
+        break;
+      case TiOp::kSendrecv:
+        check(MPI_Sendrecv(base, as_int(r.count), type_of(r.elem), decode_rank(r.peer),
+                           decode_tag(r.tag), base, as_int(r.count2), type_of(r.elem2),
+                           decode_rank(r.peer2), decode_tag(r.tag2), MPI_COMM_WORLD,
+                           MPI_STATUS_IGNORE));
+        break;
+      case TiOp::kBarrier:
+        check(MPI_Barrier(MPI_COMM_WORLD));
+        break;
+      case TiOp::kBcast:
+        check(MPI_Bcast(base, as_int(r.count), type_of(r.elem), as_int(r.peer), MPI_COMM_WORLD));
+        break;
+      case TiOp::kReduce:
+        check(MPI_Reduce(base, base, as_int(r.count), type_of(r.elem), op_of(r.commutative),
+                         as_int(r.peer), MPI_COMM_WORLD));
+        break;
+      case TiOp::kAllreduce:
+        check(MPI_Allreduce(base, base, as_int(r.count), type_of(r.elem), op_of(r.commutative),
+                            MPI_COMM_WORLD));
+        break;
+      case TiOp::kScan:
+        check(MPI_Scan(base, base, as_int(r.count), type_of(r.elem), op_of(r.commutative),
+                       MPI_COMM_WORLD));
+        break;
+      case TiOp::kGather:
+        check(MPI_Gather(base, as_int(r.count), type_of(r.elem), base, as_int(r.count2),
+                         type_of(r.elem2), as_int(r.peer), MPI_COMM_WORLD));
+        break;
+      case TiOp::kScatter:
+        check(MPI_Scatter(base, as_int(r.count), type_of(r.elem), base, as_int(r.count2),
+                          type_of(r.elem2), as_int(r.peer), MPI_COMM_WORLD));
+        break;
+      case TiOp::kAllgather:
+        check(MPI_Allgather(base, as_int(r.count), type_of(r.elem), base, as_int(r.count2),
+                            type_of(r.elem2), MPI_COMM_WORLD));
+        break;
+      case TiOp::kAlltoall:
+        check(MPI_Alltoall(base, as_int(r.count), type_of(r.elem), base, as_int(r.count2),
+                           type_of(r.elem2), MPI_COMM_WORLD));
+        break;
+      case TiOp::kGatherv: {
+        if (r.counts.empty()) {  // non-root: the array stays with the root
+          check(MPI_Gatherv(base, as_int(r.count), type_of(r.elem), nullptr, nullptr, nullptr,
+                            type_of(r.elem2), as_int(r.peer), MPI_COMM_WORLD));
+        } else {
+          const std::vector<int> counts = to_ints(r.counts);
+          const std::vector<int> displs = prefix_displs(counts);
+          check(MPI_Gatherv(base, as_int(r.count), type_of(r.elem), base, counts.data(),
+                            displs.data(), type_of(r.elem2), as_int(r.peer), MPI_COMM_WORLD));
+        }
+        break;
+      }
+      case TiOp::kScatterv: {
+        if (r.counts.empty()) {
+          check(MPI_Scatterv(nullptr, nullptr, nullptr, type_of(r.elem), base, as_int(r.count2),
+                             type_of(r.elem2), as_int(r.peer), MPI_COMM_WORLD));
+        } else {
+          const std::vector<int> counts = to_ints(r.counts);
+          const std::vector<int> displs = prefix_displs(counts);
+          check(MPI_Scatterv(base, counts.data(), displs.data(), type_of(r.elem), base,
+                             as_int(r.count2), type_of(r.elem2), as_int(r.peer),
+                             MPI_COMM_WORLD));
+        }
+        break;
+      }
+      case TiOp::kAllgatherv: {
+        const std::vector<int> counts = to_ints(r.counts);
+        const std::vector<int> displs = prefix_displs(counts);
+        check(MPI_Allgatherv(base, as_int(r.count), type_of(r.elem), base, counts.data(),
+                             displs.data(), type_of(r.elem2), MPI_COMM_WORLD));
+        break;
+      }
+      case TiOp::kAlltoallv: {
+        const std::vector<int> scounts = to_ints(r.counts);
+        const std::vector<int> sdispls = prefix_displs(scounts);
+        const std::vector<int> rcounts = to_ints(r.counts2);
+        const std::vector<int> rdispls = prefix_displs(rcounts);
+        check(MPI_Alltoallv(base, scounts.data(), sdispls.data(), type_of(r.elem), base,
+                            rcounts.data(), rdispls.data(), type_of(r.elem2), MPI_COMM_WORLD));
+        break;
+      }
+      case TiOp::kReduceScatter: {
+        const std::vector<int> counts = to_ints(r.counts);
+        check(MPI_Reduce_scatter(base, base, counts.data(), type_of(r.elem),
+                                 op_of(r.commutative), MPI_COMM_WORLD));
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+ReplayResult replay_trace(const platform::Platform& platform, core::SmpiConfig config,
+                          const std::string& trace_dir, const ReplayOptions& options) {
+  auto trace = std::make_shared<TiTrace>(load_ti_trace(trace_dir));
+
+  // Pre-size the shared arena before any actor runs: growing it mid-run
+  // would move memory out from under a suspended rank's collective.
+  long long arena_bytes = 1;
+  for (const auto& rank_records : trace->ranks) {
+    for (const TiRecord& r : rank_records) {
+      arena_bytes = std::max(arena_bytes, record_arena_need(r, trace->nranks));
+    }
+  }
+  auto arena = std::make_shared<std::vector<unsigned char>>(
+      static_cast<std::size_t>(arena_bytes));
+
+  config.payload_free = true;
+  core::SmpiWorld world(platform, config);
+  if (options.paje != nullptr) {
+    install_capture(nullptr, options.paje);
+    options.paje->begin(trace->nranks);
+  }
+  try {
+    world.run(trace->nranks, [trace, arena](int, char**) { replay_rank(*trace, *arena); }, {},
+              "ti-replay:" + trace->app);
+  } catch (...) {
+    // Never leave the global instrumentation dangling onto the caller-owned
+    // writer once this frame unwinds.
+    if (options.paje != nullptr) clear_capture();
+    throw;
+  }
+  if (options.paje != nullptr) {
+    clear_capture();
+    options.paje->finish(world.simulated_time());
+  }
+
+  ReplayResult result;
+  result.simulated_time = world.simulated_time();
+  result.records = trace->total_records();
+  result.ranks = trace->nranks;
+  result.arena_bytes = static_cast<std::uint64_t>(arena_bytes);
+  return result;
+}
+
+}  // namespace smpi::trace

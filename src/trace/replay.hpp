@@ -1,0 +1,44 @@
+// Offline replay: re-simulate a captured TI trace on any platform.
+//
+// Each rank becomes a replay actor that walks its record list and re-issues
+// the recorded operations through the ordinary MPI entry points, so the
+// replayed traffic exercises the same collective algorithms, matching
+// engine, and surf contention models as the online run — only the
+// application code and its memory are gone. All payloads are served from
+// one shared scratch arena (sized to the largest single operation, not to
+// rank count x message size) and the world runs in payload-free mode, so a
+// 1024-rank trace replays without allocating any per-rank application data.
+// (Collective algorithms still allocate and copy their own internal staging
+// buffers; gating those too is a further replay-speed lever — see ROADMAP.)
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "platform/platform.hpp"
+#include "smpi/smpi.hpp"
+
+namespace smpi::trace {
+
+class PajeWriter;
+
+struct ReplayOptions {
+  // Optional time-stamped timeline of the replay (owned by the caller;
+  // begin()/finish() are driven by replay_trace).
+  PajeWriter* paje = nullptr;
+};
+
+struct ReplayResult {
+  double simulated_time = 0;
+  long long records = 0;
+  int ranks = 0;
+  std::uint64_t arena_bytes = 0;
+};
+
+// Loads `<trace_dir>` and re-simulates it over `platform`. `config` should
+// match the capture run's model configuration (network model, personality);
+// payload_free is forced on. Throws util::ContractError on a bad trace.
+ReplayResult replay_trace(const platform::Platform& platform, core::SmpiConfig config,
+                          const std::string& trace_dir, const ReplayOptions& options = {});
+
+}  // namespace smpi::trace

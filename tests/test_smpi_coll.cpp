@@ -422,6 +422,159 @@ TEST(SmpiColl, CollectiveArgValidation) {
   });
 }
 
+// ---------------------------------------------------------------------------
+// Scan / Reduce_scatter edge cases: zero counts, a single rank, and
+// non-commutative operator ordering (the MPI-mandated low-rank-first fold).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Affine-function composition over (m, c) int pairs: a ∘-then-∘ b maps
+// x -> b.m * (a.m * x + a.c) + b.c. Associative (function composition) but
+// NOT commutative, so it discriminates the MPI-mandated rank-ascending fold
+// from any reordering while staying legal for tree-shaped reductions.
+void affine_compose(void* in, void* inout, int* len, MPI_Datatype*) {
+  auto* a = static_cast<int*>(in);     // lower-rank operand, applied first
+  auto* b = static_cast<int*>(inout);  // higher-rank operand and result
+  for (int i = 0; i + 1 < *len; i += 2) {
+    const int m = a[i] * b[i];
+    const int c = b[i] * a[i + 1] + b[i + 1];
+    b[i] = m;
+    b[i + 1] = c;
+  }
+}
+
+void affine_compose_ref(const int a[2], int b_and_result[2]) {
+  int len = 2;
+  affine_compose(const_cast<int*>(a), b_and_result, &len, nullptr);
+}
+
+}  // namespace
+
+TEST(SmpiColl, ScanZeroCountCompletesOnEveryRank) {
+  run_mpi(5, [] {
+    int dummy = 7;
+    int out = 7;
+    ASSERT_EQ(MPI_Scan(&dummy, &out, 0, MPI_INT, MPI_SUM, MPI_COMM_WORLD), MPI_SUCCESS);
+    EXPECT_EQ(out, 7);  // zero elements: output untouched
+  });
+}
+
+TEST(SmpiColl, ScanSingleRankIsIdentity) {
+  run_mpi(1, [] {
+    const int mine = 41;
+    int prefix = -1;
+    ASSERT_EQ(MPI_Scan(&mine, &prefix, 1, MPI_INT, MPI_SUM, MPI_COMM_WORLD), MPI_SUCCESS);
+    EXPECT_EQ(prefix, 41);
+  });
+}
+
+TEST(SmpiColl, ScanNonCommutativeFoldsInRankOrder) {
+  constexpr int kRanks = 6;
+  run_mpi(kRanks, [] {
+    const int rank = my_rank();
+    MPI_Op op;
+    ASSERT_EQ(MPI_Op_create(&affine_compose, 0, &op), MPI_SUCCESS);
+    // Rank q contributes the affine map x -> 2x + (q + 1).
+    int contribution[2] = {2, rank + 1};
+    int prefix[2] = {-1, -1};
+    ASSERT_EQ(MPI_Scan(contribution, prefix, 2, MPI_INT, op, MPI_COMM_WORLD), MPI_SUCCESS);
+    // Reference: strict left fold over ranks 0..rank (lower rank applied
+    // first, i.e. it is the `in` operand of every step).
+    int expected[2] = {2, 1};
+    for (int q = 1; q <= rank; ++q) {
+      int step[2] = {2, q + 1};
+      affine_compose_ref(expected, step);
+      expected[0] = step[0];
+      expected[1] = step[1];
+    }
+    EXPECT_EQ(prefix[0], expected[0]);
+    EXPECT_EQ(prefix[1], expected[1]);
+    MPI_Op_free(&op);
+  });
+}
+
+TEST(SmpiColl, ReduceScatterAllZeroCountsCompletes) {
+  run_mpi(4, [] {
+    const int size = world_size();
+    std::vector<int> counts(static_cast<std::size_t>(size), 0);
+    int dummy = 3;
+    int out = 3;
+    ASSERT_EQ(MPI_Reduce_scatter(&dummy, &out, counts.data(), MPI_INT, MPI_SUM, MPI_COMM_WORLD),
+              MPI_SUCCESS);
+    EXPECT_EQ(out, 3);
+  });
+}
+
+TEST(SmpiColl, ReduceScatterSingleRankReducesOwnBlock) {
+  run_mpi(1, [] {
+    const int counts[1] = {3};
+    const int input[3] = {4, 5, 6};
+    int out[3] = {-1, -1, -1};
+    ASSERT_EQ(MPI_Reduce_scatter(input, out, counts, MPI_INT, MPI_SUM, MPI_COMM_WORLD),
+              MPI_SUCCESS);
+    EXPECT_EQ(out[0], 4);
+    EXPECT_EQ(out[1], 5);
+    EXPECT_EQ(out[2], 6);
+  });
+}
+
+TEST(SmpiColl, ReduceScatterMixedZeroAndNonZeroCounts) {
+  run_mpi(4, [] {
+    const int rank = my_rank();
+    const int size = world_size();
+    // Ranks 0 and 2 receive two elements, ranks 1 and 3 receive none.
+    std::vector<int> counts(static_cast<std::size_t>(size));
+    for (int r = 0; r < size; ++r) counts[static_cast<std::size_t>(r)] = (r % 2 == 0) ? 2 : 0;
+    std::vector<int> input(4);
+    for (int i = 0; i < 4; ++i) input[static_cast<std::size_t>(i)] = rank * 100 + i;
+    std::vector<int> out(2, -7);
+    ASSERT_EQ(MPI_Reduce_scatter(input.data(), out.data(), counts.data(), MPI_INT, MPI_SUM,
+                                 MPI_COMM_WORLD),
+              MPI_SUCCESS);
+    const int rank_sum = 100 * (size * (size - 1) / 2);
+    if (rank % 2 == 0) {
+      const int offset = rank == 0 ? 0 : 2;  // rank 2's block starts after rank 0's
+      EXPECT_EQ(out[0], rank_sum + size * offset);
+      EXPECT_EQ(out[1], rank_sum + size * (offset + 1));
+    } else {
+      EXPECT_EQ(out[0], -7);  // zero-count ranks receive nothing
+    }
+  });
+}
+
+TEST(SmpiColl, ReduceScatterNonCommutativeFoldsInRankOrder) {
+  constexpr int kRanks = 5;
+  run_mpi(kRanks, [] {
+    const int rank = my_rank();
+    const int size = world_size();
+    MPI_Op op;
+    ASSERT_EQ(MPI_Op_create(&affine_compose, 0, &op), MPI_SUCCESS);
+    // One affine pair per destination rank; rank q's contribution for block
+    // j is x -> 2x + (10q + j). Non-commutative ops take the
+    // reduce-to-root + scatterv fallback, which must still fold rank-first.
+    std::vector<int> counts(static_cast<std::size_t>(size), 2);
+    std::vector<int> input(static_cast<std::size_t>(size) * 2);
+    for (int j = 0; j < size; ++j) {
+      input[static_cast<std::size_t>(2 * j)] = 2;
+      input[static_cast<std::size_t>(2 * j + 1)] = 10 * rank + j;
+    }
+    int out[2] = {-1, -1};
+    ASSERT_EQ(MPI_Reduce_scatter(input.data(), out, counts.data(), MPI_INT, op, MPI_COMM_WORLD),
+              MPI_SUCCESS);
+    int expected[2] = {2, rank};  // rank 0's contribution for block `rank`
+    for (int q = 1; q < size; ++q) {
+      int step[2] = {2, 10 * q + rank};
+      affine_compose_ref(expected, step);
+      expected[0] = step[0];
+      expected[1] = step[1];
+    }
+    EXPECT_EQ(out[0], expected[0]);
+    EXPECT_EQ(out[1], expected[1]);
+    MPI_Op_free(&op);
+  });
+}
+
 TEST(SmpiColl, ContentionMakesAlltoallSlowerThanNoContention) {
   // The qualitative claim behind Figures 7/11: a model without contention
   // underestimates collective completion times. Contention arises on shared

@@ -100,6 +100,22 @@ def main():
                                     "solver_churn_lazy slower than incremental", n,
                                     ns / incremental))
 
+    # Machine-independent invariant #2: offline replay must beat the online
+    # capture run by >= 2x at 64 ranks (the TI-replay acceptance bar). Both
+    # walls come from the same run on the same machine, so the ratio cannot
+    # be broken by runner-generation drift.
+    replay_fresh_path = os.path.join(args.fresh, "BENCH_replay.json")
+    if os.path.exists(replay_fresh_path):
+        replay = load_records(replay_fresh_path)
+        for (op, n), online_ns in sorted(replay.items()):
+            if op != "replay_online_capture" or n < 64:
+                continue
+            offline = replay.get(("replay_offline", n))
+            if offline is not None and offline * 2.0 > online_ns:
+                regressions.append(("BENCH_replay.json",
+                                    "offline replay not 2x faster than online capture", n,
+                                    online_ns / offline))
+
     if compared == 0:
         print("bench_trend: nothing compared — fresh bench files missing?", file=sys.stderr)
         return 1

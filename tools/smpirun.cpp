@@ -7,10 +7,17 @@
 //   smpirun --np 8 --cluster 8 --app ep --log2-pairs 20 --sampling 0.25
 //   smpirun --np 16 --cluster 16 --app alltoall --bytes 1MiB --backend packet
 //
+// Trace capture and offline replay (the TI trace subsystem):
+//   smpirun --np 16 --cluster 16 --app ep --trace-ti ti_dir   # capture once
+//   smpirun --replay ti_dir --cluster 16                      # re-simulate
+//   smpirun --replay ti_dir --machine gdx                     # ... on any platform
+//   smpirun --np 16 --cluster 16 --app dt --trace-paje dt.trace  # timeline
+//
 // Exit code: 0 on success, 1 on usage errors, 2 when the application aborts.
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -21,6 +28,10 @@
 #include "smpi/coll.h"
 #include "smpi/mpi.h"
 #include "smpi/smpi.hpp"
+#include "trace/capture.hpp"
+#include "trace/paje.hpp"
+#include "trace/replay.hpp"
+#include "trace/writer.hpp"
 #include "util/units.hpp"
 
 namespace {
@@ -40,6 +51,9 @@ struct Options {
   double ep_sampling = 1.0;
   std::uint64_t bytes = 1 << 20;
   bool verbose = false;
+  std::string trace_ti_dir;   // --trace-ti: capture a TI trace while running
+  std::string replay_dir;     // --replay: re-simulate a captured TI trace
+  std::string trace_paje;     // --trace-paje: time-stamped Paje timeline
 };
 
 [[noreturn]] void usage(const char* error) {
@@ -58,6 +72,9 @@ struct Options {
                "  --fold                DT: use SMPI_SHARED_MALLOC folding\n"
                "  --log2-pairs M        EP: total pairs = 2^M\n"
                "  --sampling R          EP: SMPI_SAMPLE ratio in (0,1]\n"
+               "  --trace-ti DIR        capture a time-independent trace into DIR\n"
+               "  --replay DIR          replay a captured trace (ignores --np/--app)\n"
+               "  --trace-paje FILE     write a Paje timeline of the (re)simulation\n"
                "  --verbose             print per-app details\n");
   std::exit(1);
 }
@@ -95,6 +112,12 @@ Options parse_options(int argc, char** argv) {
         options.ep_log2_pairs = std::stoi(need_value(i));
       } else if (arg == "--sampling") {
         options.ep_sampling = std::stod(need_value(i));
+      } else if (arg == "--trace-ti") {
+        options.trace_ti_dir = need_value(i);
+      } else if (arg == "--replay") {
+        options.replay_dir = need_value(i);
+      } else if (arg == "--trace-paje") {
+        options.trace_paje = need_value(i);
       } else if (arg == "--verbose") {
         options.verbose = true;
       } else if (arg == "--help" || arg == "-h") {
@@ -207,8 +230,38 @@ smpi::core::MpiMain make_app(const Options& options) {
 
 int main(int argc, char** argv) {
   const Options options = parse_options(argc, argv);
+  if (!options.replay_dir.empty() && !options.trace_ti_dir.empty()) {
+    usage("--replay and --trace-ti are mutually exclusive");
+  }
   try {
     auto platform = make_platform(options);
+
+    smpi::core::SmpiConfig config;
+    if (options.backend == "packet") {
+      config.backend = smpi::core::SmpiConfig::Backend::kPacket;
+      config.personality = smpi::core::Personality::openmpi();
+    } else if (options.backend != "flow") {
+      usage("--backend must be flow or packet");
+    }
+
+    if (!options.replay_dir.empty()) {
+      std::unique_ptr<smpi::trace::PajeWriter> paje;
+      smpi::trace::ReplayOptions replay_options;
+      if (!options.trace_paje.empty()) {
+        paje = std::make_unique<smpi::trace::PajeWriter>(options.trace_paje);
+        replay_options.paje = paje.get();
+      }
+      const auto result =
+          smpi::trace::replay_trace(platform, config, options.replay_dir, replay_options);
+      std::printf("smpirun: replayed %lld records over %d ranks on %d hosts (%s backend)\n",
+                  result.records, result.ranks, platform.host_count(), options.backend.c_str());
+      if (options.verbose) {
+        std::printf("replay scratch arena: %s\n",
+                    smpi::util::format_bytes(result.arena_bytes).c_str());
+      }
+      std::printf("simulated execution time: %.9f s\n", result.simulated_time);
+      return 0;
+    }
 
     int np = options.np;
     if (options.app == "dt") {
@@ -221,16 +274,37 @@ int main(int argc, char** argv) {
       }
     }
 
-    smpi::core::SmpiConfig config;
-    if (options.backend == "packet") {
-      config.backend = smpi::core::SmpiConfig::Backend::kPacket;
-      config.personality = smpi::core::Personality::openmpi();
-    } else if (options.backend != "flow") {
-      usage("--backend must be flow or packet");
+    std::unique_ptr<smpi::trace::TiWriter> ti_writer;
+    std::unique_ptr<smpi::trace::PajeWriter> paje;
+    if (!options.trace_ti_dir.empty()) {
+      ti_writer = std::make_unique<smpi::trace::TiWriter>(options.trace_ti_dir, np, options.app);
+    }
+    if (!options.trace_paje.empty()) {
+      paje = std::make_unique<smpi::trace::PajeWriter>(options.trace_paje);
+      paje->begin(np);
+    }
+    if (ti_writer != nullptr || paje != nullptr) {
+      smpi::trace::install_capture(ti_writer.get(), paje.get());
     }
 
     smpi::core::SmpiWorld world(platform, config);
-    world.run(np, make_app(options));
+    try {
+      world.run(np, make_app(options));
+    } catch (...) {
+      smpi::trace::clear_capture();  // the writers unwind with this frame
+      throw;
+    }
+
+    if (ti_writer != nullptr || paje != nullptr) {
+      smpi::trace::clear_capture();
+      if (ti_writer != nullptr) ti_writer->finish();
+      if (paje != nullptr) paje->finish(world.simulated_time());
+      if (options.verbose && ti_writer != nullptr) {
+        std::printf("captured %llu trace records into %s\n",
+                    static_cast<unsigned long long>(ti_writer->records_written()),
+                    options.trace_ti_dir.c_str());
+      }
+    }
 
     if (world.aborted()) {
       std::fprintf(stderr, "smpirun: application aborted with code %d\n", world.abort_code());
@@ -238,7 +312,7 @@ int main(int argc, char** argv) {
     }
     std::printf("smpirun: %d processes on %d hosts (%s backend)\n", np, platform.host_count(),
                 options.backend.c_str());
-    std::printf("simulated execution time: %.6f s\n", world.simulated_time());
+    std::printf("simulated execution time: %.9f s\n", world.simulated_time());
     if (options.verbose) {
       const auto memory = world.memory_report();
       std::printf("tracked memory: folded peak %s, unfolded peak %s\n",

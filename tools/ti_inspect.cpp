@@ -1,0 +1,103 @@
+// ti_inspect — summarize a captured TI trace directory.
+//
+//   ti_inspect <trace-dir>             per-op record counts + volume summary
+//   ti_inspect <trace-dir> --dump [r]  print every record (of rank r)
+//
+// Exit code: 0 on success, 1 on usage/load errors.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "trace/reader.hpp"
+
+namespace {
+
+struct OpStats {
+  long long records = 0;
+  long long bytes = 0;  // p2p payload or collective send-side volume
+};
+
+long long record_bytes(const smpi::trace::TiRecord& r) {
+  using smpi::trace::TiOp;
+  switch (r.op) {
+    case TiOp::kSend:
+    case TiOp::kIsend:
+    case TiOp::kRecv:
+    case TiOp::kIrecv:
+      return r.count * r.elem;
+    case TiOp::kSendrecv:
+      return r.count * r.elem + r.count2 * r.elem2;
+    case TiOp::kBcast:
+    case TiOp::kReduce:
+    case TiOp::kAllreduce:
+    case TiOp::kScan:
+    case TiOp::kGather:
+    case TiOp::kScatter:
+    case TiOp::kAllgather:
+    case TiOp::kAlltoall:
+    case TiOp::kGatherv:
+    case TiOp::kAllgatherv:
+      return r.count * r.elem;
+    case TiOp::kScatterv:  // send-side volume lives in the root's counts array
+    case TiOp::kAlltoallv:
+    case TiOp::kReduceScatter: {
+      long long total = 0;
+      for (long long c : r.counts) total += c;
+      return total * r.elem;
+    }
+    default:
+      return 0;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: ti_inspect <trace-dir> [--dump [rank]]\n");
+    return 1;
+  }
+  const std::string dir = argv[1];
+  const bool dump = argc >= 3 && std::strcmp(argv[2], "--dump") == 0;
+  const int dump_rank = argc >= 4 ? std::atoi(argv[3]) : -1;
+
+  try {
+    const smpi::trace::TiTrace trace = smpi::trace::load_ti_trace(dir);
+    if (dump) {
+      for (int rank = 0; rank < trace.nranks; ++rank) {
+        if (dump_rank >= 0 && rank != dump_rank) continue;
+        for (const auto& record : trace.ranks[static_cast<std::size_t>(rank)]) {
+          std::printf("%-6d %s\n", rank, smpi::trace::serialize_record(record).c_str());
+        }
+      }
+      return 0;
+    }
+
+    std::map<std::string, OpStats> stats;
+    double total_flops = 0;
+    double total_sleep = 0;
+    for (const auto& rank_records : trace.ranks) {
+      for (const auto& record : rank_records) {
+        OpStats& s = stats[smpi::trace::ti_op_name(record.op)];
+        s.records += 1;
+        s.bytes += record_bytes(record);
+        if (record.op == smpi::trace::TiOp::kCompute) total_flops += record.value;
+        if (record.op == smpi::trace::TiOp::kSleep) total_sleep += record.value;
+      }
+    }
+
+    std::printf("trace: %s\napp: %s\nranks: %d\nrecords: %lld\n", dir.c_str(),
+                trace.app.c_str(), trace.nranks, trace.total_records());
+    std::printf("%-16s %12s %16s\n", "op", "records", "bytes");
+    for (const auto& [name, s] : stats) {
+      std::printf("%-16s %12lld %16lld\n", name.c_str(), s.records, s.bytes);
+    }
+    std::printf("total compute: %.6e flops\ntotal recorded sleep: %.6e s\n", total_flops,
+                total_sleep);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ti_inspect: error: %s\n", e.what());
+    return 1;
+  }
+}
