@@ -1,0 +1,214 @@
+#include "campaign/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace smpi::campaign {
+
+namespace {
+
+const ScenarioResult& baseline_of(const CampaignOutcome& outcome) {
+  SMPI_REQUIRE(!outcome.results.empty(), "campaign outcome has no scenarios");
+  return outcome.results.front();
+}
+
+double speedup_vs_baseline(const ScenarioResult& baseline, const ScenarioResult& r) {
+  if (!baseline.ok || !r.ok || r.simulated_time <= 0) return 0;
+  return baseline.simulated_time / r.simulated_time;
+}
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+// Scenario ids of the successful runs, sorted fastest-first (stable on ties
+// so the ranking is deterministic).
+std::vector<int> ranked_ok(const CampaignOutcome& outcome) {
+  std::vector<int> ids;
+  for (const ScenarioResult& r : outcome.results) {
+    if (r.ok) ids.push_back(r.id);
+  }
+  std::stable_sort(ids.begin(), ids.end(), [&](int a, int b) {
+    return outcome.results[static_cast<std::size_t>(a)].simulated_time <
+           outcome.results[static_cast<std::size_t>(b)].simulated_time;
+  });
+  return ids;
+}
+
+util::JsonValue params_json(const Scenario& scenario) {
+  util::JsonValue params = util::JsonValue::object();
+  for (const auto& [key, value] : scenario.params) params.set(key, value);
+  return params;
+}
+
+}  // namespace
+
+util::JsonValue report_json(const CampaignSpec& spec, const std::vector<Scenario>& scenarios,
+                            const CampaignOutcome& outcome) {
+  SMPI_REQUIRE(scenarios.size() == outcome.results.size(),
+               "campaign report: scenario/result count mismatch");
+  const ScenarioResult& baseline = baseline_of(outcome);
+
+  util::JsonValue doc = util::JsonValue::object();
+  doc.set("campaign", util::JsonValue::string(spec.name));
+  doc.set("trace", util::JsonValue::string(spec.trace_dir));
+  doc.set("workers", util::JsonValue::number(outcome.workers));
+  doc.set("wall_s", util::JsonValue::number(outcome.wall_s));
+  doc.set("scenario_count", util::JsonValue::number(static_cast<double>(scenarios.size())));
+
+  util::JsonValue rows = util::JsonValue::array();
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const Scenario& scenario = scenarios[i];
+    const ScenarioResult& r = outcome.results[i];
+    util::JsonValue row = util::JsonValue::object();
+    row.set("id", util::JsonValue::number(scenario.id));
+    row.set("label", util::JsonValue::string(scenario.label));
+    row.set("params", params_json(scenario));
+    row.set("ok", util::JsonValue::boolean(r.ok));
+    if (!r.ok) {
+      row.set("error", util::JsonValue::string(r.error));
+      rows.append(std::move(row));
+      continue;
+    }
+    row.set("simulated_time", util::JsonValue::number(r.simulated_time));
+    row.set("speedup_vs_baseline", util::JsonValue::number(speedup_vs_baseline(baseline, r)));
+    row.set("wall_s", util::JsonValue::number(r.wall_s));
+    row.set("records", util::JsonValue::number(static_cast<double>(r.records)));
+    row.set("ranks", util::JsonValue::number(r.ranks));
+    row.set("arena_bytes", util::JsonValue::number(static_cast<double>(r.arena_bytes)));
+    util::JsonValue breakdown = util::JsonValue::object();
+    breakdown.set("compute_total_s", util::JsonValue::number(r.compute_total_s()));
+    breakdown.set("comm_total_s", util::JsonValue::number(r.comm_total_s()));
+    breakdown.set("compute_max_s", util::JsonValue::number(r.compute_max_s()));
+    breakdown.set("comm_max_s", util::JsonValue::number(r.comm_max_s()));
+    util::JsonValue per_rank_compute = util::JsonValue::array();
+    util::JsonValue per_rank_comm = util::JsonValue::array();
+    for (double v : r.rank_compute_s) per_rank_compute.append(util::JsonValue::number(v));
+    for (double v : r.rank_comm_s) per_rank_comm.append(util::JsonValue::number(v));
+    breakdown.set("rank_compute_s", std::move(per_rank_compute));
+    breakdown.set("rank_comm_s", std::move(per_rank_comm));
+    row.set("breakdown", std::move(breakdown));
+    util::JsonValue solver = util::JsonValue::object();
+    solver.set("solves", util::JsonValue::number(static_cast<double>(r.solver_solves)));
+    solver.set("vars_touched",
+               util::JsonValue::number(static_cast<double>(r.solver_vars_touched)));
+    solver.set("cons_touched",
+               util::JsonValue::number(static_cast<double>(r.solver_cons_touched)));
+    row.set("solver", std::move(solver));
+    rows.append(std::move(row));
+  }
+  doc.set("scenarios", std::move(rows));
+
+  const std::vector<int> ranking = ranked_ok(outcome);
+  util::JsonValue ranking_json = util::JsonValue::array();
+  for (int id : ranking) ranking_json.append(util::JsonValue::number(id));
+  doc.set("ranking_fastest_first", std::move(ranking_json));
+  return doc;
+}
+
+std::string report_csv(const CampaignSpec& spec, const std::vector<Scenario>& scenarios,
+                       const CampaignOutcome& outcome) {
+  SMPI_REQUIRE(scenarios.size() == outcome.results.size(),
+               "campaign report: scenario/result count mismatch");
+  const ScenarioResult& baseline = baseline_of(outcome);
+
+  // One column per axis (in axis order) so the grid pivots cleanly.
+  std::vector<std::string> axis_keys;
+  for (const Axis& axis : spec.axes) axis_keys.push_back(axis.key());
+
+  std::string csv = "id,label,ok";
+  for (const std::string& key : axis_keys) csv += "," + key;
+  csv +=
+      ",simulated_time,speedup_vs_baseline,wall_s,records,ranks,compute_total_s,comm_total_s,"
+      "compute_max_s,comm_max_s,solver_solves,solver_vars_touched,solver_cons_touched,error\n";
+
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const Scenario& scenario = scenarios[i];
+    const ScenarioResult& r = outcome.results[i];
+    csv += std::to_string(scenario.id);
+    csv += ",\"" + scenario.label + "\"";
+    csv += r.ok ? ",1" : ",0";
+    for (const std::string& key : axis_keys) {
+      const util::JsonValue* value = scenario.find(key);
+      csv += ',';
+      if (value != nullptr) {
+        csv += value->is_string() ? value->as_string() : value->dump();
+      }
+    }
+    if (r.ok) {
+      csv += ',' + format_double(r.simulated_time);
+      csv += ',' + format_double(speedup_vs_baseline(baseline, r));
+      csv += ',' + format_double(r.wall_s);
+      csv += ',' + std::to_string(r.records);
+      csv += ',' + std::to_string(r.ranks);
+      csv += ',' + format_double(r.compute_total_s());
+      csv += ',' + format_double(r.comm_total_s());
+      csv += ',' + format_double(r.compute_max_s());
+      csv += ',' + format_double(r.comm_max_s());
+      csv += ',' + std::to_string(r.solver_solves);
+      csv += ',' + std::to_string(r.solver_vars_touched);
+      csv += ',' + std::to_string(r.solver_cons_touched);
+      csv += ",\n";
+    } else {
+      csv += ",,,,,,,,,,,,\"" + r.error + "\"\n";
+    }
+  }
+  return csv;
+}
+
+std::string report_summary(const CampaignSpec& spec, const std::vector<Scenario>& scenarios,
+                           const CampaignOutcome& outcome, int top) {
+  const ScenarioResult& baseline = baseline_of(outcome);
+  const std::vector<int> ranking = ranked_ok(outcome);
+  std::string out;
+  char line[512];
+
+  std::snprintf(line, sizeof line, "campaign '%s': %zu scenarios, %d workers, %.2fs wall\n",
+                spec.name.c_str(), scenarios.size(), outcome.workers, outcome.wall_s);
+  out += line;
+  if (baseline.ok) {
+    std::snprintf(line, sizeof line, "baseline simulated time: %.9f s\n",
+                  baseline.simulated_time);
+    out += line;
+  } else {
+    out += "baseline FAILED: " + baseline.error + "\n";
+  }
+
+  auto describe = [&](int id) {
+    const ScenarioResult& r = outcome.results[static_cast<std::size_t>(id)];
+    std::snprintf(line, sizeof line, "  #%-4d %-48s %.9f s  (%.3fx)\n", id,
+                  scenarios[static_cast<std::size_t>(id)].label.c_str(), r.simulated_time,
+                  speedup_vs_baseline(baseline, r));
+    out += line;
+  };
+
+  const int shown = std::min<int>(top, static_cast<int>(ranking.size()));
+  if (shown > 0) {
+    out += "fastest scenarios:\n";
+    for (int i = 0; i < shown; ++i) describe(ranking[static_cast<std::size_t>(i)]);
+    out += "slowest scenarios:\n";
+    for (int i = 0; i < shown; ++i) {
+      describe(ranking[ranking.size() - 1 - static_cast<std::size_t>(i)]);
+    }
+  }
+
+  int failures = 0;
+  for (const ScenarioResult& r : outcome.results) failures += r.ok ? 0 : 1;
+  if (failures > 0) {
+    std::snprintf(line, sizeof line, "%d scenario(s) FAILED:\n", failures);
+    out += line;
+    for (const ScenarioResult& r : outcome.results) {
+      if (r.ok) continue;
+      std::snprintf(line, sizeof line, "  #%-4d %s: %s\n", r.id,
+                    scenarios[static_cast<std::size_t>(r.id)].label.c_str(), r.error.c_str());
+      out += line;
+    }
+  }
+  return out;
+}
+
+}  // namespace smpi::campaign

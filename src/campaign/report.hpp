@@ -1,0 +1,33 @@
+// Campaign aggregation: turn scenario result capsules into reports.
+//
+// Every speedup is relative to scenario 0 (the implicit unmodified-platform
+// baseline): speedup > 1 means the what-if finished the application faster
+// than the captured platform would have. The JSON report carries the full
+// per-rank breakdowns; the CSV flattens one row per scenario for
+// spreadsheet/pandas use; the text summary ranks the best and worst
+// scenarios for a terminal reader.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "campaign/runner.hpp"
+#include "campaign/spec.hpp"
+#include "util/json.hpp"
+
+namespace smpi::campaign {
+
+// Full report document (serialize with .dump(2) for files).
+util::JsonValue report_json(const CampaignSpec& spec, const std::vector<Scenario>& scenarios,
+                            const CampaignOutcome& outcome);
+
+// One header line + one row per scenario (RFC-4180-ish; labels quoted).
+std::string report_csv(const CampaignSpec& spec, const std::vector<Scenario>& scenarios,
+                       const CampaignOutcome& outcome);
+
+// Human-readable ranking: baseline, the `top` best and `top` worst scenarios
+// by simulated time, failures last.
+std::string report_summary(const CampaignSpec& spec, const std::vector<Scenario>& scenarios,
+                           const CampaignOutcome& outcome, int top = 3);
+
+}  // namespace smpi::campaign

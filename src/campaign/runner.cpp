@@ -1,0 +1,342 @@
+#include "campaign/runner.hpp"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "trace/replay.hpp"
+#include "util/check.hpp"
+#include "util/json.hpp"
+
+namespace smpi::campaign {
+
+namespace {
+
+double sum(const std::vector<double>& v) {
+  double total = 0;
+  for (double x : v) total += x;
+  return total;
+}
+
+double max_of(const std::vector<double>& v) {
+  double best = 0;
+  for (double x : v) best = std::max(best, x);
+  return best;
+}
+
+// --- capsule (de)serialization ---------------------------------------------
+
+util::JsonValue doubles_json(const std::vector<double>& values) {
+  util::JsonValue array = util::JsonValue::array();
+  for (double v : values) array.append(util::JsonValue::number(v));
+  return array;
+}
+
+std::vector<double> doubles_from(const util::JsonValue& array) {
+  std::vector<double> out;
+  out.reserve(array.items().size());
+  for (const auto& v : array.items()) out.push_back(v.as_number());
+  return out;
+}
+
+std::string encode_capsule(const ScenarioResult& r) {
+  util::JsonValue capsule = util::JsonValue::object();
+  capsule.set("id", util::JsonValue::number(r.id));
+  capsule.set("ok", util::JsonValue::boolean(r.ok));
+  if (!r.ok) {
+    capsule.set("error", util::JsonValue::string(r.error));
+    return capsule.dump();
+  }
+  capsule.set("simulated_time", util::JsonValue::number(r.simulated_time));
+  capsule.set("wall_s", util::JsonValue::number(r.wall_s));
+  capsule.set("records", util::JsonValue::number(static_cast<double>(r.records)));
+  capsule.set("ranks", util::JsonValue::number(r.ranks));
+  capsule.set("arena_bytes", util::JsonValue::number(static_cast<double>(r.arena_bytes)));
+  capsule.set("rank_compute_s", doubles_json(r.rank_compute_s));
+  capsule.set("rank_comm_s", doubles_json(r.rank_comm_s));
+  capsule.set("solver_solves", util::JsonValue::number(static_cast<double>(r.solver_solves)));
+  capsule.set("solver_vars_touched",
+              util::JsonValue::number(static_cast<double>(r.solver_vars_touched)));
+  capsule.set("solver_cons_touched",
+              util::JsonValue::number(static_cast<double>(r.solver_cons_touched)));
+  return capsule.dump();
+}
+
+ScenarioResult decode_capsule(const std::string& text) {
+  const util::JsonValue capsule = util::parse_json(text, "campaign capsule");
+  ScenarioResult r;
+  r.id = static_cast<int>(capsule.at("id", "capsule").as_int());
+  r.ok = capsule.at("ok", "capsule").as_bool();
+  if (!r.ok) {
+    r.error = capsule.at("error", "capsule").as_string();
+    return r;
+  }
+  r.simulated_time = capsule.at("simulated_time", "capsule").as_number();
+  r.wall_s = capsule.at("wall_s", "capsule").as_number();
+  r.records = capsule.at("records", "capsule").as_int();
+  r.ranks = static_cast<int>(capsule.at("ranks", "capsule").as_int());
+  r.arena_bytes = static_cast<std::uint64_t>(capsule.at("arena_bytes", "capsule").as_int());
+  r.rank_compute_s = doubles_from(capsule.at("rank_compute_s", "capsule"));
+  r.rank_comm_s = doubles_from(capsule.at("rank_comm_s", "capsule"));
+  r.solver_solves = static_cast<std::uint64_t>(capsule.at("solver_solves", "capsule").as_int());
+  r.solver_vars_touched =
+      static_cast<std::uint64_t>(capsule.at("solver_vars_touched", "capsule").as_int());
+  r.solver_cons_touched =
+      static_cast<std::uint64_t>(capsule.at("solver_cons_touched", "capsule").as_int());
+  return r;
+}
+
+// --- pipe helpers -----------------------------------------------------------
+
+bool read_exact(int fd, void* buffer, std::size_t bytes) {
+  auto* out = static_cast<unsigned char*>(buffer);
+  while (bytes > 0) {
+    const ssize_t n = ::read(fd, out, bytes);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    out += n;
+    bytes -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool write_exact(int fd, const void* buffer, std::size_t bytes) {
+  const auto* in = static_cast<const unsigned char*>(buffer);
+  while (bytes > 0) {
+    const ssize_t n = ::write(fd, in, bytes);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    in += n;
+    bytes -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+// --- worker side ------------------------------------------------------------
+
+ScenarioResult run_one_scenario(const CampaignSpec& spec, const Scenario& scenario,
+                                const trace::TiTrace& trace, long long arena_bytes) {
+  ScenarioResult r;
+  r.id = scenario.id;
+  try {
+    ScenarioSetup setup = materialize(spec, scenario, trace.nranks);
+    trace::ReplayOptions replay_options;
+    replay_options.arena_bytes_hint = arena_bytes;
+    replay_options.payload_free = setup.payload_free;
+    const auto start = std::chrono::steady_clock::now();
+    const trace::ReplayResult replay =
+        trace::replay_trace(setup.platform, setup.config, trace, replay_options);
+    r.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    r.ok = true;
+    r.simulated_time = replay.simulated_time;
+    r.records = replay.records;
+    r.ranks = replay.ranks;
+    r.arena_bytes = replay.arena_bytes;
+    r.rank_compute_s.reserve(replay.rank_usage.size());
+    r.rank_comm_s.reserve(replay.rank_usage.size());
+    for (const trace::RankUsage& usage : replay.rank_usage) {
+      r.rank_compute_s.push_back(usage.compute_s);
+      r.rank_comm_s.push_back(usage.comm_s);
+    }
+    r.solver_solves = replay.solver_solves;
+    r.solver_vars_touched = replay.solver_vars_touched;
+    r.solver_cons_touched = replay.solver_cons_touched;
+  } catch (const std::exception& e) {
+    r.ok = false;
+    r.error = e.what();
+  }
+  return r;
+}
+
+[[noreturn]] void worker_loop(const CampaignSpec& spec, const std::vector<Scenario>& scenarios,
+                              const trace::TiTrace& trace, long long arena_bytes, int task_fd,
+                              int result_fd) {
+  while (true) {
+    std::int32_t id = -1;
+    if (!read_exact(task_fd, &id, sizeof id) || id < 0) ::_exit(0);
+    SMPI_ENSURE(id < static_cast<std::int32_t>(scenarios.size()), "campaign task id out of range");
+    const ScenarioResult result =
+        run_one_scenario(spec, scenarios[static_cast<std::size_t>(id)], trace, arena_bytes);
+    const std::string capsule = encode_capsule(result);
+    const auto length = static_cast<std::uint32_t>(capsule.size());
+    if (!write_exact(result_fd, &length, sizeof length) ||
+        !write_exact(result_fd, capsule.data(), capsule.size())) {
+      ::_exit(1);  // parent went away
+    }
+  }
+}
+
+struct Worker {
+  pid_t pid = -1;
+  int task_fd = -1;    // parent writes scenario ids here
+  int result_fd = -1;  // parent reads capsules here
+  int running_id = -1;  // scenario in flight, -1 when idle
+  bool alive = false;
+};
+
+void close_fd(int& fd) {
+  if (fd >= 0) ::close(fd);
+  fd = -1;
+}
+
+}  // namespace
+
+double ScenarioResult::compute_total_s() const { return sum(rank_compute_s); }
+double ScenarioResult::comm_total_s() const { return sum(rank_comm_s); }
+double ScenarioResult::compute_max_s() const { return max_of(rank_compute_s); }
+double ScenarioResult::comm_max_s() const { return max_of(rank_comm_s); }
+
+CampaignOutcome run_campaign(const CampaignSpec& spec, const std::vector<Scenario>& scenarios,
+                             const trace::TiTrace& trace, const RunOptions& options) {
+  SMPI_REQUIRE(options.workers >= 1, "campaign needs at least one worker");
+  SMPI_REQUIRE(!scenarios.empty(), "campaign has no scenarios");
+  const int workers =
+      std::min<int>(options.workers, static_cast<int>(scenarios.size()));
+  const long long arena_bytes = trace::compute_arena_bytes(trace);
+
+  // A dead worker must surface as a failed scenario, not kill the parent on
+  // the next task write.
+  struct sigaction ignore_pipe{};
+  ignore_pipe.sa_handler = SIG_IGN;
+  struct sigaction previous_pipe{};
+  ::sigaction(SIGPIPE, &ignore_pipe, &previous_pipe);
+
+  const auto sweep_start = std::chrono::steady_clock::now();
+  std::vector<Worker> pool(static_cast<std::size_t>(workers));
+  // Flush before forking so buffered output is not duplicated into children.
+  std::fflush(stdout);
+  std::fflush(stderr);
+  for (Worker& worker : pool) {
+    int task_pipe[2];
+    int result_pipe[2];
+    SMPI_ENSURE(::pipe(task_pipe) == 0 && ::pipe(result_pipe) == 0,
+                "campaign worker pipe creation failed");
+    const pid_t pid = ::fork();
+    SMPI_ENSURE(pid >= 0, "campaign worker fork failed");
+    if (pid == 0) {
+      ::close(task_pipe[1]);
+      ::close(result_pipe[0]);
+      for (const Worker& other : pool) {  // fds inherited from earlier workers
+        if (other.task_fd >= 0) ::close(other.task_fd);
+        if (other.result_fd >= 0) ::close(other.result_fd);
+      }
+      worker_loop(spec, scenarios, trace, arena_bytes, task_pipe[0], result_pipe[1]);
+    }
+    ::close(task_pipe[0]);
+    ::close(result_pipe[1]);
+    worker.pid = pid;
+    worker.task_fd = task_pipe[1];
+    worker.result_fd = result_pipe[0];
+    worker.alive = true;
+  }
+
+  CampaignOutcome outcome;
+  outcome.workers = workers;
+  outcome.results.resize(scenarios.size());
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    outcome.results[i].id = static_cast<int>(i);
+    outcome.results[i].error = "scenario was never dispatched";
+  }
+
+  std::size_t next_scenario = 0;
+  std::size_t completed = 0;
+  auto dispatch = [&](Worker& worker) {
+    while (next_scenario < scenarios.size()) {
+      const auto id = static_cast<std::int32_t>(next_scenario++);
+      if (write_exact(worker.task_fd, &id, sizeof id)) {
+        worker.running_id = id;
+        return;
+      }
+      // Worker is gone; the scenario goes back to the queue for the others.
+      --next_scenario;
+      worker.alive = false;
+      return;
+    }
+    const std::int32_t shutdown = -1;
+    write_exact(worker.task_fd, &shutdown, sizeof shutdown);
+    worker.running_id = -1;
+  };
+  for (Worker& worker : pool) dispatch(worker);
+
+  while (completed < scenarios.size()) {
+    std::vector<pollfd> fds;
+    std::vector<Worker*> owners;
+    for (Worker& worker : pool) {
+      if (worker.alive && worker.running_id >= 0) {
+        fds.push_back({worker.result_fd, POLLIN, 0});
+        owners.push_back(&worker);
+      }
+    }
+    SMPI_ENSURE(!fds.empty(), "campaign: all workers died with scenarios remaining");
+    const int ready = ::poll(fds.data(), fds.size(), -1);
+    if (ready < 0 && errno == EINTR) continue;
+    SMPI_ENSURE(ready > 0, "campaign: poll on worker results failed");
+
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      Worker& worker = *owners[i];
+      std::uint32_t length = 0;
+      std::string capsule;
+      bool got = read_exact(worker.result_fd, &length, sizeof length);
+      if (got) {
+        capsule.resize(length);
+        got = read_exact(worker.result_fd, capsule.data(), length);
+      }
+      const int id = worker.running_id;
+      worker.running_id = -1;
+      if (!got) {
+        // The worker died mid-scenario (crash, OOM kill...): only its
+        // in-flight scenario is lost.
+        worker.alive = false;
+        auto& result = outcome.results[static_cast<std::size_t>(id)];
+        result.ok = false;
+        result.error = "campaign worker died while running this scenario";
+        ++completed;
+        continue;
+      }
+      ScenarioResult result = decode_capsule(capsule);
+      SMPI_ENSURE(result.id == id, "campaign capsule for the wrong scenario");
+      if (options.progress) {
+        std::fprintf(stderr, "campaign: scenario %d/%zu %s (%s)\n", id + 1, scenarios.size(),
+                     result.ok ? "done" : "FAILED",
+                     scenarios[static_cast<std::size_t>(id)].label.c_str());
+      }
+      outcome.results[static_cast<std::size_t>(id)] = std::move(result);
+      ++completed;
+      dispatch(worker);
+    }
+  }
+
+  for (Worker& worker : pool) {
+    if (worker.alive && worker.running_id < 0) {
+      // Idle workers were already told to shut down by dispatch().
+    } else if (worker.alive) {
+      const std::int32_t shutdown = -1;
+      write_exact(worker.task_fd, &shutdown, sizeof shutdown);
+    }
+    close_fd(worker.task_fd);
+    close_fd(worker.result_fd);
+    if (worker.pid > 0) {
+      int status = 0;
+      ::waitpid(worker.pid, &status, 0);
+    }
+  }
+  ::sigaction(SIGPIPE, &previous_pipe, nullptr);
+
+  outcome.wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - sweep_start).count();
+  return outcome;
+}
+
+}  // namespace smpi::campaign

@@ -1,0 +1,72 @@
+// Campaign execution: a fork-based scenario worker pool.
+//
+// The simulation engine and LMM solver are process-global (one SmpiWorld at
+// a time, raw contexts, static instrumentation hooks), so the correct unit
+// of parallelism for a sweep is the *process*, not the thread: each worker
+// is a fork()ed child that constructs a fresh world per scenario and exits
+// without ever sharing mutable simulator state. The trace is loaded once in
+// the parent before forking, so workers read it through copy-on-write pages
+// — a 64-rank trace is parsed exactly once no matter how many scenarios run.
+//
+// Protocol (all pipes, no shared memory):
+//   parent -> worker : int32 scenario id, little-endian; -1 = shut down
+//   worker -> parent : uint32 capsule length + capsule bytes (JSON)
+//
+// Capsules are self-describing JSON so a dead worker can only lose its own
+// in-flight scenario (the parent marks it failed and keeps dispatching).
+// Scenario results are deterministic by construction — a scenario's child
+// process sees identical inputs whatever the worker count — which the
+// campaign tests assert bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/spec.hpp"
+#include "trace/reader.hpp"
+
+namespace smpi::campaign {
+
+struct RunOptions {
+  int workers = 1;
+  // Print one line per finished scenario to stderr as results land.
+  bool progress = false;
+};
+
+struct ScenarioResult {
+  int id = -1;
+  bool ok = false;
+  std::string error;
+  double simulated_time = 0;
+  double wall_s = 0;       // worker-side wall clock for this scenario
+  long long records = 0;
+  int ranks = 0;
+  std::uint64_t arena_bytes = 0;
+  // Per-rank simulated-time breakdown (compute vs communication).
+  std::vector<double> rank_compute_s;
+  std::vector<double> rank_comm_s;
+  // Solver work (network + cpu max-min systems).
+  std::uint64_t solver_solves = 0;
+  std::uint64_t solver_vars_touched = 0;
+  std::uint64_t solver_cons_touched = 0;
+
+  double compute_total_s() const;
+  double comm_total_s() const;
+  double compute_max_s() const;
+  double comm_max_s() const;
+};
+
+struct CampaignOutcome {
+  std::vector<ScenarioResult> results;  // indexed by scenario id
+  double wall_s = 0;                    // parent-side wall clock for the sweep
+  int workers = 0;
+};
+
+// Runs every scenario of `scenarios` over `trace` with `options.workers`
+// processes. Throws ContractError on protocol-level failures (e.g. every
+// worker died); per-scenario simulation errors land in the result capsules.
+CampaignOutcome run_campaign(const CampaignSpec& spec, const std::vector<Scenario>& scenarios,
+                             const trace::TiTrace& trace, const RunOptions& options);
+
+}  // namespace smpi::campaign

@@ -1,0 +1,107 @@
+// Campaign specifications: a declarative description of a what-if sweep.
+//
+// A campaign takes ONE captured TI trace and re-simulates it across the
+// cross-product of parameter axes — platform knobs (link bandwidth/latency,
+// host speed, topology size, rank placement), SMPI knobs (forced collective
+// algorithms, payload-free mode), each axis a list of values. Scenario 0 is
+// always the implicit baseline (no overrides): every report's speedups are
+// relative to it, and it doubles as the capture-equivalence canary (replayed
+// on the unmodified platform it must reproduce the online simulated time).
+//
+// Spec format (JSON):
+//
+//   {
+//     "name": "bw-sweep",
+//     "trace": "ti_dir",                     // optional, CLI can override
+//     "platform": {"kind": "flat", "nodes": 16},
+//     // kind: flat | hierarchical-griffon | hierarchical-gdx | xml
+//     //   flat: optional "nodes" (default = trace rank count)
+//     //   xml:  "file": "platform.xml"
+//     "axes": [
+//       {"param": "link_bandwidth_scale", "values": [0.5, 1, 2]},
+//       {"param": "host_speed", "host": "node-0", "values": [1e9, 4e9]},
+//       {"param": "link_latency", "link": "l-backbone", "values": [5e-5]},
+//       {"param": "coll_bcast", "values": ["binomial", "scatter_ring_allgather"]},
+//       {"param": "placement", "values": ["round_robin", "block", "stride:2"]},
+//       {"param": "payload_free", "values": [true, false]}
+//     ]
+//   }
+//
+// Parameters:
+//   host_speed_scale      x all hosts' flop rate          (number > 0)
+//   link_bandwidth_scale  x all links' bandwidth          (number > 0)
+//   link_latency_scale    x all links' latency            (number >= 0)
+//   host_speed            absolute flop rate, needs "host" (number > 0)
+//   link_bandwidth        absolute bytes/s,   needs "link" (number > 0)
+//   link_latency          absolute seconds,   needs "link" (number >= 0)
+//   cpu_scale             SmpiConfig::cpu_scale            (number > 0)
+//   topology_nodes        rebuild the flat base cluster with N nodes (int;
+//                         flat base only; N < ranks oversubscribes hosts)
+//   placement             rank->host mapping: round_robin | block | stride:<k>
+//   coll_bcast            auto | binomial | scatter_ring_allgather
+//   coll_alltoall         auto | bruck | basic | pairwise
+//   coll_allreduce        auto | recursive_doubling | rabenseifner | reduce_bcast
+//   coll_allgather        auto | recursive_doubling | ring
+//   payload_free          true | false (replay with or without payload motion)
+//
+// Overriding a host/link that does not exist in the scenario's platform is a
+// hard error when the scenario is materialized — a silently ignored override
+// would poison the whole sweep's conclusions.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "platform/platform.hpp"
+#include "smpi/smpi.hpp"
+#include "util/json.hpp"
+
+namespace smpi::campaign {
+
+struct Axis {
+  std::string param;
+  std::string target;  // host/link name for the absolute-override params
+  std::vector<util::JsonValue> values;
+
+  // "host_speed:node-0" for targeted params, else just the param name.
+  std::string key() const { return target.empty() ? param : param + ":" + target; }
+};
+
+struct CampaignSpec {
+  enum class BaseKind { kFlat, kGriffon, kGdx, kXmlFile };
+
+  std::string name = "campaign";
+  std::string trace_dir;  // may be empty (supplied by the CLI)
+  BaseKind base_kind = BaseKind::kFlat;
+  int base_nodes = 0;  // flat base: 0 = use the trace's rank count
+  std::string platform_file;
+  std::vector<Axis> axes;
+
+  static CampaignSpec parse(const util::JsonValue& doc);
+  static CampaignSpec parse_file(const std::string& path);
+};
+
+// One concrete scenario: the chosen value per axis, in axis order. Scenario
+// 0 is the implicit baseline with no parameters.
+struct Scenario {
+  int id = 0;
+  std::vector<std::pair<std::string, util::JsonValue>> params;  // axis key -> value
+  std::string label;  // "baseline" or "k1=v1 k2=v2"
+
+  const util::JsonValue* find(const std::string& key) const;
+};
+
+// Baseline + full cross-product, row-major (the last axis varies fastest).
+std::vector<Scenario> enumerate_scenarios(const CampaignSpec& spec);
+
+// Platform + config for one scenario, ready to hand to replay_trace. Throws
+// ContractError on unknown host/link targets or out-of-contract values.
+struct ScenarioSetup {
+  platform::Platform platform;
+  core::SmpiConfig config;
+  bool payload_free = true;
+};
+ScenarioSetup materialize(const CampaignSpec& spec, const Scenario& scenario, int nranks);
+
+}  // namespace smpi::campaign

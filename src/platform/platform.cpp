@@ -44,6 +44,24 @@ void Platform::add_route(int src_host, int dst_host, std::vector<int> links, boo
   }
 }
 
+void Platform::set_host_speed(int id, double speed_flops) {
+  SMPI_REQUIRE(id >= 0 && id < host_count(), "host id out of range");
+  SMPI_REQUIRE(speed_flops > 0, "host speed must be positive");
+  hosts_[static_cast<std::size_t>(id)].speed_flops = speed_flops;
+}
+
+void Platform::set_link_bandwidth(int id, double bandwidth_bps) {
+  SMPI_REQUIRE(id >= 0 && id < link_count(), "link id out of range");
+  SMPI_REQUIRE(bandwidth_bps > 0, "link bandwidth must be positive");
+  links_[static_cast<std::size_t>(id)].bandwidth_bps = bandwidth_bps;
+}
+
+void Platform::set_link_latency(int id, double latency_s) {
+  SMPI_REQUIRE(id >= 0 && id < link_count(), "link id out of range");
+  SMPI_REQUIRE(latency_s >= 0, "link latency must be >= 0");
+  links_[static_cast<std::size_t>(id)].latency_s = latency_s;
+}
+
 const HostSpec& Platform::host(int id) const {
   SMPI_REQUIRE(id >= 0 && id < host_count(), "host id out of range");
   return hosts_[static_cast<std::size_t>(id)];

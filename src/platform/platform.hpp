@@ -37,6 +37,13 @@ class Platform {
   // true the reverse route is registered too (same links, reversed order).
   void add_route(int src_host, int dst_host, std::vector<int> links, bool symmetric = true);
 
+  // In-place parameter overrides (what-if campaigns): routes and names stay,
+  // only the rating changes. Values must satisfy the same contracts as
+  // add_host/add_link (positive speed/bandwidth, non-negative latency).
+  void set_host_speed(int id, double speed_flops);
+  void set_link_bandwidth(int id, double bandwidth_bps);
+  void set_link_latency(int id, double latency_s);
+
   int host_count() const { return static_cast<int>(hosts_.size()); }
   int link_count() const { return static_cast<int>(links_.size()); }
   const HostSpec& host(int id) const;

@@ -51,6 +51,17 @@ int check_buffer_args(const void* buf, int count, MPI_Datatype type) {
   return MPI_SUCCESS;
 }
 
+// In payload-free mode the transfer engine never dereferences payload
+// pointers (p2p ships sizes only, pack/unpack/Op::apply are no-ops), so the
+// collectives' internal staging buffers — ring-rotation scratch, Bruck phase
+// buffers, binomial subtree blocks, reduction accumulators — are pure
+// overhead. Each algorithm gates its allocations and memcpys on this flag
+// and degrades every staged segment to a user-buffer base pointer; the
+// message *sizes* are computed exactly as before, so the simulated traffic
+// (and therefore the simulated time) is bit-identical.
+//
+// The per-function `pf` locals below all read smpi::core::payload_free_mode().
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -119,7 +130,8 @@ int bcast_scatter_ring_allgather(void* buffer, int count, MPI_Datatype datatype,
   // skip the per-rank scratch entirely — at 1024 ranks x 1 MiB the scratch
   // buffers alone were a gigabyte of allocation, zeroing, and copying per
   // bcast (the §3.2 memory-footprint concern, inside our own collective).
-  const bool contiguous = !datatype->needs_packing();
+  // Payload-free mode skips it for every datatype (nothing reads the bytes).
+  const bool contiguous = !datatype->needs_packing() || payload_free_mode();
   std::unique_ptr<unsigned char[]> scratch;
   unsigned char* data;
   if (contiguous) {
@@ -197,26 +209,32 @@ int scatter_binomial(const void* sendbuf, int sendcount, MPI_Datatype sendtype, 
   // Packed staging buffer in *relative* rank order. The root rotates its send
   // buffer so subtree payloads are contiguous; an interior node at relative
   // rank r receives the blocks for relative ranks [r, r + min(mask, size-r)).
+  // Payload-free: no staging, every segment is the caller's buffer base.
+  const bool pf = payload_free_mode();
   std::vector<unsigned char> staging;
+  auto* user = static_cast<unsigned char*>(rank == root ? const_cast<void*>(sendbuf) : recvbuf);
+  auto seg = [&](std::size_t offset) { return pf ? user : staging.data() + offset; };
   int mask = 1;
 
   if (relative == 0) {
-    staging.resize(block * static_cast<std::size_t>(size));
-    std::vector<unsigned char> packed(block * static_cast<std::size_t>(size));
-    sendtype->pack(sendbuf, sendcount * size, packed.data());
-    for (int r = 0; r < size; ++r) {
-      const int rel = (r - root + size) % size;
-      std::memcpy(staging.data() + static_cast<std::size_t>(rel) * block,
-                  packed.data() + static_cast<std::size_t>(r) * block, block);
+    if (!pf) {
+      staging.resize(block * static_cast<std::size_t>(size));
+      std::vector<unsigned char> packed(block * static_cast<std::size_t>(size));
+      sendtype->pack(sendbuf, sendcount * size, packed.data());
+      for (int r = 0; r < size; ++r) {
+        const int rel = (r - root + size) % size;
+        std::memcpy(staging.data() + static_cast<std::size_t>(rel) * block,
+                    packed.data() + static_cast<std::size_t>(r) * block, block);
+      }
     }
     while (mask < size) mask <<= 1;
   } else {
     while (!(relative & mask)) mask <<= 1;
     const int src = (rank - mask + size) % size;
     const auto held_blocks = static_cast<std::size_t>(std::min(mask, size - relative));
-    staging.resize(block * held_blocks);
-    const int rc = internal_recv(staging.data(), static_cast<int>(block * held_blocks), MPI_BYTE,
-                                 src, kTagScatter, comm, MPI_STATUS_IGNORE, true);
+    if (!pf) staging.resize(block * held_blocks);
+    const int rc = internal_recv(seg(0), static_cast<int>(block * held_blocks), MPI_BYTE, src,
+                                 kTagScatter, comm, MPI_STATUS_IGNORE, true);
     if (rc != MPI_SUCCESS) return rc;
   }
 
@@ -231,7 +249,7 @@ int scatter_binomial(const void* sendbuf, int sendcount, MPI_Datatype sendtype, 
       const int dst = (rank + mask) % size;
       const auto send_blocks = static_cast<std::size_t>(std::min(mask, size - relative - mask));
       Request* req = nullptr;
-      const int rc = internal_isend(staging.data() + static_cast<std::size_t>(mask) * block,
+      const int rc = internal_isend(seg(static_cast<std::size_t>(mask) * block),
                                     static_cast<int>(send_blocks * block), MPI_BYTE, dst,
                                     kTagScatter, comm, &req, true);
       if (rc != MPI_SUCCESS) return rc;
@@ -242,7 +260,7 @@ int scatter_binomial(const void* sendbuf, int sendcount, MPI_Datatype sendtype, 
   for (Request* req : forwards) internal_wait(req);
 
   // Own block is block 0 of the staging area.
-  if (recvbuf != MPI_IN_PLACE) {
+  if (!pf && recvbuf != MPI_IN_PLACE) {
     recvtype->unpack(staging.data(), recvcount, recvbuf);
   }
   return MPI_SUCCESS;
@@ -259,7 +277,7 @@ int scatter_linear(const void* sendbuf, int sendcount, MPI_Datatype sendtype, vo
       const void* chunk = base + static_cast<std::size_t>(r) *
                                      static_cast<std::size_t>(sendcount) * sendtype->extent();
       if (r == rank) {
-        if (recvbuf != MPI_IN_PLACE) {
+        if (recvbuf != MPI_IN_PLACE && !payload_free_mode()) {
           std::vector<unsigned char> packed(static_cast<std::size_t>(sendcount) *
                                             sendtype->size());
           sendtype->pack(chunk, sendcount, packed.data());
@@ -295,15 +313,21 @@ int gather_binomial(const void* sendbuf, int sendcount, MPI_Datatype sendtype, v
   // My subtree covers relative ranks [relative, relative + span).
   const int lowbit = relative == 0 ? size : (relative & -relative);
   const auto span = static_cast<std::size_t>(std::min(lowbit, size - relative));
-  std::vector<unsigned char> staging(std::max<std::size_t>(block * span, 1));
-  // Own block at offset 0 (packed).
-  if (in_place_root) {
-    const auto* base = static_cast<const unsigned char*>(recvbuf);
-    recvtype->pack(base + static_cast<std::size_t>(rank) *
-                              static_cast<std::size_t>(recvcount) * recvtype->extent(),
-                   recvcount, staging.data());
-  } else {
-    sendtype->pack(sendbuf, sendcount, staging.data());
+  const bool pf = payload_free_mode();
+  std::vector<unsigned char> staging;
+  auto* user = static_cast<unsigned char*>(rank == root ? recvbuf : const_cast<void*>(sendbuf));
+  auto seg = [&](std::size_t offset) { return pf ? user : staging.data() + offset; };
+  if (!pf) {
+    staging.resize(std::max<std::size_t>(block * span, 1));
+    // Own block at offset 0 (packed).
+    if (in_place_root) {
+      const auto* base = static_cast<const unsigned char*>(recvbuf);
+      recvtype->pack(base + static_cast<std::size_t>(rank) *
+                                static_cast<std::size_t>(recvcount) * recvtype->extent(),
+                     recvcount, staging.data());
+    } else {
+      sendtype->pack(sendbuf, sendcount, staging.data());
+    }
   }
 
   std::size_t filled = 1;
@@ -311,7 +335,7 @@ int gather_binomial(const void* sendbuf, int sendcount, MPI_Datatype sendtype, v
   while (mask < lowbit && relative + mask < size) {
     const int src = (rank + mask) % size;
     const auto child_span = static_cast<std::size_t>(std::min(mask, size - relative - mask));
-    const int rc = internal_recv(staging.data() + static_cast<std::size_t>(mask) * block,
+    const int rc = internal_recv(seg(static_cast<std::size_t>(mask) * block),
                                  static_cast<int>(child_span * block), MPI_BYTE, src, kTagGather,
                                  comm, MPI_STATUS_IGNORE, true);
     if (rc != MPI_SUCCESS) return rc;
@@ -321,18 +345,20 @@ int gather_binomial(const void* sendbuf, int sendcount, MPI_Datatype sendtype, v
   if (relative != 0) {
     const int dst = (rank - lowbit + size) % size;
     SMPI_ENSURE(filled == span, "gather subtree incomplete");
-    return internal_send(staging.data(), static_cast<int>(filled * block), MPI_BYTE, dst,
-                         kTagGather, comm, true);
+    return internal_send(seg(0), static_cast<int>(filled * block), MPI_BYTE, dst, kTagGather,
+                         comm, true);
   }
   // Root: un-rotate into recvbuf.
   const std::size_t recv_block = static_cast<std::size_t>(recvcount) * recvtype->size();
   SMPI_ENSURE(recv_block == block, "gather block size mismatch");
-  auto* out = static_cast<unsigned char*>(recvbuf);
-  for (int rel = 0; rel < size; ++rel) {
-    const int r = (rel + root) % size;
-    recvtype->unpack(staging.data() + static_cast<std::size_t>(rel) * block, recvcount,
-                     out + static_cast<std::size_t>(r) * static_cast<std::size_t>(recvcount) *
-                               recvtype->extent());
+  if (!pf) {
+    auto* out = static_cast<unsigned char*>(recvbuf);
+    for (int rel = 0; rel < size; ++rel) {
+      const int r = (rel + root) % size;
+      recvtype->unpack(staging.data() + static_cast<std::size_t>(rel) * block, recvcount,
+                       out + static_cast<std::size_t>(r) * static_cast<std::size_t>(recvcount) *
+                                 recvtype->extent());
+    }
   }
   return MPI_SUCCESS;
 }
@@ -350,7 +376,7 @@ int gather_linear(const void* sendbuf, int sendcount, MPI_Datatype sendtype, voi
     void* slot = out + static_cast<std::size_t>(r) * static_cast<std::size_t>(recvcount) *
                            recvtype->extent();
     if (r == rank) {
-      if (sendbuf != MPI_IN_PLACE) {
+      if (sendbuf != MPI_IN_PLACE && !payload_free_mode()) {
         std::vector<unsigned char> packed(static_cast<std::size_t>(sendcount) * sendtype->size());
         sendtype->pack(sendbuf, sendcount, packed.data());
         recvtype->unpack(packed.data(), recvcount, slot);
@@ -377,7 +403,7 @@ int allgather_recursive_doubling(const void* sendbuf, int sendcount, MPI_Datatyp
   SMPI_REQUIRE(is_power_of_two(size), "recursive doubling requires a power-of-two size");
   auto* out = static_cast<unsigned char*>(recvbuf);
   const std::size_t block = static_cast<std::size_t>(recvcount) * recvtype->extent();
-  if (sendbuf != MPI_IN_PLACE) {
+  if (sendbuf != MPI_IN_PLACE && !payload_free_mode()) {
     std::vector<unsigned char> packed(static_cast<std::size_t>(sendcount) * sendtype->size());
     sendtype->pack(sendbuf, sendcount, packed.data());
     recvtype->unpack(packed.data(), recvcount, out + static_cast<std::size_t>(rank) * block);
@@ -404,7 +430,7 @@ int allgather_ring(const void* sendbuf, int sendcount, MPI_Datatype sendtype, vo
   const int rank = comm_rank_of(comm);
   auto* out = static_cast<unsigned char*>(recvbuf);
   const std::size_t block = static_cast<std::size_t>(recvcount) * recvtype->extent();
-  if (sendbuf != MPI_IN_PLACE) {
+  if (sendbuf != MPI_IN_PLACE && !payload_free_mode()) {
     std::vector<unsigned char> packed(static_cast<std::size_t>(sendcount) * sendtype->size());
     sendtype->pack(sendbuf, sendcount, packed.data());
     recvtype->unpack(packed.data(), recvcount, out + static_cast<std::size_t>(rank) * block);
@@ -440,7 +466,7 @@ int alltoall_pairwise(const void* sendbuf, int sendcount, MPI_Datatype sendtype,
   const std::size_t recv_block = static_cast<std::size_t>(recvcount) * recvtype->extent();
 
   // Own block.
-  {
+  if (!payload_free_mode()) {
     std::vector<unsigned char> packed(static_cast<std::size_t>(sendcount) * sendtype->size());
     sendtype->pack(in + static_cast<std::size_t>(rank) * send_block, sendcount, packed.data());
     recvtype->unpack(packed.data(), recvcount, out + static_cast<std::size_t>(rank) * recv_block);
@@ -479,10 +505,12 @@ int alltoall_basic(const void* sendbuf, int sendcount, MPI_Datatype sendtype, vo
   }
   for (int r = 0; r < size; ++r) {
     if (r == rank) {
-      std::vector<unsigned char> packed(static_cast<std::size_t>(sendcount) * sendtype->size());
-      sendtype->pack(in + static_cast<std::size_t>(rank) * send_block, sendcount, packed.data());
-      recvtype->unpack(packed.data(), recvcount,
-                       out + static_cast<std::size_t>(rank) * recv_block);
+      if (!payload_free_mode()) {
+        std::vector<unsigned char> packed(static_cast<std::size_t>(sendcount) * sendtype->size());
+        sendtype->pack(in + static_cast<std::size_t>(rank) * send_block, sendcount, packed.data());
+        recvtype->unpack(packed.data(), recvcount,
+                         out + static_cast<std::size_t>(rank) * recv_block);
+      }
       continue;
     }
     Request* sreq = nullptr;
@@ -500,9 +528,15 @@ int alltoall_bruck(const void* sendbuf, int sendcount, MPI_Datatype sendtype, vo
   const int rank = comm_rank_of(comm);
   const std::size_t block = static_cast<std::size_t>(sendcount) * sendtype->size();
 
+  // Payload-free: the three phase buffers (rotated copy, per-round staging,
+  // per-round incoming) and every rotation memcpy disappear; each round
+  // ships the same `moving * block` bytes from/into the user buffers.
+  const bool pf = payload_free_mode();
+
   // Phase 0: pack and rotate so tmp[i] = my block for rank (rank + i) % size.
-  std::vector<unsigned char> tmp(std::max<std::size_t>(block * static_cast<std::size_t>(size), 1));
-  {
+  std::vector<unsigned char> tmp;
+  if (!pf) {
+    tmp.resize(std::max<std::size_t>(block * static_cast<std::size_t>(size), 1));
     std::vector<unsigned char> packed(tmp.size());
     sendtype->pack(sendbuf, sendcount * size, packed.data());
     for (int i = 0; i < size; ++i) {
@@ -514,45 +548,52 @@ int alltoall_bruck(const void* sendbuf, int sendcount, MPI_Datatype sendtype, vo
 
   // Phase 1: log2(size) rounds; round k ships every block whose index has
   // bit k set, aggregated into one message.
-  std::vector<unsigned char> staging(tmp.size());
+  std::vector<unsigned char> staging(pf ? 0 : tmp.size());
   for (int pow = 1; pow < size; pow <<= 1) {
     const int dst = (rank + pow) % size;
     const int src = (rank - pow + size) % size;
     std::size_t moving = 0;
     for (int i = 0; i < size; ++i) {
       if (i & pow) {
-        std::memcpy(staging.data() + moving * block,
-                    tmp.data() + static_cast<std::size_t>(i) * block, block);
+        if (!pf) {
+          std::memcpy(staging.data() + moving * block,
+                      tmp.data() + static_cast<std::size_t>(i) * block, block);
+        }
         ++moving;
       }
     }
-    std::vector<unsigned char> incoming(std::max<std::size_t>(moving * block, 1));
+    std::vector<unsigned char> incoming;
+    if (!pf) incoming.resize(std::max<std::size_t>(moving * block, 1));
     Request* sreq = nullptr;
     Request* rreq = nullptr;
-    internal_isend(staging.data(), static_cast<int>(moving * block), MPI_BYTE, dst, kTagAlltoall,
-                   comm, &sreq, true);
-    internal_irecv(incoming.data(), static_cast<int>(moving * block), MPI_BYTE, src,
-                   kTagAlltoall, comm, &rreq, true);
+    internal_isend(pf ? sendbuf : staging.data(), static_cast<int>(moving * block), MPI_BYTE, dst,
+                   kTagAlltoall, comm, &sreq, true);
+    internal_irecv(pf ? recvbuf : incoming.data(), static_cast<int>(moving * block), MPI_BYTE,
+                   src, kTagAlltoall, comm, &rreq, true);
     internal_wait(sreq);
     internal_wait(rreq);
-    std::size_t landed = 0;
-    for (int i = 0; i < size; ++i) {
-      if (i & pow) {
-        std::memcpy(tmp.data() + static_cast<std::size_t>(i) * block,
-                    incoming.data() + landed * block, block);
-        ++landed;
+    if (!pf) {
+      std::size_t landed = 0;
+      for (int i = 0; i < size; ++i) {
+        if (i & pow) {
+          std::memcpy(tmp.data() + static_cast<std::size_t>(i) * block,
+                      incoming.data() + landed * block, block);
+          ++landed;
+        }
       }
     }
   }
 
   // Phase 2: inverse rotation — tmp[i] now holds the data from rank
   // (rank - i + size) % size.
-  auto* out = static_cast<unsigned char*>(recvbuf);
-  const std::size_t recv_block = static_cast<std::size_t>(recvcount) * recvtype->extent();
-  for (int i = 0; i < size; ++i) {
-    const int src = (rank - i + size) % size;
-    recvtype->unpack(tmp.data() + static_cast<std::size_t>(i) * block, recvcount,
-                     out + static_cast<std::size_t>(src) * recv_block);
+  if (!pf) {
+    auto* out = static_cast<unsigned char*>(recvbuf);
+    const std::size_t recv_block = static_cast<std::size_t>(recvcount) * recvtype->extent();
+    for (int i = 0; i < size; ++i) {
+      const int src = (rank - i + size) % size;
+      recvtype->unpack(tmp.data() + static_cast<std::size_t>(i) * block, recvcount,
+                       out + static_cast<std::size_t>(src) * recv_block);
+    }
   }
   return MPI_SUCCESS;
 }
@@ -569,33 +610,42 @@ int reduce_binomial(const void* sendbuf, void* recvbuf, int count, MPI_Datatype 
   const std::size_t bytes = static_cast<std::size_t>(count) * datatype->size();
 
   // Accumulator starts as my contribution (packed representation).
-  std::vector<unsigned char> acc(std::max<std::size_t>(bytes, 1));
+  // Payload-free: the accumulator and incoming buffers are elided — the
+  // messages carry the same byte counts from the contribution pointer.
+  const bool pf = payload_free_mode();
   const void* contribution = (sendbuf == MPI_IN_PLACE) ? recvbuf : sendbuf;
-  datatype->pack(contribution, count, acc.data());
-
-  std::vector<unsigned char> incoming(std::max<std::size_t>(bytes, 1));
+  std::vector<unsigned char> acc;
+  std::vector<unsigned char> incoming;
+  if (!pf) {
+    acc.resize(std::max<std::size_t>(bytes, 1));
+    datatype->pack(contribution, count, acc.data());
+    incoming.resize(std::max<std::size_t>(bytes, 1));
+  }
+  auto* user = const_cast<void*>(contribution);
   int mask = 1;
   while (mask < size) {
     if (relative & mask) {
       const int dst = (rank - mask + size) % size;
-      const int rc = internal_send(acc.data(), static_cast<int>(bytes), MPI_BYTE, dst, kTagReduce,
-                                   comm, true);
+      const int rc = internal_send(pf ? user : acc.data(), static_cast<int>(bytes), MPI_BYTE, dst,
+                                   kTagReduce, comm, true);
       if (rc != MPI_SUCCESS) return rc;
       break;
     }
     if (relative + mask < size) {
       const int src = (rank + mask) % size;
-      const int rc = internal_recv(incoming.data(), static_cast<int>(bytes), MPI_BYTE, src,
-                                   kTagReduce, comm, MPI_STATUS_IGNORE, true);
+      const int rc = internal_recv(pf ? user : incoming.data(), static_cast<int>(bytes), MPI_BYTE,
+                                   src, kTagReduce, comm, MPI_STATUS_IGNORE, true);
       if (rc != MPI_SUCCESS) return rc;
-      // incoming holds higher relative ranks: acc = acc OP incoming, then the
-      // result must live in acc.
-      reduce_ordered(acc.data(), incoming.data(), count, datatype, op);
-      acc.swap(incoming);
+      if (!pf) {
+        // incoming holds higher relative ranks: acc = acc OP incoming, then
+        // the result must live in acc.
+        reduce_ordered(acc.data(), incoming.data(), count, datatype, op);
+        acc.swap(incoming);
+      }
     }
     mask <<= 1;
   }
-  if (rank == root) datatype->unpack(acc.data(), count, recvbuf);
+  if (!pf && rank == root) datatype->unpack(acc.data(), count, recvbuf);
   return MPI_SUCCESS;
 }
 
@@ -605,21 +655,27 @@ int allreduce_recursive_doubling(const void* sendbuf, void* recvbuf, int count,
   const int rank = comm_rank_of(comm);
   SMPI_REQUIRE(is_power_of_two(size), "recursive doubling requires a power-of-two size");
   const std::size_t bytes = static_cast<std::size_t>(count) * datatype->size();
-  std::vector<unsigned char> acc(std::max<std::size_t>(bytes, 1));
+  const bool pf = payload_free_mode();
   const void* contribution = (sendbuf == MPI_IN_PLACE) ? recvbuf : sendbuf;
-  datatype->pack(contribution, count, acc.data());
-  std::vector<unsigned char> incoming(std::max<std::size_t>(bytes, 1));
+  std::vector<unsigned char> acc;
+  std::vector<unsigned char> incoming;
+  if (!pf) {
+    acc.resize(std::max<std::size_t>(bytes, 1));
+    datatype->pack(contribution, count, acc.data());
+    incoming.resize(std::max<std::size_t>(bytes, 1));
+  }
 
   for (int mask = 1; mask < size; mask <<= 1) {
     const int partner = rank ^ mask;
     Request* sreq = nullptr;
     Request* rreq = nullptr;
-    internal_isend(acc.data(), static_cast<int>(bytes), MPI_BYTE, partner, kTagAllreduce, comm,
-                   &sreq, true);
-    internal_irecv(incoming.data(), static_cast<int>(bytes), MPI_BYTE, partner, kTagAllreduce,
-                   comm, &rreq, true);
+    internal_isend(pf ? recvbuf : acc.data(), static_cast<int>(bytes), MPI_BYTE, partner,
+                   kTagAllreduce, comm, &sreq, true);
+    internal_irecv(pf ? recvbuf : incoming.data(), static_cast<int>(bytes), MPI_BYTE, partner,
+                   kTagAllreduce, comm, &rreq, true);
     internal_wait(sreq);
     internal_wait(rreq);
+    if (pf) continue;
     if (partner < rank) {
       // incoming is the lower-rank operand: acc = incoming OP acc.
       reduce_ordered(incoming.data(), acc.data(), count, datatype, op);
@@ -628,7 +684,7 @@ int allreduce_recursive_doubling(const void* sendbuf, void* recvbuf, int count,
       acc.swap(incoming);
     }
   }
-  datatype->unpack(acc.data(), count, recvbuf);
+  if (!pf) datatype->unpack(acc.data(), count, recvbuf);
   return MPI_SUCCESS;
 }
 
@@ -651,19 +707,25 @@ int allreduce_rabenseifner(const void* sendbuf, void* recvbuf, int count, MPI_Da
   }
 
   // Phase 1: reduce_scatter — I end with the reduction of my block.
+  const bool pf = payload_free_mode();
   const int my_count = counts[static_cast<std::size_t>(rank)];
-  std::vector<unsigned char> my_block(
-      std::max<std::size_t>(static_cast<std::size_t>(my_count) * datatype->extent(), 1));
+  std::vector<unsigned char> my_block;
+  if (!pf) {
+    my_block.resize(
+        std::max<std::size_t>(static_cast<std::size_t>(my_count) * datatype->extent(), 1));
+  }
   const void* contribution = (sendbuf == MPI_IN_PLACE) ? recvbuf : sendbuf;
-  const int rs =
-      reduce_scatter_pairwise(contribution, my_block.data(), counts.data(), datatype, op, comm);
+  const int rs = reduce_scatter_pairwise(contribution, pf ? recvbuf : my_block.data(),
+                                         counts.data(), datatype, op, comm);
   if (rs != MPI_SUCCESS) return rs;
 
   // Phase 2: allgatherv (ring) of the reduced blocks into recvbuf.
   auto* out = static_cast<unsigned char*>(recvbuf);
-  std::memcpy(out + static_cast<std::size_t>(displs[static_cast<std::size_t>(rank)]) *
-                        datatype->extent(),
-              my_block.data(), static_cast<std::size_t>(my_count) * datatype->extent());
+  if (!pf) {
+    std::memcpy(out + static_cast<std::size_t>(displs[static_cast<std::size_t>(rank)]) *
+                          datatype->extent(),
+                my_block.data(), static_cast<std::size_t>(my_count) * datatype->extent());
+  }
   const int right = (rank + 1) % size;
   const int left = (rank - 1 + size) % size;
   for (int step = 0; step < size - 1; ++step) {
@@ -701,9 +763,14 @@ int reduce_scatter_pairwise(const void* sendbuf, void* recvbuf, const int recvco
   const std::size_t my_bytes = static_cast<std::size_t>(my_count) * datatype->size();
 
   // Start from my own contribution for my block.
-  std::vector<unsigned char> acc(std::max<std::size_t>(my_bytes, 1));
-  datatype->pack(in + displs[static_cast<std::size_t>(rank)] * elem, my_count, acc.data());
-  std::vector<unsigned char> incoming(std::max<std::size_t>(my_bytes, 1));
+  const bool pf = payload_free_mode();
+  std::vector<unsigned char> acc;
+  std::vector<unsigned char> incoming;
+  if (!pf) {
+    acc.resize(std::max<std::size_t>(my_bytes, 1));
+    datatype->pack(in + displs[static_cast<std::size_t>(rank)] * elem, my_count, acc.data());
+    incoming.resize(std::max<std::size_t>(my_bytes, 1));
+  }
 
   for (int step = 1; step < size; ++step) {
     const int dst = (rank - step + size) % size;  // they need my contribution for their block
@@ -712,13 +779,13 @@ int reduce_scatter_pairwise(const void* sendbuf, void* recvbuf, const int recvco
     Request* rreq = nullptr;
     internal_isend(in + displs[static_cast<std::size_t>(dst)] * elem, recvcounts[dst], datatype,
                    dst, kTagReduceScatter, comm, &sreq, true);
-    internal_irecv(incoming.data(), static_cast<int>(my_bytes), MPI_BYTE, src, kTagReduceScatter,
-                   comm, &rreq, true);
+    internal_irecv(pf ? recvbuf : incoming.data(), static_cast<int>(my_bytes), MPI_BYTE, src,
+                   kTagReduceScatter, comm, &rreq, true);
     internal_wait(sreq);
     internal_wait(rreq);
-    op->apply(incoming.data(), acc.data(), my_count, datatype);
+    if (!pf) op->apply(incoming.data(), acc.data(), my_count, datatype);
   }
-  datatype->unpack(acc.data(), my_count, recvbuf);
+  if (!pf) datatype->unpack(acc.data(), my_count, recvbuf);
   return MPI_SUCCESS;
 }
 
@@ -741,6 +808,14 @@ int check_coll_comm(MPI_Comm comm, int root, bool has_root) {
 }
 
 bool pow2(int x) { return x > 0 && (x & (x - 1)) == 0; }
+
+// Forced collective-variant selection (SmpiConfig::coll): what-if campaigns
+// sweep over algorithm choices by overriding the size-based auto dispatch.
+// An unknown variant name is a hard error (a silently ignored override would
+// invalidate a whole sweep).
+const smpi::core::CollSelection& coll_selection() {
+  return current_process_checked().world->config().coll;
+}
 
 // --- TI capture helpers ----------------------------------------------------
 
@@ -809,6 +884,12 @@ int MPI_Bcast(void* buffer, int count, MPI_Datatype datatype, int root, MPI_Comm
     r.peer = root;
     scope.emit(r);
   }
+  const std::string& forced = coll_selection().bcast;
+  if (forced == "binomial") return bcast_binomial(buffer, count, datatype, root, comm);
+  if (forced == "scatter_ring_allgather") {
+    return bcast_scatter_ring_allgather(buffer, count, datatype, root, comm);
+  }
+  SMPI_REQUIRE(forced == "auto", "unknown coll.bcast variant '" + forced + "'");
   // Size-based dispatch as in MPICH2 (§5.3): binomial tree for short
   // messages, scatter + ring allgather for long ones (avoids pushing the
   // whole payload through every tree level).
@@ -882,7 +963,7 @@ int MPI_Scatterv(const void* sendbuf, const int sendcounts[], const int displs[]
     for (int r = 0; r < size; ++r) {
       const void* chunk = base + static_cast<std::size_t>(displs[r]) * sendtype->extent();
       if (r == rank) {
-        if (recvbuf != MPI_IN_PLACE) {
+        if (recvbuf != MPI_IN_PLACE && !payload_free_mode()) {
           std::vector<unsigned char> packed(static_cast<std::size_t>(sendcounts[r]) *
                                             sendtype->size());
           sendtype->pack(chunk, sendcounts[r], packed.data());
@@ -967,7 +1048,7 @@ int MPI_Gatherv(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void*
   for (int r = 0; r < size; ++r) {
     void* slot = out + static_cast<std::size_t>(displs[r]) * recvtype->extent();
     if (r == rank) {
-      if (sendbuf != MPI_IN_PLACE) {
+      if (sendbuf != MPI_IN_PLACE && !payload_free_mode()) {
         std::vector<unsigned char> packed(static_cast<std::size_t>(sendcount) * sendtype->size());
         sendtype->pack(sendbuf, sendcount, packed.data());
         recvtype->unpack(packed.data(), recvcounts[r], slot);
@@ -1000,6 +1081,15 @@ int MPI_Allgather(const void* sendbuf, int sendcount, MPI_Datatype sendtype, voi
     set_count_block(recvcount, recvtype, &r.count2, &r.elem2);
     scope.emit(r);
   }
+  const std::string& forced = coll_selection().allgather;
+  if (forced == "recursive_doubling") {
+    return allgather_recursive_doubling(sendbuf, sendcount, sendtype, recvbuf, recvcount,
+                                        recvtype, comm);
+  }
+  if (forced == "ring") {
+    return allgather_ring(sendbuf, sendcount, sendtype, recvbuf, recvcount, recvtype, comm);
+  }
+  SMPI_REQUIRE(forced == "auto", "unknown coll.allgather variant '" + forced + "'");
   if (pow2(comm->size())) {
     return allgather_recursive_doubling(sendbuf, sendcount, sendtype, recvbuf, recvcount,
                                         recvtype, comm);
@@ -1031,7 +1121,7 @@ int MPI_Allgatherv(const void* sendbuf, int sendcount, MPI_Datatype sendtype, vo
   }
   auto* out = static_cast<unsigned char*>(recvbuf);
   // Ring over variable-size blocks.
-  if (sendbuf != MPI_IN_PLACE) {
+  if (sendbuf != MPI_IN_PLACE && !payload_free_mode()) {
     std::vector<unsigned char> packed(static_cast<std::size_t>(sendcount) * sendtype->size());
     sendtype->pack(sendbuf, sendcount, packed.data());
     recvtype->unpack(packed.data(), recvcounts[rank],
@@ -1090,6 +1180,19 @@ int MPI_Allreduce(const void* sendbuf, void* recvbuf, int count, MPI_Datatype da
     r.commutative = op->commutative();
     scope.emit(r);
   }
+  const std::string& forced = coll_selection().allreduce;
+  if (forced == "recursive_doubling") {
+    return allreduce_recursive_doubling(sendbuf, recvbuf, count, datatype, op, comm);
+  }
+  if (forced == "rabenseifner") {
+    return allreduce_rabenseifner(sendbuf, recvbuf, count, datatype, op, comm);
+  }
+  if (forced == "reduce_bcast") {
+    rc = reduce_binomial(sendbuf, recvbuf, count, datatype, op, 0, comm);
+    if (rc != MPI_SUCCESS) return rc;
+    return bcast_binomial(recvbuf, count, datatype, 0, comm);
+  }
+  SMPI_REQUIRE(forced == "auto", "unknown coll.allreduce variant '" + forced + "'");
   const std::size_t bytes = static_cast<std::size_t>(count) * datatype->size();
   if (pow2(comm->size())) {
     // Long commutative vectors: Rabenseifner halves the bytes each rank
@@ -1124,23 +1227,28 @@ int MPI_Scan(const void* sendbuf, void* recvbuf, int count, MPI_Datatype datatyp
   const int rank = comm->rank_of_world(current_process_checked().world_rank);
   const std::size_t bytes = static_cast<std::size_t>(count) * datatype->size();
 
-  std::vector<unsigned char> acc(std::max<std::size_t>(bytes, 1));
+  const bool pf = payload_free_mode();
   const void* contribution = (sendbuf == MPI_IN_PLACE) ? recvbuf : sendbuf;
-  datatype->pack(contribution, count, acc.data());
+  std::vector<unsigned char> acc;
+  if (!pf) {
+    acc.resize(std::max<std::size_t>(bytes, 1));
+    datatype->pack(contribution, count, acc.data());
+  }
   if (rank > 0) {
-    std::vector<unsigned char> prefix(std::max<std::size_t>(bytes, 1));
-    rc = smpi::core::internal_recv(prefix.data(), static_cast<int>(bytes), MPI_BYTE, rank - 1,
-                                   103, comm, MPI_STATUS_IGNORE, true);
+    std::vector<unsigned char> prefix;
+    if (!pf) prefix.resize(std::max<std::size_t>(bytes, 1));
+    rc = smpi::core::internal_recv(pf ? recvbuf : prefix.data(), static_cast<int>(bytes),
+                                   MPI_BYTE, rank - 1, 103, comm, MPI_STATUS_IGNORE, true);
     if (rc != MPI_SUCCESS) return rc;
     // prefix covers ranks [0, rank): result = prefix OP mine.
-    op->apply(prefix.data(), acc.data(), count, datatype);
+    if (!pf) op->apply(prefix.data(), acc.data(), count, datatype);
   }
   if (rank < size - 1) {
-    rc = smpi::core::internal_send(acc.data(), static_cast<int>(bytes), MPI_BYTE, rank + 1, 103,
-                                   comm, true);
+    rc = smpi::core::internal_send(pf ? recvbuf : acc.data(), static_cast<int>(bytes), MPI_BYTE,
+                                   rank + 1, 103, comm, true);
     if (rc != MPI_SUCCESS) return rc;
   }
-  datatype->unpack(acc.data(), count, recvbuf);
+  if (!pf) datatype->unpack(acc.data(), count, recvbuf);
   return MPI_SUCCESS;
 }
 
@@ -1177,11 +1285,14 @@ int MPI_Reduce_scatter(const void* sendbuf, void* recvbuf, const int recvcounts[
     total += recvcounts[r];
   }
   const int rank = comm->rank_of_world(current_process_checked().world_rank);
-  std::vector<unsigned char> full(static_cast<std::size_t>(total) * datatype->extent());
-  rc = MPI_Reduce(sendbuf, full.data(), total, datatype, op, 0, comm);
+  const bool pf = payload_free_mode();
+  std::vector<unsigned char> full;
+  if (!pf) full.resize(static_cast<std::size_t>(total) * datatype->extent());
+  void* staged = pf ? recvbuf : static_cast<void*>(full.data());
+  rc = MPI_Reduce(sendbuf, staged, total, datatype, op, 0, comm);
   if (rc != MPI_SUCCESS) return rc;
-  return MPI_Scatterv(rank == 0 ? full.data() : nullptr, recvcounts, displs.data(), datatype,
-                      recvbuf, recvcounts[rank], datatype, 0, comm);
+  return MPI_Scatterv(rank == 0 ? staged : nullptr, recvcounts, displs.data(), datatype, recvbuf,
+                      recvcounts[rank], datatype, 0, comm);
 }
 
 int MPI_Alltoall(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
@@ -1199,6 +1310,17 @@ int MPI_Alltoall(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void
     set_count_block(recvcount, recvtype, &r.count2, &r.elem2);
     scope.emit(r);
   }
+  const std::string& forced = coll_selection().alltoall;
+  if (forced == "bruck") {
+    return alltoall_bruck(sendbuf, sendcount, sendtype, recvbuf, recvcount, recvtype, comm);
+  }
+  if (forced == "basic") {
+    return alltoall_basic(sendbuf, sendcount, sendtype, recvbuf, recvcount, recvtype, comm);
+  }
+  if (forced == "pairwise") {
+    return alltoall_pairwise(sendbuf, sendcount, sendtype, recvbuf, recvcount, recvtype, comm);
+  }
+  SMPI_REQUIRE(forced == "auto", "unknown coll.alltoall variant '" + forced + "'");
   // Size-based dispatch as in MPICH2: Bruck for short messages on enough
   // ranks (latency-bound), the naive full-throttle algorithm for medium
   // ones, pairwise exchange for long ones.
@@ -1247,6 +1369,7 @@ int MPI_Alltoallv(const void* sendbuf, const int sendcounts[], const int sdispls
   }
   for (int r = 0; r < size; ++r) {
     if (r == rank) {
+      if (payload_free_mode()) continue;
       std::vector<unsigned char> packed(static_cast<std::size_t>(sendcounts[r]) *
                                         sendtype->size());
       sendtype->pack(in + static_cast<std::size_t>(sdispls[r]) * sendtype->extent(),

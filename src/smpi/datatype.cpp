@@ -74,15 +74,13 @@ Datatype* Datatype::vector(int count, int blocklength, int stride, Datatype* old
   return t;
 }
 
-namespace {
 // Payload-free (replay) mode moves no data anywhere: pack/unpack become
-// no-ops at this single choke point, which also covers every collective's
-// own staging copies.
+// no-ops at this single choke point. Shared with coll.cpp, which also gates
+// its staging-buffer allocations on it (declared in internals.hpp).
 bool payload_free_mode() {
   const SmpiWorld* world = SmpiWorld::instance();
   return world != nullptr && world->config().payload_free;
 }
-}  // namespace
 
 void Datatype::pack(const void* user_buffer, int count, void* packed) const {
   if (payload_free_mode()) return;

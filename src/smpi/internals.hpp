@@ -361,6 +361,11 @@ class Process {
 // Current process; never null inside a rank (checked).
 Process& current_process_checked();
 
+// True when the current world runs payload-free (offline replay): sizes
+// drive timing, payload bytes never move, and buffers passed to the
+// transfer engine are never dereferenced (datatype.cpp).
+bool payload_free_mode();
+
 // Core transfer engine (p2p.cpp).
 void post_send(Request& request);
 void post_recv(Request& request);

@@ -49,6 +49,19 @@ struct Personality {
   static Personality mpich2();   // ground-truth personality B
 };
 
+// Collective-algorithm selection. "auto" keeps the built-in size-based
+// dispatch (the MPICH2-style §5.3 rules); naming a variant forces it for
+// every call, which is how what-if campaigns sweep over algorithm choices.
+// A forced variant must still satisfy its own preconditions (e.g.
+// recursive doubling needs a power-of-two size) — violating them is a hard
+// error, not a silent fallback.
+struct CollSelection {
+  std::string bcast = "auto";      // binomial | scatter_ring_allgather
+  std::string alltoall = "auto";   // bruck | basic | pairwise
+  std::string allreduce = "auto";  // recursive_doubling | rabenseifner | reduce_bcast
+  std::string allgather = "auto";  // recursive_doubling | ring
+};
+
 struct SmpiConfig {
   enum class Backend { kFlow, kPacket };
   Backend backend = Backend::kFlow;
@@ -71,6 +84,9 @@ struct SmpiConfig {
   // non-empty, otherwise on node (r * placement_stride) % host_count.
   std::vector<int> placement;
   int placement_stride = 1;
+
+  // Forced collective-algorithm variants (campaign what-ifs); see above.
+  CollSelection coll;
 
   // Payload-free mode (offline trace replay): message *sizes* drive all
   // timing but payload bytes are never materialized — eager sends skip the

@@ -7,7 +7,7 @@
 
 namespace smpi::trace {
 
-TiTrace load_ti_trace(const std::string& dir) {
+TiTrace load_ti_trace(const std::string& dir, bool validate) {
   TiTrace trace;
   {
     std::ifstream manifest(dir + "/manifest.txt");
@@ -34,10 +34,13 @@ TiTrace load_ti_trace(const std::string& dir) {
   for (int rank = 0; rank < trace.nranks; ++rank) {
     const std::string path = dir + "/rank_" + std::to_string(rank) + ".ti";
     std::ifstream in(path);
-    SMPI_REQUIRE(in.good(), "trace file missing: " + path);
+    SMPI_REQUIRE(in.good(), "trace file missing for rank " + std::to_string(rank) + ": " + path +
+                                " (manifest declares " + std::to_string(trace.nranks) +
+                                " ranks)");
     auto& records = trace.ranks[static_cast<std::size_t>(rank)];
     std::string line;
     long long line_no = 0;
+    long long last_record_line = 0;
     while (std::getline(in, line)) {
       ++line_no;
       if (line.empty() || line[0] == '#') continue;
@@ -45,8 +48,24 @@ TiTrace load_ti_trace(const std::string& dir) {
       SMPI_REQUIRE(parse_record(line, &record),
                    "malformed trace record at " + path + ":" + std::to_string(line_no) + ": " +
                        line);
+      last_record_line = line_no;
       records.push_back(std::move(record));
     }
+    // Structural validation, up front: a replay of a trace that stops short
+    // of finalize deadlocks deep inside the simulation (peers wait on
+    // messages that are never re-issued), so reject it here with the rank,
+    // the path, and where the file ends.
+    if (!validate) continue;
+    SMPI_REQUIRE(!records.empty(),
+                 "trace for rank " + std::to_string(rank) + " is empty: " + path);
+    SMPI_REQUIRE(records.front().op == TiOp::kInit,
+                 "trace for rank " + std::to_string(rank) + " does not start with init: " + path +
+                     " (first record '" + ti_op_name(records.front().op) + "')");
+    SMPI_REQUIRE(records.back().op == TiOp::kFinalize,
+                 "trace for rank " + std::to_string(rank) + " is truncated: " + path +
+                     " ends at line " + std::to_string(last_record_line) + " with '" +
+                     ti_op_name(records.back().op) +
+                     "' (expected finalize — was the capture interrupted?)");
   }
   return trace;
 }

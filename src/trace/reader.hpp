@@ -21,7 +21,12 @@ struct TiTrace {
   }
 };
 
-// Throws util::ContractError on a missing/malformed trace.
-TiTrace load_ti_trace(const std::string& dir);
+// Throws util::ContractError on a missing/malformed trace. By default the
+// trace is also validated structurally — every rank file present, starting
+// with init and ending with finalize — so an interrupted capture is rejected
+// up front (with rank, path, line) instead of deadlocking a replay.
+// `validate = false` loads whatever is there (ti_inspect uses it to diagnose
+// exactly such broken traces).
+TiTrace load_ti_trace(const std::string& dir, bool validate = true);
 
 }  // namespace smpi::trace

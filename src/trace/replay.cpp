@@ -8,6 +8,8 @@
 
 #include "smpi/internals.hpp"
 #include "smpi/mpi.h"
+#include "surf/cpu.hpp"
+#include "surf/network.hpp"
 #include "trace/capture.hpp"
 #include "trace/paje.hpp"
 #include "trace/reader.hpp"
@@ -101,11 +103,14 @@ std::vector<int> prefix_displs(const std::vector<int>& counts) {
 // the reduction itself costs no simulated time, so the body is empty.
 void replay_reduce_stub(void* /*in*/, void* /*inout*/, int* /*len*/, MPI_Datatype* /*type*/) {}
 
-void replay_rank(const TiTrace& trace, std::vector<unsigned char>& arena) {
+void replay_rank(const TiTrace& trace, std::vector<unsigned char>& arena,
+                 std::vector<RankUsage>& usage) {
   core::SmpiWorld* world = core::SmpiWorld::instance();
   const int rank = world->current_process()->world_rank;
   const auto& records = trace.ranks[static_cast<std::size_t>(rank)];
   unsigned char* base = arena.data();
+  RankUsage& my_usage = usage[static_cast<std::size_t>(rank)];
+  const sim::Engine& engine = world->engine();
 
   std::unordered_map<long long, MPI_Request> requests;
   std::unordered_map<long long, MPI_Datatype> types;
@@ -140,6 +145,7 @@ void replay_rank(const TiTrace& trace, std::vector<unsigned char>& arena) {
   auto check = [](int rc) { SMPI_ENSURE(rc == MPI_SUCCESS, "replayed MPI call failed"); };
 
   for (const TiRecord& r : records) {
+    const double record_start = engine.now();
     switch (r.op) {
       case TiOp::kInit:
         check(MPI_Init(nullptr, nullptr));
@@ -283,35 +289,51 @@ void replay_rank(const TiTrace& trace, std::vector<unsigned char>& arena) {
         break;
       }
     }
+    // Per-rank simulated-time breakdown: compute/sleep records burn local
+    // time, everything else is communication (including the waiting).
+    const double elapsed = engine.now() - record_start;
+    if (r.op == TiOp::kCompute || r.op == TiOp::kSleep) {
+      my_usage.compute_s += elapsed;
+    } else {
+      my_usage.comm_s += elapsed;
+    }
+    ++my_usage.records;
   }
 }
 
 }  // namespace
 
-ReplayResult replay_trace(const platform::Platform& platform, core::SmpiConfig config,
-                          const std::string& trace_dir, const ReplayOptions& options) {
-  auto trace = std::make_shared<TiTrace>(load_ti_trace(trace_dir));
-
-  // Pre-size the shared arena before any actor runs: growing it mid-run
-  // would move memory out from under a suspended rank's collective.
+long long compute_arena_bytes(const TiTrace& trace) {
   long long arena_bytes = 1;
-  for (const auto& rank_records : trace->ranks) {
+  for (const auto& rank_records : trace.ranks) {
     for (const TiRecord& r : rank_records) {
-      arena_bytes = std::max(arena_bytes, record_arena_need(r, trace->nranks));
+      arena_bytes = std::max(arena_bytes, record_arena_need(r, trace.nranks));
     }
   }
+  return arena_bytes;
+}
+
+ReplayResult replay_trace(const platform::Platform& platform, core::SmpiConfig config,
+                          const TiTrace& trace, const ReplayOptions& options) {
+  // Pre-size the shared arena before any actor runs: growing it mid-run
+  // would move memory out from under a suspended rank's collective.
+  const long long arena_bytes =
+      options.arena_bytes_hint > 0 ? options.arena_bytes_hint : compute_arena_bytes(trace);
   auto arena = std::make_shared<std::vector<unsigned char>>(
       static_cast<std::size_t>(arena_bytes));
+  auto usage = std::make_shared<std::vector<RankUsage>>(
+      static_cast<std::size_t>(trace.nranks));
 
-  config.payload_free = true;
+  config.payload_free = options.payload_free;
   core::SmpiWorld world(platform, config);
   if (options.paje != nullptr) {
     install_capture(nullptr, options.paje);
-    options.paje->begin(trace->nranks);
+    options.paje->begin(trace.nranks);
   }
   try {
-    world.run(trace->nranks, [trace, arena](int, char**) { replay_rank(*trace, *arena); }, {},
-              "ti-replay:" + trace->app);
+    world.run(trace.nranks,
+              [&trace, arena, usage](int, char**) { replay_rank(trace, *arena, *usage); }, {},
+              "ti-replay:" + trace.app);
   } catch (...) {
     // Never leave the global instrumentation dangling onto the caller-owned
     // writer once this frame unwinds.
@@ -325,10 +347,27 @@ ReplayResult replay_trace(const platform::Platform& platform, core::SmpiConfig c
 
   ReplayResult result;
   result.simulated_time = world.simulated_time();
-  result.records = trace->total_records();
-  result.ranks = trace->nranks;
+  result.records = trace.total_records();
+  result.ranks = trace.nranks;
   result.arena_bytes = static_cast<std::uint64_t>(arena_bytes);
+  result.rank_usage = std::move(*usage);
+  if (const auto* net = dynamic_cast<const surf::FlowNetworkModel*>(&world.network())) {
+    result.solver_solves += net->solver().solve_count();
+    result.solver_vars_touched += net->solver().vars_touched();
+    result.solver_cons_touched += net->solver().cons_touched();
+  }
+  if (const auto* cpu = dynamic_cast<const surf::CpuModel*>(&world.cpu())) {
+    result.solver_solves += cpu->solver().solve_count();
+    result.solver_vars_touched += cpu->solver().vars_touched();
+    result.solver_cons_touched += cpu->solver().cons_touched();
+  }
   return result;
+}
+
+ReplayResult replay_trace(const platform::Platform& platform, core::SmpiConfig config,
+                          const std::string& trace_dir, const ReplayOptions& options) {
+  const TiTrace trace = load_ti_trace(trace_dir);
+  return replay_trace(platform, std::move(config), trace, options);
 }
 
 }  // namespace smpi::trace

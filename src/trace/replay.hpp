@@ -8,12 +8,18 @@
 // one shared scratch arena (sized to the largest single operation, not to
 // rank count x message size) and the world runs in payload-free mode, so a
 // 1024-rank trace replays without allocating any per-rank application data.
-// (Collective algorithms still allocate and copy their own internal staging
-// buffers; gating those too is a further replay-speed lever — see ROADMAP.)
+// Collective algorithms also skip their internal staging buffers in this
+// mode (see coll.cpp) — a replay moves no payload bytes at all.
+//
+// The trace-taking overload is the unit the campaign engine multiplies: a
+// what-if sweep loads the trace once, then replays the same immutable
+// TiTrace under many platform/config variants (one fresh SmpiWorld per
+// scenario, so re-entry is clean by construction).
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "platform/platform.hpp"
 #include "smpi/smpi.hpp"
@@ -21,11 +27,29 @@
 namespace smpi::trace {
 
 class PajeWriter;
+struct TiTrace;
 
 struct ReplayOptions {
   // Optional time-stamped timeline of the replay (owned by the caller;
   // begin()/finish() are driven by replay_trace).
   PajeWriter* paje = nullptr;
+  // Pre-computed compute_arena_bytes(trace) result; 0 = compute here. A
+  // campaign scans the trace once instead of once per scenario.
+  long long arena_bytes_hint = 0;
+  // Replay in payload-free mode (the default, and the point of the
+  // subsystem). false re-enables every payload copy — simulated time is
+  // identical, only the replay's wall-clock cost changes, which makes it a
+  // campaign axis for measuring what payload-free buys.
+  bool payload_free = true;
+};
+
+// Simulated-time split of one rank's replay: time inside compute/sleep
+// records vs. time inside communication records (sends, receives, waits,
+// collectives — i.e. blocked on the network or on peers).
+struct RankUsage {
+  double compute_s = 0;
+  double comm_s = 0;
+  long long records = 0;
 };
 
 struct ReplayResult {
@@ -33,12 +57,28 @@ struct ReplayResult {
   long long records = 0;
   int ranks = 0;
   std::uint64_t arena_bytes = 0;
+  std::vector<RankUsage> rank_usage;  // indexed by world rank
+  // Cumulative solver work over the whole replay (network + cpu systems);
+  // zero under the packet backend.
+  std::uint64_t solver_solves = 0;
+  std::uint64_t solver_vars_touched = 0;
+  std::uint64_t solver_cons_touched = 0;
 };
+
+// Size of the shared scratch arena a replay of `trace` needs: the largest
+// buffer any single recorded operation may span.
+long long compute_arena_bytes(const TiTrace& trace);
 
 // Loads `<trace_dir>` and re-simulates it over `platform`. `config` should
 // match the capture run's model configuration (network model, personality);
-// payload_free is forced on. Throws util::ContractError on a bad trace.
+// config.payload_free is overridden by options.payload_free (on by
+// default). Throws util::ContractError on a bad trace.
 ReplayResult replay_trace(const platform::Platform& platform, core::SmpiConfig config,
                           const std::string& trace_dir, const ReplayOptions& options = {});
+
+// Same, over an already-loaded trace (re-enterable: call as many times as
+// you like, with any platform/config per call).
+ReplayResult replay_trace(const platform::Platform& platform, core::SmpiConfig config,
+                          const TiTrace& trace, const ReplayOptions& options = {});
 
 }  // namespace smpi::trace

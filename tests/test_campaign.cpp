@@ -1,0 +1,344 @@
+// Campaign subsystem tests: spec parsing, scenario enumeration, platform
+// override materialization (including the hard-error contract on unknown
+// targets), worker-pool determinism (1 worker == N workers, bit-equal), and
+// the baseline scenario reproducing the online simulated time.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "apps/ep.hpp"
+#include "campaign/report.hpp"
+#include "campaign/runner.hpp"
+#include "campaign/spec.hpp"
+#include "platform/builders.hpp"
+#include "smpi/smpi.hpp"
+#include "trace/capture.hpp"
+#include "trace/reader.hpp"
+#include "trace/writer.hpp"
+#include "util/check.hpp"
+#include "util/json.hpp"
+
+namespace fs = std::filesystem;
+namespace cp = smpi::campaign;
+using smpi::util::ContractError;
+using smpi::util::JsonValue;
+using smpi::util::parse_json;
+
+namespace {
+
+struct TempDir {
+  fs::path path;
+  TempDir() {
+    static int counter = 0;
+    path = fs::temp_directory_path() /
+           ("smpi_campaign_test_" + std::to_string(::getpid()) + "_" + std::to_string(counter++));
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string str() const { return path.string(); }
+};
+
+// Captures a small EP run at `nprocs` ranks into `dir`; returns the online
+// simulated time.
+double capture_ep(int nprocs, const std::string& dir) {
+  smpi::platform::FlatClusterParams params;
+  params.nodes = nprocs;
+  auto platform = smpi::platform::build_flat_cluster(params);
+  smpi::core::SmpiConfig config;
+  smpi::core::SmpiWorld world(platform, config);
+  smpi::trace::TiWriter writer(dir, nprocs, "ep");
+  smpi::trace::install_capture(&writer, nullptr);
+  smpi::apps::EpParams ep;
+  ep.log2_pairs = 12;
+  try {
+    world.run(nprocs, smpi::apps::make_ep_app(ep));
+  } catch (...) {
+    smpi::trace::clear_capture();
+    throw;
+  }
+  smpi::trace::clear_capture();
+  writer.finish();
+  return world.simulated_time();
+}
+
+cp::CampaignSpec parse_spec(const std::string& text) {
+  return cp::CampaignSpec::parse(parse_json(text, "test spec"));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Spec parsing + enumeration
+// ---------------------------------------------------------------------------
+
+TEST(CampaignSpec, ParsesAxesAndPlatform) {
+  const auto spec = parse_spec(R"({
+    "name": "sweep",
+    "trace": "ti_dir",
+    "platform": {"kind": "flat", "nodes": 16},
+    "axes": [
+      {"param": "link_bandwidth_scale", "values": [0.5, 2]},
+      {"param": "host_speed", "host": "node-0", "values": [1e9]},
+      {"param": "coll_bcast", "values": ["binomial"]},
+      {"param": "payload_free", "values": [true, false]}
+    ]
+  })");
+  EXPECT_EQ(spec.name, "sweep");
+  EXPECT_EQ(spec.trace_dir, "ti_dir");
+  EXPECT_EQ(spec.base_kind, cp::CampaignSpec::BaseKind::kFlat);
+  EXPECT_EQ(spec.base_nodes, 16);
+  ASSERT_EQ(spec.axes.size(), 4u);
+  EXPECT_EQ(spec.axes[1].key(), "host_speed:node-0");
+  EXPECT_EQ(spec.axes[1].target, "node-0");
+}
+
+TEST(CampaignSpec, RejectsBadSpecs) {
+  EXPECT_THROW(parse_spec(R"({"axes": [{"param": "warp_speed", "values": [1]}]})"),
+               ContractError);  // unknown param
+  EXPECT_THROW(parse_spec(R"({"axes": [{"param": "host_speed", "values": [1e9]}]})"),
+               ContractError);  // missing host target
+  EXPECT_THROW(parse_spec(R"({"axes": [{"param": "cpu_scale", "values": []}]})"),
+               ContractError);  // empty values
+  EXPECT_THROW(parse_spec(R"({"axes": [{"param": "cpu_scale", "values": ["x"]}]})"),
+               ContractError);  // wrong value type
+  EXPECT_THROW(parse_spec(R"({"axes": [
+      {"param": "cpu_scale", "values": [1]},
+      {"param": "cpu_scale", "values": [2]}]})"),
+               ContractError);  // duplicate axis
+  EXPECT_THROW(parse_spec(R"({"platform": {"kind": "torus"}})"), ContractError);
+  EXPECT_THROW(parse_spec(R"({"axes": [
+      {"param": "cpu_scale", "host": "node-0", "values": [1]}]})"),
+               ContractError);  // target on an untargeted param
+}
+
+TEST(CampaignSpec, EnumeratesBaselinePlusCrossProduct) {
+  const auto spec = parse_spec(R"({
+    "axes": [
+      {"param": "link_bandwidth_scale", "values": [0.5, 1, 2]},
+      {"param": "host_speed_scale", "values": [1, 4]}
+    ]
+  })");
+  const auto scenarios = cp::enumerate_scenarios(spec);
+  ASSERT_EQ(scenarios.size(), 7u);  // baseline + 3 x 2
+  EXPECT_EQ(scenarios[0].label, "baseline");
+  EXPECT_TRUE(scenarios[0].params.empty());
+  // Row-major: the last axis varies fastest.
+  EXPECT_EQ(scenarios[1].label, "link_bandwidth_scale=0.5 host_speed_scale=1");
+  EXPECT_EQ(scenarios[2].label, "link_bandwidth_scale=0.5 host_speed_scale=4");
+  EXPECT_EQ(scenarios[3].label, "link_bandwidth_scale=1 host_speed_scale=1");
+  EXPECT_EQ(scenarios[6].label, "link_bandwidth_scale=2 host_speed_scale=4");
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    EXPECT_EQ(scenarios[i].id, static_cast<int>(i));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario materialization
+// ---------------------------------------------------------------------------
+
+TEST(CampaignMaterialize, AppliesScalesAndAbsolutes) {
+  const auto spec = parse_spec(R"({
+    "platform": {"kind": "flat", "nodes": 4},
+    "axes": [
+      {"param": "link_bandwidth_scale", "values": [2]},
+      {"param": "host_speed", "host": "node-0", "values": [5e9]},
+      {"param": "cpu_scale", "values": [3]},
+      {"param": "coll_alltoall", "values": ["pairwise"]},
+      {"param": "payload_free", "values": [false]}
+    ]
+  })");
+  const auto scenarios = cp::enumerate_scenarios(spec);
+  ASSERT_EQ(scenarios.size(), 2u);
+  const auto setup = cp::materialize(spec, scenarios[1], 4);
+  const auto baseline = cp::materialize(spec, scenarios[0], 4);
+  for (int l = 0; l < setup.platform.link_count(); ++l) {
+    EXPECT_DOUBLE_EQ(setup.platform.link(l).bandwidth_bps,
+                     2 * baseline.platform.link(l).bandwidth_bps);
+  }
+  EXPECT_DOUBLE_EQ(setup.platform.host(0).speed_flops, 5e9);
+  EXPECT_DOUBLE_EQ(setup.platform.host(1).speed_flops, baseline.platform.host(1).speed_flops);
+  EXPECT_DOUBLE_EQ(setup.config.cpu_scale, 3.0);
+  EXPECT_EQ(setup.config.coll.alltoall, "pairwise");
+  EXPECT_FALSE(setup.payload_free);
+  EXPECT_TRUE(baseline.payload_free);
+}
+
+TEST(CampaignMaterialize, UnknownTargetsAreHardErrors) {
+  const auto host_spec = parse_spec(R"({
+    "platform": {"kind": "flat", "nodes": 4},
+    "axes": [{"param": "host_speed", "host": "node-99", "values": [1e9]}]
+  })");
+  EXPECT_THROW(cp::materialize(host_spec, cp::enumerate_scenarios(host_spec)[1], 4),
+               ContractError);
+  const auto link_spec = parse_spec(R"({
+    "platform": {"kind": "flat", "nodes": 4},
+    "axes": [{"param": "link_bandwidth", "link": "no-such-link", "values": [1e9]}]
+  })");
+  EXPECT_THROW(cp::materialize(link_spec, cp::enumerate_scenarios(link_spec)[1], 4),
+               ContractError);
+}
+
+TEST(CampaignMaterialize, PlacementPolicies) {
+  const auto spec = parse_spec(R"({
+    "platform": {"kind": "flat", "nodes": 4},
+    "axes": [{"param": "placement", "values": ["block", "stride:2", "round_robin", "diagonal"]}]
+  })");
+  const auto scenarios = cp::enumerate_scenarios(spec);
+  const auto block = cp::materialize(spec, scenarios[1], 8);
+  EXPECT_EQ(block.config.placement, (std::vector<int>{0, 0, 1, 1, 2, 2, 3, 3}));
+  const auto strided = cp::materialize(spec, scenarios[2], 8);
+  EXPECT_EQ(strided.config.placement, (std::vector<int>{0, 2, 0, 2, 0, 2, 0, 2}));
+  const auto rr = cp::materialize(spec, scenarios[3], 8);
+  EXPECT_EQ(rr.config.placement, (std::vector<int>{0, 1, 2, 3, 0, 1, 2, 3}));
+  EXPECT_THROW(cp::materialize(spec, scenarios[4], 8), ContractError);  // unknown policy
+}
+
+TEST(CampaignMaterialize, TopologyNodesRebuildsFlatBase) {
+  const auto spec = parse_spec(R"({
+    "platform": {"kind": "flat", "nodes": 4},
+    "axes": [{"param": "topology_nodes", "values": [9]}]
+  })");
+  const auto scenarios = cp::enumerate_scenarios(spec);
+  EXPECT_EQ(cp::materialize(spec, scenarios[0], 4).platform.host_count(), 4);
+  EXPECT_EQ(cp::materialize(spec, scenarios[1], 4).platform.host_count(), 9);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: determinism across worker counts + baseline equivalence
+// ---------------------------------------------------------------------------
+
+TEST(CampaignRun, DeterministicAcrossWorkerCountsAndMatchesOnline) {
+  TempDir dir;
+  const int nranks = 4;
+  const double online_time = capture_ep(nranks, dir.str());
+  const auto trace = smpi::trace::load_ti_trace(dir.str());
+
+  auto spec = parse_spec(R"({
+    "name": "determinism",
+    "platform": {"kind": "flat"},
+    "axes": [
+      {"param": "link_bandwidth_scale", "values": [0.5, 1, 2]},
+      {"param": "host_speed_scale", "values": [1, 4]}
+    ]
+  })");
+  const auto scenarios = cp::enumerate_scenarios(spec);
+  ASSERT_EQ(scenarios.size(), 7u);
+
+  cp::RunOptions one;
+  one.workers = 1;
+  const auto serial = cp::run_campaign(spec, scenarios, trace, one);
+  cp::RunOptions many;
+  many.workers = 3;
+  const auto parallel = cp::run_campaign(spec, scenarios, trace, many);
+
+  ASSERT_EQ(serial.results.size(), scenarios.size());
+  ASSERT_EQ(parallel.results.size(), scenarios.size());
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    ASSERT_TRUE(serial.results[i].ok) << serial.results[i].error;
+    ASSERT_TRUE(parallel.results[i].ok) << parallel.results[i].error;
+    // Bit-equal, not approximately equal: scenario processes see identical
+    // inputs whatever the worker count, and capsules carry %.17g doubles.
+    EXPECT_EQ(serial.results[i].simulated_time, parallel.results[i].simulated_time)
+        << "scenario " << i;
+    EXPECT_EQ(serial.results[i].rank_comm_s, parallel.results[i].rank_comm_s);
+    EXPECT_EQ(serial.results[i].solver_vars_touched, parallel.results[i].solver_vars_touched);
+  }
+
+  // The unmodified-platform scenario must reproduce the online run.
+  EXPECT_NEAR(serial.results[0].simulated_time, online_time, 1e-9 * online_time + 1e-12);
+
+  // Physics sanity inside the sweep: 4x hosts never slow the app down.
+  const double base = serial.results[0].simulated_time;
+  const double fast_hosts = serial.results[4].simulated_time;  // bw=1, speed=4
+  EXPECT_LE(fast_hosts, base * (1 + 1e-12));
+}
+
+TEST(CampaignRun, ScenarioFailuresAreCapsulesNotCrashes) {
+  TempDir dir;
+  capture_ep(2, dir.str());
+  const auto trace = smpi::trace::load_ti_trace(dir.str());
+  const auto spec = parse_spec(R"({
+    "platform": {"kind": "flat"},
+    "axes": [{"param": "host_speed", "host": "node-777", "values": [1e9]}]
+  })");
+  const auto scenarios = cp::enumerate_scenarios(spec);
+  cp::RunOptions options;
+  options.workers = 2;
+  const auto outcome = cp::run_campaign(spec, scenarios, trace, options);
+  ASSERT_EQ(outcome.results.size(), 2u);
+  EXPECT_TRUE(outcome.results[0].ok);  // baseline unaffected
+  EXPECT_FALSE(outcome.results[1].ok);
+  EXPECT_NE(outcome.results[1].error.find("node-777"), std::string::npos)
+      << outcome.results[1].error;
+}
+
+TEST(CampaignRun, ForcedCollectivesAndPayloadModesReplayIdentically) {
+  TempDir dir;
+  capture_ep(4, dir.str());
+  const auto trace = smpi::trace::load_ti_trace(dir.str());
+  // EP's collectives are tiny allreduces: forcing each variant must succeed;
+  // payload_free=false must not change the simulated time (only wall cost).
+  const auto spec = parse_spec(R"({
+    "platform": {"kind": "flat"},
+    "axes": [
+      {"param": "coll_allreduce", "values": ["recursive_doubling", "reduce_bcast"]},
+      {"param": "payload_free", "values": [true, false]}
+    ]
+  })");
+  const auto scenarios = cp::enumerate_scenarios(spec);
+  cp::RunOptions options;
+  options.workers = 2;
+  const auto outcome = cp::run_campaign(spec, scenarios, trace, options);
+  for (const auto& result : outcome.results) ASSERT_TRUE(result.ok) << result.error;
+  // payload_free on/off: same algorithm, same simulated time, bit-equal.
+  EXPECT_EQ(outcome.results[1].simulated_time, outcome.results[2].simulated_time);
+  EXPECT_EQ(outcome.results[3].simulated_time, outcome.results[4].simulated_time);
+}
+
+// ---------------------------------------------------------------------------
+// Reports
+// ---------------------------------------------------------------------------
+
+TEST(CampaignReport, JsonAndCsvAreWellFormed) {
+  TempDir dir;
+  capture_ep(2, dir.str());
+  const auto trace = smpi::trace::load_ti_trace(dir.str());
+  const auto spec = parse_spec(R"({
+    "name": "report-test",
+    "platform": {"kind": "flat"},
+    "axes": [{"param": "link_latency_scale", "values": [1, 10]}]
+  })");
+  const auto scenarios = cp::enumerate_scenarios(spec);
+  cp::RunOptions options;
+  const auto outcome = cp::run_campaign(spec, scenarios, trace, options);
+
+  const JsonValue report =
+      parse_json(cp::report_json(spec, scenarios, outcome).dump(2), "report");
+  EXPECT_EQ(report.at("campaign", "r").as_string(), "report-test");
+  EXPECT_EQ(report.at("scenario_count", "r").as_int(), 3);
+  const auto& rows = report.at("scenarios", "r").items();
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_DOUBLE_EQ(rows[0].at("speedup_vs_baseline", "r").as_number(), 1.0);
+  EXPECT_EQ(rows[0].at("breakdown", "r").at("rank_compute_s", "r").items().size(), 2u);
+  // 10x latency cannot be faster than 1x on the same trace.
+  EXPECT_LE(rows[2].at("speedup_vs_baseline", "r").as_number(),
+            rows[1].at("speedup_vs_baseline", "r").as_number() + 1e-12);
+
+  const std::string csv = cp::report_csv(spec, scenarios, outcome);
+  int lines = 0;
+  for (char c : csv) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 4);  // header + 3 scenarios
+  EXPECT_NE(csv.find("link_latency_scale"), std::string::npos);
+
+  const std::string summary = cp::report_summary(spec, scenarios, outcome);
+  EXPECT_NE(summary.find("baseline simulated time"), std::string::npos);
+  EXPECT_NE(summary.find("fastest scenarios"), std::string::npos);
+}

@@ -34,6 +34,33 @@ TEST(Platform, RejectsDuplicatesAndBadSpecs) {
   EXPECT_THROW(p.add_link({"m", 0, 0, sp::LinkSharing::kShared}), ContractError);
 }
 
+TEST(Platform, ParameterOverridesMutateInPlace) {
+  sp::Platform p;
+  const int h = p.add_host({"a", 1e9, 4});
+  const int l = p.add_link({"l", 1e8, 1e-4, sp::LinkSharing::kShared});
+  p.set_host_speed(h, 4e9);
+  p.set_link_bandwidth(l, 2.5e8);
+  p.set_link_latency(l, 5e-5);
+  EXPECT_DOUBLE_EQ(p.host(h).speed_flops, 4e9);
+  EXPECT_DOUBLE_EQ(p.link(l).bandwidth_bps, 2.5e8);
+  EXPECT_DOUBLE_EQ(p.link(l).latency_s, 5e-5);
+  // Identity untouched by the override.
+  EXPECT_EQ(p.find_host("a"), h);
+  EXPECT_EQ(p.find_link("l"), l);
+}
+
+TEST(Platform, ParameterOverridesKeepContracts) {
+  sp::Platform p;
+  const int h = p.add_host({"a", 1e9, 4});
+  const int l = p.add_link({"l", 1e8, 1e-4, sp::LinkSharing::kShared});
+  EXPECT_THROW(p.set_host_speed(h + 1, 1e9), ContractError);
+  EXPECT_THROW(p.set_host_speed(h, 0), ContractError);
+  EXPECT_THROW(p.set_link_bandwidth(l + 1, 1e8), ContractError);
+  EXPECT_THROW(p.set_link_bandwidth(l, -1), ContractError);
+  EXPECT_THROW(p.set_link_latency(l, -1e-6), ContractError);
+  EXPECT_THROW(p.set_link_latency(l + 7, 1e-6), ContractError);
+}
+
 TEST(Platform, SymmetricRoutesReverseLinkOrder) {
   sp::Platform p;
   p.add_host({"a", 1e9, 1});

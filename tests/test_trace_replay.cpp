@@ -480,3 +480,109 @@ TEST(Paje, ReplayEmitsTimeline) {
   std::ifstream in(path);
   ASSERT_TRUE(in.good());
 }
+
+// ---------------------------------------------------------------------------
+// Up-front trace validation (missing / truncated rank files)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// A valid 2-rank trace to corrupt: init, compute, finalize per rank.
+void write_valid_trace(const std::string& dir) {
+  tr::TiWriter writer(dir, 2, "unit");
+  tr::TiRecord r;
+  r.op = tr::TiOp::kInit;
+  writer.append(0, r);
+  writer.append(1, r);
+  r.op = tr::TiOp::kCompute;
+  r.value = 1e6;
+  writer.append(0, r);
+  writer.append(1, r);
+  r.op = tr::TiOp::kFinalize;
+  writer.append(0, r);
+  writer.append(1, r);
+  writer.finish();
+}
+
+std::string load_error(const std::string& dir) {
+  try {
+    tr::load_ti_trace(dir);
+  } catch (const smpi::util::ContractError& e) {
+    return e.what();
+  }
+  return "";
+}
+
+}  // namespace
+
+TEST(TraceValidation, MissingRankFileNamesRankAndPath) {
+  TempDir dir;
+  write_valid_trace(dir.str());
+  fs::remove(dir.path / "rank_1.ti");
+  const std::string error = load_error(dir.str());
+  EXPECT_NE(error.find("rank 1"), std::string::npos) << error;
+  EXPECT_NE(error.find("rank_1.ti"), std::string::npos) << error;
+  EXPECT_NE(error.find("2 ranks"), std::string::npos) << error;
+}
+
+TEST(TraceValidation, TruncatedRankFileNamesLastRecordAndLine) {
+  TempDir dir;
+  write_valid_trace(dir.str());
+  // Drop the trailing finalize from rank 0 — the shape an interrupted
+  // capture leaves behind. Replaying it would deadlock; loading must not.
+  {
+    std::ofstream out(dir.path / "rank_0.ti", std::ios::trunc);
+    tr::TiRecord r;
+    r.op = tr::TiOp::kInit;
+    out << tr::serialize_record(r) << "\n";
+    r.op = tr::TiOp::kCompute;
+    r.value = 1e6;
+    out << tr::serialize_record(r) << "\n";
+  }
+  const std::string error = load_error(dir.str());
+  EXPECT_NE(error.find("truncated"), std::string::npos) << error;
+  EXPECT_NE(error.find("rank_0.ti"), std::string::npos) << error;
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+  EXPECT_NE(error.find("compute"), std::string::npos) << error;
+}
+
+TEST(TraceValidation, LenientLoadAcceptsTruncatedTraces) {
+  TempDir dir;
+  write_valid_trace(dir.str());
+  {
+    std::ofstream out(dir.path / "rank_0.ti", std::ios::trunc);
+    tr::TiRecord r;
+    r.op = tr::TiOp::kInit;
+    out << tr::serialize_record(r) << "\n";
+  }
+  // ti_inspect's diagnostic mode: load whatever is there.
+  const tr::TiTrace trace = tr::load_ti_trace(dir.str(), /*validate=*/false);
+  EXPECT_EQ(trace.ranks[0].size(), 1u);
+  EXPECT_EQ(trace.ranks[1].size(), 3u);
+}
+
+TEST(TraceValidation, EmptyRankFileIsRejected) {
+  TempDir dir;
+  write_valid_trace(dir.str());
+  { std::ofstream out(dir.path / "rank_0.ti", std::ios::trunc); }
+  const std::string error = load_error(dir.str());
+  EXPECT_NE(error.find("empty"), std::string::npos) << error;
+  EXPECT_NE(error.find("rank 0"), std::string::npos) << error;
+}
+
+TEST(TraceValidation, TraceNotStartingWithInitIsRejected) {
+  TempDir dir;
+  write_valid_trace(dir.str());
+  {
+    std::ofstream out(dir.path / "rank_1.ti", std::ios::trunc);
+    tr::TiRecord r;
+    r.op = tr::TiOp::kCompute;
+    r.value = 1e6;
+    out << tr::serialize_record(r) << "\n";
+    r.op = tr::TiOp::kFinalize;
+    out << tr::serialize_record(r) << "\n";
+  }
+  const std::string error = load_error(dir.str());
+  EXPECT_NE(error.find("does not start with init"), std::string::npos) << error;
+  EXPECT_NE(error.find("rank_1.ti"), std::string::npos) << error;
+}

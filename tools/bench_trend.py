@@ -116,6 +116,24 @@ def main():
                                     "offline replay not 2x faster than online capture", n,
                                     online_ns / offline))
 
+    # Machine-independent invariant #3: a campaign sweep with >= 4 workers
+    # must beat the 1-worker sweep by >= 2x (scenario processes are
+    # independent, so anything less means the pool is serializing). Both
+    # walls come from the same run; on < 4 cores bench_campaign records a
+    # smaller worker count and the gate stays off.
+    campaign_fresh_path = os.path.join(args.fresh, "BENCH_campaign.json")
+    if os.path.exists(campaign_fresh_path):
+        campaign = load_records(campaign_fresh_path)
+        serial = next((ns for (op, _), ns in campaign.items()
+                       if op == "campaign_sweep_1worker"), None)
+        for (op, n), multi_ns in sorted(campaign.items()):
+            if op != "campaign_sweep_multiworker" or n < 4:
+                continue
+            if serial is not None and multi_ns * 2.0 > serial:
+                regressions.append(("BENCH_campaign.json",
+                                    f"{n}-worker sweep not 2x faster than 1 worker", n,
+                                    serial / multi_ns))
+
     if compared == 0:
         print("bench_trend: nothing compared — fresh bench files missing?", file=sys.stderr)
         return 1

@@ -13,6 +13,10 @@
 //   smpirun --replay ti_dir --machine gdx                     # ... on any platform
 //   smpirun --np 16 --cluster 16 --app dt --trace-paje dt.trace  # timeline
 //
+// The trace directory is validated up front (missing/truncated rank files
+// are reported with rank, path, and line). For sweeping many what-if
+// scenarios over one trace, see tools/smpi_campaign.
+//
 // Exit code: 0 on success, 1 on usage errors, 2 when the application aborts.
 #include <cstdio>
 #include <cstring>

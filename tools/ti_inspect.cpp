@@ -63,7 +63,9 @@ int main(int argc, char** argv) {
   const int dump_rank = argc >= 4 ? std::atoi(argv[3]) : -1;
 
   try {
-    const smpi::trace::TiTrace trace = smpi::trace::load_ti_trace(dir);
+    // Lenient load: the inspector must be able to show how far an
+    // interrupted capture got, which strict validation would reject.
+    const smpi::trace::TiTrace trace = smpi::trace::load_ti_trace(dir, /*validate=*/false);
     if (dump) {
       for (int rank = 0; rank < trace.nranks; ++rank) {
         if (dump_rank >= 0 && rank != dump_rank) continue;
