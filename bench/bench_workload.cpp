@@ -1,0 +1,75 @@
+// Workload generator throughput: compile a stencil2d workload spec to TI
+// records and replay it, at 64 / 256 / 1024 ranks.
+//
+//   BENCH_workload.json records:
+//     workload_generate n=<ranks>  wall_ns of generate_workload
+//     workload_replay   n=<ranks>  wall_ns of replaying the generated trace
+//
+// tools/bench_trend.py gates the machine-independent invariant: at
+// n >= 256 generation must not cost more than the replay it feeds — the
+// generator exists so that scenario *setup* is negligible next to scenario
+// *simulation*; both walls come from the same run on the same machine.
+// The absolute fresh-vs-baseline 2x tripwire applies per series as usual.
+#include <chrono>
+#include <cstdio>
+#include <functional>
+
+#include "bench_json.hpp"
+#include "platform/builders.hpp"
+#include "smpi/smpi.hpp"
+#include "trace/reader.hpp"
+#include "trace/replay.hpp"
+#include "util/json.hpp"
+#include "workload/generate.hpp"
+#include "workload/spec.hpp"
+
+namespace {
+
+double wall_seconds(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+smpi::workload::WorkloadSpec stencil_spec(int ranks) {
+  auto doc = smpi::util::parse_json(R"({
+    "name": "bench-stencil",
+    "ranks": )" + std::to_string(ranks) + R"(,
+    "seed": 42,
+    "pattern": "stencil2d",
+    "iterations": 3,
+    "bytes": 16384,
+    "compute": {"flops": 1e6, "imbalance": 0.2, "jitter": 0.05}
+  })",
+                                    "bench workload");
+  return smpi::workload::WorkloadSpec::parse(doc);
+}
+
+}  // namespace
+
+int main() {
+  bench::JsonWriter json("BENCH_workload.json");
+  std::printf("%-8s %10s %14s %14s %12s\n", "ranks", "records", "generate", "replay",
+              "sim time");
+
+  for (const int ranks : {64, 256, 1024}) {
+    const auto spec = stencil_spec(ranks);
+    smpi::trace::TiTrace trace;
+    const double generate_wall =
+        wall_seconds([&] { trace = smpi::workload::generate_workload(spec); });
+
+    smpi::platform::FlatClusterParams params;
+    params.nodes = ranks;
+    const auto platform = smpi::platform::build_flat_cluster(params);
+    smpi::trace::ReplayResult result;
+    const double replay_wall = wall_seconds(
+        [&] { result = smpi::trace::replay_trace(platform, smpi::core::SmpiConfig{}, trace, {}); });
+
+    std::printf("%-8d %10lld %12.2fms %12.2fms %10.6fs\n", ranks, trace.total_records(),
+                generate_wall * 1e3, replay_wall * 1e3, result.simulated_time);
+    json.add("workload_generate", ranks, generate_wall * 1e9);
+    json.add("workload_replay", ranks, replay_wall * 1e9);
+  }
+  json.save();
+  return 0;
+}

@@ -45,6 +45,16 @@ util::JsonValue params_json(const Scenario& scenario) {
   return params;
 }
 
+const char* base_kind_name(CampaignSpec::BaseKind kind) {
+  switch (kind) {
+    case CampaignSpec::BaseKind::kFlat: return "flat";
+    case CampaignSpec::BaseKind::kGriffon: return "hierarchical-griffon";
+    case CampaignSpec::BaseKind::kGdx: return "hierarchical-gdx";
+    case CampaignSpec::BaseKind::kXmlFile: return "xml";
+  }
+  SMPI_UNREACHABLE("bad base kind");
+}
+
 }  // namespace
 
 util::JsonValue report_json(const CampaignSpec& spec, const std::vector<Scenario>& scenarios,
@@ -56,7 +66,26 @@ util::JsonValue report_json(const CampaignSpec& spec, const std::vector<Scenario
   util::JsonValue doc = util::JsonValue::object();
   doc.set("campaign", util::JsonValue::string(spec.name));
   doc.set("trace", util::JsonValue::string(spec.trace_dir));
+  {
+    util::JsonValue platform = util::JsonValue::object();
+    platform.set("kind", util::JsonValue::string(base_kind_name(spec.base_kind)));
+    platform.set("nodes", util::JsonValue::number(spec.base_nodes));
+    if (!spec.platform_file.empty()) {
+      platform.set("file", util::JsonValue::string(spec.platform_file));
+    }
+    doc.set("platform", std::move(platform));
+  }
+  if (spec.has_workload) {
+    util::JsonValue workload = util::JsonValue::object();
+    workload.set("name", util::JsonValue::string(spec.workload.name));
+    workload.set("ranks", util::JsonValue::number(spec.workload.ranks));
+    workload.set("seed", util::JsonValue::number(static_cast<double>(spec.workload.seed)));
+    workload.set("phases",
+                 util::JsonValue::number(static_cast<double>(spec.workload.phases.size())));
+    doc.set("workload", std::move(workload));
+  }
   doc.set("workers", util::JsonValue::number(outcome.workers));
+  if (outcome.resumed > 0) doc.set("resumed", util::JsonValue::number(outcome.resumed));
   doc.set("wall_s", util::JsonValue::number(outcome.wall_s));
   doc.set("scenario_count", util::JsonValue::number(static_cast<double>(scenarios.size())));
 
@@ -196,6 +225,12 @@ std::string report_summary(const CampaignSpec& spec, const std::vector<Scenario>
     }
   }
 
+  if (outcome.resumed > 0) {
+    std::snprintf(line, sizeof line, "%d scenario(s) adopted from the resumed report\n",
+                  outcome.resumed);
+    out += line;
+  }
+
   int failures = 0;
   for (const ScenarioResult& r : outcome.results) failures += r.ok ? 0 : 1;
   if (failures > 0) {
@@ -209,6 +244,96 @@ std::string report_summary(const CampaignSpec& spec, const std::vector<Scenario>
     }
   }
   return out;
+}
+
+std::vector<ScenarioResult> results_from_report(const util::JsonValue& report,
+                                                const CampaignSpec& spec,
+                                                const std::vector<Scenario>& scenarios) {
+  SMPI_REQUIRE(report.is_object(), "campaign resume: report is not a JSON object");
+  const std::string name = report.at("campaign", "resume report").as_string();
+  SMPI_REQUIRE(name == spec.name, "campaign resume: report belongs to campaign '" + name +
+                                      "', spec is '" + spec.name + "'");
+  const long long count = report.at("scenario_count", "resume report").as_int();
+  SMPI_REQUIRE(count == static_cast<long long>(scenarios.size()),
+               "campaign resume: report has " + std::to_string(count) + " scenarios, spec has " +
+                   std::to_string(scenarios.size()));
+  // Labels only cover the axis values; the trace source and base platform
+  // shape the results just as much, so a report produced under a different
+  // one must be rejected, not stitched into this sweep.
+  const std::string trace = report.at("trace", "resume report").as_string();
+  SMPI_REQUIRE(trace == spec.trace_dir, "campaign resume: report ran over trace '" + trace +
+                                            "', spec uses '" + spec.trace_dir + "'");
+  const auto& platform = report.at("platform", "resume report");
+  SMPI_REQUIRE(platform.at("kind", "resume platform").as_string() ==
+                       base_kind_name(spec.base_kind) &&
+                   platform.at("nodes", "resume platform").as_int() == spec.base_nodes &&
+                   (spec.platform_file.empty()
+                        ? platform.find("file") == nullptr
+                        : platform.find("file") != nullptr &&
+                              platform.at("file", "resume platform").as_string() ==
+                                  spec.platform_file),
+               "campaign resume: report ran on a different base platform");
+  const auto* workload = report.find("workload");
+  SMPI_REQUIRE((workload != nullptr) == spec.has_workload,
+               "campaign resume: report and spec disagree on the workload trace source");
+  if (workload != nullptr) {
+    SMPI_REQUIRE(
+        workload->at("name", "resume workload").as_string() == spec.workload.name &&
+            workload->at("ranks", "resume workload").as_int() == spec.workload.ranks &&
+            workload->at("seed", "resume workload").as_int() ==
+                static_cast<long long>(spec.workload.seed) &&
+            workload->at("phases", "resume workload").as_int() ==
+                static_cast<long long>(spec.workload.phases.size()),
+        "campaign resume: report ran a different workload (name/ranks/seed/phases changed)");
+  }
+
+  std::vector<ScenarioResult> results(scenarios.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    results[i].id = static_cast<int>(i);
+    results[i].error = "not present in the resumed report";
+  }
+  for (const auto& row : report.at("scenarios", "resume report").items()) {
+    const long long id = row.at("id", "resume report row").as_int();
+    SMPI_REQUIRE(id >= 0 && id < static_cast<long long>(scenarios.size()),
+                 "campaign resume: report row id out of range");
+    const auto index = static_cast<std::size_t>(id);
+    // Label equality is the cheap proxy for "same axes, same values, same
+    // order" — any edit to the spec that renumbers the cross-product
+    // changes the labels, and the resume must then be rejected.
+    const std::string label = row.at("label", "resume report row").as_string();
+    SMPI_REQUIRE(label == scenarios[index].label,
+                 "campaign resume: scenario " + std::to_string(id) + " is '" +
+                     scenarios[index].label + "' in the spec but '" + label +
+                     "' in the report — the axes changed, start a fresh sweep");
+    ScenarioResult& r = results[index];
+    r.ok = row.at("ok", "resume report row").as_bool();
+    if (!r.ok) {
+      if (const auto* error = row.find("error")) r.error = error->as_string();
+      continue;
+    }
+    r.error.clear();
+    r.simulated_time = row.at("simulated_time", "resume report row").as_number();
+    r.wall_s = row.at("wall_s", "resume report row").as_number();
+    r.records = row.at("records", "resume report row").as_int();
+    r.ranks = static_cast<int>(row.at("ranks", "resume report row").as_int());
+    r.arena_bytes =
+        static_cast<std::uint64_t>(row.at("arena_bytes", "resume report row").as_int());
+    const auto& breakdown = row.at("breakdown", "resume report row");
+    for (const auto& v : breakdown.at("rank_compute_s", "resume breakdown").items()) {
+      r.rank_compute_s.push_back(v.as_number());
+    }
+    for (const auto& v : breakdown.at("rank_comm_s", "resume breakdown").items()) {
+      r.rank_comm_s.push_back(v.as_number());
+    }
+    const auto& solver = row.at("solver", "resume report row");
+    r.solver_solves =
+        static_cast<std::uint64_t>(solver.at("solves", "resume solver").as_int());
+    r.solver_vars_touched =
+        static_cast<std::uint64_t>(solver.at("vars_touched", "resume solver").as_int());
+    r.solver_cons_touched =
+        static_cast<std::uint64_t>(solver.at("cons_touched", "resume solver").as_int());
+  }
+  return results;
 }
 
 }  // namespace smpi::campaign

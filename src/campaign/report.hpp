@@ -30,4 +30,15 @@ std::string report_csv(const CampaignSpec& spec, const std::vector<Scenario>& sc
 std::string report_summary(const CampaignSpec& spec, const std::vector<Scenario>& scenarios,
                            const CampaignOutcome& outcome, int top = 3);
 
+// Inverse of report_json for resuming a sweep: extracts the per-scenario
+// results of a prior report, indexed by scenario id, for RunOptions::resume.
+// The report must belong to the same sweep — campaign name, scenario count,
+// trace source (trace dir, or workload name/ranks/seed/phase count), base
+// platform, and per-row labels are all checked (a stale report silently
+// reused would stitch results from two different configurations into one
+// file). Failed rows come back with ok == false so they re-run.
+std::vector<ScenarioResult> results_from_report(const util::JsonValue& report,
+                                                const CampaignSpec& spec,
+                                                const std::vector<Scenario>& scenarios);
+
 }  // namespace smpi::campaign

@@ -14,6 +14,7 @@
 #include "trace/replay.hpp"
 #include "util/check.hpp"
 #include "util/json.hpp"
+#include "workload/generate.hpp"
 
 namespace smpi::campaign {
 
@@ -130,13 +131,26 @@ ScenarioResult run_one_scenario(const CampaignSpec& spec, const Scenario& scenar
   ScenarioResult r;
   r.id = scenario.id;
   try {
-    ScenarioSetup setup = materialize(spec, scenario, trace.nranks);
+    // Workload overrides change the trace itself: regenerate the variant
+    // here (generation is deterministic, so the result is independent of
+    // which worker runs it). Everything else replays the shared baseline
+    // trace through copy-on-write pages.
+    const trace::TiTrace* effective = &trace;
+    trace::TiTrace regenerated;
+    if (has_workload_override(scenario)) {
+      SMPI_REQUIRE(spec.has_workload,
+                   "campaign scenario sweeps workload_* but the trace source is a capture");
+      regenerated = workload::generate_workload(apply_workload_overrides(spec.workload, scenario));
+      effective = &regenerated;
+      arena_bytes = 0;  // the baseline hint sized a different trace
+    }
+    ScenarioSetup setup = materialize(spec, scenario, effective->nranks);
     trace::ReplayOptions replay_options;
     replay_options.arena_bytes_hint = arena_bytes;
     replay_options.payload_free = setup.payload_free;
     const auto start = std::chrono::steady_clock::now();
     const trace::ReplayResult replay =
-        trace::replay_trace(setup.platform, setup.config, trace, replay_options);
+        trace::replay_trace(setup.platform, setup.config, *effective, replay_options);
     r.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
     r.ok = true;
     r.simulated_time = replay.simulated_time;
@@ -201,8 +215,35 @@ CampaignOutcome run_campaign(const CampaignSpec& spec, const std::vector<Scenari
                              const trace::TiTrace& trace, const RunOptions& options) {
   SMPI_REQUIRE(options.workers >= 1, "campaign needs at least one worker");
   SMPI_REQUIRE(!scenarios.empty(), "campaign has no scenarios");
-  const int workers =
-      std::min<int>(options.workers, static_cast<int>(scenarios.size()));
+
+  // Resume: adopt prior ok results up front; only the rest is dispatched.
+  std::vector<bool> adopted(scenarios.size(), false);
+  int resumed = 0;
+  for (std::size_t i = 0; i < options.resume.size() && i < scenarios.size(); ++i) {
+    if (!options.resume[i].ok) continue;
+    SMPI_REQUIRE(options.resume[i].id == static_cast<int>(i),
+                 "campaign resume: result id does not match its slot");
+    adopted[i] = true;
+    ++resumed;
+  }
+  std::vector<std::int32_t> pending;
+  pending.reserve(scenarios.size());
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    if (!adopted[i]) pending.push_back(static_cast<std::int32_t>(i));
+  }
+
+  // Everything adopted: the re-run is a no-op — skip the arena scan (a full
+  // pass over every trace record) and the worker pool entirely.
+  if (pending.empty()) {
+    CampaignOutcome outcome;
+    outcome.workers = 0;
+    outcome.resumed = resumed;
+    outcome.results = options.resume;
+    outcome.results.resize(scenarios.size());
+    return outcome;
+  }
+
+  const int workers = std::min<int>(options.workers, static_cast<int>(pending.size()));
   const long long arena_bytes = trace::compute_arena_bytes(trace);
 
   // A dead worker must surface as a failed scenario, not kill the parent on
@@ -243,23 +284,28 @@ CampaignOutcome run_campaign(const CampaignSpec& spec, const std::vector<Scenari
 
   CampaignOutcome outcome;
   outcome.workers = workers;
+  outcome.resumed = resumed;
   outcome.results.resize(scenarios.size());
   for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    if (adopted[i]) {
+      outcome.results[i] = options.resume[i];
+      continue;
+    }
     outcome.results[i].id = static_cast<int>(i);
     outcome.results[i].error = "scenario was never dispatched";
   }
 
-  std::size_t next_scenario = 0;
-  std::size_t completed = 0;
+  std::size_t next_pending = 0;
+  std::size_t completed = static_cast<std::size_t>(resumed);
   auto dispatch = [&](Worker& worker) {
-    while (next_scenario < scenarios.size()) {
-      const auto id = static_cast<std::int32_t>(next_scenario++);
+    while (next_pending < pending.size()) {
+      const std::int32_t id = pending[next_pending++];
       if (write_exact(worker.task_fd, &id, sizeof id)) {
         worker.running_id = id;
         return;
       }
       // Worker is gone; the scenario goes back to the queue for the others.
-      --next_scenario;
+      --next_pending;
       worker.alive = false;
       return;
     }

@@ -28,12 +28,6 @@
 
 namespace smpi::campaign {
 
-struct RunOptions {
-  int workers = 1;
-  // Print one line per finished scenario to stderr as results land.
-  bool progress = false;
-};
-
 struct ScenarioResult {
   int id = -1;
   bool ok = false;
@@ -57,15 +51,30 @@ struct ScenarioResult {
   double comm_max_s() const;
 };
 
+struct RunOptions {
+  int workers = 1;
+  // Print one line per finished scenario to stderr as results land.
+  bool progress = false;
+  // Resume support: results adopted from a prior report (indexed by
+  // scenario id, shorter-than-scenarios is fine). Entries with ok == true
+  // are carried over verbatim and their scenarios are never dispatched;
+  // everything else re-runs. Build with results_from_report (report.hpp).
+  std::vector<ScenarioResult> resume;
+};
+
 struct CampaignOutcome {
   std::vector<ScenarioResult> results;  // indexed by scenario id
   double wall_s = 0;                    // parent-side wall clock for the sweep
   int workers = 0;
+  int resumed = 0;  // scenarios adopted from options.resume
 };
 
 // Runs every scenario of `scenarios` over `trace` with `options.workers`
-// processes. Throws ContractError on protocol-level failures (e.g. every
-// worker died); per-scenario simulation errors land in the result capsules.
+// processes. When the campaign's trace source is a workload, `trace` is the
+// baseline (unmodified) generation and scenarios carrying workload_*
+// overrides regenerate their own variant inside the worker. Throws
+// ContractError on protocol-level failures (e.g. every worker died);
+// per-scenario simulation errors land in the result capsules.
 CampaignOutcome run_campaign(const CampaignSpec& spec, const std::vector<Scenario>& scenarios,
                              const trace::TiTrace& trace, const RunOptions& options);
 

@@ -35,7 +35,17 @@ const std::pair<const char*, ParamInfo> kParams[] = {
     {"coll_allreduce", {ValueKind::kString, nullptr}},
     {"coll_allgather", {ValueKind::kString, nullptr}},
     {"payload_free", {ValueKind::kBool, nullptr}},
+    {"eager_threshold", {ValueKind::kNumber, nullptr}},
+    {"workload_ranks", {ValueKind::kNumber, nullptr}},
+    {"workload_bytes", {ValueKind::kNumber, nullptr}},
+    {"workload_iterations", {ValueKind::kNumber, nullptr}},
+    {"workload_imbalance", {ValueKind::kNumber, nullptr}},
+    {"workload_seed", {ValueKind::kNumber, nullptr}},
 };
+
+bool is_workload_param(const std::string& param) {
+  return param.rfind("workload_", 0) == 0;
+}
 
 const ParamInfo* param_info(const std::string& name) {
   for (const auto& [param, info] : kParams) {
@@ -61,11 +71,26 @@ const util::JsonValue* Scenario::find(const std::string& key) const {
   return nullptr;
 }
 
+bool CampaignSpec::sweeps_workload() const {
+  for (const Axis& axis : axes) {
+    if (is_workload_param(axis.param)) return true;
+  }
+  return false;
+}
+
 CampaignSpec CampaignSpec::parse(const util::JsonValue& doc) {
   SMPI_REQUIRE(doc.is_object(), "campaign spec must be a JSON object");
   CampaignSpec spec;
   if (const auto* name = doc.find("name")) spec.name = name->as_string();
   if (const auto* trace = doc.find("trace")) spec.trace_dir = trace->as_string();
+  if (const auto* workload = doc.find("workload")) {
+    spec.workload = workload->is_string()
+                        ? workload::WorkloadSpec::parse_file(workload->as_string())
+                        : workload::WorkloadSpec::parse(*workload);
+    spec.has_workload = true;
+    SMPI_REQUIRE(spec.trace_dir.empty(),
+                 "campaign spec: 'trace' and 'workload' are mutually exclusive");
+  }
 
   if (const auto* platform = doc.find("platform")) {
     const std::string kind = platform->at("kind", "campaign spec platform").as_string();
@@ -275,11 +300,69 @@ ScenarioSetup materialize(const CampaignSpec& spec, const Scenario& scenario, in
       config.coll.allgather = value.as_string();
     } else if (param == "payload_free") {
       setup.payload_free = value.as_bool();
+    } else if (param == "eager_threshold") {
+      const double threshold = value.as_number();
+      SMPI_REQUIRE(threshold >= 0, "eager_threshold must be >= 0");
+      config.personality.eager_threshold = static_cast<std::uint64_t>(threshold);
+    } else if (is_workload_param(param)) {
+      // Applied by the runner when it regenerates the trace; nothing to do
+      // on the platform/config side.
+      continue;
     } else {
       SMPI_REQUIRE(false, "campaign scenario: unknown param '" + param + "'");
     }
   }
   return setup;
+}
+
+bool has_workload_override(const Scenario& scenario) {
+  for (const auto& [key, value] : scenario.params) {
+    if (is_workload_param(key)) return true;
+  }
+  return false;
+}
+
+workload::WorkloadSpec apply_workload_overrides(const workload::WorkloadSpec& base,
+                                                const Scenario& scenario) {
+  workload::WorkloadSpec spec = base;
+  for (const auto& [key, value] : scenario.params) {
+    if (key == "workload_ranks") {
+      spec.ranks = static_cast<int>(value.as_int());
+      SMPI_REQUIRE(spec.ranks > 0, "workload_ranks must be > 0");
+    } else if (key == "workload_seed") {
+      SMPI_REQUIRE(value.as_int() >= 0, "workload_seed must be >= 0");
+      spec.seed = static_cast<std::uint64_t>(value.as_int());
+    } else if (key == "workload_bytes") {
+      const long long bytes = value.as_int();
+      SMPI_REQUIRE(bytes >= 0, "workload_bytes must be >= 0");
+      for (auto& phase : spec.phases) phase.bytes = {bytes};
+    } else if (key == "workload_iterations") {
+      const int iterations = static_cast<int>(value.as_int());
+      SMPI_REQUIRE(iterations >= 1, "workload_iterations must be >= 1");
+      for (auto& phase : spec.phases) phase.iterations = iterations;
+    } else if (key == "workload_imbalance") {
+      const double imbalance = value.as_number();
+      SMPI_REQUIRE(imbalance >= 0 && imbalance < 1, "workload_imbalance must be in [0, 1)");
+      for (auto& phase : spec.phases) phase.compute.imbalance = imbalance;
+    }
+  }
+  // Contracts the parser enforced against the original rank count must
+  // survive the override — an explicit grid that no longer tiles the ranks,
+  // or a root/degree outside them, would generate an unreplayable trace.
+  for (const auto& phase : spec.phases) {
+    if (phase.px > 0) {
+      const long long cells = static_cast<long long>(phase.px) * phase.py *
+                              (phase.pz > 0 ? phase.pz : 1);
+      SMPI_REQUIRE(cells == spec.ranks,
+                   "workload_ranks: explicit process grid does not tile " +
+                       std::to_string(spec.ranks) + " ranks");
+    }
+    SMPI_REQUIRE(phase.root < spec.ranks, "workload_ranks: phase root out of range");
+    if (phase.pattern == workload::Pattern::kRandomSparse) {
+      SMPI_REQUIRE(phase.degree < spec.ranks, "workload_ranks: degree must be < ranks");
+    }
+  }
+  return spec;
 }
 
 }  // namespace smpi::campaign

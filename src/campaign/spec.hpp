@@ -1,18 +1,24 @@
 // Campaign specifications: a declarative description of a what-if sweep.
 //
-// A campaign takes ONE captured TI trace and re-simulates it across the
-// cross-product of parameter axes — platform knobs (link bandwidth/latency,
-// host speed, topology size, rank placement), SMPI knobs (forced collective
-// algorithms, payload-free mode), each axis a list of values. Scenario 0 is
-// always the implicit baseline (no overrides): every report's speedups are
-// relative to it, and it doubles as the capture-equivalence canary (replayed
-// on the unmodified platform it must reproduce the online simulated time).
+// A campaign takes ONE trace source — a captured TI trace, or a synthetic
+// workload spec compiled to the same records — and re-simulates it across
+// the cross-product of parameter axes: platform knobs (link
+// bandwidth/latency, host speed, topology size, rank placement), SMPI knobs
+// (forced collective algorithms, eager threshold, payload-free mode), and,
+// when the source is a workload, workload knobs (rank count, message size,
+// compute imbalance, iteration count, seed). Scenario 0 is always the
+// implicit baseline (no overrides): every report's speedups are relative to
+// it, and it doubles as the capture-equivalence canary (replayed on the
+// unmodified platform it must reproduce the online simulated time).
 //
 // Spec format (JSON):
 //
 //   {
 //     "name": "bw-sweep",
 //     "trace": "ti_dir",                     // optional, CLI can override
+//     "workload": {...} | "workload.json",   // alternative trace source:
+//     //   an inline workload spec (see src/workload/spec.hpp) or a path to
+//     //   one; mutually exclusive with "trace"
 //     "platform": {"kind": "flat", "nodes": 16},
 //     // kind: flat | hierarchical-griffon | hierarchical-gdx | xml
 //     //   flat: optional "nodes" (default = trace rank count)
@@ -43,10 +49,20 @@
 //   coll_allreduce        auto | recursive_doubling | rabenseifner | reduce_bcast
 //   coll_allgather        auto | recursive_doubling | ring
 //   payload_free          true | false (replay with or without payload motion)
+//   eager_threshold       Personality::eager_threshold in bytes (number >= 0;
+//                         the eager/rendezvous protocol switch point)
+//   workload_ranks        regenerate the workload at N ranks      (int > 0)
+//   workload_bytes        every phase's message size, in bytes    (int >= 0)
+//   workload_iterations   every phase's iteration count           (int >= 1)
+//   workload_imbalance    every phase's compute.imbalance     (number in [0,1))
+//   workload_seed         the workload RNG seed                   (int >= 0)
 //
-// Overriding a host/link that does not exist in the scenario's platform is a
-// hard error when the scenario is materialized — a silently ignored override
-// would poison the whole sweep's conclusions.
+// The workload_* parameters require the campaign's trace source to be a
+// workload (they re-run the generator inside the worker with the overridden
+// spec); using one against a captured trace is a hard error. Overriding a
+// host/link that does not exist in the scenario's platform is likewise a
+// hard error when the scenario is materialized — a silently ignored
+// override would poison the whole sweep's conclusions.
 #pragma once
 
 #include <string>
@@ -56,6 +72,7 @@
 #include "platform/platform.hpp"
 #include "smpi/smpi.hpp"
 #include "util/json.hpp"
+#include "workload/spec.hpp"
 
 namespace smpi::campaign {
 
@@ -73,10 +90,18 @@ struct CampaignSpec {
 
   std::string name = "campaign";
   std::string trace_dir;  // may be empty (supplied by the CLI)
+  // Workload trace source (mutually exclusive with trace_dir; the CLI can
+  // supply it too). When set, the campaign generates its baseline trace and
+  // workers regenerate per-scenario variants for workload_* overrides.
+  bool has_workload = false;
+  workload::WorkloadSpec workload;
   BaseKind base_kind = BaseKind::kFlat;
   int base_nodes = 0;  // flat base: 0 = use the trace's rank count
   std::string platform_file;
   std::vector<Axis> axes;
+
+  // True when any axis sweeps a workload_* parameter.
+  bool sweeps_workload() const;
 
   static CampaignSpec parse(const util::JsonValue& doc);
   static CampaignSpec parse_file(const std::string& path);
@@ -103,5 +128,15 @@ struct ScenarioSetup {
   bool payload_free = true;
 };
 ScenarioSetup materialize(const CampaignSpec& spec, const Scenario& scenario, int nranks);
+
+// True when the scenario overrides any workload_* parameter (the runner
+// must then regenerate the trace instead of replaying the shared baseline).
+bool has_workload_override(const Scenario& scenario);
+
+// The base workload spec with the scenario's workload_* overrides applied
+// to every phase; re-validates grid/root/degree contracts against an
+// overridden rank count. Throws ContractError on violations.
+workload::WorkloadSpec apply_workload_overrides(const workload::WorkloadSpec& base,
+                                                const Scenario& scenario);
 
 }  // namespace smpi::campaign

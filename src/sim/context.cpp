@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <cstdlib>
+#include <cstring>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -12,29 +13,38 @@
 #include "util/check.hpp"
 
 // ---------------------------------------------------------------------------
-// raw backend (x86-64 Linux): hand-rolled stack switch.
+// raw backend (x86-64 and aarch64 Linux): hand-rolled stack switch.
 //
 // glibc's swapcontext makes a sigprocmask *syscall* on every switch to
 // save/restore the signal mask the simulation never touches. At two context
 // switches per simulated block/wake, a 1024-rank collective spends half its
 // wall-clock inside that syscall. The raw switch saves exactly the
-// callee-saved registers the SysV ABI requires and swaps %rsp — ~20 ns
-// instead of ~450 ns, no kernel involvement (SimGrid ships the same idea as
-// its "raw" context factory).
+// callee-saved registers the platform ABI requires and swaps the stack
+// pointer — ~20 ns instead of ~450 ns, no kernel involvement (SimGrid ships
+// the same idea as its "raw" context factory).
+//
+//   x86-64 (SysV):  rbp rbx r12-r15, ret address on the stack
+//   aarch64 (AAPCS64): x19-x28, fp (x29), lr (x30), and the low halves of
+//     v8-v15 (d8-d15) — callers may keep doubles live across the call
+//
+// Everything else falls back to ucontext.
 // ---------------------------------------------------------------------------
-#if defined(__x86_64__) && defined(__linux__)
+#if defined(__linux__) && (defined(__x86_64__) || defined(__aarch64__))
 #define SMPI_HAVE_RAW_CONTEXT 1
 
 extern "C" {
-// Pushes the callee-saved frame on the current stack, stores %rsp to
-// *save_sp, installs restore_sp and pops the frame there.
+// Pushes the callee-saved frame on the current stack, stores the stack
+// pointer to *save_sp, installs restore_sp and pops the frame there.
 void smpi_raw_swap(void** save_sp, void* restore_sp);
 // First-activation shim: the primed frame "returns" here with the context
-// pointer in %r12; moves it into %rdi and calls the C++ trampoline.
+// pointer in a callee-saved register (%r12 / x19); moves it into the
+// first-argument register and calls the C++ trampoline.
 void smpi_raw_boot();
 void smpi_raw_trampoline(void* context);
 }
+#endif
 
+#if defined(__x86_64__) && defined(__linux__)
 asm(".text\n"
     ".globl smpi_raw_swap\n"
     ".hidden smpi_raw_swap\n"
@@ -64,6 +74,52 @@ asm(".text\n"
     "  callq smpi_raw_trampoline\n"
     ".size smpi_raw_boot,.-smpi_raw_boot\n");
 #endif  // __x86_64__ && __linux__
+
+#if defined(__aarch64__) && defined(__linux__)
+// Frame layout (160 bytes, 16-aligned): x19..x28 at 0-72, fp/lr at 80/88,
+// d8..d15 at 96-152. The primed first-activation frame sets lr to
+// smpi_raw_boot and x19 to the context pointer, so the restoring `ret`
+// lands in the shim with `this` in a callee-saved register.
+asm(".text\n"
+    ".globl smpi_raw_swap\n"
+    ".hidden smpi_raw_swap\n"
+    ".type smpi_raw_swap,%function\n"
+    "smpi_raw_swap:\n"
+    "  sub sp, sp, #160\n"
+    "  stp x19, x20, [sp]\n"
+    "  stp x21, x22, [sp, #16]\n"
+    "  stp x23, x24, [sp, #32]\n"
+    "  stp x25, x26, [sp, #48]\n"
+    "  stp x27, x28, [sp, #64]\n"
+    "  stp x29, x30, [sp, #80]\n"
+    "  stp d8,  d9,  [sp, #96]\n"
+    "  stp d10, d11, [sp, #112]\n"
+    "  stp d12, d13, [sp, #128]\n"
+    "  stp d14, d15, [sp, #144]\n"
+    "  mov x9, sp\n"
+    "  str x9, [x0]\n"
+    "  mov sp, x1\n"
+    "  ldp x19, x20, [sp]\n"
+    "  ldp x21, x22, [sp, #16]\n"
+    "  ldp x23, x24, [sp, #32]\n"
+    "  ldp x25, x26, [sp, #48]\n"
+    "  ldp x27, x28, [sp, #64]\n"
+    "  ldp x29, x30, [sp, #80]\n"
+    "  ldp d8,  d9,  [sp, #96]\n"
+    "  ldp d10, d11, [sp, #112]\n"
+    "  ldp d12, d13, [sp, #128]\n"
+    "  ldp d14, d15, [sp, #144]\n"
+    "  add sp, sp, #160\n"
+    "  ret\n"
+    ".size smpi_raw_swap,.-smpi_raw_swap\n"
+    ".globl smpi_raw_boot\n"
+    ".hidden smpi_raw_boot\n"
+    ".type smpi_raw_boot,%function\n"
+    "smpi_raw_boot:\n"
+    "  mov x0, x19\n"
+    "  bl smpi_raw_trampoline\n"
+    ".size smpi_raw_boot,.-smpi_raw_boot\n");
+#endif  // __aarch64__ && __linux__
 
 namespace smpi::sim {
 namespace {
@@ -147,11 +203,13 @@ class RawContext final : public Context {
   RawContext(std::function<void()> body, std::size_t stack_bytes)
       : body_(std::move(body)), stack_(stack_bytes < kMinStack ? kMinStack : stack_bytes) {
     // Prime the stack so the first swap-in pops the callee-saved frame and
-    // "returns" into smpi_raw_boot with %r12 = this. Stack top is 16-byte
-    // aligned, so inside smpi_raw_boot %rsp % 16 == 0 and the ABI alignment
-    // at the trampoline call is correct.
+    // "returns" into smpi_raw_boot with the context pointer in a
+    // callee-saved register. Stack top is 16-byte aligned, so inside
+    // smpi_raw_boot the stack meets the ABI alignment at the trampoline
+    // call.
     auto top = reinterpret_cast<std::uintptr_t>(stack_.data() + stack_.size());
     top &= ~static_cast<std::uintptr_t>(0xf);
+#if defined(__x86_64__)
     auto* slots = reinterpret_cast<void**>(top);
     slots[-1] = reinterpret_cast<void*>(&smpi_raw_boot);  // ret target
     slots[-2] = nullptr;                                  // rbp
@@ -161,6 +219,18 @@ class RawContext final : public Context {
     slots[-6] = nullptr;                                  // r14
     slots[-7] = nullptr;                                  // r15
     sp_ = static_cast<void*>(&slots[-7]);
+#elif defined(__aarch64__)
+    // One 160-byte frame below the top (see the asm layout): lr at offset
+    // 88 routes the restoring `ret` into smpi_raw_boot, x19 at offset 0
+    // carries `this`; everything else (including fp and d8-d15) is zero.
+    auto* frame = reinterpret_cast<unsigned char*>(top - 160);
+    std::memset(frame, 0, 160);
+    *reinterpret_cast<void**>(frame + 0) = this;                                  // x19
+    *reinterpret_cast<void**>(frame + 88) = reinterpret_cast<void*>(&smpi_raw_boot);  // lr
+    sp_ = static_cast<void*>(frame);
+#else
+#error "raw context backend enabled on an unsupported architecture"
+#endif
   }
 
   ~RawContext() override {

@@ -8,8 +8,10 @@
 //
 // Three interchangeable backends:
 //  * "raw"      — hand-rolled callee-saved-register stack switch (x86-64
-//    Linux), the default there: no sigprocmask syscall per switch, ~20x
-//    faster than swapcontext. Falls back to ucontext elsewhere.
+//    and aarch64 Linux), the default there: no sigprocmask syscall per
+//    switch, ~20x faster than swapcontext. On aarch64 the frame carries
+//    x19-x28, fp/lr, and d8-d15 per AAPCS64. Falls back to ucontext
+//    elsewhere.
 //  * "ucontext" — swapcontext-based fibers, the portable POSIX default;
 //  * "thread"   — one std::thread per context with strict semaphore handoff,
 //    a portable fallback (select with SMPI_CONTEXT_BACKEND=thread).

@@ -1,0 +1,35 @@
+// Workload compiler: spec -> TI trace.
+//
+// `generate_workload` compiles a declarative spec into an in-memory TiTrace
+// (init ... phases ... finalize per rank) that replay_trace and the
+// campaign engine consume directly; `write_workload` routes the same
+// records through trace/writer, producing a trace directory
+// indistinguishable from a capture — `ti_inspect`, `smpirun --replay`, and
+// `smpi_campaign` need no workload awareness at all.
+//
+// Generation is deterministic: one spec + one seed produce bit-identical
+// records (and therefore bit-identical trace files) on every run and
+// platform, which is what lets a campaign regenerate a workload inside
+// each worker process and still report results that are independent of the
+// worker count.
+#pragma once
+
+#include <string>
+
+#include "trace/reader.hpp"
+#include "workload/spec.hpp"
+
+namespace smpi::workload {
+
+// Compile the spec. Throws util::ContractError on contract violations the
+// parser could not see (none today; kept for forward compatibility).
+trace::TiTrace generate_workload(const WorkloadSpec& spec);
+
+// Write an already-generated trace as a rank-file directory (manifest +
+// rank_<r>.ti) via trace::TiWriter.
+void write_trace(const trace::TiTrace& trace, const std::string& dir);
+
+// generate + write in one step (the CLI's --out path).
+void write_workload(const WorkloadSpec& spec, const std::string& dir);
+
+}  // namespace smpi::workload

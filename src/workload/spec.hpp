@@ -1,0 +1,127 @@
+// Workload specifications: declarative MPI communication patterns.
+//
+// A workload spec describes a synthetic MPI application as a sequence of
+// *phases*, each an instance of a parameterized communication pattern
+// (stencil halo exchange, ring pipeline, alltoall transpose, ...). The
+// generator (workload/generate.hpp) compiles the spec into ordinary TI
+// trace records, so everything downstream of a capture — `smpirun
+// --replay`, `ti_inspect`, Paje export, the campaign engine — consumes a
+// generated workload exactly as it would a captured one. Scenarios no
+// longer require application code: any rank count, any message size, any
+// compute imbalance is one JSON file away.
+//
+// Spec format (JSON):
+//
+//   {
+//     "name": "halo-sweep",
+//     "ranks": 64,
+//     "seed": 42,
+//     "phases": [
+//       {
+//         "pattern": "stencil2d",
+//         "iterations": 10,
+//         "bytes": 8192,
+//         "compute": {"flops": 1e6, "imbalance": 0.2, "jitter": 0.05},
+//         "px": 8, "py": 8,
+//         "periodic": false
+//       },
+//       {"pattern": "reduce_bcast", "bytes": 8, "root": 0}
+//     ]
+//   }
+//
+// A spec without "phases" is treated as a single phase described by the
+// top-level object itself (so the common one-pattern case needs no
+// nesting). Phase fields:
+//
+//   pattern      stencil2d | stencil3d | ring | alltoall | reduce_bcast |
+//                wavefront | random_sparse                       (required)
+//   iterations   pattern repetitions                       (int >= 1, def 1)
+//   bytes        per-message payload: a number, or an array cycled per
+//                iteration (a message-size schedule)     (>= 0, default 1024)
+//   compute      {"flops": F, "imbalance": I, "jitter": J}: every rank
+//                computes F flops before communicating each iteration,
+//                scaled by a per-rank factor drawn once uniformly from
+//                [1-I, 1+I] (static load imbalance) and a per-iteration
+//                factor from [1-J, 1+J] (dynamic jitter), both from the
+//                seeded generator — bit-reproducible per seed. (default 0)
+//   Pattern-specific:
+//     stencil2d     px, py     process grid (0 = near-square factorization;
+//                              px*py must equal ranks when given)
+//                   periodic   wrap halos around the grid (default false)
+//     stencil3d     px, py, pz, periodic — 6-neighbour halo exchange
+//     ring          (none)     sendrecv shift around the rank ring
+//     alltoall      (none)     bytes is the per-pair payload
+//     reduce_bcast  root       reduce to root then bcast from it (def 0)
+//                   commutative  reduction-op commutativity (default true)
+//     wavefront     px, py     dependency sweep: recv from west/north,
+//                              compute, send to east/south
+//     random_sparse degree     distinct random peers each rank sends to per
+//                              iteration (default 3, < ranks); the edge set
+//                              is redrawn per iteration from the seed
+//
+// Every random draw flows from `seed` through counter-based per-(phase,
+// rank) streams, so generation is bit-identical across runs, platforms,
+// and whether the trace is kept in memory or written through trace/writer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace smpi::workload {
+
+enum class Pattern {
+  kStencil2d,
+  kStencil3d,
+  kRing,
+  kAlltoall,
+  kReduceBcast,
+  kWavefront,
+  kRandomSparse,
+};
+
+// Pattern <-> spec-name mapping; `pattern_names` is the `--list` catalog.
+const char* pattern_name(Pattern pattern);
+bool pattern_from_name(const std::string& name, Pattern* out);
+const std::vector<std::string>& pattern_names();
+
+struct ComputeSpec {
+  double flops = 0;      // per-rank flops per iteration (before scaling)
+  double imbalance = 0;  // static per-rank scale half-width, in [0, 1)
+  double jitter = 0;     // per-iteration scale half-width, in [0, 1)
+};
+
+struct PhaseSpec {
+  Pattern pattern = Pattern::kStencil2d;
+  int iterations = 1;
+  std::vector<long long> bytes = {1024};  // cycled per iteration
+  ComputeSpec compute;
+  // stencil / wavefront process grid (0 = factorize ranks automatically).
+  int px = 0;
+  int py = 0;
+  int pz = 0;
+  bool periodic = false;
+  int root = 0;             // reduce_bcast
+  bool commutative = true;  // reduce_bcast
+  int degree = 3;           // random_sparse out-degree
+
+  // Payload size for iteration `iter` (the schedule cycles).
+  long long bytes_at(int iter) const {
+    return bytes[static_cast<std::size_t>(iter) % bytes.size()];
+  }
+};
+
+struct WorkloadSpec {
+  std::string name = "workload";
+  int ranks = 0;  // required (> 0)
+  std::uint64_t seed = 1;
+  std::vector<PhaseSpec> phases;
+
+  // Throws util::ContractError on unknown patterns, bad grids, or
+  // out-of-contract values — a typo must not silently generate nothing.
+  static WorkloadSpec parse(const util::JsonValue& doc);
+  static WorkloadSpec parse_file(const std::string& path);
+};
+
+}  // namespace smpi::workload

@@ -21,6 +21,7 @@
 #include "trace/writer.hpp"
 #include "util/check.hpp"
 #include "util/json.hpp"
+#include "workload/generate.hpp"
 
 namespace fs = std::filesystem;
 namespace cp = smpi::campaign;
@@ -341,4 +342,191 @@ TEST(CampaignReport, JsonAndCsvAreWellFormed) {
   const std::string summary = cp::report_summary(spec, scenarios, outcome);
   EXPECT_NE(summary.find("baseline simulated time"), std::string::npos);
   EXPECT_NE(summary.find("fastest scenarios"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// eager_threshold axis
+// ---------------------------------------------------------------------------
+
+TEST(CampaignMaterialize, EagerThresholdAxisSetsPersonality) {
+  const auto spec = parse_spec(R"({
+    "name": "eager",
+    "platform": {"kind": "flat", "nodes": 4},
+    "axes": [{"param": "eager_threshold", "values": [0, 1048576]}]
+  })");
+  const auto scenarios = cp::enumerate_scenarios(spec);
+  ASSERT_EQ(scenarios.size(), 3u);
+  const auto rendezvous_only = cp::materialize(spec, scenarios[1], 4);
+  EXPECT_EQ(rendezvous_only.config.personality.eager_threshold, 0u);
+  const auto eager_always = cp::materialize(spec, scenarios[2], 4);
+  EXPECT_EQ(eager_always.config.personality.eager_threshold, 1048576u);
+
+  EXPECT_THROW(parse_spec(R"({
+    "name": "bad",
+    "axes": [{"param": "eager_threshold", "values": ["lots"]}]
+  })"),
+               ContractError);
+}
+
+TEST(CampaignRun, EagerThresholdChangesSkewedWorkloadTiming) {
+  // A compute-imbalanced stencil posts receives at skewed times, so the
+  // eager/rendezvous switch moves the flow start: sweeping the threshold
+  // must produce different (deterministic) simulated times.
+  const auto spec = parse_spec(R"({
+    "name": "eager-run",
+    "workload": {"name": "skewed", "ranks": 8, "seed": 7, "pattern": "stencil2d",
+                 "iterations": 3, "bytes": 8192,
+                 "compute": {"flops": 2e6, "imbalance": 0.5}},
+    "platform": {"kind": "flat", "nodes": 8},
+    "axes": [{"param": "eager_threshold", "values": [0, 1048576]}]
+  })");
+  const auto scenarios = cp::enumerate_scenarios(spec);
+  const auto trace = smpi::workload::generate_workload(spec.workload);
+  cp::RunOptions options;
+  const auto outcome = cp::run_campaign(spec, scenarios, trace, options);
+  for (const auto& r : outcome.results) ASSERT_TRUE(r.ok) << r.error;
+  // Threshold above the message size == the default behaviour (64 KiB
+  // default also exceeds 8 KiB messages), and rendezvous-only differs.
+  EXPECT_EQ(outcome.results[2].simulated_time, outcome.results[0].simulated_time);
+  EXPECT_NE(outcome.results[1].simulated_time, outcome.results[0].simulated_time);
+}
+
+// ---------------------------------------------------------------------------
+// Resume
+// ---------------------------------------------------------------------------
+
+TEST(CampaignResume, SkipsCompletedScenariosAndMatchesFullSweep) {
+  TempDir dir;
+  capture_ep(2, dir.str());
+  const auto trace = smpi::trace::load_ti_trace(dir.str());
+  const auto spec = parse_spec(R"({
+    "name": "resume-test",
+    "platform": {"kind": "flat"},
+    "axes": [{"param": "link_bandwidth_scale", "values": [0.5, 1, 2, 4]}]
+  })");
+  const auto scenarios = cp::enumerate_scenarios(spec);
+  cp::RunOptions options;
+  const auto full = cp::run_campaign(spec, scenarios, trace, options);
+  for (const auto& r : full.results) ASSERT_TRUE(r.ok) << r.error;
+
+  // Forge a partial report: scenarios 2 and 4 "failed".
+  auto partial = full;
+  partial.results[2].ok = false;
+  partial.results[2].error = "worker died";
+  partial.results[4].ok = false;
+  partial.results[4].error = "worker died";
+  const JsonValue report = parse_json(
+      cp::report_json(spec, scenarios, partial).dump(2), "partial report");
+
+  options.resume = cp::results_from_report(report, spec, scenarios);
+  ASSERT_EQ(options.resume.size(), scenarios.size());
+  EXPECT_TRUE(options.resume[1].ok);
+  EXPECT_FALSE(options.resume[2].ok);
+  const auto resumed = cp::run_campaign(spec, scenarios, trace, options);
+  EXPECT_EQ(resumed.resumed, 3);
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    ASSERT_TRUE(resumed.results[i].ok) << resumed.results[i].error;
+    EXPECT_EQ(resumed.results[i].simulated_time, full.results[i].simulated_time) << i;
+    EXPECT_EQ(resumed.results[i].rank_comm_s, full.results[i].rank_comm_s) << i;
+    EXPECT_EQ(resumed.results[i].solver_solves, full.results[i].solver_solves) << i;
+  }
+  // The resumed outcome reports like any other.
+  const JsonValue final_report = parse_json(
+      cp::report_json(spec, scenarios, resumed).dump(2), "final report");
+  EXPECT_EQ(final_report.at("resumed", "r").as_int(), 3);
+  const auto& rows = final_report.at("scenarios", "r").items();
+  for (const auto& row : rows) EXPECT_TRUE(row.at("ok", "r").as_bool());
+}
+
+TEST(CampaignResume, RejectsMismatchedReports) {
+  TempDir dir;
+  capture_ep(2, dir.str());
+  const auto trace = smpi::trace::load_ti_trace(dir.str());
+  const auto spec = parse_spec(R"({
+    "name": "resume-guard",
+    "platform": {"kind": "flat"},
+    "axes": [{"param": "link_bandwidth_scale", "values": [0.5, 2]}]
+  })");
+  const auto scenarios = cp::enumerate_scenarios(spec);
+  cp::RunOptions options;
+  const auto outcome = cp::run_campaign(spec, scenarios, trace, options);
+  const JsonValue report = parse_json(
+      cp::report_json(spec, scenarios, outcome).dump(2), "report");
+
+  // Different campaign name.
+  auto renamed = spec;
+  renamed.name = "someone-else";
+  EXPECT_THROW(cp::results_from_report(report, renamed, scenarios), ContractError);
+
+  // Different axis values: scenario count survives but labels do not.
+  const auto reshaped = parse_spec(R"({
+    "name": "resume-guard",
+    "platform": {"kind": "flat"},
+    "axes": [{"param": "link_latency_scale", "values": [1, 10]}]
+  })");
+  const auto reshaped_scenarios = cp::enumerate_scenarios(reshaped);
+  EXPECT_THROW(cp::results_from_report(report, reshaped, reshaped_scenarios), ContractError);
+}
+
+TEST(CampaignResume, RejectsDifferentTraceSourceOrPlatform) {
+  TempDir dir;
+  capture_ep(2, dir.str());
+  const auto trace = smpi::trace::load_ti_trace(dir.str());
+  auto spec = parse_spec(R"({
+    "name": "resume-source",
+    "platform": {"kind": "flat", "nodes": 2},
+    "axes": [{"param": "link_bandwidth_scale", "values": [0.5, 2]}]
+  })");
+  spec.trace_dir = dir.str();
+  const auto scenarios = cp::enumerate_scenarios(spec);
+  cp::RunOptions options;
+  const auto outcome = cp::run_campaign(spec, scenarios, trace, options);
+  const JsonValue report = parse_json(
+      cp::report_json(spec, scenarios, outcome).dump(2), "report");
+
+  // Same axes, different trace directory: rejected.
+  auto retraced = spec;
+  retraced.trace_dir = "somewhere_else";
+  EXPECT_THROW(cp::results_from_report(report, retraced, scenarios), ContractError);
+
+  // Same axes, different base platform: rejected.
+  auto replatformed = spec;
+  replatformed.base_nodes = 16;
+  EXPECT_THROW(cp::results_from_report(report, replatformed, scenarios), ContractError);
+
+  // Same axes, but the sweep now runs a workload instead of the capture.
+  auto reworked = spec;
+  reworked.trace_dir.clear();
+  reworked.has_workload = true;
+  reworked.workload = smpi::workload::WorkloadSpec::parse(
+      parse_json(R"({"ranks": 2, "pattern": "ring", "bytes": 64})", "wl"));
+  EXPECT_THROW(cp::results_from_report(report, reworked, scenarios), ContractError);
+
+  // The genuine spec still round-trips.
+  EXPECT_NO_THROW(cp::results_from_report(report, spec, scenarios));
+}
+
+TEST(CampaignResume, FullyCompleteResumeSkipsThePoolEntirely) {
+  TempDir dir;
+  capture_ep(2, dir.str());
+  const auto trace = smpi::trace::load_ti_trace(dir.str());
+  const auto spec = parse_spec(R"({
+    "name": "resume-full",
+    "platform": {"kind": "flat"},
+    "axes": [{"param": "link_bandwidth_scale", "values": [0.5, 2]}]
+  })");
+  const auto scenarios = cp::enumerate_scenarios(spec);
+  cp::RunOptions options;
+  const auto full = cp::run_campaign(spec, scenarios, trace, options);
+  const JsonValue report = parse_json(
+      cp::report_json(spec, scenarios, full).dump(2), "report");
+
+  options.resume = cp::results_from_report(report, spec, scenarios);
+  const auto resumed = cp::run_campaign(spec, scenarios, trace, options);
+  EXPECT_EQ(resumed.resumed, static_cast<int>(scenarios.size()));
+  EXPECT_EQ(resumed.workers, 0);  // nothing dispatched, no pool forked
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    ASSERT_TRUE(resumed.results[i].ok);
+    EXPECT_EQ(resumed.results[i].simulated_time, full.results[i].simulated_time);
+  }
 }

@@ -134,6 +134,23 @@ def main():
                                     f"{n}-worker sweep not 2x faster than 1 worker", n,
                                     serial / multi_ns))
 
+    # Machine-independent invariant #4: generating a workload trace must not
+    # cost more than replaying it (n >= 256). The generator exists so that
+    # scenario setup is negligible next to scenario simulation; if compiling
+    # the spec ever rivals simulating its output, the generator regressed.
+    # Both walls come from the same run on the same machine.
+    workload_fresh_path = os.path.join(args.fresh, "BENCH_workload.json")
+    if os.path.exists(workload_fresh_path):
+        workload = load_records(workload_fresh_path)
+        for (op, n), generate_ns in sorted(workload.items()):
+            if op != "workload_generate" or n < 256:
+                continue
+            replay_ns = workload.get(("workload_replay", n))
+            if replay_ns is not None and generate_ns > replay_ns:
+                regressions.append(("BENCH_workload.json",
+                                    "workload generation slower than its replay", n,
+                                    generate_ns / replay_ns))
+
     if compared == 0:
         print("bench_trend: nothing compared — fresh bench files missing?", file=sys.stderr)
         return 1

@@ -1,8 +1,18 @@
-// smpi_campaign — what-if sweeps over a captured TI trace.
+// smpi_campaign — what-if sweeps over a captured TI trace or a synthetic
+// workload.
 //
 //   smpirun --np 64 --cluster 64 --app ep --trace-ti ti_ep    # capture once
 //   smpi_campaign --spec sweep.json --trace ti_ep --workers 8 \
 //                 --out report.json --csv report.csv           # sweep cheaply
+//
+//   smpi_campaign --spec sweep.json --workload stencil.json    # no capture:
+//                 # the trace is generated from the workload spec, and
+//                 # workload_* axes regenerate it per scenario
+//
+//   smpi_campaign --spec sweep.json --trace ti_ep \
+//                 --resume report.json --out report.json       # restart a
+//                 # partially-failed sweep: scenarios already ok in the
+//                 # prior report are adopted, the rest re-run
 //
 // The spec declares parameter axes (see src/campaign/spec.hpp for the full
 // format); the tool executes baseline + cross-product through a fork-based
@@ -16,12 +26,16 @@
 #include "campaign/runner.hpp"
 #include "campaign/spec.hpp"
 #include "trace/reader.hpp"
+#include "util/json.hpp"
+#include "workload/generate.hpp"
 
 namespace {
 
 struct Options {
   std::string spec_file;
-  std::string trace_dir;  // overrides the spec's "trace"
+  std::string trace_dir;       // overrides the spec's "trace"
+  std::string workload_file;   // overrides the spec's "workload"
+  std::string resume_file;     // prior report to adopt ok scenarios from
   int workers = 1;
   std::string out_json;
   std::string out_csv;
@@ -35,6 +49,10 @@ struct Options {
                "usage: smpi_campaign --spec FILE [options]\n"
                "  --spec FILE       campaign spec (JSON; required)\n"
                "  --trace DIR       TI trace directory (overrides the spec)\n"
+               "  --workload FILE   workload spec to generate the trace from\n"
+               "                    (overrides the spec; excludes --trace)\n"
+               "  --resume FILE     prior JSON report: adopt its ok scenarios,\n"
+               "                    re-run only the missing/failed ones\n"
                "  --workers N       worker processes (default 1)\n"
                "  --out FILE        write the JSON report to FILE\n"
                "  --csv FILE        write the CSV report to FILE\n"
@@ -56,6 +74,10 @@ Options parse_options(int argc, char** argv) {
         options.spec_file = need_value(i);
       } else if (arg == "--trace") {
         options.trace_dir = need_value(i);
+      } else if (arg == "--workload") {
+        options.workload_file = need_value(i);
+      } else if (arg == "--resume") {
+        options.resume_file = need_value(i);
       } else if (arg == "--workers") {
         options.workers = std::stoi(need_value(i));
       } else if (arg == "--out") {
@@ -77,6 +99,9 @@ Options parse_options(int argc, char** argv) {
   }
   if (options.spec_file.empty()) usage("--spec is required");
   if (options.workers < 1) usage("--workers must be >= 1");
+  if (!options.trace_dir.empty() && !options.workload_file.empty()) {
+    usage("--trace and --workload are mutually exclusive");
+  }
   return options;
 }
 
@@ -96,7 +121,15 @@ int main(int argc, char** argv) {
   try {
     smpi::campaign::CampaignSpec spec =
         smpi::campaign::CampaignSpec::parse_file(options.spec_file);
-    if (!options.trace_dir.empty()) spec.trace_dir = options.trace_dir;
+    if (!options.trace_dir.empty()) {
+      if (spec.has_workload) usage("--trace conflicts with the spec's \"workload\"");
+      spec.trace_dir = options.trace_dir;
+    }
+    if (!options.workload_file.empty()) {
+      if (!spec.trace_dir.empty()) usage("--workload conflicts with the spec's \"trace\"");
+      spec.workload = smpi::workload::WorkloadSpec::parse_file(options.workload_file);
+      spec.has_workload = true;
+    }
 
     const auto scenarios = smpi::campaign::enumerate_scenarios(spec);
     if (options.list_only) {
@@ -107,12 +140,30 @@ int main(int argc, char** argv) {
       return 0;
     }
 
-    if (spec.trace_dir.empty()) usage("no trace directory (spec \"trace\" or --trace)");
-    const smpi::trace::TiTrace trace = smpi::trace::load_ti_trace(spec.trace_dir);
+    if (spec.sweeps_workload() && !spec.has_workload) {
+      usage("workload_* axes need a workload source (spec \"workload\" or --workload)");
+    }
+    smpi::trace::TiTrace trace;
+    if (spec.has_workload) {
+      trace = smpi::workload::generate_workload(spec.workload);
+    } else {
+      if (spec.trace_dir.empty()) {
+        usage("no trace source (spec \"trace\"/\"workload\", --trace, or --workload)");
+      }
+      trace = smpi::trace::load_ti_trace(spec.trace_dir);
+    }
 
     smpi::campaign::RunOptions run_options;
     run_options.workers = options.workers;
     run_options.progress = options.progress;
+    if (!options.resume_file.empty()) {
+      const auto report = smpi::util::parse_json_file(options.resume_file);
+      run_options.resume = smpi::campaign::results_from_report(report, spec, scenarios);
+      int ok = 0;
+      for (const auto& r : run_options.resume) ok += r.ok ? 1 : 0;
+      std::fprintf(stderr, "smpi_campaign: resuming — %d/%zu scenarios adopted from %s\n", ok,
+                   scenarios.size(), options.resume_file.c_str());
+    }
     const auto outcome = smpi::campaign::run_campaign(spec, scenarios, trace, run_options);
 
     if (!options.out_json.empty()) {
