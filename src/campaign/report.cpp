@@ -128,6 +128,18 @@ util::JsonValue report_json(const CampaignSpec& spec, const std::vector<Scenario
     solver.set("cons_touched",
                util::JsonValue::number(static_cast<double>(r.solver_cons_touched)));
     row.set("solver", std::move(solver));
+    util::JsonValue p2p = util::JsonValue::object();
+    p2p.set("pool_hits", util::JsonValue::number(static_cast<double>(r.p2p.pool_hits)));
+    p2p.set("pool_misses", util::JsonValue::number(static_cast<double>(r.p2p.pool_misses)));
+    p2p.set("eager_snapshots",
+            util::JsonValue::number(static_cast<double>(r.p2p.eager_snapshots)));
+    p2p.set("eager_copy_elided",
+            util::JsonValue::number(static_cast<double>(r.p2p.eager_copy_elided)));
+    p2p.set("eager_flush_snapshots",
+            util::JsonValue::number(static_cast<double>(r.p2p.eager_flush_snapshots)));
+    p2p.set("bytes_not_copied",
+            util::JsonValue::number(static_cast<double>(r.p2p.bytes_not_copied)));
+    row.set("p2p", std::move(p2p));
     rows.append(std::move(row));
   }
   doc.set("scenarios", std::move(rows));
@@ -153,7 +165,9 @@ std::string report_csv(const CampaignSpec& spec, const std::vector<Scenario>& sc
   for (const std::string& key : axis_keys) csv += "," + key;
   csv +=
       ",simulated_time,speedup_vs_baseline,wall_s,records,ranks,compute_total_s,comm_total_s,"
-      "compute_max_s,comm_max_s,solver_solves,solver_vars_touched,solver_cons_touched,error\n";
+      "compute_max_s,comm_max_s,solver_solves,solver_vars_touched,solver_cons_touched,"
+      "pool_hits,pool_misses,eager_snapshots,eager_copy_elided,eager_flush_snapshots,"
+      "bytes_not_copied,error\n";
 
   for (std::size_t i = 0; i < scenarios.size(); ++i) {
     const Scenario& scenario = scenarios[i];
@@ -181,9 +195,15 @@ std::string report_csv(const CampaignSpec& spec, const std::vector<Scenario>& sc
       csv += ',' + std::to_string(r.solver_solves);
       csv += ',' + std::to_string(r.solver_vars_touched);
       csv += ',' + std::to_string(r.solver_cons_touched);
+      csv += ',' + std::to_string(r.p2p.pool_hits);
+      csv += ',' + std::to_string(r.p2p.pool_misses);
+      csv += ',' + std::to_string(r.p2p.eager_snapshots);
+      csv += ',' + std::to_string(r.p2p.eager_copy_elided);
+      csv += ',' + std::to_string(r.p2p.eager_flush_snapshots);
+      csv += ',' + std::to_string(r.p2p.bytes_not_copied);
       csv += ",\n";
     } else {
-      csv += ",,,,,,,,,,,,\"" + r.error + "\"\n";
+      csv += ",,,,,,,,,,,,,,,,,,\"" + r.error + "\"\n";
     }
   }
   return csv;
@@ -332,6 +352,20 @@ std::vector<ScenarioResult> results_from_report(const util::JsonValue& report,
         static_cast<std::uint64_t>(solver.at("vars_touched", "resume solver").as_int());
     r.solver_cons_touched =
         static_cast<std::uint64_t>(solver.at("cons_touched", "resume solver").as_int());
+    // Lenient: reports written before the p2p counters existed resume fine
+    // (the counters simply stay zero for adopted rows).
+    if (const auto* p2p = row.find("p2p")) {
+      auto u64 = [&](const char* key) {
+        const auto* v = p2p->find(key);
+        return v == nullptr ? std::uint64_t{0} : static_cast<std::uint64_t>(v->as_int());
+      };
+      r.p2p.pool_hits = u64("pool_hits");
+      r.p2p.pool_misses = u64("pool_misses");
+      r.p2p.eager_snapshots = u64("eager_snapshots");
+      r.p2p.eager_copy_elided = u64("eager_copy_elided");
+      r.p2p.eager_flush_snapshots = u64("eager_flush_snapshots");
+      r.p2p.bytes_not_copied = u64("bytes_not_copied");
+    }
   }
   return results;
 }

@@ -67,6 +67,16 @@ std::string encode_capsule(const ScenarioResult& r) {
               util::JsonValue::number(static_cast<double>(r.solver_vars_touched)));
   capsule.set("solver_cons_touched",
               util::JsonValue::number(static_cast<double>(r.solver_cons_touched)));
+  capsule.set("pool_hits", util::JsonValue::number(static_cast<double>(r.p2p.pool_hits)));
+  capsule.set("pool_misses", util::JsonValue::number(static_cast<double>(r.p2p.pool_misses)));
+  capsule.set("eager_snapshots",
+              util::JsonValue::number(static_cast<double>(r.p2p.eager_snapshots)));
+  capsule.set("eager_copy_elided",
+              util::JsonValue::number(static_cast<double>(r.p2p.eager_copy_elided)));
+  capsule.set("eager_flush_snapshots",
+              util::JsonValue::number(static_cast<double>(r.p2p.eager_flush_snapshots)));
+  capsule.set("bytes_not_copied",
+              util::JsonValue::number(static_cast<double>(r.p2p.bytes_not_copied)));
   return capsule.dump();
 }
 
@@ -91,6 +101,16 @@ ScenarioResult decode_capsule(const std::string& text) {
       static_cast<std::uint64_t>(capsule.at("solver_vars_touched", "capsule").as_int());
   r.solver_cons_touched =
       static_cast<std::uint64_t>(capsule.at("solver_cons_touched", "capsule").as_int());
+  r.p2p.pool_hits = static_cast<std::uint64_t>(capsule.at("pool_hits", "capsule").as_int());
+  r.p2p.pool_misses = static_cast<std::uint64_t>(capsule.at("pool_misses", "capsule").as_int());
+  r.p2p.eager_snapshots =
+      static_cast<std::uint64_t>(capsule.at("eager_snapshots", "capsule").as_int());
+  r.p2p.eager_copy_elided =
+      static_cast<std::uint64_t>(capsule.at("eager_copy_elided", "capsule").as_int());
+  r.p2p.eager_flush_snapshots =
+      static_cast<std::uint64_t>(capsule.at("eager_flush_snapshots", "capsule").as_int());
+  r.p2p.bytes_not_copied =
+      static_cast<std::uint64_t>(capsule.at("bytes_not_copied", "capsule").as_int());
   return r;
 }
 
@@ -166,6 +186,7 @@ ScenarioResult run_one_scenario(const CampaignSpec& spec, const Scenario& scenar
     r.solver_solves = replay.solver_solves;
     r.solver_vars_touched = replay.solver_vars_touched;
     r.solver_cons_touched = replay.solver_cons_touched;
+    r.p2p = replay.p2p;
   } catch (const std::exception& e) {
     r.ok = false;
     r.error = e.what();

@@ -44,6 +44,8 @@ struct ScenarioResult {
   std::uint64_t solver_solves = 0;
   std::uint64_t solver_vars_touched = 0;
   std::uint64_t solver_cons_touched = 0;
+  // p2p hot-path accounting (pool reuse, zero-copy eager activity).
+  core::P2pCounters p2p;
 
   double compute_total_s() const;
   double comm_total_s() const;

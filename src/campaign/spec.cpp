@@ -36,6 +36,9 @@ const std::pair<const char*, ParamInfo> kParams[] = {
     {"coll_allgather", {ValueKind::kString, nullptr}},
     {"payload_free", {ValueKind::kBool, nullptr}},
     {"eager_threshold", {ValueKind::kNumber, nullptr}},
+    {"overhead_send", {ValueKind::kNumber, nullptr}},
+    {"overhead_recv", {ValueKind::kNumber, nullptr}},
+    {"copy_cost", {ValueKind::kNumber, nullptr}},
     {"workload_ranks", {ValueKind::kNumber, nullptr}},
     {"workload_bytes", {ValueKind::kNumber, nullptr}},
     {"workload_iterations", {ValueKind::kNumber, nullptr}},
@@ -304,6 +307,18 @@ ScenarioSetup materialize(const CampaignSpec& spec, const Scenario& scenario, in
       const double threshold = value.as_number();
       SMPI_REQUIRE(threshold >= 0, "eager_threshold must be >= 0");
       config.personality.eager_threshold = static_cast<std::uint64_t>(threshold);
+    } else if (param == "overhead_send") {
+      const double overhead = value.as_number();
+      SMPI_REQUIRE(overhead >= 0, "overhead_send must be >= 0");
+      config.personality.overhead_send_s = overhead;
+    } else if (param == "overhead_recv") {
+      const double overhead = value.as_number();
+      SMPI_REQUIRE(overhead >= 0, "overhead_recv must be >= 0");
+      config.personality.overhead_recv_s = overhead;
+    } else if (param == "copy_cost") {
+      const double cost = value.as_number();
+      SMPI_REQUIRE(cost >= 0, "copy_cost must be >= 0");
+      config.personality.copy_cost_s_per_byte = cost;
     } else if (is_workload_param(param)) {
       // Applied by the runner when it regenerates the trace; nothing to do
       // on the platform/config side.

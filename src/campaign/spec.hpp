@@ -51,6 +51,12 @@
 //   payload_free          true | false (replay with or without payload motion)
 //   eager_threshold       Personality::eager_threshold in bytes (number >= 0;
 //                         the eager/rendezvous protocol switch point)
+//   overhead_send         Personality::overhead_send_s in seconds (number >= 0;
+//                         per-message CPU cost charged to the sender)
+//   overhead_recv         Personality::overhead_recv_s in seconds (number >= 0;
+//                         per-message CPU cost charged to the receiver)
+//   copy_cost             Personality::copy_cost_s_per_byte (number >= 0;
+//                         per-byte staging-copy cost on eager sends)
 //   workload_ranks        regenerate the workload at N ranks      (int > 0)
 //   workload_bytes        every phase's message size, in bytes    (int >= 0)
 //   workload_iterations   every phase's iteration count           (int >= 1)

@@ -4,10 +4,10 @@
 #pragma once
 
 #include <algorithm>
-#include <functional>
 #include <memory>
 #include <string>
-#include <vector>
+
+#include "sim/small.hpp"
 
 namespace smpi::sim {
 
@@ -32,7 +32,10 @@ class Activity {
   bool test() const { return completed(); }
 
   // Completion hook; fires exactly once, immediately if already completed.
-  void on_completion(std::function<void(Activity&)> callback);
+  // The callback type keeps hot-path captures (a shared_ptr or two plus a
+  // few scalars) in inline storage — no heap traffic per registration.
+  using CompletionFn = SmallFunction<void(Activity&), 48>;
+  void on_completion(CompletionFn callback);
 
   // Mark complete and wake all waiting actors (at the engine's current time).
   void finish(State state);
@@ -47,11 +50,20 @@ class Activity {
   std::string label_;
   State state_ = State::kRunning;
   double finish_time_ = -1;
-  std::vector<Actor*> waiters_;
-  std::vector<std::function<void(Activity&)>> callbacks_;
+  // Inline capacity 2: the common fan-out is one waiter and/or one callback
+  // (a waitany-style helper may add a second), so a pooled Activity's whole
+  // construct/wait/finish/destroy cycle allocates nothing.
+  InlineVec<Actor*, 2> waiters_;
+  InlineVec<CompletionFn, 2> callbacks_;
 };
 
 using ActivityPtr = std::shared_ptr<Activity>;
+
+// Engine-pooled Activity factory: recycles the object + control-block
+// storage from the current engine's BlockPool when one exists and pooling
+// is enabled, else falls back to a plain make_shared. `label` must be a
+// short literal (SSO) for the pooled path to stay allocation-free.
+ActivityPtr new_activity(const char* label);
 
 // Lazy remaining-work accounting for fluid activities (flows, executions).
 //

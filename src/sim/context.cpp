@@ -121,8 +121,59 @@ asm(".text\n"
     ".size smpi_raw_boot,.-smpi_raw_boot\n");
 #endif  // __aarch64__ && __linux__
 
+// ---------------------------------------------------------------------------
+// AddressSanitizer fiber annotations. ASan keeps one shadow ("fake") stack
+// per thread; a manual stack switch it cannot see makes it report wild
+// stack-buffer-overflow / use-after-return the moment the scheduler resumes
+// an actor. Every switch is therefore bracketed with
+// __sanitizer_start_switch_fiber / __sanitizer_finish_switch_fiber in ASan
+// builds; the helpers compile to nothing otherwise.
+// ---------------------------------------------------------------------------
+#if defined(__SANITIZE_ADDRESS__)
+#define SMPI_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define SMPI_ASAN_FIBERS 1
+#endif
+#endif
+
+#if defined(SMPI_ASAN_FIBERS)
+extern "C" {
+void __sanitizer_start_switch_fiber(void** fake_stack_save, const void* stack_bottom,
+                                    std::size_t stack_size);
+void __sanitizer_finish_switch_fiber(void* fake_stack_save, const void** stack_bottom_old,
+                                     std::size_t* stack_size_old);
+}
+#endif
+
 namespace smpi::sim {
 namespace {
+
+// `save`: where to park this stack's fake-stack pointer while away (nullptr
+// on the final switch out of a dying fiber, releasing its fake frames).
+inline void asan_start_switch(void** save, const void* target_bottom,
+                              std::size_t target_size) {
+#if defined(SMPI_ASAN_FIBERS)
+  __sanitizer_start_switch_fiber(save, target_bottom, target_size);
+#else
+  (void)save;
+  (void)target_bottom;
+  (void)target_size;
+#endif
+}
+
+// `save`: the pointer parked by the start_switch that last left this stack
+// (nullptr on a fiber's first activation). Reports the previous stack's
+// bounds through the out-params — how the fiber learns the kernel stack.
+inline void asan_finish_switch(void* save, const void** old_bottom, std::size_t* old_size) {
+#if defined(SMPI_ASAN_FIBERS)
+  __sanitizer_finish_switch_fiber(save, old_bottom, old_size);
+#else
+  (void)save;
+  (void)old_bottom;
+  (void)old_size;
+#endif
+}
 
 // ---------------------------------------------------------------------------
 // ucontext backend
@@ -153,11 +204,15 @@ class UcontextContext final : public Context {
   void resume() override {
     SMPI_ENSURE(!done_, "resuming a finished context");
     started_ = true;
+    asan_start_switch(&kernel_fake_stack_, stack_.data(), stack_.size());
     swapcontext(&kernel_ctx_, &ctx_);
+    asan_finish_switch(kernel_fake_stack_, nullptr, nullptr);
   }
 
   void suspend() override {
+    asan_start_switch(&fiber_fake_stack_, kernel_stack_bottom_, kernel_stack_size_);
     swapcontext(&ctx_, &kernel_ctx_);
+    asan_finish_switch(fiber_fake_stack_, &kernel_stack_bottom_, &kernel_stack_size_);
     if (kill_requested_) throw ForcedExit{};
   }
 
@@ -165,6 +220,9 @@ class UcontextContext final : public Context {
   static void trampoline(unsigned hi, unsigned lo) {
     auto* self = reinterpret_cast<UcontextContext*>(
         (static_cast<std::uintptr_t>(hi) << 32) | static_cast<std::uintptr_t>(lo));
+    // First activation: no parked fake stack yet; learn the kernel stack's
+    // bounds for the suspend() switches.
+    asan_finish_switch(nullptr, &self->kernel_stack_bottom_, &self->kernel_stack_size_);
     if (!self->kill_requested_) {
       try {
         self->body_();
@@ -173,6 +231,8 @@ class UcontextContext final : public Context {
       }
     }
     self->done_ = true;
+    // nullptr save: this fiber never runs again — release its fake frames.
+    asan_start_switch(nullptr, self->kernel_stack_bottom_, self->kernel_stack_size_);
     swapcontext(&self->ctx_, &self->kernel_ctx_);
     SMPI_UNREACHABLE("resumed a terminated context");
   }
@@ -182,6 +242,11 @@ class UcontextContext final : public Context {
   ucontext_t ctx_{};
   ucontext_t kernel_ctx_{};
   bool started_ = false;
+  // ASan fiber-annotation state (unused outside sanitized builds).
+  void* kernel_fake_stack_ = nullptr;
+  void* fiber_fake_stack_ = nullptr;
+  const void* kernel_stack_bottom_ = nullptr;
+  std::size_t kernel_stack_size_ = 0;
 };
 
 class UcontextFactory final : public ContextFactory {
@@ -244,16 +309,23 @@ class RawContext final : public Context {
   void resume() override {
     SMPI_ENSURE(!done_, "resuming a finished context");
     started_ = true;
+    asan_start_switch(&kernel_fake_stack_, stack_.data(), stack_.size());
     smpi_raw_swap(&kernel_sp_, sp_);
+    asan_finish_switch(kernel_fake_stack_, nullptr, nullptr);
   }
 
   void suspend() override {
+    asan_start_switch(&fiber_fake_stack_, kernel_stack_bottom_, kernel_stack_size_);
     smpi_raw_swap(&sp_, kernel_sp_);
+    asan_finish_switch(fiber_fake_stack_, &kernel_stack_bottom_, &kernel_stack_size_);
     if (kill_requested_) throw ForcedExit{};
   }
 
   // First activation (via smpi_raw_boot); runs on the fiber stack.
   void boot_entry() {
+    // No parked fake stack yet; learn the kernel stack's bounds for the
+    // suspend() switches.
+    asan_finish_switch(nullptr, &kernel_stack_bottom_, &kernel_stack_size_);
     if (!kill_requested_) {
       try {
         body_();
@@ -262,6 +334,8 @@ class RawContext final : public Context {
       }
     }
     done_ = true;
+    // nullptr save: this fiber never runs again — release its fake frames.
+    asan_start_switch(nullptr, kernel_stack_bottom_, kernel_stack_size_);
     smpi_raw_swap(&sp_, kernel_sp_);
     SMPI_UNREACHABLE("resumed a terminated context");
   }
@@ -274,6 +348,11 @@ class RawContext final : public Context {
   void* sp_ = nullptr;         // fiber stack pointer while suspended
   void* kernel_sp_ = nullptr;  // kernel stack pointer while the fiber runs
   bool started_ = false;
+  // ASan fiber-annotation state (unused outside sanitized builds).
+  void* kernel_fake_stack_ = nullptr;
+  void* fiber_fake_stack_ = nullptr;
+  const void* kernel_stack_bottom_ = nullptr;
+  std::size_t kernel_stack_size_ = 0;
 };
 
 class RawFactory final : public ContextFactory {

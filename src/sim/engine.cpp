@@ -36,7 +36,7 @@ Activity::State Activity::wait() {
   return state_;
 }
 
-void Activity::on_completion(std::function<void(Activity&)> callback) {
+void Activity::on_completion(CompletionFn callback) {
   if (completed()) {
     callback(*this);
   } else {
@@ -54,10 +54,22 @@ void Activity::finish(State state) {
     for (Actor* actor : waiters_) engine->wake(actor);
   }
   waiters_.clear();
-  // Callbacks may start new activities or finish other ones.
-  auto callbacks = std::move(callbacks_);
-  callbacks_.clear();
-  for (auto& cb : callbacks) cb(*this);
+  // Callbacks may start new activities or finish other ones — steal the
+  // list before firing so re-registrations land on a clean vector. Most
+  // activities carry no callback; skip the steal for those.
+  if (!callbacks_.empty()) {
+    auto callbacks = std::move(callbacks_);
+    for (auto& cb : callbacks) cb(*this);
+  }
+}
+
+ActivityPtr new_activity(const char* label) {
+  Engine* engine = Engine::current();
+  if (engine != nullptr && engine->pooling()) {
+    return std::allocate_shared<Activity>(PoolAllocator<Activity>(&engine->object_pool()),
+                                          label);
+  }
+  return std::make_shared<Activity>(label);
 }
 
 // ---------------------------------------------------------------------------
@@ -95,7 +107,7 @@ Actor* Engine::spawn(std::string name, int node, std::function<void()> body) {
     body();
     raw->state_ = Actor::State::kDead;
   });
-  runnable_.push_back(raw);
+  runnable_push(raw);
   actors_.push_back(std::move(actor));
   ++live_actors_;
   return raw;
@@ -145,9 +157,8 @@ void Engine::run() {
     // Phase 1: run every runnable actor until it blocks or dies. Actors made
     // runnable during this phase (e.g. woken by a completion triggered from
     // another actor) run within the same phase, at the same date.
-    while (!runnable_.empty()) {
-      Actor* actor = runnable_.front();
-      runnable_.pop_front();
+    while (!runnable_empty()) {
+      Actor* actor = runnable_pop();
       run_actor(actor);
     }
     if (live_actor_count() == 0) break;
@@ -194,7 +205,9 @@ bool Engine::advance_time() {
       calendar_.pop_due(now_, &fired);
       fired.owner->on_calendar_event(now_, fired.tag);
     } else if (timer_due) {
-      auto callback = timers_.top().callback;
+      // priority_queue::top() is const; moving out is safe because pop()
+      // follows immediately (the moved-from callback is never compared).
+      auto callback = std::move(const_cast<Timer&>(timers_.top()).callback);
       timers_.pop();
       callback();
     } else {
@@ -221,7 +234,7 @@ void Engine::wait_on(Activity& activity) {
 
 void Engine::sleep_for(double duration) {
   SMPI_REQUIRE(duration >= 0, "negative sleep");
-  auto token = std::make_shared<Activity>("sleep");
+  auto token = new_activity("sleep");
   add_timer(now_ + duration, [token] { token->finish(Activity::State::kDone); });
   wait_on(*token);
 }
@@ -231,12 +244,12 @@ void Engine::yield() {
   SMPI_REQUIRE(actor != nullptr, "yield outside actor context");
   // Stay kReady (not kBlocked) so a stray wake() cannot enqueue us twice.
   actor->state_ = Actor::State::kReady;
-  runnable_.push_back(actor);
+  runnable_push(actor);
   actor->context_->suspend();
   actor->state_ = Actor::State::kRunning;
 }
 
-void Engine::add_timer(double date, std::function<void()> callback) {
+void Engine::add_timer(double date, TimerFn callback) {
   SMPI_REQUIRE(date >= now_, "timer in the past");
   timers_.push(Timer{date, event_seq_++, std::move(callback)});
   ++timers_created_;
@@ -247,7 +260,7 @@ void Engine::wake(Actor* actor) {
   // (kReady) or running must not be enqueued a second time.
   if (!actor->alive() || actor->state_ != Actor::State::kBlocked) return;
   actor->state_ = Actor::State::kReady;
-  runnable_.push_back(actor);
+  runnable_push(actor);
 }
 
 void Engine::trace(const std::string& label) {

@@ -15,7 +15,7 @@
 // what makes running hundreds of MPI processes inside one OS process safe.
 #pragma once
 
-#include <deque>
+
 #include <functional>
 #include <memory>
 #include <queue>
@@ -28,6 +28,8 @@
 #include "sim/calendar.hpp"
 #include "sim/context.hpp"
 #include "sim/model.hpp"
+#include "sim/pool.hpp"
+#include "sim/small.hpp"
 
 namespace smpi::sim {
 
@@ -35,6 +37,10 @@ struct EngineConfig {
   std::string context_backend;      // "", "ucontext", "thread"
   std::size_t stack_bytes = 512 * 1024;
   bool trace_events = false;        // record (time, label) pairs for determinism tests
+  // Recycle Activities / envelopes / snapshot buffers through engine-owned
+  // free lists. Off = the pre-pooling allocation behavior, kept as the
+  // reference arm for equivalence tests and the p2p microbench.
+  bool pool_objects = true;
 };
 
 class DeadlockError : public std::runtime_error {
@@ -72,9 +78,19 @@ class Engine {
   void yield();
 
   // --- services for models / higher layers --------------------------------
-  void add_timer(double date, std::function<void()> callback);
+  using TimerFn = SmallFunction<void(), 48>;
+  void add_timer(double date, TimerFn callback);
   void wake(Actor* actor);
   EventCalendar& calendar() { return calendar_; }
+
+  // Hot-path object recycling (see sim/pool.hpp). The pools are engine
+  // members so every fork-isolated campaign scenario gets fresh ones; they
+  // are declared first so they outlive every pooled object.
+  bool pooling() const { return config_.pool_objects; }
+  BlockPool& object_pool() { return object_pool_; }
+  BufferPool& buffer_pool() { return buffer_pool_; }
+  const BlockPool& object_pool() const { return object_pool_; }
+  const BufferPool& buffer_pool() const { return buffer_pool_; }
   // Queue `model` for a single on_settle() call before time next advances
   // (idempotent until the settle runs). Use Model::request_settle().
   void request_settle(Model* model);
@@ -107,17 +123,37 @@ class Engine {
   struct Timer {
     double date;
     std::uint64_t seq;  // tie-breaker: firing order == creation order
-    std::function<void()> callback;
+    TimerFn callback;
     bool operator>(const Timer& other) const {
       return date != other.date ? date > other.date : seq > other.seq;
     }
   };
 
   EngineConfig config_;
+  // Destroyed last (declared first): pooled objects live in actors' stack
+  // frames and in the models below, all of which die before these.
+  BlockPool object_pool_;
+  BufferPool buffer_pool_;
   std::unique_ptr<ContextFactory> context_factory_;
   double now_ = 0;
   std::vector<std::unique_ptr<Actor>> actors_;
-  std::deque<Actor*> runnable_;
+  // FIFO of ready actors as a vector + head cursor instead of a deque: the
+  // scheduler drains it fully every round, at which point it resets to
+  // offset 0 with its capacity kept — a deque's chunk recycling would
+  // allocate every ~64 pushes forever, breaking the zero-allocation
+  // steady state the pools exist for.
+  std::vector<Actor*> runnable_;
+  std::size_t runnable_head_ = 0;
+  bool runnable_empty() const { return runnable_head_ == runnable_.size(); }
+  void runnable_push(Actor* actor) { runnable_.push_back(actor); }
+  Actor* runnable_pop() {
+    Actor* actor = runnable_[runnable_head_++];
+    if (runnable_head_ == runnable_.size()) {
+      runnable_.clear();
+      runnable_head_ = 0;
+    }
+    return actor;
+  }
   std::size_t live_actors_ = 0;
   Actor* current_ = nullptr;
   std::vector<std::shared_ptr<Model>> models_;

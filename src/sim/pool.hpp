@@ -1,0 +1,211 @@
+// Engine-owned free-list pools for the per-message hot path.
+//
+// Steady-state collectives create and destroy the same few object shapes
+// millions of times per run: Activities (send/recv tokens, flows, sleeps),
+// envelopes, and eager-payload snapshots. BlockPool recycles the raw memory
+// of small objects (including the shared_ptr control block, via
+// allocate_shared + PoolAllocator) and BufferPool recycles the snapshot
+// byte arrays in power-of-two size classes. Objects are constructed fresh
+// on every acquire ("reset-on-acquire": the pool hands out raw storage, the
+// placement constructor re-establishes every invariant), so recycling can
+// never leak state between messages — or, in the campaign runner, between
+// fork-isolated scenarios, since pools live on the per-scenario Engine.
+//
+// Lifetime rule: the pools are the FIRST members of their owner, so they
+// are destroyed LAST — every pooled object must die before the pool that
+// carries its storage.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace smpi::sim {
+
+struct PoolStats {
+  std::uint64_t hits = 0;    // acquisitions served from a free list
+  std::uint64_t misses = 0;  // acquisitions that had to touch the heap
+};
+
+// Free lists of fixed-granularity raw blocks for small objects. Sizes are
+// rounded up to 64-byte granules; anything beyond kMaxBlockBytes bypasses
+// the pool (counted as a miss — nothing on the hot path is that large).
+class BlockPool {
+ public:
+  BlockPool() = default;
+  BlockPool(const BlockPool&) = delete;
+  BlockPool& operator=(const BlockPool&) = delete;
+
+  ~BlockPool() {
+    for (auto& list : free_) {
+      for (void* block : list) ::operator delete(block);
+    }
+  }
+
+  void* allocate(std::size_t size) {
+    const std::size_t cls = class_of(size);
+    if (cls < free_.size() && !free_[cls].empty()) {
+      void* block = free_[cls].back();
+      free_[cls].pop_back();
+      ++stats_.hits;
+      return block;
+    }
+    ++stats_.misses;
+    if (cls >= kClassCount) return ::operator new(size);
+    return ::operator new((cls + 1) * kGranule);
+  }
+
+  void deallocate(void* block, std::size_t size) noexcept {
+    const std::size_t cls = class_of(size);
+    if (cls >= kClassCount) {
+      ::operator delete(block);
+      return;
+    }
+    if (free_.size() <= cls) free_.resize(cls + 1);
+    free_[cls].push_back(block);
+  }
+
+  const PoolStats& stats() const { return stats_; }
+
+ private:
+  static constexpr std::size_t kGranule = 64;
+  static constexpr std::size_t kMaxBlockBytes = 4096;
+  static constexpr std::size_t kClassCount = kMaxBlockBytes / kGranule;
+
+  static std::size_t class_of(std::size_t size) { return size == 0 ? 0 : (size - 1) / kGranule; }
+
+  std::vector<std::vector<void*>> free_;
+  PoolStats stats_;
+};
+
+// Minimal allocator over a BlockPool, for std::allocate_shared: the object
+// and its control block live in one recycled blob. The pool pointer is
+// captured at construction and must outlive every allocation (see the
+// lifetime rule above).
+template <typename T>
+struct PoolAllocator {
+  using value_type = T;
+
+  explicit PoolAllocator(BlockPool* pool) noexcept : pool(pool) {}
+  template <typename U>
+  PoolAllocator(const PoolAllocator<U>& other) noexcept : pool(other.pool) {}
+
+  T* allocate(std::size_t n) { return static_cast<T*>(pool->allocate(n * sizeof(T))); }
+  void deallocate(T* p, std::size_t n) noexcept { pool->deallocate(p, n * sizeof(T)); }
+
+  template <typename U>
+  bool operator==(const PoolAllocator<U>& other) const noexcept {
+    return pool == other.pool;
+  }
+  template <typename U>
+  bool operator!=(const PoolAllocator<U>& other) const noexcept {
+    return pool != other.pool;
+  }
+
+  BlockPool* pool;
+};
+
+// Recycled byte buffers for eager-payload snapshots, bucketed by
+// power-of-two capacity. The RAII Buffer handle returns its storage on
+// destruction; a handle whose pool has been disabled (or that was acquired
+// through the static unpooled fallback) owns plain heap memory instead.
+class BufferPool {
+ public:
+  class Buffer {
+   public:
+    Buffer() noexcept = default;
+    Buffer(Buffer&& other) noexcept
+        : data_(other.data_), capacity_(other.capacity_), pool_(other.pool_) {
+      other.data_ = nullptr;
+      other.pool_ = nullptr;
+    }
+    Buffer& operator=(Buffer&& other) noexcept {
+      if (this != &other) {
+        release();
+        data_ = other.data_;
+        capacity_ = other.capacity_;
+        pool_ = other.pool_;
+        other.data_ = nullptr;
+        other.pool_ = nullptr;
+      }
+      return *this;
+    }
+    Buffer(const Buffer&) = delete;
+    Buffer& operator=(const Buffer&) = delete;
+    ~Buffer() { release(); }
+
+    unsigned char* get() const noexcept { return data_; }
+    explicit operator bool() const noexcept { return data_ != nullptr; }
+
+    void release() noexcept {
+      if (data_ == nullptr) return;
+      if (pool_ != nullptr) {
+        pool_->put_back(data_, capacity_);
+      } else {
+        delete[] data_;
+      }
+      data_ = nullptr;
+      pool_ = nullptr;
+    }
+
+   private:
+    friend class BufferPool;
+    Buffer(unsigned char* data, std::size_t capacity, BufferPool* pool) noexcept
+        : data_(data), capacity_(capacity), pool_(pool) {}
+
+    unsigned char* data_ = nullptr;
+    std::size_t capacity_ = 0;
+    BufferPool* pool_ = nullptr;
+  };
+
+  BufferPool() = default;
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+  ~BufferPool() {
+    for (auto& list : classes_) {
+      for (unsigned char* buffer : list) delete[] buffer;
+    }
+  }
+
+  Buffer acquire(std::size_t bytes) {
+    const std::size_t cls = class_of(bytes);
+    const std::size_t capacity = std::size_t{1} << cls;
+    if (cls < classes_.size() && !classes_[cls].empty()) {
+      unsigned char* data = classes_[cls].back();
+      classes_[cls].pop_back();
+      ++stats_.hits;
+      return Buffer(data, capacity, this);
+    }
+    ++stats_.misses;
+    return Buffer(new unsigned char[capacity], capacity, this);
+  }
+
+  // Plain-heap buffer for when no pool is available (pooling disabled or no
+  // engine in scope).
+  static Buffer acquire_unpooled(std::size_t bytes) {
+    const std::size_t capacity = bytes == 0 ? 1 : bytes;
+    return Buffer(new unsigned char[capacity], capacity, nullptr);
+  }
+
+  const PoolStats& stats() const { return stats_; }
+
+ private:
+  static std::size_t class_of(std::size_t bytes) {
+    std::size_t cls = 0;
+    while ((std::size_t{1} << cls) < bytes) ++cls;
+    return cls;
+  }
+
+  void put_back(unsigned char* data, std::size_t capacity) noexcept {
+    const std::size_t cls = class_of(capacity);
+    if (classes_.size() <= cls) classes_.resize(cls + 1);
+    classes_[cls].push_back(data);
+  }
+
+  std::vector<std::vector<unsigned char*>> classes_;
+  PoolStats stats_;
+};
+
+}  // namespace smpi::sim

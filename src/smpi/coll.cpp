@@ -95,6 +95,10 @@ int bcast_binomial(void* buffer, int count, MPI_Datatype datatype, int root, MPI
   const int relative = (rank - root + size) % size;
   if (size == 1) return MPI_SUCCESS;
 
+  // Zero-copy eligible: each rank receives into `buffer` exactly once,
+  // strictly before posting any send from it, and never writes it again.
+  CollSendScope zc_scope(current_process_checked(), buffer,
+                         static_cast<std::size_t>(count) * datatype->size());
   int mask = 1;
   while (mask < size) {
     if (relative & mask) {
@@ -141,7 +145,9 @@ int bcast_scatter_ring_allgather(void* buffer, int count, MPI_Datatype datatype,
     data = scratch.get();
     if (rank == root) datatype->pack(buffer, count, data);
   }
-  std::vector<std::size_t> displs(static_cast<std::size_t>(size) + 1, 0);
+  Process& proc = current_process_checked();
+  std::vector<std::size_t>& displs = proc.coll_displs;  // per-rank scratch
+  displs.assign(static_cast<std::size_t>(size) + 1, 0);
   for (int r = 0; r < size; ++r) {
     const std::size_t block = total / static_cast<std::size_t>(size) +
                               (static_cast<std::size_t>(r) < total % static_cast<std::size_t>(size)
@@ -153,9 +159,23 @@ int bcast_scatter_ring_allgather(void* buffer, int count, MPI_Datatype datatype,
     return displs[static_cast<std::size_t>(r) + 1] - displs[static_cast<std::size_t>(r)];
   };
 
+  // Zero-copy eligible over `data` (user buffer or scratch — both outlive
+  // the scope): every block is written by at most one recv, strictly before
+  // any send of that block is posted, and never rewritten.
+  CollSendScope zc_scope(proc, data, total);
+  // A rank posts at most 2(size-1) zero-copy sends per scope (scatter +
+  // ring). Reserving the analytic bound up front keeps later rounds off the
+  // heap even when a message interleaving peaks above every earlier round's
+  // high-water mark (clear() keeps capacity, but only up to the peak seen).
+  proc.zc_outstanding.reserve(2 * static_cast<std::size_t>(size));
+  // Receiver side of the same bound: at most `size` envelopes can sit
+  // unmatched in this rank's coll-scope queue at once.
+  reserve_coll_queues(proc, comm, static_cast<std::size_t>(size) + 1);
+
   // Phase 1: root scatters the blocks (linear, block r to comm rank r).
   if (rank == root) {
-    std::vector<Request*> sends;
+    std::vector<Request*>& sends = proc.coll_requests;  // per-rank scratch
+    sends.clear();
     for (int r = 0; r < size; ++r) {
       if (r == root || block_of(r) == 0) continue;
       Request* req = nullptr;
@@ -408,6 +428,10 @@ int allgather_recursive_doubling(const void* sendbuf, int sendcount, MPI_Datatyp
     sendtype->pack(sendbuf, sendcount, packed.data());
     recvtype->unpack(packed.data(), recvcount, out + static_cast<std::size_t>(rank) * block);
   }
+  // Zero-copy eligible: round k sends a region assembled in rounds < k;
+  // received regions are disjoint from everything already sent.
+  CollSendScope zc_scope(current_process_checked(), out,
+                         static_cast<std::size_t>(size) * block);
   for (int mask = 1; mask < size; mask <<= 1) {
     const int partner = rank ^ mask;
     const int my_start = rank & ~(mask - 1);
@@ -435,6 +459,10 @@ int allgather_ring(const void* sendbuf, int sendcount, MPI_Datatype sendtype, vo
     sendtype->pack(sendbuf, sendcount, packed.data());
     recvtype->unpack(packed.data(), recvcount, out + static_cast<std::size_t>(rank) * block);
   }
+  // Zero-copy eligible: each ring step forwards the block received in the
+  // previous step; a block is written once, before its first send.
+  CollSendScope zc_scope(current_process_checked(), out,
+                         static_cast<std::size_t>(size) * block);
   const int right = (rank + 1) % size;
   const int left = (rank - 1 + size) % size;
   for (int step = 0; step < size - 1; ++step) {
@@ -471,6 +499,10 @@ int alltoall_pairwise(const void* sendbuf, int sendcount, MPI_Datatype sendtype,
     sendtype->pack(in + static_cast<std::size_t>(rank) * send_block, sendcount, packed.data());
     recvtype->unpack(packed.data(), recvcount, out + static_cast<std::size_t>(rank) * recv_block);
   }
+  // Zero-copy eligible: the send buffer is caller-const for the whole call
+  // (MPI_Alltoall rejects MPI_IN_PLACE, so it cannot alias recvbuf).
+  CollSendScope zc_scope(current_process_checked(), in,
+                         static_cast<std::size_t>(size) * send_block);
   // size-1 steps; at step k exchange with ranks at distance k (Figure 10).
   for (int step = 1; step < size; ++step) {
     const int dst = (rank + step) % size;
@@ -495,6 +527,9 @@ int alltoall_basic(const void* sendbuf, int sendcount, MPI_Datatype sendtype, vo
   auto* out = static_cast<unsigned char*>(recvbuf);
   const std::size_t send_block = static_cast<std::size_t>(sendcount) * sendtype->extent();
   const std::size_t recv_block = static_cast<std::size_t>(recvcount) * recvtype->extent();
+  // Zero-copy eligible: caller-const send buffer, no MPI_IN_PLACE aliasing.
+  CollSendScope zc_scope(current_process_checked(), in,
+                         static_cast<std::size_t>(size) * send_block);
   std::vector<Request*> requests;
   for (int r = 0; r < size; ++r) {
     if (r == rank) continue;
@@ -726,6 +761,10 @@ int allreduce_rabenseifner(const void* sendbuf, void* recvbuf, int count, MPI_Da
                           datatype->extent(),
                 my_block.data(), static_cast<std::size_t>(my_count) * datatype->extent());
   }
+  // Zero-copy eligible for the allgather ring: same single-write-then-
+  // forward causality as allgather_ring, over the reduced blocks.
+  CollSendScope zc_scope(current_process_checked(), out,
+                         static_cast<std::size_t>(offset) * datatype->extent());
   const int right = (rank + 1) % size;
   const int left = (rank - 1 + size) % size;
   for (int step = 0; step < size - 1; ++step) {
@@ -772,18 +811,26 @@ int reduce_scatter_pairwise(const void* sendbuf, void* recvbuf, const int recvco
     incoming.resize(std::max<std::size_t>(my_bytes, 1));
   }
 
-  for (int step = 1; step < size; ++step) {
-    const int dst = (rank - step + size) % size;  // they need my contribution for their block
-    const int src = (rank + step) % size;         // they hold a contribution for my block
-    Request* sreq = nullptr;
-    Request* rreq = nullptr;
-    internal_isend(in + displs[static_cast<std::size_t>(dst)] * elem, recvcounts[dst], datatype,
-                   dst, kTagReduceScatter, comm, &sreq, true);
-    internal_irecv(pf ? recvbuf : incoming.data(), static_cast<int>(my_bytes), MPI_BYTE, src,
-                   kTagReduceScatter, comm, &rreq, true);
-    internal_wait(sreq);
-    internal_wait(rreq);
-    if (!pf) op->apply(incoming.data(), acc.data(), my_count, datatype);
+  {
+    // Zero-copy eligible: every send reads a distinct slice of the caller's
+    // contribution, which nothing writes during the exchange. Inner block:
+    // the scope must flush before the final unpack below, in case recvbuf
+    // overlaps the contribution (in-place callers).
+    CollSendScope zc_scope(current_process_checked(), in,
+                           displs[static_cast<std::size_t>(size)] * elem);
+    for (int step = 1; step < size; ++step) {
+      const int dst = (rank - step + size) % size;  // they need my contribution for their block
+      const int src = (rank + step) % size;         // they hold a contribution for my block
+      Request* sreq = nullptr;
+      Request* rreq = nullptr;
+      internal_isend(in + displs[static_cast<std::size_t>(dst)] * elem, recvcounts[dst], datatype,
+                     dst, kTagReduceScatter, comm, &sreq, true);
+      internal_irecv(pf ? recvbuf : incoming.data(), static_cast<int>(my_bytes), MPI_BYTE, src,
+                     kTagReduceScatter, comm, &rreq, true);
+      internal_wait(sreq);
+      internal_wait(rreq);
+      if (!pf) op->apply(incoming.data(), acc.data(), my_count, datatype);
+    }
   }
   if (!pf) datatype->unpack(acc.data(), my_count, recvbuf);
   return MPI_SUCCESS;

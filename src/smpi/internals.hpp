@@ -8,6 +8,7 @@
 #include <cstring>
 #include <deque>
 #include <functional>
+#include <limits>
 #include <list>
 #include <memory>
 #include <string>
@@ -17,6 +18,7 @@
 #include <vector>
 
 #include "sim/activity.hpp"
+#include "sim/pool.hpp"
 #include "smpi/mpi.h"
 #include "smpi/smpi.hpp"
 
@@ -172,9 +174,15 @@ struct Envelope {
   int comm_id = 0;
   std::size_t bytes = 0;
   bool eager = true;
-  // Eager: owned copy of the (packed) payload. Rendezvous: null, payload
-  // read from the sender's buffer when the transfer completes.
-  std::unique_ptr<unsigned char[]> eager_data;
+  // Eager snapshot: owned (pooled) copy of the packed payload. Null for
+  // zero-copy eager sends (payload read from `zc_src` at match time) and
+  // for rendezvous (payload read from the sender's buffer at transfer end).
+  sim::BufferPool::Buffer eager_data;
+  // Zero-copy eager: the sender's source bytes, proven stable for the
+  // enclosing collective scope (see CollSendScope). The payload is copied
+  // out at match time — the earliest point the receiver is known — which by
+  // the collective's own send/recv causality precedes any later overwrite.
+  const unsigned char* zc_src = nullptr;
   Request* send_request = nullptr;  // rendezvous back-pointer
   sim::ActivityPtr data_flow;       // eager: started at send time
   sim::ActivityPtr rts_flow;        // rendezvous protocol emulation
@@ -189,6 +197,7 @@ class Request {
   bool persistent = false;
   bool active = false;       // between Start and completion
   bool released = false;     // user freed the handle
+  bool recycled = false;     // parked on the owner's free list
   bool ever_started = false;
 
   // Parameters (retained for persistent restart).
@@ -217,9 +226,12 @@ class Request {
   bool completed() const { return token == nullptr || token->completed(); }
 };
 
+// Vectors, not lists: the queues are almost always short (matching hits the
+// front), and erase-at-position preserves arrival order, which is what the
+// MPI non-overtaking guarantee needs. A list costs a malloc/free per message.
 struct MatchQueues {
-  std::list<std::shared_ptr<Envelope>> unexpected;  // posted sends, not yet matched
-  std::list<Request*> posted_recvs;                 // receives waiting for a sender
+  std::vector<std::shared_ptr<Envelope>> unexpected;  // posted sends, not yet matched
+  std::vector<Request*> posted_recvs;                 // receives waiting for a sender
 };
 
 // ---------------------------------------------------------------------------
@@ -304,6 +316,17 @@ class Process {
 
   // Receiver-side matching state, keyed by communicator id.
   std::unordered_map<int, MatchQueues> matching;
+  // One-entry lookup cache: collective traffic hits the same (comm, scope)
+  // key for every message, and map entries are never erased, so the cached
+  // pointer stays valid for the process lifetime (unordered_map values are
+  // node-stable across rehashes).
+  MatchQueues& match_queues(int key) {
+    if (key != match_cache_key_) {
+      match_cache_key_ = key;
+      match_cache_ = &matching[key];
+    }
+    return *match_cache_;
+  }
   // Completed & replaced whenever a new envelope arrives (MPI_Probe wakes on it).
   sim::ActivityPtr arrival_signal;
   void signal_arrival();
@@ -343,15 +366,65 @@ class Process {
   std::vector<std::unique_ptr<Comm>> owned_comms;
 
   std::vector<std::unique_ptr<Request>> owned_requests;
+  // Requests reclaimed by gc_requests, handed back (reset) by new_request:
+  // steady state reuses slots instead of growing/erasing owned_requests.
+  std::vector<Request*> free_requests;
   Request* new_request();
-  // Reclaims completed+released requests. Batched: the linear sweep runs
-  // once per kGcBatch releases, not per release — a root waiting out 1024
-  // scatter sends otherwise rescans its request table per completion.
+  // Reclaims completed+released requests onto the free list. Batched: the
+  // linear sweep runs once per kGcBatch releases, not per release — a root
+  // waiting out 1024 scatter sends otherwise rescans its request table per
+  // completion.
   void gc_requests();
+  // Parks one completed+released request on the free list immediately (the
+  // common case at wait/free sites; no table scan).
+  void recycle_request(Request* r);
+
+  // --- zero-copy eager state (see CollSendScope in p2p.cpp) ---------------
+  // Source byte ranges registered as stable by the collective algorithm
+  // currently running on this rank (a stack: scopes nest conservatively).
+  struct StableRange {
+    const unsigned char* begin = nullptr;
+    const unsigned char* end = nullptr;
+  };
+  std::vector<StableRange> stable_ranges;
+  // Zero-copy envelopes posted by this rank since the outermost scope was
+  // entered. Any still unmatched at scope exit is snapshotted into a pooled
+  // buffer (the source is still live inside the MPI call), so the proof
+  // degrades safely instead of dangling.
+  std::vector<std::shared_ptr<Envelope>> zc_outstanding;
+
+  // Per-rank collective scratch, cleared per call but never freed: the
+  // steady-state collective loop must not touch the heap (asserted by
+  // test_p2p_pool). Safe to share across algorithms because exactly one
+  // collective runs on a rank at a time and none recurses into another
+  // while its own scratch is live.
+  std::vector<std::size_t> coll_displs;
+  std::vector<Request*> coll_requests;
 
  private:
   static constexpr int kGcBatch = 64;
   int gc_pending_ = 0;
+  int match_cache_key_ = std::numeric_limits<int>::min();
+  MatchQueues* match_cache_ = nullptr;
+};
+
+// RAII registration of a stable send-source range for zero-copy eager mode.
+// A collective algorithm wraps the region its internal sends read from —
+// after any initial pack/copy into it — in one of these; eager coll-scope
+// sends of basic (non-packing) layout whose bytes lie inside a registered
+// range then skip the snapshot copy and deliver from the source at match
+// time. Destruction unregisters the range and snapshots every still-
+// unmatched zero-copy envelope of the rank.
+class CollSendScope {
+ public:
+  CollSendScope(Process& proc, const void* begin, std::size_t bytes);
+  ~CollSendScope();
+  CollSendScope(const CollSendScope&) = delete;
+  CollSendScope& operator=(const CollSendScope&) = delete;
+
+ private:
+  Process& proc_;
+  bool registered_ = false;
 };
 
 // ---------------------------------------------------------------------------
@@ -384,6 +457,12 @@ int internal_isend(const void* buf, int count, Datatype* type, int dest, int tag
 int internal_irecv(void* buf, int count, Datatype* type, int src, int tag, Comm* comm,
                    Request** out, bool coll = false);
 int internal_wait(Request* request);
+
+// Pre-size this rank's coll-scope match queues for a collective expecting up
+// to `messages` concurrently unmatched envelopes / posted recvs. reserve()
+// is a no-op once warm, so steady-state rounds stay off the heap even when
+// a late interleaving peaks above every earlier round's high-water mark.
+void reserve_coll_queues(Process& proc, Comm* comm, std::size_t messages);
 
 // Sampling/memory helpers (sample.cpp / shared.cpp); called between
 // simulations so one world's folded state never leaks into the next.

@@ -50,8 +50,16 @@ void copy_payload_to_receiver(const Envelope& env, Request& recv) {
   // moves — eager envelopes carry no snapshot to read from.
   if (config().payload_free) return;
 
-  if (env.eager_data != nullptr) {
+  if (env.eager_data) {
     recv.datatype->unpack_bytes(env.eager_data.get(), bytes, recv.recv_buf);
+    return;
+  }
+  if (env.zc_src != nullptr) {
+    // Zero-copy eager: deliver straight from the sender's stable buffer.
+    auto& counters = SmpiWorld::instance()->p2p_raw();
+    ++counters.eager_copy_elided;
+    counters.bytes_not_copied += bytes;
+    recv.datatype->unpack_bytes(env.zc_src, bytes, recv.recv_buf);
     return;
   }
   // Rendezvous: read from the sender's live buffer.
@@ -67,14 +75,14 @@ void copy_payload_to_receiver(const Envelope& env, Request& recv) {
 }
 
 void complete_receive_after(Request& recv, double extra_delay) {
-  auto* engine = &SmpiWorld::instance()->engine();
-  sim::ActivityPtr token = recv.token;
   if (extra_delay <= 0) {
-    token->finish(sim::Activity::State::kDone);
+    recv.token->finish(sim::Activity::State::kDone);
     return;
   }
+  auto* engine = &SmpiWorld::instance()->engine();
+  sim::ActivityPtr token = recv.token;
   engine->add_timer(engine->now() + extra_delay,
-                    [token] { token->finish(sim::Activity::State::kDone); });
+                    [token = std::move(token)] { token->finish(sim::Activity::State::kDone); });
 }
 
 // Start the rendezvous data transfer once the (possibly emulated) control
@@ -105,11 +113,17 @@ void match(std::shared_ptr<Envelope> env, Request& recv) {
   const double o_recv = world->config().personality.overhead_recv_s;
 
   if (env->eager) {
+    // Copy the payload out NOW, at match time — the earliest point the
+    // receiver is known. For zero-copy envelopes this is what makes the
+    // scheme safe (the collective's causality guarantees the source is
+    // unmodified until its receiver matched); for snapshots it returns the
+    // staging buffer to the pool one network-latency earlier. The receiver
+    // is blocked until the flow completes, so it cannot observe the early
+    // write, and simulated time is untouched.
+    copy_payload_to_receiver(*env, recv);
     Request* recv_ptr = &recv;
-    env->data_flow->on_completion([env, recv_ptr, o_recv](sim::Activity&) {
-      copy_payload_to_receiver(*env, *recv_ptr);
-      complete_receive_after(*recv_ptr, o_recv);
-    });
+    env->data_flow->on_completion(
+        [recv_ptr, o_recv](sim::Activity&) { complete_receive_after(*recv_ptr, o_recv); });
     return;
   }
   // Rendezvous: CTS back to the sender (emulated mode), then the data.
@@ -129,7 +143,7 @@ void match(std::shared_ptr<Envelope> env, Request& recv) {
 }
 
 void try_match_new_envelope(Process& receiver, std::shared_ptr<Envelope> env) {
-  MatchQueues& queues = receiver.matching[env->comm_id];
+  MatchQueues& queues = receiver.match_queues(env->comm_id);
   for (auto it = queues.posted_recvs.begin(); it != queues.posted_recvs.end(); ++it) {
     if (matches(*env, **it)) {
       Request* recv = *it;
@@ -151,18 +165,73 @@ void Process::signal_arrival() {
   old->finish(sim::Activity::State::kDone);
 }
 
+namespace {
+// Does [begin, begin+bytes) lie fully inside a registered stable range?
+bool in_stable_range(const Process& proc, const unsigned char* begin, std::size_t bytes) {
+  const unsigned char* end = begin + bytes;
+  for (const auto& range : proc.stable_ranges) {
+    if (begin >= range.begin && end <= range.end) return true;
+  }
+  return false;
+}
+
+// Degrade the zero-copy proof safely: any envelope this rank posted that is
+// still unmatched when its stable scope ends gets a (pooled) snapshot now,
+// while the source buffer is guaranteed live — we are still inside the MPI
+// call that registered it. Matched envelopes already copied out at match.
+void flush_zero_copy(Process& proc) {
+  if (proc.zc_outstanding.empty()) return;
+  auto* world = proc.world;
+  auto& engine = world->engine();
+  for (auto& env : proc.zc_outstanding) {
+    if (env->matched || env->zc_src == nullptr) continue;
+    env->eager_data = engine.pooling() ? engine.buffer_pool().acquire(env->bytes)
+                                       : sim::BufferPool::acquire_unpooled(env->bytes);
+    std::memcpy(env->eager_data.get(), env->zc_src, env->bytes);
+    env->zc_src = nullptr;
+    ++world->p2p_raw().eager_flush_snapshots;
+  }
+  proc.zc_outstanding.clear();
+}
+}  // namespace
+
+void reserve_coll_queues(Process& proc, Comm* comm, std::size_t messages) {
+  MatchQueues& queues = proc.match_queues(scope_key(comm, true));
+  queues.unexpected.reserve(messages);
+  queues.posted_recvs.reserve(messages);
+}
+
+CollSendScope::CollSendScope(Process& proc, const void* begin, std::size_t bytes)
+    : proc_(proc) {
+  if (begin == nullptr || bytes == 0) return;
+  if (!config().zero_copy_eager || config().payload_free) return;
+  const auto* base = static_cast<const unsigned char*>(begin);
+  proc_.stable_ranges.push_back({base, base + bytes});
+  registered_ = true;
+}
+
+CollSendScope::~CollSendScope() {
+  if (!registered_) return;
+  proc_.stable_ranges.pop_back();
+  // Conservative under nesting: flushing everything outstanding may
+  // snapshot an envelope whose (outer) range is still valid — safe, just a
+  // lost elision.
+  flush_zero_copy(proc_);
+}
+
 void post_send(Request& request) {
   auto* world = SmpiWorld::instance();
   auto& engine = world->engine();
-  request.token = std::make_shared<sim::Activity>("send");
+  // Sends that complete inside this call never get a token: a null token
+  // reads as completed (Request::completed()), so the eager fast path skips
+  // an Activity allocation + finish per message. Only the rendezvous branch
+  // below needs a real token to block on.
+  request.token = nullptr;
   request.status_error = MPI_SUCCESS;
   request.active = true;
   request.ever_started = true;
 
-  if (request.peer == MPI_PROC_NULL) {
-    request.token->finish(sim::Activity::State::kDone);
-    return;
-  }
+  if (request.peer == MPI_PROC_NULL) return;
 
   const Personality& personality = config().personality;
   const std::size_t bytes = static_cast<std::size_t>(request.count) * request.datatype->size();
@@ -177,7 +246,9 @@ void post_send(Request& request) {
   const int dst_world = request.comm->world_rank(request.peer);
   Process* receiver = world->process(dst_world);
 
-  auto env = std::make_shared<Envelope>();
+  auto env = engine.pooling() ? std::allocate_shared<Envelope>(
+                                    sim::PoolAllocator<Envelope>(&engine.object_pool()))
+                              : std::make_shared<Envelope>();
   env->src_comm_rank = request.comm->rank_of_world(src_world);
   env->src_world_rank = src_world;
   env->dst_world_rank = dst_world;
@@ -189,14 +260,29 @@ void post_send(Request& request) {
   if (eager) {
     // Buffered: snapshot the payload and ship it; the send completes now.
     // Payload-free mode ships only the size — no allocation, no copy.
+    // Zero-copy: a coll-scope send of basic layout whose bytes sit inside a
+    // CollSendScope-registered range skips the snapshot — the payload is
+    // read from the source at match time (or snapshotted at scope exit if
+    // the receiver never showed up; see flush_zero_copy).
     if (!config().payload_free) {
-      env->eager_data = std::make_unique<unsigned char[]>(std::max<std::size_t>(bytes, 1));
-      request.datatype->pack(request.send_buf, request.count, env->eager_data.get());
+      const auto* src = static_cast<const unsigned char*>(request.send_buf);
+      const bool zero_copy = bytes > 0 && request.coll_scope && config().zero_copy_eager &&
+                             !request.datatype->needs_packing() &&
+                             in_stable_range(*request.owner, src, bytes);
+      if (zero_copy) {
+        env->zc_src = src;
+        request.owner->zc_outstanding.push_back(env);
+      } else {
+        env->eager_data = engine.pooling() ? engine.buffer_pool().acquire(bytes)
+                                           : sim::BufferPool::acquire_unpooled(bytes);
+        request.datatype->pack(request.send_buf, request.count, env->eager_data.get());
+        ++world->p2p_raw().eager_snapshots;
+      }
     }
     env->data_flow = world->network().start_flow(request.owner->node, receiver->node,
                                                  static_cast<double>(bytes), {});
-    request.token->finish(sim::Activity::State::kDone);
   } else {
+    request.token = sim::new_activity("send");
     env->send_request = &request;
     if (personality.emulate_protocol_messages) {
       env->rts_flow = world->network().start_flow(request.owner->node, receiver->node, 0, {});
@@ -206,21 +292,21 @@ void post_send(Request& request) {
 }
 
 void post_recv(Request& request) {
-  request.token = std::make_shared<sim::Activity>("recv");
   request.status_error = MPI_SUCCESS;
   request.status_bytes = 0;
   request.active = true;
   request.ever_started = true;
 
   if (request.peer == MPI_PROC_NULL) {
+    request.token = nullptr;  // null token == already complete
     request.status_source = MPI_PROC_NULL;
     request.status_tag = MPI_ANY_TAG;
-    request.token->finish(sim::Activity::State::kDone);
     return;
   }
+  request.token = sim::new_activity("recv");
 
   Process& receiver = *request.owner;
-  MatchQueues& queues = receiver.matching[scope_key(request.comm, request.coll_scope)];
+  MatchQueues& queues = receiver.match_queues(scope_key(request.comm, request.coll_scope));
   for (auto it = queues.unexpected.begin(); it != queues.unexpected.end(); ++it) {
     if (matches(**it, request)) {
       auto env = *it;
@@ -252,7 +338,9 @@ int finalize_completed(Request*& request, MPI_Status* status) {
   if (!request->persistent) {
     request->released = true;
     Process* owner = request->owner;
+    Request* released = request;
     request = MPI_REQUEST_NULL;
+    owner->recycle_request(released);
     owner->gc_requests();
   }
   return rc;
@@ -275,7 +363,7 @@ int wait_request(Request*& request, MPI_Status* status) {
     }
     return MPI_SUCCESS;
   }
-  request->token->wait();
+  if (request->token != nullptr) request->token->wait();
   return finalize_completed(request, status);
 }
 
@@ -416,7 +504,7 @@ void charge_unsuccessful_poll(SourceCollector&& collect_wake_sources) {
   if (wake_sources.empty()) {
     engine.sleep_for(kTestPollInterval);
   } else {
-    auto merged = std::make_shared<sim::Activity>("poll");
+    auto merged = sim::new_activity("poll");
     for (const auto& source : wake_sources) {
       // One forwarder per token, ever: it wakes the *current* block. (If a
       // never-completing token dies and a new one is allocated at the same
@@ -687,7 +775,10 @@ int MPI_Request_free(MPI_Request* request) {
   }
   req->released = true;
   *request = MPI_REQUEST_NULL;
-  if (!req->active) req->owner->gc_requests();
+  if (!req->active) {
+    req->owner->recycle_request(req);
+    req->owner->gc_requests();
+  }
   return MPI_SUCCESS;
 }
 
@@ -725,7 +816,7 @@ int waitany_impl(int count, MPI_Request requests[], int* index, MPI_Status* stat
   // Block on a fresh merged token finished by whichever request completes
   // first. Late finishes on the same token are harmless (finish is
   // idempotent).
-  auto merged = std::make_shared<sim::Activity>("waitany");
+  auto merged = sim::new_activity("waitany");
   for (int i = 0; i < count; ++i) {
     if (is_pending(requests[i])) {
       requests[i]->token->on_completion(
@@ -984,7 +1075,7 @@ int MPI_Iprobe(int source, int tag, MPI_Comm comm, int* flag, MPI_Status* status
     // The next thing that can change the answer is an envelope arrival.
     charge_unsuccessful_poll([&proc] {
       if (proc.arrival_signal == nullptr) {
-        proc.arrival_signal = std::make_shared<sim::Activity>("probe");
+        proc.arrival_signal = sim::new_activity("probe");
       }
       return std::vector<sim::ActivityPtr>{proc.arrival_signal};
     });
@@ -1013,7 +1104,7 @@ int MPI_Probe(int source, int tag, MPI_Comm comm, MPI_Status* status) {
       return MPI_SUCCESS;
     }
     if (proc.arrival_signal == nullptr) {
-      proc.arrival_signal = std::make_shared<sim::Activity>("probe");
+      proc.arrival_signal = sim::new_activity("probe");
     }
     proc.arrival_signal->wait();
   }

@@ -88,6 +88,14 @@ struct SmpiConfig {
   // Forced collective-algorithm variants (campaign what-ifs); see above.
   CollSelection coll;
 
+  // Zero-copy eager mode: collective-internal eager sends whose source
+  // buffer is registered as stable for the enclosing algorithm skip the
+  // snapshot copy and deliver straight from the user buffer at match time.
+  // Timing is unaffected (the copy is modeled via copy_cost_s_per_byte
+  // either way); this only changes how payload bytes move through the
+  // simulator. Off = always snapshot (reference arm for equivalence tests).
+  bool zero_copy_eager = true;
+
   // Payload-free mode (offline trace replay): message *sizes* drive all
   // timing but payload bytes are never materialized — eager sends skip the
   // snapshot copy, receives skip the unpack, datatype pack/unpack and
@@ -102,6 +110,19 @@ struct MemoryReport {
   std::uint64_t unfolded_peak_bytes = 0;  // what m processes would have used
   std::uint64_t max_rank_peak_bytes = 0;  // largest single-rank footprint
   bool over_budget = false;               // unfolded footprint exceeds the host budget
+};
+
+// Hot-path accounting for the p2p transfer engine: how well the free-list
+// pools recycle (hits vs heap fallbacks), and how often the zero-copy eager
+// path elided the snapshot memcpy. `bytes_not_copied` is the payload volume
+// that never went through an eager staging buffer.
+struct P2pCounters {
+  std::uint64_t pool_hits = 0;             // engine pools: block + buffer reuse
+  std::uint64_t pool_misses = 0;           // engine pools: fresh heap allocations
+  std::uint64_t eager_snapshots = 0;       // eager sends that copied into a staging buffer
+  std::uint64_t eager_copy_elided = 0;     // eager sends proven stable: no snapshot taken
+  std::uint64_t eager_flush_snapshots = 0; // zero-copy envelopes snapshotted at scope exit
+  std::uint64_t bytes_not_copied = 0;      // payload bytes delivered without staging
 };
 
 using MpiMain = std::function<void(int argc, char** argv)>;
@@ -121,6 +142,9 @@ class SmpiWorld {
 
   double simulated_time() const { return finish_time_; }
   MemoryReport memory_report() const;
+  // Hot-path accounting: smpi-layer counters merged with the engine's pool
+  // statistics (valid for the lifetime of the world).
+  P2pCounters p2p_counters() const;
   bool aborted() const { return aborted_; }
   int abort_code() const { return abort_code_; }
 
@@ -140,6 +164,7 @@ class SmpiWorld {
   MemoryTracker& memory() { return *memory_; }
   void record_abort(int code);
   int next_comm_id() { return next_comm_id_++; }
+  P2pCounters& p2p_raw() { return p2p_counters_; }  // smpi-layer increments
 
  private:
   const platform::Platform& platform_;
@@ -157,6 +182,7 @@ class SmpiWorld {
   std::exception_ptr first_exception_;
   std::vector<std::string> argv_storage_;
   std::vector<char*> argv_pointers_;
+  P2pCounters p2p_counters_;  // pool fields filled from the engine on read
   double finish_time_ = 0;
   bool aborted_ = false;
   int abort_code_ = 0;

@@ -103,23 +103,34 @@ Process::~Process() {
 }
 
 Request* Process::new_request() {
+  if (!free_requests.empty()) {
+    Request* r = free_requests.back();
+    free_requests.pop_back();
+    *r = Request{};  // reset-on-acquire: every field back to its default
+    r->owner = this;
+    return r;
+  }
   owned_requests.push_back(std::make_unique<Request>());
   Request* r = owned_requests.back().get();
   r->owner = this;
   return r;
 }
 
+void Process::recycle_request(Request* r) {
+  if (r->recycled || !r->released || r->active || !r->completed()) return;
+  r->token.reset();  // drop the activity now; the slot may idle a while
+  r->pending_envelope = nullptr;
+  r->recycled = true;
+  free_requests.push_back(r);
+}
+
 void Process::gc_requests() {
-  if (++gc_pending_ < kGcBatch && owned_requests.size() >= static_cast<std::size_t>(kGcBatch)) {
-    return;  // let garbage accumulate; the sweep amortizes over the batch
-  }
+  // Release sites recycle their own request directly (recycle_request); this
+  // sweep only catches requests freed while still in flight, whose released
+  // flag was set long before completion — rare, so it runs once per batch.
+  if (++gc_pending_ < kGcBatch) return;
   gc_pending_ = 0;
-  owned_requests.erase(
-      std::remove_if(owned_requests.begin(), owned_requests.end(),
-                     [](const std::unique_ptr<Request>& r) {
-                       return r->released && !r->active && r->completed();
-                     }),
-      owned_requests.end());
+  for (auto& r : owned_requests) recycle_request(r.get());
 }
 
 // ---------------------------------------------------------------------------
@@ -238,6 +249,17 @@ void SmpiWorld::run(int nprocs, MpiMain app, std::vector<std::string> args,
   }
   finish_time_ = engine_->now();
   if (first_exception_ != nullptr) std::rethrow_exception(first_exception_);
+}
+
+P2pCounters SmpiWorld::p2p_counters() const {
+  P2pCounters counters = p2p_counters_;
+  if (engine_ != nullptr) {
+    const auto& blocks = engine_->object_pool().stats();
+    const auto& buffers = engine_->buffer_pool().stats();
+    counters.pool_hits = blocks.hits + buffers.hits;
+    counters.pool_misses = blocks.misses + buffers.misses;
+  }
+  return counters;
 }
 
 MemoryReport SmpiWorld::memory_report() const {

@@ -30,7 +30,7 @@ sim::ActivityPtr CpuModel::execute(int node, double flops) {
   SMPI_REQUIRE(flops >= 0, "negative computation");
   auto* engine = sim::Engine::current();
   SMPI_REQUIRE(engine != nullptr, "execute outside a simulation");
-  auto activity = std::make_shared<sim::Activity>("exec");
+  auto activity = sim::new_activity("exec");
   if (flops <= 0) {
     activity->finish(sim::Activity::State::kDone);
     return activity;

@@ -44,7 +44,21 @@ int MaxMinSystem::new_variable(double weight, double bound) {
   if (!free_variable_ids_.empty()) {
     id = free_variable_ids_.back();
     free_variable_ids_.pop_back();
-    variables_[static_cast<std::size_t>(id)] = Variable{};
+    // Field-wise reset keeps the constraints vector's capacity — a recycled
+    // variable re-attaches to about as many links as its predecessor, and a
+    // whole-struct assignment made every attach re-grow from zero.
+    auto& recycled = variables_[static_cast<std::size_t>(id)];
+    recycled.weight = 1;
+    recycled.bound = kUnbounded;
+    recycled.value = 0;
+    recycled.old_value = 0;
+    recycled.fixed_by = -1;
+    recycled.active = false;
+    recycled.fixed = false;
+    recycled.in_set = false;
+    recycled.in_pass = false;
+    recycled.seeded = false;
+    recycled.constraints.clear();
   } else {
     id = static_cast<int>(variables_.size());
     variables_.emplace_back();
@@ -537,9 +551,10 @@ void MaxMinSystem::solve_subset(const std::vector<int>& cons_ids,
         const auto& cons = constraints_[static_cast<std::size_t>(c)];
         if (cons.weight_sum <= 0) continue;
         if (cons.remaining / cons.weight_sum > cutoff) continue;
-        // Iterate over a copy: fix_variable mutates weight_sum/remaining.
-        const auto members = cons.variables;
-        for (int v : members) {
+        // Iterate over a snapshot (reused scratch, so the steady-state solve
+        // stays allocation-free): fix_variable mutates weight_sum/remaining.
+        fill_members_.assign(cons.variables.begin(), cons.variables.end());
+        for (int v : fill_members_) {
           auto& var = variables_[static_cast<std::size_t>(v)];
           if (!var.active || var.fixed) continue;
           fix_variable(var, mu_constraint * var.weight, c);

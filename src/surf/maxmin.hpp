@@ -157,6 +157,7 @@ class MaxMinSystem {
   std::vector<int> promoted_cons_;          // scratch: boundaries promoted this round
   std::vector<int> boundary_cons_;          // scratch: current boundary frontier
   std::vector<int> all_cons_;               // scratch: active_cons_ + boundary_cons_
+  std::vector<int> fill_members_;           // scratch: saturation-event member snapshot
   std::vector<int> last_solved_;
   std::size_t active_variables_ = 0;
   bool dirty_ = false;

@@ -39,13 +39,18 @@ const FlowNetworkModel::RouteInfo& FlowNetworkModel::route_info(int src_node,
   const std::uint64_t key = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src_node))
                              << 32) |
                             static_cast<std::uint32_t>(dst_node);
-  auto it = route_cache_.find(key);
-  if (it != route_cache_.end()) return it->second;
-  RouteInfo info;
-  info.links = &platform_.route(src_node, dst_node);
-  info.latency = platform_.route_latency(src_node, dst_node);
-  info.bottleneck = platform_.route_min_bandwidth(src_node, dst_node);
-  return route_cache_.emplace(key, info).first->second;
+  if (route_cache_.empty()) route_cache_.resize(kRouteCacheSize);
+  // Fibonacci hash to spread (src, dst) pairs across the table.
+  const std::size_t index =
+      static_cast<std::size_t>((key * 0x9E3779B97F4A7C15ull) >> 32) & (kRouteCacheSize - 1);
+  RouteEntry& entry = route_cache_[index];
+  if (entry.key != key) {
+    entry.key = key;
+    entry.info.links = &platform_.route(src_node, dst_node);
+    entry.info.latency = platform_.route_latency(src_node, dst_node);
+    entry.info.bottleneck = platform_.route_min_bandwidth(src_node, dst_node);
+  }
+  return entry.info;
 }
 
 void FlowNetworkModel::path_parameters(int src_node, int dst_node, double bytes,
@@ -83,7 +88,7 @@ sim::ActivityPtr FlowNetworkModel::start_flow(int src_node, int dst_node, double
   SMPI_REQUIRE(engine != nullptr, "start_flow outside a simulation");
   ++total_flows_;
 
-  auto activity = std::make_shared<sim::Activity>("flow");
+  auto activity = sim::new_activity("flow");
   if (src_node == dst_node) {
     // Loopback: modeled as instantaneous (memcpy cost is charged by the MPI
     // layer's personality overheads, not the network).
@@ -103,45 +108,74 @@ sim::ActivityPtr FlowNetworkModel::start_flow(int src_node, int dst_node, double
     return activity;
   }
 
-  auto flow = std::make_shared<Flow>();
-  flow->id = next_flow_id_++;
-  flow->activity = activity;
-  flow->bound = bound;
-
+  const std::uint32_t slot = acquire_slot();
+  Flow& flow = *slots_[slot];
+  flow.activity = activity;
+  flow.bound = bound;
+  flow.in_latency = true;
   // The platform's route storage is immutable for the model's lifetime:
-  // capture a pointer instead of copying the link list into the closure.
-  const std::vector<int>* links = route_info(src_node, dst_node).links;
-  engine->add_timer(engine->now() + latency, [this, flow = std::move(flow), links, bytes] {
-    promote(flow, *links, bytes);
-  });
+  // keep a pointer instead of copying the link list.
+  flow.pending_links = route_info(src_node, dst_node).links;
+  flow.pending_bytes = bytes;
+  flow.event = calendar().schedule(engine->now() + latency, this, pack_tag(slot, flow.gen));
   SMPI_LOG_DEBUG(log_surf, "flow " << src_node << "->" << dst_node << " size=" << bytes
                                    << " lat=" << latency << " bound=" << bound);
   return activity;
 }
 
-void FlowNetworkModel::promote(std::shared_ptr<Flow> flow, const std::vector<int>& links,
-                               double bytes) {
-  if (flow->activity->completed()) return;  // canceled during latency phase
+std::uint32_t FlowNetworkModel::acquire_slot() {
+  ++active_flows_;
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  const std::uint32_t slot = static_cast<std::uint32_t>(slots_.size());
+  slots_.push_back(std::make_unique<Flow>());
+  slots_.back()->slot = slot;
+  return slot;
+}
+
+void FlowNetworkModel::retire_slot(std::uint32_t slot) {
+  Flow& flow = *slots_[slot];
+  ++flow.gen;  // invalidate any stale calendar reference
+  flow.activity.reset();
+  flow.var = -1;
+  flow.in_latency = false;
+  flow.pending_links = nullptr;
+  flow.event = sim::EventCalendar::kNoEvent;
+  free_slots_.push_back(slot);
+  --active_flows_;
+}
+
+void FlowNetworkModel::promote(std::uint32_t slot, std::uint32_t gen,
+                               const std::vector<int>& links, double bytes) {
+  Flow& flow = *slots_[slot];
+  if (flow.gen != gen) return;  // slot already recycled
+  if (flow.activity->completed()) {
+    // Canceled during the latency phase: the flow never enters the
+    // bandwidth-sharing system.
+    retire_slot(slot);
+    return;
+  }
   const double now = sim::Engine::current()->now();
-  flow->work.start(bytes, now);
-  Flow* raw = flow.get();
-  flows_.emplace(flow->id, std::move(flow));
+  flow.work.start(bytes, now);
   if (config_.contention) {
-    raw->var = system_.new_variable(1.0, raw->bound);
-    if (var_to_flow_.size() <= static_cast<std::size_t>(raw->var)) {
-      var_to_flow_.resize(static_cast<std::size_t>(raw->var) + 1, nullptr);
+    flow.var = system_.new_variable(1.0, flow.bound);
+    if (var_to_flow_.size() <= static_cast<std::size_t>(flow.var)) {
+      var_to_flow_.resize(static_cast<std::size_t>(flow.var) + 1, nullptr);
     }
-    var_to_flow_[static_cast<std::size_t>(raw->var)] = raw;
+    var_to_flow_[static_cast<std::size_t>(flow.var)] = &flow;
     for (int link : links) {
       const int constraint = link_constraint_[static_cast<std::size_t>(link)];
-      if (constraint >= 0) system_.attach(raw->var, constraint);
+      if (constraint >= 0) system_.attach(flow.var, constraint);
     }
     // Deferred: when a collective promotes many flows at one date, the
     // engine settles (one re-solve) once for the whole batch.
     request_settle();
   } else {
-    raw->work.set_rate(raw->bound, now);
-    reschedule(*raw, now);
+    flow.work.set_rate(flow.bound, now);
+    reschedule(flow, now);
   }
 }
 
@@ -169,28 +203,38 @@ void FlowNetworkModel::reschedule(Flow& flow, double now) {
   // Move the existing heap entry in place; schedule afresh only when the
   // flow has none (first rate) or it already fired.
   if (flow.event == sim::EventCalendar::kNoEvent || !calendar().update(flow.event, date)) {
-    flow.event = calendar().schedule(date, this, flow.id);
+    flow.event = calendar().schedule(date, this, pack_tag(flow.slot, flow.gen));
   }
 }
 
 void FlowNetworkModel::on_calendar_event(double now, std::uint64_t tag) {
-  auto it = flows_.find(tag);
-  if (it == flows_.end()) return;  // flow already retired
-  Flow& flow = *it->second;
+  const std::uint32_t slot = static_cast<std::uint32_t>(tag);
+  const std::uint32_t gen = static_cast<std::uint32_t>(tag >> 32);
+  Flow& flow = *slots_[slot];
+  if (flow.gen != gen) return;  // flow already retired
   flow.event = sim::EventCalendar::kNoEvent;
+  if (flow.in_latency) {
+    // End of the latency phase: enter the bandwidth-sharing system.
+    flow.in_latency = false;
+    const std::vector<int>* links = flow.pending_links;
+    flow.pending_links = nullptr;
+    promote(slot, gen, *links, flow.pending_bytes);
+    return;
+  }
   SMPI_ENSURE(flow.work.remaining_at(now) <= kRemainingEps,
               "completion event fired with work left");
   complete(flow);
 }
 
 void FlowNetworkModel::complete(Flow& flow) {
-  sim::ActivityPtr activity = flow.activity;
-  const std::uint64_t id = flow.id;  // `flow` dies with the erase below
+  // Move the activity handle out before retiring: finish() may run
+  // completion callbacks that start new flows into this very slot.
+  sim::ActivityPtr activity = std::move(flow.activity);
   if (flow.var >= 0) {
     system_.release_variable(flow.var);
     var_to_flow_[static_cast<std::size_t>(flow.var)] = nullptr;
   }
-  flows_.erase(id);
+  retire_slot(flow.slot);
   // Deferred: simultaneous completions redistribute the freed shares in one
   // re-solve when the engine settles. Completion callbacks never read rates
   // synchronously (link_usage re-solves on demand), so they still observe a

@@ -61,7 +61,7 @@ class FlowNetworkModel final : public sim::Model, public sim::NetworkBackend {
   double uncontended_duration(int src_node, int dst_node, double bytes) const;
 
   const NetworkConfig& config() const { return config_; }
-  std::size_t active_flow_count() const { return flows_.size(); }
+  std::size_t active_flow_count() const { return active_flows_; }
   std::uint64_t total_flows_started() const { return total_flows_; }
 
   // Property-test hook: total allocated rate through a link's constraint.
@@ -72,7 +72,18 @@ class FlowNetworkModel final : public sim::Model, public sim::NetworkBackend {
 
  private:
   struct Flow {
-    std::uint64_t id = 0;
+    std::uint32_t slot = 0;  // its own index in slots_ (for calendar tags)
+    // Generation stamp: bumped when the slot retires, so calendar entries
+    // referring to a dead occupant are recognized as stale.
+    std::uint32_t gen = 0;
+    // Latency phase: the first calendar event promotes the flow into the
+    // bandwidth-sharing system instead of completing it. Using the calendar
+    // for both phases (rather than an engine timer for the first) keeps the
+    // per-message cost at one indexed-heap entry; ordering is unchanged
+    // because timers and calendar entries share one (date, seq) order.
+    bool in_latency = false;
+    const std::vector<int>* pending_links = nullptr;
+    double pending_bytes = 0;
     sim::ActivityPtr activity;
     sim::FluidWork work;
     int var = -1;  // -1 when not in the solver (no-contention mode)
@@ -80,9 +91,12 @@ class FlowNetworkModel final : public sim::Model, public sim::NetworkBackend {
     sim::EventCalendar::Handle event = sim::EventCalendar::kNoEvent;
   };
 
-  // Per-(src,dst) route digest, computed once: the platform's route map is
-  // immutable, and re-deriving latency/bottleneck per flow cost three hash
-  // lookups plus two link walks per message on the collective hot path.
+  // Per-(src,dst) route digest: the platform's route map is immutable, and
+  // re-deriving latency/bottleneck per flow cost three hash lookups plus two
+  // link walks per message on the collective hot path. Cached in a fixed
+  // direct-mapped table — a collision recomputes and overwrites, which is
+  // always correct and in practice never happens for the near-neighbor
+  // traffic collectives generate.
   struct RouteInfo {
     const std::vector<int>* links = nullptr;
     double latency = 0;     // sum of link latencies
@@ -93,7 +107,21 @@ class FlowNetworkModel final : public sim::Model, public sim::NetworkBackend {
   // Compute (latency, rate bound) for a transfer.
   void path_parameters(int src_node, int dst_node, double bytes, double* latency_out,
                        double* bound_out) const;
-  void promote(std::shared_ptr<Flow> flow, const std::vector<int>& links, double bytes);
+  // Slot bookkeeping: a live flow is identified by (slot, generation),
+  // packed into the calendar tag / latency-timer capture as gen<<32 | slot.
+  // Slot storage is stable (unique_ptr) and recycled, so the steady-state
+  // per-message cost is two vector pushes/pops — no hashing, no per-flow
+  // heap node. An earlier revision kept flows in an id-keyed hash map with
+  // extracted-node recycling; the insert/extract shuffle was the single
+  // hottest line of a 1024-rank collective profile.
+  static std::uint64_t pack_tag(std::uint32_t slot, std::uint32_t gen) {
+    return (static_cast<std::uint64_t>(gen) << 32) | slot;
+  }
+  std::uint32_t acquire_slot();
+  void retire_slot(std::uint32_t slot);
+
+  void promote(std::uint32_t slot, std::uint32_t gen, const std::vector<int>& links,
+               double bytes);
   // Re-solve if dirty and reschedule completion events for the flows whose
   // rate changed.
   void resettle(double now);
@@ -104,12 +132,18 @@ class FlowNetworkModel final : public sim::Model, public sim::NetworkBackend {
   NetworkConfig config_;
   MaxMinSystem system_;
   std::vector<int> link_constraint_;  // per link id; -1 for fatpipe links
-  mutable std::unordered_map<std::uint64_t, RouteInfo> route_cache_;
-  std::unordered_map<std::uint64_t, std::shared_ptr<Flow>> flows_;  // by flow id
+  struct RouteEntry {
+    std::uint64_t key = ~std::uint64_t{0};  // (src << 32) | dst; ~0 = empty
+    RouteInfo info;
+  };
+  static constexpr std::size_t kRouteCacheSize = 16384;  // power of two
+  mutable std::vector<RouteEntry> route_cache_;
+  std::vector<std::unique_ptr<Flow>> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t active_flows_ = 0;
   // Indexed by solver variable id — ids are recycled, so this stays as small
   // as the peak concurrent flow count; nullptr for retired slots.
   std::vector<Flow*> var_to_flow_;
-  std::uint64_t next_flow_id_ = 1;
   std::uint64_t total_flows_ = 0;
 };
 

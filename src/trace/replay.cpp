@@ -361,6 +361,7 @@ ReplayResult replay_trace(const platform::Platform& platform, core::SmpiConfig c
     result.solver_vars_touched += cpu->solver().vars_touched();
     result.solver_cons_touched += cpu->solver().cons_touched();
   }
+  result.p2p = world.p2p_counters();
   return result;
 }
 

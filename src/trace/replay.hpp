@@ -63,6 +63,10 @@ struct ReplayResult {
   std::uint64_t solver_solves = 0;
   std::uint64_t solver_vars_touched = 0;
   std::uint64_t solver_cons_touched = 0;
+  // Hot-path accounting: free-list pool effectiveness and zero-copy eager
+  // activity (see core::P2pCounters). In payload-free replay the eager
+  // copy counters stay zero by construction — no payload moves at all.
+  core::P2pCounters p2p;
 };
 
 // Size of the shared scratch arena a replay of `trace` needs: the largest

@@ -165,7 +165,20 @@ TEST(EpApp, GaussianAcceptanceRateIsPlausible) {
   EXPECT_NEAR(rate, 0.785, 0.02);
 }
 
+// Sampling folds *measured host time* of compute bursts into simulated
+// time, so this test only holds when host timing is representative.
+#if defined(__SANITIZE_ADDRESS__)
+#define SMPI_TIMING_DISTORTED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define SMPI_TIMING_DISTORTED 1
+#endif
+#endif
+
 TEST(EpApp, SamplingReducesHostWorkNotSimulatedShape) {
+#if defined(SMPI_TIMING_DISTORTED)
+  GTEST_SKIP() << "sanitizer overhead distorts the wall-clock-derived simulated times";
+#endif
   ap::EpParams full, quarter;
   full.log2_pairs = quarter.log2_pairs = 18;
   full.batches = quarter.batches = 16;

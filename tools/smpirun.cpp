@@ -322,6 +322,15 @@ int main(int argc, char** argv) {
       std::printf("tracked memory: folded peak %s, unfolded peak %s\n",
                   smpi::util::format_bytes(memory.folded_peak_bytes).c_str(),
                   smpi::util::format_bytes(memory.unfolded_peak_bytes).c_str());
+      const auto p2p = world.p2p_counters();
+      std::printf("p2p: pool_hits=%llu pool_misses=%llu eager_snapshots=%llu "
+                  "eager_copy_elided=%llu eager_flush_snapshots=%llu bytes_not_copied=%llu\n",
+                  static_cast<unsigned long long>(p2p.pool_hits),
+                  static_cast<unsigned long long>(p2p.pool_misses),
+                  static_cast<unsigned long long>(p2p.eager_snapshots),
+                  static_cast<unsigned long long>(p2p.eager_copy_elided),
+                  static_cast<unsigned long long>(p2p.eager_flush_snapshots),
+                  static_cast<unsigned long long>(p2p.bytes_not_copied));
       if (options.app == "dt") {
         std::printf("dt checksum: %.6e\n", smpi::apps::dt_last_checksum());
       }

@@ -2,6 +2,8 @@
 //
 //   ti_inspect <trace-dir>             per-op record counts + volume summary
 //   ti_inspect <trace-dir> --dump [r]  print every record (of rank r)
+//   ti_inspect <trace-dir> --summary   replay on a flat cluster and print the
+//                                      result incl. p2p hot-path counters
 //
 // Exit code: 0 on success, 1 on usage/load errors.
 #include <cstdio>
@@ -9,7 +11,9 @@
 #include <map>
 #include <string>
 
+#include "platform/builders.hpp"
 #include "trace/reader.hpp"
+#include "trace/replay.hpp"
 
 namespace {
 
@@ -60,6 +64,7 @@ int main(int argc, char** argv) {
   }
   const std::string dir = argv[1];
   const bool dump = argc >= 3 && std::strcmp(argv[2], "--dump") == 0;
+  const bool summary = argc >= 3 && std::strcmp(argv[2], "--summary") == 0;
   const int dump_rank = argc >= 4 ? std::atoi(argv[3]) : -1;
 
   try {
@@ -73,6 +78,34 @@ int main(int argc, char** argv) {
           std::printf("%-6d %s\n", rank, smpi::trace::serialize_record(record).c_str());
         }
       }
+      return 0;
+    }
+
+    if (summary) {
+      // Replay on a flat cluster sized to the trace so the counters reflect
+      // the same collective algorithms a real sweep would drive. Payload-free
+      // replay moves no bytes, so the eager copy counters report pool reuse
+      // and envelope traffic, not data motion.
+      smpi::platform::FlatClusterParams params;
+      params.nodes = trace.nranks;
+      const smpi::platform::Platform platform = smpi::platform::build_flat_cluster(params);
+      const smpi::trace::ReplayResult result =
+          smpi::trace::replay_trace(platform, smpi::core::SmpiConfig{}, trace);
+      std::printf("trace: %s\napp: %s\nranks: %d\nrecords: %lld\n", dir.c_str(),
+                  trace.app.c_str(), trace.nranks, result.records);
+      std::printf("simulated_time: %.9f s\n", result.simulated_time);
+      std::printf("solver: solves=%llu vars_touched=%llu cons_touched=%llu\n",
+                  static_cast<unsigned long long>(result.solver_solves),
+                  static_cast<unsigned long long>(result.solver_vars_touched),
+                  static_cast<unsigned long long>(result.solver_cons_touched));
+      std::printf("p2p: pool_hits=%llu pool_misses=%llu eager_snapshots=%llu\n",
+                  static_cast<unsigned long long>(result.p2p.pool_hits),
+                  static_cast<unsigned long long>(result.p2p.pool_misses),
+                  static_cast<unsigned long long>(result.p2p.eager_snapshots));
+      std::printf("p2p: eager_copy_elided=%llu eager_flush_snapshots=%llu bytes_not_copied=%llu\n",
+                  static_cast<unsigned long long>(result.p2p.eager_copy_elided),
+                  static_cast<unsigned long long>(result.p2p.eager_flush_snapshots),
+                  static_cast<unsigned long long>(result.p2p.bytes_not_copied));
       return 0;
     }
 
