@@ -98,8 +98,13 @@ util::JsonValue report_json(const CampaignSpec& spec, const std::vector<Scenario
     row.set("label", util::JsonValue::string(scenario.label));
     row.set("params", params_json(scenario));
     row.set("ok", util::JsonValue::boolean(r.ok));
+    row.set("retries", util::JsonValue::number(r.retries));
     if (!r.ok) {
       row.set("error", util::JsonValue::string(r.error));
+      if (r.timed_out) row.set("timed_out", util::JsonValue::boolean(true));
+      if (!r.worker_exit.empty()) {
+        row.set("worker_exit", util::JsonValue::string(r.worker_exit));
+      }
       rows.append(std::move(row));
       continue;
     }
@@ -161,13 +166,13 @@ std::string report_csv(const CampaignSpec& spec, const std::vector<Scenario>& sc
   std::vector<std::string> axis_keys;
   for (const Axis& axis : spec.axes) axis_keys.push_back(axis.key());
 
-  std::string csv = "id,label,ok";
+  std::string csv = "id,label,ok,retries,timed_out";
   for (const std::string& key : axis_keys) csv += "," + key;
   csv +=
       ",simulated_time,speedup_vs_baseline,wall_s,records,ranks,compute_total_s,comm_total_s,"
       "compute_max_s,comm_max_s,solver_solves,solver_vars_touched,solver_cons_touched,"
       "pool_hits,pool_misses,eager_snapshots,eager_copy_elided,eager_flush_snapshots,"
-      "bytes_not_copied,error\n";
+      "bytes_not_copied,worker_exit,error\n";
 
   for (std::size_t i = 0; i < scenarios.size(); ++i) {
     const Scenario& scenario = scenarios[i];
@@ -175,6 +180,8 @@ std::string report_csv(const CampaignSpec& spec, const std::vector<Scenario>& sc
     csv += std::to_string(scenario.id);
     csv += ",\"" + scenario.label + "\"";
     csv += r.ok ? ",1" : ",0";
+    csv += ',' + std::to_string(r.retries);
+    csv += r.timed_out ? ",1" : ",0";
     for (const std::string& key : axis_keys) {
       const util::JsonValue* value = scenario.find(key);
       csv += ',';
@@ -201,9 +208,10 @@ std::string report_csv(const CampaignSpec& spec, const std::vector<Scenario>& sc
       csv += ',' + std::to_string(r.p2p.eager_copy_elided);
       csv += ',' + std::to_string(r.p2p.eager_flush_snapshots);
       csv += ',' + std::to_string(r.p2p.bytes_not_copied);
-      csv += ",\n";
+      csv += ",,\n";  // empty worker_exit + error
     } else {
-      csv += ",,,,,,,,,,,,,,,,,,\"" + r.error + "\"\n";
+      // 18 empty metric columns, then the harness diagnostics.
+      csv += ",,,,,,,,,,,,,,,,,,\"" + r.worker_exit + "\",\"" + r.error + "\"\n";
     }
   }
   return csv;
@@ -252,14 +260,30 @@ std::string report_summary(const CampaignSpec& spec, const std::vector<Scenario>
   }
 
   int failures = 0;
-  for (const ScenarioResult& r : outcome.results) failures += r.ok ? 0 : 1;
+  int retried = 0;
+  int timeouts = 0;
+  for (const ScenarioResult& r : outcome.results) {
+    failures += r.ok ? 0 : 1;
+    retried += r.retries > 0 ? 1 : 0;
+    timeouts += r.timed_out ? 1 : 0;
+  }
+  if (retried > 0) {
+    std::snprintf(line, sizeof line, "%d scenario(s) needed a worker retry\n", retried);
+    out += line;
+  }
+  if (timeouts > 0) {
+    std::snprintf(line, sizeof line, "%d scenario(s) hit the wall-clock watchdog\n", timeouts);
+    out += line;
+  }
   if (failures > 0) {
     std::snprintf(line, sizeof line, "%d scenario(s) FAILED:\n", failures);
     out += line;
     for (const ScenarioResult& r : outcome.results) {
       if (r.ok) continue;
-      std::snprintf(line, sizeof line, "  #%-4d %s: %s\n", r.id,
-                    scenarios[static_cast<std::size_t>(r.id)].label.c_str(), r.error.c_str());
+      std::snprintf(line, sizeof line, "  #%-4d %s: %s%s%s%s\n", r.id,
+                    scenarios[static_cast<std::size_t>(r.id)].label.c_str(), r.error.c_str(),
+                    r.worker_exit.empty() ? "" : " [worker: ",
+                    r.worker_exit.c_str(), r.worker_exit.empty() ? "" : "]");
       out += line;
     }
   }
@@ -327,8 +351,15 @@ std::vector<ScenarioResult> results_from_report(const util::JsonValue& report,
                      "' in the report — the axes changed, start a fresh sweep");
     ScenarioResult& r = results[index];
     r.ok = row.at("ok", "resume report row").as_bool();
+    // Lenient: reports written before the hardened harness carry none of
+    // these fields.
+    if (const auto* retries = row.find("retries")) r.retries = static_cast<int>(retries->as_int());
     if (!r.ok) {
       if (const auto* error = row.find("error")) r.error = error->as_string();
+      if (const auto* timed_out = row.find("timed_out")) r.timed_out = timed_out->as_bool();
+      if (const auto* worker_exit = row.find("worker_exit")) {
+        r.worker_exit = worker_exit->as_string();
+      }
       continue;
     }
     r.error.clear();

@@ -3,6 +3,7 @@
 #include <poll.h>
 #include <signal.h>
 #include <sys/wait.h>
+#include <time.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -172,6 +173,15 @@ ScenarioResult run_one_scenario(const CampaignSpec& spec, const Scenario& scenar
     const trace::ReplayResult replay =
         trace::replay_trace(setup.platform, setup.config, *effective, replay_options);
     r.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    if (replay.aborted) {
+      // Fault-model abort (or MPI_Abort in the trace): the row is a failure
+      // with the diagnostic, not a silently short simulated time.
+      r.ok = false;
+      r.error = replay.failure.empty()
+                    ? "replay aborted with code " + std::to_string(replay.abort_code)
+                    : "resource failure: " + replay.failure;
+      return r;
+    }
     r.ok = true;
     r.simulated_time = replay.simulated_time;
     r.records = replay.records;
@@ -194,15 +204,29 @@ ScenarioResult run_one_scenario(const CampaignSpec& spec, const Scenario& scenar
   return r;
 }
 
+// Task message and its harness-test flags. The parent decides fault
+// injection (it knows attempt counts); the worker just obeys.
+struct TaskMsg {
+  std::int32_t id = -1;  // -1 = shut down
+  std::int32_t flags = 0;
+};
+constexpr std::int32_t kTaskCrash = 1;  // _exit instead of running (dead-worker drill)
+constexpr std::int32_t kTaskHang = 2;   // sleep forever (watchdog drill)
+
 [[noreturn]] void worker_loop(const CampaignSpec& spec, const std::vector<Scenario>& scenarios,
                               const trace::TiTrace& trace, long long arena_bytes, int task_fd,
                               int result_fd) {
   while (true) {
-    std::int32_t id = -1;
-    if (!read_exact(task_fd, &id, sizeof id) || id < 0) ::_exit(0);
-    SMPI_ENSURE(id < static_cast<std::int32_t>(scenarios.size()), "campaign task id out of range");
+    TaskMsg task;
+    if (!read_exact(task_fd, &task, sizeof task) || task.id < 0) ::_exit(0);
+    SMPI_ENSURE(task.id < static_cast<std::int32_t>(scenarios.size()),
+                "campaign task id out of range");
+    if ((task.flags & kTaskCrash) != 0) ::_exit(33);
+    if ((task.flags & kTaskHang) != 0) {
+      while (true) ::pause();
+    }
     const ScenarioResult result =
-        run_one_scenario(spec, scenarios[static_cast<std::size_t>(id)], trace, arena_bytes);
+        run_one_scenario(spec, scenarios[static_cast<std::size_t>(task.id)], trace, arena_bytes);
     const std::string capsule = encode_capsule(result);
     const auto length = static_cast<std::uint32_t>(capsule.size());
     if (!write_exact(result_fd, &length, sizeof length) ||
@@ -218,6 +242,7 @@ struct Worker {
   int result_fd = -1;  // parent reads capsules here
   int running_id = -1;  // scenario in flight, -1 when idle
   bool alive = false;
+  std::chrono::steady_clock::time_point deadline{};  // watchdog, when armed
 };
 
 void close_fd(int& fd) {
@@ -275,21 +300,23 @@ CampaignOutcome run_campaign(const CampaignSpec& spec, const std::vector<Scenari
   ::sigaction(SIGPIPE, &ignore_pipe, &previous_pipe);
 
   const auto sweep_start = std::chrono::steady_clock::now();
+  const double timeout_s = options.timeout_s > 0 ? options.timeout_s : spec.timeout_s;
   std::vector<Worker> pool(static_cast<std::size_t>(workers));
-  // Flush before forking so buffered output is not duplicated into children.
-  std::fflush(stdout);
-  std::fflush(stderr);
-  for (Worker& worker : pool) {
+
+  auto spawn_worker = [&](Worker& worker) {
     int task_pipe[2];
     int result_pipe[2];
     SMPI_ENSURE(::pipe(task_pipe) == 0 && ::pipe(result_pipe) == 0,
                 "campaign worker pipe creation failed");
+    // Flush before forking so buffered output is not duplicated into children.
+    std::fflush(stdout);
+    std::fflush(stderr);
     const pid_t pid = ::fork();
     SMPI_ENSURE(pid >= 0, "campaign worker fork failed");
     if (pid == 0) {
       ::close(task_pipe[1]);
       ::close(result_pipe[0]);
-      for (const Worker& other : pool) {  // fds inherited from earlier workers
+      for (const Worker& other : pool) {  // fds inherited from other workers
         if (other.task_fd >= 0) ::close(other.task_fd);
         if (other.result_fd >= 0) ::close(other.result_fd);
       }
@@ -300,8 +327,33 @@ CampaignOutcome run_campaign(const CampaignSpec& spec, const std::vector<Scenari
     worker.pid = pid;
     worker.task_fd = task_pipe[1];
     worker.result_fd = result_pipe[0];
+    worker.running_id = -1;
     worker.alive = true;
-  }
+  };
+
+  // Close the parent-side fds, reap the child (killing it first when asked),
+  // and describe how it exited — the row's worker_exit diagnostic.
+  auto reap_worker = [](Worker& worker, bool force_kill) -> std::string {
+    close_fd(worker.task_fd);
+    close_fd(worker.result_fd);
+    std::string cause = "unknown";
+    if (worker.pid > 0) {
+      if (force_kill) ::kill(worker.pid, SIGKILL);
+      int status = 0;
+      ::waitpid(worker.pid, &status, 0);
+      if (WIFSIGNALED(status)) {
+        cause = "killed by signal " + std::to_string(WTERMSIG(status));
+      } else if (WIFEXITED(status)) {
+        cause = "exited with status " + std::to_string(WEXITSTATUS(status));
+      }
+    }
+    worker.pid = -1;
+    worker.alive = false;
+    worker.running_id = -1;
+    return cause;
+  };
+
+  for (Worker& worker : pool) spawn_worker(worker);
 
   CampaignOutcome outcome;
   outcome.workers = workers;
@@ -317,22 +369,46 @@ CampaignOutcome run_campaign(const CampaignSpec& spec, const std::vector<Scenari
   }
 
   std::size_t next_pending = 0;
+  std::vector<std::int32_t> retry_queue;
+  std::vector<int> attempts(scenarios.size(), 0);
   std::size_t completed = static_cast<std::size_t>(resumed);
   auto dispatch = [&](Worker& worker) {
-    while (next_pending < pending.size()) {
-      const std::int32_t id = pending[next_pending++];
-      if (write_exact(worker.task_fd, &id, sizeof id)) {
-        worker.running_id = id;
-        return;
-      }
-      // Worker is gone; the scenario goes back to the queue for the others.
-      --next_pending;
+    std::int32_t id = -1;
+    bool from_retry = false;
+    if (!retry_queue.empty()) {
+      id = retry_queue.back();
+      retry_queue.pop_back();
+      from_retry = true;
+    } else if (next_pending < pending.size()) {
+      id = pending[next_pending];
+    }
+    if (id < 0) {
+      const TaskMsg shutdown;
+      write_exact(worker.task_fd, &shutdown, sizeof shutdown);
+      worker.running_id = -1;
+      return;
+    }
+    TaskMsg task;
+    task.id = id;
+    if (id == options.crash_scenario &&
+        (options.crash_always || attempts[static_cast<std::size_t>(id)] == 0)) {
+      task.flags |= kTaskCrash;
+    }
+    if (id == options.hang_scenario) task.flags |= kTaskHang;
+    if (!write_exact(worker.task_fd, &task, sizeof task)) {
+      // Worker is gone; the scenario stays queued for the others.
+      if (from_retry) retry_queue.push_back(id);
       worker.alive = false;
       return;
     }
-    const std::int32_t shutdown = -1;
-    write_exact(worker.task_fd, &shutdown, sizeof shutdown);
-    worker.running_id = -1;
+    if (!from_retry) ++next_pending;
+    ++attempts[static_cast<std::size_t>(id)];
+    worker.running_id = id;
+    if (timeout_s > 0) {
+      worker.deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(timeout_s));
+    }
   };
   for (Worker& worker : pool) dispatch(worker);
 
@@ -346,9 +422,18 @@ CampaignOutcome run_campaign(const CampaignSpec& spec, const std::vector<Scenari
       }
     }
     SMPI_ENSURE(!fds.empty(), "campaign: all workers died with scenarios remaining");
-    const int ready = ::poll(fds.data(), fds.size(), -1);
+    int poll_timeout_ms = -1;
+    if (timeout_s > 0) {
+      const auto now = std::chrono::steady_clock::now();
+      double wait_s = timeout_s;
+      for (const Worker* worker : owners) {
+        wait_s = std::min(wait_s, std::chrono::duration<double>(worker->deadline - now).count());
+      }
+      poll_timeout_ms = std::max(0, static_cast<int>(wait_s * 1000.0) + 1);
+    }
+    const int ready = ::poll(fds.data(), fds.size(), poll_timeout_ms);
     if (ready < 0 && errno == EINTR) continue;
-    SMPI_ENSURE(ready > 0, "campaign: poll on worker results failed");
+    SMPI_ENSURE(ready >= 0, "campaign: poll on worker results failed");
 
     for (std::size_t i = 0; i < fds.size(); ++i) {
       if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
@@ -362,18 +447,40 @@ CampaignOutcome run_campaign(const CampaignSpec& spec, const std::vector<Scenari
       }
       const int id = worker.running_id;
       worker.running_id = -1;
+      auto& row = outcome.results[static_cast<std::size_t>(id)];
       if (!got) {
-        // The worker died mid-scenario (crash, OOM kill...): only its
-        // in-flight scenario is lost.
-        worker.alive = false;
-        auto& result = outcome.results[static_cast<std::size_t>(id)];
-        result.ok = false;
-        result.error = "campaign worker died while running this scenario";
-        ++completed;
+        // The worker died mid-scenario (crash, OOM kill...). Record the exit
+        // cause, then retry ONCE on a freshly forked worker after a short
+        // backoff — transient deaths deserve a second chance; a
+        // deterministic one will kill the retry too and fail the row for
+        // good. The pool is refilled either way.
+        const std::string cause = reap_worker(worker, false);
+        row.worker_exit = cause;
+        if (attempts[static_cast<std::size_t>(id)] < 2) {
+          if (options.progress) {
+            std::fprintf(stderr, "campaign: scenario %d worker died (%s), retrying\n", id,
+                         cause.c_str());
+          }
+          const struct timespec backoff = {0, 50 * 1000 * 1000};  // 50 ms
+          ::nanosleep(&backoff, nullptr);
+          retry_queue.push_back(static_cast<std::int32_t>(id));
+        } else {
+          row.ok = false;
+          row.retries = attempts[static_cast<std::size_t>(id)] - 1;
+          row.error = "campaign worker died while running this scenario (retry exhausted)";
+          ++completed;
+          if (options.progress) {
+            std::fprintf(stderr, "campaign: scenario %d/%zu FAILED (%s)\n", id + 1,
+                         scenarios.size(), scenarios[static_cast<std::size_t>(id)].label.c_str());
+          }
+        }
+        spawn_worker(worker);
+        dispatch(worker);
         continue;
       }
       ScenarioResult result = decode_capsule(capsule);
       SMPI_ENSURE(result.id == id, "campaign capsule for the wrong scenario");
+      result.retries = attempts[static_cast<std::size_t>(id)] - 1;
       if (options.progress) {
         std::fprintf(stderr, "campaign: scenario %d/%zu %s (%s)\n", id + 1, scenarios.size(),
                      result.ok ? "done" : "FAILED",
@@ -383,13 +490,40 @@ CampaignOutcome run_campaign(const CampaignSpec& spec, const std::vector<Scenari
       ++completed;
       dispatch(worker);
     }
+
+    // Watchdog: anything still in flight past its deadline is killed and
+    // recorded as a timeout; no retry (it would just burn another timeout).
+    // Runs after the reads so a result that raced the deadline still wins.
+    if (timeout_s > 0) {
+      const auto now = std::chrono::steady_clock::now();
+      for (Worker& worker : pool) {
+        if (!worker.alive || worker.running_id < 0 || now < worker.deadline) continue;
+        const int id = worker.running_id;
+        const std::string cause = reap_worker(worker, true);
+        auto& row = outcome.results[static_cast<std::size_t>(id)];
+        char budget[64];
+        std::snprintf(budget, sizeof budget, "%g", timeout_s);
+        row.ok = false;
+        row.timed_out = true;
+        row.retries = attempts[static_cast<std::size_t>(id)] - 1;
+        row.error = std::string("scenario exceeded the ") + budget + " s wall-clock watchdog";
+        row.worker_exit = "killed by watchdog (" + cause + ")";
+        ++completed;
+        if (options.progress) {
+          std::fprintf(stderr, "campaign: scenario %d/%zu TIMEOUT (%s)\n", id + 1,
+                       scenarios.size(), scenarios[static_cast<std::size_t>(id)].label.c_str());
+        }
+        spawn_worker(worker);
+        dispatch(worker);
+      }
+    }
   }
 
   for (Worker& worker : pool) {
     if (worker.alive && worker.running_id < 0) {
       // Idle workers were already told to shut down by dispatch().
     } else if (worker.alive) {
-      const std::int32_t shutdown = -1;
+      const TaskMsg shutdown;
       write_exact(worker.task_fd, &shutdown, sizeof shutdown);
     }
     close_fd(worker.task_fd);

@@ -9,11 +9,18 @@
 // — a 64-rank trace is parsed exactly once no matter how many scenarios run.
 //
 // Protocol (all pipes, no shared memory):
-//   parent -> worker : int32 scenario id, little-endian; -1 = shut down
+//   parent -> worker : {int32 scenario id, int32 flags}; id -1 = shut down
+//                      (flags carry the harness-test fault-injection hooks)
 //   worker -> parent : uint32 capsule length + capsule bytes (JSON)
 //
 // Capsules are self-describing JSON so a dead worker can only lose its own
-// in-flight scenario (the parent marks it failed and keeps dispatching).
+// in-flight scenario. The parent is hardened against misbehaving workers:
+// a worker that dies mid-scenario is reaped (its exit cause recorded on the
+// row) and the scenario is retried ONCE on a freshly forked worker after a
+// short backoff; a scenario that outlives the wall-clock watchdog gets its
+// worker SIGKILLed and is recorded as a timeout without retry (a retry
+// would just burn another timeout). The pool is refilled after every loss,
+// so one bad scenario cannot drain the sweep's parallelism.
 // Scenario results are deterministic by construction — a scenario's child
 // process sees identical inputs whatever the worker count — which the
 // campaign tests assert bit-for-bit.
@@ -32,6 +39,12 @@ struct ScenarioResult {
   int id = -1;
   bool ok = false;
   std::string error;
+  // Harness accounting (parent-side): how many extra dispatches this
+  // scenario needed, whether the watchdog killed it, and how its worker
+  // exited when it died ("killed by signal 9", "exited with status 33").
+  int retries = 0;
+  bool timed_out = false;
+  std::string worker_exit;
   double simulated_time = 0;
   double wall_s = 0;       // worker-side wall clock for this scenario
   long long records = 0;
@@ -57,6 +70,17 @@ struct RunOptions {
   int workers = 1;
   // Print one line per finished scenario to stderr as results land.
   bool progress = false;
+  // Per-scenario wall-clock watchdog in seconds; 0 = use the spec's
+  // timeout_s (which defaults to none). An expired scenario's worker is
+  // SIGKILLed and the row is recorded as a timeout.
+  double timeout_s = 0;
+  // Test hooks: fault injection for the harness itself. The worker that is
+  // handed `crash_scenario` _exit()s instead of running it (once, or on
+  // every attempt with crash_always); the worker handed `hang_scenario`
+  // sleeps forever so the watchdog has something to kill. -1 = disabled.
+  int crash_scenario = -1;
+  bool crash_always = false;
+  int hang_scenario = -1;
   // Resume support: results adopted from a prior report (indexed by
   // scenario id, shorter-than-scenarios is fine). Entries with ok == true
   // are carried over verbatim and their scenarios are never dispatched;

@@ -1,6 +1,7 @@
 #include "campaign/spec.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <set>
 
 #include "platform/builders.hpp"
@@ -44,6 +45,9 @@ const std::pair<const char*, ParamInfo> kParams[] = {
     {"workload_iterations", {ValueKind::kNumber, nullptr}},
     {"workload_imbalance", {ValueKind::kNumber, nullptr}},
     {"workload_seed", {ValueKind::kNumber, nullptr}},
+    {"fault_seed", {ValueKind::kNumber, nullptr}},
+    {"fault_time_scale", {ValueKind::kNumber, nullptr}},
+    {"fault_count_scale", {ValueKind::kNumber, nullptr}},
 };
 
 bool is_workload_param(const std::string& param) {
@@ -93,6 +97,14 @@ CampaignSpec CampaignSpec::parse(const util::JsonValue& doc) {
     spec.has_workload = true;
     SMPI_REQUIRE(spec.trace_dir.empty(),
                  "campaign spec: 'trace' and 'workload' are mutually exclusive");
+  }
+  if (const auto* faults = doc.find("faults")) {
+    spec.faults = faults->is_string() ? sim::FaultSpec::parse_file(faults->as_string())
+                                      : sim::FaultSpec::parse(*faults);
+  }
+  if (const auto* timeout = doc.find("timeout_s")) {
+    spec.timeout_s = timeout->as_number();
+    SMPI_REQUIRE(spec.timeout_s >= 0, "campaign spec: timeout_s must be >= 0");
   }
 
   if (const auto* platform = doc.find("platform")) {
@@ -256,6 +268,7 @@ ScenarioSetup materialize(const CampaignSpec& spec, const Scenario& scenario, in
   ScenarioSetup setup{build_base(spec, nranks, nodes_override), {}, true};
   platform::Platform& p = setup.platform;
   core::SmpiConfig& config = setup.config;
+  config.faults = spec.faults;  // fault_* overrides below edit this copy
 
   for (const auto& [key, value] : scenario.params) {
     const std::string param = key.substr(0, key.find(':'));
@@ -319,6 +332,30 @@ ScenarioSetup materialize(const CampaignSpec& spec, const Scenario& scenario, in
       const double cost = value.as_number();
       SMPI_REQUIRE(cost >= 0, "copy_cost must be >= 0");
       config.personality.copy_cost_s_per_byte = cost;
+    } else if (param == "fault_seed") {
+      SMPI_REQUIRE(config.faults.has_random,
+                   "fault_seed needs a campaign-level 'faults' spec with a 'random' block");
+      SMPI_REQUIRE(value.as_int() >= 0, "fault_seed must be >= 0");
+      config.faults.random.seed = static_cast<std::uint64_t>(value.as_int());
+    } else if (param == "fault_time_scale") {
+      const double scale = value.as_number();
+      SMPI_REQUIRE(scale > 0, "fault_time_scale must be > 0");
+      SMPI_REQUIRE(!config.faults.empty(),
+                   "fault_time_scale needs a campaign-level 'faults' spec");
+      for (auto& event : config.faults.events) event.time *= scale;
+      config.faults.random.time_min *= scale;
+      config.faults.random.time_max *= scale;
+      config.faults.random.mttr *= scale;
+    } else if (param == "fault_count_scale") {
+      const double scale = value.as_number();
+      SMPI_REQUIRE(scale >= 0, "fault_count_scale must be >= 0");
+      SMPI_REQUIRE(config.faults.has_random,
+                   "fault_count_scale needs a campaign-level 'faults' spec with a 'random' block");
+      auto& random = config.faults.random;
+      random.host_crashes = std::llround(static_cast<double>(random.host_crashes) * scale);
+      random.link_failures = std::llround(static_cast<double>(random.link_failures) * scale);
+      random.link_degradations =
+          std::llround(static_cast<double>(random.link_degradations) * scale);
     } else if (is_workload_param(param)) {
       // Applied by the runner when it regenerates the trace; nothing to do
       // on the platform/config side.

@@ -62,6 +62,16 @@
 //   workload_iterations   every phase's iteration count           (int >= 1)
 //   workload_imbalance    every phase's compute.imbalance     (number in [0,1))
 //   workload_seed         the workload RNG seed                   (int >= 0)
+//   fault_seed            the fault generator's RNG seed          (int >= 0)
+//   fault_time_scale      x all fault times (events and the random window)
+//                         (number > 0)
+//   fault_count_scale     x the random fault counts, rounded      (number >= 0)
+//
+// The fault_* parameters modify the campaign-level failure model declared by
+// the spec's top-level "faults" key (an inline fault spec or a path to one;
+// see src/sim/fault.hpp). fault_seed and fault_count_scale require that spec
+// to carry a "random" block. A top-level "timeout_s" sets the per-scenario
+// wall-clock watchdog the runner enforces (0 = none; the CLI can override).
 //
 // The workload_* parameters require the campaign's trace source to be a
 // workload (they re-run the generator inside the worker with the overridden
@@ -104,6 +114,11 @@ struct CampaignSpec {
   BaseKind base_kind = BaseKind::kFlat;
   int base_nodes = 0;  // flat base: 0 = use the trace's rank count
   std::string platform_file;
+  // Campaign-level failure model applied to every scenario (fault_* axes
+  // modify it per scenario); empty = no faults.
+  sim::FaultSpec faults;
+  // Per-scenario wall-clock watchdog in seconds (0 = none).
+  double timeout_s = 0;
   std::vector<Axis> axes;
 
   // True when any axis sweeps a workload_* parameter.

@@ -93,8 +93,14 @@ Engine::Engine(EngineConfig config)
 Engine::~Engine() {
   // Destroy actors before anything else so their contexts can unwind while
   // the engine still exists.
-  actors_.clear();
+  shutdown_actors();
   g_current_engine = nullptr;
+}
+
+void Engine::shutdown_actors() {
+  actors_.clear();
+  live_actors_ = 0;
+  current_ = nullptr;
 }
 
 Engine* Engine::current() { return g_current_engine; }
@@ -157,10 +163,15 @@ void Engine::run() {
     // Phase 1: run every runnable actor until it blocks or dies. Actors made
     // runnable during this phase (e.g. woken by a completion triggered from
     // another actor) run within the same phase, at the same date.
-    while (!runnable_empty()) {
+    while (!runnable_empty() && !stop_requested_) {
       Actor* actor = runnable_pop();
       run_actor(actor);
     }
+    // A stop request (abort) freezes the world here: actors that unwound
+    // have freed their frames, and pending completions/timers hold raw
+    // pointers into them — dispatching anything further would be a
+    // use-after-free. Remaining live actors are torn down by ~Engine.
+    if (stop_requested_) break;
     if (live_actor_count() == 0) break;
     // Phase 2: let time flow to the next event.
     if (!advance_time()) {
@@ -169,6 +180,10 @@ void Engine::run() {
          << " actor(s) blocked forever:";
       for (const auto& actor : actors_) {
         if (actor->alive()) os << ' ' << actor->name();
+      }
+      if (deadlock_reporter_) {
+        std::string detail = deadlock_reporter_();
+        if (!detail.empty()) os << '\n' << detail;
       }
       running_ = false;
       throw DeadlockError(os.str());
@@ -186,6 +201,13 @@ bool Engine::advance_time() {
   if (!timers_.empty()) next = std::min(next, timers_.top().date);
   if (!std::isfinite(next)) return false;
   SMPI_ENSURE(next >= now_, "time went backwards");
+  if (config_.max_sim_time > 0 && next > config_.max_sim_time) {
+    std::ostringstream os;
+    os << "simulated-time limit exceeded: next event at t=" << next << " is past --max-sim-time="
+       << config_.max_sim_time << " (" << live_actor_count() << " actor(s) still live)";
+    running_ = false;
+    throw TimeLimitError(os.str());
+  }
   now_ = next;
   // Dispatch everything due at the new date as one merged stream in strict
   // global (date, creation) order — calendar handles and timer seqs come

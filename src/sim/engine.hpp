@@ -41,11 +41,21 @@ struct EngineConfig {
   // free lists. Off = the pre-pooling allocation behavior, kept as the
   // reference arm for equivalence tests and the p2p microbench.
   bool pool_objects = true;
+  // Abort the simulation (TimeLimitError) once the virtual clock would pass
+  // this date. 0 = unlimited. Guards runaway simulations whose poll/timer
+  // escalation keeps virtual time advancing forever.
+  double max_sim_time = 0;
 };
 
 class DeadlockError : public std::runtime_error {
  public:
   explicit DeadlockError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Thrown when EngineConfig::max_sim_time is exceeded.
+class TimeLimitError : public std::runtime_error {
+ public:
+  explicit TimeLimitError(const std::string& what) : std::runtime_error(what) {}
 };
 
 class Engine {
@@ -65,6 +75,20 @@ class Engine {
   // Runs until every actor is dead. Throws DeadlockError if actors remain
   // but nothing can ever happen again.
   void run();
+
+  // Freeze the simulation at the current date: run() stops scheduling as
+  // soon as the requesting actor yields control, and no further calendar
+  // events or timers fire. Used on abort — once a rank's frame has unwound,
+  // in-flight completions into it must never be dispatched.
+  void request_stop() { stop_requested_ = true; }
+  bool stop_requested() const { return stop_requested_; }
+
+  // Destroy all actors now, force-unwinding live ones (ForcedExit through
+  // their contexts). Higher layers call this before freeing per-actor state
+  // that the unwinding destructors write back into, while the engine (and
+  // its object pools) stays alive for the cleanup itself. Idempotent;
+  // ~Engine calls it as a fallback.
+  void shutdown_actors();
 
   // --- services available from actor context ------------------------------
   double now() const { return now_; }
@@ -94,6 +118,13 @@ class Engine {
   // Queue `model` for a single on_settle() call before time next advances
   // (idempotent until the settle runs). Use Model::request_settle().
   void request_settle(Model* model);
+
+  // Higher layers (the MPI world) can attach a wait-for reporter: its output
+  // is appended to the DeadlockError message so the diagnostic can name the
+  // blocked MPI operation per rank, not just the actor names.
+  void set_deadlock_reporter(std::function<std::string()> reporter) {
+    deadlock_reporter_ = std::move(reporter);
+  }
 
   // The engine currently executing (set for the duration of run()).
   static Engine* current();
@@ -166,6 +197,8 @@ class Engine {
   std::priority_queue<Timer, std::vector<Timer>, std::greater<>> timers_;
   std::uint64_t timers_created_ = 0;
   bool running_ = false;
+  bool stop_requested_ = false;
+  std::function<std::string()> deadlock_reporter_;
   std::uint64_t trace_hash_state_ = 1469598103934665603ULL;  // FNV offset basis
 };
 

@@ -1,0 +1,245 @@
+#include "sim/fault.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace smpi::sim {
+
+namespace {
+
+// Same seeding discipline as the workload generator (workload/patterns.cpp):
+// every (stream, index) pair owns an independent generator, so draws never
+// shift when an unrelated fault class changes count.
+std::uint64_t mix(std::uint64_t seed, std::uint64_t stream, std::uint64_t index) {
+  std::uint64_t h = seed;
+  h ^= stream + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h ^= index + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+constexpr std::uint64_t kStreamHostCrash = 0;
+constexpr std::uint64_t kStreamLinkFail = 1;
+constexpr std::uint64_t kStreamLinkDegrade = 2;
+
+FaultEvent::Kind kind_from_name(const std::string& name) {
+  if (name == "host_crash") return FaultEvent::Kind::kHostCrash;
+  if (name == "host_recover") return FaultEvent::Kind::kHostRecover;
+  if (name == "link_fail") return FaultEvent::Kind::kLinkFail;
+  if (name == "link_recover") return FaultEvent::Kind::kLinkRecover;
+  if (name == "link_degrade") return FaultEvent::Kind::kLinkDegrade;
+  SMPI_REQUIRE(false, "fault spec: unknown event kind \"" + name +
+                          "\" (expected host_crash, host_recover, link_fail, link_recover, "
+                          "or link_degrade)");
+  return FaultEvent::Kind::kHostCrash;  // unreachable
+}
+
+bool is_host_kind(FaultEvent::Kind kind) {
+  return kind == FaultEvent::Kind::kHostCrash || kind == FaultEvent::Kind::kHostRecover;
+}
+
+double require_number(const util::JsonValue& obj, const char* key, double fallback,
+                      bool* present = nullptr) {
+  const util::JsonValue* v = obj.find(key);
+  if (present != nullptr) *present = v != nullptr;
+  if (v == nullptr) return fallback;
+  SMPI_REQUIRE(v->is_number(), std::string("fault spec: \"") + key + "\" must be a number");
+  return v->as_number();
+}
+
+}  // namespace
+
+const char* fault_kind_name(FaultEvent::Kind kind) {
+  switch (kind) {
+    case FaultEvent::Kind::kHostCrash:
+      return "host_crash";
+    case FaultEvent::Kind::kHostRecover:
+      return "host_recover";
+    case FaultEvent::Kind::kLinkFail:
+      return "link_fail";
+    case FaultEvent::Kind::kLinkRecover:
+      return "link_recover";
+    case FaultEvent::Kind::kLinkDegrade:
+      return "link_degrade";
+  }
+  return "?";
+}
+
+FaultSpec FaultSpec::parse(const util::JsonValue& root) {
+  SMPI_REQUIRE(root.is_object(), "fault spec: root must be a JSON object");
+  FaultSpec spec;
+
+  if (const util::JsonValue* policy = root.find("policy")) {
+    SMPI_REQUIRE(policy->is_string(), "fault spec: \"policy\" must be a string");
+    const std::string& name = policy->as_string();
+    if (name == "abort") {
+      spec.policy = FailurePolicy::kAbort;
+    } else if (name == "detect") {
+      spec.policy = FailurePolicy::kDetect;
+    } else {
+      SMPI_REQUIRE(false, "fault spec: policy must be \"abort\" or \"detect\", got \"" + name +
+                              "\"");
+    }
+  }
+
+  if (const util::JsonValue* events = root.find("events")) {
+    SMPI_REQUIRE(events->is_array(), "fault spec: \"events\" must be an array");
+    for (const util::JsonValue& item : events->items()) {
+      SMPI_REQUIRE(item.is_object(), "fault spec: each event must be an object");
+      FaultEvent event;
+      event.kind = kind_from_name(item.at("kind", "fault event").as_string());
+      event.time = item.at("time", "fault event").as_number();
+      SMPI_REQUIRE(event.time >= 0, "fault spec: event time must be >= 0");
+      const char* target_key = is_host_kind(event.kind) ? "host" : "link";
+      const util::JsonValue& target = item.at(target_key, "fault event");
+      SMPI_REQUIRE(target.is_string(), std::string("fault spec: event \"") + target_key +
+                                           "\" must be a resource name");
+      event.target = target.as_string();
+      if (event.kind == FaultEvent::Kind::kLinkDegrade) {
+        event.factor = item.at("factor", "link_degrade event").as_number();
+        SMPI_REQUIRE(event.factor > 0 && event.factor <= 1,
+                     "fault spec: link_degrade factor must be in (0, 1]");
+      }
+      spec.events.push_back(std::move(event));
+    }
+  }
+
+  if (const util::JsonValue* random = root.find("random")) {
+    SMPI_REQUIRE(random->is_object(), "fault spec: \"random\" must be an object");
+    spec.has_random = true;
+    RandomFaults& r = spec.random;
+    double seed = require_number(*random, "seed", 0);
+    SMPI_REQUIRE(seed >= 0, "fault spec: random.seed must be >= 0");
+    r.seed = static_cast<std::uint64_t>(seed);
+    r.host_crashes = static_cast<long long>(require_number(*random, "host_crashes", 0));
+    r.link_failures = static_cast<long long>(require_number(*random, "link_failures", 0));
+    r.link_degradations = static_cast<long long>(require_number(*random, "link_degradations", 0));
+    SMPI_REQUIRE(r.host_crashes >= 0 && r.link_failures >= 0 && r.link_degradations >= 0,
+                 "fault spec: random fault counts must be >= 0");
+    r.time_min = require_number(*random, "time_min", 0);
+    r.time_max = require_number(*random, "time_max", 1);
+    SMPI_REQUIRE(r.time_min >= 0 && r.time_max >= r.time_min,
+                 "fault spec: need 0 <= time_min <= time_max");
+    r.mttr = require_number(*random, "mttr", 0);
+    SMPI_REQUIRE(r.mttr >= 0, "fault spec: random.mttr must be >= 0");
+    r.degrade_min = require_number(*random, "degrade_min", 0.1);
+    r.degrade_max = require_number(*random, "degrade_max", 0.9);
+    SMPI_REQUIRE(r.degrade_min > 0 && r.degrade_max <= 1 && r.degrade_min <= r.degrade_max,
+                 "fault spec: need 0 < degrade_min <= degrade_max <= 1");
+  }
+
+  return spec;
+}
+
+FaultSpec FaultSpec::parse_text(const std::string& text) {
+  std::size_t first = text.find_first_not_of(" \t\r\n");
+  if (first != std::string::npos && text[first] == '{') {
+    return parse(util::parse_json(text, "fault spec"));
+  }
+  return parse_file(text);
+}
+
+FaultSpec FaultSpec::parse_file(const std::string& path) {
+  return parse(util::parse_json_file(path));
+}
+
+std::vector<ResolvedFault> resolve_faults(const FaultSpec& spec, const TargetIndex& index) {
+  std::vector<ResolvedFault> resolved;
+
+  for (const FaultEvent& event : spec.events) {
+    ResolvedFault fault;
+    fault.kind = event.kind;
+    fault.time = event.time;
+    fault.factor = event.factor;
+    if (is_host_kind(event.kind)) {
+      fault.target = index.find_host ? index.find_host(event.target) : -1;
+      SMPI_REQUIRE(fault.target >= 0,
+                   "fault spec: unknown host \"" + event.target + "\"");
+    } else {
+      fault.target = index.find_link ? index.find_link(event.target) : -1;
+      SMPI_REQUIRE(fault.target >= 0,
+                   "fault spec: unknown link \"" + event.target + "\"");
+    }
+    resolved.push_back(fault);
+  }
+
+  if (spec.has_random) {
+    const RandomFaults& r = spec.random;
+    SMPI_REQUIRE(r.host_crashes == 0 || index.host_count > 0,
+                 "fault spec: random host crashes need at least one host");
+    SMPI_REQUIRE(r.link_failures == 0 || index.link_count > 0,
+                 "fault spec: random link failures need at least one shared link");
+    SMPI_REQUIRE(r.link_degradations == 0 || index.link_count > 0,
+                 "fault spec: random link degradations need at least one shared link");
+
+    auto draw = [&](std::uint64_t stream, long long count, FaultEvent::Kind fail_kind,
+                    FaultEvent::Kind recover_kind, int target_count, bool degrade) {
+      for (long long i = 0; i < count; ++i) {
+        util::Xoshiro256StarStar rng(mix(r.seed, stream, static_cast<std::uint64_t>(i)));
+        ResolvedFault fault;
+        fault.kind = fail_kind;
+        fault.target =
+            static_cast<int>(rng.next_in_range(0, static_cast<std::uint64_t>(target_count - 1)));
+        fault.time = r.time_min + rng.next_double() * (r.time_max - r.time_min);
+        if (degrade) {
+          fault.factor = r.degrade_min + rng.next_double() * (r.degrade_max - r.degrade_min);
+        }
+        resolved.push_back(fault);
+        // Always draw the recovery variate, so toggling mttr on/off never
+        // shifts which host/time the next fault class sees.
+        double repair = r.mttr * (0.5 + rng.next_double());
+        if (r.mttr > 0) {
+          ResolvedFault recover;
+          recover.kind = recover_kind;
+          recover.target = fault.target;
+          recover.time = fault.time + repair;
+          resolved.push_back(recover);
+        }
+      }
+    };
+    draw(kStreamHostCrash, r.host_crashes, FaultEvent::Kind::kHostCrash,
+         FaultEvent::Kind::kHostRecover, index.host_count, /*degrade=*/false);
+    draw(kStreamLinkFail, r.link_failures, FaultEvent::Kind::kLinkFail,
+         FaultEvent::Kind::kLinkRecover, index.link_count, /*degrade=*/false);
+    draw(kStreamLinkDegrade, r.link_degradations, FaultEvent::Kind::kLinkDegrade,
+         FaultEvent::Kind::kLinkRecover, index.link_count, /*degrade=*/true);
+  }
+
+  // Stable sort: equal-date faults fire in spec order (explicit before
+  // random, streams in fixed order), which the calendar then preserves.
+  std::stable_sort(resolved.begin(), resolved.end(),
+                   [](const ResolvedFault& a, const ResolvedFault& b) { return a.time < b.time; });
+  return resolved;
+}
+
+void FaultModel::arm() {
+  for (std::size_t i = 0; i < faults_.size(); ++i) {
+    calendar().schedule(faults_[i].time, this, i);
+  }
+}
+
+void FaultModel::on_calendar_event(double /*now*/, std::uint64_t tag) {
+  SMPI_ENSURE(tag < faults_.size(), "fault event tag out of range");
+  const ResolvedFault& fault = faults_[tag];
+  switch (fault.kind) {
+    case FaultEvent::Kind::kHostCrash:
+      if (host_hook_) host_hook_(fault.target, /*up=*/false);
+      break;
+    case FaultEvent::Kind::kHostRecover:
+      if (host_hook_) host_hook_(fault.target, /*up=*/true);
+      break;
+    case FaultEvent::Kind::kLinkFail:
+      if (link_hook_) link_hook_(fault.target, /*up=*/false, 1);
+      break;
+    case FaultEvent::Kind::kLinkRecover:
+      if (link_hook_) link_hook_(fault.target, /*up=*/true, 1);
+      break;
+    case FaultEvent::Kind::kLinkDegrade:
+      if (link_hook_) link_hook_(fault.target, /*up=*/true, fault.factor);
+      break;
+  }
+}
+
+}  // namespace smpi::sim

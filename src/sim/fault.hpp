@@ -1,0 +1,126 @@
+// Declarative failure model — calendar-driven host crashes and link faults.
+//
+// A FaultSpec is parsed from JSON (inline or a file): an explicit `events`
+// list pinning crashes/recoveries/degradations to simulated dates, plus an
+// optional `random` block that draws faults from a seeded generator using
+// the same Xoshiro mix discipline as the workload generator, so a fault run
+// is bit-reproducible per seed and independent of everything else the run
+// does with randomness.
+//
+// The sim layer knows nothing about platform files; callers resolve target
+// names to resource indices through a TargetIndex of callbacks, and the
+// FaultModel then schedules the resolved events on the engine's calendar.
+// When an event fires the model calls the registered host/link hooks — the
+// surf models implement the actual availability semantics (failing in-flight
+// actions, rejecting new ones, re-solving on recovery).
+//
+// With an empty spec no FaultModel should be constructed at all: the
+// calendar stream and therefore every simulated time stays bit-identical to
+// a fault-free build (the replay-equivalence tests are the canary).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/model.hpp"
+
+namespace smpi::util {
+class JsonValue;
+}
+
+namespace smpi::sim {
+
+// What the MPI layer does when an operation it is blocked on fails:
+//  kAbort  — tear the rank down with a diagnostic (MPI_ERRORS_ARE_FATAL).
+//  kDetect — leave the rank blocked forever so the simulated-deadlock
+//            detector reports the full wait-for state instead.
+enum class FailurePolicy { kAbort, kDetect };
+
+struct FaultEvent {
+  enum class Kind { kHostCrash, kHostRecover, kLinkFail, kLinkRecover, kLinkDegrade };
+  Kind kind = Kind::kHostCrash;
+  double time = 0;
+  std::string target;  // host or link name (explicit events only)
+  double factor = 1;   // link_degrade: remaining capacity fraction in (0, 1]
+};
+
+// Seeded-random fault generation. Streams are fixed (0 = host crashes,
+// 1 = link failures, 2 = link degradations) and each fault draws from its
+// own mix(seed, stream, index)-seeded generator, so adding one fault class
+// never perturbs the draws of another.
+struct RandomFaults {
+  std::uint64_t seed = 0;
+  long long host_crashes = 0;
+  long long link_failures = 0;
+  long long link_degradations = 0;
+  double time_min = 0;  // faults drawn uniformly in [time_min, time_max)
+  double time_max = 1;
+  double mttr = 0;  // >0: each fault recovers after mttr * uniform(0.5, 1.5)
+  double degrade_min = 0.1;  // degradation factor drawn in [degrade_min, degrade_max)
+  double degrade_max = 0.9;
+};
+
+struct FaultSpec {
+  FailurePolicy policy = FailurePolicy::kAbort;
+  std::vector<FaultEvent> events;
+  bool has_random = false;
+  RandomFaults random;
+
+  bool empty() const { return events.empty() && !has_random; }
+
+  static FaultSpec parse(const util::JsonValue& root);
+  // `text` starting with '{' parses as inline JSON, anything else as a path.
+  static FaultSpec parse_text(const std::string& text);
+  static FaultSpec parse_file(const std::string& path);
+};
+
+// Name-resolution indirection so sim/ stays independent of platform/.
+// find_* return -1 for unknown names (resolution then fails loudly).
+struct TargetIndex {
+  int host_count = 0;
+  int link_count = 0;
+  std::function<int(const std::string&)> find_host;
+  std::function<int(const std::string&)> find_link;
+};
+
+// One calendar-ready fault: explicit events resolved by name, random events
+// drawn from the seeded streams, all merged and stably time-sorted.
+struct ResolvedFault {
+  FaultEvent::Kind kind = FaultEvent::Kind::kHostCrash;
+  double time = 0;
+  int target = -1;  // host index or link index, by kind
+  double factor = 1;
+};
+
+std::vector<ResolvedFault> resolve_faults(const FaultSpec& spec, const TargetIndex& index);
+
+// Replays a resolved fault list on the engine calendar and fans each firing
+// out to the availability hooks. Construct, add_model(), set hooks, arm().
+class FaultModel : public Model {
+ public:
+  using HostHook = std::function<void(int host, bool up)>;
+  using LinkHook = std::function<void(int link, bool up, double factor)>;
+
+  explicit FaultModel(std::vector<ResolvedFault> faults) : faults_(std::move(faults)) {}
+
+  void set_host_hook(HostHook hook) { host_hook_ = std::move(hook); }
+  void set_link_hook(LinkHook hook) { link_hook_ = std::move(hook); }
+
+  // Schedules every fault on the calendar; requires add_model() first.
+  void arm();
+
+  void on_calendar_event(double now, std::uint64_t tag) override;
+
+  const std::vector<ResolvedFault>& faults() const { return faults_; }
+
+ private:
+  std::vector<ResolvedFault> faults_;
+  HostHook host_hook_;
+  LinkHook link_hook_;
+};
+
+const char* fault_kind_name(FaultEvent::Kind kind);
+
+}  // namespace smpi::sim

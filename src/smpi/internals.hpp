@@ -235,6 +235,28 @@ struct MatchQueues {
 };
 
 // ---------------------------------------------------------------------------
+// Failure propagation (fault model + deadlock diagnostics)
+// ---------------------------------------------------------------------------
+
+// Thrown into a rank whose blocked operation failed under the abort policy
+// (sim::FailurePolicy::kAbort); unwinds the rank like MPI_Abort, carrying a
+// resource diagnostic the driver prints.
+struct FaultError {
+  std::string message;
+};
+
+// What a rank is blocked on right now — maintained by the wait sites so the
+// simulated-deadlock detector can report a per-rank wait-for state instead
+// of just actor names. op == nullptr means "not blocked inside MPI".
+struct BlockedOp {
+  const char* op = nullptr;  // "recv", "send", "waitany", "probe", "poll", "compute"
+  int peer = -1;             // comm rank, MPI_ANY_SOURCE, or -1 when n/a
+  int tag = -1;
+  int comm_id = 0;           // 0 when n/a
+  std::size_t bytes = 0;
+};
+
+// ---------------------------------------------------------------------------
 // Sampling (§3.1) and memory tracking (§3.2)
 // ---------------------------------------------------------------------------
 
@@ -330,6 +352,9 @@ class Process {
   // Completed & replaced whenever a new envelope arrives (MPI_Probe wakes on it).
   sim::ActivityPtr arrival_signal;
   void signal_arrival();
+
+  // Wait-for bookkeeping for the deadlock detector (see BlockedOp).
+  BlockedOp blocked;
 
   // Unsuccessful-poll accounting (MPI_Test/Testany/Testall/Iprobe): a tight
   // polling loop is detected by back-to-back polls and escalated from
@@ -433,6 +458,30 @@ class CollSendScope {
 
 // Current process; never null inside a rank (checked).
 Process& current_process_checked();
+
+// RAII: marks what the current rank is blocked on for the duration of a
+// wait, so the deadlock reporter can name the operation.
+class BlockedOpGuard {
+ public:
+  BlockedOpGuard(Process& proc, const char* op, int peer = -1, int tag = -1, int comm_id = 0,
+                 std::size_t bytes = 0)
+      : proc_(proc), saved_(proc.blocked) {
+    proc.blocked = BlockedOp{op, peer, tag, comm_id, bytes};
+  }
+  ~BlockedOpGuard() { proc_.blocked = saved_; }
+  BlockedOpGuard(const BlockedOpGuard&) = delete;
+  BlockedOpGuard& operator=(const BlockedOpGuard&) = delete;
+
+ private:
+  Process& proc_;
+  BlockedOp saved_;  // waits nest (waitany -> wait_request): restore, not clear
+};
+
+// A blocked operation observed a kFailed activity. Applies the configured
+// failure policy: abort -> throws FaultError (never returns); detect ->
+// parks the rank on a never-finishing activity so the deadlock detector
+// reports the stranded rank (never returns either).
+[[noreturn]] void handle_operation_failure(Process& proc, const std::string& what);
 
 // True when the current world runs payload-free (offline replay): sizes
 // drive timing, payload bytes never move, and buffers passed to the

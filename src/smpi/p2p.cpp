@@ -15,6 +15,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <sstream>
 
 #include "smpi/internals.hpp"
 #include "trace/capture.hpp"
@@ -74,15 +75,27 @@ void copy_payload_to_receiver(const Envelope& env, Request& recv) {
   }
 }
 
-void complete_receive_after(Request& recv, double extra_delay) {
-  if (extra_delay <= 0) {
-    recv.token->finish(sim::Activity::State::kDone);
+void complete_receive_after(Request& recv, double extra_delay,
+                            sim::Activity::State state = sim::Activity::State::kDone) {
+  if (extra_delay <= 0 || state != sim::Activity::State::kDone) {
+    // Failures propagate immediately: the overhead timer models successful
+    // delivery work that never happens for a dead transfer.
+    recv.token->finish(state);
     return;
   }
   auto* engine = &SmpiWorld::instance()->engine();
   sim::ActivityPtr token = recv.token;
   engine->add_timer(engine->now() + extra_delay,
                     [token = std::move(token)] { token->finish(sim::Activity::State::kDone); });
+}
+
+// A rendezvous transfer (or one of its control messages) died: fail both
+// sides so the blocked ranks observe the failure at their wait sites.
+void fail_rendezvous(Envelope& env, Request& recv, sim::Activity::State state) {
+  if (env.send_request != nullptr && env.send_request->token != nullptr) {
+    env.send_request->token->finish(state);
+  }
+  complete_receive_after(recv, 0, state);
 }
 
 // Start the rendezvous data transfer once the (possibly emulated) control
@@ -97,7 +110,14 @@ void start_rendezvous_transfer(std::shared_ptr<Envelope> env, Request& recv) {
                                                static_cast<double>(env->bytes), {});
   env->data_flow = data_flow;
   Request* recv_ptr = &recv;
-  data_flow->on_completion([env, recv_ptr, send, o_recv](sim::Activity&) {
+  data_flow->on_completion([env, recv_ptr, send, o_recv](sim::Activity& flow) {
+    // After an abort, Request pointers may reference unwound actor frames;
+    // the engine stops dispatching, but guard anyway (defense in depth).
+    if (SmpiWorld::instance()->aborted()) return;
+    if (flow.state() != sim::Activity::State::kDone) {
+      fail_rendezvous(*env, *recv_ptr, flow.state());
+      return;
+    }
     copy_payload_to_receiver(*env, *recv_ptr);
     send->token->finish(sim::Activity::State::kDone);
     complete_receive_after(*recv_ptr, o_recv);
@@ -122,18 +142,31 @@ void match(std::shared_ptr<Envelope> env, Request& recv) {
     // write, and simulated time is untouched.
     copy_payload_to_receiver(*env, recv);
     Request* recv_ptr = &recv;
-    env->data_flow->on_completion(
-        [recv_ptr, o_recv](sim::Activity&) { complete_receive_after(*recv_ptr, o_recv); });
+    env->data_flow->on_completion([recv_ptr, o_recv](sim::Activity& flow) {
+      if (SmpiWorld::instance()->aborted()) return;  // recv frame may be gone
+      complete_receive_after(*recv_ptr, o_recv, flow.state());
+    });
     return;
   }
   // Rendezvous: CTS back to the sender (emulated mode), then the data.
   if (world->config().personality.emulate_protocol_messages) {
     Request* recv_ptr = &recv;
-    auto after_rts = [env, recv_ptr, world](sim::Activity&) {
+    auto after_rts = [env, recv_ptr, world](sim::Activity& rts) {
+      if (world->aborted()) return;  // request frames may be gone
+      if (rts.state() != sim::Activity::State::kDone) {
+        fail_rendezvous(*env, *recv_ptr, rts.state());
+        return;
+      }
       auto cts = world->network().start_flow(world->process(env->dst_world_rank)->node,
                                              world->process(env->src_world_rank)->node, 0, {});
-      cts->on_completion(
-          [env, recv_ptr](sim::Activity&) { start_rendezvous_transfer(env, *recv_ptr); });
+      cts->on_completion([env, recv_ptr, world](sim::Activity& done) {
+        if (world->aborted()) return;
+        if (done.state() != sim::Activity::State::kDone) {
+          fail_rendezvous(*env, *recv_ptr, done.state());
+          return;
+        }
+        start_rendezvous_transfer(env, *recv_ptr);
+      });
     };
     SMPI_ENSURE(env->rts_flow != nullptr, "emulated rendezvous without RTS");
     env->rts_flow->on_completion(after_rts);
@@ -363,7 +396,24 @@ int wait_request(Request*& request, MPI_Status* status) {
     }
     return MPI_SUCCESS;
   }
-  if (request->token != nullptr) request->token->wait();
+  if (request->token != nullptr) {
+    Process& proc = *request->owner;
+    const bool is_recv = request->kind == Request::Kind::kRecv;
+    const std::size_t bytes =
+        request->datatype != nullptr
+            ? static_cast<std::size_t>(request->count) * request->datatype->size()
+            : 0;
+    BlockedOpGuard guard(proc, is_recv ? "recv" : "send", request->peer, request->tag,
+                         request->comm != nullptr ? request->comm->id() : 0, bytes);
+    request->token->wait();
+    if (request->token->state() == sim::Activity::State::kFailed) {
+      std::ostringstream os;
+      os << "MPI_" << (is_recv ? "Recv" : "Send") << " (peer=" << request->peer
+         << ", tag=" << request->tag << ", bytes=" << bytes
+         << ") failed: a host or link on the transfer path went down";
+      handle_operation_failure(proc, os.str());
+    }
+  }
   return finalize_completed(request, status);
 }
 
@@ -528,7 +578,10 @@ void charge_unsuccessful_poll(SourceCollector&& collect_wake_sources) {
       });
     }
     proc.poll_wait = merged;
-    merged->wait();
+    {
+      BlockedOpGuard guard(proc, "poll");
+      merged->wait();
+    }
     proc.poll_wait = nullptr;
     // Quantize: the polling loop would only have observed the change at the
     // next multiple of the poll interval (and an unsuccessful poll costs at
@@ -823,7 +876,10 @@ int waitany_impl(int count, MPI_Request requests[], int* index, MPI_Status* stat
           [merged](sim::Activity&) { merged->finish(sim::Activity::State::kDone); });
     }
   }
-  merged->wait();
+  {
+    BlockedOpGuard guard(current_process_checked(), "waitany");
+    merged->wait();
+  }
   for (int i = 0; i < count; ++i) {
     if (is_pending(requests[i]) && requests[i]->completed()) {
       *index = i;
@@ -1106,6 +1162,7 @@ int MPI_Probe(int source, int tag, MPI_Comm comm, MPI_Status* status) {
     if (proc.arrival_signal == nullptr) {
       proc.arrival_signal = sim::new_activity("probe");
     }
+    BlockedOpGuard guard(proc, "probe", source, tag, comm->id());
     proc.arrival_signal->wait();
   }
 }

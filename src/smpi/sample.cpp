@@ -84,7 +84,14 @@ void smpi_execute_flops(double flops) {
     r.value = flops;
     scope.emit(r);
   }
-  proc.world->cpu().execute(proc.node, flops)->wait();
+  smpi::sim::ActivityPtr exec = proc.world->cpu().execute(proc.node, flops);
+  {
+    BlockedOpGuard guard(proc, "compute");
+    exec->wait();
+  }
+  if (exec->state() == smpi::sim::Activity::State::kFailed) {
+    handle_operation_failure(proc, "compute burst failed: host went down");
+  }
 }
 
 void smpi_execute_host_seconds(double host_seconds) {

@@ -22,6 +22,7 @@
 #include "platform/platform.hpp"
 #include "pnet/packetnet.hpp"
 #include "sim/engine.hpp"
+#include "sim/fault.hpp"
 #include "surf/cpu.hpp"
 #include "surf/network.hpp"
 
@@ -96,6 +97,15 @@ struct SmpiConfig {
   // simulator. Off = always snapshot (reference arm for equivalence tests).
   bool zero_copy_eager = true;
 
+  // Failure model (sim/fault.hpp): host crashes / link faults scheduled at
+  // simulated dates, plus seeded-random generation. An empty spec builds no
+  // fault machinery at all, so all simulated times stay bit-identical to a
+  // fault-free run. Faults require the flow backend. The spec's policy
+  // decides what a rank does when a blocked operation fails: abort the rank
+  // with a diagnostic, or hang so the deadlock detector reports the
+  // wait-for state.
+  sim::FaultSpec faults;
+
   // Payload-free mode (offline trace replay): message *sizes* drive all
   // timing but payload bytes are never materialized — eager sends skip the
   // snapshot copy, receives skip the unpack, datatype pack/unpack and
@@ -147,6 +157,12 @@ class SmpiWorld {
   P2pCounters p2p_counters() const;
   bool aborted() const { return aborted_; }
   int abort_code() const { return abort_code_; }
+  // First resource-failure diagnostic observed by a rank (abort policy);
+  // empty when no operation failed.
+  const std::string& failure_diagnostic() const { return fault_diagnostic_; }
+  // The per-rank wait-for state (blocked operation + unmatched queues) the
+  // deadlock detector appends to DeadlockError; also usable directly.
+  std::string wait_for_diagnostic() const;
 
   sim::Engine& engine() { return *engine_; }
   const platform::Platform& platform() const { return platform_; }
@@ -163,6 +179,8 @@ class SmpiWorld {
   Group* empty_group() { return empty_group_; }
   MemoryTracker& memory() { return *memory_; }
   void record_abort(int code);
+  // Records the first fault diagnostic (abort policy) alongside the abort.
+  void record_failure(const std::string& diagnostic);
   int next_comm_id() { return next_comm_id_++; }
   P2pCounters& p2p_raw() { return p2p_counters_; }  // smpi-layer increments
 
@@ -172,6 +190,7 @@ class SmpiWorld {
   std::unique_ptr<sim::Engine> engine_;
   std::shared_ptr<surf::CpuModel> cpu_model_;
   sim::NetworkBackend* network_ = nullptr;
+  surf::FlowNetworkModel* flow_network_ = nullptr;  // null with the packet backend
   sim::ComputeBackend* cpu_ = nullptr;
   std::vector<std::unique_ptr<Process>> processes_;
   Comm* world_comm_ = nullptr;
@@ -184,6 +203,7 @@ class SmpiWorld {
   std::vector<char*> argv_pointers_;
   P2pCounters p2p_counters_;  // pool fields filled from the engine on read
   double finish_time_ = 0;
+  std::string fault_diagnostic_;
   bool aborted_ = false;
   int abort_code_ = 0;
   int next_comm_id_ = 1;

@@ -1,5 +1,6 @@
 #include <algorithm>
 #include <cstdio>
+#include <sstream>
 
 #include "smpi/internals.hpp"
 #include "trace/capture.hpp"
@@ -151,18 +152,61 @@ SmpiWorld::SmpiWorld(const platform::Platform& platform, SmpiConfig config)
   if (config_.backend == SmpiConfig::Backend::kFlow) {
     auto net = std::make_shared<surf::FlowNetworkModel>(platform_, config_.network);
     network_ = net.get();
+    flow_network_ = net.get();
     engine_->add_model(std::move(net));
   } else {
     auto net = std::make_shared<pnet::PacketNetworkModel>(platform_, config_.packet);
     network_ = net.get();
     engine_->add_model(std::move(net));
   }
+
+  // Failure model: only built for a non-empty spec, so a fault-free run
+  // schedules nothing extra and every simulated time stays bit-identical.
+  if (!config_.faults.empty()) {
+    SMPI_REQUIRE(flow_network_ != nullptr,
+                 "the failure model requires the flow network backend");
+    sim::TargetIndex index;
+    index.host_count = platform_.host_count();
+    index.link_count = platform_.link_count();
+    index.find_host = [this](const std::string& name) { return platform_.find_host(name); };
+    index.find_link = [this](const std::string& name) { return platform_.find_link(name); };
+    auto faults = std::make_shared<sim::FaultModel>(resolve_faults(config_.faults, index));
+    faults->set_host_hook([this](int host, bool up) {
+      cpu_model_->set_host_up(host, up);
+      flow_network_->set_host_up(host, up);
+    });
+    faults->set_link_hook([this](int link, bool up, double factor) {
+      if (!up) {
+        flow_network_->set_link_up(link, false);
+        return;
+      }
+      // Recover resets any earlier degradation; a degrade event carries its
+      // factor in (0, 1).
+      flow_network_->set_link_degrade(link, factor);
+      flow_network_->set_link_up(link, true);
+    });
+    engine_->add_model(faults);
+    faults->arm();
+  }
+  engine_->set_deadlock_reporter([this] { return wait_for_diagnostic(); });
 }
 
 SmpiWorld::~SmpiWorld() {
+  // Teardown order is load-bearing three ways: (1) surviving actors (abort
+  // and detect-policy runs end with live, parked ranks) must unwind while
+  // the Process objects are alive — their cleanup guards write per-rank
+  // state; (2) Processes must be freed while the engine is alive — pending
+  // Requests return pooled Activity tokens to the engine's pools; (3) the
+  // engine goes last.
+  if (engine_ != nullptr) engine_->shutdown_actors();
   processes_.clear();
   reset_shared_allocations();
   reset_global_samples();
+  // Drop our model ref before the engine: a time-limited run leaves
+  // incomplete executions holding pooled activities, and those must return
+  // to the engine's pools inside ~Engine (models_ holds the last ref), not
+  // after it.
+  cpu_model_.reset();
   engine_.reset();
   g_world = nullptr;
 }
@@ -184,6 +228,107 @@ Process* SmpiWorld::process(int world_rank) {
 void SmpiWorld::record_abort(int code) {
   aborted_ = true;
   abort_code_ = code;
+  // Freeze the engine at the abort date. The aborting rank's frame is about
+  // to unwind (or already has), and in-flight transfers hold raw Request
+  // pointers into it — letting the calendar drain to the natural deadlock
+  // would dispatch their completions into freed stack memory.
+  if (engine_ != nullptr) engine_->request_stop();
+}
+
+void SmpiWorld::record_failure(const std::string& diagnostic) {
+  if (fault_diagnostic_.empty()) fault_diagnostic_ = diagnostic;
+}
+
+std::string SmpiWorld::wait_for_diagnostic() const {
+  // Per-rank wait-for state plus unmatched queue contents — the detector's
+  // diagnostic payload. Capped so a 1024-rank deadlock stays readable.
+  constexpr int kMaxRanks = 32;
+  constexpr std::size_t kMaxQueueItems = 8;
+  std::ostringstream os;
+  os << "wait-for state:";
+  int shown = 0;
+  int blocked_total = 0;
+  for (const auto& proc : processes_) {
+    if (proc->actor == nullptr || !proc->actor->alive()) continue;
+    ++blocked_total;
+    if (shown >= kMaxRanks) continue;
+    ++shown;
+    os << "\n  rank " << proc->world_rank << " (node " << proc->node << "): ";
+    if (proc->blocked.op == nullptr) {
+      os << "not blocked in an MPI operation";
+    } else {
+      os << "blocked in " << proc->blocked.op;
+      os << " (peer=";
+      if (proc->blocked.peer == MPI_ANY_SOURCE) {
+        os << "ANY";
+      } else {
+        os << proc->blocked.peer;
+      }
+      os << ", tag=";
+      if (proc->blocked.tag == MPI_ANY_TAG) {
+        os << "ANY";
+      } else {
+        os << proc->blocked.tag;
+      }
+      os << ", comm=" << proc->blocked.comm_id << ", bytes=" << proc->blocked.bytes << ")";
+    }
+    for (const auto& [key, queues] : proc->matching) {
+      if (queues.unexpected.empty() && queues.posted_recvs.empty()) continue;
+      os << "\n    scope " << key << (key < 0 ? " (collective)" : "") << ":";
+      std::size_t listed = 0;
+      for (const auto& env : queues.unexpected) {
+        if (listed++ >= kMaxQueueItems) {
+          os << " ...";
+          break;
+        }
+        os << " unexpected[src=" << env->src_comm_rank << " tag=" << env->tag
+           << " bytes=" << env->bytes << "]";
+      }
+      listed = 0;
+      for (const Request* recv : queues.posted_recvs) {
+        if (listed++ >= kMaxQueueItems) {
+          os << " ...";
+          break;
+        }
+        os << " posted-recv[peer=";
+        if (recv->peer == MPI_ANY_SOURCE) {
+          os << "ANY";
+        } else {
+          os << recv->peer;
+        }
+        os << " tag=";
+        if (recv->tag == MPI_ANY_TAG) {
+          os << "ANY";
+        } else {
+          os << recv->tag;
+        }
+        os << "]";
+      }
+    }
+  }
+  if (blocked_total > shown) {
+    os << "\n  ... " << (blocked_total - shown) << " more blocked rank(s)";
+  }
+  return os.str();
+}
+
+void handle_operation_failure(Process& proc, const std::string& what) {
+  SmpiWorld* world = proc.world;
+  std::ostringstream os;
+  os << "rank " << proc.world_rank << " (node " << proc.node << "): " << what;
+  if (world->config().faults.policy == sim::FailurePolicy::kAbort) {
+    throw FaultError{os.str()};
+  }
+  // Detect policy: strand the rank on an activity nothing ever finishes —
+  // the deadlock detector then reports the full wait-for state. The actor
+  // is unwound by the engine teardown (ForcedExit through this wait).
+  SMPI_LOG_WARN(log_smpi, "detect policy: " << os.str() << " — rank parked for the detector");
+  auto black_hole = sim::new_activity("failed-op");
+  // Keep the peer/tag/comm of the failed operation for the reporter; only
+  // relabel it so the diagnostic says the wait can never succeed.
+  proc.blocked.op = "failed-op";
+  for (;;) black_hole->wait();
+  // not reached
 }
 
 void SmpiWorld::run(int nprocs, MpiMain app, std::vector<std::string> args,
@@ -226,6 +371,13 @@ void SmpiWorld::run(int nprocs, MpiMain app, std::vector<std::string> args,
       } catch (const AbortException& abort) {
         record_abort(abort.code);
         SMPI_LOG_WARN(log_smpi, "rank " << proc->world_rank << " aborted with code " << abort.code);
+      } catch (const FaultError& fault) {
+        // A resource failure tore this rank down (abort policy): record the
+        // diagnostic so the driver can print what died and where.
+        record_abort(-2);
+        record_failure(fault.message);
+        SMPI_LOG_WARN(log_smpi, "rank " << proc->world_rank
+                                        << " terminated by a resource failure: " << fault.message);
       } catch (const sim::ForcedExit&) {
         throw;  // teardown unwinding — must reach the context trampoline
       } catch (...) {

@@ -31,6 +31,10 @@ sim::ActivityPtr CpuModel::execute(int node, double flops) {
   auto* engine = sim::Engine::current();
   SMPI_REQUIRE(engine != nullptr, "execute outside a simulation");
   auto activity = sim::new_activity("exec");
+  if (faults_enabled_ && host_up_[static_cast<std::size_t>(node)] == 0) {
+    activity->finish(sim::Activity::State::kFailed);
+    return activity;
+  }
   if (flops <= 0) {
     activity->finish(sim::Activity::State::kDone);
     return activity;
@@ -38,6 +42,7 @@ sim::ActivityPtr CpuModel::execute(int node, double flops) {
   const double now = engine->now();
   auto exec = std::make_shared<Execution>();
   exec->id = next_execution_id_++;
+  exec->node = node;
   exec->activity = activity;
   exec->work.start(flops, now);
   exec->var = system_.new_variable(1.0, platform_.host(node).speed_flops);
@@ -95,6 +100,41 @@ void CpuModel::on_calendar_event(double now, std::uint64_t tag) {
   // one re-solve when the engine settles.
   request_settle();
   activity->finish(sim::Activity::State::kDone);
+}
+
+void CpuModel::set_host_up(int host, bool up) {
+  SMPI_REQUIRE(host >= 0 && host < platform_.host_count(), "set_host_up on unknown host");
+  if (!faults_enabled_) {
+    faults_enabled_ = true;
+    host_up_.assign(static_cast<std::size_t>(platform_.host_count()), 1);
+  }
+  host_up_[static_cast<std::size_t>(host)] = up ? 1 : 0;
+  if (up) return;
+  // Fail the host's running executions. Collect first: the kFailed
+  // completion callbacks may start new executions and mutate the map.
+  std::vector<std::uint64_t> victims;
+  for (const auto& [id, exec] : executions_) {
+    if (exec->node == host) victims.push_back(id);
+  }
+  // Map order is implementation-defined; fail in id (start) order so the
+  // callback cascade is deterministic.
+  std::sort(victims.begin(), victims.end());
+  for (std::uint64_t id : victims) {
+    auto it = executions_.find(id);
+    if (it == executions_.end()) continue;
+    Execution& exec = *it->second;
+    sim::ActivityPtr activity = exec.activity;
+    calendar().cancel(exec.event);
+    system_.release_variable(exec.var);
+    var_to_execution_[static_cast<std::size_t>(exec.var)] = nullptr;
+    executions_.erase(it);
+    request_settle();
+    activity->finish(sim::Activity::State::kFailed);
+  }
+}
+
+bool CpuModel::host_is_up(int host) const {
+  return !faults_enabled_ || host_up_[static_cast<std::size_t>(host)] != 0;
 }
 
 }  // namespace smpi::surf

@@ -37,9 +37,17 @@ class CpuModel final : public sim::Model, public sim::ComputeBackend {
   std::size_t active_execution_count() const { return executions_.size(); }
   const MaxMinSystem& solver() const { return system_; }
 
+  // Availability (driven by sim::FaultModel): a down host fails its running
+  // executions (kFailed) and rejects new ones; recovery re-enables it. State
+  // allocates lazily on the first fault, so fault-free runs pay one bool
+  // check per execute().
+  void set_host_up(int host, bool up);
+  bool host_is_up(int host) const;
+
  private:
   struct Execution {
     std::uint64_t id = 0;
+    int node = -1;
     sim::ActivityPtr activity;
     sim::FluidWork work;
     int var = -1;
@@ -56,6 +64,8 @@ class CpuModel final : public sim::Model, public sim::ComputeBackend {
   // Indexed by solver variable id (recycled, stays dense); nullptr when free.
   std::vector<Execution*> var_to_execution_;
   std::uint64_t next_execution_id_ = 1;
+  bool faults_enabled_ = false;
+  std::vector<char> host_up_;  // per host id; empty until the first fault
 };
 
 }  // namespace smpi::surf

@@ -89,6 +89,19 @@ sim::ActivityPtr FlowNetworkModel::start_flow(int src_node, int dst_node, double
   ++total_flows_;
 
   auto activity = sim::new_activity("flow");
+  if (faults_enabled_) {
+    // A dead endpoint or route fails the transfer at the post; the MPI layer
+    // maps the kFailed activity to its failure policy.
+    bool up = host_up_[static_cast<std::size_t>(src_node)] != 0 &&
+              host_up_[static_cast<std::size_t>(dst_node)] != 0;
+    if (up && src_node != dst_node) {
+      up = route_is_up(src_node, dst_node, *route_info(src_node, dst_node).links);
+    }
+    if (!up) {
+      activity->finish(sim::Activity::State::kFailed);
+      return activity;
+    }
+  }
   if (src_node == dst_node) {
     // Loopback: modeled as instantaneous (memcpy cost is charged by the MPI
     // layer's personality overheads, not the network).
@@ -117,6 +130,9 @@ sim::ActivityPtr FlowNetworkModel::start_flow(int src_node, int dst_node, double
   // keep a pointer instead of copying the link list.
   flow.pending_links = route_info(src_node, dst_node).links;
   flow.pending_bytes = bytes;
+  flow.src = src_node;
+  flow.dst = dst_node;
+  flow.route_links = flow.pending_links;
   flow.event = calendar().schedule(engine->now() + latency, this, pack_tag(slot, flow.gen));
   SMPI_LOG_DEBUG(log_surf, "flow " << src_node << "->" << dst_node << " size=" << bytes
                                    << " lat=" << latency << " bound=" << bound);
@@ -143,6 +159,9 @@ void FlowNetworkModel::retire_slot(std::uint32_t slot) {
   flow.var = -1;
   flow.in_latency = false;
   flow.pending_links = nullptr;
+  flow.src = -1;
+  flow.dst = -1;
+  flow.route_links = nullptr;
   flow.event = sim::EventCalendar::kNoEvent;
   free_slots_.push_back(slot);
   --active_flows_;
@@ -223,13 +242,14 @@ void FlowNetworkModel::on_calendar_event(double now, std::uint64_t tag) {
   }
   SMPI_ENSURE(flow.work.remaining_at(now) <= kRemainingEps,
               "completion event fired with work left");
-  complete(flow);
+  complete(flow, sim::Activity::State::kDone);
 }
 
-void FlowNetworkModel::complete(Flow& flow) {
+void FlowNetworkModel::complete(Flow& flow, sim::Activity::State state) {
   // Move the activity handle out before retiring: finish() may run
   // completion callbacks that start new flows into this very slot.
   sim::ActivityPtr activity = std::move(flow.activity);
+  calendar().cancel(flow.event);
   if (flow.var >= 0) {
     system_.release_variable(flow.var);
     var_to_flow_[static_cast<std::size_t>(flow.var)] = nullptr;
@@ -240,7 +260,85 @@ void FlowNetworkModel::complete(Flow& flow) {
   // synchronously (link_usage re-solves on demand), so they still observe a
   // consistent system.
   request_settle();
-  activity->finish(sim::Activity::State::kDone);
+  activity->finish(state);
+}
+
+void FlowNetworkModel::ensure_fault_state() {
+  if (faults_enabled_) return;
+  faults_enabled_ = true;
+  host_up_.assign(static_cast<std::size_t>(platform_.host_count()), 1);
+  link_up_.assign(static_cast<std::size_t>(platform_.link_count()), 1);
+  link_degrade_.assign(static_cast<std::size_t>(platform_.link_count()), 1.0);
+}
+
+bool FlowNetworkModel::route_is_up(int /*src_node*/, int /*dst_node*/,
+                                   const std::vector<int>& links) const {
+  for (int link : links) {
+    if (link_up_[static_cast<std::size_t>(link)] == 0) return false;
+  }
+  return true;
+}
+
+template <typename Pred>
+void FlowNetworkModel::fail_matching_flows(const Pred& doomed) {
+  // Collect first: failing a flow retires its slot, and the kFailed
+  // completion callbacks may start fresh flows into recycled slots.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> victims;
+  for (const auto& slot : slots_) {
+    if (slot->activity == nullptr) continue;  // free slot
+    if (doomed(*slot)) victims.emplace_back(slot->slot, slot->gen);
+  }
+  for (const auto& [slot, gen] : victims) {
+    Flow& flow = *slots_[slot];
+    if (flow.gen != gen || flow.activity == nullptr) continue;
+    complete(flow, sim::Activity::State::kFailed);
+  }
+}
+
+void FlowNetworkModel::set_host_up(int host, bool up) {
+  SMPI_REQUIRE(host >= 0 && host < platform_.host_count(), "set_host_up on unknown host");
+  ensure_fault_state();
+  host_up_[static_cast<std::size_t>(host)] = up ? 1 : 0;
+  if (!up) {
+    fail_matching_flows([host](const Flow& flow) { return flow.src == host || flow.dst == host; });
+  }
+}
+
+void FlowNetworkModel::set_link_up(int link, bool up) {
+  SMPI_REQUIRE(link >= 0 && link < platform_.link_count(), "set_link_up on unknown link");
+  ensure_fault_state();
+  link_up_[static_cast<std::size_t>(link)] = up ? 1 : 0;
+  if (!up) {
+    fail_matching_flows([link](const Flow& flow) {
+      if (flow.route_links == nullptr) return false;
+      for (int l : *flow.route_links) {
+        if (l == link) return true;
+      }
+      return false;
+    });
+  }
+}
+
+void FlowNetworkModel::set_link_degrade(int link, double factor) {
+  SMPI_REQUIRE(link >= 0 && link < platform_.link_count(), "set_link_degrade on unknown link");
+  SMPI_REQUIRE(factor > 0 && factor <= 1, "link degrade factor must be in (0, 1]");
+  ensure_fault_state();
+  link_degrade_[static_cast<std::size_t>(link)] = factor;
+  const int constraint = link_constraint_[static_cast<std::size_t>(link)];
+  if (constraint < 0) return;  // fatpipe: no shared constraint to scale
+  system_.set_capacity(constraint, platform_.link(link).bandwidth_bps *
+                                       config_.bandwidth_efficiency * factor);
+  // The flows on the link keep running at the reduced share; one settle
+  // re-solves the whole component and reschedules their completions.
+  request_settle();
+}
+
+bool FlowNetworkModel::host_is_up(int host) const {
+  return !faults_enabled_ || host_up_[static_cast<std::size_t>(host)] != 0;
+}
+
+bool FlowNetworkModel::link_is_up(int link) const {
+  return !faults_enabled_ || link_up_[static_cast<std::size_t>(link)] != 0;
 }
 
 double FlowNetworkModel::link_usage(int link_id) {

@@ -67,6 +67,19 @@ class FlowNetworkModel final : public sim::Model, public sim::NetworkBackend {
   // Property-test hook: total allocated rate through a link's constraint.
   double link_usage(int link_id);
 
+  // --- availability (driven by sim::FaultModel) ----------------------------
+  // A down host fails every in-flight flow touching it (kFailed) and rejects
+  // new flows from/to it; a down link does the same for flows crossing it.
+  // Degrade scales a shared link's effective capacity by `factor` (persists
+  // across down/up; fatpipe links have no shared constraint, so degradation
+  // is a documented no-op there). All state allocates lazily on first use —
+  // a fault-free run touches none of it.
+  void set_host_up(int host, bool up);
+  void set_link_up(int link, bool up);
+  void set_link_degrade(int link, double factor);
+  bool host_is_up(int host) const;
+  bool link_is_up(int link) const;
+
   // Perf counter: solver work actually performed (see MaxMinSystem).
   const MaxMinSystem& solver() const { return system_; }
 
@@ -84,6 +97,12 @@ class FlowNetworkModel final : public sim::Model, public sim::NetworkBackend {
     bool in_latency = false;
     const std::vector<int>* pending_links = nullptr;
     double pending_bytes = 0;
+    // Endpoints and route, kept for the flow's whole lifetime so the fault
+    // layer can find the flows a dead host/link strands (the platform's
+    // route storage is immutable, so the pointer stays valid).
+    int src = -1;
+    int dst = -1;
+    const std::vector<int>* route_links = nullptr;
     sim::ActivityPtr activity;
     sim::FluidWork work;
     int var = -1;  // -1 when not in the solver (no-contention mode)
@@ -126,7 +145,13 @@ class FlowNetworkModel final : public sim::Model, public sim::NetworkBackend {
   // rate changed.
   void resettle(double now);
   void reschedule(Flow& flow, double now);
-  void complete(Flow& flow);
+  void complete(Flow& flow, sim::Activity::State state);
+  // Lazily size the availability vectors (first fault only).
+  void ensure_fault_state();
+  bool route_is_up(int src_node, int dst_node, const std::vector<int>& links) const;
+  // Fail (kFailed) every active flow for which `doomed` is true.
+  template <typename Pred>
+  void fail_matching_flows(const Pred& doomed);
 
   const platform::Platform& platform_;
   NetworkConfig config_;
@@ -145,6 +170,12 @@ class FlowNetworkModel final : public sim::Model, public sim::NetworkBackend {
   // as the peak concurrent flow count; nullptr for retired slots.
   std::vector<Flow*> var_to_flow_;
   std::uint64_t total_flows_ = 0;
+  // Availability state; empty until the first fault (ensure_fault_state), so
+  // fault-free runs pay a single bool check per flow.
+  bool faults_enabled_ = false;
+  std::vector<char> host_up_;        // per host id
+  std::vector<char> link_up_;        // per link id
+  std::vector<double> link_degrade_; // per link id; capacity factor in (0, 1]
 };
 
 }  // namespace smpi::surf

@@ -349,6 +349,9 @@ ReplayResult replay_trace(const platform::Platform& platform, core::SmpiConfig c
   result.simulated_time = world.simulated_time();
   result.records = trace.total_records();
   result.ranks = trace.nranks;
+  result.aborted = world.aborted();
+  result.abort_code = world.abort_code();
+  result.failure = world.failure_diagnostic();
   result.arena_bytes = static_cast<std::uint64_t>(arena_bytes);
   result.rank_usage = std::move(*usage);
   if (const auto* net = dynamic_cast<const surf::FlowNetworkModel*>(&world.network())) {

@@ -56,6 +56,12 @@ struct ReplayResult {
   double simulated_time = 0;
   long long records = 0;
   int ranks = 0;
+  // Set when a rank aborted the replay (MPI_Abort, or a resource failure
+  // under the fault model's abort policy). `failure` carries the first
+  // fault diagnostic when the abort came from the failure model.
+  bool aborted = false;
+  int abort_code = 0;
+  std::string failure;
   std::uint64_t arena_bytes = 0;
   std::vector<RankUsage> rank_usage;  // indexed by world rank
   // Cumulative solver work over the whole replay (network + cpu systems);

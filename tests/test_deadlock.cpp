@@ -1,0 +1,104 @@
+// Termination accounting: a run must end in exactly one of clean exit,
+// simulated deadlock (with the wait-for diagnostic naming the blocked MPI
+// operations), or the max-sim-time limit. Exercises both the bare engine
+// and mismatched MPI programs.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "smpi_test_util.hpp"
+
+using namespace smpi_test;
+namespace ss = smpi::sim;
+
+TEST(Termination, CleanExitLeavesNoLiveActors) {
+  ss::Engine engine;
+  engine.spawn("a", 0, [&] { engine.sleep_for(1.0); });
+  engine.spawn("b", 0, [] {});
+  engine.run();
+  EXPECT_EQ(engine.live_actor_count(), 0u);
+}
+
+TEST(Termination, MaxSimTimeThrowsTimeLimit) {
+  ss::EngineConfig config;
+  config.max_sim_time = 1.0;
+  ss::Engine engine(config);
+  engine.spawn("sleeper", 0, [&] { engine.sleep_for(2.0); });
+  EXPECT_THROW(engine.run(), ss::TimeLimitError);
+}
+
+TEST(Termination, MaxSimTimeAboveHorizonIsHarmless) {
+  ss::EngineConfig config;
+  config.max_sim_time = 5.0;
+  ss::Engine engine(config);
+  double finished_at = -1;
+  engine.spawn("sleeper", 0, [&] {
+    engine.sleep_for(2.0);
+    finished_at = engine.now();
+  });
+  engine.run();
+  EXPECT_DOUBLE_EQ(finished_at, 2.0);
+}
+
+TEST(Termination, MismatchedTagDeadlocksWithWaitForState) {
+  // Rank 0's eager send completes fire-and-forget; rank 1 waits forever on a
+  // tag that never arrives. The detector must name the blocked receive and
+  // show the unmatched envelope sitting in the queue.
+  try {
+    run_mpi(2, [] {
+      char byte = 0;
+      if (my_rank() == 0) {
+        MPI_Send(&byte, 1, MPI_BYTE, 1, 0, MPI_COMM_WORLD);
+      } else {
+        MPI_Recv(&byte, 1, MPI_BYTE, 0, 1, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+      }
+    });
+    FAIL() << "mismatched tags must deadlock";
+  } catch (const ss::DeadlockError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("wait-for state"), std::string::npos) << what;
+    EXPECT_NE(what.find("blocked in recv"), std::string::npos) << what;
+    EXPECT_NE(what.find("tag=1"), std::string::npos) << what;
+  }
+}
+
+TEST(Termination, MissingSendDeadlocks) {
+  try {
+    run_mpi(2, [] {
+      char byte = 0;
+      if (my_rank() == 1) {
+        MPI_Recv(&byte, 1, MPI_BYTE, 0, 0, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+      }
+    });
+    FAIL() << "a receive with no sender must deadlock";
+  } catch (const ss::DeadlockError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("rank 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("blocked in recv"), std::string::npos) << what;
+  }
+}
+
+TEST(Termination, TruncatedPeerDeadlocksBothRanks) {
+  // Both ranks post receives as if the other had already sent — the shape a
+  // truncated trace replays into. Both must show up blocked.
+  try {
+    run_mpi(2, [] {
+      char byte = 0;
+      const int peer = my_rank() ^ 1;
+      MPI_Recv(&byte, 1, MPI_BYTE, peer, 0, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+    });
+    FAIL() << "mutual receives must deadlock";
+  } catch (const ss::DeadlockError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("rank 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("rank 1"), std::string::npos) << what;
+  }
+}
+
+TEST(Termination, MaxSimTimeBoundsRunawayMpiRun) {
+  smpi::core::SmpiConfig config = fast_config();
+  config.engine.max_sim_time = 0.5;
+  EXPECT_THROW(run_mpi(2, [] { smpi_execute_flops(1e10); }, config), ss::TimeLimitError);
+}

@@ -37,6 +37,7 @@ struct Options {
   std::string workload_file;   // overrides the spec's "workload"
   std::string resume_file;     // prior report to adopt ok scenarios from
   int workers = 1;
+  double timeout_s = 0;  // per-scenario watchdog (overrides the spec)
   std::string out_json;
   std::string out_csv;
   bool list_only = false;
@@ -54,6 +55,8 @@ struct Options {
                "  --resume FILE     prior JSON report: adopt its ok scenarios,\n"
                "                    re-run only the missing/failed ones\n"
                "  --workers N       worker processes (default 1)\n"
+               "  --timeout S       per-scenario wall-clock watchdog in seconds\n"
+               "                    (overrides the spec's timeout_s; 0 = none)\n"
                "  --out FILE        write the JSON report to FILE\n"
                "  --csv FILE        write the CSV report to FILE\n"
                "  --list            print the scenario list and exit\n"
@@ -80,6 +83,8 @@ Options parse_options(int argc, char** argv) {
         options.resume_file = need_value(i);
       } else if (arg == "--workers") {
         options.workers = std::stoi(need_value(i));
+      } else if (arg == "--timeout") {
+        options.timeout_s = std::stod(need_value(i));
       } else if (arg == "--out") {
         options.out_json = need_value(i);
       } else if (arg == "--csv") {
@@ -99,6 +104,7 @@ Options parse_options(int argc, char** argv) {
   }
   if (options.spec_file.empty()) usage("--spec is required");
   if (options.workers < 1) usage("--workers must be >= 1");
+  if (options.timeout_s < 0) usage("--timeout must be >= 0");
   if (!options.trace_dir.empty() && !options.workload_file.empty()) {
     usage("--trace and --workload are mutually exclusive");
   }
@@ -156,6 +162,7 @@ int main(int argc, char** argv) {
     smpi::campaign::RunOptions run_options;
     run_options.workers = options.workers;
     run_options.progress = options.progress;
+    run_options.timeout_s = options.timeout_s;
     if (!options.resume_file.empty()) {
       const auto report = smpi::util::parse_json_file(options.resume_file);
       run_options.resume = smpi::campaign::results_from_report(report, spec, scenarios);

@@ -17,13 +17,20 @@
 // are reported with rank, path, and line). For sweeping many what-if
 // scenarios over one trace, see tools/smpi_campaign.
 //
-// Exit code: 0 on success, 1 on usage errors, 2 when the application aborts.
+// Exit code: 0 on success, 1 on usage errors, 2 when the application aborts
+// (including resource-failure aborts), 3 on a simulated deadlock (the wait-for
+// diagnostic is printed to stderr), 4 when --max-sim-time or --wall-timeout
+// fires.
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
+
+#include <sys/time.h>
+#include <unistd.h>
 
 #include "apps/dt.hpp"
 #include "apps/ep.hpp"
@@ -58,6 +65,9 @@ struct Options {
   std::string trace_ti_dir;   // --trace-ti: capture a TI trace while running
   std::string replay_dir;     // --replay: re-simulate a captured TI trace
   std::string trace_paje;     // --trace-paje: time-stamped Paje timeline
+  std::string faults;         // --faults: inline JSON or spec file path
+  double max_sim_time = 0;    // --max-sim-time: simulated-seconds guard (0 = off)
+  double wall_timeout = 0;    // --wall-timeout: wall-clock guard (0 = off)
 };
 
 [[noreturn]] void usage(const char* error) {
@@ -79,6 +89,9 @@ struct Options {
                "  --trace-ti DIR        capture a time-independent trace into DIR\n"
                "  --replay DIR          replay a captured trace (ignores --np/--app)\n"
                "  --trace-paje FILE     write a Paje timeline of the (re)simulation\n"
+               "  --faults SPEC         failure model: inline JSON ('{...}') or a spec file\n"
+               "  --max-sim-time S      abort once simulated time would pass S seconds (exit 4)\n"
+               "  --wall-timeout S      abort after S wall-clock seconds (exit 4)\n"
                "  --verbose             print per-app details\n");
   std::exit(1);
 }
@@ -122,6 +135,12 @@ Options parse_options(int argc, char** argv) {
         options.replay_dir = need_value(i);
       } else if (arg == "--trace-paje") {
         options.trace_paje = need_value(i);
+      } else if (arg == "--faults") {
+        options.faults = need_value(i);
+      } else if (arg == "--max-sim-time") {
+        options.max_sim_time = std::stod(need_value(i));
+      } else if (arg == "--wall-timeout") {
+        options.wall_timeout = std::stod(need_value(i));
       } else if (arg == "--verbose") {
         options.verbose = true;
       } else if (arg == "--help" || arg == "-h") {
@@ -134,7 +153,32 @@ Options parse_options(int argc, char** argv) {
     }
   }
   if (options.np < 1) usage("--np must be >= 1");
+  if (options.max_sim_time < 0) usage("--max-sim-time must be >= 0");
+  if (options.wall_timeout < 0) usage("--wall-timeout must be >= 0");
   return options;
+}
+
+// --wall-timeout: a real (wall-clock) interval timer. The handler must be
+// async-signal-safe, so it write()s a fixed message and _exit()s — no unwind,
+// no streams. That is the point: this guard fires when the simulation itself
+// is stuck (e.g. a poll loop advancing virtual time forever), so there is no
+// safe place to resume.
+void arm_wall_timeout(double seconds) {
+  if (seconds <= 0) return;
+  struct sigaction sa = {};
+  sa.sa_handler = [](int) {
+    const char msg[] = "smpirun: wall-clock timeout exceeded (--wall-timeout)\n";
+    ssize_t ignored = write(STDERR_FILENO, msg, sizeof(msg) - 1);
+    (void)ignored;
+    _exit(4);
+  };
+  sigemptyset(&sa.sa_mask);
+  sigaction(SIGALRM, &sa, nullptr);
+  struct itimerval timer = {};
+  timer.it_value.tv_sec = static_cast<long>(seconds);
+  timer.it_value.tv_usec = static_cast<long>((seconds - static_cast<double>(timer.it_value.tv_sec)) * 1e6);
+  if (timer.it_value.tv_sec == 0 && timer.it_value.tv_usec == 0) timer.it_value.tv_usec = 1;
+  setitimer(ITIMER_REAL, &timer, nullptr);
 }
 
 smpi::platform::Platform make_platform(const Options& options) {
@@ -237,6 +281,7 @@ int main(int argc, char** argv) {
   if (!options.replay_dir.empty() && !options.trace_ti_dir.empty()) {
     usage("--replay and --trace-ti are mutually exclusive");
   }
+  arm_wall_timeout(options.wall_timeout);
   try {
     auto platform = make_platform(options);
 
@@ -246,6 +291,10 @@ int main(int argc, char** argv) {
       config.personality = smpi::core::Personality::openmpi();
     } else if (options.backend != "flow") {
       usage("--backend must be flow or packet");
+    }
+    config.engine.max_sim_time = options.max_sim_time;
+    if (!options.faults.empty()) {
+      config.faults = smpi::sim::FaultSpec::parse_text(options.faults);
     }
 
     if (!options.replay_dir.empty()) {
@@ -257,6 +306,13 @@ int main(int argc, char** argv) {
       }
       const auto result =
           smpi::trace::replay_trace(platform, config, options.replay_dir, replay_options);
+      if (result.aborted) {
+        std::fprintf(stderr, "smpirun: replay aborted with code %d\n", result.abort_code);
+        if (!result.failure.empty()) {
+          std::fprintf(stderr, "smpirun: resource failure: %s\n", result.failure.c_str());
+        }
+        return 2;
+      }
       std::printf("smpirun: replayed %lld records over %d ranks on %d hosts (%s backend)\n",
                   result.records, result.ranks, platform.host_count(), options.backend.c_str());
       if (options.verbose) {
@@ -312,6 +368,10 @@ int main(int argc, char** argv) {
 
     if (world.aborted()) {
       std::fprintf(stderr, "smpirun: application aborted with code %d\n", world.abort_code());
+      if (!world.failure_diagnostic().empty()) {
+        std::fprintf(stderr, "smpirun: resource failure: %s\n",
+                     world.failure_diagnostic().c_str());
+      }
       return 2;
     }
     std::printf("smpirun: %d processes on %d hosts (%s backend)\n", np, platform.host_count(),
@@ -340,6 +400,12 @@ int main(int argc, char** argv) {
       }
     }
     return 0;
+  } catch (const smpi::sim::DeadlockError& e) {
+    std::fprintf(stderr, "smpirun: simulated deadlock: %s\n", e.what());
+    return 3;
+  } catch (const smpi::sim::TimeLimitError& e) {
+    std::fprintf(stderr, "smpirun: %s\n", e.what());
+    return 4;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "smpirun: error: %s\n", e.what());
     return 2;

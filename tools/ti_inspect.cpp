@@ -4,14 +4,17 @@
 //   ti_inspect <trace-dir> --dump [r]  print every record (of rank r)
 //   ti_inspect <trace-dir> --summary   replay on a flat cluster and print the
 //                                      result incl. p2p hot-path counters
+//   ti_inspect <trace-dir> --check     static sanity check: unmatched p2p
+//                                      counterparts, collective divergence
 //
-// Exit code: 0 on success, 1 on usage/load errors.
+// Exit code: 0 on success, 1 on usage/load errors or --check findings.
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <string>
 
 #include "platform/builders.hpp"
+#include "trace/check.hpp"
 #include "trace/reader.hpp"
 #include "trace/replay.hpp"
 
@@ -59,12 +62,13 @@ long long record_bytes(const smpi::trace::TiRecord& r) {
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr, "usage: ti_inspect <trace-dir> [--dump [rank]]\n");
+    std::fprintf(stderr, "usage: ti_inspect <trace-dir> [--dump [rank] | --summary | --check]\n");
     return 1;
   }
   const std::string dir = argv[1];
   const bool dump = argc >= 3 && std::strcmp(argv[2], "--dump") == 0;
   const bool summary = argc >= 3 && std::strcmp(argv[2], "--summary") == 0;
+  const bool check = argc >= 3 && std::strcmp(argv[2], "--check") == 0;
   const int dump_rank = argc >= 4 ? std::atoi(argv[3]) : -1;
 
   try {
@@ -79,6 +83,20 @@ int main(int argc, char** argv) {
         }
       }
       return 0;
+    }
+
+    if (check) {
+      const smpi::trace::TraceCheckReport report = smpi::trace::check_trace(trace);
+      if (report.ok()) {
+        std::printf("trace: %s\nranks: %d\ncheck: ok\n", dir.c_str(), trace.nranks);
+        return 0;
+      }
+      std::fprintf(stderr, "trace: %s\nranks: %d\ncheck: %zu finding(s)\n", dir.c_str(),
+                   trace.nranks, report.findings.size());
+      for (const auto& finding : report.findings) {
+        std::fprintf(stderr, "  %s\n", finding.message.c_str());
+      }
+      return 1;
     }
 
     if (summary) {
