@@ -4,10 +4,19 @@
 #include <cstdio>
 
 #include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
 
 namespace smpi::campaign {
 
 namespace {
+
+// Bootstrap-CI knobs for the replication fold-down: fixed so two runs of the
+// same campaign (or a resume of one) always report identical intervals.
+constexpr double kCiLevel = 0.95;
+constexpr int kCiResamples = 200;
+
+int reps_of(const CampaignOutcome& outcome) { return std::max(1, outcome.replications); }
 
 const ScenarioResult& baseline_of(const CampaignOutcome& outcome) {
   SMPI_REQUIRE(!outcome.results.empty(), "campaign outcome has no scenarios");
@@ -25,18 +34,93 @@ std::string format_double(double v) {
   return buf;
 }
 
-// Scenario ids of the successful runs, sorted fastest-first (stable on ties
-// so the ranking is deterministic).
-std::vector<int> ranked_ok(const CampaignOutcome& outcome) {
+// Per-scenario fold-down of a replicated sweep's simulated times.
+struct ScenarioAgg {
+  bool complete = false;       // every replication succeeded
+  std::vector<double> times;   // simulated times of the ok replications
+  util::SampleSummary stats;   // over `times` (valid when non-empty)
+  util::BootstrapCi ci;        // bootstrap CI of the mean (valid when non-empty)
+};
+
+ScenarioAgg aggregate_scenario(const CampaignOutcome& outcome, std::size_t scenario,
+                               std::uint64_t ci_seed) {
+  const int reps = reps_of(outcome);
+  ScenarioAgg agg;
+  agg.complete = true;
+  for (int rep = 0; rep < reps; ++rep) {
+    const ScenarioResult& r =
+        outcome.results[scenario * static_cast<std::size_t>(reps) + static_cast<std::size_t>(rep)];
+    if (r.ok) {
+      agg.times.push_back(r.simulated_time);
+    } else {
+      agg.complete = false;
+    }
+  }
+  if (!agg.times.empty()) {
+    agg.stats = util::summarize_sample(agg.times);
+    // One CI sub-seed per scenario, so dropping a scenario from the sweep
+    // never changes another's interval.
+    agg.ci = util::bootstrap_mean_ci(agg.times, kCiLevel, kCiResamples,
+                                     util::mix_stream(ci_seed, 0, scenario));
+  }
+  return agg;
+}
+
+// Scenario ids of the rankable runs, sorted fastest-first (stable on ties so
+// the ranking is deterministic). With replications the key is the mean over
+// the reps and only scenarios with every replication ok are ranked — a
+// scenario that lost reps to crashes has a biased mean.
+std::vector<int> ranked_ok(const std::vector<ScenarioAgg>& aggs) {
   std::vector<int> ids;
-  for (const ScenarioResult& r : outcome.results) {
-    if (r.ok) ids.push_back(r.id);
+  std::vector<double> key(aggs.size(), 0);
+  for (std::size_t i = 0; i < aggs.size(); ++i) {
+    if (!aggs[i].complete) continue;
+    ids.push_back(static_cast<int>(i));
+    key[i] = aggs[i].stats.mean;
   }
   std::stable_sort(ids.begin(), ids.end(), [&](int a, int b) {
-    return outcome.results[static_cast<std::size_t>(a)].simulated_time <
-           outcome.results[static_cast<std::size_t>(b)].simulated_time;
+    return key[static_cast<std::size_t>(a)] < key[static_cast<std::size_t>(b)];
   });
   return ids;
+}
+
+// Rank stability: how often the fastest-by-mean scenario is also the fastest
+// within a single replication. 1.0 means the sweep's verdict is insensitive
+// to the noise; a low fraction means single-run rankings from this noise
+// level cannot be trusted.
+struct RankStability {
+  bool valid = false;
+  int winner = -1;
+  int stable_reps = 0;
+  double fraction = 0;
+  const char* verdict = "unstable";
+};
+
+RankStability rank_stability(const CampaignOutcome& outcome,
+                             const std::vector<ScenarioAgg>& aggs,
+                             const std::vector<int>& ranking) {
+  RankStability rs;
+  const int reps = reps_of(outcome);
+  if (reps < 2 || ranking.empty()) return rs;
+  rs.valid = true;
+  rs.winner = ranking.front();
+  for (int rep = 0; rep < reps; ++rep) {
+    int best = -1;
+    double best_time = 0;
+    for (std::size_t i = 0; i < aggs.size(); ++i) {
+      const ScenarioResult& r =
+          outcome.results[i * static_cast<std::size_t>(reps) + static_cast<std::size_t>(rep)];
+      if (!r.ok) continue;
+      if (best < 0 || r.simulated_time < best_time) {
+        best = static_cast<int>(i);
+        best_time = r.simulated_time;
+      }
+    }
+    if (best == rs.winner) ++rs.stable_reps;
+  }
+  rs.fraction = static_cast<double>(rs.stable_reps) / static_cast<double>(reps);
+  rs.verdict = rs.fraction >= 1.0 ? "stable" : rs.fraction >= 0.8 ? "mostly-stable" : "unstable";
+  return rs;
 }
 
 util::JsonValue params_json(const Scenario& scenario) {
@@ -55,11 +139,129 @@ const char* base_kind_name(CampaignSpec::BaseKind kind) {
   SMPI_UNREACHABLE("bad base kind");
 }
 
+// The result fields shared by single-run scenario rows and per-replication
+// entries. `baseline` is the matching baseline run (same replication), for
+// the paired speedup.
+void set_result_fields(util::JsonValue& row, const ScenarioResult& r,
+                       const ScenarioResult& baseline) {
+  row.set("ok", util::JsonValue::boolean(r.ok));
+  row.set("retries", util::JsonValue::number(r.retries));
+  if (!r.ok) {
+    row.set("error", util::JsonValue::string(r.error));
+    if (r.timed_out) row.set("timed_out", util::JsonValue::boolean(true));
+    if (!r.worker_exit.empty()) {
+      row.set("worker_exit", util::JsonValue::string(r.worker_exit));
+    }
+    return;
+  }
+  row.set("simulated_time", util::JsonValue::number(r.simulated_time));
+  row.set("speedup_vs_baseline", util::JsonValue::number(speedup_vs_baseline(baseline, r)));
+  row.set("wall_s", util::JsonValue::number(r.wall_s));
+  row.set("records", util::JsonValue::number(static_cast<double>(r.records)));
+  row.set("ranks", util::JsonValue::number(r.ranks));
+  row.set("arena_bytes", util::JsonValue::number(static_cast<double>(r.arena_bytes)));
+  util::JsonValue breakdown = util::JsonValue::object();
+  breakdown.set("compute_total_s", util::JsonValue::number(r.compute_total_s()));
+  breakdown.set("comm_total_s", util::JsonValue::number(r.comm_total_s()));
+  breakdown.set("compute_max_s", util::JsonValue::number(r.compute_max_s()));
+  breakdown.set("comm_max_s", util::JsonValue::number(r.comm_max_s()));
+  util::JsonValue per_rank_compute = util::JsonValue::array();
+  util::JsonValue per_rank_comm = util::JsonValue::array();
+  for (double v : r.rank_compute_s) per_rank_compute.append(util::JsonValue::number(v));
+  for (double v : r.rank_comm_s) per_rank_comm.append(util::JsonValue::number(v));
+  breakdown.set("rank_compute_s", std::move(per_rank_compute));
+  breakdown.set("rank_comm_s", std::move(per_rank_comm));
+  row.set("breakdown", std::move(breakdown));
+  util::JsonValue solver = util::JsonValue::object();
+  solver.set("solves", util::JsonValue::number(static_cast<double>(r.solver_solves)));
+  solver.set("vars_touched",
+             util::JsonValue::number(static_cast<double>(r.solver_vars_touched)));
+  solver.set("cons_touched",
+             util::JsonValue::number(static_cast<double>(r.solver_cons_touched)));
+  row.set("solver", std::move(solver));
+  util::JsonValue p2p = util::JsonValue::object();
+  p2p.set("pool_hits", util::JsonValue::number(static_cast<double>(r.p2p.pool_hits)));
+  p2p.set("pool_misses", util::JsonValue::number(static_cast<double>(r.p2p.pool_misses)));
+  p2p.set("eager_snapshots",
+          util::JsonValue::number(static_cast<double>(r.p2p.eager_snapshots)));
+  p2p.set("eager_copy_elided",
+          util::JsonValue::number(static_cast<double>(r.p2p.eager_copy_elided)));
+  p2p.set("eager_flush_snapshots",
+          util::JsonValue::number(static_cast<double>(r.p2p.eager_flush_snapshots)));
+  p2p.set("bytes_not_copied",
+          util::JsonValue::number(static_cast<double>(r.p2p.bytes_not_copied)));
+  row.set("p2p", std::move(p2p));
+}
+
+// Inverse of set_result_fields, reading a resumed report's row or
+// replication entry back into a ScenarioResult.
+void read_result_fields(const util::JsonValue& row, ScenarioResult& r) {
+  r.ok = row.at("ok", "resume report row").as_bool();
+  // Lenient: reports written before the hardened harness carry none of
+  // these fields.
+  if (const auto* retries = row.find("retries")) r.retries = static_cast<int>(retries->as_int());
+  if (!r.ok) {
+    if (const auto* error = row.find("error")) r.error = error->as_string();
+    if (const auto* timed_out = row.find("timed_out")) r.timed_out = timed_out->as_bool();
+    if (const auto* worker_exit = row.find("worker_exit")) {
+      r.worker_exit = worker_exit->as_string();
+    }
+    return;
+  }
+  r.error.clear();
+  r.simulated_time = row.at("simulated_time", "resume report row").as_number();
+  r.wall_s = row.at("wall_s", "resume report row").as_number();
+  r.records = row.at("records", "resume report row").as_int();
+  r.ranks = static_cast<int>(row.at("ranks", "resume report row").as_int());
+  r.arena_bytes =
+      static_cast<std::uint64_t>(row.at("arena_bytes", "resume report row").as_int());
+  const auto& breakdown = row.at("breakdown", "resume report row");
+  for (const auto& v : breakdown.at("rank_compute_s", "resume breakdown").items()) {
+    r.rank_compute_s.push_back(v.as_number());
+  }
+  for (const auto& v : breakdown.at("rank_comm_s", "resume breakdown").items()) {
+    r.rank_comm_s.push_back(v.as_number());
+  }
+  const auto& solver = row.at("solver", "resume report row");
+  r.solver_solves =
+      static_cast<std::uint64_t>(solver.at("solves", "resume solver").as_int());
+  r.solver_vars_touched =
+      static_cast<std::uint64_t>(solver.at("vars_touched", "resume solver").as_int());
+  r.solver_cons_touched =
+      static_cast<std::uint64_t>(solver.at("cons_touched", "resume solver").as_int());
+  // Lenient: reports written before the p2p counters existed resume fine
+  // (the counters simply stay zero for adopted rows).
+  if (const auto* p2p = row.find("p2p")) {
+    auto u64 = [&](const char* key) {
+      const auto* v = p2p->find(key);
+      return v == nullptr ? std::uint64_t{0} : static_cast<std::uint64_t>(v->as_int());
+    };
+    r.p2p.pool_hits = u64("pool_hits");
+    r.p2p.pool_misses = u64("pool_misses");
+    r.p2p.eager_snapshots = u64("eager_snapshots");
+    r.p2p.eager_copy_elided = u64("eager_copy_elided");
+    r.p2p.eager_flush_snapshots = u64("eager_flush_snapshots");
+    r.p2p.bytes_not_copied = u64("bytes_not_copied");
+  }
+}
+
+std::vector<ScenarioAgg> aggregate_all(const CampaignSpec& spec,
+                                       const std::vector<Scenario>& scenarios,
+                                       const CampaignOutcome& outcome) {
+  std::vector<ScenarioAgg> aggs;
+  aggs.reserve(scenarios.size());
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    aggs.push_back(aggregate_scenario(outcome, i, spec.noise.seed));
+  }
+  return aggs;
+}
+
 }  // namespace
 
 util::JsonValue report_json(const CampaignSpec& spec, const std::vector<Scenario>& scenarios,
                             const CampaignOutcome& outcome) {
-  SMPI_REQUIRE(scenarios.size() == outcome.results.size(),
+  const int reps = reps_of(outcome);
+  SMPI_REQUIRE(scenarios.size() * static_cast<std::size_t>(reps) == outcome.results.size(),
                "campaign report: scenario/result count mismatch");
   const ScenarioResult& baseline = baseline_of(outcome);
 
@@ -88,85 +290,93 @@ util::JsonValue report_json(const CampaignSpec& spec, const std::vector<Scenario
   if (outcome.resumed > 0) doc.set("resumed", util::JsonValue::number(outcome.resumed));
   doc.set("wall_s", util::JsonValue::number(outcome.wall_s));
   doc.set("scenario_count", util::JsonValue::number(static_cast<double>(scenarios.size())));
+  if (reps > 1) {
+    doc.set("replications", util::JsonValue::number(reps));
+    doc.set("noise_seed", util::JsonValue::number(static_cast<double>(spec.noise.seed)));
+  }
+
+  const std::vector<ScenarioAgg> aggs = aggregate_all(spec, scenarios, outcome);
 
   util::JsonValue rows = util::JsonValue::array();
   for (std::size_t i = 0; i < scenarios.size(); ++i) {
     const Scenario& scenario = scenarios[i];
-    const ScenarioResult& r = outcome.results[i];
     util::JsonValue row = util::JsonValue::object();
     row.set("id", util::JsonValue::number(scenario.id));
     row.set("label", util::JsonValue::string(scenario.label));
     row.set("params", params_json(scenario));
-    row.set("ok", util::JsonValue::boolean(r.ok));
-    row.set("retries", util::JsonValue::number(r.retries));
-    if (!r.ok) {
-      row.set("error", util::JsonValue::string(r.error));
-      if (r.timed_out) row.set("timed_out", util::JsonValue::boolean(true));
-      if (!r.worker_exit.empty()) {
-        row.set("worker_exit", util::JsonValue::string(r.worker_exit));
-      }
+    if (reps == 1) {
+      set_result_fields(row, outcome.results[i], baseline);
       rows.append(std::move(row));
       continue;
     }
-    row.set("simulated_time", util::JsonValue::number(r.simulated_time));
-    row.set("speedup_vs_baseline", util::JsonValue::number(speedup_vs_baseline(baseline, r)));
-    row.set("wall_s", util::JsonValue::number(r.wall_s));
-    row.set("records", util::JsonValue::number(static_cast<double>(r.records)));
-    row.set("ranks", util::JsonValue::number(r.ranks));
-    row.set("arena_bytes", util::JsonValue::number(static_cast<double>(r.arena_bytes)));
-    util::JsonValue breakdown = util::JsonValue::object();
-    breakdown.set("compute_total_s", util::JsonValue::number(r.compute_total_s()));
-    breakdown.set("comm_total_s", util::JsonValue::number(r.comm_total_s()));
-    breakdown.set("compute_max_s", util::JsonValue::number(r.compute_max_s()));
-    breakdown.set("comm_max_s", util::JsonValue::number(r.comm_max_s()));
-    util::JsonValue per_rank_compute = util::JsonValue::array();
-    util::JsonValue per_rank_comm = util::JsonValue::array();
-    for (double v : r.rank_compute_s) per_rank_compute.append(util::JsonValue::number(v));
-    for (double v : r.rank_comm_s) per_rank_comm.append(util::JsonValue::number(v));
-    breakdown.set("rank_compute_s", std::move(per_rank_compute));
-    breakdown.set("rank_comm_s", std::move(per_rank_comm));
-    row.set("breakdown", std::move(breakdown));
-    util::JsonValue solver = util::JsonValue::object();
-    solver.set("solves", util::JsonValue::number(static_cast<double>(r.solver_solves)));
-    solver.set("vars_touched",
-               util::JsonValue::number(static_cast<double>(r.solver_vars_touched)));
-    solver.set("cons_touched",
-               util::JsonValue::number(static_cast<double>(r.solver_cons_touched)));
-    row.set("solver", std::move(solver));
-    util::JsonValue p2p = util::JsonValue::object();
-    p2p.set("pool_hits", util::JsonValue::number(static_cast<double>(r.p2p.pool_hits)));
-    p2p.set("pool_misses", util::JsonValue::number(static_cast<double>(r.p2p.pool_misses)));
-    p2p.set("eager_snapshots",
-            util::JsonValue::number(static_cast<double>(r.p2p.eager_snapshots)));
-    p2p.set("eager_copy_elided",
-            util::JsonValue::number(static_cast<double>(r.p2p.eager_copy_elided)));
-    p2p.set("eager_flush_snapshots",
-            util::JsonValue::number(static_cast<double>(r.p2p.eager_flush_snapshots)));
-    p2p.set("bytes_not_copied",
-            util::JsonValue::number(static_cast<double>(r.p2p.bytes_not_copied)));
-    row.set("p2p", std::move(p2p));
+    // Replicated sweep: per-rep entries plus the fold-down. Speedups are
+    // paired per replication (scenario rep k vs baseline rep k) so a slow
+    // noise world cancels out of the ratio.
+    const ScenarioAgg& agg = aggs[i];
+    row.set("ok", util::JsonValue::boolean(agg.complete));
+    util::JsonValue rep_rows = util::JsonValue::array();
+    for (int rep = 0; rep < reps; ++rep) {
+      const std::size_t unit =
+          i * static_cast<std::size_t>(reps) + static_cast<std::size_t>(rep);
+      const ScenarioResult& r = outcome.results[unit];
+      const ScenarioResult& rep_baseline = outcome.results[static_cast<std::size_t>(rep)];
+      util::JsonValue entry = util::JsonValue::object();
+      entry.set("rep", util::JsonValue::number(rep));
+      set_result_fields(entry, r, rep_baseline);
+      rep_rows.append(std::move(entry));
+    }
+    row.set("replications", std::move(rep_rows));
+    if (!agg.times.empty()) {
+      const ScenarioAgg& base_agg = aggs[0];
+      util::JsonValue stats = util::JsonValue::object();
+      stats.set("count", util::JsonValue::number(static_cast<double>(agg.stats.count)));
+      stats.set("mean", util::JsonValue::number(agg.stats.mean));
+      stats.set("stddev", util::JsonValue::number(agg.stats.stddev));
+      stats.set("min", util::JsonValue::number(agg.stats.min));
+      stats.set("max", util::JsonValue::number(agg.stats.max));
+      stats.set("p5", util::JsonValue::number(agg.stats.p5));
+      stats.set("p50", util::JsonValue::number(agg.stats.p50));
+      stats.set("p95", util::JsonValue::number(agg.stats.p95));
+      stats.set("ci_lo", util::JsonValue::number(agg.ci.lo));
+      stats.set("ci_hi", util::JsonValue::number(agg.ci.hi));
+      if (!base_agg.times.empty() && agg.stats.mean > 0) {
+        stats.set("speedup_vs_baseline_mean",
+                  util::JsonValue::number(base_agg.stats.mean / agg.stats.mean));
+      }
+      row.set("stats", std::move(stats));
+    }
     rows.append(std::move(row));
   }
   doc.set("scenarios", std::move(rows));
 
-  const std::vector<int> ranking = ranked_ok(outcome);
+  const std::vector<int> ranking = ranked_ok(aggs);
   util::JsonValue ranking_json = util::JsonValue::array();
   for (int id : ranking) ranking_json.append(util::JsonValue::number(id));
   doc.set("ranking_fastest_first", std::move(ranking_json));
+
+  const RankStability rs = rank_stability(outcome, aggs, ranking);
+  if (rs.valid) {
+    util::JsonValue stability = util::JsonValue::object();
+    stability.set("winner", util::JsonValue::number(rs.winner));
+    stability.set("stable_replications", util::JsonValue::number(rs.stable_reps));
+    stability.set("fraction", util::JsonValue::number(rs.fraction));
+    stability.set("verdict", util::JsonValue::string(rs.verdict));
+    doc.set("rank_stability", std::move(stability));
+  }
   return doc;
 }
 
 std::string report_csv(const CampaignSpec& spec, const std::vector<Scenario>& scenarios,
                        const CampaignOutcome& outcome) {
-  SMPI_REQUIRE(scenarios.size() == outcome.results.size(),
+  const int reps = reps_of(outcome);
+  SMPI_REQUIRE(scenarios.size() * static_cast<std::size_t>(reps) == outcome.results.size(),
                "campaign report: scenario/result count mismatch");
-  const ScenarioResult& baseline = baseline_of(outcome);
 
   // One column per axis (in axis order) so the grid pivots cleanly.
   std::vector<std::string> axis_keys;
   for (const Axis& axis : spec.axes) axis_keys.push_back(axis.key());
 
-  std::string csv = "id,label,ok,retries,timed_out";
+  std::string csv = "id,rep,label,ok,retries,timed_out";
   for (const std::string& key : axis_keys) csv += "," + key;
   csv +=
       ",simulated_time,speedup_vs_baseline,wall_s,records,ranks,compute_total_s,comm_total_s,"
@@ -174,10 +384,15 @@ std::string report_csv(const CampaignSpec& spec, const std::vector<Scenario>& sc
       "pool_hits,pool_misses,eager_snapshots,eager_copy_elided,eager_flush_snapshots,"
       "bytes_not_copied,worker_exit,error\n";
 
-  for (std::size_t i = 0; i < scenarios.size(); ++i) {
-    const Scenario& scenario = scenarios[i];
-    const ScenarioResult& r = outcome.results[i];
+  // One row per unit: with replications the per-rep runs appear individually
+  // (the fold-down statistics live in the JSON report).
+  for (std::size_t unit = 0; unit < outcome.results.size(); ++unit) {
+    const ScenarioResult& r = outcome.results[unit];
+    const Scenario& scenario = scenarios[unit / static_cast<std::size_t>(reps)];
+    const ScenarioResult& baseline =
+        outcome.results[unit % static_cast<std::size_t>(reps)];  // same-rep baseline
     csv += std::to_string(scenario.id);
+    csv += ',' + std::to_string(r.rep);
     csv += ",\"" + scenario.label + "\"";
     csv += r.ok ? ",1" : ",0";
     csv += ',' + std::to_string(r.retries);
@@ -219,33 +434,61 @@ std::string report_csv(const CampaignSpec& spec, const std::vector<Scenario>& sc
 
 std::string report_summary(const CampaignSpec& spec, const std::vector<Scenario>& scenarios,
                            const CampaignOutcome& outcome, int top) {
+  const int reps = reps_of(outcome);
   const ScenarioResult& baseline = baseline_of(outcome);
-  const std::vector<int> ranking = ranked_ok(outcome);
+  const std::vector<ScenarioAgg> aggs = aggregate_all(spec, scenarios, outcome);
+  const std::vector<int> ranking = ranked_ok(aggs);
   std::string out;
   char line[512];
 
-  std::snprintf(line, sizeof line, "campaign '%s': %zu scenarios, %d workers, %.2fs wall\n",
-                spec.name.c_str(), scenarios.size(), outcome.workers, outcome.wall_s);
+  if (reps == 1) {
+    std::snprintf(line, sizeof line, "campaign '%s': %zu scenarios, %d workers, %.2fs wall\n",
+                  spec.name.c_str(), scenarios.size(), outcome.workers, outcome.wall_s);
+  } else {
+    std::snprintf(line, sizeof line,
+                  "campaign '%s': %zu scenarios x %d replications, %d workers, %.2fs wall\n",
+                  spec.name.c_str(), scenarios.size(), reps, outcome.workers, outcome.wall_s);
+  }
   out += line;
-  if (baseline.ok) {
-    std::snprintf(line, sizeof line, "baseline simulated time: %.9f s\n",
-                  baseline.simulated_time);
+  if (reps == 1) {
+    if (baseline.ok) {
+      std::snprintf(line, sizeof line, "baseline simulated time: %.9f s\n",
+                    baseline.simulated_time);
+      out += line;
+    } else {
+      out += "baseline FAILED: " + baseline.error + "\n";
+    }
+  } else if (!aggs[0].times.empty()) {
+    std::snprintf(line, sizeof line,
+                  "baseline simulated time: mean %.9f s, stddev %.3g, p5 %.9f, p95 %.9f (%zu/%d "
+                  "reps)\n",
+                  aggs[0].stats.mean, aggs[0].stats.stddev, aggs[0].stats.p5, aggs[0].stats.p95,
+                  aggs[0].times.size(), reps);
     out += line;
   } else {
-    out += "baseline FAILED: " + baseline.error + "\n";
+    out += "baseline FAILED in every replication\n";
   }
 
   auto describe = [&](int id) {
-    const ScenarioResult& r = outcome.results[static_cast<std::size_t>(id)];
-    std::snprintf(line, sizeof line, "  #%-4d %-48s %.9f s  (%.3fx)\n", id,
-                  scenarios[static_cast<std::size_t>(id)].label.c_str(), r.simulated_time,
-                  speedup_vs_baseline(baseline, r));
+    const auto index = static_cast<std::size_t>(id);
+    if (reps == 1) {
+      const ScenarioResult& r = outcome.results[index];
+      std::snprintf(line, sizeof line, "  #%-4d %-48s %.9f s  (%.3fx)\n", id,
+                    scenarios[index].label.c_str(), r.simulated_time,
+                    speedup_vs_baseline(baseline, r));
+    } else {
+      const ScenarioAgg& agg = aggs[index];
+      const double speedup =
+          !aggs[0].times.empty() && agg.stats.mean > 0 ? aggs[0].stats.mean / agg.stats.mean : 0;
+      std::snprintf(line, sizeof line, "  #%-4d %-48s mean %.9f s +/- %.3g  (%.3fx)\n", id,
+                    scenarios[index].label.c_str(), agg.stats.mean, agg.stats.stddev, speedup);
+    }
     out += line;
   };
 
   const int shown = std::min<int>(top, static_cast<int>(ranking.size()));
   if (shown > 0) {
-    out += "fastest scenarios:\n";
+    out += reps == 1 ? "fastest scenarios:\n" : "fastest scenarios (by mean):\n";
     for (int i = 0; i < shown; ++i) describe(ranking[static_cast<std::size_t>(i)]);
     out += "slowest scenarios:\n";
     for (int i = 0; i < shown; ++i) {
@@ -253,8 +496,16 @@ std::string report_summary(const CampaignSpec& spec, const std::vector<Scenario>
     }
   }
 
+  const RankStability rs = rank_stability(outcome, aggs, ranking);
+  if (rs.valid) {
+    std::snprintf(line, sizeof line,
+                  "rank stability: winner #%d fastest in %d/%d replications (%s)\n", rs.winner,
+                  rs.stable_reps, reps, rs.verdict);
+    out += line;
+  }
+
   if (outcome.resumed > 0) {
-    std::snprintf(line, sizeof line, "%d scenario(s) adopted from the resumed report\n",
+    std::snprintf(line, sizeof line, "%d run(s) adopted from the resumed report\n",
                   outcome.resumed);
     out += line;
   }
@@ -268,19 +519,20 @@ std::string report_summary(const CampaignSpec& spec, const std::vector<Scenario>
     timeouts += r.timed_out ? 1 : 0;
   }
   if (retried > 0) {
-    std::snprintf(line, sizeof line, "%d scenario(s) needed a worker retry\n", retried);
+    std::snprintf(line, sizeof line, "%d run(s) needed a worker retry\n", retried);
     out += line;
   }
   if (timeouts > 0) {
-    std::snprintf(line, sizeof line, "%d scenario(s) hit the wall-clock watchdog\n", timeouts);
+    std::snprintf(line, sizeof line, "%d run(s) hit the wall-clock watchdog\n", timeouts);
     out += line;
   }
   if (failures > 0) {
-    std::snprintf(line, sizeof line, "%d scenario(s) FAILED:\n", failures);
+    std::snprintf(line, sizeof line, "%d run(s) FAILED:\n", failures);
     out += line;
     for (const ScenarioResult& r : outcome.results) {
       if (r.ok) continue;
-      std::snprintf(line, sizeof line, "  #%-4d %s: %s%s%s%s\n", r.id,
+      std::snprintf(line, sizeof line, "  #%-4d%s %s: %s%s%s%s\n", r.id,
+                    reps > 1 ? (" rep=" + std::to_string(r.rep)).c_str() : "",
                     scenarios[static_cast<std::size_t>(r.id)].label.c_str(), r.error.c_str(),
                     r.worker_exit.empty() ? "" : " [worker: ",
                     r.worker_exit.c_str(), r.worker_exit.empty() ? "" : "]");
@@ -301,6 +553,20 @@ std::vector<ScenarioResult> results_from_report(const util::JsonValue& report,
   SMPI_REQUIRE(count == static_cast<long long>(scenarios.size()),
                "campaign resume: report has " + std::to_string(count) + " scenarios, spec has " +
                    std::to_string(scenarios.size()));
+  // A report replicated differently indexes its units differently: adopting
+  // it would stitch rep k of one family onto rep k of another.
+  const int reps = std::max(1, spec.replications);
+  const auto* report_reps = report.find("replications");
+  const long long reps_in_report = report_reps == nullptr ? 1 : report_reps->as_int();
+  SMPI_REQUIRE(reps_in_report == reps,
+               "campaign resume: report ran " + std::to_string(reps_in_report) +
+                   " replication(s), spec wants " + std::to_string(reps));
+  if (reps > 1) {
+    const long long seed = report.at("noise_seed", "resume report").as_int();
+    SMPI_REQUIRE(seed == static_cast<long long>(spec.noise.seed),
+                 "campaign resume: report ran under noise_seed " + std::to_string(seed) +
+                     ", spec uses " + std::to_string(spec.noise.seed));
+  }
   // Labels only cover the axis values; the trace source and base platform
   // shape the results just as much, so a report produced under a different
   // one must be rejected, not stitched into this sweep.
@@ -331,9 +597,10 @@ std::vector<ScenarioResult> results_from_report(const util::JsonValue& report,
         "campaign resume: report ran a different workload (name/ranks/seed/phases changed)");
   }
 
-  std::vector<ScenarioResult> results(scenarios.size());
+  std::vector<ScenarioResult> results(scenarios.size() * static_cast<std::size_t>(reps));
   for (std::size_t i = 0; i < results.size(); ++i) {
-    results[i].id = static_cast<int>(i);
+    results[i].id = static_cast<int>(i) / reps;
+    results[i].rep = static_cast<int>(i) % reps;
     results[i].error = "not present in the resumed report";
   }
   for (const auto& row : report.at("scenarios", "resume report").items()) {
@@ -349,53 +616,16 @@ std::vector<ScenarioResult> results_from_report(const util::JsonValue& report,
                  "campaign resume: scenario " + std::to_string(id) + " is '" +
                      scenarios[index].label + "' in the spec but '" + label +
                      "' in the report — the axes changed, start a fresh sweep");
-    ScenarioResult& r = results[index];
-    r.ok = row.at("ok", "resume report row").as_bool();
-    // Lenient: reports written before the hardened harness carry none of
-    // these fields.
-    if (const auto* retries = row.find("retries")) r.retries = static_cast<int>(retries->as_int());
-    if (!r.ok) {
-      if (const auto* error = row.find("error")) r.error = error->as_string();
-      if (const auto* timed_out = row.find("timed_out")) r.timed_out = timed_out->as_bool();
-      if (const auto* worker_exit = row.find("worker_exit")) {
-        r.worker_exit = worker_exit->as_string();
-      }
+    if (reps == 1) {
+      read_result_fields(row, results[index]);
       continue;
     }
-    r.error.clear();
-    r.simulated_time = row.at("simulated_time", "resume report row").as_number();
-    r.wall_s = row.at("wall_s", "resume report row").as_number();
-    r.records = row.at("records", "resume report row").as_int();
-    r.ranks = static_cast<int>(row.at("ranks", "resume report row").as_int());
-    r.arena_bytes =
-        static_cast<std::uint64_t>(row.at("arena_bytes", "resume report row").as_int());
-    const auto& breakdown = row.at("breakdown", "resume report row");
-    for (const auto& v : breakdown.at("rank_compute_s", "resume breakdown").items()) {
-      r.rank_compute_s.push_back(v.as_number());
-    }
-    for (const auto& v : breakdown.at("rank_comm_s", "resume breakdown").items()) {
-      r.rank_comm_s.push_back(v.as_number());
-    }
-    const auto& solver = row.at("solver", "resume report row");
-    r.solver_solves =
-        static_cast<std::uint64_t>(solver.at("solves", "resume solver").as_int());
-    r.solver_vars_touched =
-        static_cast<std::uint64_t>(solver.at("vars_touched", "resume solver").as_int());
-    r.solver_cons_touched =
-        static_cast<std::uint64_t>(solver.at("cons_touched", "resume solver").as_int());
-    // Lenient: reports written before the p2p counters existed resume fine
-    // (the counters simply stay zero for adopted rows).
-    if (const auto* p2p = row.find("p2p")) {
-      auto u64 = [&](const char* key) {
-        const auto* v = p2p->find(key);
-        return v == nullptr ? std::uint64_t{0} : static_cast<std::uint64_t>(v->as_int());
-      };
-      r.p2p.pool_hits = u64("pool_hits");
-      r.p2p.pool_misses = u64("pool_misses");
-      r.p2p.eager_snapshots = u64("eager_snapshots");
-      r.p2p.eager_copy_elided = u64("eager_copy_elided");
-      r.p2p.eager_flush_snapshots = u64("eager_flush_snapshots");
-      r.p2p.bytes_not_copied = u64("bytes_not_copied");
+    for (const auto& entry : row.at("replications", "resume report row").items()) {
+      const long long rep = entry.at("rep", "resume replication entry").as_int();
+      SMPI_REQUIRE(rep >= 0 && rep < reps,
+                   "campaign resume: replication index out of range");
+      read_result_fields(
+          entry, results[index * static_cast<std::size_t>(reps) + static_cast<std::size_t>(rep)]);
     }
   }
   return results;

@@ -51,6 +51,7 @@ std::vector<double> doubles_from(const util::JsonValue& array) {
 std::string encode_capsule(const ScenarioResult& r) {
   util::JsonValue capsule = util::JsonValue::object();
   capsule.set("id", util::JsonValue::number(r.id));
+  capsule.set("rep", util::JsonValue::number(r.rep));
   capsule.set("ok", util::JsonValue::boolean(r.ok));
   if (!r.ok) {
     capsule.set("error", util::JsonValue::string(r.error));
@@ -85,6 +86,7 @@ ScenarioResult decode_capsule(const std::string& text) {
   const util::JsonValue capsule = util::parse_json(text, "campaign capsule");
   ScenarioResult r;
   r.id = static_cast<int>(capsule.at("id", "capsule").as_int());
+  r.rep = static_cast<int>(capsule.at("rep", "capsule").as_int());
   r.ok = capsule.at("ok", "capsule").as_bool();
   if (!r.ok) {
     r.error = capsule.at("error", "capsule").as_string();
@@ -147,10 +149,11 @@ bool write_exact(int fd, const void* buffer, std::size_t bytes) {
 
 // --- worker side ------------------------------------------------------------
 
-ScenarioResult run_one_scenario(const CampaignSpec& spec, const Scenario& scenario,
+ScenarioResult run_one_scenario(const CampaignSpec& spec, const Scenario& scenario, int rep,
                                 const trace::TiTrace& trace, long long arena_bytes) {
   ScenarioResult r;
   r.id = scenario.id;
+  r.rep = rep;
   try {
     // Workload overrides change the trace itself: regenerate the variant
     // here (generation is deterministic, so the result is independent of
@@ -165,7 +168,7 @@ ScenarioResult run_one_scenario(const CampaignSpec& spec, const Scenario& scenar
       effective = &regenerated;
       arena_bytes = 0;  // the baseline hint sized a different trace
     }
-    ScenarioSetup setup = materialize(spec, scenario, effective->nranks);
+    ScenarioSetup setup = materialize(spec, scenario, effective->nranks, rep);
     trace::ReplayOptions replay_options;
     replay_options.arena_bytes_hint = arena_bytes;
     replay_options.payload_free = setup.payload_free;
@@ -214,19 +217,21 @@ constexpr std::int32_t kTaskCrash = 1;  // _exit instead of running (dead-worker
 constexpr std::int32_t kTaskHang = 2;   // sleep forever (watchdog drill)
 
 [[noreturn]] void worker_loop(const CampaignSpec& spec, const std::vector<Scenario>& scenarios,
-                              const trace::TiTrace& trace, long long arena_bytes, int task_fd,
-                              int result_fd) {
+                              int replications, const trace::TiTrace& trace, long long arena_bytes,
+                              int task_fd, int result_fd) {
   while (true) {
     TaskMsg task;
     if (!read_exact(task_fd, &task, sizeof task) || task.id < 0) ::_exit(0);
-    SMPI_ENSURE(task.id < static_cast<std::int32_t>(scenarios.size()),
+    // Task ids are units: scenario * replications + rep.
+    SMPI_ENSURE(task.id < static_cast<std::int32_t>(scenarios.size()) * replications,
                 "campaign task id out of range");
     if ((task.flags & kTaskCrash) != 0) ::_exit(33);
     if ((task.flags & kTaskHang) != 0) {
       while (true) ::pause();
     }
     const ScenarioResult result =
-        run_one_scenario(spec, scenarios[static_cast<std::size_t>(task.id)], trace, arena_bytes);
+        run_one_scenario(spec, scenarios[static_cast<std::size_t>(task.id / replications)],
+                         task.id % replications, trace, arena_bytes);
     const std::string capsule = encode_capsule(result);
     const auto length = static_cast<std::uint32_t>(capsule.size());
     if (!write_exact(result_fd, &length, sizeof length) ||
@@ -262,19 +267,29 @@ CampaignOutcome run_campaign(const CampaignSpec& spec, const std::vector<Scenari
   SMPI_REQUIRE(options.workers >= 1, "campaign needs at least one worker");
   SMPI_REQUIRE(!scenarios.empty(), "campaign has no scenarios");
 
+  // Work units: one (scenario, replication) pair each.
+  const int reps = std::max(1, spec.replications);
+  const std::size_t units = scenarios.size() * static_cast<std::size_t>(reps);
+  auto unit_label = [&](int id) -> std::string {
+    const Scenario& s = scenarios[static_cast<std::size_t>(id / reps)];
+    if (reps == 1) return s.label;
+    return s.label + " rep=" + std::to_string(id % reps);
+  };
+
   // Resume: adopt prior ok results up front; only the rest is dispatched.
-  std::vector<bool> adopted(scenarios.size(), false);
+  std::vector<bool> adopted(units, false);
   int resumed = 0;
-  for (std::size_t i = 0; i < options.resume.size() && i < scenarios.size(); ++i) {
+  for (std::size_t i = 0; i < options.resume.size() && i < units; ++i) {
     if (!options.resume[i].ok) continue;
-    SMPI_REQUIRE(options.resume[i].id == static_cast<int>(i),
-                 "campaign resume: result id does not match its slot");
+    SMPI_REQUIRE(options.resume[i].id == static_cast<int>(i) / reps &&
+                     options.resume[i].rep == static_cast<int>(i) % reps,
+                 "campaign resume: result id/rep does not match its slot");
     adopted[i] = true;
     ++resumed;
   }
   std::vector<std::int32_t> pending;
-  pending.reserve(scenarios.size());
-  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+  pending.reserve(units);
+  for (std::size_t i = 0; i < units; ++i) {
     if (!adopted[i]) pending.push_back(static_cast<std::int32_t>(i));
   }
 
@@ -284,8 +299,9 @@ CampaignOutcome run_campaign(const CampaignSpec& spec, const std::vector<Scenari
     CampaignOutcome outcome;
     outcome.workers = 0;
     outcome.resumed = resumed;
+    outcome.replications = reps;
     outcome.results = options.resume;
-    outcome.results.resize(scenarios.size());
+    outcome.results.resize(units);
     return outcome;
   }
 
@@ -320,7 +336,7 @@ CampaignOutcome run_campaign(const CampaignSpec& spec, const std::vector<Scenari
         if (other.task_fd >= 0) ::close(other.task_fd);
         if (other.result_fd >= 0) ::close(other.result_fd);
       }
-      worker_loop(spec, scenarios, trace, arena_bytes, task_pipe[0], result_pipe[1]);
+      worker_loop(spec, scenarios, reps, trace, arena_bytes, task_pipe[0], result_pipe[1]);
     }
     ::close(task_pipe[0]);
     ::close(result_pipe[1]);
@@ -358,19 +374,21 @@ CampaignOutcome run_campaign(const CampaignSpec& spec, const std::vector<Scenari
   CampaignOutcome outcome;
   outcome.workers = workers;
   outcome.resumed = resumed;
-  outcome.results.resize(scenarios.size());
-  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+  outcome.replications = reps;
+  outcome.results.resize(units);
+  for (std::size_t i = 0; i < units; ++i) {
     if (adopted[i]) {
       outcome.results[i] = options.resume[i];
       continue;
     }
-    outcome.results[i].id = static_cast<int>(i);
+    outcome.results[i].id = static_cast<int>(i) / reps;
+    outcome.results[i].rep = static_cast<int>(i) % reps;
     outcome.results[i].error = "scenario was never dispatched";
   }
 
   std::size_t next_pending = 0;
   std::vector<std::int32_t> retry_queue;
-  std::vector<int> attempts(scenarios.size(), 0);
+  std::vector<int> attempts(units, 0);
   std::size_t completed = static_cast<std::size_t>(resumed);
   auto dispatch = [&](Worker& worker) {
     std::int32_t id = -1;
@@ -412,7 +430,7 @@ CampaignOutcome run_campaign(const CampaignSpec& spec, const std::vector<Scenari
   };
   for (Worker& worker : pool) dispatch(worker);
 
-  while (completed < scenarios.size()) {
+  while (completed < units) {
     std::vector<pollfd> fds;
     std::vector<Worker*> owners;
     for (Worker& worker : pool) {
@@ -470,8 +488,8 @@ CampaignOutcome run_campaign(const CampaignSpec& spec, const std::vector<Scenari
           row.error = "campaign worker died while running this scenario (retry exhausted)";
           ++completed;
           if (options.progress) {
-            std::fprintf(stderr, "campaign: scenario %d/%zu FAILED (%s)\n", id + 1,
-                         scenarios.size(), scenarios[static_cast<std::size_t>(id)].label.c_str());
+            std::fprintf(stderr, "campaign: unit %d/%zu FAILED (%s)\n", id + 1, units,
+                         unit_label(id).c_str());
           }
         }
         spawn_worker(worker);
@@ -479,12 +497,12 @@ CampaignOutcome run_campaign(const CampaignSpec& spec, const std::vector<Scenari
         continue;
       }
       ScenarioResult result = decode_capsule(capsule);
-      SMPI_ENSURE(result.id == id, "campaign capsule for the wrong scenario");
+      SMPI_ENSURE(result.id == id / reps && result.rep == id % reps,
+                  "campaign capsule for the wrong unit");
       result.retries = attempts[static_cast<std::size_t>(id)] - 1;
       if (options.progress) {
-        std::fprintf(stderr, "campaign: scenario %d/%zu %s (%s)\n", id + 1, scenarios.size(),
-                     result.ok ? "done" : "FAILED",
-                     scenarios[static_cast<std::size_t>(id)].label.c_str());
+        std::fprintf(stderr, "campaign: unit %d/%zu %s (%s)\n", id + 1, units,
+                     result.ok ? "done" : "FAILED", unit_label(id).c_str());
       }
       outcome.results[static_cast<std::size_t>(id)] = std::move(result);
       ++completed;
@@ -510,8 +528,8 @@ CampaignOutcome run_campaign(const CampaignSpec& spec, const std::vector<Scenari
         row.worker_exit = "killed by watchdog (" + cause + ")";
         ++completed;
         if (options.progress) {
-          std::fprintf(stderr, "campaign: scenario %d/%zu TIMEOUT (%s)\n", id + 1,
-                       scenarios.size(), scenarios[static_cast<std::size_t>(id)].label.c_str());
+          std::fprintf(stderr, "campaign: unit %d/%zu TIMEOUT (%s)\n", id + 1, units,
+                       unit_label(id).c_str());
         }
         spawn_worker(worker);
         dispatch(worker);

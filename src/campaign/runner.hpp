@@ -24,6 +24,14 @@
 // Scenario results are deterministic by construction — a scenario's child
 // process sees identical inputs whatever the worker count — which the
 // campaign tests assert bit-for-bit.
+//
+// Monte-Carlo campaigns (spec.replications = R > 1) multiply the work list:
+// the dispatch unit is one (scenario, replication) pair, encoded as
+// unit = scenario_id * R + rep. Each replication materializes the scenario
+// under its own noise sub-seed and runs as an ordinary unit — watchdog,
+// retry-once, and crash isolation all apply per replication, and the
+// determinism guarantee holds per unit. CampaignOutcome::results is indexed
+// by unit (for R = 1 that is exactly the old scenario indexing).
 #pragma once
 
 #include <cstdint>
@@ -36,7 +44,8 @@
 namespace smpi::campaign {
 
 struct ScenarioResult {
-  int id = -1;
+  int id = -1;   // scenario id
+  int rep = 0;   // replication index in [0, spec.replications)
   bool ok = false;
   std::string error;
   // Harness accounting (parent-side): how many extra dispatches this
@@ -81,18 +90,20 @@ struct RunOptions {
   int crash_scenario = -1;
   bool crash_always = false;
   int hang_scenario = -1;
-  // Resume support: results adopted from a prior report (indexed by
-  // scenario id, shorter-than-scenarios is fine). Entries with ok == true
-  // are carried over verbatim and their scenarios are never dispatched;
-  // everything else re-runs. Build with results_from_report (report.hpp).
+  // Resume support: results adopted from a prior report (indexed by unit =
+  // scenario_id * replications + rep; shorter-than-units is fine). Entries
+  // with ok == true are carried over verbatim and their units are never
+  // dispatched; everything else re-runs. Build with results_from_report
+  // (report.hpp).
   std::vector<ScenarioResult> resume;
 };
 
 struct CampaignOutcome {
-  std::vector<ScenarioResult> results;  // indexed by scenario id
+  std::vector<ScenarioResult> results;  // indexed by unit = id * replications + rep
   double wall_s = 0;                    // parent-side wall clock for the sweep
   int workers = 0;
-  int resumed = 0;  // scenarios adopted from options.resume
+  int resumed = 0;       // units adopted from options.resume
+  int replications = 1;  // spec.replications, echoed for consumers
 };
 
 // Runs every scenario of `scenarios` over `trace` with `options.workers`

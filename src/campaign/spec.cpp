@@ -48,6 +48,7 @@ const std::pair<const char*, ParamInfo> kParams[] = {
     {"fault_seed", {ValueKind::kNumber, nullptr}},
     {"fault_time_scale", {ValueKind::kNumber, nullptr}},
     {"fault_count_scale", {ValueKind::kNumber, nullptr}},
+    {"noise_seed", {ValueKind::kNumber, nullptr}},
 };
 
 bool is_workload_param(const std::string& param) {
@@ -101,6 +102,18 @@ CampaignSpec CampaignSpec::parse(const util::JsonValue& doc) {
   if (const auto* faults = doc.find("faults")) {
     spec.faults = faults->is_string() ? sim::FaultSpec::parse_file(faults->as_string())
                                       : sim::FaultSpec::parse(*faults);
+  }
+  if (const auto* noise = doc.find("noise")) {
+    spec.noise = noise->is_string() ? noise::NoiseSpec::parse_file(noise->as_string())
+                                    : noise::NoiseSpec::parse(*noise);
+  }
+  if (const auto* replications = doc.find("replications")) {
+    spec.replications = static_cast<int>(replications->as_int());
+    SMPI_REQUIRE(spec.replications >= 1 && spec.replications <= 10000,
+                 "campaign spec: replications must be in [1, 10000]");
+    SMPI_REQUIRE(spec.replications == 1 || !spec.noise.empty(),
+                 "campaign spec: replications > 1 needs a 'noise' spec (replicating a "
+                 "deterministic scenario would measure nothing)");
   }
   if (const auto* timeout = doc.find("timeout_s")) {
     spec.timeout_s = timeout->as_number();
@@ -257,7 +270,9 @@ std::vector<int> build_placement(const std::string& policy, int nranks, int host
 
 }  // namespace
 
-ScenarioSetup materialize(const CampaignSpec& spec, const Scenario& scenario, int nranks) {
+ScenarioSetup materialize(const CampaignSpec& spec, const Scenario& scenario, int nranks,
+                          int replication) {
+  SMPI_REQUIRE(replication >= 0, "replication index must be >= 0");
   // Topology first: every other override applies to the rebuilt platform.
   int nodes_override = 0;
   if (const auto* nodes = scenario.find("topology_nodes")) {
@@ -346,6 +361,11 @@ ScenarioSetup materialize(const CampaignSpec& spec, const Scenario& scenario, in
       config.faults.random.time_min *= scale;
       config.faults.random.time_max *= scale;
       config.faults.random.mttr *= scale;
+    } else if (param == "noise_seed") {
+      SMPI_REQUIRE(!spec.noise.empty(),
+                   "noise_seed needs a campaign-level 'noise' spec");
+      SMPI_REQUIRE(value.as_int() >= 0, "noise_seed must be >= 0");
+      // Applied in the noise block after the loop.
     } else if (param == "fault_count_scale") {
       const double scale = value.as_number();
       SMPI_REQUIRE(scale >= 0, "fault_count_scale must be >= 0");
@@ -363,6 +383,19 @@ ScenarioSetup materialize(const CampaignSpec& spec, const Scenario& scenario, in
     } else {
       SMPI_REQUIRE(false, "campaign scenario: unknown param '" + param + "'");
     }
+  }
+
+  if (!spec.noise.empty()) {
+    // Noise perturbs the scenario's platform as overridden above (the draws
+    // are per-entity, so axis overrides and noise factors compose). The
+    // replication index selects an independent sub-seed; a noise_seed axis
+    // rebases the whole family.
+    config.noise = spec.noise;
+    if (const auto* seed = scenario.find("noise_seed")) {
+      config.noise.seed = static_cast<std::uint64_t>(seed->as_int());
+    }
+    config.noise.seed = noise::replication_seed(config.noise.seed, replication);
+    noise::apply_platform_noise(p, config.noise);
   }
   return setup;
 }

@@ -66,12 +66,26 @@
 //   fault_time_scale      x all fault times (events and the random window)
 //                         (number > 0)
 //   fault_count_scale     x the random fault counts, rounded      (number >= 0)
+//   noise_seed            the noise model's base RNG seed         (int >= 0)
 //
 // The fault_* parameters modify the campaign-level failure model declared by
 // the spec's top-level "faults" key (an inline fault spec or a path to one;
 // see src/sim/fault.hpp). fault_seed and fault_count_scale require that spec
 // to carry a "random" block. A top-level "timeout_s" sets the per-scenario
 // wall-clock watchdog the runner enforces (0 = none; the CLI can override).
+//
+// Monte-Carlo campaigns: a top-level "noise" key (an inline noise spec or a
+// path to one; see src/noise/noise.hpp) perturbs every scenario's platform
+// and per-message latency, and "replications": N re-runs each scenario N
+// times under independent per-replication noise sub-seeds
+// (noise::replication_seed). Each replication is its own work unit in the
+// runner — watchdog, retry, and crash isolation apply per replication — and
+// the report folds the N simulated times into per-scenario statistics
+// (mean, stddev, p5/p50/p95, bootstrap CI) plus a campaign-level
+// rank-stability verdict. The noise_seed axis rebases the noise spec's seed
+// per scenario (requires a campaign-level "noise" spec); replications > 1
+// likewise requires one — replicating a deterministic scenario would
+// measure nothing.
 //
 // The workload_* parameters require the campaign's trace source to be a
 // workload (they re-run the generator inside the worker with the overridden
@@ -85,6 +99,7 @@
 #include <utility>
 #include <vector>
 
+#include "noise/noise.hpp"
 #include "platform/platform.hpp"
 #include "smpi/smpi.hpp"
 #include "util/json.hpp"
@@ -117,6 +132,12 @@ struct CampaignSpec {
   // Campaign-level failure model applied to every scenario (fault_* axes
   // modify it per scenario); empty = no faults.
   sim::FaultSpec faults;
+  // Campaign-level noise model (noise_seed axis rebases its seed); empty =
+  // fully deterministic scenarios.
+  noise::NoiseSpec noise;
+  // Runs per scenario under independent noise sub-seeds; > 1 requires a
+  // non-empty noise spec.
+  int replications = 1;
   // Per-scenario wall-clock watchdog in seconds (0 = none).
   double timeout_s = 0;
   std::vector<Axis> axes;
@@ -148,7 +169,11 @@ struct ScenarioSetup {
   core::SmpiConfig config;
   bool payload_free = true;
 };
-ScenarioSetup materialize(const CampaignSpec& spec, const Scenario& scenario, int nranks);
+// `replication` selects the noise sub-seed (noise::replication_seed) the
+// scenario's platform perturbation and message jitter draw from; it is
+// ignored when the campaign has no noise spec.
+ScenarioSetup materialize(const CampaignSpec& spec, const Scenario& scenario, int nranks,
+                          int replication = 0);
 
 // True when the scenario overrides any workload_* parameter (the runner
 // must then regenerate the trace instead of replaying the shared baseline).

@@ -1,0 +1,267 @@
+#include "noise/noise.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "platform/platform.hpp"
+#include "util/check.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace smpi::noise {
+
+namespace {
+
+// One standard-normal variate (Box-Muller, using only the cosine branch so
+// each variate costs a fixed two uniforms — a fixed draw budget keeps the
+// stream position independent of the sampled values).
+double standard_normal(util::Xoshiro256StarStar& rng) {
+  double u1 = rng.next_double();
+  const double u2 = rng.next_double();
+  // next_double() can return 0; log(0) would poison the sample.
+  if (u1 <= 0) u1 = 5e-324;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+double require_number(const util::JsonValue& obj, const char* key, const std::string& what) {
+  const util::JsonValue& v = obj.at(key, what);
+  SMPI_REQUIRE(v.is_number(), "noise spec: " + what + " \"" + key + "\" must be a number");
+  return v.as_number();
+}
+
+}  // namespace
+
+double Distribution::sample(util::Xoshiro256StarStar& rng) const {
+  switch (kind) {
+    case Kind::kConstant:
+      return value;
+    case Kind::kUniform:
+      return lo + rng.next_double() * (hi - lo);
+    case Kind::kNormal:
+      return mean + sigma * standard_normal(rng);
+    case Kind::kLognormal:
+      return std::exp(mu + sigma * standard_normal(rng));
+    case Kind::kHistogram: {
+      // Pick a bin by cumulative weight, then a uniform point inside it.
+      double total = 0;
+      for (double w : weights) total += w;
+      const double u = rng.next_double() * total;
+      double acc = 0;
+      std::size_t bin = weights.size() - 1;
+      for (std::size_t i = 0; i < weights.size(); ++i) {
+        acc += weights[i];
+        if (u < acc) {
+          bin = i;
+          break;
+        }
+      }
+      return edges[bin] + rng.next_double() * (edges[bin + 1] - edges[bin]);
+    }
+  }
+  return value;  // unreachable
+}
+
+bool Distribution::degenerate(double* out) const {
+  switch (kind) {
+    case Kind::kConstant:
+      *out = value;
+      return true;
+    case Kind::kUniform:
+      if (lo == hi) {
+        *out = lo;
+        return true;
+      }
+      return false;
+    case Kind::kNormal:
+      if (sigma == 0) {
+        *out = mean;
+        return true;
+      }
+      return false;
+    case Kind::kLognormal:
+      if (sigma == 0) {
+        *out = std::exp(mu);
+        return true;
+      }
+      return false;
+    case Kind::kHistogram: {
+      // Degenerate only if every bin with weight collapses to one point.
+      double point = 0;
+      bool seen = false;
+      for (std::size_t i = 0; i < weights.size(); ++i) {
+        if (weights[i] == 0) continue;
+        if (edges[i] != edges[i + 1]) return false;
+        if (seen && edges[i] != point) return false;
+        point = edges[i];
+        seen = true;
+      }
+      *out = seen ? point : 0;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Distribution::is_identity(double id) const {
+  double point = 0;
+  return degenerate(&point) && point == id;
+}
+
+Distribution Distribution::parse(const util::JsonValue& v, const std::string& what) {
+  Distribution d;
+  if (v.is_number()) {
+    d.kind = Kind::kConstant;
+    d.value = v.as_number();
+    return d;
+  }
+  SMPI_REQUIRE(v.is_object(), "noise spec: " + what + " must be a number or an object");
+  const util::JsonValue& kind = v.at("dist", what);
+  SMPI_REQUIRE(kind.is_string(), "noise spec: " + what + " \"dist\" must be a string");
+  const std::string& name = kind.as_string();
+  if (name == "constant") {
+    d.kind = Kind::kConstant;
+    d.value = require_number(v, "value", what);
+  } else if (name == "uniform") {
+    d.kind = Kind::kUniform;
+    d.lo = require_number(v, "lo", what);
+    d.hi = require_number(v, "hi", what);
+    SMPI_REQUIRE(d.lo <= d.hi, "noise spec: " + what + " uniform needs lo <= hi");
+  } else if (name == "normal") {
+    d.kind = Kind::kNormal;
+    d.mean = require_number(v, "mean", what);
+    d.sigma = require_number(v, "sigma", what);
+    SMPI_REQUIRE(d.sigma >= 0, "noise spec: " + what + " normal needs sigma >= 0");
+  } else if (name == "lognormal") {
+    d.kind = Kind::kLognormal;
+    d.mu = require_number(v, "mu", what);
+    d.sigma = require_number(v, "sigma", what);
+    SMPI_REQUIRE(d.sigma >= 0, "noise spec: " + what + " lognormal needs sigma >= 0");
+  } else if (name == "histogram") {
+    d.kind = Kind::kHistogram;
+    const util::JsonValue& edges = v.at("edges", what);
+    const util::JsonValue& weights = v.at("weights", what);
+    SMPI_REQUIRE(edges.is_array() && weights.is_array(),
+                 "noise spec: " + what + " histogram needs \"edges\" and \"weights\" arrays");
+    for (const util::JsonValue& e : edges.items()) {
+      SMPI_REQUIRE(e.is_number(), "noise spec: " + what + " histogram edges must be numbers");
+      d.edges.push_back(e.as_number());
+    }
+    for (const util::JsonValue& w : weights.items()) {
+      SMPI_REQUIRE(w.is_number() && w.as_number() >= 0,
+                   "noise spec: " + what + " histogram weights must be non-negative numbers");
+      d.weights.push_back(w.as_number());
+    }
+    SMPI_REQUIRE(d.edges.size() >= 2 && d.weights.size() + 1 == d.edges.size(),
+                 "noise spec: " + what + " histogram needs n+1 edges for n weights");
+    for (std::size_t i = 0; i + 1 < d.edges.size(); ++i) {
+      SMPI_REQUIRE(d.edges[i] <= d.edges[i + 1],
+                   "noise spec: " + what + " histogram edges must be ascending");
+    }
+    double total = 0;
+    for (double w : d.weights) total += w;
+    SMPI_REQUIRE(total > 0, "noise spec: " + what + " histogram needs positive total weight");
+  } else {
+    SMPI_REQUIRE(false, "noise spec: " + what + " unknown dist \"" + name +
+                            "\" (expected constant, uniform, normal, lognormal, or histogram)");
+  }
+  return d;
+}
+
+bool NoiseSpec::null_effect() const {
+  if (has_host_speed && !host_speed.is_identity(1.0)) return false;
+  if (has_link_bandwidth && !link_bandwidth.is_identity(1.0)) return false;
+  if (has_link_latency && !link_latency.is_identity(1.0)) return false;
+  if (has_message_jitter && !message_jitter.is_identity(0.0)) return false;
+  return true;
+}
+
+NoiseSpec NoiseSpec::parse(const util::JsonValue& root) {
+  SMPI_REQUIRE(root.is_object(), "noise spec: root must be a JSON object");
+  NoiseSpec spec;
+  if (const util::JsonValue* seed = root.find("seed")) {
+    SMPI_REQUIRE(seed->is_number() && seed->as_number() >= 0,
+                 "noise spec: \"seed\" must be a number >= 0");
+    spec.seed = static_cast<std::uint64_t>(seed->as_number());
+  }
+  if (const util::JsonValue* v = root.find("host_speed")) {
+    spec.host_speed = Distribution::parse(*v, "host_speed");
+    spec.has_host_speed = true;
+  }
+  if (const util::JsonValue* v = root.find("link_bandwidth")) {
+    spec.link_bandwidth = Distribution::parse(*v, "link_bandwidth");
+    spec.has_link_bandwidth = true;
+  }
+  if (const util::JsonValue* v = root.find("link_latency")) {
+    spec.link_latency = Distribution::parse(*v, "link_latency");
+    spec.has_link_latency = true;
+  }
+  if (const util::JsonValue* v = root.find("message_jitter")) {
+    spec.message_jitter = Distribution::parse(*v, "message_jitter");
+    spec.has_message_jitter = true;
+  }
+  return spec;
+}
+
+NoiseSpec NoiseSpec::parse_text(const std::string& text) {
+  std::size_t first = text.find_first_not_of(" \t\r\n");
+  if (first != std::string::npos && text[first] == '{') {
+    return parse(util::parse_json(text, "noise spec"));
+  }
+  return parse_file(text);
+}
+
+NoiseSpec NoiseSpec::parse_file(const std::string& path) {
+  return parse(util::parse_json_file(path));
+}
+
+std::uint64_t replication_seed(std::uint64_t noise_seed, int rep) {
+  return util::mix_stream(noise_seed, util::stream_class::kNoiseReplication,
+                          static_cast<std::uint64_t>(rep));
+}
+
+void apply_platform_noise(platform::Platform& platform, const NoiseSpec& spec) {
+  namespace sc = util::stream_class;
+  // Each (channel, entity) pair gets its own generator: perturbing host 7
+  // draws the same factor no matter how many hosts exist or which other
+  // channels are enabled.
+  if (spec.has_host_speed && !spec.host_speed.is_identity(1.0)) {
+    for (int i = 0; i < platform.host_count(); ++i) {
+      util::Xoshiro256StarStar rng(
+          util::mix_stream(spec.seed, sc::kNoiseHostSpeed, static_cast<std::uint64_t>(i)));
+      const double factor = spec.host_speed.sample(rng);
+      SMPI_REQUIRE(factor > 0, "noise spec: host_speed factor must stay > 0 (got " +
+                                   std::to_string(factor) + "); tighten the distribution");
+      platform.set_host_speed(i, platform.host(i).speed_flops * factor);
+    }
+  }
+  if (spec.has_link_bandwidth && !spec.link_bandwidth.is_identity(1.0)) {
+    for (int i = 0; i < platform.link_count(); ++i) {
+      util::Xoshiro256StarStar rng(
+          util::mix_stream(spec.seed, sc::kNoiseLinkBandwidth, static_cast<std::uint64_t>(i)));
+      const double factor = spec.link_bandwidth.sample(rng);
+      SMPI_REQUIRE(factor > 0, "noise spec: link_bandwidth factor must stay > 0 (got " +
+                                   std::to_string(factor) + "); tighten the distribution");
+      platform.set_link_bandwidth(i, platform.link(i).bandwidth_bps * factor);
+    }
+  }
+  if (spec.has_link_latency && !spec.link_latency.is_identity(1.0)) {
+    for (int i = 0; i < platform.link_count(); ++i) {
+      util::Xoshiro256StarStar rng(
+          util::mix_stream(spec.seed, sc::kNoiseLinkLatency, static_cast<std::uint64_t>(i)));
+      const double factor = spec.link_latency.sample(rng);
+      SMPI_REQUIRE(factor >= 0, "noise spec: link_latency factor must stay >= 0 (got " +
+                                    std::to_string(factor) + "); tighten the distribution");
+      platform.set_link_latency(i, platform.link(i).latency_s * factor);
+    }
+  }
+}
+
+double MessageJitter::sample(int src, int dst) {
+  const std::uint64_t pair = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+                             static_cast<std::uint32_t>(dst);
+  util::Xoshiro256StarStar rng(
+      util::mix_stream(seed_, util::stream_class::kNoiseMessageJitter, pair, draws_++));
+  return std::max(0.0, dist_.sample(rng));
+}
+
+}  // namespace smpi::noise

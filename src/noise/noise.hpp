@@ -1,0 +1,129 @@
+// Stochastic noise models — per-entity platform perturbation and
+// per-message latency jitter, declaratively specified and bit-reproducible.
+//
+// The deterministic predictions the simulator makes are one sample from a
+// distribution the real cluster draws from: per-node compute speed and
+// per-link performance fluctuate, and tuning verdicts taken from a single
+// run can flip under realistic noise ("Variability Matters", Cornebize &
+// Legrand). A NoiseSpec makes that variability a first-class input:
+//
+//   {
+//     "seed": 42,
+//     "host_speed":     {"dist": "normal", "mean": 1.0, "sigma": 0.05},
+//     "link_bandwidth": {"dist": "uniform", "lo": 0.9, "hi": 1.0},
+//     "link_latency":   {"dist": "lognormal", "mu": 0.0, "sigma": 0.1},
+//     "message_jitter": {"dist": "normal", "mean": 0, "sigma": 2e-6}
+//   }
+//
+// host_speed / link_bandwidth / link_latency are *multiplicative* factors
+// drawn once per host/link and applied at platform materialization through
+// the ordinary Platform mutators — static heterogeneity. message_jitter is
+// an *additive* per-message delay in seconds, sampled at the surf network
+// action-creation choke point — dynamic noise. Each channel draws from its
+// own counter-seeded sub-stream (mix_stream(noise_seed, stream_class,
+// entity[, draw]), registry in util/rng.hpp), so runs are bit-reproducible
+// per seed, per-entity draws are order-independent, and adding one
+// distribution never shifts another's draws.
+//
+// A missing channel, or one whose distribution is degenerate at the
+// identity (factor 1 / jitter 0), installs nothing at all: the simulation
+// takes the exact deterministic code path and every simulated time stays
+// bit-identical to a noise-free run (the zero-noise canary tests assert
+// this for both online runs and offline replay).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace smpi::util {
+class JsonValue;
+class Xoshiro256StarStar;
+}  // namespace smpi::util
+
+namespace smpi::platform {
+class Platform;
+}
+
+namespace smpi::noise {
+
+// One scalar distribution. Parsed from {"dist": ...} JSON (a bare number is
+// shorthand for a constant).
+struct Distribution {
+  enum class Kind { kConstant, kUniform, kNormal, kLognormal, kHistogram };
+  Kind kind = Kind::kConstant;
+  double value = 1;             // constant
+  double lo = 1, hi = 1;        // uniform: [lo, hi)
+  double mean = 0, sigma = 0;   // normal: mean + sigma * N(0,1)
+  double mu = 0;                // lognormal: exp(mu + sigma * N(0,1))
+  std::vector<double> edges;    // histogram: n+1 ascending bin edges
+  std::vector<double> weights;  // histogram: n non-negative bin weights
+
+  double sample(util::Xoshiro256StarStar& rng) const;
+  // True when every draw returns the same value, stored in *out — the
+  // zero-sigma gate the identity guarantee rests on.
+  bool degenerate(double* out) const;
+  // Degenerate exactly at `id` (1 for multiplicative factors, 0 for
+  // additive jitter): the channel is then a provable no-op.
+  bool is_identity(double id) const;
+
+  static Distribution parse(const util::JsonValue& v, const std::string& what);
+};
+
+struct NoiseSpec {
+  std::uint64_t seed = 0;
+  Distribution host_speed;
+  Distribution link_bandwidth;
+  Distribution link_latency;
+  Distribution message_jitter;
+  bool has_host_speed = false;
+  bool has_link_bandwidth = false;
+  bool has_link_latency = false;
+  bool has_message_jitter = false;
+
+  // No channels at all (the spec was never given).
+  bool empty() const {
+    return !has_host_speed && !has_link_bandwidth && !has_link_latency && !has_message_jitter;
+  }
+  // Every present channel is degenerate at its identity: applying the spec
+  // is bit-identical to not having one.
+  bool null_effect() const;
+
+  static NoiseSpec parse(const util::JsonValue& root);
+  // `text` starting with '{' parses as inline JSON, anything else as a path.
+  static NoiseSpec parse_text(const std::string& text);
+  static NoiseSpec parse_file(const std::string& path);
+};
+
+// The noise seed replication `rep` runs under: an independent sub-seed per
+// replication (stream_class::kNoiseReplication), so a campaign's
+// `replications: N` axis re-runs each scenario over N decorrelated noise
+// worlds that are still fully determined by the spec's base seed.
+std::uint64_t replication_seed(std::uint64_t noise_seed, int rep);
+
+// Static perturbation: scale every host's flop rate and every link's
+// bandwidth/latency by a per-entity draw (identity channels skipped
+// entirely). Call at platform materialization, before the world exists.
+void apply_platform_noise(platform::Platform& platform, const NoiseSpec& spec);
+
+// Per-message latency jitter sampler, installed into the surf flow model's
+// action-creation hook by SmpiWorld when the channel is live. Draw d for a
+// src->dst message is seeded mix_stream(seed, kNoiseMessageJitter,
+// src << 32 | dst, d) with a per-sampler draw counter — deterministic
+// because the simulation's message sequence is. Samples clamp at 0 (a
+// negative draw cannot make the network acausal).
+class MessageJitter {
+ public:
+  MessageJitter(const Distribution& dist, std::uint64_t seed)
+      : dist_(dist), seed_(seed) {}
+
+  double sample(int src, int dst);
+  std::uint64_t draws() const { return draws_; }
+
+ private:
+  Distribution dist_;
+  std::uint64_t seed_ = 0;
+  std::uint64_t draws_ = 0;
+};
+
+}  // namespace smpi::noise

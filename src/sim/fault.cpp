@@ -10,19 +10,12 @@ namespace smpi::sim {
 
 namespace {
 
-// Same seeding discipline as the workload generator (workload/patterns.cpp):
-// every (stream, index) pair owns an independent generator, so draws never
-// shift when an unrelated fault class changes count.
-std::uint64_t mix(std::uint64_t seed, std::uint64_t stream, std::uint64_t index) {
-  std::uint64_t h = seed;
-  h ^= stream + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-  h ^= index + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-  return h;
-}
-
-constexpr std::uint64_t kStreamHostCrash = 0;
-constexpr std::uint64_t kStreamLinkFail = 1;
-constexpr std::uint64_t kStreamLinkDegrade = 2;
+// Stream classes from the registry in util/rng.hpp: every (stream, index)
+// pair owns an independent generator, so draws never shift when an
+// unrelated fault class changes count.
+constexpr std::uint64_t kStreamHostCrash = util::stream_class::kFaultHostCrash;
+constexpr std::uint64_t kStreamLinkFail = util::stream_class::kFaultLinkFail;
+constexpr std::uint64_t kStreamLinkDegrade = util::stream_class::kFaultLinkDegrade;
 
 FaultEvent::Kind kind_from_name(const std::string& name) {
   if (name == "host_crash") return FaultEvent::Kind::kHostCrash;
@@ -177,7 +170,8 @@ std::vector<ResolvedFault> resolve_faults(const FaultSpec& spec, const TargetInd
     auto draw = [&](std::uint64_t stream, long long count, FaultEvent::Kind fail_kind,
                     FaultEvent::Kind recover_kind, int target_count, bool degrade) {
       for (long long i = 0; i < count; ++i) {
-        util::Xoshiro256StarStar rng(mix(r.seed, stream, static_cast<std::uint64_t>(i)));
+        util::Xoshiro256StarStar rng(
+            util::mix_stream(r.seed, stream, static_cast<std::uint64_t>(i)));
         ResolvedFault fault;
         fault.kind = fail_kind;
         fault.target =

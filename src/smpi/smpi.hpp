@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "noise/noise.hpp"
 #include "platform/platform.hpp"
 #include "pnet/packetnet.hpp"
 #include "sim/engine.hpp"
@@ -105,6 +106,15 @@ struct SmpiConfig {
   // with a diagnostic, or hang so the deadlock detector reports the
   // wait-for state.
   sim::FaultSpec faults;
+
+  // Noise model (noise/noise.hpp): the `message_jitter` channel adds a
+  // seeded per-message delay at flow creation (requires the flow backend).
+  // Static channels (host_speed / link_*) are applied to the Platform
+  // *before* world construction — by campaign materialization or smpirun —
+  // not here. An empty or identity spec installs nothing: the simulation is
+  // bit-identical to a noise-free run. `noise.seed` should already carry the
+  // replication sub-seed (noise::replication_seed) when campaigns replicate.
+  noise::NoiseSpec noise;
 
   // Payload-free mode (offline trace replay): message *sizes* drive all
   // timing but payload bytes are never materialized — eager sends skip the
@@ -202,6 +212,7 @@ class SmpiWorld {
   std::vector<std::string> argv_storage_;
   std::vector<char*> argv_pointers_;
   P2pCounters p2p_counters_;  // pool fields filled from the engine on read
+  std::unique_ptr<noise::MessageJitter> jitter_;  // null when no live jitter channel
   double finish_time_ = 0;
   std::string fault_diagnostic_;
   bool aborted_ = false;

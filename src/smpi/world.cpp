@@ -149,6 +149,19 @@ SmpiWorld::SmpiWorld(const platform::Platform& platform, SmpiConfig config)
   cpu_model_ = std::make_shared<surf::CpuModel>(platform_, config_.network.solver_mode);
   cpu_ = cpu_model_.get();
   engine_->add_model(cpu_model_);
+  if (config_.noise.has_message_jitter && !config_.noise.message_jitter.is_identity(0.0)) {
+    // Install before the network model is built: the model copies its
+    // config. An identity (zero-sigma) channel installs nothing, so the
+    // deterministic path stays bit-identical.
+    SMPI_REQUIRE(config_.backend == SmpiConfig::Backend::kFlow,
+                 "message jitter requires the flow network backend");
+    jitter_ = std::make_unique<noise::MessageJitter>(config_.noise.message_jitter,
+                                                     config_.noise.seed);
+    noise::MessageJitter* jitter = jitter_.get();
+    config_.network.latency_jitter = [jitter](int src, int dst) {
+      return jitter->sample(src, dst);
+    };
+  }
   if (config_.backend == SmpiConfig::Backend::kFlow) {
     auto net = std::make_shared<surf::FlowNetworkModel>(platform_, config_.network);
     network_ = net.get();

@@ -111,6 +111,7 @@ sim::ActivityPtr FlowNetworkModel::start_flow(int src_node, int dst_node, double
 
   double latency = 0, bound = 0;
   path_parameters(src_node, dst_node, bytes, &latency, &bound);
+  if (config_.latency_jitter) latency += config_.latency_jitter(src_node, dst_node);
   if (hints.rate_bound > 0) bound = std::min(bound, hints.rate_bound);
   SMPI_ENSURE(bound > 0, "flow rate bound must be positive");
 

@@ -19,6 +19,7 @@
 // Figures 7 and 11.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -39,6 +40,13 @@ struct NetworkConfig {
   // system: lazy modified-set propagation (default), whole-component
   // re-solve, or the full reference path for equivalence testing.
   SolveMode solver_mode = SolveMode::kLazy;
+  // Stochastic per-message latency jitter hook (noise::MessageJitter):
+  // called once per non-loopback flow at creation, its return value (in
+  // seconds, must be >= 0) is added to the flow's latency phase. Null — the
+  // default — means no call is made and the deterministic path is taken
+  // untouched: a run without noise is bit-identical to one before this hook
+  // existed.
+  std::function<double(int src, int dst)> latency_jitter;
 };
 
 class FlowNetworkModel final : public sim::Model, public sim::NetworkBackend {

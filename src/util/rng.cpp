@@ -71,6 +71,36 @@ double NasLcg::randlc() {
 
 void NasLcg::skip(std::uint64_t n) { x_ = nas_lcg_power(kA, n, x_); }
 
+namespace {
+
+// One combining level of sub-stream seeding: fold `v` into the running
+// state, then run the SplitMix64 finalizer for a full avalanche. The weaker
+// boost hash_combine step this replaced collided for adjacent small
+// (stream, index) pairs — (s, i) vs (s+1, i-63) landed on the same seed —
+// which the sub-stream independence test now guards against. Changing the
+// constants or shift structure re-seeds every reproducible stream in the
+// codebase — treat it as frozen.
+std::uint64_t mix_step(std::uint64_t h, std::uint64_t v) {
+  // xor-fold of an odd-multiplied v: an additive fold would alias
+  // (h, v + 1) with (h + 1, v), i.e. seed 0 / stream s+1 with seed 1 /
+  // stream s.
+  std::uint64_t z = h ^ (v * 0x9e3779b97f4a7c15ULL + 0xbf58476d1ce4e5b9ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::uint64_t mix_stream(std::uint64_t seed, std::uint64_t stream, std::uint64_t index) {
+  return mix_step(mix_step(seed, stream), index);
+}
+
+std::uint64_t mix_stream(std::uint64_t seed, std::uint64_t stream, std::uint64_t index,
+                         std::uint64_t draw) {
+  return mix_step(mix_stream(seed, stream, index), draw);
+}
+
 double nas_lcg_power(double a, std::uint64_t n, double seed) {
   double t = a;
   double result = seed;

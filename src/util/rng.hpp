@@ -48,4 +48,46 @@ class NasLcg {
 // t = a^n * seed mod 2^46 without advancing through all n steps (NAS ipow46).
 double nas_lcg_power(double a, std::uint64_t n, double seed);
 
+// ---------------------------------------------------------------------------
+// Counter-seeded sub-streams
+// ---------------------------------------------------------------------------
+//
+// Every stochastic subsystem (workload generator, fault model, noise model)
+// follows one discipline: a consumer never shares a generator. Each draw
+// site seeds its own Xoshiro from mix_stream(seed, stream_class, entity
+// [, draw]), so adding or removing one distribution can never shift the
+// draws another sees — the property all the bit-reproducibility tests rest
+// on. The three seed *domains* are independent (a workload seed, a fault
+// seed, and a noise seed never feed the same mix call), but the fixed
+// stream-class numbers are kept globally disjoint anyway so a future merge
+// of domains cannot silently collide:
+//
+//   0-15   fault model (fault_seed domain, sim/fault.cpp):
+//            0 host crashes, 1 link failures, 2 link degradations
+//   16-31  noise model (noise_seed domain, noise/noise.cpp):
+//            16 host speed, 17 link bandwidth, 18 link latency,
+//            19 per-message latency jitter, 20 replication sub-seeds
+//   32+    reserved
+//
+// The workload generator (workload/patterns.cpp) derives its stream ids
+// dynamically from the phase index (phase << 1 | kind); it is the sole
+// occupant of the workload-seed domain, documented here for completeness.
+std::uint64_t mix_stream(std::uint64_t seed, std::uint64_t stream, std::uint64_t index);
+// Four-level variant for per-draw streams (e.g. one draw per message).
+std::uint64_t mix_stream(std::uint64_t seed, std::uint64_t stream, std::uint64_t index,
+                         std::uint64_t draw);
+
+namespace stream_class {
+// Fault model (fault_seed domain).
+constexpr std::uint64_t kFaultHostCrash = 0;
+constexpr std::uint64_t kFaultLinkFail = 1;
+constexpr std::uint64_t kFaultLinkDegrade = 2;
+// Noise model (noise_seed domain).
+constexpr std::uint64_t kNoiseHostSpeed = 16;
+constexpr std::uint64_t kNoiseLinkBandwidth = 17;
+constexpr std::uint64_t kNoiseLinkLatency = 18;
+constexpr std::uint64_t kNoiseMessageJitter = 19;
+constexpr std::uint64_t kNoiseReplication = 20;
+}  // namespace stream_class
+
 }  // namespace smpi::util

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/check.hpp"
+#include "util/rng.hpp"
 
 namespace smpi::util {
 
@@ -102,6 +103,69 @@ double percentile(std::vector<double> values, double p) {
   const auto hi = std::min(lo + 1, values.size() - 1);
   const double frac = rank - static_cast<double>(lo);
   return values[lo] * (1 - frac) + values[hi] * frac;
+}
+
+double quantile_sorted(const std::vector<double>& sorted, double q) {
+  SMPI_REQUIRE(!sorted.empty(), "quantile of empty set");
+  SMPI_REQUIRE(q >= 0 && q <= 1, "quantile out of range");
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+}
+
+double quantile(std::vector<double> values, double q) {
+  SMPI_REQUIRE(!values.empty(), "quantile of empty set");
+  std::sort(values.begin(), values.end());
+  return quantile_sorted(values, q);
+}
+
+BootstrapCi bootstrap_mean_ci(const std::vector<double>& values, double level, int resamples,
+                              std::uint64_t seed) {
+  SMPI_REQUIRE(!values.empty(), "bootstrap of empty set");
+  SMPI_REQUIRE(level > 0 && level < 1, "bootstrap level must be in (0, 1)");
+  SMPI_REQUIRE(resamples >= 1, "bootstrap needs at least one resample");
+  const auto n = values.size();
+  std::vector<double> means;
+  means.reserve(static_cast<std::size_t>(resamples));
+  for (int r = 0; r < resamples; ++r) {
+    // One sub-stream per resample: inserting or removing a resample never
+    // shifts the draws of the others.
+    Xoshiro256StarStar rng(mix_stream(seed, 0, static_cast<std::uint64_t>(r)));
+    double sum = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      sum += values[rng.next_in_range(0, static_cast<std::uint64_t>(n - 1))];
+    }
+    means.push_back(sum / static_cast<double>(n));
+  }
+  std::sort(means.begin(), means.end());
+  const double alpha = 1 - level;
+  BootstrapCi ci;
+  ci.lo = quantile_sorted(means, alpha / 2);
+  ci.hi = quantile_sorted(means, 1 - alpha / 2);
+  return ci;
+}
+
+SampleSummary summarize_sample(std::vector<double> values) {
+  SMPI_REQUIRE(!values.empty(), "summary of empty sample");
+  std::sort(values.begin(), values.end());
+  SampleSummary s;
+  s.count = values.size();
+  s.min = values.front();
+  s.max = values.back();
+  double sum = 0;
+  for (double v : values) sum += v;
+  s.mean = sum / static_cast<double>(s.count);
+  if (s.count > 1) {
+    double ss = 0;
+    for (double v : values) ss += (v - s.mean) * (v - s.mean);
+    s.stddev = std::sqrt(ss / static_cast<double>(s.count - 1));
+  }
+  s.p5 = quantile_sorted(values, 0.05);
+  s.p50 = quantile_sorted(values, 0.50);
+  s.p95 = quantile_sorted(values, 0.95);
+  return s;
 }
 
 }  // namespace smpi::util

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace smpi::util {
@@ -73,5 +74,39 @@ LinearFit linear_regression(const std::vector<double>& x, const std::vector<doub
 double correlation(const std::vector<double>& x, const std::vector<double>& y);
 
 double percentile(std::vector<double> values, double p);  // p in [0,100]
+
+// Exact order-statistic quantile with linear interpolation between ranks
+// (the "type 7" estimator R and numpy default to); q in [0, 1]. The sorted
+// overload avoids the copy+sort when the caller already holds sorted data —
+// the campaign aggregator calls it once per quantile per scenario.
+double quantile(std::vector<double> values, double q);
+double quantile_sorted(const std::vector<double>& sorted, double q);
+
+// Percentile-bootstrap confidence interval on the mean: `resamples`
+// with-replacement resamples of `values`, each mean recorded, the interval
+// being the (alpha/2, 1-alpha/2) quantiles of those means. Seeded through
+// the mix_stream discipline (one sub-stream per resample), so the interval
+// is bit-reproducible per seed and independent of call order.
+struct BootstrapCi {
+  double lo = 0;
+  double hi = 0;
+};
+BootstrapCi bootstrap_mean_ci(const std::vector<double>& values, double level, int resamples,
+                              std::uint64_t seed);
+
+// One-shot descriptive summary of a sample — what a campaign's replication
+// fold-down reports per scenario. stddev is the sample (n-1) estimator,
+// 0 for n < 2.
+struct SampleSummary {
+  std::size_t count = 0;
+  double mean = 0;
+  double stddev = 0;
+  double min = 0;
+  double max = 0;
+  double p5 = 0;
+  double p50 = 0;
+  double p95 = 0;
+};
+SampleSummary summarize_sample(std::vector<double> values);
 
 }  // namespace smpi::util

@@ -14,12 +14,11 @@ using trace::TiRecord;
 
 // Independent sub-streams per (phase, rank) and per (phase, iteration):
 // every consumer seeds its own generator from a counter, so no pattern can
-// perturb another's draws by consuming more or fewer values.
+// perturb another's draws by consuming more or fewer values. The stream ids
+// are phase-derived (phase << 1 | kind), the workload-seed domain's own
+// slice of the registry documented in util/rng.hpp.
 std::uint64_t mix(std::uint64_t seed, std::uint64_t stream, std::uint64_t index) {
-  std::uint64_t h = seed;
-  h ^= stream + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-  h ^= index + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-  return h;
+  return util::mix_stream(seed, stream, index);
 }
 
 // Per-rank compute-cost stream: a static imbalance factor drawn once plus a

@@ -14,6 +14,7 @@
 #include "campaign/report.hpp"
 #include "campaign/runner.hpp"
 #include "campaign/spec.hpp"
+#include "noise/noise.hpp"
 #include "platform/builders.hpp"
 #include "smpi/smpi.hpp"
 #include "trace/capture.hpp"
@@ -504,6 +505,190 @@ TEST(CampaignResume, RejectsDifferentTraceSourceOrPlatform) {
 
   // The genuine spec still round-trips.
   EXPECT_NO_THROW(cp::results_from_report(report, spec, scenarios));
+}
+
+// ---------------------------------------------------------------------------
+// Replicated (Monte-Carlo) campaigns
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Small noisy stencil sweep: 2 scenarios (baseline + 1) x 3 replications.
+const char* kReplicatedSpec = R"({
+  "name": "monte-carlo",
+  "workload": {"name": "mc", "ranks": 4, "seed": 1, "pattern": "stencil2d",
+               "iterations": 2, "bytes": 4096, "compute": {"flops": 1e6}},
+  "platform": {"kind": "flat", "nodes": 4},
+  "axes": [{"param": "link_bandwidth_scale", "values": [2]}],
+  "noise": {"seed": 9,
+            "host_speed": {"dist": "normal", "mean": 1, "sigma": 0.05},
+            "message_jitter": {"dist": "normal", "mean": 0, "sigma": 1e-6}},
+  "replications": 3
+})";
+
+}  // namespace
+
+TEST(CampaignReplication, SpecValidation) {
+  EXPECT_THROW(parse_spec(R"({"replications": 3})"), ContractError);  // no noise
+  EXPECT_THROW(parse_spec(R"({"replications": 0,
+      "noise": {"host_speed": {"dist": "normal", "mean": 1, "sigma": 0.1}}})"),
+               ContractError);
+  const auto spec = parse_spec(kReplicatedSpec);
+  EXPECT_EQ(spec.replications, 3);
+  EXPECT_FALSE(spec.noise.empty());
+  EXPECT_EQ(spec.noise.seed, 9u);
+  // A noise_seed axis needs the campaign-level noise spec to override.
+  const auto seedless = parse_spec(R"({
+    "platform": {"kind": "flat", "nodes": 4},
+    "axes": [{"param": "noise_seed", "values": [1, 2]}]
+  })");
+  EXPECT_THROW(cp::materialize(seedless, cp::enumerate_scenarios(seedless)[1], 4),
+               ContractError);
+}
+
+TEST(CampaignReplication, MaterializePerturbsPerReplication) {
+  const auto spec = parse_spec(kReplicatedSpec);
+  const auto scenarios = cp::enumerate_scenarios(spec);
+  const auto rep0 = cp::materialize(spec, scenarios[0], 4, 0);
+  const auto rep0_again = cp::materialize(spec, scenarios[0], 4, 0);
+  const auto rep1 = cp::materialize(spec, scenarios[0], 4, 1);
+  bool differs = false;
+  for (int h = 0; h < rep0.platform.host_count(); ++h) {
+    EXPECT_EQ(rep0.platform.host(h).speed_flops, rep0_again.platform.host(h).speed_flops);
+    differs = differs || rep0.platform.host(h).speed_flops != rep1.platform.host(h).speed_flops;
+  }
+  EXPECT_TRUE(differs) << "replications must draw independent noise worlds";
+  // Even replication 0 runs under a sub-seed, and the world config carries it.
+  EXPECT_EQ(rep0.config.noise.seed, smpi::noise::replication_seed(9, 0));
+  EXPECT_EQ(rep1.config.noise.seed, smpi::noise::replication_seed(9, 1));
+}
+
+TEST(CampaignReplication, DeterministicAcrossWorkerCountsAndRuns) {
+  const auto spec = parse_spec(kReplicatedSpec);
+  const auto scenarios = cp::enumerate_scenarios(spec);
+  const auto trace = smpi::workload::generate_workload(spec.workload);
+
+  cp::RunOptions one;
+  one.workers = 1;
+  const auto serial = cp::run_campaign(spec, scenarios, trace, one);
+  cp::RunOptions many;
+  many.workers = 2;
+  const auto parallel = cp::run_campaign(spec, scenarios, trace, many);
+
+  const std::size_t units = scenarios.size() * 3;
+  ASSERT_EQ(serial.results.size(), units);
+  ASSERT_EQ(parallel.results.size(), units);
+  EXPECT_EQ(serial.replications, 3);
+  for (std::size_t i = 0; i < units; ++i) {
+    ASSERT_TRUE(serial.results[i].ok) << serial.results[i].error;
+    EXPECT_EQ(serial.results[i].id, static_cast<int>(i / 3));
+    EXPECT_EQ(serial.results[i].rep, static_cast<int>(i % 3));
+    EXPECT_EQ(serial.results[i].simulated_time, parallel.results[i].simulated_time) << i;
+    EXPECT_EQ(serial.results[i].solver_solves, parallel.results[i].solver_solves) << i;
+  }
+  // Replications of one scenario see different noise, so different times.
+  EXPECT_NE(serial.results[0].simulated_time, serial.results[1].simulated_time);
+  EXPECT_NE(serial.results[1].simulated_time, serial.results[2].simulated_time);
+}
+
+TEST(CampaignReplication, ReportCarriesStatsAndRankStability) {
+  const auto spec = parse_spec(kReplicatedSpec);
+  const auto scenarios = cp::enumerate_scenarios(spec);
+  const auto trace = smpi::workload::generate_workload(spec.workload);
+  cp::RunOptions options;
+  const auto outcome = cp::run_campaign(spec, scenarios, trace, options);
+  for (const auto& r : outcome.results) ASSERT_TRUE(r.ok) << r.error;
+
+  const JsonValue report =
+      parse_json(cp::report_json(spec, scenarios, outcome).dump(2), "report");
+  EXPECT_EQ(report.at("replications", "r").as_int(), 3);
+  EXPECT_EQ(report.at("noise_seed", "r").as_int(), 9);
+  const auto& stability = report.at("rank_stability", "r");
+  EXPECT_FALSE(stability.at("verdict", "r").as_string().empty());
+  EXPECT_GE(stability.at("fraction", "r").as_number(), 0.0);
+  EXPECT_LE(stability.at("fraction", "r").as_number(), 1.0);
+
+  const auto& rows = report.at("scenarios", "r").items();
+  ASSERT_EQ(rows.size(), scenarios.size());
+  for (const auto& row : rows) {
+    const auto& reps = row.at("replications", "r").items();
+    ASSERT_EQ(reps.size(), 3u);
+    const auto& stats = row.at("stats", "r");
+    EXPECT_EQ(stats.at("count", "r").as_int(), 3);
+    const double mean = stats.at("mean", "r").as_number();
+    EXPECT_GT(mean, 0.0);
+    EXPECT_LE(stats.at("min", "r").as_number(), mean);
+    EXPECT_GE(stats.at("max", "r").as_number(), mean);
+    EXPECT_LE(stats.at("p5", "r").as_number(), stats.at("p95", "r").as_number());
+    EXPECT_LE(stats.at("ci_lo", "r").as_number(), stats.at("ci_hi", "r").as_number());
+    EXPECT_GT(stats.at("stddev", "r").as_number(), 0.0);
+  }
+
+  // CSV: header + one row per unit, with a rep column.
+  const std::string csv = cp::report_csv(spec, scenarios, outcome);
+  int lines = 0;
+  for (char c : csv) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, static_cast<int>(1 + scenarios.size() * 3));
+  EXPECT_EQ(csv.find("id,rep,"), 0u);
+
+  const std::string summary = cp::report_summary(spec, scenarios, outcome);
+  EXPECT_NE(summary.find("3 replications"), std::string::npos) << summary;
+  EXPECT_NE(summary.find("rank stability"), std::string::npos) << summary;
+}
+
+TEST(CampaignReplication, ResumeAdoptsIndividualReplications) {
+  const auto spec = parse_spec(kReplicatedSpec);
+  const auto scenarios = cp::enumerate_scenarios(spec);
+  const auto trace = smpi::workload::generate_workload(spec.workload);
+  cp::RunOptions options;
+  const auto full = cp::run_campaign(spec, scenarios, trace, options);
+  for (const auto& r : full.results) ASSERT_TRUE(r.ok) << r.error;
+
+  // Forge a partial report: one whole scenario row lost one rep, another
+  // lost a different one.
+  auto partial = full;
+  partial.results[1].ok = false;  // scenario 0, rep 1
+  partial.results[1].error = "worker died";
+  partial.results[5].ok = false;  // scenario 1, rep 2
+  partial.results[5].error = "worker died";
+  const JsonValue report =
+      parse_json(cp::report_json(spec, scenarios, partial).dump(2), "partial report");
+
+  options.resume = cp::results_from_report(report, spec, scenarios);
+  ASSERT_EQ(options.resume.size(), full.results.size());
+  EXPECT_TRUE(options.resume[0].ok);
+  EXPECT_FALSE(options.resume[1].ok);
+  EXPECT_TRUE(options.resume[2].ok);
+  EXPECT_FALSE(options.resume[5].ok);
+  const auto resumed = cp::run_campaign(spec, scenarios, trace, options);
+  EXPECT_EQ(resumed.resumed, static_cast<int>(full.results.size()) - 2);
+  for (std::size_t i = 0; i < full.results.size(); ++i) {
+    ASSERT_TRUE(resumed.results[i].ok) << resumed.results[i].error;
+    EXPECT_EQ(resumed.results[i].simulated_time, full.results[i].simulated_time) << i;
+    EXPECT_EQ(resumed.results[i].solver_solves, full.results[i].solver_solves) << i;
+    EXPECT_EQ(resumed.results[i].rep, static_cast<int>(i % 3));
+  }
+  // The resumed sweep aggregates identically to the uninterrupted one
+  // (wall-clock fields aside): same stats, same rank-stability verdict.
+  const JsonValue from_resumed =
+      parse_json(cp::report_json(spec, scenarios, resumed).dump(2), "resumed report");
+  const JsonValue from_full =
+      parse_json(cp::report_json(spec, scenarios, full).dump(2), "full report");
+  for (std::size_t s = 0; s < scenarios.size(); ++s) {
+    EXPECT_EQ(from_resumed.at("scenarios", "r").items()[s].at("stats", "r").dump(2),
+              from_full.at("scenarios", "r").items()[s].at("stats", "r").dump(2));
+  }
+  EXPECT_EQ(from_resumed.at("rank_stability", "r").dump(2),
+            from_full.at("rank_stability", "r").dump(2));
+
+  // A report taken under different replication count or noise seed is not
+  // resumable into this sweep.
+  auto rescaled = spec;
+  rescaled.replications = 2;
+  EXPECT_THROW(cp::results_from_report(report, rescaled, scenarios), ContractError);
+  auto reseeded = spec;
+  reseeded.noise.seed = 10;
+  EXPECT_THROW(cp::results_from_report(report, reseeded, scenarios), ContractError);
 }
 
 TEST(CampaignResume, FullyCompleteResumeSkipsThePoolEntirely) {

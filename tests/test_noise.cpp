@@ -1,0 +1,297 @@
+// Noise-model tests: noise-spec parsing, seeded distribution sampling,
+// per-entity platform perturbation independence, per-message jitter
+// determinism, and the zero-noise identity canary — an all-zero-sigma spec
+// must be bit-identical to no spec at all, for both online runs and offline
+// replay.
+#include "noise/noise.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "smpi_test_util.hpp"
+#include "trace/reader.hpp"
+#include "trace/replay.hpp"
+#include "util/check.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+#include "workload/generate.hpp"
+
+using namespace smpi_test;
+namespace sn = smpi::noise;
+namespace sc = smpi::core;
+namespace su = smpi::util;
+using smpi::util::ContractError;
+
+namespace {
+
+sn::Distribution parse_dist(const std::string& text) {
+  return sn::Distribution::parse(su::parse_json(text, "dist"), "dist");
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Spec + distribution parsing
+// ---------------------------------------------------------------------------
+
+TEST(NoiseSpec, ParsesEveryChannelAndDistributionKind) {
+  const auto spec = sn::NoiseSpec::parse_text(R"({
+    "seed": 42,
+    "host_speed":     {"dist": "normal", "mean": 1.0, "sigma": 0.05},
+    "link_bandwidth": {"dist": "uniform", "lo": 0.9, "hi": 1.0},
+    "link_latency":   {"dist": "lognormal", "mu": 0.0, "sigma": 0.1},
+    "message_jitter": {"dist": "histogram", "edges": [0, 1e-6, 1e-5],
+                       "weights": [9, 1]}
+  })");
+  EXPECT_EQ(spec.seed, 42u);
+  EXPECT_FALSE(spec.empty());
+  EXPECT_FALSE(spec.null_effect());
+  EXPECT_TRUE(spec.has_host_speed);
+  EXPECT_EQ(spec.host_speed.kind, sn::Distribution::Kind::kNormal);
+  EXPECT_DOUBLE_EQ(spec.host_speed.sigma, 0.05);
+  EXPECT_EQ(spec.link_bandwidth.kind, sn::Distribution::Kind::kUniform);
+  EXPECT_EQ(spec.link_latency.kind, sn::Distribution::Kind::kLognormal);
+  EXPECT_EQ(spec.message_jitter.kind, sn::Distribution::Kind::kHistogram);
+  ASSERT_EQ(spec.message_jitter.edges.size(), 3u);
+}
+
+TEST(NoiseSpec, BareNumberIsConstantShorthand) {
+  const auto spec = sn::NoiseSpec::parse_text(R"({"host_speed": 0.5, "message_jitter": 0})");
+  EXPECT_EQ(spec.host_speed.kind, sn::Distribution::Kind::kConstant);
+  double value = 0;
+  ASSERT_TRUE(spec.host_speed.degenerate(&value));
+  EXPECT_DOUBLE_EQ(value, 0.5);
+  // jitter 0 is the additive identity; speed 0.5 is not multiplicative identity.
+  EXPECT_TRUE(spec.message_jitter.is_identity(0.0));
+  EXPECT_FALSE(spec.host_speed.is_identity(1.0));
+}
+
+TEST(NoiseSpec, RejectsBadSpecs) {
+  EXPECT_THROW(sn::NoiseSpec::parse_text(R"({"host_speed": {"dist": "zipf"}})"), ContractError);
+  EXPECT_THROW(parse_dist(R"({"dist": "uniform", "lo": 2, "hi": 1})"), ContractError);
+  EXPECT_THROW(parse_dist(R"({"dist": "normal", "mean": 1, "sigma": -0.1})"), ContractError);
+  EXPECT_THROW(parse_dist(R"({"dist": "histogram", "edges": [0, 1], "weights": [1, 2]})"),
+               ContractError);  // n weights need n+1 edges
+  EXPECT_THROW(parse_dist(R"({"dist": "histogram", "edges": [1, 0], "weights": [1]})"),
+               ContractError);  // edges must ascend
+  EXPECT_THROW(parse_dist(R"({"dist": "histogram", "edges": [0, 1], "weights": [0]})"),
+               ContractError);  // zero total weight
+  EXPECT_TRUE(sn::NoiseSpec::parse_text(R"({})").empty());
+}
+
+TEST(NoiseDistribution, DegenerateDetectsEveryCollapse) {
+  double v = 0;
+  EXPECT_TRUE(parse_dist("1.5").degenerate(&v));
+  EXPECT_DOUBLE_EQ(v, 1.5);
+  EXPECT_TRUE(parse_dist(R"({"dist": "uniform", "lo": 2, "hi": 2})").degenerate(&v));
+  EXPECT_DOUBLE_EQ(v, 2.0);
+  EXPECT_TRUE(parse_dist(R"({"dist": "normal", "mean": 1, "sigma": 0})").degenerate(&v));
+  EXPECT_DOUBLE_EQ(v, 1.0);
+  EXPECT_FALSE(parse_dist(R"({"dist": "normal", "mean": 1, "sigma": 0.1})").degenerate(&v));
+  // A zero-sigma normal at the identity makes the whole spec a no-op.
+  const auto spec = sn::NoiseSpec::parse_text(
+      R"({"host_speed": {"dist": "normal", "mean": 1, "sigma": 0}, "message_jitter": 0})");
+  EXPECT_FALSE(spec.empty());
+  EXPECT_TRUE(spec.null_effect());
+}
+
+// ---------------------------------------------------------------------------
+// Sampling determinism
+// ---------------------------------------------------------------------------
+
+TEST(NoiseDistribution, SamplingIsSeedDeterministic) {
+  const auto dist = parse_dist(R"({"dist": "lognormal", "mu": 0, "sigma": 0.2})");
+  su::Xoshiro256StarStar a(99), b(99), c(100);
+  bool differs = false;
+  for (int i = 0; i < 64; ++i) {
+    const double x = dist.sample(a);
+    EXPECT_EQ(x, dist.sample(b));  // bit-equal draw-for-draw
+    EXPECT_GT(x, 0.0);             // lognormal is positive
+    differs = differs || x != dist.sample(c);
+  }
+  EXPECT_TRUE(differs) << "a different seed must perturb the stream";
+}
+
+TEST(NoiseDistribution, HistogramSamplesStayInsideBins) {
+  const auto dist = parse_dist(
+      R"({"dist": "histogram", "edges": [1.0, 1.5, 4.0], "weights": [1, 0]})");
+  su::Xoshiro256StarStar rng(3);
+  for (int i = 0; i < 256; ++i) {
+    const double x = dist.sample(rng);
+    // The second bin has zero weight: every draw lands in [1.0, 1.5).
+    EXPECT_GE(x, 1.0);
+    EXPECT_LT(x, 1.5);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Static platform perturbation
+// ---------------------------------------------------------------------------
+
+TEST(NoisePlatform, PerEntityDrawsAreChannelIndependent) {
+  // Adding the bandwidth channel must not shift the host-speed draws: each
+  // channel owns a sub-stream.
+  auto speed_only = test_cluster(4);
+  auto both = test_cluster(4);
+  sn::apply_platform_noise(
+      speed_only,
+      sn::NoiseSpec::parse_text(
+          R"({"seed": 5, "host_speed": {"dist": "normal", "mean": 1, "sigma": 0.1}})"));
+  sn::apply_platform_noise(both, sn::NoiseSpec::parse_text(R"({
+    "seed": 5,
+    "host_speed":     {"dist": "normal", "mean": 1, "sigma": 0.1},
+    "link_bandwidth": {"dist": "uniform", "lo": 0.8, "hi": 0.9}
+  })"));
+  const auto reference = test_cluster(4);
+  bool speeds_moved = false;
+  for (int h = 0; h < reference.host_count(); ++h) {
+    EXPECT_EQ(speed_only.host(h).speed_flops, both.host(h).speed_flops) << h;
+    speeds_moved = speeds_moved ||
+                   speed_only.host(h).speed_flops != reference.host(h).speed_flops;
+  }
+  EXPECT_TRUE(speeds_moved);
+  bool bandwidth_moved = false;
+  for (int l = 0; l < reference.link_count(); ++l) {
+    EXPECT_EQ(speed_only.link(l).bandwidth_bps, reference.link(l).bandwidth_bps) << l;
+    bandwidth_moved = bandwidth_moved ||
+                      both.link(l).bandwidth_bps != reference.link(l).bandwidth_bps;
+  }
+  EXPECT_TRUE(bandwidth_moved);
+}
+
+TEST(NoisePlatform, IdentityChannelsLeavePlatformBitIdentical) {
+  auto noised = test_cluster(4);
+  sn::apply_platform_noise(noised, sn::NoiseSpec::parse_text(R"({
+    "seed": 11,
+    "host_speed":     {"dist": "normal", "mean": 1, "sigma": 0},
+    "link_bandwidth": 1,
+    "link_latency":   {"dist": "uniform", "lo": 1, "hi": 1}
+  })"));
+  const auto reference = test_cluster(4);
+  for (int h = 0; h < reference.host_count(); ++h) {
+    EXPECT_EQ(noised.host(h).speed_flops, reference.host(h).speed_flops);
+  }
+  for (int l = 0; l < reference.link_count(); ++l) {
+    EXPECT_EQ(noised.link(l).bandwidth_bps, reference.link(l).bandwidth_bps);
+    EXPECT_EQ(noised.link(l).latency_s, reference.link(l).latency_s);
+  }
+}
+
+TEST(NoisePlatform, ReplicationSeedsAreDistinctAndDeterministic) {
+  EXPECT_EQ(sn::replication_seed(7, 0), sn::replication_seed(7, 0));
+  EXPECT_NE(sn::replication_seed(7, 0), sn::replication_seed(7, 1));
+  EXPECT_NE(sn::replication_seed(7, 1), sn::replication_seed(8, 1));
+  EXPECT_EQ(sn::replication_seed(7, 3),
+            su::mix_stream(7, su::stream_class::kNoiseReplication, 3));
+}
+
+// ---------------------------------------------------------------------------
+// Per-message jitter
+// ---------------------------------------------------------------------------
+
+TEST(NoiseJitter, SamplerIsSeedDeterministicAndClamped) {
+  const auto dist = parse_dist(R"({"dist": "normal", "mean": 0, "sigma": 1e-5})");
+  sn::MessageJitter a(dist, 17), b(dist, 17), c(dist, 18);
+  bool differs = false;
+  for (int i = 0; i < 64; ++i) {
+    const int src = i % 4, dst = (i + 1) % 4;
+    const double x = a.sample(src, dst);
+    EXPECT_EQ(x, b.sample(src, dst));
+    EXPECT_GE(x, 0.0);  // negative draws clamp: the network stays causal
+    differs = differs || x != c.sample(src, dst);
+  }
+  EXPECT_TRUE(differs);
+  EXPECT_EQ(a.draws(), 64u);
+}
+
+// ---------------------------------------------------------------------------
+// Zero-noise identity canary + end-to-end effect, online and replay
+// ---------------------------------------------------------------------------
+
+namespace {
+
+const char* kIdentitySpec = R"({
+  "seed": 1,
+  "host_speed":     {"dist": "normal", "mean": 1, "sigma": 0},
+  "link_bandwidth": {"dist": "uniform", "lo": 1, "hi": 1},
+  "link_latency":   1,
+  "message_jitter": {"dist": "normal", "mean": 0, "sigma": 0}
+})";
+
+double run_noised(const char* spec_text) {
+  auto platform = test_cluster(4);
+  sc::SmpiConfig config = fast_config();
+  if (spec_text != nullptr) {
+    config.noise = sn::NoiseSpec::parse_text(spec_text);
+    sn::apply_platform_noise(platform, config.noise);
+  }
+  sc::SmpiWorld world(platform, config);
+  world.run(4, [](int, char**) {
+    MPI_Init(nullptr, nullptr);
+    std::vector<char> buf(1 << 16);
+    const int peer = my_rank() ^ 1;
+    MPI_Sendrecv(buf.data(), static_cast<int>(buf.size()), MPI_BYTE, peer, 0, buf.data(),
+                 static_cast<int>(buf.size()), MPI_BYTE, peer, 0, MPI_COMM_WORLD,
+                 MPI_STATUS_IGNORE);
+    smpi_execute_flops(1e8);
+    MPI_Allreduce(MPI_IN_PLACE, buf.data(), 1, MPI_BYTE, MPI_MAX, MPI_COMM_WORLD);
+    MPI_Finalize();
+  });
+  return world.simulated_time();
+}
+
+}  // namespace
+
+TEST(NoiseIdentity, ZeroSigmaSpecIsBitIdenticalOnline) {
+  const double bare = run_noised(nullptr);
+  const double identity = run_noised(kIdentitySpec);
+  EXPECT_EQ(bare, identity);  // bit-identical, not just close
+}
+
+TEST(NoiseIdentity, NonIdentityNoisePerturbsOnlineRun) {
+  const double bare = run_noised(nullptr);
+  const double noised = run_noised(R"({
+    "seed": 1,
+    "host_speed":     {"dist": "lognormal", "mu": 0, "sigma": 0.05},
+    "message_jitter": {"dist": "normal", "mean": 0, "sigma": 2e-6}
+  })");
+  EXPECT_NE(bare, noised);
+  EXPECT_GT(noised, 0.0);
+  // And the perturbed run itself stays seed-reproducible.
+  EXPECT_EQ(noised, run_noised(R"({
+    "seed": 1,
+    "host_speed":     {"dist": "lognormal", "mu": 0, "sigma": 0.05},
+    "message_jitter": {"dist": "normal", "mean": 0, "sigma": 2e-6}
+  })"));
+}
+
+TEST(NoiseIdentity, ZeroSigmaSpecIsBitIdenticalInReplay) {
+  const auto trace = smpi::workload::generate_workload(smpi::workload::WorkloadSpec::parse(
+      su::parse_json(R"({"name": "canary", "ranks": 4, "seed": 3, "pattern": "stencil2d",
+                         "iterations": 3, "bytes": 4096, "compute": {"flops": 1e6}})",
+                     "workload")));
+  const auto replay_with = [&trace](const char* spec_text) {
+    auto platform = test_cluster(4);
+    sc::SmpiConfig config = fast_config();
+    if (spec_text != nullptr) {
+      config.noise = sn::NoiseSpec::parse_text(spec_text);
+      sn::apply_platform_noise(platform, config.noise);
+    }
+    return smpi::trace::replay_trace(platform, config, trace);
+  };
+  const auto bare = replay_with(nullptr);
+  const auto identity = replay_with(kIdentitySpec);
+  EXPECT_EQ(bare.simulated_time, identity.simulated_time);
+  EXPECT_EQ(bare.solver_solves, identity.solver_solves);
+  EXPECT_EQ(bare.solver_vars_touched, identity.solver_vars_touched);
+  EXPECT_EQ(bare.solver_cons_touched, identity.solver_cons_touched);
+
+  // A live jitter channel must change the replayed time, reproducibly.
+  const char* jittery = R"({"seed": 2, "message_jitter":
+      {"dist": "uniform", "lo": 0, "hi": 5e-6}})";
+  const auto noised = replay_with(jittery);
+  EXPECT_NE(noised.simulated_time, bare.simulated_time);
+  EXPECT_EQ(noised.simulated_time, replay_with(jittery).simulated_time);
+}

@@ -95,3 +95,61 @@ TEST(Percentile, RejectsBadInput) {
   EXPECT_THROW(su::percentile({}, 50), su::ContractError);
   EXPECT_THROW(su::percentile({1.0}, 101), su::ContractError);
 }
+
+TEST(Quantile, Type7InterpolationMatchesNumpyDefault) {
+  const std::vector<double> v{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(su::quantile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(su::quantile(v, 1), 4.0);
+  EXPECT_DOUBLE_EQ(su::quantile(v, 0.5), 2.5);
+  // h = (n-1)q = 0.75: linear interpolation between ranks 0 and 1.
+  EXPECT_DOUBLE_EQ(su::quantile(v, 0.25), 1.75);
+  EXPECT_DOUBLE_EQ(su::quantile({7.0}, 0.5), 7.0);
+  // The unsorted overload sorts its copy; the sorted overload trusts input.
+  EXPECT_DOUBLE_EQ(su::quantile({4, 1, 3, 2}, 0.25), 1.75);
+  EXPECT_DOUBLE_EQ(su::quantile_sorted(v, 0.95), su::quantile({2, 4, 1, 3}, 0.95));
+}
+
+TEST(Quantile, RejectsBadInput) {
+  EXPECT_THROW(su::quantile({}, 0.5), su::ContractError);
+  EXPECT_THROW(su::quantile({1.0}, 1.5), su::ContractError);
+  EXPECT_THROW(su::quantile_sorted({1.0}, -0.1), su::ContractError);
+}
+
+TEST(SampleSummary, ReportsTheUsualDescriptives) {
+  const auto s = su::summarize_sample({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  // Sample (n-1) estimator: population variance 4, so stddev sqrt(32/7).
+  EXPECT_NEAR(s.stddev, std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.p50, 4.5);
+  const auto one = su::summarize_sample({3.0});
+  EXPECT_DOUBLE_EQ(one.stddev, 0.0);  // n < 2
+  EXPECT_DOUBLE_EQ(one.p5, 3.0);
+  EXPECT_THROW(su::summarize_sample({}), su::ContractError);
+}
+
+TEST(BootstrapCi, SeedDeterministicAndBracketsTheMean) {
+  const std::vector<double> v{1.0, 1.1, 0.9, 1.05, 0.95, 1.2, 0.8, 1.0};
+  const auto a = su::bootstrap_mean_ci(v, 0.95, 200, 42);
+  const auto b = su::bootstrap_mean_ci(v, 0.95, 200, 42);
+  EXPECT_EQ(a.lo, b.lo);  // bit-identical per seed
+  EXPECT_EQ(a.hi, b.hi);
+  EXPECT_LE(a.lo, a.hi);
+  // The sample mean is 1.0; a 95% interval over resample means contains it.
+  EXPECT_LE(a.lo, 1.0);
+  EXPECT_GE(a.hi, 1.0);
+  const auto c = su::bootstrap_mean_ci(v, 0.95, 200, 43);
+  EXPECT_TRUE(a.lo != c.lo || a.hi != c.hi) << "seed change must move the interval";
+  // Degenerate sample: every resample mean is the constant.
+  const auto fixed = su::bootstrap_mean_ci({5.0, 5.0, 5.0}, 0.9, 50, 1);
+  EXPECT_DOUBLE_EQ(fixed.lo, 5.0);
+  EXPECT_DOUBLE_EQ(fixed.hi, 5.0);
+}
+
+TEST(BootstrapCi, RejectsBadInput) {
+  EXPECT_THROW(su::bootstrap_mean_ci({}, 0.95, 100, 1), su::ContractError);
+  EXPECT_THROW(su::bootstrap_mean_ci({1.0}, 1.0, 100, 1), su::ContractError);
+  EXPECT_THROW(su::bootstrap_mean_ci({1.0}, 0.95, 0, 1), su::ContractError);
+}

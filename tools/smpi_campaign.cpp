@@ -16,8 +16,12 @@
 //
 // The spec declares parameter axes (see src/campaign/spec.hpp for the full
 // format); the tool executes baseline + cross-product through a fork-based
-// worker pool and prints a ranked summary. Exit code: 0 when every scenario
-// succeeded, 1 on usage errors, 2 when any scenario failed.
+// worker pool and prints a ranked summary. A spec carrying "noise" and
+// "replications": N runs every scenario N times under independent noise
+// sub-seeds and reports per-scenario statistics (mean/stddev/quantiles/CI)
+// plus a rank-stability verdict; --resume adopts completed replications
+// individually. Exit code: 0 when every run succeeded, 1 on usage errors,
+// 2 when any run failed.
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -168,8 +172,8 @@ int main(int argc, char** argv) {
       run_options.resume = smpi::campaign::results_from_report(report, spec, scenarios);
       int ok = 0;
       for (const auto& r : run_options.resume) ok += r.ok ? 1 : 0;
-      std::fprintf(stderr, "smpi_campaign: resuming — %d/%zu scenarios adopted from %s\n", ok,
-                   scenarios.size(), options.resume_file.c_str());
+      std::fprintf(stderr, "smpi_campaign: resuming — %d/%zu runs adopted from %s\n", ok,
+                   run_options.resume.size(), options.resume_file.c_str());
     }
     const auto outcome = smpi::campaign::run_campaign(spec, scenarios, trace, run_options);
 

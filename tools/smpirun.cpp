@@ -66,6 +66,8 @@ struct Options {
   std::string replay_dir;     // --replay: re-simulate a captured TI trace
   std::string trace_paje;     // --trace-paje: time-stamped Paje timeline
   std::string faults;         // --faults: inline JSON or spec file path
+  std::string noise;          // --noise: inline JSON or spec file path
+  long long noise_seed = -1;  // --noise-seed: overrides the spec's seed (-1 = keep)
   double max_sim_time = 0;    // --max-sim-time: simulated-seconds guard (0 = off)
   double wall_timeout = 0;    // --wall-timeout: wall-clock guard (0 = off)
 };
@@ -90,6 +92,8 @@ struct Options {
                "  --replay DIR          replay a captured trace (ignores --np/--app)\n"
                "  --trace-paje FILE     write a Paje timeline of the (re)simulation\n"
                "  --faults SPEC         failure model: inline JSON ('{...}') or a spec file\n"
+               "  --noise SPEC          noise model: inline JSON ('{...}') or a spec file\n"
+               "  --noise-seed N        override the noise spec's base seed\n"
                "  --max-sim-time S      abort once simulated time would pass S seconds (exit 4)\n"
                "  --wall-timeout S      abort after S wall-clock seconds (exit 4)\n"
                "  --verbose             print per-app details\n");
@@ -137,6 +141,11 @@ Options parse_options(int argc, char** argv) {
         options.trace_paje = need_value(i);
       } else if (arg == "--faults") {
         options.faults = need_value(i);
+      } else if (arg == "--noise") {
+        options.noise = need_value(i);
+      } else if (arg == "--noise-seed") {
+        options.noise_seed = std::stoll(need_value(i));
+        if (options.noise_seed < 0) usage("--noise-seed must be >= 0");
       } else if (arg == "--max-sim-time") {
         options.max_sim_time = std::stod(need_value(i));
       } else if (arg == "--wall-timeout") {
@@ -295,6 +304,18 @@ int main(int argc, char** argv) {
     config.engine.max_sim_time = options.max_sim_time;
     if (!options.faults.empty()) {
       config.faults = smpi::sim::FaultSpec::parse_text(options.faults);
+    }
+    if (!options.noise.empty()) {
+      // Static channels perturb the platform here, before the world is
+      // built; the jitter channel rides in the config (SmpiWorld installs
+      // it, for online runs and replay alike).
+      config.noise = smpi::noise::NoiseSpec::parse_text(options.noise);
+      if (options.noise_seed >= 0) {
+        config.noise.seed = static_cast<std::uint64_t>(options.noise_seed);
+      }
+      smpi::noise::apply_platform_noise(platform, config.noise);
+    } else if (options.noise_seed >= 0) {
+      usage("--noise-seed needs --noise");
     }
 
     if (!options.replay_dir.empty()) {
