@@ -191,6 +191,21 @@ void set_result_fields(util::JsonValue& row, const ScenarioResult& r,
   p2p.set("bytes_not_copied",
           util::JsonValue::number(static_cast<double>(r.p2p.bytes_not_copied)));
   row.set("p2p", std::move(p2p));
+  if (r.analyzed) {
+    util::JsonValue analysis = util::JsonValue::object();
+    analysis.set("wait_fraction", util::JsonValue::number(r.wait_fraction));
+    analysis.set("critical_path_s", util::JsonValue::number(r.critical_path_s));
+    analysis.set("cp_compute_s", util::JsonValue::number(r.cp_compute_s));
+    analysis.set("cp_comm_s", util::JsonValue::number(r.cp_comm_s));
+    analysis.set("dominant_wait", util::JsonValue::string(r.dominant_wait));
+    util::JsonValue per_rank_wait = util::JsonValue::array();
+    util::JsonValue per_rank_transfer = util::JsonValue::array();
+    for (double v : r.rank_wait_s) per_rank_wait.append(util::JsonValue::number(v));
+    for (double v : r.rank_transfer_s) per_rank_transfer.append(util::JsonValue::number(v));
+    analysis.set("rank_wait_s", std::move(per_rank_wait));
+    analysis.set("rank_transfer_s", std::move(per_rank_transfer));
+    row.set("analysis", std::move(analysis));
+  }
 }
 
 // Inverse of set_result_fields, reading a resumed report's row or
@@ -242,6 +257,22 @@ void read_result_fields(const util::JsonValue& row, ScenarioResult& r) {
     r.p2p.eager_copy_elided = u64("eager_copy_elided");
     r.p2p.eager_flush_snapshots = u64("eager_flush_snapshots");
     r.p2p.bytes_not_copied = u64("bytes_not_copied");
+  }
+  // Lenient likewise for the analysis block (reports written before it
+  // existed, or with "analysis": false in the spec).
+  if (const auto* analysis = row.find("analysis")) {
+    r.analyzed = true;
+    r.wait_fraction = analysis->at("wait_fraction", "resume analysis").as_number();
+    r.critical_path_s = analysis->at("critical_path_s", "resume analysis").as_number();
+    r.cp_compute_s = analysis->at("cp_compute_s", "resume analysis").as_number();
+    r.cp_comm_s = analysis->at("cp_comm_s", "resume analysis").as_number();
+    r.dominant_wait = analysis->at("dominant_wait", "resume analysis").as_string();
+    for (const auto& v : analysis->at("rank_wait_s", "resume analysis").items()) {
+      r.rank_wait_s.push_back(v.as_number());
+    }
+    for (const auto& v : analysis->at("rank_transfer_s", "resume analysis").items()) {
+      r.rank_transfer_s.push_back(v.as_number());
+    }
   }
 }
 
@@ -382,7 +413,8 @@ std::string report_csv(const CampaignSpec& spec, const std::vector<Scenario>& sc
       ",simulated_time,speedup_vs_baseline,wall_s,records,ranks,compute_total_s,comm_total_s,"
       "compute_max_s,comm_max_s,solver_solves,solver_vars_touched,solver_cons_touched,"
       "pool_hits,pool_misses,eager_snapshots,eager_copy_elided,eager_flush_snapshots,"
-      "bytes_not_copied,worker_exit,error\n";
+      "bytes_not_copied,wait_fraction,critical_path_s,cp_compute_s,cp_comm_s,dominant_wait,"
+      "worker_exit,error\n";
 
   // One row per unit: with replications the per-rep runs appear individually
   // (the fold-down statistics live in the JSON report).
@@ -423,10 +455,19 @@ std::string report_csv(const CampaignSpec& spec, const std::vector<Scenario>& sc
       csv += ',' + std::to_string(r.p2p.eager_copy_elided);
       csv += ',' + std::to_string(r.p2p.eager_flush_snapshots);
       csv += ',' + std::to_string(r.p2p.bytes_not_copied);
+      if (r.analyzed) {
+        csv += ',' + format_double(r.wait_fraction);
+        csv += ',' + format_double(r.critical_path_s);
+        csv += ',' + format_double(r.cp_compute_s);
+        csv += ',' + format_double(r.cp_comm_s);
+        csv += ',' + r.dominant_wait;
+      } else {
+        csv += ",,,,,";  // analysis was off for this run
+      }
       csv += ",,\n";  // empty worker_exit + error
     } else {
-      // 18 empty metric columns, then the harness diagnostics.
-      csv += ",,,,,,,,,,,,,,,,,,\"" + r.worker_exit + "\",\"" + r.error + "\"\n";
+      // 23 empty metric columns, then the harness diagnostics.
+      csv += ",,,,,,,,,,,,,,,,,,,,,,,\"" + r.worker_exit + "\",\"" + r.error + "\"\n";
     }
   }
   return csv;
@@ -469,21 +510,48 @@ std::string report_summary(const CampaignSpec& spec, const std::vector<Scenario>
     out += "baseline FAILED in every replication\n";
   }
 
+  // "[wait 42%, mostly late_sender]" — why this scenario is slow (or not):
+  // how much of its total rank time was spent blocked on peers, and which
+  // wait-state class dominates that blocking.
+  auto wait_note = [&](const ScenarioResult& r) -> std::string {
+    if (!r.ok || !r.analyzed) return "";
+    char note[96];
+    if (r.dominant_wait.empty() || r.dominant_wait == "none") {
+      std::snprintf(note, sizeof note, "  [wait %.0f%%]", r.wait_fraction * 100.0);
+    } else {
+      std::snprintf(note, sizeof note, "  [wait %.0f%%, mostly %s]", r.wait_fraction * 100.0,
+                    r.dominant_wait.c_str());
+    }
+    return note;
+  };
   auto describe = [&](int id) {
     const auto index = static_cast<std::size_t>(id);
     if (reps == 1) {
       const ScenarioResult& r = outcome.results[index];
-      std::snprintf(line, sizeof line, "  #%-4d %-48s %.9f s  (%.3fx)\n", id,
+      std::snprintf(line, sizeof line, "  #%-4d %-48s %.9f s  (%.3fx)", id,
                     scenarios[index].label.c_str(), r.simulated_time,
                     speedup_vs_baseline(baseline, r));
+      out += line;
+      out += wait_note(r);
     } else {
       const ScenarioAgg& agg = aggs[index];
       const double speedup =
           !aggs[0].times.empty() && agg.stats.mean > 0 ? aggs[0].stats.mean / agg.stats.mean : 0;
-      std::snprintf(line, sizeof line, "  #%-4d %-48s mean %.9f s +/- %.3g  (%.3fx)\n", id,
+      std::snprintf(line, sizeof line, "  #%-4d %-48s mean %.9f s +/- %.3g  (%.3fx)", id,
                     scenarios[index].label.c_str(), agg.stats.mean, agg.stats.stddev, speedup);
+      out += line;
+      // The wait-state verdict of the first successful replication stands in
+      // for the family (noise moves the numbers, rarely the diagnosis).
+      for (int rep = 0; rep < reps; ++rep) {
+        const ScenarioResult& r =
+            outcome.results[index * static_cast<std::size_t>(reps) + static_cast<std::size_t>(rep)];
+        if (r.ok && r.analyzed) {
+          out += wait_note(r);
+          break;
+        }
+      }
     }
-    out += line;
+    out += '\n';
   };
 
   const int shown = std::min<int>(top, static_cast<int>(ranking.size()));

@@ -79,6 +79,15 @@ std::string encode_capsule(const ScenarioResult& r) {
               util::JsonValue::number(static_cast<double>(r.p2p.eager_flush_snapshots)));
   capsule.set("bytes_not_copied",
               util::JsonValue::number(static_cast<double>(r.p2p.bytes_not_copied)));
+  if (r.analyzed) {
+    capsule.set("wait_fraction", util::JsonValue::number(r.wait_fraction));
+    capsule.set("critical_path_s", util::JsonValue::number(r.critical_path_s));
+    capsule.set("cp_compute_s", util::JsonValue::number(r.cp_compute_s));
+    capsule.set("cp_comm_s", util::JsonValue::number(r.cp_comm_s));
+    capsule.set("dominant_wait", util::JsonValue::string(r.dominant_wait));
+    capsule.set("rank_wait_s", doubles_json(r.rank_wait_s));
+    capsule.set("rank_transfer_s", doubles_json(r.rank_transfer_s));
+  }
   return capsule.dump();
 }
 
@@ -114,6 +123,16 @@ ScenarioResult decode_capsule(const std::string& text) {
       static_cast<std::uint64_t>(capsule.at("eager_flush_snapshots", "capsule").as_int());
   r.p2p.bytes_not_copied =
       static_cast<std::uint64_t>(capsule.at("bytes_not_copied", "capsule").as_int());
+  if (const auto* wait_fraction = capsule.find("wait_fraction")) {
+    r.analyzed = true;
+    r.wait_fraction = wait_fraction->as_number();
+    r.critical_path_s = capsule.at("critical_path_s", "capsule").as_number();
+    r.cp_compute_s = capsule.at("cp_compute_s", "capsule").as_number();
+    r.cp_comm_s = capsule.at("cp_comm_s", "capsule").as_number();
+    r.dominant_wait = capsule.at("dominant_wait", "capsule").as_string();
+    r.rank_wait_s = doubles_from(capsule.at("rank_wait_s", "capsule"));
+    r.rank_transfer_s = doubles_from(capsule.at("rank_transfer_s", "capsule"));
+  }
   return r;
 }
 
@@ -172,6 +191,7 @@ ScenarioResult run_one_scenario(const CampaignSpec& spec, const Scenario& scenar
     trace::ReplayOptions replay_options;
     replay_options.arena_bytes_hint = arena_bytes;
     replay_options.payload_free = setup.payload_free;
+    replay_options.analyze = spec.analysis;
     const auto start = std::chrono::steady_clock::now();
     const trace::ReplayResult replay =
         trace::replay_trace(setup.platform, setup.config, *effective, replay_options);
@@ -200,6 +220,20 @@ ScenarioResult run_one_scenario(const CampaignSpec& spec, const Scenario& scenar
     r.solver_vars_touched = replay.solver_vars_touched;
     r.solver_cons_touched = replay.solver_cons_touched;
     r.p2p = replay.p2p;
+    if (replay.analyzed) {
+      r.analyzed = true;
+      r.wait_fraction = replay.analysis.wait_fraction;
+      r.critical_path_s = replay.analysis.path_length_s;
+      r.cp_compute_s = replay.analysis.cp_compute_s;
+      r.cp_comm_s = replay.analysis.cp_comm_s;
+      r.dominant_wait = replay.analysis.dominant_wait_state;
+      r.rank_wait_s.reserve(replay.rank_usage.size());
+      r.rank_transfer_s.reserve(replay.rank_usage.size());
+      for (const trace::RankUsage& usage : replay.rank_usage) {
+        r.rank_wait_s.push_back(usage.wait_s);
+        r.rank_transfer_s.push_back(usage.transfer_s);
+      }
+    }
   } catch (const std::exception& e) {
     r.ok = false;
     r.error = e.what();

@@ -68,6 +68,16 @@ struct ScenarioResult {
   std::uint64_t solver_cons_touched = 0;
   // p2p hot-path accounting (pool reuse, zero-copy eager activity).
   core::P2pCounters p2p;
+  // Wait-state / critical-path analysis of this run (present when the
+  // spec's "analysis" flag was on — the default).
+  bool analyzed = false;
+  double wait_fraction = 0;    // blocked-on-a-peer share of total MPI+compute time
+  double critical_path_s = 0;  // == simulated_time up to fp tolerance
+  double cp_compute_s = 0;     // critical path split: local work vs. wire time
+  double cp_comm_s = 0;
+  std::string dominant_wait;   // "late_sender" | "late_receiver" | "early_arrival" | "none"
+  std::vector<double> rank_wait_s;      // per-rank blocked-on-peer time
+  std::vector<double> rank_transfer_s;  // per-rank wire-busy time
 
   double compute_total_s() const;
   double comm_total_s() const;

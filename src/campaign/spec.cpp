@@ -119,6 +119,9 @@ CampaignSpec CampaignSpec::parse(const util::JsonValue& doc) {
     spec.timeout_s = timeout->as_number();
     SMPI_REQUIRE(spec.timeout_s >= 0, "campaign spec: timeout_s must be >= 0");
   }
+  if (const auto* analysis = doc.find("analysis")) {
+    spec.analysis = analysis->as_bool();
+  }
 
   if (const auto* platform = doc.find("platform")) {
     const std::string kind = platform->at("kind", "campaign spec platform").as_string();

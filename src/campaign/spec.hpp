@@ -73,6 +73,8 @@
 // see src/sim/fault.hpp). fault_seed and fault_count_scale require that spec
 // to carry a "random" block. A top-level "timeout_s" sets the per-scenario
 // wall-clock watchdog the runner enforces (0 = none; the CLI can override).
+// A top-level "analysis": false turns off the per-scenario wait-state /
+// critical-path analysis (on by default; see src/obs/analysis.hpp).
 //
 // Monte-Carlo campaigns: a top-level "noise" key (an inline noise spec or a
 // path to one; see src/noise/noise.hpp) perturbs every scenario's platform
@@ -140,6 +142,10 @@ struct CampaignSpec {
   int replications = 1;
   // Per-scenario wall-clock watchdog in seconds (0 = none).
   double timeout_s = 0;
+  // Run the wait-state / critical-path analysis inside every replay (JSON
+  // "analysis": false opts out). On by default: every report row then
+  // carries its wait fraction and critical-path compute/comm split.
+  bool analysis = true;
   std::vector<Axis> axes;
 
   // True when any axis sweeps a workload_* parameter.

@@ -1,0 +1,66 @@
+#include "obs/profile.hpp"
+
+#include <cstdio>
+#include <string>
+
+#include "util/json.hpp"
+
+namespace smpi::obs {
+
+Profiler* g_profiler = nullptr;
+
+void install_profiler(Profiler* profiler) { g_profiler = profiler; }
+void clear_profiler() { g_profiler = nullptr; }
+
+const char* prof_key_name(ProfKey key) {
+  switch (key) {
+    case ProfKey::kSolverSolve:
+      return "solver_solve";
+    case ProfKey::kCalendarAdvance:
+      return "calendar_advance";
+    case ProfKey::kContextSwitch:
+      return "context_switch";
+    case ProfKey::kPoolOp:
+      return "pool_op";
+    case ProfKey::kCount:
+      break;
+  }
+  return "?";
+}
+
+std::string profile_text(const Profiler& profiler) {
+  std::string out;
+  char line[160];
+  const double total = profiler.total_wall();
+  for (int k = 0; k < static_cast<int>(ProfKey::kCount); ++k) {
+    const auto key = static_cast<ProfKey>(k);
+    const ProfStats& s = profiler.stats(key);
+    const double pct = total > 0 ? 100.0 * s.seconds / total : 0;
+    std::snprintf(line, sizeof(line), "  %-18s %12llu calls  %12.6f s  %5.1f%%\n",
+                  prof_key_name(key), static_cast<unsigned long long>(s.calls), s.seconds, pct);
+    out += line;
+  }
+  if (total > 0) {
+    std::snprintf(line, sizeof(line), "  %-18s %12s        %12.6f s\n", "total_wall", "", total);
+    out += line;
+  }
+  return out;
+}
+
+util::JsonValue profile_json(const Profiler& profiler) {
+  auto doc = util::JsonValue::object();
+  doc.set("total_wall_s", util::JsonValue::number(profiler.total_wall()));
+  auto buckets = util::JsonValue::object();
+  for (int k = 0; k < static_cast<int>(ProfKey::kCount); ++k) {
+    const auto key = static_cast<ProfKey>(k);
+    const ProfStats& s = profiler.stats(key);
+    auto bucket = util::JsonValue::object();
+    bucket.set("calls", util::JsonValue::number_text(std::to_string(s.calls)));
+    bucket.set("seconds", util::JsonValue::number(s.seconds));
+    buckets.set(prof_key_name(key), std::move(bucket));
+  }
+  doc.set("buckets", std::move(buckets));
+  return doc;
+}
+
+}  // namespace smpi::obs

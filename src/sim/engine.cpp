@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "obs/profile.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
 
@@ -145,7 +146,12 @@ void Engine::run_actor(Actor* actor) {
   if (!actor->alive()) return;
   current_ = actor;
   actor->state_ = Actor::State::kRunning;
-  actor->context_->resume();
+  {
+    // One "call" per context switch into an actor; seconds = host time spent
+    // inside the resumed slice (includes the rank's user code).
+    obs::ProfScope prof(obs::ProfKey::kContextSwitch);
+    actor->context_->resume();
+  }
   current_ = nullptr;
   // Actors only die inside their own resume (the body returning), so this is
   // the single place the live count can drop.
@@ -193,6 +199,7 @@ void Engine::run() {
 }
 
 bool Engine::advance_time() {
+  obs::ProfScope prof(obs::ProfKey::kCalendarAdvance);
   // Let models fold the batch of mutations made since the last step (flow
   // arrivals/departures at the current date) into fresh calendar entries
   // before we look at what comes next.

@@ -22,6 +22,8 @@
 #include <new>
 #include <vector>
 
+#include "obs/profile.hpp"
+
 namespace smpi::sim {
 
 struct PoolStats {
@@ -45,6 +47,7 @@ class BlockPool {
   }
 
   void* allocate(std::size_t size) {
+    obs::ProfScope prof(obs::ProfKey::kPoolOp);
     const std::size_t cls = class_of(size);
     if (cls < free_.size() && !free_[cls].empty()) {
       void* block = free_[cls].back();
@@ -58,6 +61,7 @@ class BlockPool {
   }
 
   void deallocate(void* block, std::size_t size) noexcept {
+    obs::ProfScope prof(obs::ProfKey::kPoolOp);
     const std::size_t cls = class_of(size);
     if (cls >= kClassCount) {
       ::operator delete(block);
@@ -170,6 +174,7 @@ class BufferPool {
   }
 
   Buffer acquire(std::size_t bytes) {
+    obs::ProfScope prof(obs::ProfKey::kPoolOp);
     const std::size_t cls = class_of(bytes);
     const std::size_t capacity = std::size_t{1} << cls;
     if (cls < classes_.size() && !classes_[cls].empty()) {

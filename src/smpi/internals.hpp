@@ -187,6 +187,10 @@ struct Envelope {
   sim::ActivityPtr data_flow;       // eager: started at send time
   sim::ActivityPtr rts_flow;        // rendezvous protocol emulation
   bool matched = false;
+  // Observability (set only while obs spans are enabled): the simulated date
+  // the sender posted this envelope — for eager sends, also when the data
+  // flow started.
+  double obs_post_date = -1;
 };
 
 class Request {
@@ -222,6 +226,15 @@ class Request {
 
   // For rendezvous sends: the envelope we posted (until matched).
   Envelope* pending_envelope = nullptr;
+
+  // Observability timestamps (set only while obs spans are enabled; reset
+  // per activation). `obs_flow_start` is when the data flow for this
+  // request's message began; `obs_peer_ready` is when the peer performed the
+  // action that enabled the transfer (posted the envelope for a recv,
+  // matched the rendezvous for a send) — the critical-path dependency edge.
+  double obs_flow_start = -1;
+  double obs_peer_ready = -1;
+  int obs_peer_world = -1;
 
   bool completed() const { return token == nullptr || token->completed(); }
 };
@@ -494,6 +507,11 @@ void post_recv(Request& request);
 // Wait for a single request's token from the calling rank.
 int wait_request(Request*& request, MPI_Status* status);
 void fill_status(const Request& request, MPI_Status* status);
+// Span-layer hook (obs enabled only): records the blocked interval
+// [block_start, now] for `request` on `proc`'s span stream, classified
+// late-sender / late-receiver / early-arrival from the request's kind and
+// scope (p2p.cpp; shared between wait_request and the waitany path).
+void obs_record_blocked_wait(Process& proc, const Request& request, double block_start);
 
 // Collective building blocks shared with coll.cpp. `coll` selects the shadow
 // matching scope used by collective algorithms.

@@ -17,6 +17,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "obs/span.hpp"
 #include "smpi/internals.hpp"
 #include "trace/capture.hpp"
 #include "util/check.hpp"
@@ -109,6 +110,12 @@ void start_rendezvous_transfer(std::shared_ptr<Envelope> env, Request& recv) {
                                                world->process(env->dst_world_rank)->node,
                                                static_cast<double>(env->bytes), {});
   env->data_flow = data_flow;
+  if (obs::spans_enabled()) {
+    // The rendezvous data transfer begins now, for both blocked sides.
+    const double now = world->engine().now();
+    send->obs_flow_start = now;
+    recv.obs_flow_start = now;
+  }
   Request* recv_ptr = &recv;
   data_flow->on_completion([env, recv_ptr, send, o_recv](sim::Activity& flow) {
     // After an abort, Request pointers may reference unwound actor frames;
@@ -131,6 +138,19 @@ void match(std::shared_ptr<Envelope> env, Request& recv) {
 
   auto* world = SmpiWorld::instance();
   const double o_recv = world->config().personality.overhead_recv_s;
+
+  if (obs::spans_enabled()) {
+    // Receive side: the sender enabled this message when it posted the
+    // envelope (for eager, that is also when the data flow started).
+    recv.obs_peer_ready = env->obs_post_date;
+    recv.obs_peer_world = env->src_world_rank;
+    recv.obs_flow_start = env->eager ? env->obs_post_date : -1;
+    if (env->send_request != nullptr) {
+      // Rendezvous send side: the receiver enabled the transfer by matching.
+      env->send_request->obs_peer_ready = world->engine().now();
+      env->send_request->obs_peer_world = env->dst_world_rank;
+    }
+  }
 
   if (env->eager) {
     // Copy the payload out NOW, at match time — the earliest point the
@@ -290,6 +310,15 @@ void post_send(Request& request) {
   env->bytes = bytes;
   env->eager = eager;
 
+  if (obs::spans_enabled()) {
+    env->obs_post_date = engine.now();  // for eager, also the flow start date
+    request.obs_flow_start = -1;
+    request.obs_peer_ready = -1;
+    request.obs_peer_world = dst_world;
+    if (!request.coll_scope) obs::spans()->annotate_peer(src_world, dst_world);
+    obs::spans()->add_bytes(src_world, bytes);
+  }
+
   if (eager) {
     // Buffered: snapshot the payload and ship it; the send completes now.
     // Payload-free mode ships only the size — no allocation, no copy.
@@ -338,6 +367,20 @@ void post_recv(Request& request) {
   }
   request.token = sim::new_activity("recv");
 
+  if (obs::spans_enabled()) {
+    request.obs_flow_start = -1;  // (re)set before a match can fill them in
+    request.obs_peer_ready = -1;
+    request.obs_peer_world = -1;
+    if (!request.coll_scope) {
+      const int rank = request.owner->world_rank;
+      if (request.peer >= 0) {
+        obs::spans()->annotate_peer(rank, request.comm->world_rank(request.peer));
+      }
+      obs::spans()->add_bytes(
+          rank, static_cast<std::uint64_t>(request.count) * request.datatype->size());
+    }
+  }
+
   Process& receiver = *request.owner;
   MatchQueues& queues = receiver.match_queues(scope_key(request.comm, request.coll_scope));
   for (auto it = queues.unexpected.begin(); it != queues.unexpected.end(); ++it) {
@@ -385,6 +428,26 @@ bool is_pending(const MPI_Request& request) {
 
 }  // namespace
 
+void obs_record_blocked_wait(Process& proc, const Request& request, double block_start) {
+  if (!obs::spans_enabled()) return;
+  const double t1 = proc.world->engine().now();
+  if (t1 <= block_start) return;
+  const std::uint64_t bytes =
+      request.datatype != nullptr
+          ? static_cast<std::uint64_t>(request.count) * request.datatype->size()
+          : 0;
+  obs::WaitClass cls;
+  if (request.coll_scope) {
+    cls = obs::WaitClass::kEarlyArrival;
+  } else if (request.kind == Request::Kind::kRecv) {
+    cls = obs::WaitClass::kLateSender;
+  } else {
+    cls = obs::WaitClass::kLateReceiver;
+  }
+  obs::spans()->on_blocked(proc.world_rank, block_start, t1, request.obs_flow_start,
+                           request.obs_peer_ready, request.obs_peer_world, bytes, cls);
+}
+
 int wait_request(Request*& request, MPI_Status* status) {
   if (request == MPI_REQUEST_NULL || !request->ever_started || !request->active) {
     // MPI: waiting on an inactive/null request returns an "empty" status.
@@ -403,9 +466,11 @@ int wait_request(Request*& request, MPI_Status* status) {
         request->datatype != nullptr
             ? static_cast<std::size_t>(request->count) * request->datatype->size()
             : 0;
+    const double obs_t0 = obs::spans_enabled() ? proc.world->engine().now() : 0;
     BlockedOpGuard guard(proc, is_recv ? "recv" : "send", request->peer, request->tag,
                          request->comm != nullptr ? request->comm->id() : 0, bytes);
     request->token->wait();
+    obs_record_blocked_wait(proc, *request, obs_t0);
     if (request->token->state() == sim::Activity::State::kFailed) {
       std::ostringstream os;
       os << "MPI_" << (is_recv ? "Recv" : "Send") << " (peer=" << request->peer
@@ -876,13 +941,18 @@ int waitany_impl(int count, MPI_Request requests[], int* index, MPI_Status* stat
           [merged](sim::Activity&) { merged->finish(sim::Activity::State::kDone); });
     }
   }
+  Process& proc = current_process_checked();
+  const double obs_t0 = smpi::obs::spans_enabled() ? proc.world->engine().now() : 0;
   {
-    BlockedOpGuard guard(current_process_checked(), "waitany");
+    BlockedOpGuard guard(proc, "waitany");
     merged->wait();
   }
   for (int i = 0; i < count; ++i) {
     if (is_pending(requests[i]) && requests[i]->completed()) {
       *index = i;
+      // Attribute the blocked time to the request that unblocked us; the
+      // follow-up wait_request below records nothing (zero-length wait).
+      obs_record_blocked_wait(proc, *requests[i], obs_t0);
       return wait_request(requests[i], status);
     }
   }
@@ -1153,9 +1223,19 @@ int MPI_Probe(int source, int tag, MPI_Comm comm, MPI_Status* status) {
     scope.emit(r);
   }
   Process& proc = current_process_checked();
+  const double obs_t0 = smpi::obs::spans_enabled() ? proc.world->engine().now() : 0;
   while (true) {
     Envelope* env = find_probe_match(proc, source, tag, comm);
     if (env != nullptr) {
+      if (smpi::obs::spans_enabled()) {
+        const double now = proc.world->engine().now();
+        if (now > obs_t0) {
+          // Pure wait-for-arrival: no transfer happens inside a probe.
+          smpi::obs::spans()->on_blocked(proc.world_rank, obs_t0, now, /*flow_start=*/now,
+                                         env->obs_post_date, env->src_world_rank, env->bytes,
+                                         smpi::obs::WaitClass::kLateSender);
+        }
+      }
       fill_probe_status(*env, status);
       return MPI_SUCCESS;
     }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/profile.hpp"
 #include "util/check.hpp"
 
 namespace smpi::surf {
@@ -232,6 +233,7 @@ void MaxMinSystem::collect_components() {
 
 void MaxMinSystem::solve() {
   if (!dirty_) return;
+  obs::ProfScope prof(obs::ProfKey::kSolverSolve);
   dirty_ = false;
   ++solve_count_;
   last_solved_.clear();

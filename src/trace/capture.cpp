@@ -3,6 +3,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/span.hpp"
 #include "smpi/internals.hpp"
 #include "trace/paje.hpp"
 #include "trace/writer.hpp"
@@ -46,21 +47,31 @@ void clear_capture() { install_capture(nullptr, nullptr); }
 bool capture_installed() { return g_instr.ti != nullptr || g_instr.paje != nullptr; }
 
 ApiScope::ApiScope(const char* state) : state_(state) {
-  if (!capture_installed()) return;
+  if (!capture_installed() && !obs::spans_enabled()) return;
   proc_ = capture_process();
   if (proc_ == nullptr) return;  // MPI call outside a rank: let the callee complain
   outer_ = ++proc_->trace_depth == 1;
   recording_ = outer_ && g_instr.ti != nullptr;
   start_time_ = proc_->world->engine().now();
-  if (outer_ && g_instr.paje != nullptr) {
-    g_instr.paje->push_state(proc_->world_rank, state_, start_time_);
+  if (outer_) {
+    if (g_instr.paje != nullptr) {
+      g_instr.paje->push_state(proc_->world_rank, state_, start_time_);
+    }
+    if (obs::spans_enabled()) {
+      obs::spans()->on_enter(proc_->world_rank, state_, start_time_);
+    }
   }
 }
 
 ApiScope::~ApiScope() {
   if (proc_ == nullptr) return;
-  if (outer_ && g_instr.paje != nullptr) {
-    g_instr.paje->pop_state(proc_->world_rank, proc_->world->engine().now());
+  if (outer_) {
+    if (g_instr.paje != nullptr) {
+      g_instr.paje->pop_state(proc_->world_rank, proc_->world->engine().now());
+    }
+    if (obs::spans_enabled()) {
+      obs::spans()->on_exit(proc_->world_rank, proc_->world->engine().now());
+    }
   }
   --proc_->trace_depth;
 }

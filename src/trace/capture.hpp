@@ -13,8 +13,10 @@
 // the plain collectives they are (on a *derived* parent communicator those
 // inner collectives throw, like any derived-comm collective under capture).
 //
-// When nothing is installed the ApiScope constructor is a single global load
-// and branch, so uninstrumented runs pay nothing measurable per MPI call.
+// When nothing is installed (no writer and no obs::SpanCollector — the scope
+// also feeds the span layer, see obs/span.hpp) the ApiScope constructor is
+// two global loads and a branch, so uninstrumented runs pay nothing
+// measurable per MPI call.
 #pragma once
 
 #include "trace/record.hpp"

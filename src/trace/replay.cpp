@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/span.hpp"
 #include "smpi/internals.hpp"
 #include "smpi/mpi.h"
 #include "surf/cpu.hpp"
@@ -326,6 +327,11 @@ ReplayResult replay_trace(const platform::Platform& platform, core::SmpiConfig c
 
   config.payload_free = options.payload_free;
   core::SmpiWorld world(platform, config);
+  std::unique_ptr<obs::SpanCollector> spans;
+  if (options.analyze) {
+    spans = std::make_unique<obs::SpanCollector>(trace.nranks);
+    obs::install_spans(spans.get());
+  }
   if (options.paje != nullptr) {
     install_capture(nullptr, options.paje);
     options.paje->begin(trace.nranks);
@@ -336,14 +342,16 @@ ReplayResult replay_trace(const platform::Platform& platform, core::SmpiConfig c
               "ti-replay:" + trace.app);
   } catch (...) {
     // Never leave the global instrumentation dangling onto the caller-owned
-    // writer once this frame unwinds.
+    // writer (or this frame's span collector) once this frame unwinds.
     if (options.paje != nullptr) clear_capture();
+    if (spans != nullptr) obs::clear_spans();
     throw;
   }
   if (options.paje != nullptr) {
     clear_capture();
     options.paje->finish(world.simulated_time());
   }
+  if (spans != nullptr) obs::clear_spans();
 
   ReplayResult result;
   result.simulated_time = world.simulated_time();
@@ -365,6 +373,22 @@ ReplayResult replay_trace(const platform::Platform& platform, core::SmpiConfig c
     result.solver_cons_touched += cpu->solver().cons_touched();
   }
   result.p2p = world.p2p_counters();
+  if (spans != nullptr) {
+    result.analyzed = true;
+    result.analysis = obs::analyze(*spans);
+    // Re-derive the per-rank usage split from the span layer: wait/transfer
+    // come from the recorded blocked intervals, compute is everything else —
+    // including compute that overlapped an in-flight nonblocking transfer,
+    // which the record-granularity split above misattributes.
+    for (std::size_t r = 0; r < result.rank_usage.size(); ++r) {
+      const obs::RankBreakdown& b = result.analysis.ranks[r];
+      RankUsage& u = result.rank_usage[r];
+      u.wait_s = b.wait_s;
+      u.transfer_s = b.transfer_s;
+      u.comm_s = b.wait_s + b.transfer_s;
+      u.compute_s = b.compute_s;
+    }
+  }
   return result;
 }
 

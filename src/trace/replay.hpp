@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/analysis.hpp"
 #include "platform/platform.hpp"
 #include "smpi/smpi.hpp"
 
@@ -41,6 +42,11 @@ struct ReplayOptions {
   // identical, only the replay's wall-clock cost changes, which makes it a
   // campaign axis for measuring what payload-free buys.
   bool payload_free = true;
+  // Collect per-op spans during the replay and run the wait-state /
+  // critical-path analysis over them (ReplayResult::analysis). Off by
+  // default: with analyze off the replay takes the exact same simulated-time
+  // trajectory and the span hooks reduce to a global load + branch.
+  bool analyze = false;
 };
 
 // Simulated-time split of one rank's replay: time inside compute/sleep
@@ -50,6 +56,15 @@ struct RankUsage {
   double compute_s = 0;
   double comm_s = 0;
   long long records = 0;
+  // Filled only when ReplayOptions::analyze is on: comm_s split into time
+  // truly blocked on a peer (wait_s) vs. time the wire was busy
+  // (transfer_s). In that mode compute_s/comm_s are re-derived from the
+  // span layer, which fixes the attribution of overlapped nonblocking
+  // operations — a transfer that progressed underneath a compute record no
+  // longer has its MPI_Wait charged as if the whole interval were
+  // communication.
+  double wait_s = 0;
+  double transfer_s = 0;
 };
 
 struct ReplayResult {
@@ -73,6 +88,10 @@ struct ReplayResult {
   // activity (see core::P2pCounters). In payload-free replay the eager
   // copy counters stay zero by construction — no payload moves at all.
   core::P2pCounters p2p;
+  // Wait-state / critical-path analysis of this replay; only meaningful
+  // when `analyzed` is set (ReplayOptions::analyze was on).
+  bool analyzed = false;
+  obs::AnalysisResult analysis;
 };
 
 // Size of the shared scratch arena a replay of `trace` needs: the largest

@@ -13,6 +13,11 @@
 //   smpirun --replay ti_dir --machine gdx                     # ... on any platform
 //   smpirun --np 16 --cluster 16 --app dt --trace-paje dt.trace  # timeline
 //
+// Wait-state / critical-path analysis and simulator self-profiling:
+//   smpirun --np 16 --cluster 16 --app alltoall --analyze
+//   smpirun --replay ti_dir --analyze --trace-paje waits.trace  # wait-state colors
+//   smpirun --replay ti_dir --profile                           # + BENCH_profile.json
+//
 // The trace directory is validated up front (missing/truncated rank files
 // are reported with rank, path, and line). For sweeping many what-if
 // scenarios over one trace, see tools/smpi_campaign.
@@ -32,8 +37,14 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <chrono>
+
 #include "apps/dt.hpp"
 #include "apps/ep.hpp"
+#include "obs/analysis.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/span.hpp"
 #include "platform/builders.hpp"
 #include "platform/platform_xml.hpp"
 #include "smpi/coll.h"
@@ -41,8 +52,10 @@
 #include "smpi/smpi.hpp"
 #include "trace/capture.hpp"
 #include "trace/paje.hpp"
+#include "trace/reader.hpp"
 #include "trace/replay.hpp"
 #include "trace/writer.hpp"
+#include "util/json.hpp"
 #include "util/units.hpp"
 
 namespace {
@@ -70,6 +83,11 @@ struct Options {
   long long noise_seed = -1;  // --noise-seed: overrides the spec's seed (-1 = keep)
   double max_sim_time = 0;    // --max-sim-time: simulated-seconds guard (0 = off)
   double wall_timeout = 0;    // --wall-timeout: wall-clock guard (0 = off)
+  bool analyze = false;       // --analyze: wait-state + critical-path report
+  bool profile = false;       // --profile: simulator self-profiling report
+  std::string profile_json_path = "BENCH_profile.json";  // --profile-json
+  bool paje_classic = false;  // --paje-classic: keep the per-call Paje states
+                              // even when --analyze could color by wait-state
 };
 
 [[noreturn]] void usage(const char* error) {
@@ -96,6 +114,12 @@ struct Options {
                "  --noise-seed N        override the noise spec's base seed\n"
                "  --max-sim-time S      abort once simulated time would pass S seconds (exit 4)\n"
                "  --wall-timeout S      abort after S wall-clock seconds (exit 4)\n"
+               "  --analyze             wait-state + critical-path analysis of the run\n"
+               "  --profile             profile the simulator itself (solver, calendar,\n"
+               "                        context switches, pools) and write a JSON report\n"
+               "  --profile-json FILE   self-profile JSON path (default BENCH_profile.json)\n"
+               "  --paje-classic        with --analyze + --trace-paje: keep the classic\n"
+               "                        per-MPI-call timeline instead of wait-state colors\n"
                "  --verbose             print per-app details\n");
   std::exit(1);
 }
@@ -150,6 +174,15 @@ Options parse_options(int argc, char** argv) {
         options.max_sim_time = std::stod(need_value(i));
       } else if (arg == "--wall-timeout") {
         options.wall_timeout = std::stod(need_value(i));
+      } else if (arg == "--analyze") {
+        options.analyze = true;
+      } else if (arg == "--profile") {
+        options.profile = true;
+      } else if (arg == "--profile-json") {
+        options.profile = true;
+        options.profile_json_path = need_value(i);
+      } else if (arg == "--paje-classic") {
+        options.paje_classic = true;
       } else if (arg == "--verbose") {
         options.verbose = true;
       } else if (arg == "--help" || arg == "-h") {
@@ -283,6 +316,27 @@ smpi::core::MpiMain make_app(const Options& options) {
   usage("unknown --app");
 }
 
+void write_profile_json(const smpi::obs::Profiler& profiler, const std::string& path) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "smpirun: cannot write self-profile to %s\n", path.c_str());
+    return;
+  }
+  const std::string text = smpi::obs::profile_json(profiler).dump(2);
+  std::fwrite(text.data(), 1, text.size(), out);
+  std::fputc('\n', out);
+  std::fclose(out);
+}
+
+// The self-profile needs total wall clock for its percentages; finish() stamps
+// it, prints the table, and writes the JSON report.
+void finish_profile(smpi::obs::Profiler& profiler, double wall_s, const Options& options) {
+  smpi::obs::clear_profiler();
+  profiler.set_total_wall(wall_s);
+  std::printf("%s", smpi::obs::profile_text(profiler).c_str());
+  write_profile_json(profiler, options.profile_json_path);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -319,14 +373,40 @@ int main(int argc, char** argv) {
     }
 
     if (!options.replay_dir.empty()) {
+      const smpi::trace::TiTrace trace = smpi::trace::load_ti_trace(options.replay_dir);
+      // With --analyze the Paje timeline defaults to wait-state coloring
+      // (exported from the spans after the run); --paje-classic keeps the
+      // live per-MPI-call capture instead.
+      const bool classified_paje =
+          !options.trace_paje.empty() && options.analyze && !options.paje_classic;
       std::unique_ptr<smpi::trace::PajeWriter> paje;
       smpi::trace::ReplayOptions replay_options;
-      if (!options.trace_paje.empty()) {
+      if (!options.trace_paje.empty() && !classified_paje) {
         paje = std::make_unique<smpi::trace::PajeWriter>(options.trace_paje);
         replay_options.paje = paje.get();
       }
-      const auto result =
-          smpi::trace::replay_trace(platform, config, options.replay_dir, replay_options);
+      // The collector is installed here (not via replay_options.analyze) so
+      // the spans survive the replay for the Paje export below.
+      std::unique_ptr<smpi::obs::SpanCollector> spans;
+      if (options.analyze) {
+        spans = std::make_unique<smpi::obs::SpanCollector>(trace.nranks);
+        smpi::obs::install_spans(spans.get());
+      }
+      smpi::obs::Profiler profiler;
+      if (options.profile) smpi::obs::install_profiler(&profiler);
+      const auto wall_start = std::chrono::steady_clock::now();
+      smpi::trace::ReplayResult result;
+      try {
+        result = smpi::trace::replay_trace(platform, config, trace, replay_options);
+      } catch (...) {
+        smpi::obs::clear_spans();
+        smpi::obs::clear_profiler();
+        throw;
+      }
+      const double wall_s =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+      smpi::obs::clear_spans();
+      if (options.profile) finish_profile(profiler, wall_s, options);
       if (result.aborted) {
         std::fprintf(stderr, "smpirun: replay aborted with code %d\n", result.abort_code);
         if (!result.failure.empty()) {
@@ -339,8 +419,20 @@ int main(int argc, char** argv) {
       if (options.verbose) {
         std::printf("replay scratch arena: %s\n",
                     smpi::util::format_bytes(result.arena_bytes).c_str());
+        smpi::obs::MetricsRegistry registry;
+        smpi::obs::collect_p2p(registry, result.p2p);
+        smpi::obs::collect_solver(registry, result.solver_solves, result.solver_vars_touched,
+                                  result.solver_cons_touched);
+        std::printf("counters:\n%s", registry.text().c_str());
       }
       std::printf("simulated execution time: %.9f s\n", result.simulated_time);
+      if (spans != nullptr) {
+        const smpi::obs::AnalysisResult analysis = smpi::obs::analyze(*spans);
+        std::printf("%s", smpi::obs::analysis_text(analysis).c_str());
+        if (classified_paje) {
+          smpi::obs::export_classified_paje(*spans, options.trace_paje, result.simulated_time);
+        }
+      }
       return 0;
     }
 
@@ -357,24 +449,40 @@ int main(int argc, char** argv) {
 
     std::unique_ptr<smpi::trace::TiWriter> ti_writer;
     std::unique_ptr<smpi::trace::PajeWriter> paje;
+    const bool classified_paje =
+        !options.trace_paje.empty() && options.analyze && !options.paje_classic;
     if (!options.trace_ti_dir.empty()) {
       ti_writer = std::make_unique<smpi::trace::TiWriter>(options.trace_ti_dir, np, options.app);
     }
-    if (!options.trace_paje.empty()) {
+    if (!options.trace_paje.empty() && !classified_paje) {
       paje = std::make_unique<smpi::trace::PajeWriter>(options.trace_paje);
       paje->begin(np);
     }
     if (ti_writer != nullptr || paje != nullptr) {
       smpi::trace::install_capture(ti_writer.get(), paje.get());
     }
+    std::unique_ptr<smpi::obs::SpanCollector> spans;
+    if (options.analyze) {
+      spans = std::make_unique<smpi::obs::SpanCollector>(np);
+      smpi::obs::install_spans(spans.get());
+    }
+    smpi::obs::Profiler profiler;
+    if (options.profile) smpi::obs::install_profiler(&profiler);
 
+    const auto wall_start = std::chrono::steady_clock::now();
     smpi::core::SmpiWorld world(platform, config);
     try {
       world.run(np, make_app(options));
     } catch (...) {
       smpi::trace::clear_capture();  // the writers unwind with this frame
+      smpi::obs::clear_spans();
+      smpi::obs::clear_profiler();
       throw;
     }
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+    smpi::obs::clear_spans();
+    if (options.profile) finish_profile(profiler, wall_s, options);
 
     if (ti_writer != nullptr || paje != nullptr) {
       smpi::trace::clear_capture();
@@ -398,20 +506,21 @@ int main(int argc, char** argv) {
     std::printf("smpirun: %d processes on %d hosts (%s backend)\n", np, platform.host_count(),
                 options.backend.c_str());
     std::printf("simulated execution time: %.9f s\n", world.simulated_time());
+    if (spans != nullptr) {
+      const smpi::obs::AnalysisResult analysis = smpi::obs::analyze(*spans);
+      std::printf("%s", smpi::obs::analysis_text(analysis).c_str());
+      if (classified_paje) {
+        smpi::obs::export_classified_paje(*spans, options.trace_paje, world.simulated_time());
+      }
+    }
     if (options.verbose) {
       const auto memory = world.memory_report();
       std::printf("tracked memory: folded peak %s, unfolded peak %s\n",
                   smpi::util::format_bytes(memory.folded_peak_bytes).c_str(),
                   smpi::util::format_bytes(memory.unfolded_peak_bytes).c_str());
-      const auto p2p = world.p2p_counters();
-      std::printf("p2p: pool_hits=%llu pool_misses=%llu eager_snapshots=%llu "
-                  "eager_copy_elided=%llu eager_flush_snapshots=%llu bytes_not_copied=%llu\n",
-                  static_cast<unsigned long long>(p2p.pool_hits),
-                  static_cast<unsigned long long>(p2p.pool_misses),
-                  static_cast<unsigned long long>(p2p.eager_snapshots),
-                  static_cast<unsigned long long>(p2p.eager_copy_elided),
-                  static_cast<unsigned long long>(p2p.eager_flush_snapshots),
-                  static_cast<unsigned long long>(p2p.bytes_not_copied));
+      smpi::obs::MetricsRegistry registry;
+      smpi::obs::collect_p2p(registry, world.p2p_counters());
+      std::printf("p2p counters:\n%s", registry.text("p2p.").c_str());
       if (options.app == "dt") {
         std::printf("dt checksum: %.6e\n", smpi::apps::dt_last_checksum());
       }

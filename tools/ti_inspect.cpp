@@ -3,15 +3,19 @@
 //   ti_inspect <trace-dir>             per-op record counts + volume summary
 //   ti_inspect <trace-dir> --dump [r]  print every record (of rank r)
 //   ti_inspect <trace-dir> --summary   replay on a flat cluster and print the
-//                                      result incl. p2p hot-path counters
+//                                      result incl. p2p hot-path counters and
+//                                      per-op message-size histograms
+//                                      (count/total/min/p50/p95/max bytes)
 //   ti_inspect <trace-dir> --check     static sanity check: unmatched p2p
 //                                      counterparts, collective divergence
 //
 // Exit code: 0 on success, 1 on usage/load errors or --check findings.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "platform/builders.hpp"
 #include "trace/check.hpp"
@@ -56,6 +60,13 @@ long long record_bytes(const smpi::trace::TiRecord& r) {
     default:
       return 0;
   }
+}
+
+// Nearest-rank percentile over an already-sorted sample.
+long long percentile(const std::vector<long long>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  return sorted[static_cast<std::size_t>(pos + 0.5)];
 }
 
 }  // namespace
@@ -124,6 +135,27 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(result.p2p.eager_copy_elided),
                   static_cast<unsigned long long>(result.p2p.eager_flush_snapshots),
                   static_cast<unsigned long long>(result.p2p.bytes_not_copied));
+      // Per-op message-size histograms: how big this trace's messages are,
+      // op by op (records that move no bytes — init, barrier, waits — are
+      // skipped; they would only flatten every distribution's min to 0).
+      std::map<std::string, std::vector<long long>> sizes;
+      for (const auto& rank_records : trace.ranks) {
+        for (const auto& record : rank_records) {
+          const long long bytes = record_bytes(record);
+          if (bytes > 0) sizes[smpi::trace::ti_op_name(record.op)].push_back(bytes);
+        }
+      }
+      std::printf("message sizes (bytes/record):\n");
+      std::printf("  %-14s %10s %14s %10s %10s %10s %10s\n", "op", "records", "total", "min",
+                  "p50", "p95", "max");
+      for (auto& [name, values] : sizes) {
+        std::sort(values.begin(), values.end());
+        long long total = 0;
+        for (long long v : values) total += v;
+        std::printf("  %-14s %10zu %14lld %10lld %10lld %10lld %10lld\n", name.c_str(),
+                    values.size(), total, values.front(), percentile(values, 0.5),
+                    percentile(values, 0.95), values.back());
+      }
       return 0;
     }
 
