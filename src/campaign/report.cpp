@@ -206,6 +206,15 @@ void set_result_fields(util::JsonValue& row, const ScenarioResult& r,
     analysis.set("rank_transfer_s", std::move(per_rank_transfer));
     row.set("analysis", std::move(analysis));
   }
+  if (r.resources_analyzed) {
+    util::JsonValue resources = util::JsonValue::object();
+    resources.set("top_bottleneck", util::JsonValue::string(r.top_bottleneck));
+    resources.set("bottleneck_saturated_s",
+                  util::JsonValue::number(r.bottleneck_saturated_s));
+    resources.set("max_link_utilization",
+                  util::JsonValue::number(r.max_link_utilization));
+    row.set("resources", std::move(resources));
+  }
 }
 
 // Inverse of set_result_fields, reading a resumed report's row or
@@ -273,6 +282,16 @@ void read_result_fields(const util::JsonValue& row, ScenarioResult& r) {
     for (const auto& v : analysis->at("rank_transfer_s", "resume analysis").items()) {
       r.rank_transfer_s.push_back(v.as_number());
     }
+  }
+  // And for the resource-bottleneck block ("resources": false, or older
+  // reports).
+  if (const auto* resources = row.find("resources")) {
+    r.resources_analyzed = true;
+    r.top_bottleneck = resources->at("top_bottleneck", "resume resources").as_string();
+    r.bottleneck_saturated_s =
+        resources->at("bottleneck_saturated_s", "resume resources").as_number();
+    r.max_link_utilization =
+        resources->at("max_link_utilization", "resume resources").as_number();
   }
 }
 
@@ -414,7 +433,7 @@ std::string report_csv(const CampaignSpec& spec, const std::vector<Scenario>& sc
       "compute_max_s,comm_max_s,solver_solves,solver_vars_touched,solver_cons_touched,"
       "pool_hits,pool_misses,eager_snapshots,eager_copy_elided,eager_flush_snapshots,"
       "bytes_not_copied,wait_fraction,critical_path_s,cp_compute_s,cp_comm_s,dominant_wait,"
-      "worker_exit,error\n";
+      "top_bottleneck,bottleneck_saturated_s,max_link_utilization,worker_exit,error\n";
 
   // One row per unit: with replications the per-rep runs appear individually
   // (the fold-down statistics live in the JSON report).
@@ -464,10 +483,17 @@ std::string report_csv(const CampaignSpec& spec, const std::vector<Scenario>& sc
       } else {
         csv += ",,,,,";  // analysis was off for this run
       }
+      if (r.resources_analyzed) {
+        csv += ",\"" + r.top_bottleneck + "\"";
+        csv += ',' + format_double(r.bottleneck_saturated_s);
+        csv += ',' + format_double(r.max_link_utilization);
+      } else {
+        csv += ",,,";  // resources were off for this run
+      }
       csv += ",,\n";  // empty worker_exit + error
     } else {
-      // 23 empty metric columns, then the harness diagnostics.
-      csv += ",,,,,,,,,,,,,,,,,,,,,,,\"" + r.worker_exit + "\",\"" + r.error + "\"\n";
+      // 26 empty metric columns, then the harness diagnostics.
+      csv += ",,,,,,,,,,,,,,,,,,,,,,,,,,\"" + r.worker_exit + "\",\"" + r.error + "\"\n";
     }
   }
   return csv;
@@ -514,15 +540,28 @@ std::string report_summary(const CampaignSpec& spec, const std::vector<Scenario>
   // how much of its total rank time was spent blocked on peers, and which
   // wait-state class dominates that blocking.
   auto wait_note = [&](const ScenarioResult& r) -> std::string {
-    if (!r.ok || !r.analyzed) return "";
-    char note[96];
-    if (r.dominant_wait.empty() || r.dominant_wait == "none") {
-      std::snprintf(note, sizeof note, "  [wait %.0f%%]", r.wait_fraction * 100.0);
-    } else {
-      std::snprintf(note, sizeof note, "  [wait %.0f%%, mostly %s]", r.wait_fraction * 100.0,
-                    r.dominant_wait.c_str());
+    if (!r.ok || (!r.analyzed && !r.resources_analyzed)) return "";
+    std::string text;
+    char note[160];
+    if (r.analyzed) {
+      if (r.dominant_wait.empty() || r.dominant_wait == "none") {
+        std::snprintf(note, sizeof note, "wait %.0f%%", r.wait_fraction * 100.0);
+      } else {
+        std::snprintf(note, sizeof note, "wait %.0f%%, mostly %s", r.wait_fraction * 100.0,
+                      r.dominant_wait.c_str());
+      }
+      text = note;
     }
-    return note;
+    // "..., bottleneck backbone-link 2.1s": the resource saturated longest
+    // in this run — where the contention actually lives.
+    if (r.resources_analyzed && !r.top_bottleneck.empty()) {
+      std::snprintf(note, sizeof note, "bottleneck %s %.3gs", r.top_bottleneck.c_str(),
+                    r.bottleneck_saturated_s);
+      if (!text.empty()) text += ", ";
+      text += note;
+    }
+    if (text.empty()) return "";
+    return "  [" + text + "]";
   };
   auto describe = [&](int id) {
     const auto index = static_cast<std::size_t>(id);

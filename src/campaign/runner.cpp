@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "obs/resource.hpp"
 #include "trace/replay.hpp"
 #include "util/check.hpp"
 #include "util/json.hpp"
@@ -88,6 +89,13 @@ std::string encode_capsule(const ScenarioResult& r) {
     capsule.set("rank_wait_s", doubles_json(r.rank_wait_s));
     capsule.set("rank_transfer_s", doubles_json(r.rank_transfer_s));
   }
+  if (r.resources_analyzed) {
+    capsule.set("top_bottleneck", util::JsonValue::string(r.top_bottleneck));
+    capsule.set("bottleneck_saturated_s",
+                util::JsonValue::number(r.bottleneck_saturated_s));
+    capsule.set("max_link_utilization",
+                util::JsonValue::number(r.max_link_utilization));
+  }
   return capsule.dump();
 }
 
@@ -132,6 +140,12 @@ ScenarioResult decode_capsule(const std::string& text) {
     r.dominant_wait = capsule.at("dominant_wait", "capsule").as_string();
     r.rank_wait_s = doubles_from(capsule.at("rank_wait_s", "capsule"));
     r.rank_transfer_s = doubles_from(capsule.at("rank_transfer_s", "capsule"));
+  }
+  if (const auto* top = capsule.find("top_bottleneck")) {
+    r.resources_analyzed = true;
+    r.top_bottleneck = top->as_string();
+    r.bottleneck_saturated_s = capsule.at("bottleneck_saturated_s", "capsule").as_number();
+    r.max_link_utilization = capsule.at("max_link_utilization", "capsule").as_number();
   }
   return r;
 }
@@ -192,6 +206,8 @@ ScenarioResult run_one_scenario(const CampaignSpec& spec, const Scenario& scenar
     replay_options.arena_bytes_hint = arena_bytes;
     replay_options.payload_free = setup.payload_free;
     replay_options.analyze = spec.analysis;
+    obs::ResourceCollector resource_collector;
+    if (spec.resources) replay_options.resources = &resource_collector;
     const auto start = std::chrono::steady_clock::now();
     const trace::ReplayResult replay =
         trace::replay_trace(setup.platform, setup.config, *effective, replay_options);
@@ -233,6 +249,12 @@ ScenarioResult run_one_scenario(const CampaignSpec& spec, const Scenario& scenar
         r.rank_wait_s.push_back(usage.wait_s);
         r.rank_transfer_s.push_back(usage.transfer_s);
       }
+    }
+    if (replay.resources_analyzed) {
+      r.resources_analyzed = true;
+      r.top_bottleneck = replay.top_bottleneck;
+      r.bottleneck_saturated_s = replay.bottleneck_saturated_s;
+      r.max_link_utilization = replay.max_link_utilization;
     }
   } catch (const std::exception& e) {
     r.ok = false;

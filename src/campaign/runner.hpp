@@ -78,6 +78,13 @@ struct ScenarioResult {
   std::string dominant_wait;   // "late_sender" | "late_receiver" | "early_arrival" | "none"
   std::vector<double> rank_wait_s;      // per-rank blocked-on-peer time
   std::vector<double> rank_transfer_s;  // per-rank wire-busy time
+  // Resource-utilization summary (present when the spec's "resources" flag
+  // was on — the default): the link/host with the most saturated seconds
+  // and the peak link utilization across the run.
+  bool resources_analyzed = false;
+  std::string top_bottleneck;        // empty = nothing ever saturated
+  double bottleneck_saturated_s = 0;
+  double max_link_utilization = 0;   // fraction of capacity, in [0, 1]
 
   double compute_total_s() const;
   double comm_total_s() const;

@@ -122,6 +122,9 @@ CampaignSpec CampaignSpec::parse(const util::JsonValue& doc) {
   if (const auto* analysis = doc.find("analysis")) {
     spec.analysis = analysis->as_bool();
   }
+  if (const auto* resources = doc.find("resources")) {
+    spec.resources = resources->as_bool();
+  }
 
   if (const auto* platform = doc.find("platform")) {
     const std::string kind = platform->at("kind", "campaign spec platform").as_string();

@@ -146,6 +146,12 @@ struct CampaignSpec {
   // "analysis": false opts out). On by default: every report row then
   // carries its wait fraction and critical-path compute/comm split.
   bool analysis = true;
+  // Collect per-resource utilization timelines inside every replay and
+  // record the bottleneck summary (top saturated link/host, saturated
+  // seconds, peak link utilization) on each row. JSON "resources": false
+  // opts out; with it off the replay's solver keeps changed-tracking
+  // disabled and its trajectory is bit-identical.
+  bool resources = true;
   std::vector<Axis> axes;
 
   // True when any axis sweeps a workload_* parameter.

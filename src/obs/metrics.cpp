@@ -98,6 +98,18 @@ void collect_analysis(MetricsRegistry& registry, const AnalysisResult& analysis)
   registry.set("analysis.cp_comm_s", analysis.cp_comm_s);
 }
 
+void collect_surf(MetricsRegistry& registry, std::uint64_t solves_attach,
+                  std::uint64_t solves_release, std::uint64_t solves_capacity,
+                  std::uint64_t solves_bound, std::uint64_t saturation_events,
+                  std::uint64_t snapshot_drains) {
+  registry.set_counter("surf.solves_attach", solves_attach);
+  registry.set_counter("surf.solves_release", solves_release);
+  registry.set_counter("surf.solves_capacity", solves_capacity);
+  registry.set_counter("surf.solves_bound", solves_bound);
+  registry.set_counter("surf.saturation_events", saturation_events);
+  registry.set_counter("surf.snapshot_drains", snapshot_drains);
+}
+
 void collect_profile(MetricsRegistry& registry, const Profiler& profiler) {
   for (int k = 0; k < static_cast<int>(ProfKey::kCount); ++k) {
     const auto key = static_cast<ProfKey>(k);

@@ -53,5 +53,11 @@ void collect_solver(MetricsRegistry& registry, std::uint64_t solves, std::uint64
                     std::uint64_t cons_touched);
 void collect_analysis(MetricsRegistry& registry, const AnalysisResult& analysis);
 void collect_profile(MetricsRegistry& registry, const Profiler& profiler);
+// surf.* namespace: solver trigger classes plus observation-hook counters,
+// summed across the network and CPU solvers (MaxMinSystem::ObserveCounters).
+void collect_surf(MetricsRegistry& registry, std::uint64_t solves_attach,
+                  std::uint64_t solves_release, std::uint64_t solves_capacity,
+                  std::uint64_t solves_bound, std::uint64_t saturation_events,
+                  std::uint64_t snapshot_drains);
 
 }  // namespace smpi::obs

@@ -1,0 +1,179 @@
+#include "obs/perfetto.hpp"
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/profile.hpp"
+#include "obs/resource.hpp"
+#include "obs/span.hpp"
+
+namespace smpi::obs {
+
+namespace {
+
+constexpr double kUsPerSecond = 1e6;
+
+std::string escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Catapult reserved color names, one per wait class (green / red / orange /
+// yellow in the default palette).
+const char* wait_class_cname(WaitClass cls) {
+  switch (cls) {
+    case WaitClass::kLocal: return "good";
+    case WaitClass::kLateSender: return "terrible";
+    case WaitClass::kLateReceiver: return "bad";
+    case WaitClass::kEarlyArrival: return "yellow";
+    default: return "grey";
+  }
+}
+
+class EventStream {
+ public:
+  explicit EventStream(std::ostream& out) : out_(out) {}
+  // Emits the separating comma and the event's common prefix; the caller
+  // appends event-specific fields and calls close().
+  void open(const char* ph, int pid, int tid, double ts_us, const std::string& name) {
+    if (!first_) out_ << ",\n";
+    first_ = false;
+    char head[128];
+    std::snprintf(head, sizeof(head), "{\"ph\":\"%s\",\"pid\":%d,\"tid\":%d,\"ts\":%.9g,",
+                  ph, pid, tid, ts_us);
+    out_ << head << "\"name\":\"" << escape(name) << "\"";
+  }
+  void close() { out_ << "}"; }
+  std::ostream& raw() { return out_; }
+
+ private:
+  std::ostream& out_;
+  bool first_ = true;
+};
+
+void thread_name(EventStream& events, int pid, int tid, const std::string& name) {
+  events.open("M", pid, tid, 0, "thread_name");
+  events.raw() << ",\"args\":{\"name\":\"" << escape(name) << "\"}";
+  events.close();
+}
+
+void process_name(EventStream& events, int pid, const char* name) {
+  events.open("M", pid, 0, 0, "process_name");
+  events.raw() << ",\"args\":{\"name\":\"" << name << "\"}";
+  events.close();
+}
+
+void write_resources(EventStream& events, const ResourceCollector& resources) {
+  process_name(events, 1, "resources");
+  for (int r = 0; r < static_cast<int>(resources.resource_count()); ++r) {
+    const ResourceTimeline& tl = resources.timeline(r);
+    const std::string track =
+        std::string(resource_kind_name(tl.kind)) + " " + tl.name;
+    thread_name(events, 1, r, track);
+    for (const UtilStep& step : tl.steps) {
+      const double pct = step.capacity > 0 ? step.usage / step.capacity * 100.0 : 0.0;
+      events.open("C", 1, r, step.t * kUsPerSecond, track);
+      char args[64];
+      std::snprintf(args, sizeof(args), ",\"args\":{\"util_pct\":%.6g}", pct);
+      events.raw() << args;
+      events.close();
+    }
+  }
+}
+
+void write_ranks(EventStream& events, const SpanCollector& spans) {
+  process_name(events, 2, "ranks");
+  std::vector<std::array<double, static_cast<std::size_t>(WaitClass::kCount)>> span_wait;
+  for (int rank = 0; rank < spans.nranks(); ++rank) {
+    thread_name(events, 2, rank, "rank " + std::to_string(rank));
+    const auto& stream = spans.spans(rank);
+    // Dominant wait class per span: the class with the most blocked-wait
+    // seconds charged to it; a span with no wait is local/compute.
+    span_wait.assign(stream.size(), {});
+    for (const BlockedInterval& iv : spans.intervals(rank)) {
+      if (iv.span < 0 || iv.span >= static_cast<int>(stream.size())) continue;
+      span_wait[static_cast<std::size_t>(iv.span)][static_cast<std::size_t>(iv.cls)] +=
+          iv.wait_s();
+    }
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      const Span& span = stream[i];
+      WaitClass dominant = WaitClass::kLocal;
+      double best = 0;
+      for (int cls = 0; cls < static_cast<int>(WaitClass::kCount); ++cls) {
+        if (span_wait[i][static_cast<std::size_t>(cls)] > best) {
+          best = span_wait[i][static_cast<std::size_t>(cls)];
+          dominant = static_cast<WaitClass>(cls);
+        }
+      }
+      events.open("X", 2, rank, span.t_start * kUsPerSecond, span.op);
+      char args[256];
+      std::snprintf(args, sizeof(args),
+                    ",\"dur\":%.9g,\"cname\":\"%s\",\"args\":{\"peer\":%d,\"bytes\":%llu,"
+                    "\"wait_s\":%.9g,\"transfer_s\":%.9g,\"wait_class\":\"%s\"}",
+                    span.elapsed() * kUsPerSecond, wait_class_cname(dominant), span.peer,
+                    static_cast<unsigned long long>(span.bytes), span.wait_s,
+                    span.transfer_s, wait_class_name(dominant));
+      events.raw() << args;
+      events.close();
+    }
+  }
+}
+
+void write_profile(EventStream& events, const Profiler& profiler) {
+  process_name(events, 3, "self-profile");
+  for (int k = 0; k < static_cast<int>(ProfKey::kCount); ++k) {
+    const auto key = static_cast<ProfKey>(k);
+    const ProfStats& stats = profiler.stats(key);
+    thread_name(events, 3, k, prof_key_name(key));
+    events.open("X", 3, k, 0, prof_key_name(key));
+    char args[128];
+    std::snprintf(args, sizeof(args), ",\"dur\":%.9g,\"args\":{\"calls\":%llu}",
+                  stats.seconds * kUsPerSecond,
+                  static_cast<unsigned long long>(stats.calls));
+    events.raw() << args;
+    events.close();
+  }
+}
+
+}  // namespace
+
+bool write_perfetto_trace(const std::string& path, const ResourceCollector* resources,
+                          const SpanCollector* spans, const Profiler* profiler,
+                          double end_time) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  EventStream events(out);
+  if (resources != nullptr) write_resources(events, *resources);
+  if (spans != nullptr) write_ranks(events, *spans);
+  if (profiler != nullptr) write_profile(events, *profiler);
+  // Anchor the end of the simulated window so counter tracks don't visually
+  // stop at their last change.
+  events.open("I", 1, 0, end_time * kUsPerSecond, "end of simulation");
+  events.raw() << ",\"s\":\"g\"";
+  events.close();
+  out << "\n]}\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace smpi::obs

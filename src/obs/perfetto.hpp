@@ -1,0 +1,37 @@
+// Chrome/Perfetto trace-event JSON export: one file that ui.perfetto.dev (or
+// chrome://tracing) opens into a full simulation timeline.
+//
+// Track layout:
+//   pid 1 "resources"    — one counter track ("C" events) per link/host from
+//                          the ResourceCollector's exact piecewise-constant
+//                          utilization timelines, in percent of capacity;
+//   pid 2 "ranks"        — one track per rank from the SpanCollector's span
+//                          stream ("X" complete events), colored by the
+//                          span's dominant wait class (late_sender red,
+//                          late_receiver orange, early_arrival yellow,
+//                          local/compute green);
+//   pid 3 "self-profile" — one track per simulator hot-path bucket from the
+//                          Profiler ("X" at ts 0 with the bucket's wall time
+//                          and call count) — metadata about the simulator
+//                          itself, not simulated time.
+//
+// Timestamps are simulated seconds scaled to trace microseconds. Any of the
+// three collectors may be null; their tracks are simply omitted.
+#pragma once
+
+#include <string>
+
+namespace smpi::obs {
+
+class ResourceCollector;
+class SpanCollector;
+class Profiler;
+
+// Writes the trace; returns false (and leaves a partial file) only on I/O
+// failure. `end_time` caps the resource counter tracks (normally the
+// simulated makespan).
+bool write_perfetto_trace(const std::string& path, const ResourceCollector* resources,
+                          const SpanCollector* spans, const Profiler* profiler,
+                          double end_time);
+
+}  // namespace smpi::obs

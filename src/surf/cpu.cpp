@@ -1,7 +1,9 @@
 #include "surf/cpu.hpp"
 
 #include <algorithm>
+#include <string>
 
+#include "obs/resource.hpp"
 #include "sim/engine.hpp"
 #include "util/check.hpp"
 
@@ -18,6 +20,17 @@ CpuModel::CpuModel(const platform::Platform& platform, SolveMode solver_mode)
   for (int id = 0; id < platform_.host_count(); ++id) {
     const auto& host = platform_.host(id);
     host_constraint_.push_back(system_.new_constraint(host.speed_flops * host.cores));
+  }
+  if (obs::resources_enabled()) {
+    observing_ = true;
+    system_.set_observing(true);
+    constraint_resource_.assign(system_.constraint_count(), -1);
+    for (int id = 0; id < platform_.host_count(); ++id) {
+      const int constraint = host_constraint_[static_cast<std::size_t>(id)];
+      constraint_resource_[static_cast<std::size_t>(constraint)] =
+          obs::resources()->add_resource(obs::ResourceKind::kHost, platform_.host(id).name,
+                                         system_.constraint_capacity(constraint));
+    }
   }
 }
 
@@ -61,18 +74,47 @@ sim::ActivityPtr CpuModel::execute(int node, double flops) {
 void CpuModel::on_settle(double now) { resettle(now); }
 
 void CpuModel::resettle(double now) {
-  if (!system_.dirty()) return;
-  system_.solve();
-  for (int var : system_.last_solved_variables()) {
-    Execution* entry = static_cast<std::size_t>(var) < var_to_execution_.size()
-                           ? var_to_execution_[static_cast<std::size_t>(var)]
-                           : nullptr;
-    if (entry == nullptr) continue;
-    Execution& exec = *entry;
-    const double rate = system_.value(var);
-    if (rate == exec.work.rate()) continue;
-    exec.work.set_rate(rate, now);
-    reschedule(exec, now);
+  if (system_.dirty()) {
+    system_.solve();
+    for (int var : system_.last_solved_variables()) {
+      Execution* entry = static_cast<std::size_t>(var) < var_to_execution_.size()
+                             ? var_to_execution_[static_cast<std::size_t>(var)]
+                             : nullptr;
+      if (entry == nullptr) continue;
+      Execution& exec = *entry;
+      const double rate = system_.value(var);
+      if (rate == exec.work.rate()) continue;
+      exec.work.set_rate(rate, now);
+      reschedule(exec, now);
+    }
+  }
+  if (observing_) flush_resource_snapshots(now);
+}
+
+void CpuModel::flush_observations(double now) {
+  if (observing_) flush_resource_snapshots(now);
+}
+
+void CpuModel::flush_resource_snapshots(double now) {
+  changed_scratch_.clear();
+  system_.drain_changed_constraints(changed_scratch_);
+  for (int constraint : changed_scratch_) {
+    const int resource = constraint_resource_[static_cast<std::size_t>(constraint)];
+    if (resource < 0) continue;
+    var_shares_scratch_.clear();
+    const auto state = system_.constraint_observe(constraint, var_shares_scratch_);
+    flow_shares_scratch_.clear();
+    for (const auto& [var, value] : var_shares_scratch_) {
+      Execution* exec = var_to_execution_[static_cast<std::size_t>(var)];
+      if (exec == nullptr) continue;
+      if (exec->res_flow < 0) {
+        exec->res_flow = obs::resources()->add_flow(platform_.host(exec->node).name + "#" +
+                                                    std::to_string(exec->id));
+      }
+      flow_shares_scratch_.emplace_back(exec->res_flow, value);
+    }
+    obs::resources()->snapshot(resource, now, state.usage, state.capacity, state.saturated,
+                               flow_shares_scratch_);
   }
 }
 

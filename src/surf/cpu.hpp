@@ -37,6 +37,10 @@ class CpuModel final : public sim::Model, public sim::ComputeBackend {
   std::size_t active_execution_count() const { return executions_.size(); }
   const MaxMinSystem& solver() const { return system_; }
 
+  // Resource observability: final drain into the installed collector (see
+  // FlowNetworkModel::flush_observations). No-op unless observing.
+  void flush_observations(double now);
+
   // Availability (driven by sim::FaultModel): a down host fails its running
   // executions (kFailed) and rejects new ones; recovery re-enables it. State
   // allocates lazily on the first fault, so fault-free runs pay one bool
@@ -51,15 +55,23 @@ class CpuModel final : public sim::Model, public sim::ComputeBackend {
     sim::ActivityPtr activity;
     sim::FluidWork work;
     int var = -1;
+    int res_flow = -1;  // obs::ResourceCollector attribution id (lazy)
     sim::EventCalendar::Handle event = sim::EventCalendar::kNoEvent;
   };
 
   void resettle(double now);
   void reschedule(Execution& exec, double now);
+  void flush_resource_snapshots(double now);
 
   const platform::Platform& platform_;
   MaxMinSystem system_;
   std::vector<int> host_constraint_;
+  // Resource observability state (see FlowNetworkModel).
+  bool observing_ = false;
+  std::vector<int> constraint_resource_;
+  std::vector<int> changed_scratch_;
+  std::vector<std::pair<int, double>> var_shares_scratch_;
+  std::vector<std::pair<int, double>> flow_shares_scratch_;
   std::unordered_map<std::uint64_t, std::shared_ptr<Execution>> executions_;
   // Indexed by solver variable id (recycled, stays dense); nullptr when free.
   std::vector<Execution*> var_to_execution_;

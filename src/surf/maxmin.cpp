@@ -69,6 +69,7 @@ int MaxMinSystem::new_variable(double weight, double bound) {
   var.bound = bound;
   var.active = true;
   ++active_variables_;
+  pending_triggers_ |= kTrigAttach;
   // Until attached somewhere the variable is its own component; if it is
   // still unconstrained at the next solve it takes its bound.
   mark_unconstrained_dirty(id);
@@ -119,6 +120,8 @@ void MaxMinSystem::attach(int variable, int constraint) {
   auto& cons = constraints_[static_cast<std::size_t>(constraint)];
   cons.variables.push_back(variable);
   cons.usage += var.value;
+  pending_triggers_ |= kTrigAttach;
+  note_changed(constraint);  // membership changed even at value 0
   if (mode_ == SolveMode::kLazy) {
     // The new/updated variable must be re-solved; whether the constraint's
     // other members move is decided by boundary promotion at solve time.
@@ -135,6 +138,7 @@ void MaxMinSystem::set_bound(int variable, double bound) {
   auto& var = variables_[static_cast<std::size_t>(variable)];
   SMPI_REQUIRE(var.active, "set_bound on retired variable");
   var.bound = bound;
+  pending_triggers_ |= kTrigBound;
   if (var.constraints.empty()) {
     mark_unconstrained_dirty(variable);
   } else if (mode_ == SolveMode::kLazy) {
@@ -149,6 +153,8 @@ void MaxMinSystem::set_capacity(int constraint, double capacity) {
   auto& cons = constraints_[static_cast<std::size_t>(constraint)];
   const double old_capacity = cons.capacity;
   cons.capacity = capacity;
+  pending_triggers_ |= kTrigCapacity;
+  note_changed(constraint);
   if (mode_ == SolveMode::kLazy) {
     // Members can only move if the constraint was saturated before (they may
     // grow) or its usage exceeds the new capacity (they must shrink).
@@ -172,13 +178,17 @@ void MaxMinSystem::release_variable(int variable) {
     for (int c : var.constraints) mark_dirty(c);
   }
   var.active = false;
+  pending_triggers_ |= kTrigRelease;
   // Eagerly drop it from constraint membership lists (so constraint_usage()
-  // never sees it again) and from the running usage sums.
+  // never sees it again) and from the running usage sums. This is the path
+  // that changes usage without ever reaching solve() in lazy mode — the
+  // changed-set note here is what keeps observed timelines exact.
   for (int c : var.constraints) {
     auto& cons = constraints_[static_cast<std::size_t>(c)];
     cons.usage -= var.value;
     cons.variables.erase(std::remove(cons.variables.begin(), cons.variables.end(), variable),
                          cons.variables.end());
+    note_changed(c);
   }
   var.value = 0;
   var.constraints.clear();
@@ -191,6 +201,62 @@ double MaxMinSystem::value(int variable) const {
   const auto& var = variables_[static_cast<std::size_t>(variable)];
   SMPI_REQUIRE(var.active, "value of retired variable");
   return var.value;
+}
+
+void MaxMinSystem::set_observing(bool on) {
+  observing_ = on;
+  if (!on) {
+    for (int c : changed_constraints_) {
+      constraints_[static_cast<std::size_t>(c)].changed = false;
+    }
+    changed_constraints_.clear();
+  }
+}
+
+void MaxMinSystem::drain_changed_constraints(std::vector<int>& out) {
+  ++observe_counters_.observe_drains;
+  for (int c : changed_constraints_) {
+    constraints_[static_cast<std::size_t>(c)].changed = false;
+    out.push_back(c);
+  }
+  changed_constraints_.clear();
+}
+
+double MaxMinSystem::constraint_capacity(int constraint) const {
+  return constraints_[static_cast<std::size_t>(constraint)].capacity;
+}
+
+bool MaxMinSystem::constraint_saturated(int constraint) const {
+  return constraint_saturated(constraint, constraint_usage(constraint));
+}
+
+bool MaxMinSystem::constraint_saturated(int constraint, double usage) const {
+  const auto& cons = constraints_[static_cast<std::size_t>(constraint)];
+  return usage >= cons.capacity * (1 - kSatEps);
+}
+
+void MaxMinSystem::constraint_shares(int constraint,
+                                     std::vector<std::pair<int, double>>& out) const {
+  const auto& cons = constraints_[static_cast<std::size_t>(constraint)];
+  for (int v : cons.variables) {
+    const auto& var = variables_[static_cast<std::size_t>(v)];
+    if (var.active) out.emplace_back(v, var.value);
+  }
+}
+
+MaxMinSystem::ConstraintState MaxMinSystem::constraint_observe(
+    int constraint, std::vector<std::pair<int, double>>& shares_out) const {
+  const auto& cons = constraints_[static_cast<std::size_t>(constraint)];
+  ConstraintState state;
+  state.capacity = cons.capacity;
+  for (int v : cons.variables) {
+    const auto& var = variables_[static_cast<std::size_t>(v)];
+    if (!var.active) continue;
+    state.usage += var.value;
+    shares_out.emplace_back(v, var.value);
+  }
+  state.saturated = state.usage >= cons.capacity * (1 - kSatEps);
+  return state;
 }
 
 double MaxMinSystem::constraint_usage(int constraint) const {
@@ -236,6 +302,11 @@ void MaxMinSystem::solve() {
   obs::ProfScope prof(obs::ProfKey::kSolverSolve);
   dirty_ = false;
   ++solve_count_;
+  if (pending_triggers_ & kTrigAttach) ++observe_counters_.solves_attach;
+  if (pending_triggers_ & kTrigRelease) ++observe_counters_.solves_release;
+  if (pending_triggers_ & kTrigCapacity) ++observe_counters_.solves_capacity;
+  if (pending_triggers_ & kTrigBound) ++observe_counters_.solves_bound;
+  pending_triggers_ = 0;
   last_solved_.clear();
 
   // Variables that are (still) unconstrained take their bound directly.
@@ -482,6 +553,17 @@ void MaxMinSystem::solve_subset(const std::vector<int>& cons_ids,
     }
     cons.weight_sum = 0;
   }
+  if (observing_) {
+    // Snapshot-worthiness is decided per variable after the fill: a
+    // constraint's usage and share set only move when some member's value
+    // moves (membership and capacity mutations are noted at their call
+    // sites), so capture the pre-fill values and compare at the end —
+    // re-solves that land on the same allocation then cost no snapshots.
+    observe_prev_values_.clear();
+    for (int v : var_ids) {
+      observe_prev_values_.push_back(variables_[static_cast<std::size_t>(v)].value);
+    }
+  }
   std::size_t unfixed = 0;
   for (int v : var_ids) {
     auto& var = variables_[static_cast<std::size_t>(v)];
@@ -556,14 +638,26 @@ void MaxMinSystem::solve_subset(const std::vector<int>& cons_ids,
         // Iterate over a snapshot (reused scratch, so the steady-state solve
         // stays allocation-free): fix_variable mutates weight_sum/remaining.
         fill_members_.assign(cons.variables.begin(), cons.variables.end());
+        bool fixed_here = false;
         for (int v : fill_members_) {
           auto& var = variables_[static_cast<std::size_t>(v)];
           if (!var.active || var.fixed) continue;
           fix_variable(var, mu_constraint * var.weight, c);
           fixed_any = true;
+          fixed_here = true;
         }
+        if (fixed_here) ++observe_counters_.saturation_events;
       }
       SMPI_ENSURE(fixed_any, "saturation event fixed no variable");
+    }
+  }
+
+  if (observing_) {
+    for (std::size_t i = 0; i < var_ids.size(); ++i) {
+      const auto& var = variables_[static_cast<std::size_t>(var_ids[i])];
+      if (var.value != observe_prev_values_[i]) {
+        for (int c : var.constraints) note_changed(c);
+      }
     }
   }
 }

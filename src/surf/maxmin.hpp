@@ -33,6 +33,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <utility>
 #include <vector>
 
 namespace smpi::surf {
@@ -92,6 +93,59 @@ class MaxMinSystem {
   std::uint64_t vars_touched() const { return vars_touched_; }
   std::uint64_t cons_touched() const { return cons_touched_; }
 
+  // --- Observation API (obs/resource layer) -------------------------------
+  // While observing, the system records which constraints' usage or
+  // membership changed since the last drain. Solver fills are not the only
+  // source: release_variable() on an unsaturated constraint drops its usage
+  // immediately without ever triggering a solve in lazy mode, so an observer
+  // polling after solves alone would miss steps. Draining the changed set at
+  // every model settle instead yields exact piecewise-constant timelines.
+  // Off (the default) costs one predictable branch on the mutation paths and
+  // changes no allocation arithmetic.
+  void set_observing(bool on);
+  bool observing() const { return observing_; }
+  // Appends the ids of constraints changed since the last drain, then clears
+  // the changed set. An id appears at most once per drain.
+  void drain_changed_constraints(std::vector<int>& out);
+  double constraint_capacity(int constraint) const;
+  // A constraint is saturated when its exact usage reaches capacity within
+  // the solver's saturation epsilon (1e-9 relative) — the same notion the
+  // lazy promotion rule uses.
+  bool constraint_saturated(int constraint) const;
+  // Same test against a usage the caller already computed (one
+  // constraint_usage() recompute per snapshot instead of two).
+  bool constraint_saturated(int constraint, double usage) const;
+  // Appends (variable id, allocation) for every active member.
+  void constraint_shares(int constraint,
+                         std::vector<std::pair<int, double>>& out) const;
+  // Single-pass snapshot accessor for the observability drain: appends the
+  // active (variable, allocation) pairs and returns usage/capacity/saturated
+  // from the same member walk — three separate accessor calls would iterate
+  // the membership list three times per drained constraint.
+  struct ConstraintState {
+    double usage = 0;
+    double capacity = 0;
+    bool saturated = false;
+  };
+  ConstraintState constraint_observe(int constraint,
+                                     std::vector<std::pair<int, double>>& shares_out) const;
+
+  // Cumulative trigger/observation counters feeding the surf.* metrics
+  // namespace. Solve triggers classify each solve() by the mutation kinds
+  // pending since the previous solve (a solve batching several kinds counts
+  // once per kind). saturation_events counts constraint-saturation fill
+  // events inside progressive filling; observe_drains counts snapshot-hook
+  // invocations (drain calls).
+  struct ObserveCounters {
+    std::uint64_t solves_attach = 0;
+    std::uint64_t solves_release = 0;
+    std::uint64_t solves_capacity = 0;
+    std::uint64_t solves_bound = 0;
+    std::uint64_t saturation_events = 0;
+    std::uint64_t observe_drains = 0;
+  };
+  const ObserveCounters& observe_counters() const { return observe_counters_; }
+
  private:
   struct Variable {
     double weight = 1;
@@ -114,6 +168,7 @@ class MaxMinSystem {
     bool in_pass = false;   // touched at least once during this solve()
     bool promoted = false;  // promoted at least once during this solve()
     bool boundary = false;  // partial member: only some variables in set
+    bool changed = false;   // usage/membership changed since the last drain
     // Running sum of member values, maintained on every value change so the
     // lazy seeding saturation check is O(1) instead of O(members). May
     // carry float drift; the seeding epsilon is loose enough that drift
@@ -124,6 +179,23 @@ class MaxMinSystem {
     double remaining = 0;
     double weight_sum = 0;
   };
+
+  // Mutation-kind bits pending for the next solve()'s trigger classification.
+  enum : std::uint8_t {
+    kTrigAttach = 1u << 0,
+    kTrigRelease = 1u << 1,
+    kTrigCapacity = 1u << 2,
+    kTrigBound = 1u << 3,
+  };
+
+  void note_changed(int constraint) {
+    if (!observing_) return;
+    auto& cons = constraints_[static_cast<std::size_t>(constraint)];
+    if (!cons.changed) {
+      cons.changed = true;
+      changed_constraints_.push_back(constraint);
+    }
+  }
 
   void mark_dirty(int constraint);
   void mark_unconstrained_dirty(int variable);
@@ -159,12 +231,17 @@ class MaxMinSystem {
   std::vector<int> all_cons_;               // scratch: active_cons_ + boundary_cons_
   std::vector<int> fill_members_;           // scratch: saturation-event member snapshot
   std::vector<int> last_solved_;
+  std::vector<int> changed_constraints_;    // observation: ids with .changed set
+  std::vector<double> observe_prev_values_;  // scratch: pre-fill values of var_ids
   std::size_t active_variables_ = 0;
   bool dirty_ = false;
+  bool observing_ = false;
+  std::uint8_t pending_triggers_ = 0;
   SolveMode mode_ = SolveMode::kLazy;
   std::uint64_t solve_count_ = 0;
   std::uint64_t vars_touched_ = 0;
   std::uint64_t cons_touched_ = 0;
+  ObserveCounters observe_counters_;
 };
 
 }  // namespace smpi::surf

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/resource.hpp"
 #include "sim/engine.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
@@ -28,6 +29,21 @@ FlowNetworkModel::FlowNetworkModel(const platform::Platform& platform, NetworkCo
     if (link.sharing == platform::LinkSharing::kShared) {
       link_constraint_[static_cast<std::size_t>(id)] =
           system_.new_constraint(link.bandwidth_bps * config_.bandwidth_efficiency);
+    }
+  }
+  if (obs::resources_enabled()) {
+    // Resource observability: name every shared link's constraint with the
+    // collector and turn on the solver's changed-constraint tracking. The
+    // collector must be installed before the world is built (span pattern).
+    observing_ = true;
+    system_.set_observing(true);
+    constraint_resource_.assign(system_.constraint_count(), -1);
+    for (int id = 0; id < platform_.link_count(); ++id) {
+      const int constraint = link_constraint_[static_cast<std::size_t>(id)];
+      if (constraint < 0) continue;  // fatpipe: unconstrained, nothing to watch
+      constraint_resource_[static_cast<std::size_t>(constraint)] =
+          obs::resources()->add_resource(obs::ResourceKind::kLink, platform_.link(id).name,
+                                         system_.constraint_capacity(constraint));
     }
   }
 }
@@ -158,6 +174,7 @@ void FlowNetworkModel::retire_slot(std::uint32_t slot) {
   ++flow.gen;  // invalidate any stale calendar reference
   flow.activity.reset();
   flow.var = -1;
+  flow.res_flow = -1;
   flow.in_latency = false;
   flow.pending_links = nullptr;
   flow.src = -1;
@@ -202,18 +219,49 @@ void FlowNetworkModel::promote(std::uint32_t slot, std::uint32_t gen,
 void FlowNetworkModel::on_settle(double now) { resettle(now); }
 
 void FlowNetworkModel::resettle(double now) {
-  if (!system_.dirty()) return;
-  system_.solve();
-  for (int var : system_.last_solved_variables()) {
-    Flow* entry = static_cast<std::size_t>(var) < var_to_flow_.size()
-                      ? var_to_flow_[static_cast<std::size_t>(var)]
-                      : nullptr;
-    if (entry == nullptr) continue;  // not one of ours (shouldn't happen)
-    Flow& flow = *entry;
-    const double rate = system_.value(var);
-    if (rate == flow.work.rate()) continue;  // allocation unchanged: keep the entry
-    flow.work.set_rate(rate, now);
-    reschedule(flow, now);
+  if (system_.dirty()) {
+    system_.solve();
+    for (int var : system_.last_solved_variables()) {
+      Flow* entry = static_cast<std::size_t>(var) < var_to_flow_.size()
+                        ? var_to_flow_[static_cast<std::size_t>(var)]
+                        : nullptr;
+      if (entry == nullptr) continue;  // not one of ours (shouldn't happen)
+      Flow& flow = *entry;
+      const double rate = system_.value(var);
+      if (rate == flow.work.rate()) continue;  // allocation unchanged: keep the entry
+      flow.work.set_rate(rate, now);
+      reschedule(flow, now);
+    }
+  }
+  // Flush even when no solve fired: a completion releasing its share on an
+  // unsaturated link changed that link's usage without seeding a re-solve.
+  if (observing_) flush_resource_snapshots(now);
+}
+
+void FlowNetworkModel::flush_observations(double now) {
+  if (observing_) flush_resource_snapshots(now);
+}
+
+void FlowNetworkModel::flush_resource_snapshots(double now) {
+  changed_scratch_.clear();
+  system_.drain_changed_constraints(changed_scratch_);
+  for (int constraint : changed_scratch_) {
+    const int resource = constraint_resource_[static_cast<std::size_t>(constraint)];
+    if (resource < 0) continue;
+    var_shares_scratch_.clear();
+    const auto state = system_.constraint_observe(constraint, var_shares_scratch_);
+    flow_shares_scratch_.clear();
+    for (const auto& [var, value] : var_shares_scratch_) {
+      Flow* flow = var_to_flow_[static_cast<std::size_t>(var)];
+      if (flow == nullptr) continue;
+      if (flow->res_flow < 0) {
+        flow->res_flow = obs::resources()->add_flow(platform_.host(flow->src).name + "->" +
+                                                    platform_.host(flow->dst).name);
+      }
+      flow_shares_scratch_.emplace_back(flow->res_flow, value);
+    }
+    obs::resources()->snapshot(resource, now, state.usage, state.capacity, state.saturated,
+                               flow_shares_scratch_);
   }
 }
 

@@ -91,6 +91,13 @@ class FlowNetworkModel final : public sim::Model, public sim::NetworkBackend {
   // Perf counter: solver work actually performed (see MaxMinSystem).
   const MaxMinSystem& solver() const { return system_; }
 
+  // Resource observability: drain any still-pending solver changes into the
+  // installed obs::ResourceCollector (the settle path does this implicitly;
+  // the driver calls it once more after the run so the final completions'
+  // usage drop reaches the timeline). No-op unless a collector was installed
+  // when the model was built.
+  void flush_observations(double now);
+
  private:
   struct Flow {
     std::uint32_t slot = 0;  // its own index in slots_ (for calendar tags)
@@ -114,6 +121,7 @@ class FlowNetworkModel final : public sim::Model, public sim::NetworkBackend {
     sim::ActivityPtr activity;
     sim::FluidWork work;
     int var = -1;  // -1 when not in the solver (no-contention mode)
+    int res_flow = -1;  // obs::ResourceCollector attribution id (lazy)
     double bound = 0;
     sim::EventCalendar::Handle event = sim::EventCalendar::kNoEvent;
   };
@@ -161,10 +169,22 @@ class FlowNetworkModel final : public sim::Model, public sim::NetworkBackend {
   template <typename Pred>
   void fail_matching_flows(const Pred& doomed);
 
+  // Drain the solver's changed constraints into the resource collector
+  // (observing mode only; called at every settle).
+  void flush_resource_snapshots(double now);
+
   const platform::Platform& platform_;
   NetworkConfig config_;
   MaxMinSystem system_;
   std::vector<int> link_constraint_;  // per link id; -1 for fatpipe links
+  // Resource observability (empty/false unless a collector was installed at
+  // construction): constraint id -> collector resource id, plus snapshot
+  // scratch so the settle path stays allocation-free in steady state.
+  bool observing_ = false;
+  std::vector<int> constraint_resource_;
+  std::vector<int> changed_scratch_;
+  std::vector<std::pair<int, double>> var_shares_scratch_;
+  std::vector<std::pair<int, double>> flow_shares_scratch_;
   struct RouteEntry {
     std::uint64_t key = ~std::uint64_t{0};  // (src << 32) | dst; ~0 = empty
     RouteInfo info;

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/resource.hpp"
 #include "obs/span.hpp"
 #include "smpi/internals.hpp"
 #include "smpi/mpi.h"
@@ -326,6 +327,10 @@ ReplayResult replay_trace(const platform::Platform& platform, core::SmpiConfig c
       static_cast<std::size_t>(trace.nranks));
 
   config.payload_free = options.payload_free;
+  // The resource collector must be live *before* the world is built: the
+  // surf models register their links/hosts and enable the solver's
+  // changed-tracking in their constructors.
+  if (options.resources != nullptr) obs::install_resources(options.resources);
   core::SmpiWorld world(platform, config);
   std::unique_ptr<obs::SpanCollector> spans;
   if (options.analyze) {
@@ -342,9 +347,11 @@ ReplayResult replay_trace(const platform::Platform& platform, core::SmpiConfig c
               "ti-replay:" + trace.app);
   } catch (...) {
     // Never leave the global instrumentation dangling onto the caller-owned
-    // writer (or this frame's span collector) once this frame unwinds.
+    // writer/collector (or this frame's span collector) once this frame
+    // unwinds.
     if (options.paje != nullptr) clear_capture();
     if (spans != nullptr) obs::clear_spans();
+    if (options.resources != nullptr) obs::clear_resources();
     throw;
   }
   if (options.paje != nullptr) {
@@ -352,6 +359,18 @@ ReplayResult replay_trace(const platform::Platform& platform, core::SmpiConfig c
     options.paje->finish(world.simulated_time());
   }
   if (spans != nullptr) obs::clear_spans();
+  if (options.resources != nullptr) {
+    // Final drain: the last completions' usage drops may still sit in the
+    // solvers' changed sets (no settle runs after the last event).
+    if (auto* net = dynamic_cast<surf::FlowNetworkModel*>(&world.network())) {
+      net->flush_observations(world.simulated_time());
+    }
+    if (auto* cpu = dynamic_cast<surf::CpuModel*>(&world.cpu())) {
+      cpu->flush_observations(world.simulated_time());
+    }
+    obs::clear_resources();
+    options.resources->finalize(world.simulated_time());
+  }
 
   ReplayResult result;
   result.simulated_time = world.simulated_time();
@@ -362,17 +381,34 @@ ReplayResult replay_trace(const platform::Platform& platform, core::SmpiConfig c
   result.failure = world.failure_diagnostic();
   result.arena_bytes = static_cast<std::uint64_t>(arena_bytes);
   result.rank_usage = std::move(*usage);
+  auto add_observe = [&result](const surf::MaxMinSystem::ObserveCounters& oc) {
+    result.surf_observe.solves_attach += oc.solves_attach;
+    result.surf_observe.solves_release += oc.solves_release;
+    result.surf_observe.solves_capacity += oc.solves_capacity;
+    result.surf_observe.solves_bound += oc.solves_bound;
+    result.surf_observe.saturation_events += oc.saturation_events;
+    result.surf_observe.observe_drains += oc.observe_drains;
+  };
   if (const auto* net = dynamic_cast<const surf::FlowNetworkModel*>(&world.network())) {
     result.solver_solves += net->solver().solve_count();
     result.solver_vars_touched += net->solver().vars_touched();
     result.solver_cons_touched += net->solver().cons_touched();
+    add_observe(net->solver().observe_counters());
   }
   if (const auto* cpu = dynamic_cast<const surf::CpuModel*>(&world.cpu())) {
     result.solver_solves += cpu->solver().solve_count();
     result.solver_vars_touched += cpu->solver().vars_touched();
     result.solver_cons_touched += cpu->solver().cons_touched();
+    add_observe(cpu->solver().observe_counters());
   }
   result.p2p = world.p2p_counters();
+  if (options.resources != nullptr) {
+    result.resources_analyzed = true;
+    const obs::ResourceCollector::Summary summary = options.resources->summary();
+    result.top_bottleneck = summary.top_bottleneck;
+    result.bottleneck_saturated_s = summary.bottleneck_saturated_s;
+    result.max_link_utilization = summary.max_link_utilization;
+  }
   if (spans != nullptr) {
     result.analyzed = true;
     result.analysis = obs::analyze(*spans);

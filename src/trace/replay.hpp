@@ -24,6 +24,11 @@
 #include "obs/analysis.hpp"
 #include "platform/platform.hpp"
 #include "smpi/smpi.hpp"
+#include "surf/maxmin.hpp"
+
+namespace smpi::obs {
+class ResourceCollector;
+}
 
 namespace smpi::trace {
 
@@ -47,6 +52,14 @@ struct ReplayOptions {
   // default: with analyze off the replay takes the exact same simulated-time
   // trajectory and the span hooks reduce to a global load + branch.
   bool analyze = false;
+  // Resource-utilization observability (caller-owned, like `paje`): when
+  // non-null the collector is installed around the replay world, the surf
+  // models register their links/hosts and push exact utilization snapshots
+  // at every settle, and ReplayResult's bottleneck summary fields are filled
+  // from it. The collector is finalized (intervals closed at the makespan)
+  // before replay_trace returns. Null keeps the solver's changed-tracking
+  // off — simulated times and solver counters are bit-identical.
+  obs::ResourceCollector* resources = nullptr;
 };
 
 // Simulated-time split of one rank's replay: time inside compute/sleep
@@ -92,6 +105,18 @@ struct ReplayResult {
   // when `analyzed` is set (ReplayOptions::analyze was on).
   bool analyzed = false;
   obs::AnalysisResult analysis;
+  // Resource-utilization summary (ReplayOptions::resources): the dominant
+  // bottleneck by saturated time (empty name: nothing ever saturated) and
+  // the peak link utilization across the run. Only meaningful when
+  // `resources_analyzed` is set; the full timelines and saturation ledger
+  // stay on the caller's collector.
+  bool resources_analyzed = false;
+  std::string top_bottleneck;
+  double bottleneck_saturated_s = 0;
+  double max_link_utilization = 0;
+  // surf.* observation counters summed over the network and CPU solvers
+  // (always filled; feeds obs::collect_surf).
+  surf::MaxMinSystem::ObserveCounters surf_observe;
 };
 
 // Size of the shared scratch arena a replay of `trace` needs: the largest

@@ -13,6 +13,7 @@
 
 #include "obs/analysis.hpp"
 #include "obs/profile.hpp"
+#include "obs/resource.hpp"
 #include "obs/span.hpp"
 #include "smpi_test_util.hpp"
 #include "trace/reader.hpp"
@@ -347,6 +348,256 @@ TEST(ObsReplay, AnalysisOffIsBitIdentical) {
   // And the analyzed run's critical path still reconciles with that time.
   EXPECT_NEAR(analyzed.analysis.path_length_s, analyzed.analysis.makespan,
               1e-9 * std::max(1.0, analyzed.analysis.makespan));
+}
+
+// ---------------------------------------------------------------------------
+// Resource-utilization timelines, saturation ledger, bottleneck ranking
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Rank 0 isends `bytes` to every other rank at the same simulated instant
+// and waits them all out; receivers just post the matching Recv. Every flow
+// crosses rank 0's uplink, which makes the expected shares analytic.
+tr::TiTrace fanout_trace(int receivers, long long bytes) {
+  tr::TiTrace trace;
+  trace.nranks = receivers + 1;
+  trace.app = "fanout";
+  trace.ranks.resize(static_cast<std::size_t>(trace.nranks));
+  auto rec = [](tr::TiOp op) {
+    tr::TiRecord r;
+    r.op = op;
+    return r;
+  };
+  trace.ranks[0].push_back(rec(tr::TiOp::kInit));
+  for (int peer = 1; peer <= receivers; ++peer) {
+    tr::TiRecord r = rec(tr::TiOp::kIsend);
+    r.peer = peer;
+    r.count = bytes;
+    r.elem = 1;
+    r.req = peer;
+    trace.ranks[0].push_back(r);
+  }
+  for (int peer = 1; peer <= receivers; ++peer) {
+    tr::TiRecord r = rec(tr::TiOp::kWait);
+    r.req = peer;
+    trace.ranks[0].push_back(r);
+  }
+  trace.ranks[0].push_back(rec(tr::TiOp::kFinalize));
+  for (int peer = 1; peer <= receivers; ++peer) {
+    auto& stream = trace.ranks[static_cast<std::size_t>(peer)];
+    stream.push_back(rec(tr::TiOp::kInit));
+    tr::TiRecord r = rec(tr::TiOp::kRecv);
+    r.peer = 0;
+    r.count = bytes;
+    r.elem = 1;
+    stream.push_back(r);
+    stream.push_back(rec(tr::TiOp::kFinalize));
+  }
+  return trace;
+}
+
+// Every rank sends `bytes` to its successor: a closed ring where all
+// uplinks carry exactly one flow — perfectly symmetric, no dominant link.
+tr::TiTrace ring_trace(int ranks, long long bytes) {
+  tr::TiTrace trace;
+  trace.nranks = ranks;
+  trace.app = "ring";
+  trace.ranks.resize(static_cast<std::size_t>(ranks));
+  auto rec = [](tr::TiOp op) {
+    tr::TiRecord r;
+    r.op = op;
+    return r;
+  };
+  for (int rank = 0; rank < ranks; ++rank) {
+    auto& stream = trace.ranks[static_cast<std::size_t>(rank)];
+    stream.push_back(rec(tr::TiOp::kInit));
+    tr::TiRecord send = rec(tr::TiOp::kIsend);
+    send.peer = (rank + 1) % ranks;
+    send.count = bytes;
+    send.elem = 1;
+    send.req = 0;
+    stream.push_back(send);
+    tr::TiRecord recv = rec(tr::TiOp::kRecv);
+    recv.peer = (rank + ranks - 1) % ranks;
+    recv.count = bytes;
+    recv.elem = 1;
+    stream.push_back(recv);
+    tr::TiRecord wait = rec(tr::TiOp::kWait);
+    wait.req = 0;
+    stream.push_back(wait);
+    stream.push_back(rec(tr::TiOp::kFinalize));
+  }
+  return trace;
+}
+
+int find_resource(const obs::ResourceCollector& resources, const std::string& name) {
+  for (int r = 0; r < static_cast<int>(resources.resource_count()); ++r) {
+    if (resources.timeline(r).name == name) return r;
+  }
+  return -1;
+}
+
+}  // namespace
+
+// Two equal eager flows launched at the same instant over rank 0's uplink:
+// max-min gives each exactly half the capacity, and the link is saturated
+// for precisely the duration of the shared transfer.
+TEST(ObsResources, TwoFlowsShareOneLinkFiftyFifty) {
+  constexpr long long kBytes = 32 * 1024;  // eager: the flow starts at the send
+  const tr::TiTrace trace = fanout_trace(2, kBytes);
+  const auto platform = test_cluster(3);
+  obs::ResourceCollector resources;
+  tr::ReplayOptions options;
+  options.resources = &resources;
+  const tr::ReplayResult result = tr::replay_trace(platform, fast_config(), trace, options);
+  ASSERT_TRUE(result.resources_analyzed);
+
+  const int uplink = find_resource(resources, "up-node-0");
+  ASSERT_GE(uplink, 0) << "rank 0's uplink was not registered";
+  const obs::ResourceTimeline& tl = resources.timeline(uplink);
+  const double capacity = tl.steps.front().capacity;
+  ASSERT_GT(capacity, 0.0);
+
+  // Exactly one saturated interval: both flows present, each at capacity/2.
+  ASSERT_EQ(tl.saturated.size(), 1u);
+  const obs::SaturationInterval& interval = tl.saturated.front();
+  ASSERT_EQ(interval.shares.size(), 2u);
+  EXPECT_NEAR(interval.shares[0].second, capacity / 2, 1e-9 * capacity);
+  EXPECT_NEAR(interval.shares[1].second, capacity / 2, 1e-9 * capacity);
+  // At cap/2 each, draining `kBytes` per flow takes 2*kBytes/capacity.
+  EXPECT_NEAR(interval.t1 - interval.t0, 2.0 * static_cast<double>(kBytes) / capacity,
+              1e-9);
+  EXPECT_EQ(resources.distinct_flows(uplink), 2);
+  EXPECT_NEAR(resources.saturated_seconds(uplink),
+              2.0 * static_cast<double>(kBytes) / capacity, 1e-9);
+  // Both flows' payload crossed the link: the exact utilization-timeline
+  // integral (usage x dt) reconciles with the bytes at 1e-9 relative.
+  EXPECT_NEAR(resources.utilization_integral(uplink), 2.0 * static_cast<double>(kBytes),
+              1e-9 * 2.0 * static_cast<double>(kBytes));
+  EXPECT_NEAR(resources.max_utilization(uplink), 1.0, 1e-12);
+}
+
+// The timeline integral is exact on a single flow too: one message, one
+// link, integral == bytes and saturated time == bytes / capacity.
+TEST(ObsResources, UtilizationIntegralReconcilesWithBytes) {
+  constexpr long long kBytes = 1000000;
+  const tr::TiTrace trace = fanout_trace(1, kBytes);
+  const auto platform = test_cluster(2);
+  obs::ResourceCollector resources;
+  tr::ReplayOptions options;
+  options.resources = &resources;
+  tr::replay_trace(platform, fast_config(), trace, options);
+  for (const char* name : {"up-node-0", "down-node-1"}) {
+    const int link = find_resource(resources, name);
+    ASSERT_GE(link, 0) << name;
+    EXPECT_NEAR(resources.utilization_integral(link), static_cast<double>(kBytes),
+                1e-9 * static_cast<double>(kBytes))
+        << name;
+    const double capacity = resources.timeline(link).steps.front().capacity;
+    EXPECT_NEAR(resources.saturated_seconds(link), static_cast<double>(kBytes) / capacity,
+                1e-9)
+        << name;
+  }
+  // Links the message never crossed stay flat at zero.
+  const int other = find_resource(resources, "down-node-0");
+  ASSERT_GE(other, 0);
+  EXPECT_EQ(resources.utilization_integral(other), 0.0);
+  EXPECT_EQ(resources.saturated_seconds(other), 0.0);
+}
+
+// Bottleneck attribution tells a star from a ring: the star's shared
+// downlink tops the ranking with every flow on it, while the symmetric
+// ring has no dominant resource at all.
+TEST(ObsResources, StarVersusRingBottleneckRanking) {
+  constexpr int kRanks = 6;
+  constexpr long long kBytes = 32 * 1024;
+  const auto platform = test_cluster(kRanks);
+
+  // Star: everyone sends to rank 0 — its downlink carries all 5 flows.
+  tr::TiTrace star;
+  star.nranks = kRanks;
+  star.app = "star";
+  star.ranks.resize(kRanks);
+  auto rec = [](tr::TiOp op) {
+    tr::TiRecord r;
+    r.op = op;
+    return r;
+  };
+  star.ranks[0].push_back(rec(tr::TiOp::kInit));
+  for (int peer = 1; peer < kRanks; ++peer) {
+    tr::TiRecord r = rec(tr::TiOp::kRecv);
+    r.peer = peer;
+    r.count = kBytes;
+    r.elem = 1;
+    star.ranks[0].push_back(r);
+  }
+  star.ranks[0].push_back(rec(tr::TiOp::kFinalize));
+  for (int rank = 1; rank < kRanks; ++rank) {
+    auto& stream = star.ranks[static_cast<std::size_t>(rank)];
+    stream.push_back(rec(tr::TiOp::kInit));
+    tr::TiRecord r = rec(tr::TiOp::kSend);
+    r.peer = 0;
+    r.count = kBytes;
+    r.elem = 1;
+    stream.push_back(r);
+    stream.push_back(rec(tr::TiOp::kFinalize));
+  }
+  obs::ResourceCollector star_resources;
+  tr::ReplayOptions star_options;
+  star_options.resources = &star_resources;
+  tr::replay_trace(platform, fast_config(), star, star_options);
+  const auto star_ranked = star_resources.bottlenecks();
+  ASSERT_FALSE(star_ranked.empty());
+  EXPECT_EQ(star_resources.timeline(star_ranked[0].resource).name, "down-node-0");
+  EXPECT_EQ(star_ranked[0].flows, kRanks - 1);
+  // The hot downlink saturates strictly longer than any per-sender uplink.
+  for (std::size_t i = 1; i < star_ranked.size(); ++i) {
+    EXPECT_GT(star_ranked[0].saturated_s, star_ranked[i].saturated_s * 1.5)
+        << star_resources.timeline(star_ranked[i].resource).name;
+  }
+  EXPECT_EQ(star_resources.summary().top_bottleneck, "down-node-0");
+
+  // Ring: one flow per uplink, all symmetric — saturated time is equal on
+  // every used link and no resource stands out.
+  obs::ResourceCollector ring_resources;
+  tr::ReplayOptions ring_options;
+  ring_options.resources = &ring_resources;
+  tr::replay_trace(platform, fast_config(), ring_trace(kRanks, kBytes), ring_options);
+  const auto ring_ranked = ring_resources.bottlenecks();
+  ASSERT_GE(ring_ranked.size(), 2u);
+  EXPECT_NEAR(ring_ranked.front().saturated_s, ring_ranked.back().saturated_s, 1e-9);
+  EXPECT_EQ(ring_ranked.front().flows, 1);
+}
+
+// Zero-overhead canary for the resource layer: a replay with the collector
+// attached takes the exact same simulated-time trajectory as one without —
+// bit-identical time, solver counters, and p2p counters.
+TEST(ObsResources, ResourcesOffIsBitIdentical) {
+  const tr::TiTrace trace = stencil_trace(8);
+  const auto platform = test_cluster(8);
+  tr::ReplayOptions off;
+  tr::ReplayOptions on;
+  obs::ResourceCollector resources;
+  on.resources = &resources;
+  const tr::ReplayResult plain = tr::replay_trace(platform, fast_config(), trace, off);
+  const tr::ReplayResult observed = tr::replay_trace(platform, fast_config(), trace, on);
+  EXPECT_FALSE(plain.resources_analyzed);
+  ASSERT_TRUE(observed.resources_analyzed);
+  EXPECT_EQ(plain.simulated_time, observed.simulated_time);  // bit-identical
+  EXPECT_EQ(plain.solver_solves, observed.solver_solves);
+  EXPECT_EQ(plain.solver_vars_touched, observed.solver_vars_touched);
+  EXPECT_EQ(plain.solver_cons_touched, observed.solver_cons_touched);
+  EXPECT_EQ(plain.p2p.pool_hits, observed.p2p.pool_hits);
+  EXPECT_EQ(plain.p2p.pool_misses, observed.p2p.pool_misses);
+  EXPECT_EQ(plain.p2p.eager_snapshots, observed.p2p.eager_snapshots);
+  EXPECT_EQ(plain.surf_observe.solves_attach, observed.surf_observe.solves_attach);
+  EXPECT_EQ(plain.surf_observe.solves_release, observed.surf_observe.solves_release);
+  EXPECT_EQ(plain.surf_observe.saturation_events, observed.surf_observe.saturation_events);
+  // The un-observed run never drained a snapshot; the observed one did.
+  EXPECT_EQ(plain.surf_observe.observe_drains, 0u);
+  EXPECT_GT(observed.surf_observe.observe_drains, 0u);
+  EXPECT_GT(resources.snapshot_count(), 0u);
 }
 
 // ---------------------------------------------------------------------------

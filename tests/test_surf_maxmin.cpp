@@ -391,6 +391,23 @@ TEST_P(MaxMinEquivalenceTest, LazyAndComponentMatchFullReferenceOnEveryStep) {
                   ref.constraint_usage(cons[static_cast<std::size_t>(c)][2]), 1e-9)
           << "step " << step << " usage diverged on constraint " << c;
     }
+    // Observation-layer invariants, after every solve: no constraint above
+    // capacity (within 1e-9 relative), and "saturated" means usage equals
+    // capacity — the saturation ledger depends on both.
+    for (int s = 0; s < 3; ++s) {
+      for (int c = 0; c < kConstraints; ++c) {
+        const int id = cons[static_cast<std::size_t>(c)][static_cast<std::size_t>(s)];
+        const double usage = systems[s]->constraint_usage(id);
+        const double capacity = systems[s]->constraint_capacity(id);
+        ASSERT_LE(usage, capacity * (1 + 1e-9))
+            << "step " << step << " system " << s << ": constraint " << c << " over capacity";
+        if (systems[s]->constraint_saturated(id)) {
+          ASSERT_NEAR(usage, capacity, 1e-9 * capacity)
+              << "step " << step << " system " << s << ": constraint " << c
+              << " flagged saturated but usage != capacity";
+        }
+      }
+    }
   }
   // The component path must have done strictly less filling work than the
   // reference (which revisits every variable on every solve). The lazy path

@@ -170,6 +170,25 @@ def main():
                                     "pooled p2p path not 1.25x faster than reference", n,
                                     reference / pooled_ns))
 
+    # Machine-independent invariant #6: attaching the ResourceCollector must
+    # not slow a replay past 1.4x the detached run at any rank count. Both
+    # arms replay the same trace in the same run. The honest steady-state
+    # cost on the contention-heavy hierarchical bench is ~1.25x — almost
+    # every solver snapshot stores an exact timeline step, so the collector
+    # pays for real data — and 1.4x trips on regressions (per-snapshot
+    # allocations, quadratic ledger folds) without flaking on noise.
+    resource_fresh_path = os.path.join(args.fresh, "BENCH_resource.json")
+    if os.path.exists(resource_fresh_path):
+        resource = load_records(resource_fresh_path)
+        for (op, n), enabled_ns in sorted(resource.items()):
+            if op != "resource_enabled":
+                continue
+            disabled_ns = resource.get(("resource_disabled", n))
+            if disabled_ns is not None and enabled_ns > disabled_ns * 1.4:
+                regressions.append(("BENCH_resource.json",
+                                    "resource collector overhead above 1.4x", n,
+                                    enabled_ns / disabled_ns))
+
     if compared == 0:
         print("bench_trend: nothing compared — fresh bench files missing?", file=sys.stderr)
         return 1

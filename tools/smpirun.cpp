@@ -43,7 +43,9 @@
 #include "apps/ep.hpp"
 #include "obs/analysis.hpp"
 #include "obs/metrics.hpp"
+#include "obs/perfetto.hpp"
 #include "obs/profile.hpp"
+#include "obs/resource.hpp"
 #include "obs/span.hpp"
 #include "platform/builders.hpp"
 #include "platform/platform_xml.hpp"
@@ -53,6 +55,8 @@
 #include "trace/capture.hpp"
 #include "trace/paje.hpp"
 #include "trace/reader.hpp"
+#include "surf/cpu.hpp"
+#include "surf/network.hpp"
 #include "trace/replay.hpp"
 #include "trace/writer.hpp"
 #include "util/json.hpp"
@@ -84,6 +88,8 @@ struct Options {
   double max_sim_time = 0;    // --max-sim-time: simulated-seconds guard (0 = off)
   double wall_timeout = 0;    // --wall-timeout: wall-clock guard (0 = off)
   bool analyze = false;       // --analyze: wait-state + critical-path report
+  bool resources = false;     // --resources: utilization timelines + bottleneck report
+  std::string trace_perfetto; // --trace-perfetto: Chrome/Perfetto trace JSON
   bool profile = false;       // --profile: simulator self-profiling report
   std::string profile_json_path = "BENCH_profile.json";  // --profile-json
   bool paje_classic = false;  // --paje-classic: keep the per-call Paje states
@@ -115,6 +121,11 @@ struct Options {
                "  --max-sim-time S      abort once simulated time would pass S seconds (exit 4)\n"
                "  --wall-timeout S      abort after S wall-clock seconds (exit 4)\n"
                "  --analyze             wait-state + critical-path analysis of the run\n"
+               "  --resources           resource-utilization timelines, saturation ledger\n"
+               "                        and top-bottleneck report (links + hosts)\n"
+               "  --trace-perfetto FILE write a Chrome/Perfetto trace-event JSON (resource\n"
+               "                        counter tracks + per-rank spans); open in\n"
+               "                        ui.perfetto.dev or chrome://tracing\n"
                "  --profile             profile the simulator itself (solver, calendar,\n"
                "                        context switches, pools) and write a JSON report\n"
                "  --profile-json FILE   self-profile JSON path (default BENCH_profile.json)\n"
@@ -176,6 +187,10 @@ Options parse_options(int argc, char** argv) {
         options.wall_timeout = std::stod(need_value(i));
       } else if (arg == "--analyze") {
         options.analyze = true;
+      } else if (arg == "--resources") {
+        options.resources = true;
+      } else if (arg == "--trace-perfetto") {
+        options.trace_perfetto = need_value(i);
       } else if (arg == "--profile") {
         options.profile = true;
       } else if (arg == "--profile-json") {
@@ -392,6 +407,13 @@ int main(int argc, char** argv) {
         spans = std::make_unique<smpi::obs::SpanCollector>(trace.nranks);
         smpi::obs::install_spans(spans.get());
       }
+      // Resource timelines: replay_trace installs/finalizes the collector
+      // around its world (it must be live before the surf models build).
+      std::unique_ptr<smpi::obs::ResourceCollector> res;
+      if (options.resources || !options.trace_perfetto.empty()) {
+        res = std::make_unique<smpi::obs::ResourceCollector>();
+        replay_options.resources = res.get();
+      }
       smpi::obs::Profiler profiler;
       if (options.profile) smpi::obs::install_profiler(&profiler);
       const auto wall_start = std::chrono::steady_clock::now();
@@ -423,6 +445,12 @@ int main(int argc, char** argv) {
         smpi::obs::collect_p2p(registry, result.p2p);
         smpi::obs::collect_solver(registry, result.solver_solves, result.solver_vars_touched,
                                   result.solver_cons_touched);
+        smpi::obs::collect_surf(registry, result.surf_observe.solves_attach,
+                                result.surf_observe.solves_release,
+                                result.surf_observe.solves_capacity,
+                                result.surf_observe.solves_bound,
+                                result.surf_observe.saturation_events,
+                                result.surf_observe.observe_drains);
         std::printf("counters:\n%s", registry.text().c_str());
       }
       std::printf("simulated execution time: %.9f s\n", result.simulated_time);
@@ -431,6 +459,19 @@ int main(int argc, char** argv) {
         std::printf("%s", smpi::obs::analysis_text(analysis).c_str());
         if (classified_paje) {
           smpi::obs::export_classified_paje(*spans, options.trace_paje, result.simulated_time);
+        }
+      }
+      if (options.resources && res != nullptr) {
+        std::printf("%s", res->report().c_str());
+      }
+      if (!options.trace_perfetto.empty()) {
+        if (!smpi::obs::write_perfetto_trace(options.trace_perfetto, res.get(), spans.get(),
+                                             options.profile ? &profiler : nullptr,
+                                             result.simulated_time)) {
+          std::fprintf(stderr, "smpirun: cannot write Perfetto trace to %s\n",
+                       options.trace_perfetto.c_str());
+        } else if (options.verbose) {
+          std::printf("perfetto trace written to %s\n", options.trace_perfetto.c_str());
         }
       }
       return 0;
@@ -468,6 +509,13 @@ int main(int argc, char** argv) {
     }
     smpi::obs::Profiler profiler;
     if (options.profile) smpi::obs::install_profiler(&profiler);
+    // Resource timelines: the collector must be live before the world is
+    // built — the surf models register their links/hosts in their ctors.
+    std::unique_ptr<smpi::obs::ResourceCollector> res;
+    if (options.resources || !options.trace_perfetto.empty()) {
+      res = std::make_unique<smpi::obs::ResourceCollector>();
+      smpi::obs::install_resources(res.get());
+    }
 
     const auto wall_start = std::chrono::steady_clock::now();
     smpi::core::SmpiWorld world(platform, config);
@@ -477,11 +525,24 @@ int main(int argc, char** argv) {
       smpi::trace::clear_capture();  // the writers unwind with this frame
       smpi::obs::clear_spans();
       smpi::obs::clear_profiler();
+      smpi::obs::clear_resources();
       throw;
     }
     const double wall_s =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
     smpi::obs::clear_spans();
+    if (res != nullptr) {
+      // Final drain (the last completions may not have settled), then close
+      // the observed window at the makespan.
+      if (auto* net = dynamic_cast<smpi::surf::FlowNetworkModel*>(&world.network())) {
+        net->flush_observations(world.simulated_time());
+      }
+      if (auto* cpu = dynamic_cast<smpi::surf::CpuModel*>(&world.cpu())) {
+        cpu->flush_observations(world.simulated_time());
+      }
+      smpi::obs::clear_resources();
+      res->finalize(world.simulated_time());
+    }
     if (options.profile) finish_profile(profiler, wall_s, options);
 
     if (ti_writer != nullptr || paje != nullptr) {
@@ -513,6 +574,19 @@ int main(int argc, char** argv) {
         smpi::obs::export_classified_paje(*spans, options.trace_paje, world.simulated_time());
       }
     }
+    if (options.resources && res != nullptr) {
+      std::printf("%s", res->report().c_str());
+    }
+    if (!options.trace_perfetto.empty()) {
+      if (!smpi::obs::write_perfetto_trace(options.trace_perfetto, res.get(), spans.get(),
+                                           options.profile ? &profiler : nullptr,
+                                           world.simulated_time())) {
+        std::fprintf(stderr, "smpirun: cannot write Perfetto trace to %s\n",
+                     options.trace_perfetto.c_str());
+      } else if (options.verbose) {
+        std::printf("perfetto trace written to %s\n", options.trace_perfetto.c_str());
+      }
+    }
     if (options.verbose) {
       const auto memory = world.memory_report();
       std::printf("tracked memory: folded peak %s, unfolded peak %s\n",
@@ -521,6 +595,25 @@ int main(int argc, char** argv) {
       smpi::obs::MetricsRegistry registry;
       smpi::obs::collect_p2p(registry, world.p2p_counters());
       std::printf("p2p counters:\n%s", registry.text("p2p.").c_str());
+      smpi::surf::MaxMinSystem::ObserveCounters surf_totals;
+      auto add_observe = [&surf_totals](const smpi::surf::MaxMinSystem::ObserveCounters& oc) {
+        surf_totals.solves_attach += oc.solves_attach;
+        surf_totals.solves_release += oc.solves_release;
+        surf_totals.solves_capacity += oc.solves_capacity;
+        surf_totals.solves_bound += oc.solves_bound;
+        surf_totals.saturation_events += oc.saturation_events;
+        surf_totals.observe_drains += oc.observe_drains;
+      };
+      if (const auto* net = dynamic_cast<const smpi::surf::FlowNetworkModel*>(&world.network())) {
+        add_observe(net->solver().observe_counters());
+      }
+      if (const auto* cpu = dynamic_cast<const smpi::surf::CpuModel*>(&world.cpu())) {
+        add_observe(cpu->solver().observe_counters());
+      }
+      smpi::obs::collect_surf(registry, surf_totals.solves_attach, surf_totals.solves_release,
+                              surf_totals.solves_capacity, surf_totals.solves_bound,
+                              surf_totals.saturation_events, surf_totals.observe_drains);
+      std::printf("surf counters:\n%s", registry.text("surf.").c_str());
       if (options.app == "dt") {
         std::printf("dt checksum: %.6e\n", smpi::apps::dt_last_checksum());
       }
